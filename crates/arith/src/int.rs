@@ -1,0 +1,390 @@
+//! Arbitrary-precision signed integers, as a sign–magnitude pair over
+//! [`Nat`].
+//!
+//! Polynomial coefficients in the Appendix B chain (`Q' = Q²`, the split
+//! into `Q'₊` and `Q'₋`) are genuinely signed, so the polynomial crate works
+//! over [`Int`] even though query counts themselves are naturals.
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// Sign of an [`Int`]. Zero is always [`Sign::Zero`]; the magnitude of a
+/// zero `Int` is the zero `Nat`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly below zero.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly above zero.
+    Positive,
+}
+
+/// An arbitrary-precision integer (sign–magnitude representation).
+///
+/// Invariant: `sign == Sign::Zero` iff `mag.is_zero()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    mag: Nat,
+}
+
+impl Int {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        Int { sign: Sign::Zero, mag: Nat::zero() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        Int { sign: Sign::Positive, mag: Nat::one() }
+    }
+
+    /// Builds an `Int` from a sign and magnitude, normalizing zero.
+    pub fn from_sign_mag(sign: Sign, mag: Nat) -> Self {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Zero sign");
+            Int { sign, mag }
+        }
+    }
+
+    /// Builds a non-negative `Int` from a natural number.
+    pub fn from_nat(mag: Nat) -> Self {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            Int { sign: Sign::Positive, mag }
+        }
+    }
+
+    /// Builds an `Int` from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int { sign: Sign::Positive, mag: Nat::from_u64(v as u64) },
+            Ordering::Less => Int {
+                sign: Sign::Negative,
+                mag: Nat::from_u64(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &Nat {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> Nat {
+        self.mag
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// The value as `i64`, if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (m <= i64::MAX as u64).then_some(m as i64),
+            Sign::Negative => {
+                if m <= i64::MAX as u64 + 1 {
+                    Some((m as i128).wrapping_neg() as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow_u64(&self, exp: u64) -> Int {
+        let mag = self.mag.pow_u64(exp);
+        let sign = match self.sign {
+            Sign::Zero => {
+                if exp == 0 {
+                    Sign::Positive // 0^0 = 1 by the usual combinatorial convention
+                } else {
+                    Sign::Zero
+                }
+            }
+            Sign::Positive => Sign::Positive,
+            Sign::Negative => {
+                if exp % 2 == 0 {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                }
+            }
+        };
+        if self.is_zero() && exp == 0 {
+            return Int::one();
+        }
+        Int::from_sign_mag_or_zero(sign, mag)
+    }
+
+    fn from_sign_mag_or_zero(sign: Sign, mag: Nat) -> Int {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            Int { sign, mag }
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int::from_nat(self.mag.clone())
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        Int { sign, mag: self.mag }
+    }
+}
+
+impl Add<&Int> for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => {
+                let mut mag = self.mag.clone();
+                mag.add_assign_ref(&rhs.mag);
+                Int { sign: a, mag }
+            }
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => Int::zero(),
+                    Ordering::Greater => Int::from_sign_mag_or_zero(
+                        self.sign,
+                        self.mag.checked_sub(&rhs.mag).unwrap(),
+                    ),
+                    Ordering::Less => Int::from_sign_mag_or_zero(
+                        rhs.sign,
+                        rhs.mag.checked_sub(&self.mag).unwrap(),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+impl Add for Int {
+    type Output = Int;
+    fn add(self, rhs: Int) -> Int {
+        &self + &rhs
+    }
+}
+
+impl Sub<&Int> for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Sub for Int {
+    type Output = Int;
+    fn sub(self, rhs: Int) -> Int {
+        &self - &rhs
+    }
+}
+
+impl Mul<&Int> for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return Int::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        Int { sign, mag: self.mag.mul_ref(&rhs.mag) }
+    }
+}
+
+impl Mul for Int {
+    type Output = Int;
+    fn mul(self, rhs: Int) -> Int {
+        &self * &rhs
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Negative => 0,
+            Sign::Zero => 1,
+            Sign::Positive => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Negative => other.mag.cmp(&self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        Int::from_i64(v)
+    }
+}
+
+impl From<Nat> for Int {
+    fn from(v: Nat) -> Self {
+        Int::from_nat(v)
+    }
+}
+
+impl FromStr for Int {
+    type Err = crate::nat::ParseNatError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            let mag: Nat = rest.parse()?;
+            Ok(Int::from_sign_mag_or_zero(Sign::Negative, mag))
+        } else {
+            let mag: Nat = s.parse()?;
+            Ok(Int::from_nat(mag))
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        fmt::Display::fmt(&self.mag, f)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from_i64(v)
+    }
+
+    #[test]
+    fn construction_and_sign() {
+        assert!(i(0).is_zero());
+        assert!(i(5).is_positive());
+        assert!(i(-5).is_negative());
+        assert_eq!(i(0).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn add_all_sign_combinations() {
+        for a in -4i64..=4 {
+            for b in -4i64..=4 {
+                assert_eq!(&i(a) + &i(b), i(a + b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_all_sign_combinations() {
+        for a in -4i64..=4 {
+            for b in -4i64..=4 {
+                assert_eq!(&i(a) - &i(b), i(a - b), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_all_sign_combinations() {
+        for a in -4i64..=4 {
+            for b in -4i64..=4 {
+                assert_eq!(&i(a) * &i(b), i(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(i(-2).pow_u64(2), i(4));
+        assert_eq!(i(-2).pow_u64(3), i(-8));
+        assert_eq!(i(0).pow_u64(0), i(1));
+        assert_eq!(i(0).pow_u64(3), i(0));
+    }
+
+    #[test]
+    fn ordering_spans_signs() {
+        assert!(i(-10) < i(-2));
+        assert!(i(-2) < i(0));
+        assert!(i(0) < i(3));
+        assert!(i(3) < i(10));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(i(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(i(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = Int::from_nat(crate::nat::Nat::pow2(64));
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("-42".parse::<Int>().unwrap(), i(-42));
+        assert_eq!("42".parse::<Int>().unwrap(), i(42));
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(i(0).to_string(), "0");
+        // "-0" normalizes to zero.
+        assert_eq!("-0".parse::<Int>().unwrap(), i(0));
+    }
+
+    #[test]
+    fn neg_involution() {
+        assert_eq!(-(-i(7)), i(7));
+        assert_eq!(-i(0), i(0));
+    }
+}

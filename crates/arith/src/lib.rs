@@ -1,0 +1,47 @@
+//! # bagcq-arith
+//!
+//! Exact and certified arithmetic for the `bagcq` workspace, the Rust
+//! reproduction of *Bag Semantics Conjunctive Query Containment. Four Small
+//! Steps Towards Undecidability* (Marcinkowski & Orda, PODS 2024).
+//!
+//! Under bag semantics a boolean conjunctive query applied to a database is
+//! a homomorphism count — a natural number — and the paper's constructions
+//! multiply and exponentiate such counts far past machine range. This crate
+//! provides, from scratch (no external bignum dependency):
+//!
+//! * [`Nat`] — arbitrary-precision naturals (the counts themselves);
+//! * [`Int`] — signed integers (polynomial coefficients in Appendix B);
+//! * [`Rat`] — exact non-negative rationals (the multipliers `q` of
+//!   Definition 3, e.g. `(p+1)²/2p`);
+//! * [`Magnitude`] — certified-interval extended-range values for
+//!   quantities like `δ_b(D) ≥ 2^C` whose exact bit-length is itself
+//!   astronomical, together with [`CertOrd`] comparisons that are only ever
+//!   reported when provable.
+//!
+//! ```
+//! use bagcq_arith::{CertOrd, Magnitude, Nat, Rat};
+//!
+//! // Exact counts and exact rational comparisons:
+//! let count = Nat::from_u64(36);
+//! let ratio = Rat::from_u64s(16, 6);                  // (p+1)²/2p at p = 3
+//! assert!(ratio.eq_scaled(&Nat::from_u64(16), &Nat::from_u64(6)));
+//!
+//! // Certified comparisons of astronomically large powers:
+//! let big = Magnitude::from_u64(2).pow(&Nat::from_u64(10_000_000));
+//! let bigger = Magnitude::from_u64(3).pow(&Nat::from_u64(10_000_000));
+//! assert_eq!(big.cmp_cert(&bigger), CertOrd::Less);
+//! assert_eq!(count.to_u64(), Some(36));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod magnitude;
+mod nat;
+mod rat;
+
+pub use int::{Int, Sign};
+pub use magnitude::{CertOrd, Magnitude, DEFAULT_EXACT_BITS};
+pub use nat::{Nat, ParseNatError};
+pub use rat::Rat;

@@ -1,0 +1,640 @@
+//! Certified extended-range magnitudes.
+//!
+//! The anti-cheating queries of Section 4 produce counts like
+//! `δ_b(D) ≥ 2^C` where `C = c·ζ_b(D_Arena)` easily reaches into the
+//! millions: the *number of bits* of the count exceeds memory long before
+//! the structures involved stop being toy-sized. The proofs, however, only
+//! ever *compare* such quantities, so the evaluation layer represents them
+//! as [`Magnitude`]s: a certified enclosure `[lo, hi]` of the true value by
+//! extended-range binary floats (64-bit mantissa, 64-bit exponent), with an
+//! exact [`Nat`] carried alongside while the value still fits a bit budget.
+//!
+//! All rounding is directed (down for `lo`, up for `hi`), so every
+//! comparison this module reports as [`CertOrd::Less`] or
+//! [`CertOrd::Greater`] is a theorem about the exact values; when the
+//! enclosures overlap and no exact values are available the answer is
+//! [`CertOrd::Unknown`] and callers must escalate precision or report
+//! honestly.
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Default budget (in bits) below which magnitudes keep an exact `Nat`.
+pub const DEFAULT_EXACT_BITS: u64 = 1 << 16;
+
+/// Rounding direction for [`Fp`] operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Round {
+    Down,
+    Up,
+}
+
+/// An extended-range non-negative binary float: `mantissa · 2^exp2`, with
+/// the mantissa normalized into `[2^63, 2^64)` (zero is all-zero; infinity
+/// is a sentinel used when exponents overflow).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Fp {
+    mantissa: u64,
+    exp2: i64,
+    /// Sentinel for exponent overflow; compares above everything finite.
+    infinite: bool,
+}
+
+/// Exponents beyond this magnitude saturate to the infinite sentinel. Far
+/// beyond anything the reductions produce, but keeps arithmetic total.
+const EXP_LIMIT: i64 = i64::MAX / 4;
+
+impl Fp {
+    const ZERO: Fp = Fp { mantissa: 0, exp2: 0, infinite: false };
+    const INF: Fp = Fp { mantissa: u64::MAX, exp2: i64::MAX, infinite: true };
+
+    fn is_zero(self) -> bool {
+        !self.infinite && self.mantissa == 0
+    }
+
+    fn from_u64(v: u64, round: Round) -> Fp {
+        let _ = round; // exact for any u64
+        if v == 0 {
+            return Fp::ZERO;
+        }
+        let shift = v.leading_zeros();
+        Fp { mantissa: v << shift, exp2: -(shift as i64), infinite: false }
+    }
+
+    /// Builds an `Fp` bound from a `Nat` with directed rounding.
+    fn from_nat(n: &Nat, round: Round) -> Fp {
+        let bits = n.bits();
+        if bits == 0 {
+            return Fp::ZERO;
+        }
+        if bits <= 64 {
+            return Fp::from_u64(n.to_u64().expect("fits"), round);
+        }
+        // Take the top 64 bits; exp2 = bits - 64.
+        let drop = bits - 64;
+        let top = n.clone() >> drop as usize;
+        let mut mantissa = top.to_u64().expect("exactly 64 bits");
+        let mut exp2 = drop as i64;
+        if round == Round::Up {
+            // If anything was dropped, bump the mantissa by one ulp.
+            let reconstructed = top << drop as usize;
+            if &reconstructed != n {
+                let (m, overflow) = mantissa.overflowing_add(1);
+                if overflow {
+                    mantissa = 1u64 << 63;
+                    exp2 += 1;
+                } else {
+                    mantissa = m;
+                }
+            }
+        }
+        Fp { mantissa, exp2, infinite: false }
+    }
+
+    fn mul(self, rhs: Fp, round: Round) -> Fp {
+        if self.is_zero() || rhs.is_zero() {
+            return Fp::ZERO;
+        }
+        if self.infinite || rhs.infinite {
+            return Fp::INF;
+        }
+        let prod = self.mantissa as u128 * rhs.mantissa as u128;
+        // prod ∈ [2^126, 2^128): normalize the top 64 bits out.
+        let (mut mantissa, shift) = if prod >= 1u128 << 127 {
+            ((prod >> 64) as u64, 64u32)
+        } else {
+            ((prod >> 63) as u64, 63u32)
+        };
+        let dropped = prod & ((1u128 << shift) - 1);
+        let mut exp2 = match self
+            .exp2
+            .checked_add(rhs.exp2)
+            .and_then(|e| e.checked_add(shift as i64))
+        {
+            Some(e) if e.abs() < EXP_LIMIT => e,
+            _ => return Fp::INF,
+        };
+        if round == Round::Up && dropped != 0 {
+            let (m, overflow) = mantissa.overflowing_add(1);
+            if overflow {
+                mantissa = 1u64 << 63;
+                exp2 += 1;
+            } else {
+                mantissa = m;
+            }
+        }
+        Fp { mantissa, exp2, infinite: false }
+    }
+
+    /// `self^exp` by binary exponentiation with directed rounding.
+    fn pow(self, exp: u64, round: Round) -> Fp {
+        if exp == 0 {
+            return Fp::from_u64(1, round);
+        }
+        if self.is_zero() {
+            return Fp::ZERO;
+        }
+        let mut base = self;
+        let mut acc = Fp::from_u64(1, round);
+        let mut e = exp;
+        loop {
+            if e & 1 == 1 {
+                acc = acc.mul(base, round);
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            base = base.mul(base, round);
+        }
+        acc
+    }
+
+    /// Addition with directed rounding.
+    fn add(self, rhs: Fp, round: Round) -> Fp {
+        if self.infinite || rhs.infinite {
+            return Fp::INF;
+        }
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        // Align so `a` has the larger exponent.
+        let (a, b) = if self.exp2 >= rhs.exp2 { (self, rhs) } else { (rhs, self) };
+        let delta = (a.exp2 - b.exp2) as u64;
+        if delta >= 127 {
+            // b is below one ulp of a.
+            return match round {
+                Round::Down => a,
+                Round::Up => {
+                    let (m, overflow) = a.mantissa.overflowing_add(1);
+                    if overflow {
+                        Fp { mantissa: 1u64 << 63, exp2: a.exp2 + 1, infinite: false }
+                    } else {
+                        Fp { mantissa: m, ..a }
+                    }
+                }
+            };
+        }
+        // Work in 128-bit fixed point: `a` at bit offset 63 so a one-limb
+        // carry still fits; `b` shifted down by the exponent difference.
+        let wide_a = (a.mantissa as u128) << 63;
+        let shift_left = 63i64 - delta as i64;
+        let (wide_b, dropped_b) = if shift_left >= 0 {
+            ((b.mantissa as u128) << shift_left, 0u128)
+        } else {
+            let down = (-shift_left) as u32;
+            (
+                (b.mantissa as u128) >> down,
+                (b.mantissa as u128) & ((1u128 << down) - 1),
+            )
+        };
+        let sum = wide_a + wide_b;
+        // sum ∈ [2^126, 2^128)
+        let (mut mantissa, shift) = if sum >= 1u128 << 127 {
+            ((sum >> 64) as u64, 64u32)
+        } else {
+            ((sum >> 63) as u64, 63u32)
+        };
+        let dropped = (sum & ((1u128 << shift) - 1)) | dropped_b;
+        let mut exp2 = a.exp2 + (shift as i64 - 63);
+        if round == Round::Up && dropped != 0 {
+            let (m, overflow) = mantissa.overflowing_add(1);
+            if overflow {
+                mantissa = 1u64 << 63;
+                exp2 += 1;
+            } else {
+                mantissa = m;
+            }
+        }
+        if exp2.abs() >= EXP_LIMIT {
+            return Fp::INF;
+        }
+        Fp { mantissa, exp2, infinite: false }
+    }
+
+    fn cmp(self, rhs: Fp) -> Ordering {
+        match (self.infinite, rhs.infinite) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                if self.is_zero() || rhs.is_zero() {
+                    return (!self.is_zero() as u8).cmp(&(!rhs.is_zero() as u8));
+                }
+                match self.exp2.cmp(&rhs.exp2) {
+                    Ordering::Equal => self.mantissa.cmp(&rhs.mantissa),
+                    ord => ord,
+                }
+            }
+        }
+    }
+
+    /// Approximate log2 (reporting only).
+    fn log2(self) -> f64 {
+        if self.infinite {
+            return f64::INFINITY;
+        }
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        (self.mantissa as f64).log2() + self.exp2 as f64
+    }
+}
+
+/// Outcome of a certified comparison between two [`Magnitude`]s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CertOrd {
+    /// Provably `a < b`.
+    Less,
+    /// Provably `a == b` (only when both sides are exact).
+    Equal,
+    /// Provably `a > b`.
+    Greater,
+    /// The enclosures overlap; no verdict at this precision.
+    Unknown,
+}
+
+impl CertOrd {
+    /// `true` for any definite verdict.
+    pub fn is_definite(self) -> bool {
+        self != CertOrd::Unknown
+    }
+
+    /// `true` iff the comparison certifies `a ≤ b`.
+    pub fn certifies_le(self) -> bool {
+        matches!(self, CertOrd::Less | CertOrd::Equal)
+    }
+}
+
+/// A non-negative quantity known exactly (as a [`Nat`]) while it fits a bit
+/// budget, and always enclosed by certified lower/upper bounds.
+#[derive(Clone)]
+pub struct Magnitude {
+    lo: Fp,
+    hi: Fp,
+    exact: Option<Nat>,
+    exact_bits: u64,
+}
+
+impl Magnitude {
+    /// An exactly-known value.
+    pub fn exact(n: Nat) -> Self {
+        Magnitude::exact_with_budget(n, DEFAULT_EXACT_BITS)
+    }
+
+    /// An exactly-known value with a custom exactness budget. Values whose
+    /// bit-length already exceeds the budget degrade to an enclosure.
+    pub fn exact_with_budget(n: Nat, exact_bits: u64) -> Self {
+        let lo = Fp::from_nat(&n, Round::Down);
+        let hi = Fp::from_nat(&n, Round::Up);
+        let exact = (n.bits() <= exact_bits).then_some(n);
+        Magnitude { lo, hi, exact, exact_bits }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Magnitude::exact(Nat::zero())
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Magnitude::exact(Nat::one())
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        Magnitude::exact(Nat::from_u64(v))
+    }
+
+    /// The exact value, if still tracked.
+    pub fn as_exact(&self) -> Option<&Nat> {
+        self.exact.as_ref()
+    }
+
+    /// `true` iff the value is exactly known.
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// `true` iff provably zero.
+    pub fn is_zero(&self) -> bool {
+        self.hi.is_zero()
+    }
+
+    /// Certified product.
+    pub fn mul(&self, rhs: &Magnitude) -> Magnitude {
+        let exact_bits = self.exact_bits.min(rhs.exact_bits);
+        let exact = match (&self.exact, &rhs.exact) {
+            (Some(a), Some(b)) if a.bits() + b.bits() <= exact_bits + 1 => {
+                let prod = a.mul_ref(b);
+                (prod.bits() <= exact_bits).then_some(prod)
+            }
+            _ => None,
+        };
+        match exact {
+            Some(prod) => Magnitude::exact_with_budget(prod, exact_bits),
+            None => Magnitude {
+                lo: self.lo.mul(rhs.lo, Round::Down),
+                hi: self.hi.mul(rhs.hi, Round::Up),
+                exact: None,
+                exact_bits,
+            },
+        }
+    }
+
+    /// Certified sum.
+    pub fn add(&self, rhs: &Magnitude) -> Magnitude {
+        let exact_bits = self.exact_bits.min(rhs.exact_bits);
+        let exact = match (&self.exact, &rhs.exact) {
+            (Some(a), Some(b)) => {
+                let mut s = a.clone();
+                s.add_assign_ref(b);
+                (s.bits() <= exact_bits).then_some(s)
+            }
+            _ => None,
+        };
+        match exact {
+            Some(s) => Magnitude::exact_with_budget(s, exact_bits),
+            None => Magnitude {
+                lo: self.lo.add(rhs.lo, Round::Down),
+                hi: self.hi.add(rhs.hi, Round::Up),
+                exact: None,
+                exact_bits,
+            },
+        }
+    }
+
+    /// Certified power with an arbitrary-precision exponent.
+    ///
+    /// This is the operation that makes `ζ_b`/`δ_b` evaluable: the exponent
+    /// `C` arrives as an exact `Nat`, and the result stays exact only while
+    /// it fits the bit budget.
+    pub fn pow(&self, exp: &Nat) -> Magnitude {
+        if exp.is_zero() {
+            return Magnitude::exact_with_budget(Nat::one(), self.exact_bits);
+        }
+        if let Some(n) = &self.exact {
+            if n.is_zero() {
+                return Magnitude::exact_with_budget(Nat::zero(), self.exact_bits);
+            }
+            if n.is_one() {
+                return Magnitude::exact_with_budget(Nat::one(), self.exact_bits);
+            }
+            if let Some(e) = exp.to_u64() {
+                if let Some(p) = n.checked_pow(e, self.exact_bits) {
+                    return Magnitude::exact_with_budget(p, self.exact_bits);
+                }
+            }
+        }
+        // Interval path. Exponent must fit u64 for the Fp fast path; beyond
+        // that (base > 1) the value dwarfs everything representable and we
+        // saturate the lower bound via exponent arithmetic.
+        match exp.to_u64() {
+            Some(e) => Magnitude {
+                lo: self.lo.pow(e, Round::Down),
+                hi: self.hi.pow(e, Round::Up),
+                exact: None,
+                exact_bits: self.exact_bits,
+            },
+            None => {
+                // Base ≥ 1 cases: lo ≥ 2^(exp·(bits(lo)−1)) — beyond Fp range
+                // whenever lo ≥ 2, so saturate; base < 1 cannot happen for
+                // counts (they are naturals), and base 0/1 was handled above
+                // for exact values. For interval-only bases fall back to a
+                // conservative enclosure.
+                let lo = if self.lo.cmp(Fp::from_u64(2, Round::Down)) != Ordering::Less {
+                    Fp::INF // provably astronomically large
+                } else {
+                    Fp::ZERO
+                };
+                let hi = if self.hi.cmp(Fp::from_u64(1, Round::Up)) == Ordering::Greater {
+                    Fp::INF
+                } else {
+                    self.hi
+                };
+                Magnitude { lo, hi, exact: None, exact_bits: self.exact_bits }
+            }
+        }
+    }
+
+    /// Certified comparison.
+    pub fn cmp_cert(&self, rhs: &Magnitude) -> CertOrd {
+        if let (Some(a), Some(b)) = (&self.exact, &rhs.exact) {
+            return match a.cmp(b) {
+                Ordering::Less => CertOrd::Less,
+                Ordering::Equal => CertOrd::Equal,
+                Ordering::Greater => CertOrd::Greater,
+            };
+        }
+        if self.hi.cmp(rhs.lo) == Ordering::Less {
+            return CertOrd::Less;
+        }
+        if self.lo.cmp(rhs.hi) == Ordering::Greater {
+            return CertOrd::Greater;
+        }
+        CertOrd::Unknown
+    }
+
+    /// Certified `self ≤ rhs`? (`None` when unknown.)
+    pub fn le_cert(&self, rhs: &Magnitude) -> Option<bool> {
+        match self.cmp_cert(rhs) {
+            CertOrd::Less | CertOrd::Equal => Some(true),
+            CertOrd::Greater => Some(false),
+            CertOrd::Unknown => {
+                // Interval ≤ can still be certified when enclosures touch.
+                if self.hi.cmp(rhs.lo) != Ordering::Greater {
+                    Some(true)
+                } else if self.lo.cmp(rhs.hi) == Ordering::Greater {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Approximate log2 of the value (midpoint of bound logs; reporting only).
+    pub fn log2_approx(&self) -> f64 {
+        if let Some(n) = &self.exact {
+            return n.log2();
+        }
+        let l = self.lo.log2();
+        let h = self.hi.log2();
+        if l.is_infinite() || h.is_infinite() {
+            if h.is_finite() {
+                return h;
+            }
+            if l.is_finite() {
+                return l;
+            }
+            return l;
+        }
+        (l + h) / 2.0
+    }
+}
+
+impl fmt::Debug for Magnitude {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.exact {
+            Some(n) if n.bits() <= 128 => write!(f, "Magnitude({n})"),
+            Some(n) => write!(f, "Magnitude(exact, {} bits)", n.bits()),
+            None => write!(
+                f,
+                "Magnitude(~2^[{:.3}, {:.3}])",
+                self.lo.log2(),
+                self.hi.log2()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Magnitude {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.exact {
+            Some(n) if n.bits() <= 256 => write!(f, "{n}"),
+            _ => write!(f, "≈2^{:.2}", self.log2_approx()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: u64) -> Magnitude {
+        Magnitude::from_u64(v)
+    }
+
+    #[test]
+    fn exact_comparisons() {
+        assert_eq!(m(3).cmp_cert(&m(5)), CertOrd::Less);
+        assert_eq!(m(5).cmp_cert(&m(5)), CertOrd::Equal);
+        assert_eq!(m(7).cmp_cert(&m(5)), CertOrd::Greater);
+    }
+
+    #[test]
+    fn exact_mul_stays_exact() {
+        let p = m(1000).mul(&m(1000));
+        assert_eq!(p.as_exact(), Some(&Nat::from_u64(1_000_000)));
+    }
+
+    #[test]
+    fn pow_small_exact() {
+        let p = m(2).pow(&Nat::from_u64(20));
+        assert_eq!(p.as_exact(), Some(&Nat::from_u64(1 << 20)));
+    }
+
+    #[test]
+    fn pow_huge_is_interval_but_certified() {
+        // 2^(10^9): hopelessly beyond exact representation, but the
+        // enclosure still certifies it exceeds 10^300.
+        let big_exp = Nat::from_u64(1_000_000_000);
+        let p = m(2).pow(&big_exp);
+        assert!(!p.is_exact());
+        let googolish = m(10).pow(&Nat::from_u64(300));
+        assert_eq!(p.cmp_cert(&googolish), CertOrd::Greater);
+    }
+
+    #[test]
+    fn pow_of_one_and_zero() {
+        assert_eq!(m(1).pow(&Nat::from_u64(u64::MAX)).as_exact(), Some(&Nat::one()));
+        assert_eq!(m(0).pow(&Nat::from_u64(5)).as_exact(), Some(&Nat::zero()));
+        assert_eq!(m(0).pow(&Nat::zero()).as_exact(), Some(&Nat::one()));
+        // Exponent beyond u64 with base 1 still exact.
+        let enormous = Nat::pow2(100);
+        assert_eq!(m(1).pow(&enormous).as_exact(), Some(&Nat::one()));
+    }
+
+    #[test]
+    fn pow_with_nat_exponent_beyond_u64() {
+        let enormous = Nat::pow2(100);
+        let p = m(2).pow(&enormous);
+        assert!(!p.is_exact());
+        // Provably greater than anything finite we can build exactly.
+        let huge_exact = m(2).pow(&Nat::from_u64(60_000)); // within default budget
+        assert_eq!(p.cmp_cert(&huge_exact), CertOrd::Greater);
+    }
+
+    #[test]
+    fn interval_bounds_bracket_truth() {
+        // (2^80)^3 = 2^240: compare against exact 2^239 and 2^241.
+        let base = Magnitude::exact(Nat::pow2(80));
+        let cube = base.pow(&Nat::from_u64(3));
+        let below = Magnitude::exact(Nat::pow2(239));
+        let above = Magnitude::exact(Nat::pow2(241));
+        assert_eq!(cube.cmp_cert(&below), CertOrd::Greater);
+        assert_eq!(cube.cmp_cert(&above), CertOrd::Less);
+    }
+
+    #[test]
+    fn mul_interval_correctness() {
+        // Force interval mode with a tiny budget, then verify enclosure.
+        let a = Magnitude::exact_with_budget(Nat::from_u64(123_456_789), 16);
+        let b = Magnitude::exact_with_budget(Nat::from_u64(987_654_321), 16);
+        let p = a.mul(&b);
+        assert!(!p.is_exact());
+        let truth = Magnitude::exact(Nat::from_u128(123_456_789u128 * 987_654_321u128));
+        // The interval must contain the truth: neither strictly above nor below.
+        assert_eq!(p.cmp_cert(&truth), CertOrd::Unknown);
+        // And tight enough to separate from values 1% away.
+        let low = Magnitude::exact(Nat::from_u128(123_456_789u128 * 987_654_321u128 * 99 / 100));
+        assert_eq!(p.cmp_cert(&low), CertOrd::Greater);
+    }
+
+    #[test]
+    fn add_exact_and_interval() {
+        assert_eq!(m(40).add(&m(2)).as_exact(), Some(&Nat::from_u64(42)));
+        let big = m(2).pow(&Nat::from_u64(1_000_000));
+        let s = big.add(&m(1));
+        assert!(!s.is_exact());
+        assert_eq!(s.cmp_cert(&m(1_000_000)), CertOrd::Greater);
+    }
+
+    #[test]
+    fn add_with_tiny_addend_rounds_correctly() {
+        let big = Magnitude::exact_with_budget(Nat::pow2(200), 64); // interval
+        assert!(!big.is_exact());
+        let s = big.add(&m(1));
+        // s must still be >= 2^200 and <= 2^201 certifiably.
+        assert_eq!(s.cmp_cert(&Magnitude::exact(Nat::pow2(199))), CertOrd::Greater);
+        assert_eq!(s.cmp_cert(&Magnitude::exact(Nat::pow2(202))), CertOrd::Less);
+    }
+
+    #[test]
+    fn le_cert_boundary() {
+        assert_eq!(m(5).le_cert(&m(5)), Some(true));
+        assert_eq!(m(6).le_cert(&m(5)), Some(false));
+        let a = m(2).pow(&Nat::from_u64(1_000_000));
+        let b = m(3).pow(&Nat::from_u64(1_000_000));
+        assert_eq!(a.le_cert(&b), Some(true));
+        assert_eq!(b.le_cert(&a), Some(false));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(m(42).to_string(), "42");
+        let big = m(2).pow(&Nat::from_u64(10_000_000));
+        let s = big.to_string();
+        assert!(s.starts_with("≈2^"), "{s}");
+    }
+
+    #[test]
+    fn nearby_huge_powers_are_separable() {
+        // 3^100000 vs 3^100001 differ by a factor 3 — intervals must separate.
+        let a = m(3).pow(&Nat::from_u64(100_000));
+        let b = m(3).pow(&Nat::from_u64(100_001));
+        assert_eq!(a.cmp_cert(&b), CertOrd::Less);
+    }
+
+    #[test]
+    fn identical_interval_values_are_unknown() {
+        let a = m(3).pow(&Nat::from_u64(100_000));
+        let b = m(3).pow(&Nat::from_u64(100_000));
+        assert_eq!(a.cmp_cert(&b), CertOrd::Unknown);
+        assert_eq!(a.le_cert(&b), None);
+    }
+}

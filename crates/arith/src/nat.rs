@@ -1,0 +1,931 @@
+//! Arbitrary-precision natural numbers.
+//!
+//! Bag-semantics query answers are homomorphism counts, and the paper's
+//! constructions multiply and exponentiate them aggressively (`∧̄`, `θ↑k`,
+//! the anti-cheating queries `ζ_b` and `δ_b`). Counts therefore overflow any
+//! machine integer almost immediately, so the whole workspace computes over
+//! [`Nat`], a little-endian base-2⁶⁴ natural number.
+//!
+//! The representation invariant is that the limb vector never has a trailing
+//! (most-significant) zero limb; zero is the empty vector. All public
+//! constructors and operations preserve this invariant.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub};
+use std::str::FromStr;
+
+/// Number of bits per limb.
+const LIMB_BITS: u32 = 64;
+
+/// Threshold (in limbs) above which multiplication switches from the
+/// schoolbook algorithm to Karatsuba. Chosen empirically; see
+/// `bench_arith`.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+/// An arbitrary-precision natural number (ℕ, including zero).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs; no trailing zero limb.
+    limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The natural number 0.
+    #[inline]
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The natural number 1.
+    #[inline]
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Builds a `Nat` from a `u64`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Nat::zero()
+        } else {
+            Nat { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a `Nat` from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        if hi == 0 {
+            Nat::from_u64(lo)
+        } else {
+            Nat { limbs: vec![lo, hi] }
+        }
+    }
+
+    /// Builds a `Nat` from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// The little-endian limbs of this number (no trailing zero limb).
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff this number is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff this number is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// The value as `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// The value as `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (may lose precision; saturates to `f64::INFINITY`).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 18446744073709551616.0 + limb as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64
+                    + (LIMB_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// The value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % LIMB_BITS as u64)) & 1 == 1
+    }
+
+    /// `2^k`.
+    pub fn pow2(k: u64) -> Self {
+        let limb = (k / LIMB_BITS as u64) as usize;
+        let bit = (k % LIMB_BITS as u64) as u32;
+        let mut limbs = vec![0u64; limb + 1];
+        limbs[limb] = 1u64 << bit;
+        Nat { limbs }
+    }
+
+    // ----------------------------------------------------------------
+    // Addition / subtraction
+    // ----------------------------------------------------------------
+
+    /// `self += other`.
+    pub fn add_assign_ref(&mut self, other: &Nat) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for (i, dst) in self.limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = dst.overflowing_add(rhs);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *dst = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self += v`.
+    pub fn add_assign_u64(&mut self, v: u64) {
+        let mut carry = v;
+        for dst in self.limbs.iter_mut() {
+            if carry == 0 {
+                return;
+            }
+            let (s, c) = dst.overflowing_add(carry);
+            *dst = s;
+            carry = c as u64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, dst) in limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = dst.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *dst = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Nat::from_limbs(limbs))
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    pub fn saturating_sub(&self, other: &Nat) -> Nat {
+        self.checked_sub(other).unwrap_or_else(Nat::zero)
+    }
+
+    // ----------------------------------------------------------------
+    // Multiplication
+    // ----------------------------------------------------------------
+
+    /// `self * v` for a machine-word multiplier.
+    pub fn mul_u64(&self, v: u64) -> Nat {
+        if v == 0 || self.is_zero() {
+            return Nat::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let prod = limb as u128 * v as u128 + carry;
+            limbs.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            limbs.push(carry as u64);
+        }
+        Nat { limbs }
+    }
+
+    /// Full multiplication, dispatching on operand size.
+    pub fn mul_ref(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            return Nat::from_limbs(karatsuba(&self.limbs, &other.limbs));
+        }
+        Nat::from_limbs(schoolbook_mul(&self.limbs, &other.limbs))
+    }
+
+    /// `self^exp` where the exponent is a machine word.
+    ///
+    /// Uses binary exponentiation; the result can of course be huge —
+    /// callers that need a bound should use [`Nat::checked_pow`].
+    pub fn pow_u64(&self, exp: u64) -> Nat {
+        self.checked_pow(exp, u64::MAX)
+            .expect("unbounded pow cannot fail")
+    }
+
+    /// `self^exp`, refusing to produce more than `max_bits` bits.
+    ///
+    /// Returns `None` when the result would exceed the bit budget. This is
+    /// how the evaluation layer decides to fall back to certified-interval
+    /// arithmetic for quantities like `δ_b(D) ≥ 2^C` with astronomical `C`.
+    pub fn checked_pow(&self, exp: u64, max_bits: u64) -> Option<Nat> {
+        if exp == 0 {
+            return Some(Nat::one());
+        }
+        if self.is_zero() {
+            return Some(Nat::zero());
+        }
+        if self.is_one() {
+            return Some(Nat::one());
+        }
+        // Quick a-priori bound: bits(self^exp) <= bits(self) * exp.
+        if self.bits().checked_mul(exp).map_or(true, |b| b > max_bits.saturating_mul(2)) {
+            // Allow slack of 2x before the precise running check below,
+            // because bits(x^e) >= (bits(x)-1)*e could still be within budget.
+            if (self.bits() - 1).checked_mul(exp).map_or(true, |b| b > max_bits) {
+                return None;
+            }
+        }
+        let mut base = self.clone();
+        let mut acc = Nat::one();
+        let mut e = exp;
+        loop {
+            if e & 1 == 1 {
+                acc = acc.mul_ref(&base);
+                if acc.bits() > max_bits {
+                    return None;
+                }
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            base = base.mul_ref(&base);
+            if base.bits() > max_bits {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
+    // ----------------------------------------------------------------
+    // Division
+    // ----------------------------------------------------------------
+
+    /// Division with remainder by a machine word. Panics on division by zero.
+    pub fn div_rem_u64(&self, v: u64) -> (Nat, u64) {
+        assert!(v != 0, "division by zero");
+        let mut quot = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quot[i] = (cur / v as u128) as u64;
+            rem = cur % v as u128;
+        }
+        (Nat::from_limbs(quot), rem as u64)
+    }
+
+    /// Division with remainder (Knuth Algorithm D). Panics on division by zero.
+    pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Nat::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Nat::from_u64(r));
+        }
+        // Normalize: shift so the top limb of the divisor has its MSB set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let u = self.clone() << shift as usize;
+        let v = divisor.clone() << shift as usize;
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut u_limbs = u.limbs;
+        u_limbs.push(0); // extra headroom limb u[m+n]
+        let v_limbs = &v.limbs;
+        let v_top = v_limbs[n - 1];
+        let v_second = v_limbs[n - 2];
+        let mut q_limbs = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat = (u[j+n]*B + u[j+n-1]) / v_top.
+            let numer = ((u_limbs[j + n] as u128) << 64) | u_limbs[j + n - 1] as u128;
+            let mut q_hat = numer / v_top as u128;
+            let mut r_hat = numer % v_top as u128;
+            while q_hat >= 1u128 << 64
+                || q_hat * v_second as u128 > ((r_hat << 64) | u_limbs[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_top as u128;
+                if r_hat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract u[j..j+n] -= q_hat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let prod = q_hat * v_limbs[i] as u128 + carry;
+                carry = prod >> 64;
+                let sub = u_limbs[j + i] as i128 - (prod as u64) as i128 - borrow;
+                u_limbs[j + i] = sub as u64;
+                borrow = if sub < 0 { 1 } else { 0 };
+            }
+            let sub = u_limbs[j + n] as i128 - carry as i128 - borrow;
+            u_limbs[j + n] = sub as u64;
+
+            if sub < 0 {
+                // q_hat was one too large: add back.
+                q_hat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = u_limbs[j + i] as u128 + v_limbs[i] as u128 + carry;
+                    u_limbs[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                u_limbs[j + n] = u_limbs[j + n].wrapping_add(carry as u64);
+            }
+            q_limbs[j] = q_hat as u64;
+        }
+
+        u_limbs.truncate(n);
+        let rem = Nat::from_limbs(u_limbs) >> shift as usize;
+        (Nat::from_limbs(q_limbs), rem)
+    }
+
+    /// Greatest common divisor (binary GCD; no division needed).
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = a >> az as usize;
+        b = b >> bz as usize;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a by ordering");
+            if b.is_zero() {
+                return a << common as usize;
+            }
+            let tz = b.trailing_zeros();
+            b = b >> tz as usize;
+        }
+    }
+
+    /// Number of trailing zero bits (0 for zero).
+    pub fn trailing_zeros(&self) -> u64 {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return i as u64 * LIMB_BITS as u64 + limb.trailing_zeros() as u64;
+            }
+        }
+        0
+    }
+
+    /// Base-2 logarithm as a double (−∞ for zero). Used only for reporting.
+    pub fn log2(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log2(),
+            n => {
+                // Use the top two limbs for ~128 bits of mantissa input.
+                let hi = self.limbs[n - 1] as f64;
+                let lo = self.limbs[n - 2] as f64;
+                let frac = hi * 18446744073709551616.0 + lo;
+                frac.log2() + ((n - 2) as f64) * 64.0
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Multiplication kernels
+// --------------------------------------------------------------------
+
+/// Schoolbook O(n·m) multiplication into a fresh limb vector.
+fn schoolbook_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba multiplication for large operands.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return schoolbook_mul(a, b);
+    }
+    let split = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(split.min(a.len()));
+    let (b0, b1) = b.split_at(split.min(b.len()));
+    let a0n = Nat::from_limbs(a0.to_vec());
+    let a1n = Nat::from_limbs(a1.to_vec());
+    let b0n = Nat::from_limbs(b0.to_vec());
+    let b1n = Nat::from_limbs(b1.to_vec());
+
+    let z0 = Nat::from_limbs(karatsuba(a0n.limbs(), b0n.limbs()));
+    let z2 = if a1n.is_zero() || b1n.is_zero() {
+        Nat::zero()
+    } else {
+        Nat::from_limbs(karatsuba(a1n.limbs(), b1n.limbs()))
+    };
+    let mut asum = a0n.clone();
+    asum.add_assign_ref(&a1n);
+    let mut bsum = b0n.clone();
+    bsum.add_assign_ref(&b1n);
+    let z1_full = Nat::from_limbs(karatsuba(asum.limbs(), bsum.limbs()));
+    let z1 = z1_full
+        .checked_sub(&z0)
+        .and_then(|t| t.checked_sub(&z2))
+        .expect("karatsuba middle term is non-negative");
+
+    // result = z0 + z1 << (64*split) + z2 << (128*split)
+    let mut result = z0;
+    let mut z1s = z1 << (64 * split);
+    let z2s = z2 << (128 * split);
+    z1s.add_assign_ref(&z2s);
+    result.add_assign_ref(&z1s);
+    result.limbs
+}
+
+// --------------------------------------------------------------------
+// Operator impls
+// --------------------------------------------------------------------
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl Add<&Nat> for Nat {
+    type Output = Nat;
+    fn add(mut self, rhs: &Nat) -> Nat {
+        self.add_assign_ref(rhs);
+        self
+    }
+}
+
+impl Add for Nat {
+    type Output = Nat;
+    fn add(mut self, rhs: Nat) -> Nat {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl AddAssign for Nat {
+    fn add_assign(&mut self, rhs: Nat) {
+        self.add_assign_ref(&rhs);
+    }
+}
+
+impl Sub<&Nat> for Nat {
+    type Output = Nat;
+    /// Panics if the result would be negative (naturals are not closed
+    /// under subtraction); use [`Nat::checked_sub`] to handle that case.
+    fn sub(self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs)
+            .expect("Nat subtraction underflow; use checked_sub")
+    }
+}
+
+impl Mul<&Nat> for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: &Nat) -> Nat {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: Nat) -> Nat {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl MulAssign<&Nat> for Nat {
+    fn mul_assign(&mut self, rhs: &Nat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Shl<usize> for Nat {
+    type Output = Nat;
+    fn shl(self, bits: usize) -> Nat {
+        if self.is_zero() || bits == 0 {
+            return self;
+        }
+        let limb_shift = bits / LIMB_BITS as usize;
+        let bit_shift = (bits % LIMB_BITS as usize) as u32;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                limbs.push((limb << bit_shift) | carry);
+                carry = limb >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Nat::from_limbs(limbs)
+    }
+}
+
+impl Shr<usize> for Nat {
+    type Output = Nat;
+    fn shr(self, bits: usize) -> Nat {
+        if self.is_zero() || bits == 0 {
+            return self;
+        }
+        let limb_shift = bits / LIMB_BITS as usize;
+        if limb_shift >= self.limbs.len() {
+            return Nat::zero();
+        }
+        let bit_shift = (bits % LIMB_BITS as usize) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        Nat::from_limbs(limbs)
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        Nat::from_u64(v)
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from_u64(v as u64)
+    }
+}
+
+impl From<usize> for Nat {
+    fn from(v: usize) -> Self {
+        Nat::from_u64(v as u64)
+    }
+}
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        Nat::from_u128(v)
+    }
+}
+
+/// Error parsing a decimal string into a [`Nat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNatError;
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal natural number")
+    }
+}
+
+impl std::error::Error for ParseNatError {}
+
+impl FromStr for Nat {
+    type Err = ParseNatError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNatError);
+        }
+        let mut acc = Nat::zero();
+        // Consume 19 digits at a time (19 = max power of ten in u64).
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(19);
+            let chunk = &s[i..i + take];
+            let val: u64 = chunk.parse().map_err(|_| ParseNatError)?;
+            acc = acc.mul_u64(10u64.pow(take as u32));
+            acc.add_assign_u64(val);
+            i += take;
+        }
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = String::with_capacity(chunks.len() * 19);
+        out.push_str(&chunks.pop().unwrap().to_string());
+        while let Some(c) = chunks.pop() {
+            out.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(true, "", &out)
+    }
+}
+
+impl fmt::Debug for Nat {
+    /// Numbers read better than limb dumps in test failures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Nat {
+        Nat::from_u128(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Nat::zero().is_zero());
+        assert!(Nat::one().is_one());
+        assert_eq!(Nat::zero().bits(), 0);
+        assert_eq!(Nat::one().bits(), 1);
+    }
+
+    #[test]
+    fn add_small() {
+        let mut a = n(7);
+        a.add_assign_ref(&n(35));
+        assert_eq!(a, n(42));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let mut a = n(u64::MAX as u128);
+        a.add_assign_u64(1);
+        assert_eq!(a, n(1u128 << 64));
+        let mut b = Nat::from_limbs(vec![u64::MAX, u64::MAX]);
+        b.add_assign_u64(1);
+        assert_eq!(b, Nat::from_limbs(vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn sub_basics() {
+        assert_eq!(n(100).checked_sub(&n(58)), Some(n(42)));
+        assert_eq!(n(5).checked_sub(&n(6)), None);
+        assert_eq!(n(5).saturating_sub(&n(6)), Nat::zero());
+        let big = Nat::pow2(200);
+        let one = Nat::one();
+        let m = big.checked_sub(&one).unwrap();
+        assert_eq!(m.bits(), 200);
+        let mut back = m;
+        back.add_assign_u64(1);
+        assert_eq!(back, Nat::pow2(200));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases: &[(u128, u128)] = &[
+            (0, 5),
+            (1, 1),
+            (u64::MAX as u128, u64::MAX as u128),
+            (123456789, 987654321),
+            (1 << 70, 3),
+        ];
+        for &(a, b) in cases {
+            assert_eq!(n(a).mul_ref(&n(b)), n(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn mul_u64_matches_mul_ref() {
+        let a = Nat::from_str("340282366920938463463374607431768211455123456789").unwrap();
+        assert_eq!(a.mul_u64(77), a.mul_ref(&n(77)));
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Deterministic pseudo-random limbs, large enough to trigger Karatsuba.
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let a: Vec<u64> = (0..KARATSUBA_THRESHOLD * 3).map(|_| next()).collect();
+        let b: Vec<u64> = (0..KARATSUBA_THRESHOLD * 2 + 5).map(|_| next()).collect();
+        let k = karatsuba(&a, &b);
+        let s = schoolbook_mul(&a, &b);
+        assert_eq!(Nat::from_limbs(k), Nat::from_limbs(s));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(n(2).pow_u64(10), n(1024));
+        assert_eq!(n(3).pow_u64(0), Nat::one());
+        assert_eq!(Nat::zero().pow_u64(5), Nat::zero());
+        assert_eq!(n(7).pow_u64(1), n(7));
+    }
+
+    #[test]
+    fn checked_pow_respects_budget() {
+        assert!(n(2).checked_pow(100, 64).is_none());
+        assert_eq!(n(2).checked_pow(100, 200), Some(Nat::pow2(100)));
+        // 1^anything never exceeds any budget.
+        assert_eq!(Nat::one().checked_pow(u64::MAX, 1), Some(Nat::one()));
+    }
+
+    #[test]
+    fn div_rem_u64_roundtrip() {
+        let a = Nat::from_str("123456789012345678901234567890").unwrap();
+        let (q, r) = a.div_rem_u64(97);
+        let mut back = q.mul_u64(97);
+        back.add_assign_u64(r);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn div_rem_long_roundtrip() {
+        let a = Nat::from_str("9999999999999999999999999999999999999999999999999").unwrap();
+        let b = Nat::from_str("1234567890123456789012345").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        let back = q.mul_ref(&b) + &r;
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn div_rem_edge_cases() {
+        assert_eq!(n(5).div_rem(&n(7)), (Nat::zero(), n(5)));
+        assert_eq!(n(7).div_rem(&n(7)), (Nat::one(), Nat::zero()));
+        // Divisor with more than one limb, dividend just above it.
+        let d = Nat::pow2(100);
+        let mut a = Nat::pow2(100);
+        a.add_assign_u64(17);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q, Nat::one());
+        assert_eq!(r, n(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = n(1).div_rem(&Nat::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+        let a = n(2 * 3 * 5 * 7 * 11 * 13);
+        let b = n(3 * 7 * 13 * 19);
+        assert_eq!(a.gcd(&b), n(3 * 7 * 13));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1) << 100, Nat::pow2(100));
+        assert_eq!(Nat::pow2(100) >> 100, Nat::one());
+        assert_eq!(Nat::pow2(100) >> 101, Nat::zero());
+        assert_eq!(n(0b1011) << 3, n(0b1011000));
+        assert_eq!(n(0b1011000) >> 3, n(0b1011));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(5) < n(6));
+        assert!(Nat::pow2(64) > n(u64::MAX as u128));
+        assert_eq!(n(42).cmp(&n(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "123456789012345678901234567890123456789",
+        ] {
+            let v: Nat = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<Nat>().is_err());
+        assert!("12a".parse::<Nat>().is_err());
+        assert!("-5".parse::<Nat>().is_err());
+    }
+
+    #[test]
+    fn bits_and_trailing_zeros() {
+        assert_eq!(n(1).bits(), 1);
+        assert_eq!(n(255).bits(), 8);
+        assert_eq!(n(256).bits(), 9);
+        assert_eq!(Nat::pow2(77).trailing_zeros(), 77);
+        assert_eq!(n(12).trailing_zeros(), 2);
+    }
+
+    #[test]
+    fn log2_is_close() {
+        let x = Nat::pow2(1000);
+        assert!((x.log2() - 1000.0).abs() < 1e-6);
+        let y = n(1024);
+        assert!((y.log2() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_f64_saturates() {
+        assert_eq!(Nat::pow2(2000).to_f64(), f64::INFINITY);
+        assert_eq!(n(12345).to_f64(), 12345.0);
+    }
+}

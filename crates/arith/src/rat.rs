@@ -1,0 +1,247 @@
+//! Exact non-negative rational numbers.
+//!
+//! Definition 3 of the paper ("queries `ϱ_s`, `ϱ_b` multiply by `q`") is a
+//! statement about a positive rational `q` such as `(p+1)²/2p` (Lemma 5) or
+//! `(m−1)/m` (Lemma 10). The verification harness checks statements of the
+//! form `a ≤ q·b` for exact homomorphism counts `a, b : Nat`, which reduces
+//! to the cross-multiplied comparison `den·a ≤ num·b` — all in exact
+//! arbitrary precision, no floating point anywhere near a theorem.
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Mul;
+
+/// An exact non-negative rational, kept in lowest terms.
+///
+/// Invariants: `den` is never zero; `gcd(num, den) == 1`; zero is `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Nat,
+    den: Nat,
+}
+
+impl Rat {
+    /// `num / den`, normalized. Panics if `den` is zero.
+    pub fn new(num: Nat, den: Nat) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rat { num: Nat::zero(), den: Nat::one() };
+        }
+        let g = num.gcd(&den);
+        if g.is_one() {
+            Rat { num, den }
+        } else {
+            Rat {
+                num: num.div_rem(&g).0,
+                den: den.div_rem(&g).0,
+            }
+        }
+    }
+
+    /// `num / den` from machine words.
+    pub fn from_u64s(num: u64, den: u64) -> Self {
+        Rat::new(Nat::from_u64(num), Nat::from_u64(den))
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Rat { num: Nat::zero(), den: Nat::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Rat { num: Nat::one(), den: Nat::one() }
+    }
+
+    /// A whole number `n/1`.
+    pub fn from_nat(n: Nat) -> Self {
+        Rat { num: n, den: Nat::one() }
+    }
+
+    /// Numerator in lowest terms.
+    pub fn numerator(&self) -> &Nat {
+        &self.num
+    }
+
+    /// Denominator in lowest terms.
+    pub fn denominator(&self) -> &Nat {
+        &self.den
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff exactly one.
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// `true` iff `self` is an integer.
+    pub fn is_integral(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// The reciprocal. Panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat { num: self.den.clone(), den: self.num.clone() }
+    }
+
+    /// Exact comparison of `a` against `self * b` — the workhorse for
+    /// checking Definition 3's condition (≤): `ϱ_s(D) ≤ q·ϱ_b(D)`.
+    ///
+    /// Returns the ordering of `a` relative to `q·b` without any rounding:
+    /// `a ⋛ (num/den)·b  ⇔  den·a ⋛ num·b`.
+    pub fn cmp_scaled(&self, a: &Nat, b: &Nat) -> Ordering {
+        let lhs = self.den.mul_ref(a);
+        let rhs = self.num.mul_ref(b);
+        lhs.cmp(&rhs)
+    }
+
+    /// `true` iff `a ≤ self * b` exactly.
+    pub fn le_scaled(&self, a: &Nat, b: &Nat) -> bool {
+        self.cmp_scaled(a, b) != Ordering::Greater
+    }
+
+    /// `true` iff `a == self * b` exactly.
+    pub fn eq_scaled(&self, a: &Nat, b: &Nat) -> bool {
+        self.cmp_scaled(a, b) == Ordering::Equal
+    }
+
+    /// Approximate value as `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+}
+
+impl Mul<&Rat> for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(self.num.mul_ref(&rhs.num), self.den.mul_ref(&rhs.den))
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        &self * &rhs
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b (denominators positive).
+        self.num.mul_ref(&other.den).cmp(&other.num.mul_ref(&self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64, d: u64) -> Rat {
+        Rat::from_u64s(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(6, 4), r(3, 2));
+        assert_eq!(r(0, 7), Rat::zero());
+        assert_eq!(r(5, 5), Rat::one());
+        assert_eq!(r(12, 18).numerator(), &Nat::from_u64(2));
+        assert_eq!(r(12, 18).denominator(), &Nat::from_u64(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 2) < r(2, 3));
+        assert!(r(7, 3) > r(2, 1));
+        assert_eq!(r(4, 6), r(2, 3));
+    }
+
+    #[test]
+    fn multiplication_reduces() {
+        // (p+1)²/2p · (m−1)/m with p = 3, m = 4 gives 16/6 · 3/4 = 2,
+        // which is exactly the paper's fine-tuning identity for c = 2.
+        let beta_ratio = r(16, 6);
+        let gamma_ratio = r(3, 4);
+        assert_eq!(&beta_ratio * &gamma_ratio, r(2, 1));
+    }
+
+    #[test]
+    fn fine_tuning_identity_general() {
+        // For every c: p = 2c−1, m = p+1 ⇒ (p+1)²/2p · (m−1)/m = c.
+        for c in 2u64..=12 {
+            let p = 2 * c - 1;
+            let m = p + 1;
+            let lhs = &r((p + 1) * (p + 1), 2 * p) * &r(m - 1, m);
+            assert_eq!(lhs, r(c, 1), "c = {c}");
+        }
+    }
+
+    #[test]
+    fn cmp_scaled_matches_direct() {
+        let q = r(3, 7);
+        // a vs (3/7)·b for assorted pairs.
+        let cases = [(3u64, 7u64, Ordering::Equal), (2, 7, Ordering::Less), (4, 7, Ordering::Greater)];
+        for (a, b, expect) in cases {
+            assert_eq!(
+                q.cmp_scaled(&Nat::from_u64(a), &Nat::from_u64(b)),
+                expect,
+                "{a} vs 3/7 * {b}"
+            );
+        }
+        assert!(q.le_scaled(&Nat::from_u64(3), &Nat::from_u64(7)));
+        assert!(q.eq_scaled(&Nat::from_u64(6), &Nat::from_u64(14)));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(Rat::one().recip(), Rat::one());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 7).to_string(), "3/7");
+        assert_eq!(r(14, 7).to_string(), "2");
+        assert_eq!(Rat::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn integral_check() {
+        assert!(r(14, 7).is_integral());
+        assert!(!r(3, 7).is_integral());
+    }
+}

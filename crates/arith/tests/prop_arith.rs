@@ -1,0 +1,160 @@
+//! Property-based tests for `bagcq-arith`, cross-checking the bignum
+//! implementation against native `u128` arithmetic and algebraic laws.
+
+use bagcq_arith::{CertOrd, Magnitude, Nat, Rat};
+use proptest::prelude::*;
+
+fn nat_small() -> impl Strategy<Value = (Nat, u128)> {
+    any::<u64>().prop_map(|v| (Nat::from_u64(v), v as u128))
+}
+
+fn nat_u128() -> impl Strategy<Value = (Nat, u128)> {
+    any::<u128>().prop_map(|v| (Nat::from_u128(v), v))
+}
+
+/// A `Nat` with several limbs, paired with nothing (too big for u128).
+fn nat_big() -> impl Strategy<Value = Nat> {
+    proptest::collection::vec(any::<u64>(), 1..8).prop_map(Nat::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((a, av) in nat_small(), (b, bv) in nat_small()) {
+        let mut s = a.clone();
+        s.add_assign_ref(&b);
+        prop_assert_eq!(s, Nat::from_u128(av + bv));
+    }
+
+    #[test]
+    fn mul_matches_u128((a, av) in nat_small(), (b, bv) in nat_small()) {
+        prop_assert_eq!(a.mul_ref(&b), Nat::from_u128(av * bv));
+    }
+
+    #[test]
+    fn sub_matches_u128((a, av) in nat_u128(), (b, bv) in nat_u128()) {
+        let r = a.checked_sub(&b);
+        if av >= bv {
+            prop_assert_eq!(r, Some(Nat::from_u128(av - bv)));
+        } else {
+            prop_assert_eq!(r, None);
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128((a, av) in nat_u128(), (b, bv) in nat_u128()) {
+        prop_assume!(bv != 0);
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q, Nat::from_u128(av / bv));
+        prop_assert_eq!(r, Nat::from_u128(av % bv));
+    }
+
+    #[test]
+    fn div_rem_roundtrip_big(a in nat_big(), b in nat_big()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        let back = q.mul_ref(&b) + &r;
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn mul_commutative_and_associative(a in nat_big(), b in nat_big(), c in nat_big()) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+        prop_assert_eq!(a.mul_ref(&b).mul_ref(&c), a.mul_ref(&b.mul_ref(&c)));
+    }
+
+    #[test]
+    fn distributivity(a in nat_big(), b in nat_big(), c in nat_big()) {
+        let lhs = a.mul_ref(&(b.clone() + &c));
+        let rhs = a.mul_ref(&b) + &a.mul_ref(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in nat_big(), b in nat_big()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in nat_big(), k in 0usize..200) {
+        let shifted = a.clone() << k;
+        prop_assert_eq!(shifted, a.mul_ref(&Nat::pow2(k as u64)));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in nat_big()) {
+        let s = a.to_string();
+        let back: Nat = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn pow_matches_iterated_mul((a, _) in nat_small(), e in 0u64..6) {
+        let mut expect = Nat::one();
+        for _ in 0..e {
+            expect = expect.mul_ref(&a);
+        }
+        prop_assert_eq!(a.pow_u64(e), expect);
+    }
+
+    #[test]
+    fn rat_cross_multiplication(an in 1u64..1000, ad in 1u64..1000, bn in 1u64..1000, bd in 1u64..1000) {
+        let a = Rat::from_u64s(an, ad);
+        let b = Rat::from_u64s(bn, bd);
+        let direct = (an as u128 * bd as u128).cmp(&(bn as u128 * ad as u128));
+        prop_assert_eq!(a.cmp(&b), direct);
+    }
+
+    #[test]
+    fn rat_scaled_comparison(n in 1u64..100, d in 1u64..100, a in 0u64..10_000, b in 0u64..10_000) {
+        let q = Rat::from_u64s(n, d);
+        let expect = (a as u128 * d as u128).cmp(&(n as u128 * b as u128));
+        prop_assert_eq!(q.cmp_scaled(&Nat::from_u64(a), &Nat::from_u64(b)), expect);
+    }
+
+    #[test]
+    fn magnitude_encloses_exact_products(av in 1u64.., bv in 1u64..) {
+        // Interval-mode product must never be certifiably different from truth.
+        let a = Magnitude::exact_with_budget(Nat::from_u64(av), 8);
+        let b = Magnitude::exact_with_budget(Nat::from_u64(bv), 8);
+        let p = a.mul(&b);
+        let truth = Magnitude::exact(Nat::from_u128(av as u128 * bv as u128));
+        let ord = p.cmp_cert(&truth);
+        prop_assert!(ord == CertOrd::Unknown || ord == CertOrd::Equal,
+            "certified {ord:?} against ground truth");
+    }
+
+    #[test]
+    fn magnitude_pow_encloses_exact(base in 2u64..50, e in 1u64..20) {
+        let exact = Nat::from_u64(base).pow_u64(e);
+        let interval = Magnitude::exact_with_budget(Nat::from_u64(base), 4).pow(&Nat::from_u64(e));
+        let truth = Magnitude::exact(exact);
+        let ord = interval.cmp_cert(&truth);
+        prop_assert!(ord == CertOrd::Unknown || ord == CertOrd::Equal);
+    }
+
+    #[test]
+    fn magnitude_ordering_respects_nat_ordering(a in 1u64.., b in 1u64..) {
+        prop_assume!(a != b);
+        let ma = Magnitude::from_u64(a);
+        let mb = Magnitude::from_u64(b);
+        let expect = if a < b { CertOrd::Less } else { CertOrd::Greater };
+        prop_assert_eq!(ma.cmp_cert(&mb), expect);
+    }
+
+    #[test]
+    fn magnitude_add_encloses(av in 1u64.., bv in 1u64..) {
+        let a = Magnitude::exact_with_budget(Nat::from_u64(av), 8);
+        let b = Magnitude::exact_with_budget(Nat::from_u64(bv), 8);
+        let s = a.add(&b);
+        let truth = Magnitude::exact(Nat::from_u128(av as u128 + bv as u128));
+        let ord = s.cmp_cert(&truth);
+        prop_assert!(ord == CertOrd::Unknown || ord == CertOrd::Equal);
+    }
+}

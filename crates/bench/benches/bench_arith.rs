@@ -1,0 +1,93 @@
+//! E-PERF3 — the arbitrary-precision substrate: Nat multiplication
+//! (schoolbook→Karatsuba crossover), division, pow, and certified
+//! Magnitude operations at the sizes the reduction actually produces
+//! (hundreds to tens of thousands of bits).
+
+use bagcq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn nat_of_bits(bits: u64, seed: u64) -> Nat {
+    // Deterministic pseudo-random limbs.
+    let mut state = seed | 1;
+    let mut limbs = Vec::with_capacity((bits / 64 + 1) as usize);
+    for _ in 0..bits.div_ceil(64) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        limbs.push(state);
+    }
+    let n = Nat::from_limbs(limbs);
+    // Trim to the requested bit length.
+    let extra = n.bits().saturating_sub(bits) as usize;
+    n >> extra
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nat_mul");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for bits in [256u64, 1024, 4096, 16384] {
+        let a = nat_of_bits(bits, 0xA);
+        let b = nat_of_bits(bits, 0xB);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &(a, b), |bch, (a, b)| {
+            bch.iter(|| a.mul_ref(b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_div_rem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nat_div_rem");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for bits in [512u64, 2048, 8192] {
+        let a = nat_of_bits(bits, 0xC);
+        let b = nat_of_bits(bits / 2, 0xD);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &(a, b), |bch, (a, b)| {
+            bch.iter(|| a.div_rem(b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nat_pow");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let base = Nat::from_u64(12345);
+    for exp in [64u64, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &exp, |bch, &e| {
+            bch.iter(|| base.pow_u64(e))
+        });
+    }
+    group.finish();
+}
+
+fn bench_magnitude(c: &mut Criterion) {
+    let mut group = c.benchmark_group("magnitude");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let big_exp = Nat::from_u64(50_000_000);
+    group.bench_function("pow_interval_huge_exp", |b| {
+        let base = Magnitude::from_u64(7);
+        b.iter(|| base.pow(&big_exp))
+    });
+    group.bench_function("cmp_cert_interval", |b| {
+        let x = Magnitude::from_u64(3).pow(&Nat::from_u64(10_000_000));
+        let y = Magnitude::from_u64(3).pow(&Nat::from_u64(10_000_001));
+        b.iter(|| x.cmp_cert(&y))
+    });
+    group.bench_function("exact_pow_within_budget", |b| {
+        let base = Magnitude::from_u64(3);
+        let e = Nat::from_u64(2000);
+        b.iter(|| base.pow(&e))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mul, bench_div_rem, bench_pow, bench_magnitude);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E-PERF2 — containment-harness throughput: certificate hits (fast),
+//! Chandra–Merlin refutations (fast), Theorem 5 eliminations (medium),
+//! and Unknown-by-budget sweeps (slow, proportional to the budget).
+
+use bagcq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn digraph() -> Arc<Schema> {
+    let mut b = Schema::builder();
+    b.relation("E", 2);
+    b.build()
+}
+
+fn bench_verdict_paths(c: &mut Criterion) {
+    let s = digraph();
+    let mut group = c.benchmark_group("containment");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Certificate path: loops ⊑ edges (Lemma 12 onto-hom).
+    let mut qb = Query::builder(Arc::clone(&s));
+    let x = qb.var("x");
+    qb.atom_named("E", &[x, x]);
+    let loops = qb.build();
+    let edges = path_query(&s, "E", 1);
+    group.bench_function("proved_onto_hom", |b| {
+        let checker = ContainmentChecker::new();
+        b.iter(|| checker.check(&loops, &edges))
+    });
+
+    // Chandra–Merlin refutation path.
+    let p2 = path_query(&s, "E", 2);
+    let c3 = cycle_query(&s, "E", 3);
+    group.bench_function("refuted_canonical", |b| {
+        let checker = ContainmentChecker::new();
+        b.iter(|| checker.check(&p2, &c3))
+    });
+
+    // Bag-strict refutation (structured candidates).
+    group.bench_function("refuted_bag_strict", |b| {
+        let checker = ContainmentChecker::new();
+        b.iter(|| checker.check(&edges, &p2))
+    });
+
+    // Theorem 5 elimination path.
+    let mut qb = Query::builder(Arc::clone(&s));
+    let x = qb.var("x");
+    let y = qb.var("y");
+    qb.atom_named("E", &[x, y]).neq(x, y);
+    let edges_neq = qb.build();
+    group.bench_function("refuted_via_theorem5", |b| {
+        let checker = ContainmentChecker::new();
+        b.iter(|| checker.check(&edges_neq, &p2))
+    });
+
+    // Unknown path with a tiny budget (measures the full sweep cost).
+    let c4 = cycle_query(&s, "E", 4);
+    let c4c4 = c4.disjoint_conj(&c4);
+    group.bench_function("sweep_small_budget", |b| {
+        let mut checker = ContainmentChecker::new();
+        checker.budget.random_rounds = 5;
+        b.iter(|| checker.check(&c4c4, &c4))
+    });
+
+    group.finish();
+}
+
+fn bench_set_semantics_baseline(c: &mut Criterion) {
+    let s = digraph();
+    let mut group = c.benchmark_group("chandra_merlin");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let p6 = path_query(&s, "E", 6);
+    let p3 = path_query(&s, "E", 3);
+    group.bench_function("paths_6_vs_3", |b| b.iter(|| set_contained(&p6, &p3)));
+    let c4 = cycle_query(&s, "E", 4);
+    group.bench_function("cycle_vs_path", |b| b.iter(|| set_contained(&c4, &p6)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_verdict_paths, bench_set_semantics_baseline);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E-L5 / E-L10 / E-C — the Section 3 multiplication gadgets: cost of
+//! evaluating `β`, `γ`, `α` on their witnesses and on random structures,
+//! as the arity parameters grow. The interesting shape: cost grows with
+//! the cyclique arity `p` (the queries have `2p` variables), and the
+//! witness evaluation stays trivial because witnesses have 2–`m+2`
+//! vertices.
+
+use bagcq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_beta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beta_gadget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for p in [3usize, 5, 7] {
+        let g = beta_gadget(p, "Bn");
+        group.bench_with_input(BenchmarkId::new("witness_eval", p), &g, |b, g| {
+            b.iter(|| {
+                let s = NaiveCounter.count(&g.q_s, &g.witness);
+                let bb = NaiveCounter.count(&g.q_b, &g.witness);
+                (s, bb)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("construct", p), &p, |b, &p| {
+            b.iter(|| beta_gadget(p, "Bn"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_gadget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for m in [2usize, 4, 6] {
+        let g = gamma_gadget(m, "Gn");
+        group.bench_with_input(BenchmarkId::new("witness_eval", m), &g, |b, g| {
+            b.iter(|| {
+                let s = NaiveCounter.count(&g.q_s, &g.witness);
+                let bb = NaiveCounter.count(&g.q_b, &g.witness);
+                (s, bb)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_and_falsify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_gadget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for cc in [2u64, 3] {
+        group.bench_with_input(BenchmarkId::new("compose", cc), &cc, |b, &cc| {
+            b.iter(|| alpha_gadget(cc, "An"))
+        });
+        let g = alpha_gadget(cc, "An");
+        let gen = StructureGen {
+            extra_vertices: 2,
+            density: 0.5,
+            max_tuples_per_relation: 30,
+            diagonal_density: 0.6,
+        };
+        group.bench_with_input(BenchmarkId::new("falsify_round", cc), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                g.falsify(&gen, 1, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta, bench_gamma, bench_alpha_and_falsify);
+criterion_main!(benches);

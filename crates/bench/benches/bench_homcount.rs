@@ -1,0 +1,54 @@
+//! E-PERF1 — engine comparison: naive backtracking vs tree-decomposition
+//! DP, across the classic query families and growing databases. The
+//! expected *shape*: treewidth wins on low-width/many-variable queries
+//! (long paths, grids) as the database grows; naive wins on tiny queries
+//! where decomposition overhead dominates.
+
+use bagcq_bench::{digraph_schema, query_families, random_digraph};
+use bagcq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_engines(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let mut group = c.benchmark_group("homcount");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [8u32, 16, 24] {
+        let d = random_digraph(&schema, n, 0.15, 42);
+        for (name, q) in query_families(&schema) {
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive/{name}"), n),
+                &(&q, &d),
+                |b, (q, d)| b.iter(|| NaiveCounter.count(q, d)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("treewidth/{name}"), n),
+                &(&q, &d),
+                |b, (q, d)| b.iter(|| TreewidthCounter.count(q, d)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_power_factorization(c: &mut Criterion) {
+    // Component factorization: counting θ↑k must scale linearly in k.
+    let schema = digraph_schema();
+    let d = random_digraph(&schema, 12, 0.2, 7);
+    let q = path_query(&schema, "E", 2);
+    let mut group = c.benchmark_group("power_factorization");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [1u32, 8, 32] {
+        let powered = q.power(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &powered, |b, pq| {
+            b.iter(|| TreewidthCounter.count(pq, &d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_power_factorization);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E-L1 / E-D2 — the query algebra: cost of building disjoint
+//! conjunctions and powers, and of evaluating them versus multiplying the
+//! factor counts (the two must agree by Lemma 1; the factored evaluation
+//! must be asymptotically cheaper).
+
+use bagcq_bench::{digraph_schema, random_digraph};
+use bagcq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_construction(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let q = path_query(&schema, "E", 3);
+    let mut group = c.benchmark_group("query_power_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| q.power(k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_factored_vs_flat(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let d = random_digraph(&schema, 10, 0.25, 11);
+    let q = path_query(&schema, "E", 2);
+    let mut group = c.benchmark_group("power_eval");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [2u32, 6, 12] {
+        // Flat: count the expanded k-fold query (component factorization
+        // inside the engine still helps; this measures its overhead).
+        let flat = q.power(k);
+        group.bench_with_input(BenchmarkId::new("flat", k), &flat, |b, flat| {
+            b.iter(|| count(flat, &d))
+        });
+        // Factored: count once, pow.
+        group.bench_with_input(BenchmarkId::new("factored", k), &k, |b, &k| {
+            b.iter(|| count(&q, &d).pow_u64(k as u64))
+        });
+        // Symbolic PowerQuery evaluation.
+        let pq = PowerQuery::power(q.clone(), Nat::from_u64(k as u64));
+        group.bench_with_input(BenchmarkId::new("symbolic", k), &pq, |b, pq| {
+            b.iter(|| eval_power_query(pq, &d, &EvalOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_eval_factored_vs_flat);
+criterion_main!(benches);

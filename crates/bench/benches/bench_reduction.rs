@@ -1,0 +1,82 @@
+//! E-T1 / E-B — reduction pipeline costs: the Appendix B chain, the
+//! Theorem 1 query construction, correct-database generation, and the
+//! certified φ-comparison, across the Hilbert corpus. The shape to
+//! expect: construction is polynomial in the instance (milliseconds),
+//! while comparisons on correct databases are dominated by the `π_b`
+//! count.
+
+use bagcq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_appendix_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_b");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for inst in hilbert_library().into_iter().take(5) {
+        group.bench_with_input(BenchmarkId::from_parameter(inst.name), &inst, |b, inst| {
+            b.iter(|| reduce(&inst.poly))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem1_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_construct");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for name in ["pell", "parity", "linear-solvable"] {
+        let inst = hilbert_instance(name).unwrap();
+        let chain = reduce(&inst.poly);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &chain.instance, |b, i| {
+            b.iter(|| Theorem1Reduction::new(i.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_phi_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phi_compare");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let red = Theorem1Reduction::new(toy_instance(2, vec![1, 2], vec![2, 3]));
+    let opts = EvalOptions::default();
+    for val in [[1u64, 1], [2, 2], [3, 3]] {
+        let d = red.correct_database(&val);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{val:?}")),
+            &d,
+            |b, d| b.iter(|| red.holds_on(d, &opts)),
+        );
+    }
+    // Seriously incorrect databases exercise the interval path.
+    let d = red.correct_database(&[1, 1]);
+    let serious = d.identify(d.constant_vertex(red.a_m[0]), d.constant_vertex(red.a_m[1]));
+    group.bench_function("seriously_incorrect", |b| b.iter(|| red.holds_on(&serious, &opts)));
+    group.finish();
+}
+
+fn bench_correct_database(c: &mut Criterion) {
+    let red = Theorem1Reduction::new(toy_instance(2, vec![1, 2], vec![2, 3]));
+    let mut group = c.benchmark_group("correct_database");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for v in [2u64, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter(|| red.correct_database(&[v, v]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_appendix_b,
+    bench_theorem1_construction,
+    bench_phi_comparison,
+    bench_correct_database
+);
+criterion_main!(benches);

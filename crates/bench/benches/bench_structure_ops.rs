@@ -1,0 +1,53 @@
+//! E-L22 — the Section 5.1 structure operations: blow-up and categorical
+//! product scaling. Expected shape: product is quadratic in atom count
+//! per relation, blow-up multiplies atoms by `k^arity`.
+
+use bagcq_bench::{digraph_schema, random_digraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_product(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let mut group = c.benchmark_group("structure_product");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [8u32, 16, 32] {
+        let d = random_digraph(&schema, n, 0.2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| d.product(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blowup(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let d = random_digraph(&schema, 16, 0.2, 3);
+    let mut group = c.benchmark_group("structure_blowup");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| d.blowup(k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_and_quotient(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let d = random_digraph(&schema, 24, 0.2, 5);
+    let mut group = c.benchmark_group("structure_misc");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("union_self", |b| b.iter(|| d.union(&d)));
+    group.bench_function("identify_pair", |b| {
+        b.iter(|| d.identify(bagcq_core::prelude::Vertex(0), bagcq_core::prelude::Vertex(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_product, bench_blowup, bench_union_and_quotient);
+criterion_main!(benches);

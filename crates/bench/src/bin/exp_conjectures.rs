@@ -1,0 +1,73 @@
+//! Experiments for the deferred Theorems 2 and 4: the well of positivity
+//! and the statement-level behaviour of the additive-constant and
+//! `max{1,·}` variants (the paper proves these undecidable but defers the
+//! constructions; see DESIGN.md §4 for the substitution policy).
+
+use bagcq_bench::{row, sep};
+use bagcq_core::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    println!("## The well of positivity — why Theorem 1 needs non-triviality");
+    let red = Theorem1Reduction::new(toy_instance(2, vec![1, 1], vec![2, 2]));
+    let well = Structure::well_of_positivity(Arc::clone(&red.schema));
+    let opts = EvalOptions::default();
+    row(&["query".into(), "count on the well".into()]);
+    sep(2);
+    for (name, q) in [("Arena", &red.arena), ("π_s", &red.pi_s), ("π_b", &red.pi_b)] {
+        row(&[name.into(), count(q, &well).to_string()]);
+    }
+    println!();
+    println!(
+        "ℂ·φ_s(well) ≤ φ_b(well)?  {:?}   (ℂ = {} — the inequality MUST fail on the well)",
+        red.holds_on(&well, &opts),
+        red.big_c
+    );
+    assert_eq!(red.holds_on(&well, &opts), Some(false));
+
+    println!();
+    println!("## Theorem 2 statement — the additive constant absorbs the well");
+    row(&["ℂ′".into(), "holds on well".into(), "holds on correct D (safe inst.)".into()]);
+    sep(3);
+    let minimal = Theorem2Statement::minimal_well_constant(&red.big_c);
+    for (label, c_prime) in [
+        ("ℂ−1 (minimal)", minimal.clone()),
+        ("ℂ", red.big_c.clone()),
+        ("ℂ−2 (too small)", minimal.clone().checked_sub(&Nat::one()).unwrap()),
+    ] {
+        let stmt = Theorem2Statement {
+            c: red.big_c.clone(),
+            c_prime,
+            phi_s: red.phi_s.clone(),
+            phi_b: red.phi_b.clone(),
+        };
+        let on_well = stmt.holds_on(&well, &opts);
+        let d = red.correct_database(&[1, 1]);
+        let on_correct = stmt.holds_on(&d, &opts);
+        row(&[label.into(), format!("{on_well:?}"), format!("{on_correct:?}")]);
+    }
+
+    println!();
+    println!("## Theorem 4 statement — max{{1, ρ_b}} vs trivial databases");
+    let g = alpha_gadget(2, "CJ");
+    let stmt = Theorem4Statement {
+        rho_s: PowerQuery::from_query(g.q_s.clone()),
+        rho_b: PowerQuery::from_query(g.q_b.clone()),
+    };
+    let gadget_well = Structure::well_of_positivity(Arc::clone(g.q_s.schema()));
+    row(&["database".into(), "ρ_s".into(), "ρ_b".into(), "ρ_s ≤ max{1,ρ_b}".into()]);
+    sep(4);
+    for (name, d) in [("well of positivity", &gadget_well), ("gadget witness", &g.witness)] {
+        row(&[
+            name.into(),
+            count(&g.q_s, d).to_string(),
+            count(&g.q_b, d).to_string(),
+            format!("{:?}", stmt.holds_on(d, &opts)),
+        ]);
+    }
+    println!();
+    println!("On the well the b-query's inequality kills ρ_b (0 homs) while the");
+    println!("pure ρ_s keeps 1 — exactly the case max{{1,·}} neutralizes. On the");
+    println!("gadget witness ρ_s = c·ρ_b > max{{1, ρ_b}}: a genuine violation, as");
+    println!("the gadget is built to produce.");
+}

@@ -1,0 +1,53 @@
+//! Experiment E-PERF1 (quick table form) — engine comparison with
+//! wall-clock timings; the criterion bench `bench_homcount` produces the
+//! statistically rigorous version.
+
+use bagcq_bench::{digraph_schema, fmt_count, query_families, random_digraph, row, sep};
+use bagcq_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let schema = digraph_schema();
+    println!("## E-PERF1 — naive vs tree-decomposition #Hom");
+    println!();
+    println!("The engines trade places with density: backtracking costs ~one step");
+    println!("per homomorphism, so it wins while counts are small and loses badly");
+    println!("once counts explode; the DP costs ~#bags·n^(w+1) regardless of the");
+    println!("count. Sparse databases below, then the dense crossover regime.");
+    for (n, density) in [(10u32, 0.15), (20, 0.15), (12, 0.5), (14, 0.45)] {
+        let d = random_digraph(&schema, n, density, 42);
+        println!();
+        println!(
+            "database: {} vertices, {} edges",
+            d.vertex_count(),
+            d.atom_count(schema.relation_by_name("E").unwrap())
+        );
+        row(&["query".into(), "vars".into(), "width".into(), "count".into(), "naive".into(), "treewidth".into(), "speedup".into()]);
+        sep(7);
+        for (name, q) in query_families(&schema) {
+            let width = TreewidthCounter.decomposition_width(&q);
+            let t0 = Instant::now();
+            let c_naive = NaiveCounter.count(&q, &d);
+            let t_naive = t0.elapsed();
+            let t0 = Instant::now();
+            let c_tw = TreewidthCounter.count(&q, &d);
+            let t_tw = t0.elapsed();
+            assert_eq!(c_naive, c_tw);
+            let speedup = t_naive.as_secs_f64() / t_tw.as_secs_f64().max(1e-9);
+            row(&[
+                name.into(),
+                q.var_count().to_string(),
+                width.to_string(),
+                fmt_count(&c_naive),
+                format!("{t_naive:.2?}"),
+                format!("{t_tw:.2?}"),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    println!();
+    println!("Shape: naive wins on sparse data (counts are tiny, enumeration is");
+    println!("cheap, DP table setup dominates); treewidth wins on dense data where");
+    println!("counts grow to millions+ — enumeration pays per homomorphism, the DP");
+    println!("does not. This is the classic #Hom output-sensitivity trade-off.");
+}

@@ -1,0 +1,83 @@
+//! Experiments E-L1, E-D2, E-L22 — the counting laws the paper's algebra
+//! rests on, measured over random query/database pairs.
+
+use bagcq_bench::{digraph_schema, fmt_count, random_digraph, row, sep};
+use bagcq_core::prelude::*;
+
+fn main() {
+    let schema = digraph_schema();
+
+    println!("## E-L1 — Lemma 1: (ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D)");
+    row(&["seed".into(), "ρ(D)".into(), "ρ'(D)".into(), "(ρ∧̄ρ')(D)".into(), "product".into(), "equal".into()]);
+    sep(6);
+    let qg = QueryGen { variables: 3, atoms: 3, constant_prob: 0.0, inequalities: 0 };
+    for seed in 0..6u64 {
+        let q1 = qg.sample(&schema, seed);
+        let q2 = qg.sample(&schema, seed + 100);
+        let d = random_digraph(&schema, 6, 0.3, seed);
+        let c1 = count(&q1, &d);
+        let c2 = count(&q2, &d);
+        let cc = count(&q1.disjoint_conj(&q2), &d);
+        let prod = c1.mul_ref(&c2);
+        let ok = cc == prod;
+        row(&[
+            seed.to_string(),
+            c1.to_string(),
+            c2.to_string(),
+            cc.to_string(),
+            prod.to_string(),
+            ok.to_string(),
+        ]);
+        assert!(ok);
+    }
+
+    println!();
+    println!("## E-D2 — Definition 2: (θ↑k)(D) = θ(D)^k");
+    row(&["k".into(), "θ(D)".into(), "(θ↑k)(D)".into(), "θ(D)^k".into(), "equal".into()]);
+    sep(5);
+    let q = path_query(&schema, "E", 2);
+    let d = random_digraph(&schema, 7, 0.3, 17);
+    let base = count(&q, &d);
+    for k in [0u32, 1, 2, 4, 8] {
+        let powered = count(&q.power(k), &d);
+        let expect = base.pow_u64(k as u64);
+        let ok = powered == expect;
+        row(&[
+            k.to_string(),
+            base.to_string(),
+            fmt_count(&powered),
+            fmt_count(&expect),
+            ok.to_string(),
+        ]);
+        assert!(ok);
+    }
+
+    println!();
+    println!("## E-L22 — Lemma 22: blow-up and product laws");
+    row(&["k".into(), "φ(D)".into(), "φ(blowup(D,k))".into(), "k^j·φ(D)".into(), "φ(D^×k)".into(), "φ(D)^k".into(), "both equal".into()]);
+    sep(7);
+    let q = cycle_query(&schema, "E", 3);
+    let d = random_digraph(&schema, 6, 0.4, 23);
+    let j = q.var_count() as u64;
+    let base = count(&q, &d);
+    for k in [1u32, 2, 3] {
+        let blown = count(&q, &d.blowup(k));
+        let expect_blow = Nat::from_u64(k as u64).pow_u64(j).mul_ref(&base);
+        let powered = count(&q, &d.power(k));
+        let expect_pow = base.pow_u64(k as u64);
+        let ok = blown == expect_blow && powered == expect_pow;
+        row(&[
+            k.to_string(),
+            base.to_string(),
+            fmt_count(&blown),
+            fmt_count(&expect_blow),
+            fmt_count(&powered),
+            fmt_count(&expect_pow),
+            ok.to_string(),
+        ]);
+        assert!(ok);
+    }
+    println!();
+    println!("The Lemma 22(ii) corollary: pure CQ pairs cannot multiply by q > 1,");
+    println!("because φ_s(D^×k)/φ_b(D^×k) = (φ_s(D)/φ_b(D))^k would diverge.");
+}

@@ -1,0 +1,67 @@
+//! Experiment E-T3 — query-size accounting for the Theorem 3 output: the
+//! headline comparison against Jayram–Kolaitis–Vee [15], whose
+//! construction needs 59¹⁰ ≈ 5.1·10¹⁷ inequalities. Ours needs exactly
+//! one, and the (symbolically represented) queries stay polynomial in the
+//! input instance.
+
+use bagcq_bench::{row, sep};
+use bagcq_core::prelude::*;
+
+fn main() {
+    println!("## E-T3 — Theorem 3 query sizes across the corpus");
+    row(&[
+        "instance".into(),
+        "ψ_s vars/atoms (symbolic)".into(),
+        "ψ_b vars/atoms (symbolic)".into(),
+        "ineqs ψ_s".into(),
+        "ineqs ψ_b".into(),
+        "[15] would need".into(),
+    ]);
+    sep(6);
+    for inst in hilbert_library() {
+        if inst.n_vars > 3 {
+            continue;
+        }
+        let chain = reduce(&inst.poly);
+        let red = Theorem1Reduction::new(chain.instance.clone());
+        // Gadget with a small stand-in multiplier: the σ-sizes of the α
+        // part scale linearly in c (arity p = 2c−1); report with c = 2 and
+        // note the true-ℂ scaling separately.
+        let alpha = alpha_gadget(2, "SZ");
+        let t3 = compose_theorem3(&alpha, &red.schema, &red.phi_s, &red.phi_b);
+        let sizes = theorem3_sizes(&t3);
+        row(&[
+            inst.name.into(),
+            format!("{}/{}", sizes.psi_s_symbolic.variables, sizes.psi_s_symbolic.atoms),
+            format!("{}/{}", sizes.psi_b_symbolic.variables, sizes.psi_b_symbolic.atoms),
+            sizes.psi_s_inequalities.to_string(),
+            sizes.psi_b_inequalities.to_string(),
+            "59^10 ≈ 5.1e17".into(),
+        ]);
+        assert_eq!(sizes.psi_s_inequalities, Nat::zero());
+        assert_eq!(sizes.psi_b_inequalities, Nat::one());
+    }
+
+    println!();
+    println!("## Scaling of the α gadget alone in the multiplier c");
+    row(&["c".into(), "arity p".into(), "α_s vars".into(), "α_s atoms".into(), "α_b atoms".into(), "ineqs α_b".into()]);
+    sep(6);
+    for c in [2u64, 3, 5, 8, 12] {
+        let g = alpha_gadget(c, "SZ");
+        let ss = g.q_s.stats();
+        let sb = g.q_b.stats();
+        row(&[
+            c.to_string(),
+            (2 * c - 1).to_string(),
+            ss.variables.to_string(),
+            ss.atoms.to_string(),
+            sb.atoms.to_string(),
+            sb.inequalities.to_string(),
+        ]);
+        assert_eq!(sb.inequalities, 1);
+    }
+    println!();
+    println!("The gadget grows linearly in c (quadratic in atom length via arity);");
+    println!("the true ℂ is astronomic, but the *inequality count stays 1* at every scale —");
+    println!("which is the theorem's entire point.");
+}

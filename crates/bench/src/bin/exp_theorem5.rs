@@ -1,0 +1,136 @@
+//! Experiment E-L23/24 — Theorem 5's inequality-elimination construction
+//! across seeds: how the power `k` and the blow-up `κ` scale with the
+//! number of inequalities and the seed counts.
+
+use bagcq_bench::{fmt_count, row, sep};
+use bagcq_core::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let mut sb = Schema::builder();
+    let e = sb.relation("E", 2);
+    let schema = sb.build();
+
+    println!("## E-L23/24 — Theorem 5 constructions");
+    row(&[
+        "ψ_s (p ineqs)".into(),
+        "ψ_b".into(),
+        "seed ψ′_s/ψ_b".into(),
+        "k".into(),
+        "κ=2p".into(),
+        "|D| vertices".into(),
+        "ψ_s(D)".into(),
+        "ψ_b(D)".into(),
+    ]);
+    sep(8);
+
+    // Family 1: edges-with-distinct-endpoints vs loops, p = 1.
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let x = qb.var("x");
+    let y = qb.var("y");
+    qb.atom_named("E", &[x, y]).neq(x, y);
+    let psi_s1 = qb.build();
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let u = qb.var("u");
+    qb.atom_named("E", &[u, u]);
+    let psi_b1 = qb.build();
+    let mut d0 = Structure::new(Arc::clone(&schema));
+    d0.add_vertices(4);
+    for (a, b) in [(0u32, 0u32), (0, 1), (1, 2), (2, 3)] {
+        d0.add_atom(e, &[Vertex(a), Vertex(b)]);
+    }
+    run_case("E(x,y)∧x≠y (1)", "E(u,u)", &psi_s1, &psi_b1, &d0);
+
+    // Family 2: 2-walks with two inequalities vs loops, p = 2.
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let x = qb.var("x");
+    let y = qb.var("y");
+    let z = qb.var("z");
+    qb.atom_named("E", &[x, y]).atom_named("E", &[y, z]);
+    qb.neq(x, y).neq(y, z);
+    let psi_s2 = qb.build();
+    let mut d02 = Structure::new(Arc::clone(&schema));
+    d02.add_vertices(4);
+    for (a, b) in [(0u32, 1u32), (1, 2), (3, 3)] {
+        d02.add_atom(e, &[Vertex(a), Vertex(b)]);
+    }
+    run_case("2-walk, x≠y, y≠z (2)", "E(u,u)", &psi_s2, &psi_b1, &d02);
+
+    // Family 3: triangle with all-distinct vertices vs 2-walks, p = 3.
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let x = qb.var("x");
+    let y = qb.var("y");
+    let z = qb.var("z");
+    qb.atom_named("E", &[x, y]).atom_named("E", &[y, z]).atom_named("E", &[z, x]);
+    qb.neq(x, y).neq(y, z).neq(x, z);
+    let psi_s3 = qb.build();
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let u = qb.var("u");
+    let v = qb.var("v");
+    let w = qb.var("w");
+    qb.atom_named("E", &[u, v]).atom_named("E", &[v, w]);
+    let psi_b3 = qb.build();
+    // Seed: a 3-cycle (triangles: 3 homs of C3; 2-walks: 3... need
+    // ψ′_s > ψ_b: C3 has 3 cycle-homs and 3 2-walk homs — tie. Add a
+    // second disjoint 3-cycle: 6 vs 6 — scaling won't help a tie; add a
+    // pendant-free... use K4 minus loops? Triangles in the complete
+    // digraph on 3 vertices *with* all 9 edges: C3 homs = 27? Let's just
+    // use the directed 3-cycle plus one chord-free extra 3-cycle sharing
+    // nothing and drop walks by splitting... Simplest seed that works:
+    // two disjoint 3-cycles have walks 6 and triangles 6 (tie). Take the
+    // canonical structure of the triangle query *with a loop removed*…
+    // Use the complete digraph K3 (9 edges incl. loops): triangles = 27,
+    // 2-walks = 27 (tie again). The tie is structural: both have 3 vars!
+    // So compare triangles against *loops* instead (1 var): C3 has 0
+    // loops, 3 triangles: strict.
+    let mut d03 = Structure::new(Arc::clone(&schema));
+    d03.add_vertices(3);
+    for (a, b) in [(0u32, 1u32), (1, 2), (2, 0)] {
+        d03.add_atom(e, &[Vertex(a), Vertex(b)]);
+    }
+    let _ = psi_b3;
+    run_case("triangle, all ≠ (3)", "E(u,u)", &psi_s3, &psi_b1, &d03);
+
+    println!();
+    println!("Shape: κ = 2p as Lemma 24 prescribes; k grows when the seed ratio");
+    println!("ψ′_s/ψ_b is close to 1 and stays at 1 when ψ_b(D₀) = 0.");
+}
+
+fn run_case(
+    label_s: &str,
+    label_b: &str,
+    psi_s: &Query,
+    psi_b: &Query,
+    d0: &Structure,
+) {
+    let s0 = count(&psi_s.strip_inequalities(), d0);
+    let b0 = count(psi_b, d0);
+    match eliminate_inequalities(psi_s, psi_b, d0, 10) {
+        Ok(elim) => {
+            row(&[
+                label_s.into(),
+                label_b.into(),
+                format!("{s0}/{b0}"),
+                elim.k.to_string(),
+                elim.kappa.to_string(),
+                elim.witness.vertex_count().to_string(),
+                fmt_count(&elim.count_s),
+                fmt_count(&elim.count_b),
+            ]);
+            assert!(elim.count_s > elim.count_b);
+        }
+        Err(err) => {
+            row(&[
+                label_s.into(),
+                label_b.into(),
+                format!("{s0}/{b0}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("{err:?}"),
+                "-".into(),
+            ]);
+            panic!("elimination failed: {err:?}");
+        }
+    }
+}

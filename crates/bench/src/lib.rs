@@ -1,0 +1,62 @@
+//! Shared workloads for the benchmark suite and the experiment binaries.
+//!
+//! The paper has no tables or figures (it is a theory paper); the
+//! "evaluation" this crate regenerates is the set of quantitative claims
+//! in its lemmas and theorems — see `DESIGN.md` §5 for the experiment
+//! index and `EXPERIMENTS.md` for the recorded outputs.
+
+#![forbid(unsafe_code)]
+
+use bagcq_core::prelude::*;
+use std::sync::Arc;
+
+/// A digraph schema with a single binary relation `E`.
+pub fn digraph_schema() -> Arc<Schema> {
+    let mut b = Schema::builder();
+    b.relation("E", 2);
+    b.build()
+}
+
+/// A random digraph with `n` vertices and ~`density·n²` edges.
+pub fn random_digraph(schema: &Arc<Schema>, n: u32, density: f64, seed: u64) -> Structure {
+    StructureGen {
+        extra_vertices: n,
+        density,
+        max_tuples_per_relation: ((n as f64 * n as f64 * density) as usize).max(1),
+        diagonal_density: 0.1,
+    }
+    .sample(schema, seed)
+}
+
+/// The query families of experiment E-PERF1, labeled.
+pub fn query_families(schema: &Arc<Schema>) -> Vec<(&'static str, Query)> {
+    vec![
+        ("path-4", path_query(schema, "E", 4)),
+        ("path-8", path_query(schema, "E", 8)),
+        ("cycle-4", cycle_query(schema, "E", 4)),
+        ("cycle-6", cycle_query(schema, "E", 6)),
+        ("star-6", star_query(schema, "E", 6)),
+        ("grid-3x2", grid_query(schema, "E", 3, 2)),
+        ("grid-3x3", grid_query(schema, "E", 3, 3)),
+    ]
+}
+
+/// Formats a potentially huge count compactly.
+pub fn fmt_count(n: &Nat) -> String {
+    let s = n.to_string();
+    if s.len() <= 24 {
+        s
+    } else {
+        format!("≈2^{:.1} ({} digits)", n.log2(), s.len())
+    }
+}
+
+/// Markdown-style table row printer.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Markdown separator row with `n` columns.
+pub fn sep(n: usize) {
+    println!("|{}", " --- |".repeat(n));
+}

@@ -1,0 +1,102 @@
+//! The set-semantics baseline: Chandra–Merlin containment (1977).
+//!
+//! For boolean CQs under **set** semantics, `ψ_s ⊑ ψ_b` (every database
+//! satisfying `ψ_s` satisfies `ψ_b`) holds iff there is a homomorphism
+//! from `ψ_b` into the canonical structure of `ψ_s`. This is the result
+//! whose proof "does not survive in the bag-semantics world"
+//! (Chaudhuri–Vardi) — which is the paper's whole story — but it remains
+//! useful here in two ways:
+//!
+//! * as the historical *baseline* the benchmarks compare against, and
+//! * as a sound **refuter** for bag containment: if set containment
+//!   already fails, the canonical structure of `ψ_s` is a bag-semantics
+//!   counterexample (`ψ_s` counts ≥ 1 on it while `ψ_b` counts 0).
+
+use bagcq_homcount::NaiveCounter;
+use bagcq_query::Query;
+use bagcq_structure::Structure;
+
+/// Decides set-semantics containment `ψ_s ⊑^set ψ_b` for boolean CQs by
+/// the Chandra–Merlin homomorphism criterion.
+///
+/// Both queries should be pure CQs (no inequalities); with inequalities
+/// the criterion is neither sound nor complete, and this function panics
+/// rather than return a wrong answer.
+pub fn set_contained(q_s: &Query, q_b: &Query) -> bool {
+    assert!(
+        q_s.is_pure() && q_b.is_pure(),
+        "Chandra-Merlin applies to pure CQs only"
+    );
+    let (canonical, _) = q_s.canonical_structure();
+    NaiveCounter.exists(q_b, &canonical)
+}
+
+/// If set containment fails, returns the canonical counterexample: the
+/// canonical structure of `q_s`, on which `q_s ≥ 1 > 0 = q_b` — also a
+/// *bag*-semantics counterexample.
+pub fn canonical_counterexample(q_s: &Query, q_b: &Query) -> Option<Structure> {
+    if set_contained(q_s, q_b) {
+        None
+    } else {
+        Some(q_s.canonical_structure().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_arith::Nat;
+    use bagcq_query::{cycle_query, path_query};
+    use bagcq_structure::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn digraph() -> Arc<bagcq_structure::Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.build()
+    }
+
+    #[test]
+    fn longer_paths_are_contained_in_shorter() {
+        let s = digraph();
+        // Under set semantics: a database with a 3-path has a 2-path, so
+        // P3 ⊑ P2 (hom from P2 into canonical P3 exists).
+        let p3 = path_query(&s, "E", 3);
+        let p2 = path_query(&s, "E", 2);
+        assert!(set_contained(&p3, &p2));
+        assert!(!set_contained(&p2, &p3));
+    }
+
+    #[test]
+    fn cycles_and_paths() {
+        let s = digraph();
+        // A 3-cycle contains arbitrarily long walks: Ck ⊑ P_j for all j.
+        let c3 = cycle_query(&s, "E", 3);
+        let p5 = path_query(&s, "E", 5);
+        assert!(set_contained(&c3, &p5));
+        // But paths don't contain cycles.
+        assert!(!set_contained(&p5, &c3));
+    }
+
+    #[test]
+    fn canonical_counterexample_is_bag_counterexample() {
+        let s = digraph();
+        let p2 = path_query(&s, "E", 2);
+        let c3 = cycle_query(&s, "E", 3);
+        let d = canonical_counterexample(&p2, &c3).expect("set containment fails");
+        assert!(NaiveCounter.count(&p2, &d) >= Nat::one());
+        assert_eq!(NaiveCounter.count(&c3, &d), Nat::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "pure CQs")]
+    fn rejects_inequalities() {
+        let s = digraph();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]).neq(x, y);
+        let q = qb.build();
+        let _ = set_contained(&q, &q);
+    }
+}

@@ -1,0 +1,163 @@
+//! Homomorphism domination exponents (the Kopparty–Rossman view).
+//!
+//! Section 1.1 of the paper recounts the second positive line of attack
+//! on `QCP^bag_CQ`: Kopparty and Rossman observed that bag containment is
+//! a purely combinatorial phenomenon about the *homomorphism domination
+//! exponent*
+//!
+//! ```text
+//!     hde(F, G)  =  sup { c : hom(F, D) ≥ hom(G, D)^c for all D }
+//! ```
+//!
+//! (defined over structures admitting at least two homomorphisms — the
+//! same well-of-positivity caveat as the paper's footnote 6). Bag
+//! containment `G ⊑ F` is exactly `hde(F, G) ≥ 1`.
+//!
+//! This module provides a sampling *estimator*: an upper bound on
+//! `hde(F, G)` obtained as the infimum of `log hom(F,D) / log hom(G,D)`
+//! over sampled databases. It is an upper bound only (the true `hde` is an
+//! infimum over *all* databases) — but for the algebraically exact cases
+//! (`hde(θ, θ↑k) = 1/k`) the estimator is exact on every sample, which
+//! the tests pin down.
+
+use bagcq_homcount::count;
+use bagcq_query::Query;
+use bagcq_structure::{Structure, StructureGen};
+
+/// One sample of the domination ratio on a specific database.
+#[derive(Debug, Clone)]
+pub struct DominationSample {
+    /// `log₂ hom(F, D)`.
+    pub log_f: f64,
+    /// `log₂ hom(G, D)`.
+    pub log_g: f64,
+    /// The ratio `log_f / log_g`.
+    pub ratio: f64,
+}
+
+/// Computes the domination ratio on one database, when meaningful
+/// (`hom(G, D) ≥ 2` so the denominator is positive, and `hom(F, D) ≥ 1`).
+pub fn domination_ratio(f: &Query, g: &Query, d: &Structure) -> Option<DominationSample> {
+    let hf = count(f, d);
+    if hf.is_zero() {
+        // hom(F,D) = 0 with hom(G,D) ≥ 2 would make the exponent -∞;
+        // report it as a ratio of f64::NEG_INFINITY.
+        let hg = count(g, d);
+        if hg > bagcq_arith::Nat::one() {
+            return Some(DominationSample {
+                log_f: f64::NEG_INFINITY,
+                log_g: hg.log2(),
+                ratio: f64::NEG_INFINITY,
+            });
+        }
+        return None;
+    }
+    let hg = count(g, d);
+    if hg <= bagcq_arith::Nat::one() {
+        return None; // log hom(G,D) ≤ 0: the ratio is not informative
+    }
+    let log_f = hf.log2();
+    let log_g = hg.log2();
+    Some(DominationSample { log_f, log_g, ratio: log_f / log_g })
+}
+
+/// Sampling upper bound on `hde(F, G)`: the minimum ratio over `rounds`
+/// sampled structures (plus the canonical structures of both queries).
+/// Returns `None` when no informative sample was found.
+pub fn estimate_domination_exponent(
+    f: &Query,
+    g: &Query,
+    gen: &StructureGen,
+    rounds: u64,
+    seed0: u64,
+) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    let mut feed = |d: &Structure| {
+        if let Some(s) = domination_ratio(f, g, d) {
+            best = Some(match best {
+                None => s.ratio,
+                Some(b) => b.min(s.ratio),
+            });
+        }
+    };
+    feed(&f.canonical_structure().0);
+    feed(&g.canonical_structure().0);
+    for seed in seed0..seed0 + rounds {
+        let d = gen.sample(f.schema(), seed);
+        feed(&d);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_query::path_query;
+    use bagcq_structure::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn digraph() -> Arc<bagcq_structure::Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.build()
+    }
+
+    #[test]
+    fn hde_of_query_with_itself_is_one() {
+        let s = digraph();
+        let q = path_query(&s, "E", 2);
+        let gen = StructureGen { extra_vertices: 4, density: 0.4, ..Default::default() };
+        let est = estimate_domination_exponent(&q, &q, &gen, 20, 7).expect("informative");
+        assert!((est - 1.0).abs() < 1e-12, "hde(F,F) estimate {est}");
+    }
+
+    /// `hde(θ, θ↑k) = 1/k` exactly: hom(θ↑k, D) = hom(θ, D)^k, so the
+    /// log-ratio is 1/k on every informative database.
+    #[test]
+    fn hde_of_powers_is_reciprocal() {
+        let s = digraph();
+        let q = path_query(&s, "E", 1);
+        let gen = StructureGen { extra_vertices: 4, density: 0.5, ..Default::default() };
+        for k in [2u32, 3, 4] {
+            let powered = q.power(k);
+            let est = estimate_domination_exponent(&q, &powered, &gen, 15, 11)
+                .expect("informative");
+            assert!(
+                (est - 1.0 / k as f64).abs() < 1e-9,
+                "k = {k}: estimate {est}"
+            );
+        }
+    }
+
+    /// Bag containment corresponds to hde ≥ 1: loops ⊑ edges, and indeed
+    /// every sampled ratio of (edges, loops) stays ≥ 1.
+    #[test]
+    fn containment_implies_ratio_at_least_one() {
+        let s = digraph();
+        let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        qb.atom_named("E", &[x, x]);
+        let loops = qb.build();
+        let edges = path_query(&s, "E", 1);
+        let gen = StructureGen {
+            extra_vertices: 4,
+            density: 0.5,
+            diagonal_density: 0.9,
+            ..Default::default()
+        };
+        // F = edges dominates G = loops: hom(edges,D) ≥ hom(loops,D).
+        let est = estimate_domination_exponent(&edges, &loops, &gen, 25, 3).expect("informative");
+        assert!(est >= 1.0, "estimate {est}");
+    }
+
+    #[test]
+    fn zero_f_counts_give_negative_infinity() {
+        let s = digraph();
+        let c3 = bagcq_query::cycle_query(&s, "E", 3);
+        let edges = path_query(&s, "E", 1);
+        // D = a 2-path: edges = 2, 3-cycles = 0.
+        let (d, _) = path_query(&s, "E", 2).canonical_structure();
+        let sample = domination_ratio(&c3, &edges, &d).expect("informative");
+        assert_eq!(sample.ratio, f64::NEG_INFINITY);
+    }
+}

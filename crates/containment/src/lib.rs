@@ -1,0 +1,30 @@
+//! # bagcq-containment
+//!
+//! A decision harness for bag-semantics conjunctive-query containment —
+//! the closest thing to a `QCP^bag_CQ` tool that can exist for a problem
+//! whose decidability has been open for 30 years (and whose
+//! generalizations the reproduced paper proves undecidable):
+//!
+//! * [`ContainmentChecker`] — checks `q·ϱ_s(D) ≤ ϱ_b(D)` for all `D`
+//!   with sound certificates (syntactic identity, the Lemma 12
+//!   onto-homomorphism), sound refutation (Chandra–Merlin canonical
+//!   failure, Lemma 22-style structured candidates, Theorem 5
+//!   inequality-elimination preprocessing, random search), and an honest
+//!   [`Verdict::Unknown`];
+//! * [`set_contained`] — the Chandra–Merlin set-semantics baseline;
+//! * [`estimate_domination_exponent`] — sampling estimates of the
+//!   Kopparty–Rossman homomorphism domination exponent (Section 1.1's
+//!   second positive line of attack).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chandra_merlin;
+mod checker;
+mod domination;
+mod verdict;
+
+pub use chandra_merlin::{canonical_counterexample, set_contained};
+pub use checker::{ContainmentChecker, SearchBudget};
+pub use domination::{domination_ratio, estimate_domination_exponent, DominationSample};
+pub use verdict::{Certificate, Counterexample, Provenance, Verdict};

@@ -1,0 +1,102 @@
+//! Verdicts of the bag-containment harness.
+//!
+//! `QCP^bag_CQ` is a 30-year open problem (quite possibly undecidable —
+//! the paper's generalizations all are), so an honest tool produces three
+//! outcomes: a **sound certificate** that containment holds on *all*
+//! databases, a **verified counterexample** database, or an explicit
+//! **Unknown** when the budget runs out.
+
+use bagcq_arith::Nat;
+use bagcq_homcount::OntoHom;
+use bagcq_structure::Structure;
+use std::fmt;
+
+/// A sound proof that `q·ϱ_s(D) ≤ ϱ_b(D)` holds for every database.
+#[derive(Debug)]
+pub enum Certificate {
+    /// Lemma 12: an onto homomorphism `ϱ_b → ϱ_s` injects `Hom(ϱ_s, D)`
+    /// into `Hom(ϱ_b, D)` for every `D` (multiplier must be ≤ 1).
+    OntoHom(OntoHom),
+    /// The queries are syntactically identical (multiplier must be ≤ 1).
+    Identical,
+}
+
+/// A concrete database on which the containment fails, with both exact
+/// counts attached (re-checkable by any engine).
+#[derive(Debug)]
+pub struct Counterexample {
+    /// The violating database.
+    pub database: Structure,
+    /// `ϱ_s(D)`.
+    pub count_s: Nat,
+    /// `ϱ_b(D)`.
+    pub count_b: Nat,
+    /// How the database was found (for reporting).
+    pub provenance: Provenance,
+}
+
+/// How a counterexample was discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Chandra–Merlin failure: the canonical structure of `ϱ_s`.
+    CanonicalStructure,
+    /// One of the structured candidates (canonical structures, products,
+    /// blow-ups, unions).
+    StructuredCandidate,
+    /// Random sampling.
+    RandomSearch,
+    /// Theorem 5 preprocessing: found on the inequality-stripped query
+    /// and lifted through `blowup(D₀^×k, 2p)`.
+    InequalityElimination,
+    /// Supplied by the caller.
+    UserProvided,
+}
+
+/// The harness outcome.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Containment holds on all databases; here is why.
+    Proved(Certificate),
+    /// Containment fails; here is a verified witness.
+    Refuted(Counterexample),
+    /// Budget exhausted without a proof or a counterexample. For
+    /// `QCP^bag_CQ` this is sometimes the only honest answer.
+    Unknown {
+        /// Candidate databases examined.
+        candidates_checked: usize,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved(_))
+    }
+
+    /// `true` for [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proved(Certificate::OntoHom(_)) => {
+                write!(f, "PROVED (onto-homomorphism certificate, Lemma 12)")
+            }
+            Verdict::Proved(Certificate::Identical) => write!(f, "PROVED (identical queries)"),
+            Verdict::Refuted(ce) => write!(
+                f,
+                "REFUTED (database with {} vertices: s-count {}, b-count {}, via {:?})",
+                ce.database.vertex_count(),
+                ce.count_s,
+                ce.count_b,
+                ce.provenance
+            ),
+            Verdict::Unknown { candidates_checked } => {
+                write!(f, "UNKNOWN after {candidates_checked} candidate databases")
+            }
+        }
+    }
+}

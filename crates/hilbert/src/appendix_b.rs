@@ -1,0 +1,308 @@
+//! The Appendix B reduction: from a Hilbert-10 polynomial `Q` to a
+//! Lemma 11 instance `(c, P_s, P_b)`.
+//!
+//! The chain, with every intermediate exposed so tests can verify the
+//! paper's Lemmas 25–29 step by step:
+//!
+//! 1. rename `Q`'s variables to `ξ₂, …, ξ_n` (index 0 is reserved for the
+//!    fresh `ξ₁`);
+//! 2. `Q′ = Q²` — so `Q = 0 ⇔ Q′ < 1` (Lemma 25);
+//! 3. split `Q′ = Q′₊ − Q′₋` into natural-coefficient parts;
+//! 4. `P₁ = Q′₋ + 1`, `P₂ = Q′₊` — so `Q(Ξ)=0 ⇔ P₁(Ξ) > P₂(Ξ)`;
+//! 5. common monomials: `P = Σ_{t∈T} t` with `T = mon(P₁) ∪ mon(P₂)`, and
+//!    `P′ᵢ = Pᵢ + P`;
+//! 6. homogenize: `d = 1 + max degree`, `t′ = ξ₁^{d−deg t}·t`
+//!    (Lemmas 26–28);
+//! 7. `c = max(2, max coefficient of P″₁)`, `P_s = P″₁`, `P_b = c·P″₂`.
+//!
+//! The result satisfies every Lemma 11 side condition, and
+//! `∃Ξ. Q(Ξ)=0  ⇔  ∃Ξ′. c·P_s(Ξ′) > Ξ′(ξ₁)^d·P_b(Ξ′)` (Lemma 29).
+
+use bagcq_arith::{Int, Nat};
+use bagcq_polynomial::{Lemma11Instance, Monomial, Polynomial};
+
+/// Every intermediate of the Appendix B chain (see module docs).
+#[derive(Clone, Debug)]
+pub struct AppendixBChain {
+    /// `Q` with variables shifted to `ξ₂…` (indices ≥ 1).
+    pub q_shifted: Polynomial,
+    /// `Q′ = Q²`.
+    pub q_squared: Polynomial,
+    /// `Q′₊` (positive part).
+    pub q_plus: Polynomial,
+    /// `Q′₋` (negated negative part).
+    pub q_minus: Polynomial,
+    /// `P₁ = Q′₋ + 1`.
+    pub p1: Polynomial,
+    /// `P₂ = Q′₊`.
+    pub p2: Polynomial,
+    /// `P′₁ = P₁ + P` (common monomial set).
+    pub p1_common: Polynomial,
+    /// `P′₂ = P₂ + P`.
+    pub p2_common: Polynomial,
+    /// `P″₁` (homogenized, degree `d`, `ξ₁` first).
+    pub p1_homog: Polynomial,
+    /// `P″₂`.
+    pub p2_homog: Polynomial,
+    /// The common degree `d`.
+    pub degree: usize,
+    /// The multiplier `c = max(2, max coeff of P″₁)`.
+    pub c: Nat,
+    /// The final validated Lemma 11 instance.
+    pub instance: Lemma11Instance,
+}
+
+/// Runs the Appendix B reduction on `q` (variables indexed from 0).
+///
+/// Panics only if internal invariants are violated — the output instance
+/// always validates.
+pub fn reduce(q: &Polynomial) -> AppendixBChain {
+    // Step 1: free index 0 for ξ₁.
+    let q_shifted = q.map_vars(|v| v + 1);
+
+    // Step 2: square.
+    let q_squared = q_shifted.square();
+
+    // Step 3: sign split.
+    let (q_plus, q_minus) = q_squared.split_signs();
+
+    // Step 4: P₁ = Q′₋ + 1, P₂ = Q′₊.
+    let one = Polynomial::constant(Int::one());
+    let p1 = q_minus.add(&one);
+    let p2 = q_plus.clone();
+
+    // Step 5: common monomial set T and P = Σ_{t∈T} t.
+    let mut t_terms: Vec<(Int, Monomial)> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    for (_, m) in p1.terms().iter().chain(p2.terms().iter()) {
+        if seen.insert(m.canonical_key()) {
+            t_terms.push((Int::one(), m.clone()));
+        }
+    }
+    let p = Polynomial::from_terms(t_terms);
+    let p1_common = p1.add(&p);
+    let p2_common = p2.add(&p);
+
+    // Step 6: homogenize with ξ₁ (index 0); d = 1 + max degree.
+    let max_deg = p1_common.degree().max(p2_common.degree());
+    let degree = max_deg + 1;
+    let homogenize = |poly: &Polynomial| -> Polynomial {
+        Polynomial::from_terms(
+            poly.terms()
+                .iter()
+                .map(|(c, m)| (c.clone(), m.prepend_power(0, degree - m.degree())))
+                .collect(),
+        )
+    };
+    let p1_homog = homogenize(&p1_common);
+    let p2_homog = homogenize(&p2_common);
+
+    // Step 7: the multiplier and the final instance.
+    let max_coeff = p1_homog
+        .terms()
+        .iter()
+        .map(|(c, _)| c.magnitude().clone())
+        .max()
+        .expect("P''_1 is nonzero (contains the homogenized 1)");
+    let c = max_coeff.max(Nat::from_u64(2));
+    let p_b = p2_homog.scale(&Int::from_nat(c.clone()));
+
+    // Assemble the instance: monomials from P″₁ (all of degree d, all
+    // starting with ξ₁), coefficients matched by canonical key.
+    let monomials: Vec<Monomial> = p1_homog.terms().iter().map(|(_, m)| m.clone()).collect();
+    let coeff_s: Vec<Nat> = p1_homog
+        .terms()
+        .iter()
+        .map(|(cf, _)| {
+            assert!(cf.is_positive());
+            cf.magnitude().clone()
+        })
+        .collect();
+    let coeff_b: Vec<Nat> = monomials
+        .iter()
+        .map(|m| {
+            let cf = p_b.coefficient(m);
+            assert!(cf.is_positive(), "P_b must cover every monomial of P_s");
+            cf.into_magnitude()
+        })
+        .collect();
+    let n_vars = p1_homog
+        .max_var()
+        .map(|v| v + 1)
+        .expect("nonzero polynomial");
+
+    let instance = Lemma11Instance {
+        c: c.clone(),
+        monomials,
+        coeff_s,
+        coeff_b,
+        n_vars,
+        degree,
+    };
+    instance
+        .validate()
+        .expect("Appendix B output must satisfy the Lemma 11 side conditions");
+
+    AppendixBChain {
+        q_shifted,
+        q_squared,
+        q_plus,
+        q_minus,
+        p1,
+        p2,
+        p1_common,
+        p2_common,
+        p1_homog,
+        p2_homog,
+        degree,
+        c,
+        instance,
+    }
+}
+
+/// Extends a valuation of `Q`'s original variables to the instance's
+/// variables by setting `ξ₁ = x1_value` (Lemma 29's `Ξ′`).
+pub fn extend_valuation(original: &[u64], x1_value: u64) -> Vec<Nat> {
+    let mut v = Vec::with_capacity(original.len() + 1);
+    v.push(Nat::from_u64(x1_value));
+    v.extend(original.iter().map(|&x| Nat::from_u64(x)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{by_name, library};
+    use bagcq_arith::Nat;
+
+    fn nat_val(vals: &[u64]) -> Vec<Nat> {
+        vals.iter().map(|&v| Nat::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn chain_invariants_on_corpus() {
+        for inst in library() {
+            let chain = reduce(&inst.poly);
+            // Q′ = Q² is non-negative everywhere we look.
+            // Sign split reconstructs.
+            assert_eq!(
+                chain.q_plus.sub(&chain.q_minus),
+                chain.q_squared,
+                "{}",
+                inst.name
+            );
+            // Common-monomial polynomials have natural coefficients and
+            // equal monomial sets.
+            assert!(chain.p1_common.has_natural_coefficients());
+            assert!(chain.p2_common.has_natural_coefficients());
+            // Homogenization.
+            assert!(chain.p1_homog.is_homogeneous(chain.degree), "{}", inst.name);
+            assert!(chain.p2_homog.is_homogeneous(chain.degree), "{}", inst.name);
+            // Final instance validated in reduce(), but double-check here.
+            chain.instance.validate().unwrap();
+        }
+    }
+
+    /// Lemma 25: `Q(Ξ) = 0 ⇔ P₁(Ξ) > P₂(Ξ)` (valuations shifted by one
+    /// index because of the ξ₁ renaming).
+    #[test]
+    fn lemma25_on_corpus() {
+        for inst in library() {
+            let chain = reduce(&inst.poly);
+            let bound = 4u64;
+            let n = inst.n_vars as usize;
+            let mut val = vec![0u64; n];
+            loop {
+                let is_root = inst.is_root(&val);
+                // Shifted valuation: index 0 unused by p1/p2 (they only
+                // mention ξ₂…), so prepend a dummy.
+                let shifted = extend_valuation(&val, 0);
+                let p1v = chain.p1.eval(&shifted);
+                let p2v = chain.p2.eval(&shifted);
+                assert_eq!(is_root, p1v > p2v, "{} at {:?}", inst.name, val);
+                let mut i = 0;
+                loop {
+                    if i == n {
+                        break;
+                    }
+                    val[i] += 1;
+                    if val[i] <= bound {
+                        break;
+                    }
+                    val[i] = 0;
+                    i += 1;
+                }
+                if i == n {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Lemma 27 direction: a root of Q yields a violation of the instance
+    /// inequality at ξ₁ = 1.
+    #[test]
+    fn lemma27_roots_give_violations() {
+        for inst in library() {
+            let Some(root) = inst.known_root.clone() else { continue };
+            let chain = reduce(&inst.poly);
+            let val = extend_valuation(&root, 1);
+            assert!(
+                !chain.instance.holds_at(&val),
+                "{}: root {:?} does not violate the instance",
+                inst.name,
+                root
+            );
+        }
+    }
+
+    /// Lemma 28/29 direction: rootless instances satisfy the inequality on
+    /// a search box.
+    #[test]
+    fn lemma29_rootless_instances_hold() {
+        for inst in library().into_iter().filter(|i| i.provably_rootless) {
+            let chain = reduce(&inst.poly);
+            assert!(
+                chain.instance.find_violation(3).is_none(),
+                "{}: rootless but instance violated",
+                inst.name
+            );
+        }
+    }
+
+    /// End-to-end equivalence on the corpus: bounded root search agrees
+    /// with bounded violation search.
+    #[test]
+    fn equivalence_bounded() {
+        for inst in library() {
+            let chain = reduce(&inst.poly);
+            let has_root = inst.find_root(5).is_some();
+            // Violation box includes ξ₁; keep it small for runtime.
+            let has_violation = chain.instance.find_violation(3).is_some()
+                || inst
+                    .find_root(5)
+                    .map(|r| !chain.instance.holds_at(&extend_valuation(&r, 1)))
+                    .unwrap_or(false);
+            assert_eq!(has_root, has_violation, "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn pell_chain_numbers() {
+        let pell = by_name("pell").unwrap();
+        let chain = reduce(&pell.poly);
+        // Q² of a 3-term polynomial has ≤ 6 distinct monomials.
+        assert!(chain.q_squared.term_count() <= 6);
+        assert!(chain.c >= Nat::from_u64(2));
+        // Spot-check Lemma 26 claim 1: P″(1, Ξ) = P′(Ξ).
+        let val_with_one = nat_val(&[1, 3, 2]);
+        assert_eq!(
+            chain.p1_homog.eval(&val_with_one),
+            chain.p1_common.eval(&val_with_one)
+        );
+        assert_eq!(
+            chain.p2_homog.eval(&val_with_one),
+            chain.p2_common.eval(&val_with_one)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Random Diophantine polynomial generation — fuzzing input for the
+//! Appendix B chain.
+
+use bagcq_arith::Int;
+use bagcq_polynomial::{Monomial, Polynomial};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random polynomial sampling.
+#[derive(Clone, Debug)]
+pub struct PolyGen {
+    /// Number of variables.
+    pub variables: u32,
+    /// Number of terms (before normalization may merge some).
+    pub terms: usize,
+    /// Maximum degree per monomial.
+    pub max_degree: usize,
+    /// Coefficients are drawn from `-coeff_bound..=coeff_bound` (zero
+    /// redrawn).
+    pub coeff_bound: i64,
+}
+
+impl Default for PolyGen {
+    fn default() -> Self {
+        PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 4 }
+    }
+}
+
+impl PolyGen {
+    /// Samples a nonzero polynomial with a deterministic seed.
+    pub fn sample(&self, seed: u64) -> Polynomial {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let mut terms = Vec::with_capacity(self.terms);
+            for _ in 0..self.terms {
+                let deg = rng.gen_range(0..=self.max_degree);
+                let occ: Vec<u32> = (0..deg).map(|_| rng.gen_range(0..self.variables)).collect();
+                let mut c: i64 = rng.gen_range(-self.coeff_bound..=self.coeff_bound);
+                if c == 0 {
+                    c = 1;
+                }
+                terms.push((Int::from_i64(c), Monomial::new(occ)));
+            }
+            let p = Polynomial::from_terms(terms);
+            if !p.is_zero() {
+                return p;
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # bagcq-hilbert
+//!
+//! The source of undecidability for the paper's reductions: Hilbert's 10th
+//! problem machinery.
+//!
+//! * [`DiophantineInstance`] and the concrete corpus in [`library`] —
+//!   equations with known roots or elementarily-provable rootlessness;
+//! * [`reduce`] — the full Appendix B chain from an arbitrary polynomial
+//!   `Q` to a validated [`bagcq_polynomial::Lemma11Instance`], with every
+//!   intermediate (`Q²`, sign split, common monomials, homogenization,
+//!   the multiplier `c`) exposed for step-by-step verification of
+//!   Lemmas 25–29.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod appendix_b;
+mod gen;
+mod instances;
+
+pub use appendix_b::{extend_valuation, reduce, AppendixBChain};
+pub use gen::PolyGen;
+pub use instances::{by_name, library, DiophantineInstance};

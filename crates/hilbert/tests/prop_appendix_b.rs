@@ -1,0 +1,71 @@
+//! Fuzzing the Appendix B chain over random polynomials: the chain's
+//! invariants (Lemmas 25–29 and the Lemma 11 side conditions) must hold
+//! for *every* input polynomial, not just the curated corpus.
+
+use bagcq_arith::Nat;
+use bagcq_hilbert::{extend_valuation, reduce, PolyGen};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The output instance always validates and its polynomials relate to
+    /// the input as the chain prescribes.
+    #[test]
+    fn chain_invariants_fuzz(seed in 0u64..100_000, vars in 1u32..4, terms in 1usize..5) {
+        let q = PolyGen { variables: vars, terms, max_degree: 2, coeff_bound: 3 }.sample(seed);
+        let chain = reduce(&q);
+        chain.instance.validate().unwrap();
+        prop_assert!(chain.p1_homog.is_homogeneous(chain.degree));
+        prop_assert!(chain.p2_homog.is_homogeneous(chain.degree));
+        prop_assert_eq!(chain.q_plus.sub(&chain.q_minus), chain.q_squared);
+        prop_assert!(chain.c >= Nat::from_u64(2));
+    }
+
+    /// Lemma 25 pointwise on a small box: Q(Ξ)=0 ⇔ P₁(Ξ) > P₂(Ξ).
+    #[test]
+    fn lemma25_fuzz(seed in 0u64..100_000, a in 0u64..3, b in 0u64..3) {
+        let q = PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 3 }.sample(seed);
+        let chain = reduce(&q);
+        let val = [Nat::from_u64(a), Nat::from_u64(b)];
+        let shifted = extend_valuation(&[a, b], 0);
+        let is_root = q.eval(&val).is_zero();
+        let p1 = chain.p1.eval(&shifted);
+        let p2 = chain.p2.eval(&shifted);
+        prop_assert_eq!(is_root, p1 > p2);
+    }
+
+    /// Lemma 27 pointwise: any root of Q violates the instance at ξ₁ = 1.
+    #[test]
+    fn lemma27_fuzz(seed in 0u64..100_000) {
+        let q = PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 3 }.sample(seed);
+        // Bounded root search; skip rootless samples.
+        let mut root = None;
+        'outer: for a in 0..4u64 {
+            for b in 0..4u64 {
+                if q.eval(&[Nat::from_u64(a), Nat::from_u64(b)]).is_zero() {
+                    root = Some([a, b]);
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(root.is_some());
+        let root = root.unwrap();
+        let chain = reduce(&q);
+        let ext = extend_valuation(&root, 1);
+        prop_assert!(!chain.instance.holds_at(&ext));
+    }
+
+    /// Lemma 28 pointwise: non-roots never produce violations at their
+    /// own valuation (any ξ₁).
+    #[test]
+    fn lemma28_fuzz(seed in 0u64..100_000, a in 0u64..3, b in 0u64..3, x1 in 0u64..3) {
+        let q = PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 3 }.sample(seed);
+        let val = [Nat::from_u64(a), Nat::from_u64(b)];
+        prop_assume!(!q.eval(&val).is_zero());
+        let chain = reduce(&q);
+        let ext = extend_valuation(&[a, b], x1);
+        prop_assert!(chain.instance.holds_at(&ext),
+            "non-root ({a},{b}) violated at ξ₁={x1}");
+    }
+}

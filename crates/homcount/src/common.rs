@@ -1,0 +1,261 @@
+//! Shared machinery for the counting engines: term resolution, inequality
+//! checking, per-position tuple indexes, and decomposition of a query into
+//! connected components.
+
+use bagcq_query::{Inequality, Query, Term};
+use bagcq_structure::{RelId, Structure};
+use std::collections::HashMap;
+
+/// Resolves a term under a partial assignment of variables.
+/// `assign[v] == u32::MAX` means unassigned.
+pub(crate) const UNASSIGNED: u32 = u32::MAX;
+
+#[inline]
+pub(crate) fn resolve(term: &Term, assign: &[u32], d: &Structure) -> u32 {
+    match term {
+        Term::Var(v) => assign[v.0 as usize],
+        Term::Const(c) => d.constant_vertex(*c).0,
+    }
+}
+
+/// Checks an inequality under a (possibly partial) assignment: returns
+/// `false` only when both sides are bound and equal.
+#[inline]
+pub(crate) fn inequality_ok(ineq: &Inequality, assign: &[u32], d: &Structure) -> bool {
+    let a = resolve(&ineq.lhs, assign, d);
+    let b = resolve(&ineq.rhs, assign, d);
+    a == UNASSIGNED || b == UNASSIGNED || a != b
+}
+
+/// Inverted index over one relation of a structure: for a fixed argument
+/// position, maps a vertex to the tuple indexes having that vertex there.
+pub(crate) struct PositionIndex {
+    by_value: HashMap<u32, Vec<u32>>,
+}
+
+impl PositionIndex {
+    pub(crate) fn build(d: &Structure, rel: RelId, pos: usize) -> Self {
+        let mut by_value: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, t) in d.tuples(rel).enumerate() {
+            by_value.entry(t[pos]).or_default().push(i as u32);
+        }
+        PositionIndex { by_value }
+    }
+
+    pub(crate) fn get(&self, v: u32) -> &[u32] {
+        self.by_value.get(&v).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Index cache: `(relation, position) → PositionIndex`, built lazily while
+/// a single count runs.
+#[derive(Default)]
+pub(crate) struct IndexCache {
+    indexes: HashMap<(u32, u32), PositionIndex>,
+}
+
+impl IndexCache {
+    pub(crate) fn get(&mut self, d: &Structure, rel: RelId, pos: usize) -> &PositionIndex {
+        self.indexes
+            .entry((rel.0, pos as u32))
+            .or_insert_with(|| PositionIndex::build(d, rel, pos))
+    }
+}
+
+/// Partitions the query's atoms, inequalities and variables into connected
+/// components (variables are connected when they co-occur in an atom or
+/// inequality; atoms/inequalities with no variables form their own
+/// "ground" component).
+///
+/// By Lemma 1 the count of a query is the product of the counts of its
+/// components, which is what makes `θ↑k` countable in time `k·cost(θ)`
+/// instead of `cost(θ)^k`.
+pub(crate) struct Components {
+    /// For each component: (atom indexes, inequality indexes, variable ids).
+    pub comps: Vec<(Vec<usize>, Vec<usize>, Vec<u32>)>,
+    /// Atoms mentioning no variable at all (ground facts — e.g. `Arena`).
+    pub ground_atoms: Vec<usize>,
+    /// Inequalities mentioning no variable (constant ≠ constant).
+    pub ground_inequalities: Vec<usize>,
+    /// Variables in no atom and no inequality: each contributes a free
+    /// factor `|V_D|`.
+    pub free_vars: u32,
+}
+
+pub(crate) fn components(q: &Query) -> Components {
+    let n = q.var_count() as usize;
+    // Union-find over variables.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent[ra as usize] = rb;
+        }
+    };
+
+    let vars_of_atom = |args: &[Term]| -> Vec<u32> {
+        args.iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.0),
+                Term::Const(_) => None,
+            })
+            .collect()
+    };
+
+    let mut ground_atoms = Vec::new();
+    for (i, a) in q.atoms().iter().enumerate() {
+        let vs = vars_of_atom(&a.args);
+        if vs.is_empty() {
+            ground_atoms.push(i);
+            continue;
+        }
+        for w in vs.windows(2) {
+            union(&mut parent, w[0], w[1]);
+        }
+        let _ = i;
+    }
+    let mut ground_inequalities = Vec::new();
+    for (i, ineq) in q.inequalities().iter().enumerate() {
+        let mut vs = Vec::new();
+        if let Term::Var(v) = ineq.lhs {
+            vs.push(v.0);
+        }
+        if let Term::Var(v) = ineq.rhs {
+            vs.push(v.0);
+        }
+        if vs.is_empty() {
+            ground_inequalities.push(i);
+            continue;
+        }
+        for w in vs.windows(2) {
+            union(&mut parent, w[0], w[1]);
+        }
+    }
+
+    // Group variables by root; only variables that occur somewhere get a
+    // component — the rest are free.
+    let mut occurs = vec![false; n];
+    for a in q.atoms() {
+        for t in &a.args {
+            if let Term::Var(v) = t {
+                occurs[v.0 as usize] = true;
+            }
+        }
+    }
+    for ineq in q.inequalities() {
+        if let Term::Var(v) = ineq.lhs {
+            occurs[v.0 as usize] = true;
+        }
+        if let Term::Var(v) = ineq.rhs {
+            occurs[v.0 as usize] = true;
+        }
+    }
+
+    let mut comp_of_root: HashMap<u32, usize> = HashMap::new();
+    let mut comps: Vec<(Vec<usize>, Vec<usize>, Vec<u32>)> = Vec::new();
+    for v in 0..n as u32 {
+        if !occurs[v as usize] {
+            continue;
+        }
+        let r = find(&mut parent, v);
+        let idx = *comp_of_root.entry(r).or_insert_with(|| {
+            comps.push((Vec::new(), Vec::new(), Vec::new()));
+            comps.len() - 1
+        });
+        comps[idx].2.push(v);
+    }
+    for (i, a) in q.atoms().iter().enumerate() {
+        let vs = vars_of_atom(&a.args);
+        if let Some(&v0) = vs.first() {
+            let r = find(&mut parent, v0);
+            let idx = comp_of_root[&r];
+            comps[idx].0.push(i);
+        }
+    }
+    for (i, ineq) in q.inequalities().iter().enumerate() {
+        let v0 = match (ineq.lhs, ineq.rhs) {
+            (Term::Var(v), _) | (_, Term::Var(v)) => Some(v.0),
+            _ => None,
+        };
+        if let Some(v0) = v0 {
+            let r = find(&mut parent, v0);
+            let idx = comp_of_root[&r];
+            comps[idx].1.push(i);
+        }
+    }
+
+    let free_vars = (0..n).filter(|&v| !occurs[v]).count() as u32;
+    Components { comps, ground_atoms, ground_inequalities, free_vars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_query::Query;
+    use bagcq_structure::SchemaBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn splits_disjoint_conjunction() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        let schema = b.build();
+        let mut qb = Query::builder(Arc::clone(&schema));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]);
+        let q = qb.build();
+        let q3 = q.power(3);
+        let c = components(&q3);
+        assert_eq!(c.comps.len(), 3);
+        assert_eq!(c.free_vars, 0);
+        assert!(c.ground_atoms.is_empty());
+    }
+
+    #[test]
+    fn detects_ground_and_free() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.constant("a");
+        let schema = b.build();
+        let mut qb = Query::builder(Arc::clone(&schema));
+        let a = qb.constant("a");
+        let x = qb.var("x");
+        let _unused = qb.var("floating");
+        qb.atom_named("E", &[a, a]); // ground
+        qb.atom_named("E", &[a, x]);
+        let q = qb.build();
+        let c = components(&q);
+        assert_eq!(c.ground_atoms.len(), 1);
+        assert_eq!(c.comps.len(), 1);
+        assert_eq!(c.free_vars, 1);
+    }
+
+    #[test]
+    fn inequalities_connect_variables() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        let schema = b.build();
+        let mut qb = Query::builder(Arc::clone(&schema));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        let z = qb.var("z");
+        let w = qb.var("w");
+        qb.atom_named("E", &[x, y]);
+        qb.atom_named("E", &[z, w]);
+        qb.neq(y, z); // bridges the two atom components
+        let q = qb.build();
+        let c = components(&q);
+        assert_eq!(c.comps.len(), 1);
+        assert_eq!(c.comps[0].0.len(), 2);
+        assert_eq!(c.comps[0].1.len(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Evaluation of symbolic [`PowerQuery`]s into certified [`Magnitude`]s.
+//!
+//! `Φ = ∏ θᵢ↑eᵢ` evaluates as `Φ(D) = ∏ θᵢ(D)^{eᵢ}` (Lemma 1 +
+//! Definition 2). Each base is counted exactly once by a counting engine;
+//! the powers and products are assembled in [`Magnitude`] arithmetic so the
+//! result stays exact while it fits a bit budget and degrades to a
+//! certified enclosure beyond that — which is how `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b`
+//! with its astronomical exponent `C` is evaluated at all.
+
+use crate::naive::NaiveCounter;
+use crate::tw::TreewidthCounter;
+use bagcq_arith::{Magnitude, Nat, DEFAULT_EXACT_BITS};
+use bagcq_query::{PowerQuery, Query};
+use bagcq_structure::Structure;
+
+/// Which counting engine evaluates base queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Reference backtracking engine.
+    Naive,
+    /// Tree-decomposition dynamic programming (default).
+    #[default]
+    Treewidth,
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Engine choice.
+    pub engine: Engine,
+    /// Bit budget below which magnitudes stay exact.
+    pub exact_bits: u64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { engine: Engine::Treewidth, exact_bits: DEFAULT_EXACT_BITS }
+    }
+}
+
+/// Counts `|Hom(q, d)|` with the chosen engine.
+pub fn count_with(engine: Engine, q: &Query, d: &Structure) -> Nat {
+    match engine {
+        Engine::Naive => NaiveCounter.count(q, d),
+        Engine::Treewidth => TreewidthCounter.count(q, d),
+    }
+}
+
+/// Counts `|Hom(q, d)|` with the default engine.
+pub fn count(q: &Query, d: &Structure) -> Nat {
+    count_with(Engine::default(), q, d)
+}
+
+/// Evaluates a symbolic power query on a database.
+pub fn eval_power_query(pq: &PowerQuery, d: &Structure, opts: &EvalOptions) -> Magnitude {
+    let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
+    for f in pq.factors() {
+        let base = count_with(opts.engine, &f.base, d);
+        let m = Magnitude::exact_with_budget(base, opts.exact_bits).pow(&f.exponent);
+        acc = acc.mul(&m);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_arith::CertOrd;
+    use bagcq_query::path_query;
+    use bagcq_structure::{SchemaBuilder, Vertex};
+    use std::sync::Arc;
+
+    fn complete(n: u32) -> (Arc<bagcq_structure::Schema>, Structure) {
+        let mut b = SchemaBuilder::default();
+        let e = b.relation("E", 2);
+        let s = b.build();
+        let mut d = Structure::new(Arc::clone(&s));
+        d.add_vertices(n);
+        for i in 0..n {
+            for j in 0..n {
+                d.add_atom(e, &[Vertex(i), Vertex(j)]);
+            }
+        }
+        (s, d)
+    }
+
+    #[test]
+    fn symbolic_matches_expanded() {
+        let (s, d) = complete(3);
+        let q = path_query(&s, "E", 1); // 9 homs
+        let pq = PowerQuery::power(q.clone(), Nat::from_u64(4));
+        let symbolic = eval_power_query(&pq, &d, &EvalOptions::default());
+        let flat = pq.expand(100).unwrap();
+        let direct = count(&flat, &d);
+        assert_eq!(symbolic.as_exact(), Some(&direct));
+        assert_eq!(direct, Nat::from_u64(9).pow_u64(4));
+    }
+
+    #[test]
+    fn huge_exponent_certified() {
+        let (s, d) = complete(2);
+        let q = path_query(&s, "E", 1); // 4 homs
+        let huge = Nat::from_u64(10_000_000);
+        let pq = PowerQuery::power(q, huge);
+        let m = eval_power_query(&pq, &d, &EvalOptions::default());
+        assert!(!m.is_exact());
+        // 4^10^7 = 2^(2·10^7): certifiably bigger than 2^10^7 and smaller
+        // than 2^(3·10^7).
+        let below = Magnitude::from_u64(2).pow(&Nat::from_u64(10_000_000));
+        let above = Magnitude::from_u64(2).pow(&Nat::from_u64(30_000_000));
+        assert_eq!(m.cmp_cert(&below), CertOrd::Greater);
+        assert_eq!(m.cmp_cert(&above), CertOrd::Less);
+    }
+
+    #[test]
+    fn zero_base_collapses() {
+        let (s, _) = complete(3);
+        let empty_d = Structure::new(Arc::clone(&s));
+        let q = path_query(&s, "E", 1);
+        let pq = PowerQuery::power(q, Nat::from_u64(1_000_000_000));
+        let m = eval_power_query(&pq, &empty_d, &EvalOptions::default());
+        assert_eq!(m.as_exact(), Some(&Nat::zero()));
+    }
+
+    #[test]
+    fn engines_agree() {
+        let (s, d) = complete(3);
+        let q = path_query(&s, "E", 3);
+        assert_eq!(
+            count_with(Engine::Naive, &q, &d),
+            count_with(Engine::Treewidth, &q, &d)
+        );
+    }
+
+    #[test]
+    fn unit_power_query_is_one() {
+        let (_, d) = complete(3);
+        let m = eval_power_query(&PowerQuery::unit(), &d, &EvalOptions::default());
+        assert_eq!(m.as_exact(), Some(&Nat::one()));
+    }
+}

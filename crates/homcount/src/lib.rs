@@ -1,0 +1,65 @@
+//! # bagcq-homcount
+//!
+//! Bag-semantics evaluation of boolean conjunctive queries:
+//! `ψ(D) = |Hom(ψ, D)|` (Section 2.1 of Marcinkowski & Orda, PODS 2024).
+//!
+//! Two independent engines cross-validate each other:
+//!
+//! * [`NaiveCounter`] — indexed backtracking enumeration with component
+//!   factorization (the reference / baseline engine);
+//! * [`TreewidthCounter`] — the textbook `#Hom` dynamic program over a
+//!   min-fill tree decomposition of the query's primal graph
+//!   ([`TreeDecomposition`]), exponential in width instead of variable
+//!   count.
+//!
+//! On top of raw counting:
+//!
+//! * [`eval_power_query`] evaluates symbolic `∏ θᵢ↑eᵢ` queries into
+//!   certified [`bagcq_arith::Magnitude`]s (how the Theorem 1 query `φ_b`
+//!   with astronomical exponents is handled);
+//! * [`find_onto_hom`] / [`verify_onto_hom`] produce and check the
+//!   Lemma 12 onto-homomorphism certificates that prove
+//!   `ρ_s(D) ≤ ρ_b(D)` for all `D`;
+//! * [`for_each_hom_limited`] exhaustively enumerates homomorphisms (the
+//!   primitive behind existence checks and certificate searches).
+//!
+//! ```
+//! use bagcq_homcount::count;
+//! use bagcq_query::{path_query, Query};
+//! use bagcq_structure::{Schema, Structure, Vertex};
+//! use bagcq_arith::Nat;
+//!
+//! let mut sb = Schema::builder();
+//! let e = sb.relation("E", 2);
+//! let schema = sb.build();
+//! let mut d = Structure::new(std::sync::Arc::clone(&schema));
+//! d.add_vertices(3);
+//! d.add_atom(e, &[Vertex(0), Vertex(1)]);
+//! d.add_atom(e, &[Vertex(1), Vertex(2)]);
+//!
+//! // ψ(D) = |Hom(ψ, D)| — bag semantics (Section 2.1 of the paper):
+//! let two_walks = path_query(&schema, "E", 2);
+//! assert_eq!(count(&two_walks, &d), Nat::one());
+//!
+//! // Lemma 1: disjoint conjunction multiplies counts.
+//! let edges = path_query(&schema, "E", 1);
+//! assert_eq!(count(&edges.disjoint_conj(&two_walks), &d), Nat::from_u64(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod eval;
+mod naive;
+mod onto;
+mod output_eval;
+mod treedec;
+mod tw;
+
+pub use eval::{count, count_with, eval_power_query, Engine, EvalOptions};
+pub use naive::{for_each_hom_limited, NaiveCounter};
+pub use onto::{find_onto_hom, verify_onto_hom, OntoHom};
+pub use output_eval::{answer_bag, answer_bag_contained, output_contained_on, AnswerBag};
+pub use treedec::{decompose_min_fill, TreeDecomposition};
+pub use tw::TreewidthCounter;

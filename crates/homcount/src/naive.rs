@@ -1,0 +1,711 @@
+//! The baseline counting engine: indexed backtracking enumeration.
+//!
+//! `ψ(D) = |Hom(ψ, D)|` is computed by ordering the atoms greedily for
+//! connectivity and backtracking over candidate tuples, using per-position
+//! inverted indexes on the structure. Two structural optimizations keep the
+//! engine usable on the paper's constructions:
+//!
+//! * **component factorization** — by Lemma 1 the count of a query is the
+//!   product over its connected components, so `θ↑k` costs `k` component
+//!   counts, not `θ(D)^k` enumeration steps;
+//! * **free-variable factor** — variables occurring in no atom and no
+//!   inequality contribute `|V_D|` each.
+//!
+//! The engine is deliberately simple: it is the *reference* whose results
+//! the tree-decomposition engine (and everything built on top) is
+//! cross-validated against.
+
+use crate::common::{components, inequality_ok, resolve, IndexCache, UNASSIGNED};
+use bagcq_arith::Nat;
+use bagcq_query::{Query, Term};
+use bagcq_structure::Structure;
+
+/// Reference counting engine (indexed backtracking).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NaiveCounter;
+
+impl NaiveCounter {
+    /// Counts `|Hom(q, d)|`.
+    pub fn count(&self, q: &Query, d: &Structure) -> Nat {
+        let comps = components(q);
+
+        // Ground atoms/inequalities gate the whole count.
+        for &i in &comps.ground_atoms {
+            let a = &q.atoms()[i];
+            let assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
+            let args: Vec<_> = a
+                .args
+                .iter()
+                .map(|t| bagcq_structure::Vertex(resolve(t, &assign, d)))
+                .collect();
+            if !d.contains_atom(a.rel, &args) {
+                return Nat::zero();
+            }
+        }
+        for &i in &comps.ground_inequalities {
+            let ineq = &q.inequalities()[i];
+            let assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
+            if resolve(&ineq.lhs, &assign, d) == resolve(&ineq.rhs, &assign, d) {
+                return Nat::zero();
+            }
+        }
+
+        let n = d.vertex_count() as u64;
+        let mut total = Nat::one();
+        for (atom_idx, ineq_idx, vars) in &comps.comps {
+            let c = count_component(q, d, atom_idx, ineq_idx, vars);
+            if c.is_zero() {
+                return Nat::zero();
+            }
+            total *= &c;
+        }
+        if comps.free_vars > 0 {
+            total *= &Nat::from_u64(n).pow_u64(comps.free_vars as u64);
+        }
+        total
+    }
+
+    /// Ablation baseline: counts by enumerating every homomorphism one at
+    /// a time, with no component factorization and no free-variable
+    /// shortcut. Exponentially slower on disjoint conjunctions (`θ↑k`
+    /// costs `θ(D)^k` steps instead of `k` component counts) — used by the
+    /// ablation benchmark to quantify what the factorization buys.
+    pub fn count_enumerative(&self, q: &Query, d: &Structure) -> Nat {
+        let mut total = Nat::zero();
+        for_each_hom_limited(q, d, 0, |_| {
+            total.add_assign_u64(1);
+            true
+        });
+        total
+    }
+
+    /// Decides `D ⊨ ψ` (set semantics): is there at least one homomorphism?
+    pub fn exists(&self, q: &Query, d: &Structure) -> bool {
+        let mut any = false;
+        for_each_hom_limited(q, d, 1, |_| {
+            any = true;
+            false
+        });
+        any
+    }
+}
+
+/// Counts homomorphisms of one connected component by ordered backtracking.
+fn count_component(
+    q: &Query,
+    d: &Structure,
+    atom_idx: &[usize],
+    ineq_idx: &[usize],
+    vars: &[u32],
+) -> Nat {
+    let order = order_atoms(q, d, atom_idx);
+    let mut assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
+    let mut cache = IndexCache::default();
+    let mut count = Nat::zero();
+    let mut trail: Vec<u32> = Vec::new();
+    backtrack_atoms(
+        q, d, &order, 0, ineq_idx, vars, &mut assign, &mut cache, &mut trail, &mut count,
+    );
+    count
+}
+
+/// Greedy atom ordering: repeatedly pick the atom with the most already-
+/// bound variables (connectivity first), tie-breaking towards smaller
+/// relations.
+fn order_atoms(q: &Query, d: &Structure, atom_idx: &[usize]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = atom_idx.to_vec();
+    let mut bound: Vec<bool> = vec![false; q.var_count() as usize];
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &ai)| {
+                let a = &q.atoms()[ai];
+                let bound_vars = a
+                    .args
+                    .iter()
+                    .filter(|t| matches!(t, Term::Var(v) if bound[v.0 as usize]))
+                    .count();
+                let consts = a.args.iter().filter(|t| matches!(t, Term::Const(_))).count();
+                // Prefer connectivity, then constants, then small relations.
+                (
+                    bound_vars,
+                    consts,
+                    usize::MAX - d.atom_count(a.rel),
+                )
+            })
+            .expect("nonempty");
+        order.push(best);
+        for t in &q.atoms()[best].args {
+            if let Term::Var(v) = t {
+                bound[v.0 as usize] = true;
+            }
+        }
+        remaining.swap_remove(pos);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack_atoms(
+    q: &Query,
+    d: &Structure,
+    order: &[usize],
+    depth: usize,
+    ineq_idx: &[usize],
+    vars: &[u32],
+    assign: &mut Vec<u32>,
+    cache: &mut IndexCache,
+    trail: &mut Vec<u32>,
+    count: &mut Nat,
+) {
+    if depth == order.len() {
+        // All atoms matched; enumerate component variables that occur only
+        // in inequalities.
+        let unbound: Vec<u32> = vars
+            .iter()
+            .copied()
+            .filter(|&v| assign[v as usize] == UNASSIGNED)
+            .collect();
+        enumerate_unbound(q, d, &unbound, 0, ineq_idx, assign, count);
+        return;
+    }
+    let atom = &q.atoms()[order[depth]];
+    // Pick the most selective access path: a bound position with the
+    // smallest index bucket, else a full relation scan.
+    let mut best: Option<(usize, u32)> = None; // (position, value)
+    for (pos, t) in atom.args.iter().enumerate() {
+        let v = resolve(t, assign, d);
+        if v != UNASSIGNED {
+            match best {
+                None => best = Some((pos, v)),
+                Some((bp, bv)) => {
+                    let cur_len = cache.get(d, atom.rel, pos).get(v).len();
+                    let best_len = cache.get(d, atom.rel, bp).get(bv).len();
+                    if cur_len < best_len {
+                        best = Some((pos, v));
+                    }
+                }
+            }
+        }
+    }
+
+    let tuple_ids: Vec<u32> = match best {
+        Some((pos, v)) => cache.get(d, atom.rel, pos).get(v).to_vec(),
+        None => (0..d.atom_count(atom.rel) as u32).collect(),
+    };
+    let tuples: Vec<&[u32]> = d.tuples(atom.rel).collect();
+
+    'tuples: for &ti in &tuple_ids {
+        let tuple = tuples[ti as usize];
+        let mark = trail.len();
+        for (pos, t) in atom.args.iter().enumerate() {
+            let want = tuple[pos];
+            match t {
+                Term::Const(c) => {
+                    if d.constant_vertex(*c).0 != want {
+                        unwind(assign, trail, mark);
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    let cur = assign[v.0 as usize];
+                    if cur == UNASSIGNED {
+                        assign[v.0 as usize] = want;
+                        trail.push(v.0);
+                        // Inequality propagation on the newly bound var.
+                        for &ii in ineq_idx {
+                            if !inequality_ok(&q.inequalities()[ii], assign, d) {
+                                unwind(assign, trail, mark);
+                                continue 'tuples;
+                            }
+                        }
+                    } else if cur != want {
+                        unwind(assign, trail, mark);
+                        continue 'tuples;
+                    }
+                }
+            }
+        }
+        backtrack_atoms(q, d, order, depth + 1, ineq_idx, vars, assign, cache, trail, count);
+        unwind(assign, trail, mark);
+    }
+}
+
+fn unwind(assign: &mut [u32], trail: &mut Vec<u32>, mark: usize) {
+    while trail.len() > mark {
+        let v = trail.pop().unwrap();
+        assign[v as usize] = UNASSIGNED;
+    }
+}
+
+/// Enumerates variables that occur only in inequalities (never in atoms).
+fn enumerate_unbound(
+    q: &Query,
+    d: &Structure,
+    unbound: &[u32],
+    i: usize,
+    ineq_idx: &[usize],
+    assign: &mut Vec<u32>,
+    count: &mut Nat,
+) {
+    if i == unbound.len() {
+        count.add_assign_u64(1);
+        return;
+    }
+    let v = unbound[i];
+    for u in 0..d.vertex_count() {
+        assign[v as usize] = u;
+        if ineq_idx
+            .iter()
+            .all(|&ii| inequality_ok(&q.inequalities()[ii], assign, d))
+        {
+            enumerate_unbound(q, d, unbound, i + 1, ineq_idx, assign, count);
+        }
+    }
+    assign[v as usize] = UNASSIGNED;
+}
+
+/// Enumerates complete homomorphisms (every variable assigned, including
+/// free ones), invoking `f` with the assignment; `f` returns `false` to
+/// stop early. `limit == 0` means unlimited.
+///
+/// This is the exhaustive path used by the onto-homomorphism search and by
+/// cross-validation tests; the optimized counters above never materialize
+/// individual homs.
+pub fn for_each_hom_limited(
+    q: &Query,
+    d: &Structure,
+    limit: u64,
+    mut f: impl FnMut(&[u32]) -> bool,
+) {
+    // Check ground atoms first.
+    let empty_assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
+    for a in q.atoms() {
+        if a.args.iter().all(|t| matches!(t, Term::Const(_))) {
+            let args: Vec<_> = a
+                .args
+                .iter()
+                .map(|t| bagcq_structure::Vertex(resolve(t, &empty_assign, d)))
+                .collect();
+            if !d.contains_atom(a.rel, &args) {
+                return;
+            }
+        }
+    }
+
+    let all_atoms: Vec<usize> = (0..q.atoms().len()).collect();
+    let all_ineqs: Vec<usize> = (0..q.inequalities().len()).collect();
+    let order = order_atoms(q, d, &all_atoms);
+    let mut assign = empty_assign;
+    let mut cache = IndexCache::default();
+    let mut trail: Vec<u32> = Vec::new();
+    let mut seen: u64 = 0;
+    let mut stop = false;
+    full_backtrack(
+        q, d, &order, 0, &all_ineqs, &mut assign, &mut cache, &mut trail, &mut seen, limit,
+        &mut stop, &mut f,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn full_backtrack(
+    q: &Query,
+    d: &Structure,
+    order: &[usize],
+    depth: usize,
+    ineq_idx: &[usize],
+    assign: &mut Vec<u32>,
+    cache: &mut IndexCache,
+    trail: &mut Vec<u32>,
+    seen: &mut u64,
+    limit: u64,
+    stop: &mut bool,
+    f: &mut impl FnMut(&[u32]) -> bool,
+) {
+    if *stop {
+        return;
+    }
+    if depth == order.len() {
+        // Enumerate every remaining unassigned variable over the domain.
+        let unbound: Vec<u32> = (0..q.var_count())
+            .filter(|&v| assign[v as usize] == UNASSIGNED)
+            .collect();
+        full_enumerate(q, d, &unbound, 0, ineq_idx, assign, seen, limit, stop, f);
+        return;
+    }
+    let atom = &q.atoms()[order[depth]];
+    let mut best: Option<(usize, u32)> = None;
+    for (pos, t) in atom.args.iter().enumerate() {
+        let v = resolve(t, assign, d);
+        if v != UNASSIGNED {
+            best = match best {
+                None => Some((pos, v)),
+                Some((bp, bv)) => {
+                    if cache.get(d, atom.rel, pos).get(v).len()
+                        < cache.get(d, atom.rel, bp).get(bv).len()
+                    {
+                        Some((pos, v))
+                    } else {
+                        Some((bp, bv))
+                    }
+                }
+            };
+        }
+    }
+    let tuple_ids: Vec<u32> = match best {
+        Some((pos, v)) => cache.get(d, atom.rel, pos).get(v).to_vec(),
+        None => (0..d.atom_count(atom.rel) as u32).collect(),
+    };
+    let tuples: Vec<&[u32]> = d.tuples(atom.rel).collect();
+    'tuples: for &ti in &tuple_ids {
+        if *stop {
+            return;
+        }
+        let tuple = tuples[ti as usize];
+        let mark = trail.len();
+        for (pos, t) in atom.args.iter().enumerate() {
+            let want = tuple[pos];
+            match t {
+                Term::Const(c) => {
+                    if d.constant_vertex(*c).0 != want {
+                        unwind(assign, trail, mark);
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    let cur = assign[v.0 as usize];
+                    if cur == UNASSIGNED {
+                        assign[v.0 as usize] = want;
+                        trail.push(v.0);
+                        for &ii in ineq_idx {
+                            if !inequality_ok(&q.inequalities()[ii], assign, d) {
+                                unwind(assign, trail, mark);
+                                continue 'tuples;
+                            }
+                        }
+                    } else if cur != want {
+                        unwind(assign, trail, mark);
+                        continue 'tuples;
+                    }
+                }
+            }
+        }
+        full_backtrack(q, d, order, depth + 1, ineq_idx, assign, cache, trail, seen, limit, stop, f);
+        unwind(assign, trail, mark);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn full_enumerate(
+    q: &Query,
+    d: &Structure,
+    unbound: &[u32],
+    i: usize,
+    ineq_idx: &[usize],
+    assign: &mut Vec<u32>,
+    seen: &mut u64,
+    limit: u64,
+    stop: &mut bool,
+    f: &mut impl FnMut(&[u32]) -> bool,
+) {
+    if *stop {
+        return;
+    }
+    if i == unbound.len() {
+        *seen += 1;
+        if !f(assign) || (limit != 0 && *seen >= limit) {
+            *stop = true;
+        }
+        return;
+    }
+    let v = unbound[i];
+    for u in 0..d.vertex_count() {
+        if *stop {
+            break;
+        }
+        assign[v as usize] = u;
+        if ineq_idx
+            .iter()
+            .all(|&ii| inequality_ok(&q.inequalities()[ii], assign, d))
+        {
+            full_enumerate(q, d, unbound, i + 1, ineq_idx, assign, seen, limit, stop, f);
+        }
+    }
+    assign[v as usize] = UNASSIGNED;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_query::{cycle_query, path_query, star_query};
+    use bagcq_structure::{SchemaBuilder, Vertex};
+    use std::sync::Arc;
+
+    fn digraph() -> Arc<bagcq_structure::Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.build()
+    }
+
+    /// Directed cycle structure of length n.
+    fn cycle_struct(schema: &Arc<bagcq_structure::Schema>, n: u32) -> Structure {
+        let e = schema.relation_by_name("E").unwrap();
+        let mut d = Structure::new(Arc::clone(schema));
+        d.add_vertices(n);
+        for i in 0..n {
+            d.add_atom(e, &[Vertex(i), Vertex((i + 1) % n)]);
+        }
+        d
+    }
+
+    /// Complete digraph with loops on n vertices.
+    fn complete_struct(schema: &Arc<bagcq_structure::Schema>, n: u32) -> Structure {
+        let e = schema.relation_by_name("E").unwrap();
+        let mut d = Structure::new(Arc::clone(schema));
+        d.add_vertices(n);
+        for i in 0..n {
+            for j in 0..n {
+                d.add_atom(e, &[Vertex(i), Vertex(j)]);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn edge_into_cycle() {
+        let s = digraph();
+        let d = cycle_struct(&s, 5);
+        let q = path_query(&s, "E", 1);
+        // Every edge is a hom: 5.
+        assert_eq!(NaiveCounter.count(&q, &d), Nat::from_u64(5));
+    }
+
+    #[test]
+    fn paths_into_complete_graph() {
+        let s = digraph();
+        let d = complete_struct(&s, 4);
+        // A path with k edges has k+1 vertices: 4^(k+1) homs.
+        for k in 1..5 {
+            let q = path_query(&s, "E", k);
+            assert_eq!(
+                NaiveCounter.count(&q, &d),
+                Nat::from_u64(4u64.pow(k + 1)),
+                "path length {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_into_cycle() {
+        let s = digraph();
+        // Homs C_k → C_n: k-cycle maps onto n-cycle iff n | k, and there
+        // are n of them (choice of start).
+        let d = cycle_struct(&s, 3);
+        assert_eq!(NaiveCounter.count(&cycle_query(&s, "E", 3), &d), Nat::from_u64(3));
+        assert_eq!(NaiveCounter.count(&cycle_query(&s, "E", 6), &d), Nat::from_u64(3));
+        assert_eq!(NaiveCounter.count(&cycle_query(&s, "E", 4), &d), Nat::zero());
+    }
+
+    #[test]
+    fn star_counts() {
+        let s = digraph();
+        let e = s.relation_by_name("E").unwrap();
+        let mut d = Structure::new(Arc::clone(&s));
+        d.add_vertices(4);
+        // 0 → 1,2,3
+        for j in 1..4 {
+            d.add_atom(e, &[Vertex(0), Vertex(j)]);
+        }
+        // Star with 2 leaves from the center: 3² choices of leaves.
+        let q = star_query(&s, "E", 2);
+        assert_eq!(NaiveCounter.count(&q, &d), Nat::from_u64(9));
+    }
+
+    #[test]
+    fn lemma1_multiplicativity() {
+        // (ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D) — the disjoint-conjunction law.
+        let s = digraph();
+        let d = cycle_struct(&s, 4);
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let conj = p1.disjoint_conj(&p2);
+        let c1 = NaiveCounter.count(&p1, &d);
+        let c2 = NaiveCounter.count(&p2, &d);
+        assert_eq!(NaiveCounter.count(&conj, &d), c1.mul_ref(&c2));
+    }
+
+    #[test]
+    fn definition2_power_law() {
+        let s = digraph();
+        let d = complete_struct(&s, 3);
+        let q = path_query(&s, "E", 1);
+        let c = NaiveCounter.count(&q, &d);
+        for k in 0..4 {
+            assert_eq!(
+                NaiveCounter.count(&q.power(k), &d),
+                c.pow_u64(k as u64),
+                "power {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn inequality_semantics() {
+        let s = digraph();
+        let d = complete_struct(&s, 3);
+        // E(x,y): 9 homs; with x ≠ y: 6.
+        let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]).neq(x, y);
+        assert_eq!(NaiveCounter.count(&qb.build(), &d), Nat::from_u64(6));
+    }
+
+    #[test]
+    fn inequality_only_variables() {
+        let s = digraph();
+        let d = complete_struct(&s, 4);
+        // x ≠ y with neither in an atom: 4·3 = 12 assignments.
+        let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.neq(x, y);
+        assert_eq!(NaiveCounter.count(&qb.build(), &d), Nat::from_u64(12));
+    }
+
+    #[test]
+    fn free_variable_factor() {
+        let s = digraph();
+        let d = complete_struct(&s, 5);
+        let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        let _free = qb.var("free");
+        qb.atom_named("E", &[x, y]);
+        // 25 edge homs × 5 for the free variable.
+        assert_eq!(NaiveCounter.count(&qb.build(), &d), Nat::from_u64(125));
+    }
+
+    #[test]
+    fn empty_query_counts_one() {
+        let s = digraph();
+        let d = cycle_struct(&s, 3);
+        let q = bagcq_query::Query::empty(Arc::clone(&s));
+        assert_eq!(NaiveCounter.count(&q, &d), Nat::one());
+    }
+
+    #[test]
+    fn ground_atoms_gate() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.constant("a");
+        let s = b.build();
+        let e = s.relation_by_name("E").unwrap();
+        let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
+        let a = qb.constant("a");
+        qb.atom_named("E", &[a, a]);
+        let q = qb.build();
+
+        let mut d = Structure::new(Arc::clone(&s));
+        assert_eq!(NaiveCounter.count(&q, &d), Nat::zero());
+        let av = d.constant_vertex(s.constant_by_name("a").unwrap());
+        d.add_atom(e, &[av, av]);
+        assert_eq!(NaiveCounter.count(&q, &d), Nat::one());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let s = digraph();
+        let e = s.relation_by_name("E").unwrap();
+        let mut d = Structure::new(Arc::clone(&s));
+        d.add_vertices(3);
+        d.add_atom(e, &[Vertex(0), Vertex(0)]); // loop
+        d.add_atom(e, &[Vertex(0), Vertex(1)]);
+        // E(x,x) matches only the loop.
+        let q = cycle_query(&s, "E", 1);
+        assert_eq!(NaiveCounter.count(&q, &d), Nat::one());
+    }
+
+    #[test]
+    fn exists_early_exit() {
+        let s = digraph();
+        let d = complete_struct(&s, 10);
+        let q = path_query(&s, "E", 6);
+        assert!(NaiveCounter.exists(&q, &d));
+        let d0 = Structure::new(Arc::clone(&s));
+        assert!(!NaiveCounter.exists(&q, &d0));
+    }
+
+    #[test]
+    fn for_each_hom_enumerates_all() {
+        let s = digraph();
+        let d = complete_struct(&s, 3);
+        let q = path_query(&s, "E", 1);
+        let mut homs = Vec::new();
+        for_each_hom_limited(&q, &d, 0, |a| {
+            homs.push(a.to_vec());
+            true
+        });
+        assert_eq!(homs.len(), 9);
+        homs.sort();
+        homs.dedup();
+        assert_eq!(homs.len(), 9);
+    }
+
+    #[test]
+    fn for_each_hom_respects_limit() {
+        let s = digraph();
+        let d = complete_struct(&s, 3);
+        let q = path_query(&s, "E", 1);
+        let mut n = 0;
+        for_each_hom_limited(&q, &d, 4, |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 4);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use bagcq_query::{path_query, QueryGen};
+    use bagcq_structure::{SchemaBuilder, StructureGen};
+    use std::sync::Arc;
+
+    #[test]
+    fn enumerative_agrees_with_factored() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.constant("a");
+        let s = b.build();
+        let qg = QueryGen { variables: 3, atoms: 3, constant_prob: 0.1, inequalities: 1 };
+        let sg = StructureGen { extra_vertices: 3, density: 0.4, ..Default::default() };
+        for seed in 0..15u64 {
+            let q = qg.sample(&s, seed);
+            let d = sg.sample(&s, seed + 1000);
+            assert_eq!(
+                NaiveCounter.count_enumerative(&q, &d),
+                NaiveCounter.count(&q, &d),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumerative_agrees_on_powers() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        let s = b.build();
+        let d = StructureGen { extra_vertices: 3, density: 0.5, ..Default::default() }
+            .sample(&s, 3);
+        let q = path_query(&s, "E", 1).power(2);
+        assert_eq!(
+            NaiveCounter.count_enumerative(&q, &d),
+            NaiveCounter.count(&q, &d)
+        );
+        let _ = Arc::strong_count(&s);
+    }
+}

@@ -1,0 +1,24 @@
+//! # bagcq-polynomial
+//!
+//! Multivariate polynomials over arbitrary-precision integers — the
+//! numerical side of the paper's reduction:
+//!
+//! * [`Monomial`]: ordered variable-occurrence lists (Lemma 11 cares about
+//!   *positions*: `x₁` must be the first variable of every monomial);
+//! * [`Polynomial`]: normalized signed-coefficient polynomials with exact
+//!   evaluation under valuations `Ξ : vars → ℕ`;
+//! * [`Lemma11Instance`]: the `(c, P_s, P_b)` triples of the undecidable
+//!   comparison problem `c·P_s(Ξ) ≤ Ξ(x₁)^d·P_b(Ξ)`, with full side-
+//!   condition validation and bounded violation search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lemma11;
+mod monomial;
+#[allow(clippy::module_inception)]
+mod polynomial;
+
+pub use lemma11::{Lemma11Error, Lemma11Instance};
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;

@@ -1,0 +1,176 @@
+//! Monomials as ordered variable-occurrence lists.
+//!
+//! The paper's Lemma 11 talks about "the d-th variable of monomial 𝕋_m"
+//! (the relation `𝒫(n, d, m)`) and requires `x₁` to occur as the *first*
+//! variable of every monomial — so monomials here are ordered sequences of
+//! variable occurrences, not just exponent vectors. Equality as a
+//! *function* (commutativity) is decided via the sorted occurrence list
+//! ([`Monomial::canonical_key`]); the occurrence order is preserved for the
+//! positional bookkeeping the reduction needs.
+
+use bagcq_arith::Nat;
+use std::fmt;
+
+/// A monomial: an ordered list of variable occurrences. Variables are
+/// indexed from 0; the paper's `x₁` is index 0, `x₂` index 1, and so on.
+/// The empty list is the constant monomial 1.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Monomial {
+    occurrences: Vec<u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn unit() -> Self {
+        Monomial { occurrences: Vec::new() }
+    }
+
+    /// Builds a monomial from ordered variable occurrences.
+    pub fn new(occurrences: Vec<u32>) -> Self {
+        Monomial { occurrences }
+    }
+
+    /// A single variable `x_i`.
+    pub fn var(i: u32) -> Self {
+        Monomial { occurrences: vec![i] }
+    }
+
+    /// The ordered occurrences.
+    pub fn occurrences(&self) -> &[u32] {
+        &self.occurrences
+    }
+
+    /// Degree (number of occurrences, with multiplicity).
+    pub fn degree(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// The variable at position `d` (0-based), i.e. the paper's "d-th
+    /// variable of the monomial".
+    pub fn var_at(&self, d: usize) -> u32 {
+        self.occurrences[d]
+    }
+
+    /// `true` iff the first occurrence is variable `v`.
+    pub fn starts_with(&self, v: u32) -> bool {
+        self.occurrences.first() == Some(&v)
+    }
+
+    /// The commutative identity of the monomial: sorted occurrences. Two
+    /// monomials denote the same function iff their keys agree.
+    pub fn canonical_key(&self) -> Vec<u32> {
+        let mut k = self.occurrences.clone();
+        k.sort_unstable();
+        k
+    }
+
+    /// Product of monomials: concatenation (left order preserved, so a
+    /// left factor starting with `x₁` keeps the product starting with
+    /// `x₁`).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut occ = Vec::with_capacity(self.occurrences.len() + other.occurrences.len());
+        occ.extend_from_slice(&self.occurrences);
+        occ.extend_from_slice(&other.occurrences);
+        Monomial { occurrences: occ }
+    }
+
+    /// Prepends `k` occurrences of variable `v` — the Appendix B
+    /// homogenization `t′ᵢ = ξ₁^{d−dᵢ}·tᵢ`.
+    pub fn prepend_power(&self, v: u32, k: usize) -> Monomial {
+        let mut occ = Vec::with_capacity(k + self.occurrences.len());
+        occ.extend(std::iter::repeat(v).take(k));
+        occ.extend_from_slice(&self.occurrences);
+        Monomial { occurrences: occ }
+    }
+
+    /// Largest variable index occurring (None for the unit monomial).
+    pub fn max_var(&self) -> Option<u32> {
+        self.occurrences.iter().copied().max()
+    }
+
+    /// Evaluates under a valuation `Ξ : vars → ℕ` given as a slice.
+    pub fn eval(&self, valuation: &[Nat]) -> Nat {
+        let mut acc = Nat::one();
+        for &v in &self.occurrences {
+            acc *= &valuation[v as usize];
+        }
+        acc
+    }
+
+    /// Renumbers variables through `f`.
+    pub fn map_vars(&self, f: impl Fn(u32) -> u32) -> Monomial {
+        Monomial { occurrences: self.occurrences.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.occurrences.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, &v) in self.occurrences.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "x{}", v + 1)?; // display in the paper's 1-based style
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let m = Monomial::new(vec![0, 1, 0]);
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.var_at(0), 0);
+        assert_eq!(m.var_at(2), 0);
+        assert!(m.starts_with(0));
+        assert!(!m.starts_with(1));
+        assert_eq!(m.max_var(), Some(1));
+        assert_eq!(Monomial::unit().degree(), 0);
+        assert_eq!(Monomial::unit().max_var(), None);
+    }
+
+    #[test]
+    fn canonical_key_commutative() {
+        let a = Monomial::new(vec![1, 0, 2]);
+        let b = Monomial::new(vec![2, 1, 0]);
+        assert_ne!(a, b);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn mul_concatenates() {
+        let a = Monomial::new(vec![0]);
+        let b = Monomial::new(vec![1, 2]);
+        assert_eq!(a.mul(&b), Monomial::new(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn prepend_power() {
+        let t = Monomial::new(vec![2, 3]);
+        let h = t.prepend_power(0, 2);
+        assert_eq!(h, Monomial::new(vec![0, 0, 2, 3]));
+        assert!(h.starts_with(0));
+        assert_eq!(h.degree(), 4);
+    }
+
+    #[test]
+    fn eval() {
+        // x1·x2² at (2, 3) = 18.
+        let m = Monomial::new(vec![0, 1, 1]);
+        let val = [Nat::from_u64(2), Nat::from_u64(3)];
+        assert_eq!(m.eval(&val), Nat::from_u64(18));
+        assert_eq!(Monomial::unit().eval(&val), Nat::one());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Monomial::new(vec![0, 1]).to_string(), "x1·x2");
+        assert_eq!(Monomial::unit().to_string(), "1");
+    }
+}

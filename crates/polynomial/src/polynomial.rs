@@ -1,0 +1,355 @@
+//! Multivariate polynomials with arbitrary-precision integer coefficients.
+//!
+//! These are the objects Hilbert's 10th problem and Lemma 11 quantify
+//! over. Terms are kept normalized: at most one term per *commutative*
+//! monomial identity (canonical key), no zero coefficients, and a stable
+//! representative occurrence order (the first one encountered) so that the
+//! positional conditions of Lemma 11 survive arithmetic.
+
+use crate::monomial::Monomial;
+use bagcq_arith::{Int, Nat, Sign};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A polynomial: a normalized list of `(coefficient, monomial)` terms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial {
+    terms: Vec<(Int, Monomial)>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { terms: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Int) -> Self {
+        Polynomial::from_terms(vec![(c, Monomial::unit())])
+    }
+
+    /// The polynomial `x_i`.
+    pub fn var(i: u32) -> Self {
+        Polynomial::from_terms(vec![(Int::one(), Monomial::var(i))])
+    }
+
+    /// Builds and normalizes from raw terms.
+    pub fn from_terms(terms: Vec<(Int, Monomial)>) -> Self {
+        let mut by_key: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut out: Vec<(Int, Monomial)> = Vec::new();
+        for (c, m) in terms {
+            if c.is_zero() {
+                continue;
+            }
+            let key = m.canonical_key();
+            match by_key.get(&key) {
+                Some(&i) => {
+                    out[i].0 = &out[i].0 + &c;
+                }
+                None => {
+                    by_key.insert(key, out.len());
+                    out.push((c, m));
+                }
+            }
+        }
+        out.retain(|(c, _)| !c.is_zero());
+        // Canonical term order (degree, then sorted occurrences) so that
+        // structural equality coincides with polynomial equality. The
+        // occurrence order *inside* each monomial is untouched.
+        out.sort_by(|(_, a), (_, b)| {
+            a.degree()
+                .cmp(&b.degree())
+                .then_with(|| a.canonical_key().cmp(&b.canonical_key()))
+        });
+        Polynomial { terms: out }
+    }
+
+    /// The normalized terms.
+    pub fn terms(&self) -> &[(Int, Monomial)] {
+        &self.terms
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.terms.iter().map(|(_, m)| m.degree()).max().unwrap_or(0)
+    }
+
+    /// `true` iff all terms have exactly degree `d`.
+    pub fn is_homogeneous(&self, d: usize) -> bool {
+        self.terms.iter().all(|(_, m)| m.degree() == d)
+    }
+
+    /// `true` iff every coefficient is strictly positive.
+    pub fn has_natural_coefficients(&self) -> bool {
+        self.terms.iter().all(|(c, _)| c.is_positive())
+    }
+
+    /// Largest variable index used (None if constant).
+    pub fn max_var(&self) -> Option<u32> {
+        self.terms.iter().filter_map(|(_, m)| m.max_var()).max()
+    }
+
+    /// Coefficient of the (commutative) monomial `m`, zero if absent.
+    pub fn coefficient(&self, m: &Monomial) -> Int {
+        let key = m.canonical_key();
+        self.terms
+            .iter()
+            .find(|(_, t)| t.canonical_key() == key)
+            .map(|(c, _)| c.clone())
+            .unwrap_or_else(Int::zero)
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        Polynomial::from_terms(terms)
+    }
+
+    /// Polynomial difference.
+    pub fn sub(&self, other: &Polynomial) -> Polynomial {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().map(|(c, m)| (-c.clone(), m.clone())));
+        Polynomial::from_terms(terms)
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for (c1, m1) in &self.terms {
+            for (c2, m2) in &other.terms {
+                terms.push((c1 * c2, m1.mul(m2)));
+            }
+        }
+        Polynomial::from_terms(terms)
+    }
+
+    /// Scales by an integer.
+    pub fn scale(&self, k: &Int) -> Polynomial {
+        Polynomial::from_terms(
+            self.terms
+                .iter()
+                .map(|(c, m)| (c * k, m.clone()))
+                .collect(),
+        )
+    }
+
+    /// `self²` (the Appendix B step `Q' = Q²`).
+    pub fn square(&self) -> Polynomial {
+        self.mul(self)
+    }
+
+    /// Splits into `(positive part, negated negative part)` so that
+    /// `self = pos − neg` with both parts having natural coefficients
+    /// (Appendix B's `Q'₊` and `Q'₋`).
+    pub fn split_signs(&self) -> (Polynomial, Polynomial) {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (c, m) in &self.terms {
+            match c.sign() {
+                Sign::Positive => pos.push((c.clone(), m.clone())),
+                Sign::Negative => neg.push((-c.clone(), m.clone())),
+                Sign::Zero => unreachable!("normalized polynomial has no zero terms"),
+            }
+        }
+        (Polynomial::from_terms(pos), Polynomial::from_terms(neg))
+    }
+
+    /// Evaluates under a valuation `Ξ : vars → ℕ`.
+    ///
+    /// The slice must cover every variable of the polynomial.
+    pub fn eval(&self, valuation: &[Nat]) -> Int {
+        let mut acc = Int::zero();
+        for (c, m) in &self.terms {
+            let mv = Int::from_nat(m.eval(valuation));
+            acc = &acc + &(c * &mv);
+        }
+        acc
+    }
+
+    /// Evaluates a polynomial with natural coefficients to a natural
+    /// number. Panics if any coefficient is negative.
+    pub fn eval_nat(&self, valuation: &[Nat]) -> Nat {
+        let v = self.eval(valuation);
+        assert!(
+            !v.is_negative(),
+            "eval_nat on a polynomial with negative values"
+        );
+        v.into_magnitude()
+    }
+
+    /// Renumbers variables through `f` (e.g. the Appendix B shift that
+    /// frees index 0 for `ξ₁`).
+    pub fn map_vars(&self, f: impl Fn(u32) -> u32 + Copy) -> Polynomial {
+        Polynomial::from_terms(
+            self.terms
+                .iter()
+                .map(|(c, m)| (c.clone(), m.map_vars(f)))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, m)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if m.degree() == 0 {
+                write!(f, "{c}")?;
+            } else if c.is_positive() && c.magnitude().is_one() {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{c}·{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from_i64(v)
+    }
+
+    fn n(v: u64) -> Nat {
+        Nat::from_u64(v)
+    }
+
+    /// x₁² − 2x₂² − 1 (a Pell-style polynomial).
+    fn pell() -> Polynomial {
+        Polynomial::from_terms(vec![
+            (i(1), Monomial::new(vec![0, 0])),
+            (i(-2), Monomial::new(vec![1, 1])),
+            (i(-1), Monomial::unit()),
+        ])
+    }
+
+    #[test]
+    fn normalization_combines_commutative_monomials() {
+        let p = Polynomial::from_terms(vec![
+            (i(2), Monomial::new(vec![0, 1])),
+            (i(3), Monomial::new(vec![1, 0])), // same function
+        ]);
+        assert_eq!(p.term_count(), 1);
+        assert_eq!(p.coefficient(&Monomial::new(vec![0, 1])), i(5));
+        // Representative order is the first encountered.
+        assert_eq!(p.terms()[0].1.occurrences(), &[0, 1]);
+    }
+
+    #[test]
+    fn zero_terms_vanish() {
+        let p = Polynomial::from_terms(vec![
+            (i(2), Monomial::var(0)),
+            (i(-2), Monomial::var(0)),
+        ]);
+        assert!(p.is_zero());
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn eval_pell() {
+        let p = pell();
+        // (3,2): 9 − 8 − 1 = 0.
+        assert_eq!(p.eval(&[n(3), n(2)]), i(0));
+        // (2,1): 4 − 2 − 1 = 1.
+        assert_eq!(p.eval(&[n(2), n(1)]), i(1));
+        // (1,1): 1 − 2 − 1 = −2.
+        assert_eq!(p.eval(&[n(1), n(1)]), i(-2));
+    }
+
+    #[test]
+    fn arithmetic_laws() {
+        let p = pell();
+        let q = Polynomial::var(0).add(&Polynomial::constant(i(1)));
+        let val = [n(5), n(3)];
+        // Distributivity check by evaluation.
+        let lhs = p.mul(&q).eval(&val);
+        let rhs = &p.eval(&val) * &q.eval(&val);
+        assert_eq!(lhs, rhs);
+        let sum = p.add(&q).eval(&val);
+        assert_eq!(sum, &p.eval(&val) + &q.eval(&val));
+        let diff = p.sub(&q).eval(&val);
+        assert_eq!(diff, &p.eval(&val) - &q.eval(&val));
+    }
+
+    #[test]
+    fn square_is_nonnegative_everywhere() {
+        let p = pell();
+        let sq = p.square();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let v = sq.eval(&[n(a), n(b)]);
+                assert!(!v.is_negative(), "square negative at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn split_signs_reconstructs() {
+        let p = pell();
+        let (pos, neg) = p.split_signs();
+        assert!(pos.has_natural_coefficients());
+        assert!(neg.has_natural_coefficients());
+        assert_eq!(pos.sub(&neg), p);
+    }
+
+    #[test]
+    fn homogeneity() {
+        let h = Polynomial::from_terms(vec![
+            (i(1), Monomial::new(vec![0, 0])),
+            (i(4), Monomial::new(vec![0, 1])),
+        ]);
+        assert!(h.is_homogeneous(2));
+        assert!(!pell().is_homogeneous(2));
+    }
+
+    #[test]
+    fn map_vars_shift() {
+        let p = pell().map_vars(|v| v + 1);
+        assert_eq!(p.max_var(), Some(2));
+        // Evaluation shifts accordingly: valuation index 0 unused.
+        assert_eq!(p.eval(&[n(99), n(3), n(2)]), i(0));
+    }
+
+    #[test]
+    fn display() {
+        let p = pell();
+        let s = p.to_string();
+        assert!(s.contains("x1·x1"), "{s}");
+        assert!(s.contains("-2"), "{s}");
+    }
+
+    #[test]
+    fn eval_nat_on_natural_polynomial() {
+        let p = Polynomial::from_terms(vec![
+            (i(2), Monomial::new(vec![0])),
+            (i(1), Monomial::unit()),
+        ]);
+        assert_eq!(p.eval_nat(&[n(5)]), n(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn eval_nat_panics_on_negative() {
+        let p = Polynomial::constant(i(-1));
+        let _ = p.eval_nat(&[]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Random conjunctive-query generation for property tests and benchmark
+//! workloads, plus the classic structured query families (paths, cycles,
+//! stars, grids) used by the engine-comparison experiments (E-PERF1).
+
+use crate::query::{Query, Term};
+use bagcq_structure::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters for random CQ sampling.
+#[derive(Clone, Debug)]
+pub struct QueryGen {
+    /// Number of variables.
+    pub variables: u32,
+    /// Number of relational atoms.
+    pub atoms: usize,
+    /// Probability that an argument position is a constant (when the
+    /// schema has constants).
+    pub constant_prob: f64,
+    /// Number of inequality atoms to add between random variable pairs.
+    pub inequalities: usize,
+}
+
+impl Default for QueryGen {
+    fn default() -> Self {
+        QueryGen { variables: 4, atoms: 5, constant_prob: 0.1, inequalities: 0 }
+    }
+}
+
+impl QueryGen {
+    /// Samples a query over `schema` with a deterministic seed.
+    pub fn sample(&self, schema: &Arc<Schema>, seed: u64) -> Query {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample_with(schema, &mut rng)
+    }
+
+    /// Samples a query using a caller-provided RNG.
+    pub fn sample_with(&self, schema: &Arc<Schema>, rng: &mut StdRng) -> Query {
+        assert!(self.variables >= 1, "need at least one variable");
+        let mut qb = Query::builder(Arc::clone(schema));
+        let vars: Vec<Term> = (0..self.variables)
+            .map(|i| qb.var(&format!("v{i}")))
+            .collect();
+        let n_consts = schema.constant_count();
+        let rels: Vec<_> = schema.relations().collect();
+        assert!(!rels.is_empty(), "schema has no relations");
+        for _ in 0..self.atoms {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let arity = schema.arity(rel);
+            let args: Vec<Term> = (0..arity)
+                .map(|_| {
+                    if n_consts > 0 && rng.gen::<f64>() < self.constant_prob {
+                        Term::Const(bagcq_structure::ConstId(rng.gen_range(0..n_consts) as u32))
+                    } else {
+                        vars[rng.gen_range(0..vars.len())]
+                    }
+                })
+                .collect();
+            qb.atom(rel, &args);
+        }
+        for _ in 0..self.inequalities {
+            let a = vars[rng.gen_range(0..vars.len())];
+            let b = vars[rng.gen_range(0..vars.len())];
+            qb.neq(a, b);
+        }
+        qb.build()
+    }
+}
+
+/// A directed path query `E(x₀,x₁) ∧ … ∧ E(x_{n−1},x_n)` over a binary
+/// relation.
+pub fn path_query(schema: &Arc<Schema>, rel: &str, edges: u32) -> Query {
+    let mut qb = Query::builder(Arc::clone(schema));
+    let vars: Vec<Term> = (0..=edges).map(|i| qb.var(&format!("p{i}"))).collect();
+    for i in 0..edges as usize {
+        qb.atom_named(rel, &[vars[i], vars[i + 1]]);
+    }
+    qb.build()
+}
+
+/// A directed cycle query of length `n` over a binary relation.
+pub fn cycle_query(schema: &Arc<Schema>, rel: &str, n: u32) -> Query {
+    assert!(n >= 1);
+    let mut qb = Query::builder(Arc::clone(schema));
+    let vars: Vec<Term> = (0..n).map(|i| qb.var(&format!("c{i}"))).collect();
+    for i in 0..n as usize {
+        qb.atom_named(rel, &[vars[i], vars[(i + 1) % n as usize]]);
+    }
+    qb.build()
+}
+
+/// A star query `E(c, l₁) ∧ … ∧ E(c, l_n)` (center → leaves).
+pub fn star_query(schema: &Arc<Schema>, rel: &str, leaves: u32) -> Query {
+    let mut qb = Query::builder(Arc::clone(schema));
+    let c = qb.var("center");
+    for i in 0..leaves {
+        let l = qb.var(&format!("leaf{i}"));
+        qb.atom_named(rel, &[c, l]);
+    }
+    qb.build()
+}
+
+/// A `w×h` grid query with right- and down-edges; treewidth `min(w,h)`,
+/// the standard stress test separating the tree-decomposition counter from
+/// naive enumeration.
+pub fn grid_query(schema: &Arc<Schema>, rel: &str, w: u32, h: u32) -> Query {
+    let mut qb = Query::builder(Arc::clone(schema));
+    let var = |qb: &mut crate::query::QueryBuilder, x: u32, y: u32| qb.var(&format!("g{x}_{y}"));
+    for y in 0..h {
+        for x in 0..w {
+            let v = var(&mut qb, x, y);
+            if x + 1 < w {
+                let r = var(&mut qb, x + 1, y);
+                qb.atom_named(rel, &[v, r]);
+            }
+            if y + 1 < h {
+                let d = var(&mut qb, x, y + 1);
+                qb.atom_named(rel, &[v, d]);
+            }
+        }
+    }
+    qb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::SchemaBuilder;
+
+    fn digraph() -> Arc<Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.build()
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let s = digraph();
+        let g = QueryGen::default();
+        let q1 = g.sample(&s, 9);
+        let q2 = g.sample(&s, 9);
+        assert_eq!(q1.atoms(), q2.atoms());
+    }
+
+    #[test]
+    fn families_have_expected_shapes() {
+        let s = digraph();
+        let p = path_query(&s, "E", 4);
+        assert_eq!(p.var_count(), 5);
+        assert_eq!(p.atoms().len(), 4);
+        let c = cycle_query(&s, "E", 4);
+        assert_eq!(c.var_count(), 4);
+        assert_eq!(c.atoms().len(), 4);
+        let st = star_query(&s, "E", 6);
+        assert_eq!(st.var_count(), 7);
+        assert_eq!(st.atoms().len(), 6);
+        let g = grid_query(&s, "E", 3, 2);
+        assert_eq!(g.var_count(), 6);
+        assert_eq!(g.atoms().len(), 7); // 2*2 right + 3*1 down... (w-1)*h + w*(h-1) = 4 + 3
+    }
+
+    #[test]
+    fn inequalities_generated() {
+        let s = digraph();
+        let g = QueryGen { inequalities: 3, ..Default::default() };
+        let q = g.sample(&s, 1);
+        assert_eq!(q.inequalities().len(), 3);
+    }
+
+    #[test]
+    fn cycle_of_length_one_is_loop() {
+        let s = digraph();
+        let c = cycle_query(&s, "E", 1);
+        assert_eq!(c.var_count(), 1);
+        assert_eq!(c.atoms().len(), 1);
+        assert_eq!(c.atoms()[0].args[0], c.atoms()[0].args[1]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Non-boolean conjunctive queries (queries with output variables).
+//!
+//! The paper works with boolean queries throughout, but its Section 2.3
+//! explains how constants relate to free variables: for boolean queries
+//! `φ_s`, `φ_b` with a tuple of constants `a⃗`, and the *non-boolean*
+//! queries `φ′_s`, `φ′_b` obtained by reading `a⃗` as free variables,
+//!
+//! > `φ_b` contains `φ_s` **iff** `φ′_b` contains `φ′_s` —
+//! > for any semantics (set or multiset).
+//!
+//! An [`OutputQuery`] is a CQ together with an ordered tuple of output
+//! (free) variables; under bag semantics its answer on `D` is the
+//! *multirelation* mapping each output tuple to the number of
+//! homomorphisms producing it (evaluated in `bagcq-homcount`).
+//! [`free_constants`] performs the §2.3 transformation.
+
+use crate::query::{Atom, Inequality, Query, Term, VarId};
+use bagcq_structure::ConstId;
+use std::sync::Arc;
+
+/// A conjunctive query with ordered output variables.
+#[derive(Clone)]
+pub struct OutputQuery {
+    /// The underlying (implicitly existentially quantified) CQ.
+    pub query: Query,
+    /// The output (free) variables, in answer-tuple order.
+    pub outputs: Vec<VarId>,
+}
+
+impl OutputQuery {
+    /// Wraps a boolean query (no outputs).
+    pub fn boolean(query: Query) -> Self {
+        OutputQuery { query, outputs: Vec::new() }
+    }
+
+    /// Builds an output query, validating that each output variable
+    /// exists in the query.
+    pub fn new(query: Query, outputs: Vec<VarId>) -> Self {
+        for &v in &outputs {
+            assert!(v.0 < query.var_count(), "output variable out of range");
+        }
+        OutputQuery { query, outputs }
+    }
+
+    /// Arity of the answer relation.
+    pub fn output_arity(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// `true` iff boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+/// The §2.3 transformation: replaces every occurrence of the given
+/// constants by fresh *free* variables, returning the resulting
+/// [`OutputQuery`] (outputs ordered like `constants`).
+///
+/// Occurrences of the same constant all become the same variable, which
+/// is exactly the reading "the tuple `a⃗`, now understood as a tuple of
+/// free variables".
+pub fn free_constants(q: &Query, constants: &[ConstId]) -> OutputQuery {
+    let schema = Arc::clone(q.schema());
+    let mut qb = Query::builder(Arc::clone(&schema));
+    // Re-create the original variables under their names.
+    let old_vars: Vec<Term> = (0..q.var_count())
+        .map(|v| qb.var(q.var_name(VarId(v))))
+        .collect();
+    // One fresh variable per freed constant.
+    let freed: Vec<Term> = constants
+        .iter()
+        .map(|c| qb.var(&format!("freed_{}", schema.constant_name(*c))))
+        .collect();
+    let remap = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) => old_vars[v.0 as usize],
+            Term::Const(c) => match constants.iter().position(|cc| cc == c) {
+                Some(i) => freed[i],
+                None => Term::Const(*c),
+            },
+        }
+    };
+    for Atom { rel, args } in q.atoms() {
+        let new_args: Vec<Term> = args.iter().map(remap).collect();
+        qb.atom(*rel, &new_args);
+    }
+    for Inequality { lhs, rhs } in q.inequalities() {
+        let l = remap(lhs);
+        let r = remap(rhs);
+        qb.neq(l, r);
+    }
+    let query = qb.build();
+    let outputs: Vec<VarId> = freed
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => *v,
+            Term::Const(_) => unreachable!("freed terms are variables"),
+        })
+        .collect();
+    OutputQuery::new(query, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::SchemaBuilder;
+
+    fn schema() -> Arc<bagcq_structure::Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.constant("a");
+        b.constant("b");
+        b.build()
+    }
+
+    #[test]
+    fn boolean_wrapper() {
+        let s = schema();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        qb.atom_named("E", &[x, x]);
+        let oq = OutputQuery::boolean(qb.build());
+        assert!(oq.is_boolean());
+        assert_eq!(oq.output_arity(), 0);
+    }
+
+    #[test]
+    fn free_constants_replaces_all_occurrences() {
+        let s = schema();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let a = qb.constant("a");
+        let b = qb.constant("b");
+        let x = qb.var("x");
+        qb.atom_named("E", &[a, x]).atom_named("E", &[x, a]).atom_named("E", &[a, b]);
+        let q = qb.build();
+
+        let ca = s.constant_by_name("a").unwrap();
+        let oq = free_constants(&q, &[ca]);
+        // 'a' gone, 'b' stays; one new output variable.
+        assert_eq!(oq.output_arity(), 1);
+        assert_eq!(oq.query.constants_used(), vec![s.constant_by_name("b").unwrap()]);
+        assert_eq!(oq.query.var_count(), 2); // x + freed_a
+        // All three atoms survive with the freed variable in a's slots.
+        assert_eq!(oq.query.atoms().len(), 3);
+    }
+
+    #[test]
+    fn freeing_no_constants_is_identity_shape() {
+        let s = schema();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]).neq(x, y);
+        let q = qb.build();
+        let oq = free_constants(&q, &[]);
+        assert!(oq.is_boolean());
+        assert_eq!(oq.query.atoms(), q.atoms());
+        assert_eq!(oq.query.inequalities().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_validates_outputs() {
+        let s = schema();
+        let q = Query::empty(s);
+        let _ = OutputQuery::new(q, vec![VarId(0)]);
+    }
+}

@@ -1,0 +1,341 @@
+//! A small text syntax for conjunctive queries.
+//!
+//! ```text
+//!     E(x, y), E(y, z), S1('a', x), x != z
+//! ```
+//!
+//! * atoms are `Rel(t1, …, tk)` with relation names `[A-Za-z_][A-Za-z0-9_]*`;
+//! * terms are variables (bare identifiers) or constants (single-quoted);
+//! * `t != t'` adds an inequality atom;
+//! * conjuncts are separated by `,` or `&` or `∧`.
+//!
+//! Two entry points: [`parse_query`] parses against an existing schema
+//! (relations and constants must exist, arities must match), and
+//! [`parse_query_infer`] additionally *builds* the schema from what it
+//! sees — convenient for CLI use and tests.
+
+use crate::query::{Query, QueryBuilder, Term};
+use bagcq_structure::{Schema, SchemaBuilder};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error from the query parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQueryError {
+    /// Human-readable message with position information.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseQueryError> {
+    Err(ParseQueryError { message: message.into() })
+}
+
+/// A parsed conjunct before schema resolution.
+#[derive(Debug, Clone)]
+enum RawConjunct {
+    Atom { rel: String, args: Vec<RawTerm> },
+    Neq(RawTerm, RawTerm),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RawTerm {
+    Var(String),
+    Const(String),
+}
+
+/// Tokenizes and parses the surface syntax into raw conjuncts.
+fn parse_raw(src: &str) -> Result<Vec<RawConjunct>, ParseQueryError> {
+    let mut out = Vec::new();
+    let mut rest = src.trim();
+    if rest.is_empty() {
+        return Ok(out);
+    }
+    loop {
+        let (conjunct, tail) = parse_conjunct(rest)?;
+        out.push(conjunct);
+        rest = tail.trim_start();
+        if rest.is_empty() {
+            return Ok(out);
+        }
+        // Separator.
+        if let Some(t) = rest
+            .strip_prefix(',')
+            .or_else(|| rest.strip_prefix('&'))
+            .or_else(|| rest.strip_prefix('∧'))
+        {
+            rest = t.trim_start();
+            if rest.is_empty() {
+                return err("trailing separator");
+            }
+        } else {
+            return err(format!("expected ',' before {rest:?}"));
+        }
+    }
+}
+
+fn ident(src: &str) -> Option<(&str, &str)> {
+    let mut end = 0;
+    for (i, ch) in src.char_indices() {
+        let ok = if i == 0 {
+            ch.is_ascii_alphabetic() || ch == '_'
+        } else {
+            ch.is_ascii_alphanumeric() || ch == '_'
+        };
+        if !ok {
+            break;
+        }
+        end = i + ch.len_utf8();
+    }
+    if end == 0 {
+        None
+    } else {
+        Some((&src[..end], &src[end..]))
+    }
+}
+
+fn parse_term(src: &str) -> Result<(RawTerm, &str), ParseQueryError> {
+    let src = src.trim_start();
+    if let Some(tail) = src.strip_prefix('\'') {
+        let Some(close) = tail.find('\'') else {
+            return err("unterminated constant quote");
+        };
+        let name = &tail[..close];
+        if name.is_empty() {
+            return err("empty constant name");
+        }
+        return Ok((RawTerm::Const(name.to_string()), &tail[close + 1..]));
+    }
+    match ident(src) {
+        Some((name, tail)) => Ok((RawTerm::Var(name.to_string()), tail)),
+        None => err(format!("expected a term at {src:?}")),
+    }
+}
+
+fn parse_conjunct(src: &str) -> Result<(RawConjunct, &str), ParseQueryError> {
+    let src = src.trim_start();
+    // Try an atom first: identifier followed by '('.
+    if let Some((name, tail)) = ident(src) {
+        let t = tail.trim_start();
+        if let Some(mut t) = t.strip_prefix('(') {
+            let mut args = Vec::new();
+            loop {
+                let (term, rest) = parse_term(t)?;
+                args.push(term);
+                let rest = rest.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    t = r;
+                    continue;
+                }
+                if let Some(r) = rest.strip_prefix(')') {
+                    return Ok((RawConjunct::Atom { rel: name.to_string(), args }, r));
+                }
+                return err(format!("expected ',' or ')' in atom {name} at {rest:?}"));
+            }
+        }
+    }
+    // Otherwise an inequality `t != t'` (or `t ≠ t'`).
+    let (lhs, rest) = parse_term(src)?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix("!=")
+        .or_else(|| rest.strip_prefix('≠'))
+        .ok_or_else(|| ParseQueryError {
+            message: format!("expected '!=' at {rest:?}"),
+        })?;
+    let (rhs, rest) = parse_term(rest)?;
+    Ok((RawConjunct::Neq(lhs, rhs), rest))
+}
+
+fn resolve(
+    raw: Vec<RawConjunct>,
+    schema: Arc<Schema>,
+) -> Result<Query, ParseQueryError> {
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let term = |qb: &mut QueryBuilder, t: &RawTerm| -> Result<Term, ParseQueryError> {
+        match t {
+            RawTerm::Var(name) => Ok(qb.var(name)),
+            RawTerm::Const(name) => match schema.constant_by_name(name) {
+                Some(c) => Ok(Term::Const(c)),
+                None => err(format!("unknown constant '{name}'")),
+            },
+        }
+    };
+    for c in raw {
+        match c {
+            RawConjunct::Atom { rel, args } => {
+                let Some(r) = schema.relation_by_name(&rel) else {
+                    return err(format!("unknown relation {rel}"));
+                };
+                if schema.arity(r) != args.len() {
+                    return err(format!(
+                        "relation {rel} has arity {}, got {} arguments",
+                        schema.arity(r),
+                        args.len()
+                    ));
+                }
+                let mut terms = Vec::with_capacity(args.len());
+                for a in &args {
+                    terms.push(term(&mut qb, a)?);
+                }
+                qb.atom(r, &terms);
+            }
+            RawConjunct::Neq(l, r) => {
+                let lt = term(&mut qb, &l)?;
+                let rt = term(&mut qb, &r)?;
+                qb.neq(lt, rt);
+            }
+        }
+    }
+    Ok(qb.build())
+}
+
+/// Parses a query against an existing schema.
+pub fn parse_query(schema: &Arc<Schema>, src: &str) -> Result<Query, ParseQueryError> {
+    resolve(parse_raw(src)?, Arc::clone(schema))
+}
+
+/// Parses a query, inferring the schema (relations with their observed
+/// arities, constants from quoted names). Inconsistent arities across
+/// atoms are an error.
+pub fn parse_query_infer(src: &str) -> Result<(Query, Arc<Schema>), ParseQueryError> {
+    let raw = parse_raw(src)?;
+    let mut sb = SchemaBuilder::default();
+    let mut arities: std::collections::HashMap<&str, usize> = Default::default();
+    for c in &raw {
+        match c {
+            RawConjunct::Atom { rel, args } => {
+                // SchemaBuilder panics on arity conflicts; pre-check to
+                // return a proper error instead.
+                if let Some(&prev) = arities.get(rel.as_str()) {
+                    if prev != args.len() {
+                        return err(format!(
+                            "relation {rel} used with arities {prev} and {}",
+                            args.len()
+                        ));
+                    }
+                }
+                arities.insert(rel, args.len());
+                sb.relation(rel, args.len());
+                for a in args {
+                    if let RawTerm::Const(name) = a {
+                        sb.constant(name);
+                    }
+                }
+            }
+            RawConjunct::Neq(l, r) => {
+                for t in [l, r] {
+                    if let RawTerm::Const(name) = t {
+                        sb.constant(name);
+                    }
+                }
+            }
+        }
+    }
+    let schema = sb.build();
+    let q = resolve(raw, Arc::clone(&schema))?;
+    Ok((q, schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::SchemaBuilder;
+
+    fn schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.relation("T", 3);
+        b.constant("a");
+        b.build()
+    }
+
+    #[test]
+    fn parses_simple_path() {
+        let q = parse_query(&schema(), "E(x,y), E(y,z)").unwrap();
+        assert_eq!(q.var_count(), 3);
+        assert_eq!(q.atoms().len(), 2);
+        assert!(q.is_pure());
+    }
+
+    #[test]
+    fn parses_constants_and_inequalities() {
+        let q = parse_query(&schema(), "E('a', x), x != y, T(x,y,'a')").unwrap();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.inequalities().len(), 1);
+        assert_eq!(q.constants_used().len(), 1);
+    }
+
+    #[test]
+    fn alternative_separators() {
+        let q = parse_query(&schema(), "E(x,y) & E(y,z) ∧ E(z,w)").unwrap();
+        assert_eq!(q.atoms().len(), 3);
+    }
+
+    #[test]
+    fn unicode_neq() {
+        let q = parse_query(&schema(), "E(x,y), x ≠ y").unwrap();
+        assert_eq!(q.inequalities().len(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        let s = schema();
+        assert!(parse_query(&s, "F(x)").is_err()); // unknown relation
+        assert!(parse_query(&s, "E(x)").is_err()); // wrong arity
+        assert!(parse_query(&s, "E(x,'zzz')").is_err()); // unknown constant
+        assert!(parse_query(&s, "E(x,y),").is_err()); // trailing comma
+        assert!(parse_query(&s, "E(x,y) E(y,z)").is_err()); // missing separator
+        assert!(parse_query(&s, "x == y").is_err()); // not a conjunct
+        assert!(parse_query(&s, "E(x,'unclosed)").is_err());
+    }
+
+    #[test]
+    fn empty_query_is_top() {
+        let q = parse_query(&schema(), "   ").unwrap();
+        assert_eq!(q.atoms().len(), 0);
+        assert_eq!(q.var_count(), 0);
+    }
+
+    #[test]
+    fn infer_builds_schema() {
+        let (q, s) = parse_query_infer("Edge(x,y), Edge(y,z), Label('red', x)").unwrap();
+        assert_eq!(s.relation_count(), 2);
+        assert_eq!(s.arity(s.relation_by_name("Edge").unwrap()), 2);
+        assert_eq!(s.constant_count(), 1);
+        assert_eq!(q.atoms().len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let s = schema();
+        let q = parse_query(&s, "E(x,y), T(x,y,'a'), x != y").unwrap();
+        let shown = q.to_string();
+        let q2 = parse_query(&s, &shown.replace('∧', ",").replace('≠', "!=")).unwrap();
+        assert_eq!(q.atoms(), q2.atoms());
+        assert_eq!(q.inequalities().len(), q2.inequalities().len());
+    }
+}
+
+#[cfg(test)]
+mod infer_tests {
+    use super::*;
+
+    #[test]
+    fn infer_rejects_arity_conflicts() {
+        assert!(parse_query_infer("E(x,y), E(x,y,z)").is_err());
+    }
+
+    #[test]
+    fn infer_collects_constants_from_inequalities() {
+        let (_, s) = parse_query_infer("E(x,y), x != 'a'").unwrap();
+        assert!(s.constant_by_name("a").is_some());
+    }
+}

@@ -1,0 +1,228 @@
+//! Symbolic products of query powers.
+//!
+//! The Theorem 1 output query `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b` contains the factor
+//! `δ_b = (∧̄_{l∈L} δ_{b,l}) ↑ C` whose exponent `C = c·ζ_b(D_Arena)` is
+//! astronomically large — materializing `δ_b` as a flat conjunction is
+//! impossible (it would have `C·Σl` variables). A [`PowerQuery`] keeps such
+//! queries in the factored form
+//!
+//! ```text
+//!     Φ  =  θ₁↑e₁  ∧̄  θ₂↑e₂  ∧̄  …  ∧̄  θ_r↑e_r
+//! ```
+//!
+//! with arbitrary-precision exponents. By Lemma 1 and Definition 2,
+//! `Φ(D) = ∏ᵢ θᵢ(D)^{eᵢ}`, so the factored form is evaluation-equivalent
+//! to the flat query while staying polynomial-sized. The `bagcq-homcount`
+//! crate evaluates each base once and assembles the product as a certified
+//! [`bagcq_arith::Magnitude`].
+
+use crate::query::{Query, QueryStats};
+use bagcq_arith::Nat;
+use std::fmt;
+
+/// A factor `θ↑e` of a [`PowerQuery`].
+#[derive(Clone)]
+pub struct PowerFactor {
+    /// The base query `θ`.
+    pub base: Query,
+    /// The exponent `e` (an arbitrary-precision natural).
+    pub exponent: Nat,
+}
+
+/// A symbolic disjoint conjunction of query powers.
+#[derive(Clone)]
+pub struct PowerQuery {
+    factors: Vec<PowerFactor>,
+}
+
+impl PowerQuery {
+    /// The empty product (the trivially true query; evaluates to 1).
+    pub fn unit() -> Self {
+        PowerQuery { factors: Vec::new() }
+    }
+
+    /// A single query with exponent 1.
+    pub fn from_query(q: Query) -> Self {
+        PowerQuery { factors: vec![PowerFactor { base: q, exponent: Nat::one() }] }
+    }
+
+    /// `θ↑e` for an arbitrary-precision exponent.
+    pub fn power(q: Query, e: Nat) -> Self {
+        if e.is_zero() {
+            return PowerQuery::unit();
+        }
+        PowerQuery { factors: vec![PowerFactor { base: q, exponent: e }] }
+    }
+
+    /// Symbolic disjoint conjunction: concatenates the factor lists.
+    pub fn disjoint_conj(mut self, other: PowerQuery) -> PowerQuery {
+        self.factors.extend(other.factors);
+        self
+    }
+
+    /// Raises the whole product to the power `e`:
+    /// `(∏ θᵢ^{eᵢ})↑e = ∏ θᵢ^{eᵢ·e}`.
+    pub fn pow(mut self, e: &Nat) -> PowerQuery {
+        if e.is_zero() {
+            return PowerQuery::unit();
+        }
+        for f in &mut self.factors {
+            f.exponent = f.exponent.mul_ref(e);
+        }
+        self
+    }
+
+    /// The factors.
+    pub fn factors(&self) -> &[PowerFactor] {
+        &self.factors
+    }
+
+    /// `true` iff no factor carries an inequality.
+    pub fn is_pure(&self) -> bool {
+        self.factors.iter().all(|f| f.base.is_pure())
+    }
+
+    /// Expands to a flat [`Query`], when the total exponent mass is small
+    /// enough to materialize (used by tests to cross-validate the symbolic
+    /// evaluation against a direct count). Returns `None` when any exponent
+    /// exceeds `max_copies` in total.
+    pub fn expand(&self, max_copies: u64) -> Option<Query> {
+        let mut total: u64 = 0;
+        for f in &self.factors {
+            let e = f.exponent.to_u64()?;
+            total = total.checked_add(e)?;
+            if total > max_copies {
+                return None;
+            }
+        }
+        let schema = self.factors.first().map(|f| f.base.schema().clone())?;
+        let mut acc = Query::empty(schema);
+        for f in &self.factors {
+            let e = f.exponent.to_u64().unwrap() as u32;
+            acc = acc.disjoint_conj(&f.base.power(e));
+        }
+        Some(acc)
+    }
+
+    /// Aggregate statistics of the *symbolic* representation: the size of
+    /// the object we actually construct (polynomial in the input), as
+    /// opposed to the size of the expanded query (exponential).
+    pub fn symbolic_stats(&self) -> QueryStats {
+        let mut s = QueryStats { variables: 0, atoms: 0, inequalities: 0 };
+        for f in &self.factors {
+            let fs = f.base.stats();
+            s.variables += fs.variables;
+            s.atoms += fs.atoms;
+            s.inequalities += fs.inequalities;
+        }
+        s
+    }
+
+    /// Total inequality count of the *expanded* query: `Σ eᵢ·ineq(θᵢ)`.
+    pub fn expanded_inequalities(&self) -> Nat {
+        let mut total = Nat::zero();
+        for f in &self.factors {
+            let per = Nat::from_u64(f.base.stats().inequalities as u64);
+            total.add_assign_ref(&per.mul_ref(&f.exponent));
+        }
+        total
+    }
+}
+
+impl fmt::Display for PowerQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, fac) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧̄ ")?;
+            }
+            if fac.exponent.is_one() {
+                write!(f, "({})", fac.base)?;
+            } else {
+                write!(f, "({})↑{}", fac.base, fac.exponent)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PowerQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::SchemaBuilder;
+
+    fn edge_query() -> Query {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        let schema = b.build();
+        let mut qb = Query::builder(schema);
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]);
+        qb.build()
+    }
+
+    #[test]
+    fn unit_and_single() {
+        assert!(PowerQuery::unit().factors().is_empty());
+        let p = PowerQuery::from_query(edge_query());
+        assert_eq!(p.factors().len(), 1);
+        assert!(p.factors()[0].exponent.is_one());
+    }
+
+    #[test]
+    fn power_zero_collapses() {
+        let p = PowerQuery::power(edge_query(), Nat::zero());
+        assert!(p.factors().is_empty());
+    }
+
+    #[test]
+    fn pow_multiplies_exponents() {
+        let p = PowerQuery::power(edge_query(), Nat::from_u64(3)).pow(&Nat::from_u64(5));
+        assert_eq!(p.factors()[0].exponent, Nat::from_u64(15));
+    }
+
+    #[test]
+    fn expand_small() {
+        let p = PowerQuery::power(edge_query(), Nat::from_u64(3));
+        let flat = p.expand(10).unwrap();
+        assert_eq!(flat.atoms().len(), 3);
+        assert_eq!(flat.var_count(), 6);
+    }
+
+    #[test]
+    fn expand_refuses_huge() {
+        let p = PowerQuery::power(edge_query(), Nat::pow2(80));
+        assert!(p.expand(1_000_000).is_none());
+    }
+
+    #[test]
+    fn expanded_inequality_accounting() {
+        let q = edge_query();
+        let mut qb = Query::builder(q.schema().clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]).neq(x, y);
+        let with_ineq = qb.build();
+        let p = PowerQuery::power(with_ineq, Nat::from_u64(7))
+            .disjoint_conj(PowerQuery::from_query(q));
+        assert_eq!(p.expanded_inequalities(), Nat::from_u64(7));
+        assert!(!p.is_pure());
+    }
+
+    #[test]
+    fn display() {
+        let p = PowerQuery::power(edge_query(), Nat::from_u64(4));
+        let s = p.to_string();
+        assert!(s.contains("↑4"), "{s}");
+        assert_eq!(PowerQuery::unit().to_string(), "⊤");
+    }
+}

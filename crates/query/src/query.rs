@@ -1,0 +1,575 @@
+//! Boolean conjunctive queries, with and without inequalities.
+//!
+//! Following Section 2 of the paper: queries are conjunctions of relational
+//! atoms over variables and constants, implicitly existentially quantified,
+//! possibly extended with inequality atoms `x ≠ x'` (interpreted as the
+//! full binary disequality relation on the active domain). The bag
+//! semantics of a boolean query is `ψ(D) = |Hom(ψ, D)|`, computed in the
+//! `bagcq-homcount` crate.
+//!
+//! Two conjunction operators are provided, mirroring the paper's `∧` and
+//! `∧̄` (Section 2.2):
+//!
+//! * [`Query::conj`] — *shared* conjunction: variables with equal names are
+//!   identified across the conjuncts;
+//! * [`Query::disjoint_conj`] — the paper's `∧̄`: variables are kept local
+//!   (renamed apart), which gives the multiplicativity law of Lemma 1,
+//!   `(ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D)`.
+//!
+//! [`Query::power`] is Definition 2's `θ↑k`.
+
+use bagcq_structure::{ConstId, RelId, Schema, SchemaEmbedding, Structure, Vertex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable, local to its [`Query`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// A term: variable or schema constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A (existentially quantified) variable.
+    Var(VarId),
+    /// A named constant; homomorphisms fix these (`h(a) = a`).
+    Const(ConstId),
+}
+
+/// A relational atom `R(t₁, …, t_k)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// Argument terms; length equals the relation's arity.
+    pub args: Vec<Term>,
+}
+
+/// An inequality atom `t ≠ t'`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Inequality {
+    /// Left term.
+    pub lhs: Term,
+    /// Right term.
+    pub rhs: Term,
+}
+
+/// A boolean conjunctive query, possibly with inequalities.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Query {
+    schema: Arc<Schema>,
+    var_names: Vec<String>,
+    atoms: Vec<Atom>,
+    inequalities: Vec<Inequality>,
+}
+
+impl Query {
+    /// Starts building a query over the given schema.
+    pub fn builder(schema: Arc<Schema>) -> QueryBuilder {
+        QueryBuilder {
+            q: Query {
+                schema,
+                var_names: Vec::new(),
+                atoms: Vec::new(),
+                inequalities: Vec::new(),
+            },
+            vars_by_name: HashMap::new(),
+        }
+    }
+
+    /// The query with no atoms at all (one homomorphism into any database:
+    /// the empty mapping), useful as a unit for conjunction.
+    pub fn empty(schema: Arc<Schema>) -> Query {
+        Query {
+            schema,
+            var_names: Vec::new(),
+            atoms: Vec::new(),
+            inequalities: Vec::new(),
+        }
+    }
+
+    /// The schema this query is over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of variables (`|Var(ψ)|`).
+    pub fn var_count(&self) -> u32 {
+        self.var_names.len() as u32
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// The relational atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The inequality atoms.
+    pub fn inequalities(&self) -> &[Inequality] {
+        &self.inequalities
+    }
+
+    /// `true` iff the query has no inequality atoms (a *pure* CQ in the
+    /// paper's sense; Theorems 1 and 2 require this of both queries).
+    pub fn is_pure(&self) -> bool {
+        self.inequalities.is_empty()
+    }
+
+    /// The constants occurring in the query.
+    pub fn constants_used(&self) -> Vec<ConstId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut visit = |t: &Term| {
+            if let Term::Const(c) = t {
+                if seen.insert(*c) {
+                    out.push(*c);
+                }
+            }
+        };
+        for a in &self.atoms {
+            a.args.iter().for_each(&mut visit);
+        }
+        for ineq in &self.inequalities {
+            visit(&ineq.lhs);
+            visit(&ineq.rhs);
+        }
+        out
+    }
+
+    /// Removes all inequality atoms — the paper's `ψ′_s` in Lemma 23.
+    pub fn strip_inequalities(&self) -> Query {
+        Query {
+            schema: Arc::clone(&self.schema),
+            var_names: self.var_names.clone(),
+            atoms: self.atoms.clone(),
+            inequalities: Vec::new(),
+        }
+    }
+
+    /// Shared conjunction `ρ ∧ ρ'`: variables with the same *name* are
+    /// identified (the quantifier-free parts are conjoined first, then
+    /// quantified; Section 2.2).
+    pub fn conj(&self, other: &Query) -> Query {
+        assert!(
+            Arc::ptr_eq(&self.schema, &other.schema) || self.schema == other.schema,
+            "conjunction requires a common schema"
+        );
+        let mut out = self.clone();
+        let by_name: HashMap<&str, VarId> = self
+            .var_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), VarId(i as u32)))
+            .collect();
+        // Map other's variables into out.
+        let mut var_map: Vec<VarId> = Vec::with_capacity(other.var_names.len());
+        let mut new_names: Vec<String> = Vec::new();
+        for name in &other.var_names {
+            if let Some(&v) = by_name.get(name.as_str()) {
+                var_map.push(v);
+            } else {
+                let v = VarId(out.var_names.len() as u32 + new_names.len() as u32);
+                var_map.push(v);
+                new_names.push(name.clone());
+            }
+        }
+        // Two-phase to appease the borrow checker over by_name's lifetime.
+        drop(by_name);
+        out.var_names.extend(new_names);
+        let remap = |t: &Term| match t {
+            Term::Var(v) => Term::Var(var_map[v.0 as usize]),
+            Term::Const(c) => Term::Const(*c),
+        };
+        for a in &other.atoms {
+            out.atoms.push(Atom { rel: a.rel, args: a.args.iter().map(remap).collect() });
+        }
+        for ineq in &other.inequalities {
+            out.inequalities.push(Inequality { lhs: remap(&ineq.lhs), rhs: remap(&ineq.rhs) });
+        }
+        out
+    }
+
+    /// Disjoint conjunction `ρ ∧̄ ρ'` (Section 2.2): the variables of the
+    /// right conjunct are renamed apart, so by Lemma 1
+    /// `(ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D)` for every `D`.
+    pub fn disjoint_conj(&self, other: &Query) -> Query {
+        assert!(
+            Arc::ptr_eq(&self.schema, &other.schema) || self.schema == other.schema,
+            "conjunction requires a common schema"
+        );
+        let base = self.var_names.len() as u32;
+        let mut out = self.clone();
+        for (i, name) in other.var_names.iter().enumerate() {
+            // Rename apart, keeping names readable and unique.
+            out.var_names.push(format!("{name}#{}", base as usize + i));
+        }
+        let remap = |t: &Term| match t {
+            Term::Var(v) => Term::Var(VarId(v.0 + base)),
+            Term::Const(c) => Term::Const(*c),
+        };
+        for a in &other.atoms {
+            out.atoms.push(Atom { rel: a.rel, args: a.args.iter().map(remap).collect() });
+        }
+        for ineq in &other.inequalities {
+            out.inequalities.push(Inequality { lhs: remap(&ineq.lhs), rhs: remap(&ineq.rhs) });
+        }
+        out
+    }
+
+    /// Query exponentiation `θ↑k` (Definition 2): the `k`-fold disjoint
+    /// conjunction, so `(θ↑k)(D) = θ(D)^k`.
+    pub fn power(&self, k: u32) -> Query {
+        let mut acc = Query::empty(Arc::clone(&self.schema));
+        for _ in 0..k {
+            acc = acc.disjoint_conj(self);
+        }
+        acc
+    }
+
+    /// Transports the query across a schema embedding (used after
+    /// [`Schema::disjoint_union`] to combine gadget and reduction queries).
+    pub fn transport(&self, target: Arc<Schema>, emb: &SchemaEmbedding) -> Query {
+        let remap = |t: &Term| match t {
+            Term::Var(v) => Term::Var(*v),
+            Term::Const(c) => Term::Const(emb.constant(*c)),
+        };
+        Query {
+            schema: target,
+            var_names: self.var_names.clone(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| Atom { rel: emb.rel(a.rel), args: a.args.iter().map(remap).collect() })
+                .collect(),
+            inequalities: self
+                .inequalities
+                .iter()
+                .map(|i| Inequality { lhs: remap(&i.lhs), rhs: remap(&i.rhs) })
+                .collect(),
+        }
+    }
+
+    /// The canonical structure of the query's relational part (Section 2.1:
+    /// "we tacitly identify queries with their canonical structures").
+    ///
+    /// Variables become fresh vertices, constants keep their constant
+    /// vertices; inequality atoms are *not* represented (they are semantic
+    /// constraints, not facts). Returns the structure together with the
+    /// vertex of each variable.
+    pub fn canonical_structure(&self) -> (Structure, Vec<Vertex>) {
+        let mut d = Structure::new(Arc::clone(&self.schema));
+        let var_vertices: Vec<Vertex> =
+            (0..self.var_names.len()).map(|_| d.add_vertex()).collect();
+        let mut buf: Vec<Vertex> = Vec::new();
+        for a in &self.atoms {
+            buf.clear();
+            buf.extend(a.args.iter().map(|t| match t {
+                Term::Var(v) => var_vertices[v.0 as usize],
+                Term::Const(c) => d.constant_vertex(*c),
+            }));
+            d.add_atom(a.rel, &buf);
+        }
+        (d, var_vertices)
+    }
+
+    /// Summary statistics: `(variables, relational atoms, inequalities)`.
+    /// The paper's headline comparison against [Jayram–Kolaitis–Vee 2006]
+    /// is about the third component.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            variables: self.var_names.len(),
+            atoms: self.atoms.len(),
+            inequalities: self.inequalities.len(),
+        }
+    }
+}
+
+/// Size statistics of a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of distinct variables.
+    pub variables: usize,
+    /// Number of relational atoms.
+    pub atoms: usize,
+    /// Number of inequality atoms.
+    pub inequalities: usize,
+}
+
+/// Incremental construction of a [`Query`].
+pub struct QueryBuilder {
+    q: Query,
+    vars_by_name: HashMap<String, VarId>,
+}
+
+impl QueryBuilder {
+    /// Fetches or creates the variable with the given name.
+    pub fn var(&mut self, name: &str) -> Term {
+        if let Some(&v) = self.vars_by_name.get(name) {
+            return Term::Var(v);
+        }
+        let v = VarId(self.q.var_names.len() as u32);
+        self.q.var_names.push(name.to_string());
+        self.vars_by_name.insert(name.to_string(), v);
+        Term::Var(v)
+    }
+
+    /// A constant term (must exist in the schema).
+    pub fn constant(&mut self, name: &str) -> Term {
+        let c = self
+            .q
+            .schema
+            .constant_by_name(name)
+            .unwrap_or_else(|| panic!("unknown constant {name}"));
+        Term::Const(c)
+    }
+
+    /// A constant term by id.
+    pub fn constant_id(&mut self, c: ConstId) -> Term {
+        assert!((c.0 as usize) < self.q.schema.constant_count());
+        Term::Const(c)
+    }
+
+    /// Adds a relational atom.
+    pub fn atom(&mut self, rel: RelId, args: &[Term]) -> &mut Self {
+        assert_eq!(
+            args.len(),
+            self.q.schema.arity(rel),
+            "arity mismatch for {}",
+            self.q.schema.relation(rel).name
+        );
+        self.q.atoms.push(Atom { rel, args: args.to_vec() });
+        self
+    }
+
+    /// Adds a relational atom by relation name.
+    pub fn atom_named(&mut self, rel: &str, args: &[Term]) -> &mut Self {
+        let r = self
+            .q
+            .schema
+            .relation_by_name(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        self.atom(r, args)
+    }
+
+    /// Adds an inequality atom `lhs ≠ rhs`.
+    pub fn neq(&mut self, lhs: Term, rhs: Term) -> &mut Self {
+        self.q.inequalities.push(Inequality { lhs, rhs });
+        self
+    }
+
+    /// Finalizes the query.
+    pub fn build(self) -> Query {
+        self.q
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let term = |t: &Term| match t {
+            Term::Var(v) => self.var_names[v.0 as usize].clone(),
+            Term::Const(c) => format!("'{}'", self.schema.constant_name(*c)),
+        };
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            let args: Vec<String> = a.args.iter().map(term).collect();
+            write!(f, "{}({})", self.schema.relation(a.rel).name, args.join(","))?;
+        }
+        for ineq in &self.inequalities {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{} ≠ {}", term(&ineq.lhs), term(&ineq.rhs))?;
+        }
+        if first {
+            write!(f, "⊤")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::SchemaBuilder;
+
+    fn schema2() -> Arc<Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.relation("F", 2);
+        b.constant("a");
+        b.build()
+    }
+
+    fn path2(schema: &Arc<Schema>) -> Query {
+        // E(x, y) ∧ E(y, z)
+        let mut qb = Query::builder(Arc::clone(schema));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        let z = qb.var("z");
+        qb.atom_named("E", &[x, y]).atom_named("E", &[y, z]);
+        qb.build()
+    }
+
+    #[test]
+    fn build_basics() {
+        let s = schema2();
+        let q = path2(&s);
+        assert_eq!(q.var_count(), 3);
+        assert_eq!(q.atoms().len(), 2);
+        assert!(q.is_pure());
+        assert_eq!(q.stats().variables, 3);
+    }
+
+    #[test]
+    fn var_identity_by_name() {
+        let s = schema2();
+        let mut qb = Query::builder(s);
+        let x1 = qb.var("x");
+        let x2 = qb.var("x");
+        assert_eq!(x1, x2);
+        assert_eq!(qb.build().var_count(), 1);
+    }
+
+    #[test]
+    fn conj_shares_by_name() {
+        let s = schema2();
+        let q1 = path2(&s); // vars x,y,z
+        let mut qb = Query::builder(Arc::clone(&s));
+        let y = qb.var("y");
+        let w = qb.var("w");
+        qb.atom_named("F", &[y, w]);
+        let q2 = qb.build();
+        let c = q1.conj(&q2);
+        // y shared; w fresh: 4 variables total, 3 atoms.
+        assert_eq!(c.var_count(), 4);
+        assert_eq!(c.atoms().len(), 3);
+    }
+
+    #[test]
+    fn disjoint_conj_renames_apart() {
+        let s = schema2();
+        let q = path2(&s);
+        let d = q.disjoint_conj(&q);
+        assert_eq!(d.var_count(), 6);
+        assert_eq!(d.atoms().len(), 4);
+    }
+
+    #[test]
+    fn power_counts() {
+        let s = schema2();
+        let q = path2(&s);
+        let p = q.power(3);
+        assert_eq!(p.var_count(), 9);
+        assert_eq!(p.atoms().len(), 6);
+        let p0 = q.power(0);
+        assert_eq!(p0.var_count(), 0);
+        assert_eq!(p0.atoms().len(), 0);
+    }
+
+    #[test]
+    fn strip_inequalities() {
+        let s = schema2();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]).neq(x, y);
+        let q = qb.build();
+        assert!(!q.is_pure());
+        assert_eq!(q.inequalities().len(), 1);
+        let stripped = q.strip_inequalities();
+        assert!(stripped.is_pure());
+        assert_eq!(stripped.atoms().len(), 1);
+    }
+
+    #[test]
+    fn canonical_structure_roundtrip() {
+        let s = schema2();
+        let q = path2(&s);
+        let (d, vv) = q.canonical_structure();
+        // 1 constant vertex + 3 variable vertices.
+        assert_eq!(d.vertex_count(), 4);
+        let e = s.relation_by_name("E").unwrap();
+        assert_eq!(d.atom_count(e), 2);
+        assert!(d.contains_atom(e, &[vv[0], vv[1]]));
+        assert!(d.contains_atom(e, &[vv[1], vv[2]]));
+    }
+
+    #[test]
+    fn canonical_structure_with_constants() {
+        let s = schema2();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let a = qb.constant("a");
+        let x = qb.var("x");
+        qb.atom_named("E", &[a, x]);
+        let q = qb.build();
+        let (d, vv) = q.canonical_structure();
+        let e = s.relation_by_name("E").unwrap();
+        let av = d.constant_vertex(s.constant_by_name("a").unwrap());
+        assert!(d.contains_atom(e, &[av, vv[0]]));
+    }
+
+    #[test]
+    fn constants_used() {
+        let s = schema2();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let a = qb.constant("a");
+        let x = qb.var("x");
+        qb.atom_named("E", &[a, x]);
+        let q = qb.build();
+        assert_eq!(q.constants_used(), vec![s.constant_by_name("a").unwrap()]);
+        assert!(path2(&s).constants_used().is_empty());
+    }
+
+    #[test]
+    fn transport_across_union() {
+        let s1 = schema2();
+        let mut b2 = SchemaBuilder::default();
+        b2.relation("P", 3);
+        b2.constant("a");
+        let s2 = b2.build();
+        let (merged, e1, _e2) = Schema::disjoint_union(&s1, &s2);
+        let q = path2(&s1);
+        let t = q.transport(Arc::clone(&merged), &e1);
+        assert_eq!(t.schema().relation_count(), 3);
+        assert_eq!(t.atoms().len(), 2);
+        assert_eq!(merged.relation(t.atoms()[0].rel).name, "E");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = schema2();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let a = qb.constant("a");
+        let x = qb.var("x");
+        qb.atom_named("E", &[x, a]).neq(x, a);
+        let q = qb.build();
+        let shown = q.to_string();
+        assert!(shown.contains("E(x,'a')"), "{shown}");
+        assert!(shown.contains("≠"), "{shown}");
+        assert_eq!(Query::empty(s).to_string(), "⊤");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let s = schema2();
+        let mut qb = Query::builder(s);
+        let x = qb.var("x");
+        qb.atom_named("E", &[x]);
+    }
+}

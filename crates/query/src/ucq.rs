@@ -1,0 +1,117 @@
+//! Unions of conjunctive queries (UCQs) under bag semantics.
+//!
+//! Section 1.1 of the paper recounts the first known negative result:
+//! `QCP^bag_UCQ` is undecidable (Ioannidis–Ramakrishnan [14]), by a
+//! "straightforward encoding of Hilbert's 10th problem". Under bag
+//! semantics a UCQ's answer is the **bag union** of its disjuncts'
+//! answers — for boolean queries, the *sum* of the homomorphism counts:
+//!
+//! ```text
+//!     (φ₁ ∨ … ∨ φ_r)(D) = φ₁(D) + … + φ_r(D).
+//! ```
+//!
+//! This is exactly what makes the encoding easy: a monomial becomes a CQ
+//! (Lemma 1 turns products of valuation weights into conjunctions) and a
+//! *sum* of monomials becomes a *disjunction* — no anti-cheating needed.
+//! The encoding itself lives in `bagcq-reduction::ioannidis`.
+
+use crate::query::Query;
+use std::fmt;
+
+/// A union (disjunction) of boolean conjunctive queries.
+#[derive(Clone)]
+pub struct UnionQuery {
+    disjuncts: Vec<Query>,
+}
+
+impl UnionQuery {
+    /// The empty union (evaluates to 0 everywhere).
+    pub fn empty() -> Self {
+        UnionQuery { disjuncts: Vec::new() }
+    }
+
+    /// A single-disjunct union.
+    pub fn from_query(q: Query) -> Self {
+        UnionQuery { disjuncts: vec![q] }
+    }
+
+    /// Builds a union from disjuncts.
+    pub fn new(disjuncts: Vec<Query>) -> Self {
+        UnionQuery { disjuncts }
+    }
+
+    /// Appends a disjunct.
+    pub fn push(&mut self, q: Query) {
+        self.disjuncts.push(q);
+    }
+
+    /// Appends `k` copies of a disjunct (how integer coefficients are
+    /// encoded: multiplicities add across identical disjuncts).
+    pub fn push_copies(&mut self, q: &Query, k: u64) {
+        for _ in 0..k {
+            self.disjuncts.push(q.clone());
+        }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[Query] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// `true` iff no disjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// `true` iff every disjunct is a pure CQ.
+    pub fn is_pure(&self) -> bool {
+        self.disjuncts.iter().all(Query::is_pure)
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∨  ")?;
+            }
+            write!(f, "({q})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::SchemaBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        let s = b.build();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]);
+        let q = qb.build();
+        let mut u = UnionQuery::from_query(q.clone());
+        u.push_copies(&q, 2);
+        assert_eq!(u.len(), 3);
+        assert!(u.is_pure());
+        assert!(!u.is_empty());
+        assert!(UnionQuery::empty().is_empty());
+        assert_eq!(UnionQuery::empty().to_string(), "⊥");
+        assert!(u.to_string().contains('∨'));
+    }
+}

@@ -1,0 +1,73 @@
+//! The multiplication-by-`c` gadget `α_s`/`α_b` (end of Section 3.2).
+//!
+//! For a natural `c ≥ 1`, take `p = 2c−1` and `m = p+1`; then
+//!
+//! ```text
+//!   (p+1)²/2p · (m−1)/m  =  (p+1)²/2p · p/(p+1)  =  (p+1)/2  =  c,
+//! ```
+//!
+//! so by Lemma 4 the composition `α_s = β_s ∧̄ γ_s`, `α_b = β_b ∧̄ γ_b`
+//! multiplies by exactly `c` — with **no** inequality in `α_s` and exactly
+//! **one** in `α_b`, which is what upgrades Theorem 1 into Theorem 3.
+
+use crate::beta::beta_gadget;
+use crate::gadget::MultiplyGadget;
+use crate::gamma::gamma_gadget;
+use bagcq_arith::Rat;
+
+/// Builds the gadget multiplying by exactly `c` (requires `c ≥ 2` so that
+/// `p = 2c−1 ≥ 3` as Lemma 5 needs).
+pub fn alpha_gadget(c: u64, prefix: &str) -> MultiplyGadget {
+    assert!(c >= 2, "alpha gadget needs c >= 2 (p = 2c-1 >= 3)");
+    let p = (2 * c - 1) as usize;
+    let m = p + 1;
+    let beta = beta_gadget(p, &format!("{prefix}b"));
+    let gamma = gamma_gadget(m, &format!("{prefix}g"));
+    let alpha = beta.compose(&gamma);
+    debug_assert_eq!(alpha.ratio, Rat::from_u64s(c, 1));
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::StructureGen;
+
+    #[test]
+    fn ratio_is_exactly_c() {
+        for c in 2u64..=6 {
+            let a = alpha_gadget(c, "A");
+            assert_eq!(a.ratio, Rat::from_u64s(c, 1), "c = {c}");
+        }
+    }
+
+    #[test]
+    fn witness_achieves_equality() {
+        for c in [2u64, 3] {
+            let a = alpha_gadget(c, "A");
+            let (s, b) = a.check_witness().unwrap_or_else(|e| panic!("c={c}: {e}"));
+            // s = c·b exactly, both nonzero.
+            assert_eq!(s, bagcq_arith::Nat::from_u64(c).mul_ref(&b), "c={c}");
+        }
+    }
+
+    #[test]
+    fn inequality_budget() {
+        // α_s: none; α_b: exactly one — the Theorem 3 headline.
+        let a = alpha_gadget(4, "A");
+        assert_eq!(a.q_s.stats().inequalities, 0);
+        assert_eq!(a.q_b.stats().inequalities, 1);
+    }
+
+    #[test]
+    fn le_condition_on_random_structures() {
+        let a = alpha_gadget(2, "A");
+        let gen = StructureGen {
+            extra_vertices: 2,
+            density: 0.6,
+            max_tuples_per_relation: 50,
+            diagonal_density: 0.7,
+        };
+        assert!(a.falsify(&gen, 25, 500).is_none(), "alpha (≤) violated");
+    }
+}

@@ -1,0 +1,589 @@
+//! The Theorem 1 reduction (Section 4): from a Lemma 11 instance
+//! `(c, P_s, P_b)` to a pair of boolean CQs `φ_s`, `φ_b` and a constant
+//! `ℂ` such that `∃ non-trivial D: ℂ·φ_s(D) > φ_b(D)` iff
+//! `∃Ξ: c·P_s(Ξ) > Ξ(x₁)^d·P_b(Ξ)`.
+//!
+//! Components (Sections 4.3–4.6):
+//!
+//! * the schema `Σ`: binary `S_m` per monomial, `R_d` per degree position,
+//!   `E`, `X`, constants `a`, `a_m`, `b_n`, `♂`, `♀`;
+//! * the ground query `Arena = Arena_π ∧ Arena_δ` and its canonical
+//!   structure `D_Arena`;
+//! * the polynomial-evaluating queries `π_s`, `π_b` (star-with-rays);
+//! * the anti-cheating queries `ζ_b` (slight incorrectness) and `δ_b`
+//!   (serious incorrectness), kept symbolic as [`PowerQuery`]s because
+//!   `δ_b`'s exponent `ℂ = c·ζ_b(D_Arena)` is astronomically large;
+//! * `φ_s = Arena ∧̄ π_s` and `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b`.
+//!
+//! ### A note on ray lengths (deviation from the paper's display)
+//!
+//! Section 4.3 displays `S_m`-rays with `c_{s,m}` edges, but Appendix A's
+//! count `(***)` (and Lemma 15, which the whole proof rests on) requires
+//! exactly `c_{s,m}` homomorphisms per ray, which a ray of `c_{s,m}` edges
+//! does not give — a path of `c` edges into the loop–edge–loop target has
+//! `c+1` homomorphisms. Appendix A itself speaks of "a ray consisting of
+//! `c_{s,j}−1` edges". We follow Appendix A: a coefficient `c` becomes a
+//! ray of `c−1` edges, so Lemma 15 holds exactly (and the test suite
+//! verifies it digit-for-digit).
+
+use bagcq_arith::{CertOrd, Magnitude, Nat};
+use bagcq_homcount::{eval_power_query, EvalOptions, NaiveCounter, OntoHom};
+use bagcq_polynomial::Lemma11Instance;
+use bagcq_query::{cycle_query, PowerQuery, Query, Term};
+use bagcq_structure::{ConstId, RelId, Schema, Structure, MARS, VENUS};
+use std::sync::Arc;
+
+/// Definition 13's classification of a database satisfying `Arena`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Correctness {
+    /// `D ⊭ Arena` — `φ_s(D) = 0`, nothing to prove.
+    NotArena,
+    /// `D↾Σ₀ = D_Arena` plus `X`-atoms only.
+    Correct,
+    /// Constants stay distinct but extra `Σ₀`-atoms exist.
+    SlightlyIncorrect,
+    /// The constant interpretation identifies elements of `D_Arena`.
+    SeriouslyIncorrect,
+}
+
+/// The complete Theorem 1 reduction output for one Lemma 11 instance.
+pub struct Theorem1Reduction {
+    /// The input instance.
+    pub instance: Lemma11Instance,
+    /// The reduction schema `Σ`.
+    pub schema: Arc<Schema>,
+    /// `S_m` relations (one per monomial).
+    pub s_rels: Vec<RelId>,
+    /// `R_d` relations (one per degree position).
+    pub r_rels: Vec<RelId>,
+    /// The cycle relation `E`.
+    pub e_rel: RelId,
+    /// The valuation relation `X`.
+    pub x_rel: RelId,
+    /// Constant `a`.
+    pub a_const: ConstId,
+    /// Constants `a_m`.
+    pub a_m: Vec<ConstId>,
+    /// Constants `b_n`.
+    pub b_n: Vec<ConstId>,
+    /// `♂`.
+    pub mars: ConstId,
+    /// `♀`.
+    pub venus: ConstId,
+    /// The ground query `Arena`.
+    pub arena: Query,
+    /// `π_s`.
+    pub pi_s: Query,
+    /// `π_b`.
+    pub pi_b: Query,
+    /// `ζ_b` (symbolic).
+    pub zeta_b: PowerQuery,
+    /// `δ_b` (symbolic).
+    pub delta_b: PowerQuery,
+    /// `φ_s = Arena ∧̄ π_s`.
+    pub phi_s: PowerQuery,
+    /// `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b`.
+    pub phi_b: PowerQuery,
+    /// The exponent `k` of `ζ_b` (smallest with `((j+1)/j)^k ≥ c`).
+    pub k: u64,
+    /// `ℂ₁ = ζ_b(D_Arena)`.
+    pub c1: Nat,
+    /// `ℂ = c·ℂ₁` — the output multiplier.
+    pub big_c: Nat,
+    /// The canonical structure of `Arena`.
+    pub d_arena: Structure,
+    /// `𝕝 = 𝕟 + 𝕞 + 2`, the `E`-cycle length.
+    pub cycle_len: usize,
+}
+
+impl Theorem1Reduction {
+    /// Runs the reduction. The instance must validate.
+    pub fn new(instance: Lemma11Instance) -> Self {
+        instance.validate().expect("invalid Lemma 11 instance");
+        let mm = instance.monomials.len(); // 𝕞
+        let nn = instance.n_vars as usize; // 𝕟
+        let dd = instance.degree; // 𝕕
+
+        // ---- Schema ----
+        let mut sb = Schema::builder();
+        let s_rels: Vec<RelId> = (0..mm).map(|m| sb.relation(&format!("S{}", m + 1), 2)).collect();
+        let r_rels: Vec<RelId> = (0..dd).map(|d| sb.relation(&format!("R{}", d + 1), 2)).collect();
+        let e_rel = sb.relation("E", 2);
+        let x_rel = sb.relation("X", 2);
+        let a_const = sb.constant("a");
+        let a_m: Vec<ConstId> = (0..mm).map(|m| sb.constant(&format!("a{}", m + 1))).collect();
+        let b_n: Vec<ConstId> = (0..nn).map(|n| sb.constant(&format!("b{}", n + 1))).collect();
+        let mars = sb.constant(MARS);
+        let venus = sb.constant(VENUS);
+        let schema = sb.build();
+
+        // ---- Arena = Arena_π ∧ Arena_δ (all ground) ----
+        let mut qb = Query::builder(Arc::clone(&schema));
+        let a_t = qb.constant_id(a_const);
+        let am_t: Vec<Term> = a_m.iter().map(|&c| Term::Const(c)).collect();
+        let bn_t: Vec<Term> = b_n.iter().map(|&c| Term::Const(c)).collect();
+        let mars_t = qb.constant_id(mars);
+        let venus_t = qb.constant_id(venus);
+        // Arena_π.
+        for &(n, d, m) in &instance.positions() {
+            qb.atom(r_rels[d], &[am_t[m], bn_t[n as usize]]);
+        }
+        for m in 0..mm {
+            for mp in 0..mm {
+                qb.atom(s_rels[mp], &[am_t[m], am_t[m]]);
+            }
+        }
+        for m in 0..mm {
+            qb.atom(s_rels[m], &[am_t[m], a_t]);
+            qb.atom(s_rels[m], &[a_t, a_t]);
+        }
+        // Arena_δ: the ♂ self-loop and the 𝕝-cycle ♀ → a → a₁ … a_𝕞 → b₁ … b_𝕟 → ♀.
+        qb.atom(e_rel, &[mars_t, mars_t]);
+        let cycle: Vec<Term> = std::iter::once(venus_t)
+            .chain(std::iter::once(a_t))
+            .chain(am_t.iter().copied())
+            .chain(bn_t.iter().copied())
+            .collect();
+        for i in 0..cycle.len() {
+            qb.atom(e_rel, &[cycle[i], cycle[(i + 1) % cycle.len()]]);
+        }
+        let arena = qb.build();
+        let cycle_len = cycle.len();
+        debug_assert_eq!(cycle_len, nn + mm + 2);
+
+        // ---- π_s and π_b ----
+        let pi_s = build_pi(
+            &schema, &s_rels, &r_rels, x_rel, &instance, &instance.coeff_s, false,
+        );
+        let pi_b = build_pi(
+            &schema, &s_rels, &r_rels, x_rel, &instance, &instance.coeff_b, true,
+        );
+
+        // ---- D_Arena ----
+        let (d_arena, _) = arena.canonical_structure();
+
+        // ---- ζ_b ----
+        // j^P = number of P-atoms in D_Arena; j = max; k smallest with
+        // ((j+1)/j)^k ≥ c, which also gives ((j^P+1)/j^P)^k ≥ c for all P.
+        let sigma_rs: Vec<RelId> = s_rels.iter().chain(r_rels.iter()).copied().collect();
+        let j = sigma_rs
+            .iter()
+            .map(|&p| d_arena.atom_count(p))
+            .max()
+            .expect("Σ_RS nonempty") as u64;
+        let k = {
+            let mut k = 1u64;
+            loop {
+                // (j+1)^k >= c · j^k ?
+                let lhs = Nat::from_u64(j + 1).pow_u64(k);
+                let rhs = instance.c.mul_ref(&Nat::from_u64(j).pow_u64(k));
+                if lhs >= rhs {
+                    break k;
+                }
+                k += 1;
+            }
+        };
+        let mut zeta_b = PowerQuery::unit();
+        let mut c1 = Nat::one();
+        for &p in &sigma_rs {
+            let mut qb = Query::builder(Arc::clone(&schema));
+            let w = qb.var("w");
+            let v = qb.var("v");
+            qb.atom(p, &[w, v]);
+            zeta_b = zeta_b.disjoint_conj(PowerQuery::power(qb.build(), Nat::from_u64(k)));
+            c1 *= &Nat::from_u64(d_arena.atom_count(p) as u64).pow_u64(k);
+        }
+        let big_c = instance.c.mul_ref(&c1);
+
+        // ---- δ_b ----
+        // L = {1,…,𝕝−1} ∪ {𝕝+1}; δ_b = (∧̄_{l∈L} δ_{b,l}) ↑ ℂ.
+        let mut delta_b = PowerQuery::unit();
+        for l in (1..cycle_len).chain(std::iter::once(cycle_len + 1)) {
+            let cq = cycle_query(&schema, "E", l as u32);
+            delta_b = delta_b.disjoint_conj(PowerQuery::from_query(cq));
+        }
+        let delta_b = delta_b.pow(&big_c);
+
+        // ---- φ_s and φ_b ----
+        let phi_s = PowerQuery::from_query(arena.clone())
+            .disjoint_conj(PowerQuery::from_query(pi_s.clone()));
+        let phi_b = PowerQuery::from_query(pi_b.clone())
+            .disjoint_conj(zeta_b.clone())
+            .disjoint_conj(delta_b.clone());
+
+        Theorem1Reduction {
+            instance,
+            schema,
+            s_rels,
+            r_rels,
+            e_rel,
+            x_rel,
+            a_const,
+            a_m,
+            b_n,
+            mars,
+            venus,
+            arena,
+            pi_s,
+            pi_b,
+            zeta_b,
+            delta_b,
+            phi_s,
+            phi_b,
+            k,
+            c1,
+            big_c,
+            d_arena,
+            cycle_len,
+        }
+    }
+
+    /// Builds the *correct* database `D(Ξ)` for a valuation: `D_Arena`
+    /// plus, for each variable `x_n`, exactly `Ξ(x_n)` `X`-edges from
+    /// `b_n` to fresh vertices.
+    pub fn correct_database(&self, valuation: &[u64]) -> Structure {
+        assert_eq!(valuation.len(), self.instance.n_vars as usize);
+        let mut d = self.d_arena.clone();
+        for (n, &v) in valuation.iter().enumerate() {
+            let bn = d.constant_vertex(self.b_n[n]);
+            for _ in 0..v {
+                let fresh = d.add_vertex();
+                d.add_atom(self.x_rel, &[bn, fresh]);
+            }
+        }
+        d
+    }
+
+    /// Definition 14: `Ξ_D(x_i)` = number of `X`-edges from `b_i` in `D`.
+    pub fn extract_valuation(&self, d: &Structure) -> Vec<Nat> {
+        self.b_n
+            .iter()
+            .map(|&bn| {
+                let v = d.constant_vertex(bn);
+                let count = d.tuples(self.x_rel).filter(|t| t[0] == v.0).count();
+                Nat::from_u64(count as u64)
+            })
+            .collect()
+    }
+
+    /// Definition 13 classifier.
+    pub fn classify(&self, d: &Structure) -> Correctness {
+        // D ⊨ Arena? (Arena is ground: count is 0 or 1.)
+        if NaiveCounter.count(&self.arena, d).is_zero() {
+            return Correctness::NotArena;
+        }
+        // Injectivity of the constant interpretation.
+        let all_consts: Vec<ConstId> = self.schema.constants().collect();
+        let mut interp: Vec<u32> = all_consts
+            .iter()
+            .map(|&c| d.constant_vertex(c).0)
+            .collect();
+        interp.sort_unstable();
+        let distinct = {
+            let mut i = interp.clone();
+            i.dedup();
+            i.len()
+        };
+        if distinct != all_consts.len() {
+            return Correctness::SeriouslyIncorrect;
+        }
+        // Exact Σ₀ atom match against the (injectively translated) Arena
+        // facts. Since D ⊨ Arena and the interpretation is injective, the
+        // translated fact set has the same cardinality as Arena's; equality
+        // holds iff per-relation counts match.
+        let sigma0: Vec<RelId> = self
+            .s_rels
+            .iter()
+            .chain(self.r_rels.iter())
+            .chain(std::iter::once(&self.e_rel))
+            .copied()
+            .collect();
+        let counts_match = sigma0
+            .iter()
+            .all(|&rel| d.atom_count(rel) == self.d_arena.atom_count(rel));
+        if counts_match {
+            Correctness::Correct
+        } else {
+            Correctness::SlightlyIncorrect
+        }
+    }
+
+    /// The explicit onto homomorphism `h : π_b → π_s` of Lemma 12 (built
+    /// by name, then verified).
+    pub fn lemma12_onto_hom(&self) -> OntoHom {
+        let (_, var_vertices) = self.pi_s.canonical_structure();
+        // Vertex of a π_s variable by name.
+        let vertex_of = |name: &str| -> Option<u32> {
+            (0..self.pi_s.var_count())
+                .find(|&v| self.pi_s.var_name(bagcq_query::VarId(v)) == name)
+                .map(|v| var_vertices[v as usize].0)
+        };
+        let x_vertex = vertex_of("x").expect("π_s has x");
+        let y1_vertex = vertex_of("y1").expect("π_s has y1");
+        let z1_vertex = vertex_of("z1").expect("π_s has z1");
+        let assignment: Vec<u32> = (0..self.pi_b.var_count())
+            .map(|v| {
+                let name = self.pi_b.var_name(bagcq_query::VarId(v));
+                if let Some(vert) = vertex_of(name) {
+                    vert // shared variable: identity
+                } else if name.starts_with("ray_") {
+                    x_vertex // extra ray vertices collapse to x
+                } else if name.starts_with("yp") {
+                    y1_vertex
+                } else if name.starts_with("zp") {
+                    z1_vertex
+                } else {
+                    panic!("unexpected π_b variable {name}")
+                }
+            })
+            .collect();
+        OntoHom { assignment }
+    }
+
+    /// Certified evaluation of the Theorem 1 inequality on one database:
+    /// compares `ℂ·φ_s(D)` against `φ_b(D)`.
+    pub fn compare_phi(&self, d: &Structure, opts: &EvalOptions) -> CertOrd {
+        let lhs = Magnitude::exact_with_budget(self.big_c.clone(), opts.exact_bits)
+            .mul(&eval_power_query(&self.phi_s, d, opts));
+        let rhs = eval_power_query(&self.phi_b, d, opts);
+        lhs.cmp_cert(&rhs)
+    }
+
+    /// Does `ℂ·φ_s(D) ≤ φ_b(D)` hold? `None` when the certified
+    /// comparison cannot decide at this precision.
+    pub fn holds_on(&self, d: &Structure, opts: &EvalOptions) -> Option<bool> {
+        match self.compare_phi(d, opts) {
+            CertOrd::Less | CertOrd::Equal => Some(true),
+            CertOrd::Greater => Some(false),
+            CertOrd::Unknown => {
+                // `≤` can still be certified when enclosures touch.
+                let lhs = Magnitude::exact_with_budget(self.big_c.clone(), opts.exact_bits)
+                    .mul(&eval_power_query(&self.phi_s, d, opts));
+                let rhs = eval_power_query(&self.phi_b, d, opts);
+                lhs.le_cert(&rhs)
+            }
+        }
+    }
+}
+
+/// Builds `π` for the given coefficients: the star with the `x` center,
+/// one `S_m` loop + ray of `coeff−1` edges per monomial, the `R_d`/`X`
+/// rays, and (for `π_b`) the extra `R_1`/`X` rays representing `x₁^d`.
+fn build_pi(
+    schema: &Arc<Schema>,
+    s_rels: &[RelId],
+    r_rels: &[RelId],
+    x_rel: RelId,
+    instance: &Lemma11Instance,
+    coeffs: &[Nat],
+    extra_x1_rays: bool,
+) -> Query {
+    let mut qb = Query::builder(Arc::clone(schema));
+    let x = qb.var("x");
+    for (m, coeff) in coeffs.iter().enumerate() {
+        let c = coeff
+            .to_u64()
+            .expect("coefficient too large to materialize as a ray");
+        // Loop S_m(x, x).
+        qb.atom(s_rels[m], &[x, x]);
+        // Ray of c−1 edges: x → ray_{c−1} → … → ray_1 (Appendix A
+        // convention; see module docs).
+        if c >= 2 {
+            let ray: Vec<Term> = (1..c)
+                .map(|kk| qb.var(&format!("ray_m{}_{}", m + 1, kk)))
+                .collect();
+            // ray[i] holds variable ray_{i+1}; topmost is ray_{c−1}.
+            qb.atom(s_rels[m], &[x, ray[(c - 2) as usize]]);
+            for kk in (1..c - 1).rev() {
+                qb.atom(s_rels[m], &[ray[kk as usize], ray[(kk - 1) as usize]]);
+            }
+        }
+    }
+    for d in 0..instance.degree {
+        let y = qb.var(&format!("y{}", d + 1));
+        let z = qb.var(&format!("z{}", d + 1));
+        qb.atom(r_rels[d], &[x, y]);
+        qb.atom(x_rel, &[y, z]);
+    }
+    if extra_x1_rays {
+        for d in 0..instance.degree {
+            let y = qb.var(&format!("yp{}", d + 1));
+            let z = qb.var(&format!("zp{}", d + 1));
+            qb.atom(r_rels[0], &[x, y]);
+            qb.atom(x_rel, &[y, z]);
+        }
+    }
+    qb.build()
+}
+
+/// Helper: builds a toy Lemma 11 instance directly (used by tests and
+/// examples that don't want to run the whole Appendix B chain).
+pub fn toy_instance(c: u64, coeff_s: Vec<u64>, coeff_b: Vec<u64>) -> Lemma11Instance {
+    use bagcq_polynomial::Monomial;
+    assert_eq!(coeff_s.len(), 2);
+    Lemma11Instance {
+        c: Nat::from_u64(c),
+        monomials: vec![Monomial::new(vec![0, 0]), Monomial::new(vec![0, 1])],
+        coeff_s: coeff_s.into_iter().map(Nat::from_u64).collect(),
+        coeff_b: coeff_b.into_iter().map(Nat::from_u64).collect(),
+        n_vars: 2,
+        degree: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_homcount::verify_onto_hom;
+
+    fn toy_reduction() -> Theorem1Reduction {
+        Theorem1Reduction::new(toy_instance(2, vec![1, 2], vec![2, 3]))
+    }
+
+    #[test]
+    fn schema_shape() {
+        let r = toy_reduction();
+        // 2 monomials + 2 degrees + E + X = 6 relations.
+        assert_eq!(r.schema.relation_count(), 6);
+        // a + a1,a2 + b1,b2 + ♂,♀ = 7 constants.
+        assert_eq!(r.schema.constant_count(), 7);
+        assert_eq!(r.cycle_len, 2 + 2 + 2);
+    }
+
+    #[test]
+    fn arena_is_ground_and_holds_on_d_arena() {
+        let r = toy_reduction();
+        assert_eq!(r.arena.var_count(), 0);
+        assert_eq!(NaiveCounter.count(&r.arena, &r.d_arena), Nat::one());
+    }
+
+    /// Lemma 15: on correct databases, `π_s(D) = P_s(Ξ_D)` and
+    /// `π_b(D) = Ξ_D(x₁)^d·P_b(Ξ_D)`.
+    #[test]
+    fn lemma15_exact() {
+        let r = toy_reduction();
+        for val in [[0u64, 0], [1, 0], [1, 1], [2, 3], [3, 1], [0, 5]] {
+            let d = r.correct_database(&val);
+            let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
+            let pi_s_count = NaiveCounter.count(&r.pi_s, &d);
+            let expect_s = r.instance.p_s().eval_nat(&nat_val);
+            assert_eq!(pi_s_count, expect_s, "π_s at {val:?}");
+
+            let pi_b_count = NaiveCounter.count(&r.pi_b, &d);
+            let x1d = nat_val[0].pow_u64(r.instance.degree as u64);
+            let expect_b = x1d.mul_ref(&r.instance.p_b().eval_nat(&nat_val));
+            assert_eq!(pi_b_count, expect_b, "π_b at {val:?}");
+        }
+    }
+
+    /// Definition 14 extraction is the left inverse of the generator.
+    #[test]
+    fn valuation_roundtrip() {
+        let r = toy_reduction();
+        let val = [3u64, 5];
+        let d = r.correct_database(&val);
+        let extracted = r.extract_valuation(&d);
+        assert_eq!(extracted, vec![Nat::from_u64(3), Nat::from_u64(5)]);
+    }
+
+    #[test]
+    fn classification() {
+        let r = toy_reduction();
+        let correct = r.correct_database(&[1, 2]);
+        assert_eq!(r.classify(&correct), Correctness::Correct);
+
+        // Extra S-atom ⇒ slightly incorrect.
+        let mut slight = correct.clone();
+        let a1 = slight.constant_vertex(r.a_m[0]);
+        let b1 = slight.constant_vertex(r.b_n[0]);
+        slight.add_atom(r.s_rels[0], &[a1, b1]);
+        assert_eq!(r.classify(&slight), Correctness::SlightlyIncorrect);
+
+        // Identify two constants ⇒ seriously incorrect.
+        let a1v = correct.constant_vertex(r.a_m[0]);
+        let a2v = correct.constant_vertex(r.a_m[1]);
+        let serious = correct.identify(a1v, a2v);
+        assert_eq!(r.classify(&serious), Correctness::SeriouslyIncorrect);
+
+        // Empty structure ⊭ Arena.
+        let empty = Structure::new(Arc::clone(&r.schema));
+        assert_eq!(r.classify(&empty), Correctness::NotArena);
+    }
+
+    /// Lemma 12: explicit onto hom verifies, and the containment holds on
+    /// concrete databases.
+    #[test]
+    fn lemma12_onto_hom_verifies() {
+        let r = toy_reduction();
+        let h = r.lemma12_onto_hom();
+        assert!(verify_onto_hom(&r.pi_b, &r.pi_s, &h), "Lemma 12 witness invalid");
+        for val in [[1u64, 1], [2, 0], [3, 2]] {
+            let d = r.correct_database(&val);
+            let s = NaiveCounter.count(&r.pi_s, &d);
+            let b = NaiveCounter.count(&r.pi_b, &d);
+            assert!(s <= b, "π_s > π_b at {val:?}");
+        }
+    }
+
+    /// Lemma 17 (first claim): ζ_b(D) = ℂ₁ on correct databases, and
+    /// ℂ₁ = ζ_b(D_Arena) by construction.
+    #[test]
+    fn lemma17_zeta_on_correct() {
+        let r = toy_reduction();
+        let opts = EvalOptions::default();
+        let on_arena = eval_power_query(&r.zeta_b, &r.d_arena, &opts);
+        assert_eq!(on_arena.as_exact(), Some(&r.c1));
+        let d = r.correct_database(&[2, 2]);
+        let on_correct = eval_power_query(&r.zeta_b, &d, &opts);
+        assert_eq!(on_correct.as_exact(), Some(&r.c1));
+    }
+
+    /// Lemma 18: slightly incorrect ⇒ ζ_b(D) ≥ c·ℂ₁.
+    #[test]
+    fn lemma18_zeta_on_slightly_incorrect() {
+        let r = toy_reduction();
+        let opts = EvalOptions::default();
+        let mut slight = r.correct_database(&[1, 1]);
+        let a1 = slight.constant_vertex(r.a_m[0]);
+        let b1 = slight.constant_vertex(r.b_n[0]);
+        slight.add_atom(r.s_rels[0], &[a1, b1]);
+        assert_eq!(r.classify(&slight), Correctness::SlightlyIncorrect);
+        let zeta = eval_power_query(&r.zeta_b, &slight, &opts);
+        let threshold = Magnitude::exact(r.instance.c.mul_ref(&r.c1));
+        assert!(
+            matches!(zeta.cmp_cert(&threshold), CertOrd::Greater | CertOrd::Equal),
+            "ζ_b on slightly incorrect: {zeta:?} vs c·ℂ₁ = {threshold:?}"
+        );
+    }
+
+    /// Lemmas 19–20: δ_b ≥ 1 whenever D ⊨ Arena, and δ_b = 1 on correct D.
+    #[test]
+    fn lemma19_20_delta() {
+        let r = toy_reduction();
+        let opts = EvalOptions::default();
+        let d = r.correct_database(&[1, 2]);
+        let delta = eval_power_query(&r.delta_b, &d, &opts);
+        assert_eq!(delta.as_exact(), Some(&Nat::one()));
+    }
+
+    /// Lemma 21: seriously incorrect non-trivial D ⇒ δ_b(D) ≥ 2^ℂ ≥ ℂ.
+    #[test]
+    fn lemma21_delta_on_seriously_incorrect() {
+        let r = toy_reduction();
+        let opts = EvalOptions::default();
+        let correct = r.correct_database(&[1, 1]);
+        // Identify a₁ with a₂ (not touching ♂/♀: stays non-trivial).
+        let a1v = correct.constant_vertex(r.a_m[0]);
+        let a2v = correct.constant_vertex(r.a_m[1]);
+        let serious = correct.identify(a1v, a2v);
+        assert_eq!(r.classify(&serious), Correctness::SeriouslyIncorrect);
+        assert!(serious.is_nontrivial(r.mars, r.venus));
+        let delta = eval_power_query(&r.delta_b, &serious, &opts);
+        let threshold = Magnitude::exact(r.big_c.clone());
+        assert_eq!(
+            delta.cmp_cert(&threshold),
+            CertOrd::Greater,
+            "δ_b must exceed ℂ on seriously incorrect databases"
+        );
+    }
+}

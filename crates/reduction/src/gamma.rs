@@ -1,0 +1,177 @@
+//! The fine-tuning gadget `γ_s`/`γ_b` of Section 3.2 (Lemma 10).
+//!
+//! Over a fresh relation `P` of arity `m ≥ 2`, unary relations `A`, `B`,
+//! and the constants `♂`, `♀`:
+//!
+//! ```text
+//!   γ_s = [CYCLIQ_A(♂,♀̄) ∧ B(♂)]  ∧̄  [CYCLIQ_B(x₁,x⃗) ∧ A(x₁)]
+//!   γ_b = [CYCLIQ_A(y₁,y⃗) ∧ B(y₁)] ∧̄  [CYCLIQ_B(x₁,x⃗)]
+//! ```
+//!
+//! where `CYCLIQ_U(x₁,…,x_m)` is the `P`-cyclique constraint plus `U` on
+//! every element. Lemma 10: `γ_s` and `γ_b` multiply by `(m−1)/m`.
+//!
+//! The (=) witness is the disjoint union of the canonical structure of
+//! `γ′_s` and of `CYCLIQ_B(x₁,…,x_m) ∧ A(x₁) ∧ … ∧ A(x_{m−1})` (note: `A`
+//! on all but the *last* element).
+
+use crate::cyclique::add_cycliq_atoms;
+use crate::gadget::MultiplyGadget;
+use bagcq_arith::Rat;
+use bagcq_query::{Query, QueryBuilder, Term};
+use bagcq_structure::{RelId, SchemaBuilder, Structure, Vertex, MARS, VENUS};
+use std::sync::Arc;
+
+/// Adds `CYCLIQ_U(args)`: the `P`-cyclique atoms plus `U(argᵢ)` for all i.
+fn add_cycliq_u_atoms(qb: &mut QueryBuilder, p_rel: RelId, u_rel: RelId, args: &[Term]) {
+    add_cycliq_atoms(qb, p_rel, args);
+    for &a in args {
+        qb.atom(u_rel, &[a]);
+    }
+}
+
+/// The `γ` gadget for arity `m ≥ 2`, relations named `{prefix}P`,
+/// `{prefix}A`, `{prefix}B`.
+pub fn gamma_gadget(m: usize, prefix: &str) -> MultiplyGadget {
+    assert!(m >= 2, "Lemma 10 needs m >= 2");
+    let mut b = SchemaBuilder::default();
+    let p_rel = b.relation(&format!("{prefix}P"), m);
+    let a_rel = b.relation(&format!("{prefix}A"), 1);
+    let b_rel = b.relation(&format!("{prefix}B"), 1);
+    let mars = b.constant(MARS);
+    let venus = b.constant(VENUS);
+    let schema = b.build();
+
+    // γ_s = γ′_s ∧ γ″_s.
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let mars_t = qb.constant(MARS);
+    let venus_t = qb.constant(VENUS);
+    let mut ground = vec![venus_t; m];
+    ground[0] = mars_t;
+    add_cycliq_u_atoms(&mut qb, p_rel, a_rel, &ground);
+    qb.atom(b_rel, &[mars_t]);
+    let xs: Vec<Term> = (1..=m).map(|i| qb.var(&format!("x{i}"))).collect();
+    add_cycliq_u_atoms(&mut qb, p_rel, b_rel, &xs);
+    qb.atom(a_rel, &[xs[0]]);
+    let q_s = qb.build();
+
+    // γ_b = γ′_b ∧ γ″_b.
+    let mut qb = Query::builder(Arc::clone(&schema));
+    let ys: Vec<Term> = (1..=m).map(|i| qb.var(&format!("y{i}"))).collect();
+    add_cycliq_u_atoms(&mut qb, p_rel, a_rel, &ys);
+    qb.atom(b_rel, &[ys[0]]);
+    let xs: Vec<Term> = (1..=m).map(|i| qb.var(&format!("x{i}"))).collect();
+    add_cycliq_u_atoms(&mut qb, p_rel, b_rel, &xs);
+    let q_b = qb.build();
+
+    let witness = gamma_witness(&schema, p_rel, a_rel, b_rel, m);
+    let ratio = Rat::from_u64s((m - 1) as u64, m as u64);
+    MultiplyGadget { q_s, q_b, ratio, witness, mars, venus }
+}
+
+/// The (=) witness of Lemma 10 (see module docs).
+fn gamma_witness(
+    schema: &Arc<bagcq_structure::Schema>,
+    p_rel: RelId,
+    a_rel: RelId,
+    b_rel: RelId,
+    m: usize,
+) -> Structure {
+    let mut d = Structure::new(Arc::clone(schema));
+    let mars_v = d.constant_vertex(schema.constant_by_name(MARS).unwrap());
+    let venus_v = d.constant_vertex(schema.constant_by_name(VENUS).unwrap());
+
+    // Component 1: canonical structure of γ′_s = CYCLIQ_A(♂,♀̄) ∧ B(♂).
+    let mut ground: Vec<Vertex> = vec![venus_v; m];
+    ground[0] = mars_v;
+    for s in 0..m {
+        let shifted: Vec<Vertex> = (0..m).map(|i| ground[(s + i) % m]).collect();
+        d.add_atom(p_rel, &shifted);
+    }
+    d.add_atom(a_rel, &[mars_v]);
+    d.add_atom(a_rel, &[venus_v]);
+    d.add_atom(b_rel, &[mars_v]);
+
+    // Component 2: canonical structure of
+    // CYCLIQ_B(x₁,…,x_m) ∧ A(x₁) ∧ … ∧ A(x_{m−1}).
+    let first = d.add_vertices(m as u32);
+    let vs: Vec<Vertex> = (0..m as u32).map(|i| Vertex(first.0 + i)).collect();
+    for s in 0..m {
+        let shifted: Vec<Vertex> = (0..m).map(|i| vs[(s + i) % m]).collect();
+        d.add_atom(p_rel, &shifted);
+    }
+    for &v in &vs {
+        d.add_atom(b_rel, &[v]);
+    }
+    for &v in &vs[..m - 1] {
+        d.add_atom(a_rel, &[v]);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_arith::Nat;
+    use bagcq_homcount::NaiveCounter;
+    use bagcq_structure::StructureGen;
+
+    #[test]
+    fn witness_counts_match_lemma10() {
+        for m in [2usize, 3, 4, 6] {
+            let g = gamma_gadget(m, "G");
+            let (s, b) = g.check_witness().unwrap_or_else(|e| panic!("m={m}: {e}"));
+            assert_eq!(s, Nat::from_u64((m - 1) as u64), "m={m}");
+            assert_eq!(b, Nat::from_u64(m as u64), "m={m}");
+        }
+    }
+
+    #[test]
+    fn le_condition_on_random_structures() {
+        for m in [2usize, 3, 4] {
+            let g = gamma_gadget(m, "G");
+            let gen = StructureGen {
+                extra_vertices: 3,
+                density: 0.7,
+                max_tuples_per_relation: 60,
+                diagonal_density: 0.8,
+            };
+            assert!(
+                g.falsify(&gen, 40, 2000).is_none(),
+                "Lemma 10 violated at m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_is_pure() {
+        // The whole point of γ: multiplication by a number < 1 with NO
+        // inequality in either query.
+        let g = gamma_gadget(4, "G");
+        assert!(g.q_s.is_pure());
+        assert!(g.q_b.is_pure());
+    }
+
+    #[test]
+    fn gamma_prime_s_is_ground() {
+        // γ′_s only mentions constants, so its count on any D is 0 or 1;
+        // check on the witness it is 1 and γ_s(witness) = m−1 comes from
+        // the variable part.
+        let m = 5;
+        let g = gamma_gadget(m, "G");
+        let count = NaiveCounter.count(&g.q_s, &g.witness);
+        assert_eq!(count, Nat::from_u64((m - 1) as u64));
+    }
+
+    #[test]
+    fn trivial_collapse_gives_zero_or_consistent() {
+        // In a trivial database (♂ = ♀) the well-of-positivity effect can
+        // make γ_s(D) > (m−1)/m·γ_b(D); verify the checker reports Trivial
+        // rather than Violated.
+        let g = gamma_gadget(3, "G");
+        let m = g.witness.constant_vertex(g.mars);
+        let v = g.witness.constant_vertex(g.venus);
+        let collapsed = g.witness.identify(m, v);
+        assert_eq!(g.check_le_on(&collapsed), crate::gadget::LeCheck::Trivial);
+    }
+}

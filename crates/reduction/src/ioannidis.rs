@@ -1,0 +1,227 @@
+//! The Ioannidis–Ramakrishnan encoding: `QCP^bag_UCQ` is undecidable
+//! (the paper's reference [14], recounted in its Section 1.1).
+//!
+//! Given polynomials `P₁`, `P₂` with natural coefficients over variables
+//! `x₁ … x_n`, build UCQs `U₁`, `U₂` over the schema `{X}` with constants
+//! `b₁ … b_n` such that for **every** database `D`:
+//!
+//! ```text
+//!     Uᵢ(D) = Pᵢ(Ξ_D)      where Ξ_D(x_j) = #X-edges leaving b_j.
+//! ```
+//!
+//! Each monomial `x_{i₁}·…·x_{i_d}` becomes the CQ
+//! `X(b_{i₁}, z₁) ∧ … ∧ X(b_{i_d}, z_d)` (fresh `z`s — by Lemma 1 its
+//! count is exactly the product of the out-degrees), and a coefficient
+//! `c` becomes `c` copies of that disjunct (bag union = sum). The
+//! constant monomial becomes the empty CQ (count 1).
+//!
+//! Unlike Section 4's single-CQ trick, *no anti-cheating layer is
+//! needed*: the monomial queries only inspect `X`-edges leaving the
+//! constants, so `Uᵢ(D) = Pᵢ(Ξ_D)` holds for arbitrary `D`, and
+//!
+//! ```text
+//!     U₁ ⊑bag U₂  ⇔  ∀Ξ: P₁(Ξ) ≤ P₂(Ξ),
+//! ```
+//!
+//! which is undecidable by Hilbert's 10th problem. This module is the
+//! baseline "step zero" the paper improves on.
+
+use bagcq_arith::Nat;
+use bagcq_polynomial::Polynomial;
+use bagcq_query::{Query, UnionQuery};
+use bagcq_structure::{ConstId, RelId, Schema, Structure};
+use std::sync::Arc;
+
+/// The encoded UCQ pair plus the shared schema and decoding handles.
+pub struct IoannidisEncoding {
+    /// Schema `{X/2}` with constants `b₁ … b_n`.
+    pub schema: Arc<Schema>,
+    /// The valuation relation `X`.
+    pub x_rel: RelId,
+    /// The variable constants.
+    pub b_n: Vec<ConstId>,
+    /// Encoding of `P₁`.
+    pub u1: UnionQuery,
+    /// Encoding of `P₂`.
+    pub u2: UnionQuery,
+}
+
+/// Runs the encoding. Both polynomials must have natural coefficients
+/// (apply [`Polynomial::split_signs`] style preprocessing first if not)
+/// and use variables `0..n_vars`.
+pub fn encode(p1: &Polynomial, p2: &Polynomial, n_vars: u32) -> IoannidisEncoding {
+    assert!(p1.has_natural_coefficients() || p1.is_zero());
+    assert!(p2.has_natural_coefficients() || p2.is_zero());
+    let mut sb = Schema::builder();
+    let x_rel = sb.relation("X", 2);
+    let b_n: Vec<ConstId> = (0..n_vars).map(|n| sb.constant(&format!("b{}", n + 1))).collect();
+    let schema = sb.build();
+
+    let encode_poly = |p: &Polynomial| -> UnionQuery {
+        let mut u = UnionQuery::empty();
+        for (coeff, monomial) in p.terms() {
+            let mut qb = Query::builder(Arc::clone(&schema));
+            for (j, &var) in monomial.occurrences().iter().enumerate() {
+                let b = bagcq_query::Term::Const(b_n[var as usize]);
+                let z = qb.var(&format!("z{j}"));
+                qb.atom(x_rel, &[b, z]);
+            }
+            let q = qb.build();
+            let c = coeff
+                .magnitude()
+                .to_u64()
+                .expect("coefficient fits u64 for encoding");
+            u.push_copies(&q, c);
+        }
+        u
+    };
+
+    IoannidisEncoding { u1: encode_poly(p1), u2: encode_poly(p2), schema, x_rel, b_n }
+}
+
+impl IoannidisEncoding {
+    /// Builds the valuation database `D(Ξ)`: `Ξ(x_j)` fresh `X`-targets
+    /// per constant `b_j`.
+    pub fn valuation_database(&self, valuation: &[u64]) -> Structure {
+        assert_eq!(valuation.len(), self.b_n.len());
+        let mut d = Structure::new(Arc::clone(&self.schema));
+        for (j, &v) in valuation.iter().enumerate() {
+            let b = d.constant_vertex(self.b_n[j]);
+            for _ in 0..v {
+                let fresh = d.add_vertex();
+                d.add_atom(self.x_rel, &[b, fresh]);
+            }
+        }
+        d
+    }
+
+    /// Definition-14-style decoding: `Ξ_D(x_j)` = out-degree of `b_j`.
+    pub fn extract_valuation(&self, d: &Structure) -> Vec<Nat> {
+        self.b_n
+            .iter()
+            .map(|&b| {
+                let v = d.constant_vertex(b);
+                Nat::from_u64(d.tuples(self.x_rel).filter(|t| t[0] == v.0).count() as u64)
+            })
+            .collect()
+    }
+}
+
+/// Evaluates a UCQ under bag semantics: the sum of the disjunct counts.
+pub fn eval_union(u: &UnionQuery, d: &Structure) -> Nat {
+    let mut total = Nat::zero();
+    for q in u.disjuncts() {
+        total += &bagcq_homcount::count(q, d);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_arith::Int;
+    use bagcq_hilbert::PolyGen;
+    use bagcq_polynomial::Monomial;
+    use bagcq_structure::StructureGen;
+
+    fn nat_poly(terms: &[(u64, &[u32])]) -> Polynomial {
+        Polynomial::from_terms(
+            terms
+                .iter()
+                .map(|(c, occ)| (Int::from_i64(*c as i64), Monomial::new(occ.to_vec())))
+                .collect(),
+        )
+    }
+
+    /// The core identity: `U(D) = P(Ξ_D)` on valuation databases.
+    #[test]
+    fn encoding_evaluates_polynomials() {
+        // P₁ = 2x₁² + 3x₁x₂ + 1, P₂ = x₂.
+        let p1 = nat_poly(&[(2, &[0, 0]), (3, &[0, 1]), (1, &[])]);
+        let p2 = nat_poly(&[(1, &[1])]);
+        let enc = encode(&p1, &p2, 2);
+        for val in [[0u64, 0], [1, 0], [2, 3], [3, 5]] {
+            let d = enc.valuation_database(&val);
+            let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
+            assert_eq!(eval_union(&enc.u1, &d), p1.eval_nat(&nat_val), "{val:?}");
+            assert_eq!(eval_union(&enc.u2, &d), p2.eval_nat(&nat_val), "{val:?}");
+        }
+    }
+
+    /// The identity holds on *arbitrary* databases via `Ξ_D` — the reason
+    /// no anti-cheating is needed (the easy step [14]).
+    #[test]
+    fn identity_on_arbitrary_databases() {
+        let p1 = nat_poly(&[(2, &[0, 1]), (1, &[1, 1])]);
+        let p2 = nat_poly(&[(1, &[0]), (4, &[])]);
+        let enc = encode(&p1, &p2, 2);
+        let gen = StructureGen {
+            extra_vertices: 4,
+            density: 0.5,
+            max_tuples_per_relation: 60,
+            diagonal_density: 0.4,
+        };
+        for seed in 0..12u64 {
+            let d = gen.sample(&enc.schema, seed);
+            let xi = enc.extract_valuation(&d);
+            assert_eq!(eval_union(&enc.u1, &d), p1.eval_nat(&xi), "seed {seed}");
+            assert_eq!(eval_union(&enc.u2, &d), p2.eval_nat(&xi), "seed {seed}");
+        }
+    }
+
+    /// Containment of the encodings coincides with the polynomial
+    /// inequality on a box, both directions.
+    #[test]
+    fn containment_equivalence_boxed() {
+        // P₁ = x₁x₂ ≤ P₂ = x₁x₂ + x₁: holds everywhere.
+        let p1 = nat_poly(&[(1, &[0, 1])]);
+        let p2 = nat_poly(&[(1, &[0, 1]), (1, &[0])]);
+        let enc = encode(&p1, &p2, 2);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let d = enc.valuation_database(&[a, b]);
+                assert!(eval_union(&enc.u1, &d) <= eval_union(&enc.u2, &d));
+            }
+        }
+        // P₁ = 2x₁ vs P₂ = x₁² : fails at x₁ = 1.
+        let p1 = nat_poly(&[(2, &[0])]);
+        let p2 = nat_poly(&[(1, &[0, 0])]);
+        let enc = encode(&p1, &p2, 1);
+        let d = enc.valuation_database(&[1]);
+        assert!(eval_union(&enc.u1, &d) > eval_union(&enc.u2, &d));
+        // And holds again from x₁ ≥ 2.
+        let d = enc.valuation_database(&[2]);
+        assert!(eval_union(&enc.u1, &d) <= eval_union(&enc.u2, &d));
+    }
+
+    /// Fuzz: the evaluation identity holds for random natural-coefficient
+    /// polynomials on random databases.
+    #[test]
+    fn fuzz_identity() {
+        for seed in 0..10u64 {
+            let raw = PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 3 }
+                .sample(seed);
+            let (p, _) = raw.split_signs(); // natural part
+            if p.is_zero() {
+                continue;
+            }
+            let enc = encode(&p, &p, 2);
+            let gen = StructureGen { extra_vertices: 3, density: 0.5, ..Default::default() };
+            let d = gen.sample(&enc.schema, seed * 7 + 1);
+            let xi = enc.extract_valuation(&d);
+            assert_eq!(eval_union(&enc.u1, &d), p.eval_nat(&xi), "seed {seed}");
+        }
+    }
+
+    /// Valuation decoding is the left inverse of the generator.
+    #[test]
+    fn valuation_roundtrip() {
+        let p = nat_poly(&[(1, &[0])]);
+        let enc = encode(&p, &p, 3);
+        let d = enc.valuation_database(&[4, 0, 2]);
+        assert_eq!(
+            enc.extract_valuation(&d),
+            vec![Nat::from_u64(4), Nat::zero(), Nat::from_u64(2)]
+        );
+    }
+}

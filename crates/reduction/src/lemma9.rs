@@ -1,0 +1,248 @@
+//! Instrumented case analysis of Lemma 9 — the probabilistic heart of
+//! Lemma 5's (≤) direction.
+//!
+//! Lemma 9 partitions pairs of cycliques by their cyclass types and shows
+//! that the conditional probability of the event *diff* (distinct first
+//! elements) is at least `2p/(p+1)²` in each cell:
+//!
+//! * **(a)** at least one side from a *degenerate* cyclass;
+//! * **(b)** both sides from `G ∪ H` (`H` = homogeneous cycliques,
+//!   `G = cyclass([♂,♀̄])`);
+//! * **(c)** the two sides from two *distinct normal* cyclasses (not both
+//!   within `G ∪ H`);
+//! * **(d)** the rest: a normal cyclass `X ≠ G` paired with itself or
+//!   with `H`.
+//!
+//! [`lemma9_report`] computes, on a concrete structure, the pair counts
+//! and diff counts per cell, so tests can verify every conditional bound
+//! *separately* — a much sharper check than the aggregate Lemma 5
+//! inequality.
+
+use crate::cyclique::{classify, cyclass, cycliques, CycliqueKind};
+use bagcq_structure::{ConstId, RelId, Structure};
+
+/// Per-cell statistics of the Lemma 9 partition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// Ordered pairs in the cell.
+    pub pairs: u64,
+    /// Ordered pairs whose first elements differ (*diff*).
+    pub diff: u64,
+}
+
+impl CaseStats {
+    /// Does this cell meet the Lemma 9 bound `diff/pairs ≥ 2p/(p+1)²`?
+    /// (Vacuously true for empty cells.)
+    pub fn meets_bound(&self, p: usize) -> bool {
+        let p = p as u64;
+        // diff/pairs ≥ 2p/(p+1)²  ⇔  diff·(p+1)² ≥ pairs·2p.
+        self.diff * (p + 1) * (p + 1) >= self.pairs * 2 * p
+    }
+}
+
+/// The full Lemma 9 report for one structure.
+#[derive(Debug, Clone)]
+pub struct Lemma9Report {
+    /// The cyclique arity `p`.
+    pub p: usize,
+    /// Number of cycliques.
+    pub cyclique_count: usize,
+    /// Whether the Lemma 5 premise holds: the ground cycliques
+    /// `[♂,♀,…,♀]` and `[♀,…,♀]` are present and `♂ ≠ ♀`.
+    pub premise: bool,
+    /// Cell (a): degenerate involved.
+    pub case_a: CaseStats,
+    /// Cell (b): both in `G ∪ H`.
+    pub case_b: CaseStats,
+    /// Cell (c): two distinct normal cyclasses (outside (b)).
+    pub case_c: CaseStats,
+    /// Cell (d): the remainder.
+    pub case_d: CaseStats,
+}
+
+impl Lemma9Report {
+    /// Aggregate statistics (the Lemma 5 ratio `β_b/β_s` numerator and
+    /// denominator).
+    pub fn total(&self) -> CaseStats {
+        CaseStats {
+            pairs: self.case_a.pairs + self.case_b.pairs + self.case_c.pairs + self.case_d.pairs,
+            diff: self.case_a.diff + self.case_b.diff + self.case_c.diff + self.case_d.diff,
+        }
+    }
+
+    /// All four conditional bounds hold.
+    pub fn all_cells_meet_bound(&self) -> bool {
+        [self.case_a, self.case_b, self.case_c, self.case_d]
+            .iter()
+            .all(|c| c.meets_bound(self.p))
+    }
+}
+
+/// Computes the Lemma 9 report for the cyclique relation `rel` of `d`,
+/// with `♂`/`♀` given by the constants.
+pub fn lemma9_report(d: &Structure, rel: RelId, mars: ConstId, venus: ConstId) -> Lemma9Report {
+    let p = d.schema().arity(rel);
+    let cycs = cycliques(d, rel);
+    let mars_v = d.constant_vertex(mars).0;
+    let venus_v = d.constant_vertex(venus).0;
+
+    // Premise: the two ground cycliques exist and ♂ ≠ ♀.
+    let mut ground_mars = vec![venus_v; p];
+    ground_mars[0] = mars_v;
+    let ground_venus = vec![venus_v; p];
+    let premise = mars_v != venus_v
+        && crate::cyclique::is_cyclique(d, rel, &ground_mars)
+        && crate::cyclique::is_cyclique(d, rel, &ground_venus);
+
+    // Classify each cyclique; identify membership in H and in G.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Cell {
+        Homog,
+        Degenerate,
+        NormalG,
+        NormalOther(usize), // canonical index of its cyclass
+    }
+    let g_class: Vec<Vec<u32>> = cyclass(&ground_mars);
+    let mut class_reps: Vec<Vec<u32>> = Vec::new();
+    let kinds: Vec<Cell> = cycs
+        .iter()
+        .map(|c| match classify(c) {
+            CycliqueKind::Homogeneous => Cell::Homog,
+            CycliqueKind::Degenerate => Cell::Degenerate,
+            CycliqueKind::Normal => {
+                if g_class.contains(c) {
+                    Cell::NormalG
+                } else {
+                    // Canonical representative: lexicographically smallest
+                    // shift.
+                    let rep = cyclass(c).into_iter().min().expect("nonempty");
+                    let idx = match class_reps.iter().position(|r| *r == rep) {
+                        Some(i) => i,
+                        None => {
+                            class_reps.push(rep);
+                            class_reps.len() - 1
+                        }
+                    };
+                    Cell::NormalOther(idx)
+                }
+            }
+        })
+        .collect();
+
+    let mut report = Lemma9Report {
+        p,
+        cyclique_count: cycs.len(),
+        premise,
+        case_a: CaseStats::default(),
+        case_b: CaseStats::default(),
+        case_c: CaseStats::default(),
+        case_d: CaseStats::default(),
+    };
+
+    for (i, ci) in cycs.iter().enumerate() {
+        for (j, cj) in cycs.iter().enumerate() {
+            let diff = ci[0] != cj[0];
+            let cell = match (kinds[i], kinds[j]) {
+                (Cell::Degenerate, _) | (_, Cell::Degenerate) => &mut report.case_a,
+                (Cell::Homog | Cell::NormalG, Cell::Homog | Cell::NormalG) => &mut report.case_b,
+                (Cell::NormalOther(x), Cell::NormalOther(y)) if x != y => &mut report.case_c,
+                (Cell::NormalOther(_), Cell::NormalG) | (Cell::NormalG, Cell::NormalOther(_)) => {
+                    &mut report.case_c
+                }
+                _ => &mut report.case_d,
+            };
+            cell.pairs += 1;
+            if diff {
+                cell.diff += 1;
+            }
+            let _ = j;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beta::beta_gadget;
+    use bagcq_structure::StructureGen;
+
+    fn setup(p: usize) -> (crate::gadget::MultiplyGadget, RelId) {
+        let g = beta_gadget(p, "L9");
+        let rel = g.q_s.schema().relation_by_name("L9R").unwrap();
+        (g, rel)
+    }
+
+    /// On the Lemma 5 witness the aggregate ratio is exactly 2p/(p+1)²
+    /// and every cell meets the bound.
+    #[test]
+    fn witness_is_tight() {
+        for p in [3usize, 5, 7] {
+            let (g, rel) = setup(p);
+            let report = lemma9_report(&g.witness, rel, g.mars, g.venus);
+            assert!(report.premise, "p={p}");
+            assert_eq!(report.cyclique_count, p + 1, "p={p}");
+            let total = report.total();
+            // Exactly (p+1)² pairs, 2p of them diff.
+            assert_eq!(total.pairs, ((p + 1) * (p + 1)) as u64);
+            assert_eq!(total.diff, (2 * p) as u64);
+            assert!(report.all_cells_meet_bound(), "p={p}: {report:?}");
+        }
+    }
+
+    /// On random structures satisfying the premise, every nonempty cell
+    /// meets its conditional bound — the statement of Lemma 9 itself.
+    #[test]
+    fn random_structures_meet_cell_bounds() {
+        let (g, rel) = setup(3);
+        let gen = StructureGen {
+            extra_vertices: 3,
+            density: 0.6,
+            max_tuples_per_relation: 60,
+            diagonal_density: 0.7,
+        };
+        let mut informative = 0;
+        for seed in 0..40u64 {
+            let mut d = gen.sample(g.q_s.schema(), seed);
+            // Ensure the premise by inserting the ground cycliques.
+            let mars_v = d.constant_vertex(g.mars);
+            let venus_v = d.constant_vertex(g.venus);
+            let mut t = vec![venus_v; 3];
+            t[0] = mars_v;
+            for s in 0..3 {
+                let shifted: Vec<_> = (0..3).map(|i| t[(s + i) % 3]).collect();
+                d.add_atom(rel, &shifted);
+            }
+            d.add_atom(rel, &[venus_v, venus_v, venus_v]);
+            let report = lemma9_report(&d, rel, g.mars, g.venus);
+            assert!(report.premise, "seed {seed}");
+            assert!(
+                report.all_cells_meet_bound(),
+                "seed {seed}: {report:?}"
+            );
+            if report.cyclique_count > 4 {
+                informative += 1;
+            }
+        }
+        assert!(informative > 5, "sweep too uninformative: {informative}");
+    }
+
+    /// The aggregate bound is what Lemma 5 needs: diff/pairs ≥ 2p/(p+1)²
+    /// follows from the cells by total probability.
+    #[test]
+    fn aggregate_follows_from_cells() {
+        let (g, rel) = setup(5);
+        let report = lemma9_report(&g.witness, rel, g.mars, g.venus);
+        assert!(report.total().meets_bound(5));
+    }
+
+    /// Structures missing the premise are reported as such.
+    #[test]
+    fn premise_detection() {
+        let (g, rel) = setup(3);
+        let d = bagcq_structure::Structure::new(std::sync::Arc::clone(g.q_s.schema()));
+        let report = lemma9_report(&d, rel, g.mars, g.venus);
+        assert!(!report.premise);
+        assert_eq!(report.cyclique_count, 0);
+    }
+}

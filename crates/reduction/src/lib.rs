@@ -1,0 +1,47 @@
+//! # bagcq-reduction
+//!
+//! The constructions of *Bag Semantics Conjunctive Query Containment.
+//! Four Small Steps Towards Undecidability* (Marcinkowski & Orda,
+//! PODS 2024), mechanized:
+//!
+//! * **Section 3** — the multiplication gadgets: [`beta_gadget`]
+//!   (Lemma 5, ratio `(p+1)²/2p`), [`gamma_gadget`] (Lemma 10, ratio
+//!   `(m−1)/m`), their composition [`alpha_gadget`] (exact ratio `c`),
+//!   and the cyclique combinatorics behind them ([`cyclique`] module,
+//!   Definitions 6–7, Lemma 8);
+//! * **Section 4** — the Theorem 1 reduction [`Theorem1Reduction`]: the
+//!   `Arena`, the polynomial-evaluating queries `π_s`/`π_b` (Lemma 15),
+//!   the anti-cheating queries `ζ_b` (Lemmas 17–18) and `δ_b`
+//!   (Lemmas 19–21), correct-database generation, the Definition 13
+//!   classifier, and the explicit Lemma 12 onto-homomorphism;
+//! * **Theorem 3** — the composition [`compose_theorem3`] trading the
+//!   multiplicative constant for a *single* inequality;
+//! * **Section 5 / Theorem 5** — [`eliminate_inequalities`], the
+//!   blow-up/product construction of Lemmas 23–24.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alpha;
+mod arena;
+mod conjectures;
+mod beta;
+pub mod cyclique;
+mod gadget;
+mod gamma;
+mod ioannidis;
+pub mod lemma9;
+mod theorem1;
+mod theorem3;
+mod theorem5;
+
+pub use alpha::alpha_gadget;
+pub use arena::{toy_instance, Correctness, Theorem1Reduction};
+pub use beta::beta_gadget;
+pub use conjectures::{Theorem2Statement, Theorem4Statement};
+pub use gadget::{LeCheck, MultiplyGadget};
+pub use gamma::gamma_gadget;
+pub use ioannidis::{encode as ioannidis_encode, eval_union, IoannidisEncoding};
+pub use theorem1::Theorem1Witness;
+pub use theorem3::{compose_theorem3, theorem3_sizes, Theorem3Queries, Theorem3Sizes};
+pub use theorem5::{eliminate_inequalities, EliminationError, InequalityElimination};

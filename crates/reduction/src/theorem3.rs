@@ -1,0 +1,228 @@
+//! Theorem 3 assembly (Section 3): composing the Theorem 1 queries with
+//! the multiplication gadget `α` to trade the multiplicative constant `ℂ`
+//! for a *single* inequality.
+//!
+//! Given the Theorem 1 output `(ℂ, φ_s, φ_b)` and the gadget
+//! `(α_s, α_b)` multiplying by `ℂ` over a disjoint schema:
+//!
+//! ```text
+//!     ψ_s = α_s ∧̄ φ_s        (no inequalities)
+//!     ψ_b = α_b ∧̄ φ_b        (exactly one inequality)
+//! ```
+//!
+//! Then `∃ non-trivial D: ψ_s(D) > ψ_b(D)` iff
+//! `∃ non-trivial D: ℂ·φ_s(D) > φ_b(D)` — so `QCP^bag` for boolean CQs
+//! with a single inequality in the b-query is undecidable. This improves
+//! the `59¹⁰` inequalities of Jayram–Kolaitis–Vee [15] to one.
+//!
+//! `ℂ` is astronomically large, so `α` (whose arity is `p = 2ℂ−1`) can
+//! only be *materialized* for scaled-down `ℂ`. The composition below is
+//! generic in the multiplier: callers verify the construction end-to-end
+//! with small gadgets (the maths is identical), while
+//! [`theorem3_sizes`] reports the symbolic sizes for the true `ℂ`.
+
+use crate::gadget::{transport_structure, MultiplyGadget};
+use bagcq_arith::{CertOrd, Nat};
+use bagcq_homcount::{eval_power_query, EvalOptions};
+use bagcq_query::{PowerQuery, QueryStats};
+use bagcq_structure::{ConstId, Schema, Structure};
+use std::sync::Arc;
+
+/// The Theorem 3 query pair over the merged schema.
+pub struct Theorem3Queries {
+    /// `ψ_s = α_s ∧̄ φ_s` (pure).
+    pub psi_s: PowerQuery,
+    /// `ψ_b = α_b ∧̄ φ_b` (one inequality).
+    pub psi_b: PowerQuery,
+    /// Merged schema.
+    pub schema: Arc<Schema>,
+    /// `♂` in the merged schema.
+    pub mars: ConstId,
+    /// `♀` in the merged schema.
+    pub venus: ConstId,
+    /// The gadget's (=) witness transported to the merged schema — the
+    /// `D₂` of the Section 3 argument.
+    pub gadget_witness: Structure,
+    /// Embedding of the gadget schema into the merged schema.
+    pub e_alpha: bagcq_structure::SchemaEmbedding,
+    /// Embedding of the reduction schema into the merged schema.
+    pub e_phi: bagcq_structure::SchemaEmbedding,
+}
+
+/// Composes gadget and reduction queries over the disjoint-union schema.
+///
+/// `phi_s`/`phi_b` are the Theorem 1 queries over the reduction schema;
+/// `alpha` must multiply by the same constant `ℂ` that relates them.
+pub fn compose_theorem3(
+    alpha: &MultiplyGadget,
+    phi_schema: &Arc<Schema>,
+    phi_s: &PowerQuery,
+    phi_b: &PowerQuery,
+) -> Theorem3Queries {
+    let (merged, e_alpha, e_phi) = Schema::disjoint_union(alpha.q_s.schema(), phi_schema);
+
+    let transport_pq = |pq: &PowerQuery, emb: &bagcq_structure::SchemaEmbedding| -> PowerQuery {
+        let mut out = PowerQuery::unit();
+        for f in pq.factors() {
+            out = out.disjoint_conj(PowerQuery::power(
+                f.base.transport(Arc::clone(&merged), emb),
+                f.exponent.clone(),
+            ));
+        }
+        out
+    };
+
+    let psi_s = PowerQuery::from_query(alpha.q_s.transport(Arc::clone(&merged), &e_alpha))
+        .disjoint_conj(transport_pq(phi_s, &e_phi));
+    let psi_b = PowerQuery::from_query(alpha.q_b.transport(Arc::clone(&merged), &e_alpha))
+        .disjoint_conj(transport_pq(phi_b, &e_phi));
+
+    let mars = e_alpha.constant(alpha.mars);
+    let venus = e_alpha.constant(alpha.venus);
+    let gadget_witness = transport_structure(&alpha.witness, &merged, &e_alpha);
+
+    Theorem3Queries { psi_s, psi_b, schema: merged, mars, venus, gadget_witness, e_alpha, e_phi }
+}
+
+impl Theorem3Queries {
+    /// Certified comparison `ψ_s(D)` vs `ψ_b(D)` on one database.
+    pub fn compare_on(&self, d: &Structure, opts: &EvalOptions) -> CertOrd {
+        let s = eval_power_query(&self.psi_s, d, opts);
+        let b = eval_power_query(&self.psi_b, d, opts);
+        s.cmp_cert(&b)
+    }
+
+    /// Builds the Section 3 counterexample database `D = D₁ ∪ D₂` from a
+    /// `D₁` over the φ-schema part (transported by the caller) — here the
+    /// caller passes a structure already over the merged schema, and we
+    /// union it with the gadget witness.
+    pub fn union_with_gadget_witness(&self, d1: &Structure) -> Structure {
+        d1.union(&self.gadget_witness)
+    }
+}
+
+/// Size report for the Theorem 3 output: what we actually construct
+/// (symbolic) and what the expanded query would weigh.
+#[derive(Debug, Clone)]
+pub struct Theorem3Sizes {
+    /// Symbolic (constructed) size of `ψ_s`.
+    pub psi_s_symbolic: QueryStats,
+    /// Symbolic size of `ψ_b`.
+    pub psi_b_symbolic: QueryStats,
+    /// Inequalities in `ψ_s` (always 0).
+    pub psi_s_inequalities: Nat,
+    /// Inequalities in `ψ_b` (always 1).
+    pub psi_b_inequalities: Nat,
+}
+
+/// Computes the size report.
+pub fn theorem3_sizes(q: &Theorem3Queries) -> Theorem3Sizes {
+    Theorem3Sizes {
+        psi_s_symbolic: q.psi_s.symbolic_stats(),
+        psi_b_symbolic: q.psi_b.symbolic_stats(),
+        psi_s_inequalities: q.psi_s.expanded_inequalities(),
+        psi_b_inequalities: q.psi_b.expanded_inequalities(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::alpha_gadget;
+    use crate::arena::{toy_instance, Theorem1Reduction};
+
+    /// A scaled-down end-to-end Theorem 3 check: instead of the true `ℂ`
+    /// (astronomical), use a small multiplier `c` with matching gadget and
+    /// a φ-pair related by that same `c`. The *logic* of the (i) ⇔ (ii)
+    /// equivalence from Section 3 is what is being tested.
+    fn scaled_setup(violating: bool) -> (Theorem3Queries, Theorem1Reduction, u64) {
+        let c = 2u64;
+        let inst = if violating {
+            toy_instance(c, vec![1, 1], vec![1, 1])
+        } else {
+            toy_instance(c, vec![1, 1], vec![2, 2])
+        };
+        let red = Theorem1Reduction::new(inst);
+        // Gadget multiplying by the small stand-in c (not red.big_c).
+        let alpha = alpha_gadget(c, "T3");
+        let t3 = compose_theorem3(&alpha, &red.schema, &red.phi_s, &red.phi_b);
+        (t3, red, c)
+    }
+
+    #[test]
+    fn inequality_budget_is_one() {
+        let (t3, _, _) = scaled_setup(false);
+        assert!(t3.psi_s.is_pure());
+        assert_eq!(t3.psi_b.expanded_inequalities(), Nat::one());
+        let sizes = theorem3_sizes(&t3);
+        assert_eq!(sizes.psi_s_inequalities, Nat::zero());
+        assert_eq!(sizes.psi_b_inequalities, Nat::one());
+    }
+
+    /// Section 3's (i) ⇒ (ii): with a small-c pair where c·φ_s(D₁) > φ_b(D₁)
+    /// for some D₁ (NOT the true ℂ relation — we re-derive the inequality
+    /// with the scaled c directly on π-queries), the union D₁ ∪ D₂ gives
+    /// ψ_s(D) > ψ_b(D) provided the gadget multiplies by the same c.
+    ///
+    /// To keep the scaled test honest we use φ'_s = π_s, φ'_b = π_b: on a
+    /// correct database π_b(D) = Ξ(x₁)^d·P_b(Ξ), and with coefficients
+    /// equal and Ξ = (1,0): π_s = 1, π_b = 1, so c·π_s > π_b. The gadget
+    /// contributes the factor-c gap.
+    #[test]
+    fn union_argument_scaled() {
+        let c = 2u64;
+        let red = Theorem1Reduction::new(toy_instance(c, vec![1, 1], vec![1, 1]));
+        let alpha = alpha_gadget(c, "T3");
+        let phi_s = PowerQuery::from_query(red.arena.clone())
+            .disjoint_conj(PowerQuery::from_query(red.pi_s.clone()));
+        let phi_b = PowerQuery::from_query(red.pi_b.clone());
+        let t3 = compose_theorem3(&alpha, &red.schema, &phi_s, &phi_b);
+
+        // D₁: correct database at Ξ = (1,0) transported to merged schema.
+        let d1 = red.correct_database(&[1, 0]);
+        let d1_merged = crate::gadget::transport_structure(&d1, &t3.schema, &t3.e_phi);
+        let d = t3.union_with_gadget_witness(&d1_merged);
+
+        let opts = EvalOptions::default();
+        let s = eval_power_query(&t3.psi_s, &d, &opts);
+        let b = eval_power_query(&t3.psi_b, &d, &opts);
+        // ψ_s(D) = α_s(D₂)·φ_s(D₁) = (c·α_b(D₂))·1 and
+        // ψ_b(D) = α_b(D₂)·φ_b(D₁) = α_b(D₂)·1: strict gap by factor c.
+        assert_eq!(
+            s.cmp_cert(&b),
+            bagcq_arith::CertOrd::Greater,
+            "ψ_s = {s:?}, ψ_b = {b:?}"
+        );
+    }
+
+    /// ¬(i) ⇒ ¬(ii) on the safe instance: ψ_s ≤ ψ_b on unions of correct
+    /// databases with the gadget witness.
+    #[test]
+    fn no_violation_when_safe_scaled() {
+        let (t3, red, _) = scaled_setup(false);
+        let opts = EvalOptions::default();
+        for val in [[0u64, 0], [1, 1], [2, 1]] {
+            let d1 = red.correct_database(&val);
+            let d1_merged = crate::gadget::transport_structure(&d1, &t3.schema, &t3.e_phi);
+            let d = t3.union_with_gadget_witness(&d1_merged);
+            let ord = t3.compare_on(&d, &opts);
+            assert!(
+                matches!(ord, CertOrd::Less | CertOrd::Equal),
+                "ψ_s > ψ_b at {val:?} on safe instance: {ord:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_witness_survives_transport() {
+        let (t3, _, _) = scaled_setup(false);
+        // The transported witness must remain non-trivial.
+        assert!(t3.gadget_witness.is_nontrivial(t3.mars, t3.venus));
+        // And the gadget equality still holds over the merged schema: the
+        // α-queries see only gadget relations.
+        let opts = EvalOptions::default();
+        let ord = t3.compare_on(&t3.gadget_witness, &opts);
+        // On the witness alone φ_s = 0 (Arena fails), so ψ_s = 0 ≤ ψ_b.
+        assert!(matches!(ord, CertOrd::Less | CertOrd::Equal));
+    }
+}

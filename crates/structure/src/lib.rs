@@ -1,0 +1,50 @@
+//! # bagcq-structure
+//!
+//! Finite relational structures — the "databases" of *Bag Semantics
+//! Conjunctive Query Containment* (Marcinkowski & Orda, PODS 2024) — and
+//! the operations the paper performs on them:
+//!
+//! * [`Schema`] / [`SchemaBuilder`]: runtime signatures with relations of
+//!   arbitrary arity and named constants (the paper's `♂`/`♀` included);
+//! * [`Structure`]: vertex/atom storage with set semantics at the database
+//!   level, plus disjoint **union** with constant identification
+//!   (Section 3), categorical **product** and **blow-up** (Section 5.1,
+//!   Lemma 22), **quotients** (how "seriously incorrect" databases of
+//!   Definition 13 arise), and signature-restriction helpers;
+//! * [`StructureGen`]: seeded random structure sampling for the
+//!   falsification harness and benchmarks.
+//!
+//! ```
+//! use bagcq_structure::{Schema, Structure, Vertex};
+//!
+//! let mut sb = Schema::builder();
+//! let e = sb.relation("E", 2);
+//! let schema = sb.build();
+//!
+//! // A directed 3-cycle…
+//! let mut d = Structure::new(schema);
+//! d.add_vertices(3);
+//! for i in 0..3 {
+//!     d.add_atom(e, &[Vertex(i), Vertex((i + 1) % 3)]);
+//! }
+//! // …blown up by 2 has 2² copies of each edge (Lemma 22 i machinery):
+//! assert_eq!(d.blowup(2).atom_count(e), 12);
+//! // …and squared (categorical product) keeps 9 componentwise edges:
+//! assert_eq!(d.product(&d).atom_count(e), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod iso;
+mod parse;
+mod schema;
+#[allow(clippy::module_inception)]
+mod structure;
+
+pub use gen::StructureGen;
+pub use iso::isomorphic;
+pub use parse::{parse_structure, parse_structure_infer, structure_to_text, ParseStructureError};
+pub use schema::{ConstId, RelId, RelationDecl, Schema, SchemaBuilder, SchemaEmbedding, MARS, VENUS};
+pub use structure::{Structure, Vertex};

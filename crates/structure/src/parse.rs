@@ -1,0 +1,361 @@
+//! A small text syntax for finite structures.
+//!
+//! ```text
+//!     # a 3-cycle with a marked vertex
+//!     vertices: 3
+//!     consts: a = 0
+//!     E: (0,1), (1,2), (2,0)
+//! ```
+//!
+//! * `vertices: n` (required, first non-comment line) — vertex ids are
+//!   `0..n`;
+//! * `consts: name = id, …` (optional) — constants not listed keep their
+//!   default (distinct fresh) vertices only if they fit inside `n`;
+//!   listing is mandatory when `n` is smaller than the constant count;
+//! * one line per relation: `Rel: (t…), (t…), …`;
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! [`parse_structure`] parses against a known schema;
+//! [`parse_structure_infer`] builds the schema from the text.
+
+use crate::schema::{Schema, SchemaBuilder};
+use crate::structure::{Structure, Vertex};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error from the structure parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStructureError {
+    /// Human-readable message with line information.
+    pub message: String,
+}
+
+impl fmt::Display for ParseStructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "structure parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseStructureError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseStructureError> {
+    Err(ParseStructureError { message: message.into() })
+}
+
+struct RawStructure {
+    vertices: u32,
+    consts: Vec<(String, u32)>,
+    relations: Vec<(String, Vec<Vec<u32>>)>,
+}
+
+fn parse_tuple_list(src: &str, line_no: usize) -> Result<Vec<Vec<u32>>, ParseStructureError> {
+    let mut out = Vec::new();
+    let mut rest = src.trim();
+    while !rest.is_empty() {
+        let Some(tail) = rest.strip_prefix('(') else {
+            return err(format!("line {line_no}: expected '(' at {rest:?}"));
+        };
+        let Some(close) = tail.find(')') else {
+            return err(format!("line {line_no}: unterminated tuple"));
+        };
+        let inner = &tail[..close];
+        let mut tuple = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            let v: u32 = part
+                .parse()
+                .map_err(|_| ParseStructureError {
+                    message: format!("line {line_no}: bad vertex id {part:?}"),
+                })?;
+            tuple.push(v);
+        }
+        if tuple.is_empty() {
+            return err(format!("line {line_no}: empty tuple"));
+        }
+        out.push(tuple);
+        rest = tail[close + 1..].trim_start();
+        if let Some(t) = rest.strip_prefix(',') {
+            rest = t.trim_start();
+        } else if !rest.is_empty() {
+            return err(format!("line {line_no}: expected ',' between tuples"));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_raw(src: &str) -> Result<RawStructure, ParseStructureError> {
+    let mut vertices: Option<u32> = None;
+    let mut consts = Vec::new();
+    let mut relations: Vec<(String, Vec<Vec<u32>>)> = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((head, body)) = line.split_once(':') else {
+            return err(format!("line {line_no}: expected 'name: …'"));
+        };
+        let head = head.trim();
+        let body = body.trim();
+        match head {
+            "vertices" => {
+                if vertices.is_some() {
+                    return err(format!("line {line_no}: duplicate vertices line"));
+                }
+                let n: u32 = body.parse().map_err(|_| ParseStructureError {
+                    message: format!("line {line_no}: bad vertex count {body:?}"),
+                })?;
+                vertices = Some(n);
+            }
+            "consts" => {
+                for part in body.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let Some((name, id)) = part.split_once('=') else {
+                        return err(format!("line {line_no}: expected 'name = id' in consts"));
+                    };
+                    let id: u32 = id.trim().parse().map_err(|_| ParseStructureError {
+                        message: format!("line {line_no}: bad constant vertex {id:?}"),
+                    })?;
+                    consts.push((name.trim().to_string(), id));
+                }
+            }
+            rel => {
+                let tuples = parse_tuple_list(body, line_no)?;
+                // Merge repeated lines for the same relation.
+                if let Some(entry) = relations.iter_mut().find(|(n, _)| n == rel) {
+                    entry.1.extend(tuples);
+                } else {
+                    relations.push((rel.to_string(), tuples));
+                }
+            }
+        }
+    }
+    let Some(vertices) = vertices else {
+        return err("missing 'vertices: n' line");
+    };
+    Ok(RawStructure { vertices, consts, relations })
+}
+
+fn build(
+    raw: RawStructure,
+    schema: Arc<Schema>,
+) -> Result<Structure, ParseStructureError> {
+    // Resolve the constant interpretation up front so the structure can
+    // be built with the exact requested vertex count (which may be
+    // smaller than the constant count when constants are identified).
+    let mut interp: Vec<Option<Vertex>> = vec![None; schema.constant_count()];
+    for (name, id) in &raw.consts {
+        let Some(c) = schema.constant_by_name(name) else {
+            return err(format!("unknown constant {name}"));
+        };
+        if *id >= raw.vertices {
+            return err(format!("constant {name} placed at vertex {id} ≥ {}", raw.vertices));
+        }
+        interp[c.0 as usize] = Some(Vertex(*id));
+    }
+    // Unlisted constants get distinct default vertices 0,1,2,… — which
+    // requires enough room.
+    let mut next_default = 0u32;
+    let interp: Vec<Vertex> = interp
+        .into_iter()
+        .map(|slot| match slot {
+            Some(v) => Ok(v),
+            None => {
+                if next_default >= raw.vertices {
+                    return err(format!(
+                        "not enough vertices ({}) for unlisted constants; place them in 'consts:'",
+                        raw.vertices
+                    ));
+                }
+                let v = Vertex(next_default);
+                next_default += 1;
+                Ok(v)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let mut d = Structure::with_interpretation(Arc::clone(&schema), raw.vertices, interp);
+    for (rel_name, tuples) in &raw.relations {
+        let Some(rel) = schema.relation_by_name(rel_name) else {
+            return err(format!("unknown relation {rel_name}"));
+        };
+        let arity = schema.arity(rel);
+        for t in tuples {
+            if t.len() != arity {
+                return err(format!(
+                    "relation {rel_name} has arity {arity}, got tuple of {}",
+                    t.len()
+                ));
+            }
+            if let Some(&bad) = t.iter().find(|&&v| v >= raw.vertices) {
+                return err(format!("tuple vertex {bad} ≥ vertex count {}", raw.vertices));
+            }
+            let args: Vec<Vertex> = t.iter().map(|&v| Vertex(v)).collect();
+            d.add_atom(rel, &args);
+        }
+    }
+    Ok(d)
+}
+
+/// Parses a structure against a known schema.
+pub fn parse_structure(
+    schema: &Arc<Schema>,
+    src: &str,
+) -> Result<Structure, ParseStructureError> {
+    build(parse_raw(src)?, Arc::clone(schema))
+}
+
+/// Parses a structure, inferring the schema from relation lines (arity
+/// from the first tuple) and the `consts` line.
+pub fn parse_structure_infer(
+    src: &str,
+) -> Result<(Structure, Arc<Schema>), ParseStructureError> {
+    let raw = parse_raw(src)?;
+    let mut sb = SchemaBuilder::default();
+    for (rel, tuples) in &raw.relations {
+        let Some(first) = tuples.first() else {
+            return err(format!("relation {rel} has no tuples to infer arity from"));
+        };
+        sb.relation(rel, first.len());
+    }
+    for (name, _) in &raw.consts {
+        sb.constant(name);
+    }
+    let schema = sb.build();
+    let d = build(raw, Arc::clone(&schema))?;
+    Ok((d, schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Arc<Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.relation("T", 3);
+        b.constant("a");
+        b.build()
+    }
+
+    #[test]
+    fn parses_cycle() {
+        let d = parse_structure(
+            &schema(),
+            "vertices: 3\nconsts: a = 0\nE: (0,1), (1,2), (2,0)",
+        )
+        .unwrap();
+        assert_eq!(d.vertex_count(), 3);
+        let e = d.schema().relation_by_name("E").unwrap();
+        assert_eq!(d.atom_count(e), 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let d = parse_structure(
+            &schema(),
+            "# header\nvertices: 2\n\nconsts: a = 1  # the marked one\nE: (0,1) # edge\n",
+        )
+        .unwrap();
+        assert_eq!(d.vertex_count(), 2);
+        let a = d.schema().constant_by_name("a").unwrap();
+        assert_eq!(d.constant_vertex(a), Vertex(1));
+    }
+
+    #[test]
+    fn repeated_relation_lines_merge() {
+        let d = parse_structure(&schema(), "vertices: 3\nconsts: a=0\nE: (0,1)\nE: (1,2)").unwrap();
+        let e = d.schema().relation_by_name("E").unwrap();
+        assert_eq!(d.atom_count(e), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        let s = schema();
+        assert!(parse_structure(&s, "E: (0,1)").is_err()); // no vertices line
+        assert!(parse_structure(&s, "vertices: 2\nF: (0,1)").is_err()); // unknown rel
+        assert!(parse_structure(&s, "vertices: 2\nE: (0,1,1)").is_err()); // arity
+        assert!(parse_structure(&s, "vertices: 2\nE: (0,5)").is_err()); // range
+        assert!(parse_structure(&s, "vertices: 2\nconsts: zzz = 0").is_err()); // unknown const
+        assert!(parse_structure(&s, "vertices: 2\nconsts: a = 7").is_err()); // const range
+        assert!(parse_structure(&s, "vertices: x").is_err());
+    }
+
+    #[test]
+    fn infer_schema() {
+        let (d, s) = parse_structure_infer(
+            "vertices: 4\nconsts: root = 0\nEdge: (0,1), (1,2)\nTri: (0,1,2)",
+        )
+        .unwrap();
+        assert_eq!(s.relation_count(), 2);
+        assert_eq!(s.arity(s.relation_by_name("Tri").unwrap()), 3);
+        assert_eq!(d.vertex_count(), 4);
+        assert_eq!(d.constant_vertex(s.constant_by_name("root").unwrap()), Vertex(0));
+    }
+
+    #[test]
+    fn tight_vertex_count_with_explicit_constants() {
+        // Schema has one constant; a 1-vertex structure works if the
+        // constant is placed.
+        let d = parse_structure(&schema(), "vertices: 1\nconsts: a = 0\nE: (0,0)").unwrap();
+        assert_eq!(d.vertex_count(), 1);
+    }
+}
+
+/// Serializes a structure into the text format accepted by
+/// [`parse_structure`] — `parse_structure(schema, &to_text(d))` is the
+/// identity (up to atom insertion order).
+pub fn structure_to_text(d: &Structure) -> String {
+    use std::fmt::Write as _;
+    let schema = d.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "vertices: {}", d.vertex_count());
+    if schema.constant_count() > 0 {
+        let consts: Vec<String> = schema
+            .constants()
+            .map(|c| format!("{} = {}", schema.constant_name(c), d.constant_vertex(c).0))
+            .collect();
+        let _ = writeln!(out, "consts: {}", consts.join(", "));
+    }
+    for r in schema.relations() {
+        if d.atom_count(r) == 0 {
+            continue;
+        }
+        let tuples: Vec<String> = d
+            .tuples(r)
+            .map(|t| {
+                let items: Vec<String> = t.iter().map(u32::to_string).collect();
+                format!("({})", items.join(","))
+            })
+            .collect();
+        let _ = writeln!(out, "{}: {}", schema.relation(r).name, tuples.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+    use crate::gen::StructureGen;
+    use crate::schema::SchemaBuilder;
+
+    #[test]
+    fn to_text_roundtrips() {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.relation("T", 3);
+        b.constant("a");
+        b.constant("mars");
+        let schema = b.build();
+        for seed in 0..5u64 {
+            let d = StructureGen::default().sample(&schema, seed);
+            let text = structure_to_text(&d);
+            let back = parse_structure(&schema, &text).unwrap();
+            assert_eq!(d, back, "seed {seed}:\n{text}");
+        }
+    }
+}

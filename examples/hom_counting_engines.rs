@@ -1,0 +1,82 @@
+//! Engine comparison: naive backtracking vs tree-decomposition DP.
+//!
+//! Counts homomorphisms of the classic query families (paths, cycles,
+//! stars, grids) into growing random structures with both engines,
+//! reporting counts, decomposition widths and wall-clock times.
+//!
+//! Run with `cargo run --release --example hom_counting_engines`.
+
+use bagcq_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut sb = Schema::builder();
+    sb.relation("E", 2);
+    let schema = sb.build();
+
+    let gen = StructureGen {
+        extra_vertices: 12,
+        density: 0.25,
+        max_tuples_per_relation: 80,
+        diagonal_density: 0.15,
+    };
+    let d = gen.sample(&schema, 7);
+    println!(
+        "database: {} vertices, {} edges",
+        d.vertex_count(),
+        d.atom_count(schema.relation_by_name("E").unwrap())
+    );
+    println!();
+    println!(
+        "{:<14} {:>5} {:>6} {:>22} {:>12} {:>12}",
+        "query", "vars", "width", "count", "naive", "treewidth"
+    );
+
+    let queries = vec![
+        ("path-4", path_query(&schema, "E", 4)),
+        ("path-8", path_query(&schema, "E", 8)),
+        ("cycle-4", cycle_query(&schema, "E", 4)),
+        ("cycle-6", cycle_query(&schema, "E", 6)),
+        ("star-6", star_query(&schema, "E", 6)),
+        ("grid-3x2", grid_query(&schema, "E", 3, 2)),
+        ("grid-3x3", grid_query(&schema, "E", 3, 3)),
+    ];
+
+    for (name, q) in queries {
+        let width = TreewidthCounter.decomposition_width(&q);
+
+        let t0 = Instant::now();
+        let naive = NaiveCounter.count(&q, &d);
+        let t_naive = t0.elapsed();
+
+        let t0 = Instant::now();
+        let tw = TreewidthCounter.count(&q, &d);
+        let t_tw = t0.elapsed();
+
+        assert_eq!(naive, tw, "engines disagree on {name}");
+        let shown = naive.to_string();
+        let shown = if shown.len() > 22 { format!("~10^{}", shown.len() - 1) } else { shown };
+        println!(
+            "{:<14} {:>5} {:>6} {:>22} {:>10.2?} {:>10.2?}",
+            name,
+            q.var_count(),
+            width,
+            shown,
+            t_naive,
+            t_tw
+        );
+    }
+
+    println!();
+    println!("Power queries stay cheap through component factorization (Lemma 1):");
+    let q = path_query(&schema, "E", 2);
+    for k in [1u32, 4, 16, 64] {
+        let t0 = Instant::now();
+        let c = TreewidthCounter.count(&q.power(k), &d);
+        println!(
+            "  (2-walks)↑{k:<3} = value with {:>6} bits   in {:.2?}",
+            c.bits(),
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! `bagcq` — command-line interface to the bag-semantics containment
+//! toolkit.
+//!
+//! ```text
+//! bagcq count   -q "E(x,y), E(y,z)"  -d db.txt        # |Hom(ψ, D)|
+//! bagcq check   -s "E(x,y)" -b "E(u,v), E(v,w)"       # containment verdict
+//! bagcq reduce  pell                                   # run the paper's reduction
+//! bagcq instances                                      # list the Hilbert corpus
+//! ```
+//!
+//! Queries use the `E(x,y), x != y, R('a', z)` syntax; databases use the
+//! `vertices:/consts:/Rel:` format (see `bagcq_structure::parse_structure`).
+//! `-q/-s/-b/-d` take inline text, or `@path` to read a file.
+
+use bagcq_core::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("count") => cmd_count(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("reduce") => cmd_reduce(&args[1..]),
+        Some("instances") => cmd_instances(),
+        Some("hde") => cmd_hde(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `bagcq help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "bagcq — bag-semantics conjunctive query containment toolkit
+
+USAGE:
+  bagcq count -q <query> -d <database>     count |Hom(ψ, D)|
+  bagcq check -s <small> -b <big>          check ϱ_s(D) ≤ ϱ_b(D) for all D
+  bagcq reduce <instance>                  run the PODS'24 reduction on a
+                                           Hilbert-10 corpus instance
+  bagcq instances                          list the corpus
+  bagcq hde -f <query> -g <query>          estimate the homomorphism
+                                           domination exponent hde(F, G)
+
+ARGS:
+  <query>     inline text like \"E(x,y), x != y\" or @file.txt
+  <database>  inline text in the vertices:/consts:/Rel: format or @file.txt
+"
+    );
+}
+
+/// Resolves an argument value: inline text, or `@path` file contents.
+fn load(value: &str) -> Result<String, String> {
+    if let Some(path) = value.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    } else {
+        Ok(value.to_string())
+    }
+}
+
+/// Pulls `-flag value` pairs out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Merges the inferred schemas of several query/structure sources into
+/// one, so the CLI user never writes a schema by hand.
+fn merged_schema(query_srcs: &[&str], db_srcs: &[&str]) -> Result<Arc<Schema>, String> {
+    let mut sb = Schema::builder();
+    for src in query_srcs {
+        let (_, s) = parse_query_infer(src).map_err(|e| e.to_string())?;
+        for r in s.relations() {
+            sb.relation(&s.relation(r).name, s.arity(r));
+        }
+        for c in s.constants() {
+            sb.constant(s.constant_name(c));
+        }
+    }
+    for src in db_srcs {
+        let (_, s) = parse_structure_infer(src).map_err(|e| e.to_string())?;
+        for r in s.relations() {
+            sb.relation(&s.relation(r).name, s.arity(r));
+        }
+        for c in s.constants() {
+            sb.constant(s.constant_name(c));
+        }
+    }
+    Ok(sb.build())
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let q_src = load(flag_value(args, "-q").ok_or("count needs -q <query>")?)?;
+    let d_src = load(flag_value(args, "-d").ok_or("count needs -d <database>")?)?;
+    let schema = merged_schema(&[&q_src], &[&d_src])?;
+    let q = parse_query(&schema, &q_src).map_err(|e| e.to_string())?;
+    let d = parse_structure(&schema, &d_src).map_err(|e| e.to_string())?;
+    let naive = count_with(Engine::Naive, &q, &d);
+    let tw = count_with(Engine::Treewidth, &q, &d);
+    debug_assert_eq!(naive, tw);
+    println!("ψ   = {q}");
+    println!("|D| = {} vertices, {} atoms", d.vertex_count(), {
+        let mut n = 0;
+        for r in schema.relations() {
+            n += d.atom_count(r);
+        }
+        n
+    });
+    println!("ψ(D) = {tw}");
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let s_src = load(flag_value(args, "-s").ok_or("check needs -s <small query>")?)?;
+    let b_src = load(flag_value(args, "-b").ok_or("check needs -b <big query>")?)?;
+    let schema = merged_schema(&[&s_src, &b_src], &[])?;
+    let q_s = parse_query(&schema, &s_src).map_err(|e| e.to_string())?;
+    let q_b = parse_query(&schema, &b_src).map_err(|e| e.to_string())?;
+    println!("ϱ_s = {q_s}");
+    println!("ϱ_b = {q_b}");
+    let verdict = ContainmentChecker::new().check(&q_s, &q_b);
+    println!("{verdict}");
+    if let Verdict::Refuted(ce) = &verdict {
+        println!();
+        println!("counterexample database:");
+        print!("{}", structure_to_text(&ce.database));
+    }
+    Ok(())
+}
+
+fn cmd_reduce(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("reduce needs an instance name (see `bagcq instances`)")?;
+    let inst = hilbert_instance(name).ok_or_else(|| format!("no corpus instance named {name}"))?;
+    println!("instance : {inst}");
+    let chain = reduce(&inst.poly);
+    println!(
+        "Lemma 11 : c = {}, degree d = {}, {} monomials, {} variables",
+        chain.instance.c,
+        chain.instance.degree,
+        chain.instance.monomials.len(),
+        chain.instance.n_vars
+    );
+    let red = Theorem1Reduction::new(chain.instance.clone());
+    println!("schema   : {}", red.schema);
+    println!(
+        "queries  : π_s {} atoms / π_b {} atoms; ζ_b exponent k = {}; ℂ has {} bits",
+        red.pi_s.stats().atoms,
+        red.pi_b.stats().atoms,
+        red.k,
+        red.big_c.bits()
+    );
+    let opts = EvalOptions::default();
+    match red.find_phi_witness(4, &opts) {
+        Some(w) => {
+            println!(
+                "verdict  : ℂ·φ_s(D) > φ_b(D) WITNESSED at Ξ = {:?} ({} vertices)",
+                w.valuation,
+                w.database.vertex_count()
+            );
+            println!("           (the polynomial has a root; the containment fails)");
+        }
+        None => {
+            println!("verdict  : no violating valuation with entries ≤ 4;");
+            println!("           sweeping databases…");
+            let checked = red.sweep_databases(1, &opts).map_err(|e| e)?;
+            println!("           {checked} databases checked, all satisfy ℂ·φ_s ≤ φ_b");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_hde(args: &[String]) -> Result<(), String> {
+    let f_src = load(flag_value(args, "-f").ok_or("hde needs -f <query F>")?)?;
+    let g_src = load(flag_value(args, "-g").ok_or("hde needs -g <query G>")?)?;
+    let schema = merged_schema(&[&f_src, &g_src], &[])?;
+    let f = parse_query(&schema, &f_src).map_err(|e| e.to_string())?;
+    let g = parse_query(&schema, &g_src).map_err(|e| e.to_string())?;
+    let gen = StructureGen {
+        extra_vertices: 5,
+        density: 0.45,
+        max_tuples_per_relation: 200,
+        diagonal_density: 0.5,
+    };
+    println!("F = {f}");
+    println!("G = {g}");
+    match bagcq_core::containment::estimate_domination_exponent(&f, &g, &gen, 60, 7) {
+        Some(est) => {
+            println!("hde(F, G) ≤ {est:.4}   (sampling upper bound, 60 databases)");
+            if est >= 1.0 {
+                println!("consistent with G ⊑bag F (hde ≥ 1); not a proof");
+            } else {
+                println!("refutes G ⊑bag F: some database has hom(F,D) < hom(G,D)");
+            }
+        }
+        None => println!("no informative sample (hom(G, D) ≤ 1 everywhere tried)"),
+    }
+    Ok(())
+}
+
+fn cmd_instances() -> Result<(), String> {
+    println!("Hilbert-10 corpus:");
+    for inst in hilbert_library() {
+        let status = if inst.known_root.is_some() {
+            format!("root {:?}", inst.known_root.as_ref().unwrap())
+        } else if inst.provably_rootless {
+            "provably rootless".into()
+        } else {
+            "status unknown".into()
+        };
+        println!("  {:<24} {}  [{}]", inst.name, inst.poly, status);
+    }
+    Ok(())
+}

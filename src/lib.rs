@@ -1,0 +1,8 @@
+//! Umbrella package for the `bagcq` reproduction: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The library surface is just a re-export of
+//! [`bagcq_core`].
+
+#![forbid(unsafe_code)]
+
+pub use bagcq_core::*;

@@ -1,0 +1,112 @@
+//! Integration tests driving the `bagcq` CLI binary end to end.
+
+use std::process::Command;
+
+fn bagcq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bagcq"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = bagcq().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    // No args behaves like help.
+    let (ok, stdout, _) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn count_inline() {
+    let dir = std::env::temp_dir().join("bagcq_cli_test_count");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.txt");
+    std::fs::write(&db, "vertices: 3\nE: (0,1), (1,2), (2,0)\n").unwrap();
+    let (ok, stdout, stderr) = run(&[
+        "count",
+        "-q",
+        "E(x,y), E(y,z)",
+        "-d",
+        &format!("@{}", db.display()),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ψ(D) = 3"), "{stdout}");
+}
+
+#[test]
+fn count_with_inequality() {
+    let dir = std::env::temp_dir().join("bagcq_cli_test_count2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.txt");
+    // Complete digraph on 2 vertices with loops: 4 edges.
+    std::fs::write(&db, "vertices: 2\nE: (0,0), (0,1), (1,0), (1,1)\n").unwrap();
+    let (ok, stdout, _) = run(&[
+        "count",
+        "-q",
+        "E(x,y), x != y",
+        "-d",
+        &format!("@{}", db.display()),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("ψ(D) = 2"), "{stdout}");
+}
+
+#[test]
+fn check_refutes_and_prints_counterexample() {
+    let (ok, stdout, _) = run(&["check", "-s", "E(x,y)", "-b", "E(u,v), E(v,w)"]);
+    assert!(ok);
+    assert!(stdout.contains("REFUTED"), "{stdout}");
+    assert!(stdout.contains("vertices:"), "{stdout}");
+}
+
+#[test]
+fn check_proves_with_certificate() {
+    let (ok, stdout, _) = run(&["check", "-s", "E(x,x)", "-b", "E(u,v)"]);
+    assert!(ok);
+    assert!(stdout.contains("PROVED"), "{stdout}");
+}
+
+#[test]
+fn reduce_rootless_instance() {
+    let (ok, stdout, _) = run(&["reduce", "square-plus-one"]);
+    assert!(ok);
+    assert!(stdout.contains("all satisfy"), "{stdout}");
+}
+
+#[test]
+fn reduce_solvable_instance() {
+    let (ok, stdout, _) = run(&["reduce", "linear-solvable"]);
+    assert!(ok);
+    assert!(stdout.contains("WITNESSED"), "{stdout}");
+}
+
+#[test]
+fn instances_lists_corpus() {
+    let (ok, stdout, _) = run(&["instances"]);
+    assert!(ok);
+    assert!(stdout.contains("pell"));
+    assert!(stdout.contains("provably rootless"));
+}
+
+#[test]
+fn errors_are_reported() {
+    let (ok, _, stderr) = run(&["reduce", "no-such-instance"]);
+    assert!(!ok);
+    assert!(stderr.contains("no corpus instance"), "{stderr}");
+    let (ok, _, stderr) = run(&["count", "-q", "E(x"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

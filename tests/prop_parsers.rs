@@ -1,0 +1,88 @@
+//! Property tests for the text formats: serialization round-trips and
+//! parser robustness against structured fuzz.
+
+use bagcq_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    let mut b = Schema::builder();
+    b.relation("E", 2);
+    b.relation("T", 3);
+    b.constant("a");
+    b.constant("mars");
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structure text round-trip on random structures.
+    #[test]
+    fn structure_roundtrip(seed in 0u64..1_000_000, extra in 0u32..6, density in 0.0f64..0.9) {
+        let s = schema();
+        let gen = StructureGen {
+            extra_vertices: extra,
+            density,
+            max_tuples_per_relation: 120,
+            diagonal_density: 0.3,
+        };
+        let d = gen.sample(&s, seed);
+        let text = structure_to_text(&d);
+        let back = parse_structure(&s, &text).unwrap();
+        prop_assert_eq!(&d, &back, "text:\n{}", text);
+        // And counts agree for a fixed query (semantic round-trip).
+        let q = path_query(&s, "E", 2);
+        prop_assert_eq!(count(&q, &d), count(&q, &back));
+    }
+
+    /// Queries can be displayed and re-parsed after normalizing the
+    /// pretty-printer's unicode operators. Variable *ids* may be
+    /// renumbered (the parser assigns ids by first occurrence, and the
+    /// display omits variables used in no atom), so the check is
+    /// structural-count plus full semantic agreement, restricted to
+    /// queries whose variables all occur.
+    #[test]
+    fn query_display_reparse(seed in 0u64..1_000_000, vars in 1u32..5, atoms in 1usize..6) {
+        let s = schema();
+        let qg = QueryGen { variables: vars, atoms, constant_prob: 0.2, inequalities: 1 };
+        let q = qg.sample(&s, seed);
+        // Restrict to queries with no never-used variables (those are
+        // invisible to Display by design).
+        let used: std::collections::HashSet<u32> = q
+            .atoms()
+            .iter()
+            .flat_map(|a| a.args.iter())
+            .chain(q.inequalities().iter().flat_map(|i| [&i.lhs, &i.rhs]))
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.0),
+                Term::Const(_) => None,
+            })
+            .collect();
+        prop_assume!(used.len() == q.var_count() as usize);
+        let text = q.to_string().replace('∧', "&").replace('≠', "!=");
+        let back = parse_query(&s, &text).unwrap();
+        prop_assert_eq!(q.atoms().len(), back.atoms().len());
+        prop_assert_eq!(q.inequalities().len(), back.inequalities().len());
+        prop_assert_eq!(q.var_count(), back.var_count());
+        // Semantics preserved on sampled databases.
+        let d = StructureGen::default().sample(&s, seed ^ 0xABCD);
+        prop_assert_eq!(count(&q, &d), count(&back, &d));
+    }
+
+    /// The parser never panics on random ASCII noise — it returns errors.
+    #[test]
+    fn query_parser_total_on_noise(noise in "[ -~]{0,60}") {
+        let s = schema();
+        let _ = parse_query(&s, &noise); // must not panic
+        let _ = parse_query_infer(&noise);
+    }
+
+    /// The structure parser never panics on line-structured noise.
+    #[test]
+    fn structure_parser_total_on_noise(noise in "([ -~]{0,30}\n){0,5}") {
+        let s = schema();
+        let _ = parse_structure(&s, &noise);
+        let _ = parse_structure_infer(&noise);
+    }
+}
