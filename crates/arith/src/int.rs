@@ -67,10 +67,7 @@ impl Int {
         match v.cmp(&0) {
             Ordering::Equal => Int::zero(),
             Ordering::Greater => Int { sign: Sign::Positive, mag: Nat::from_u64(v as u64) },
-            Ordering::Less => Int {
-                sign: Sign::Negative,
-                mag: Nat::from_u64(v.unsigned_abs()),
-            },
+            Ordering::Less => Int { sign: Sign::Negative, mag: Nat::from_u64(v.unsigned_abs()) },
         }
     }
 
@@ -133,7 +130,7 @@ impl Int {
             }
             Sign::Positive => Sign::Positive,
             Sign::Negative => {
-                if exp % 2 == 0 {
+                if exp.is_multiple_of(2) {
                     Sign::Positive
                 } else {
                     Sign::Negative

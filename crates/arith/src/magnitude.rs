@@ -107,14 +107,11 @@ impl Fp {
             ((prod >> 63) as u64, 63u32)
         };
         let dropped = prod & ((1u128 << shift) - 1);
-        let mut exp2 = match self
-            .exp2
-            .checked_add(rhs.exp2)
-            .and_then(|e| e.checked_add(shift as i64))
-        {
-            Some(e) if e.abs() < EXP_LIMIT => e,
-            _ => return Fp::INF,
-        };
+        let mut exp2 =
+            match self.exp2.checked_add(rhs.exp2).and_then(|e| e.checked_add(shift as i64)) {
+                Some(e) if e.abs() < EXP_LIMIT => e,
+                _ => return Fp::INF,
+            };
         if round == Round::Up && dropped != 0 {
             let (m, overflow) = mantissa.overflowing_add(1);
             if overflow {
@@ -187,10 +184,7 @@ impl Fp {
             ((b.mantissa as u128) << shift_left, 0u128)
         } else {
             let down = (-shift_left) as u32;
-            (
-                (b.mantissa as u128) >> down,
-                (b.mantissa as u128) & ((1u128 << down) - 1),
-            )
+            ((b.mantissa as u128) >> down, (b.mantissa as u128) & ((1u128 << down) - 1))
         };
         let sum = wide_a + wide_b;
         // sum ∈ [2^126, 2^128)
@@ -482,12 +476,7 @@ impl fmt::Debug for Magnitude {
         match &self.exact {
             Some(n) if n.bits() <= 128 => write!(f, "Magnitude({n})"),
             Some(n) => write!(f, "Magnitude(exact, {} bits)", n.bits()),
-            None => write!(
-                f,
-                "Magnitude(~2^[{:.3}, {:.3}])",
-                self.lo.log2(),
-                self.hi.log2()
-            ),
+            None => write!(f, "Magnitude(~2^[{:.3}, {:.3}])", self.lo.log2(), self.hi.log2()),
         }
     }
 }

@@ -248,8 +248,7 @@ impl Nat {
     /// Uses binary exponentiation; the result can of course be huge —
     /// callers that need a bound should use [`Nat::checked_pow`].
     pub fn pow_u64(&self, exp: u64) -> Nat {
-        self.checked_pow(exp, u64::MAX)
-            .expect("unbounded pow cannot fail")
+        self.checked_pow(exp, u64::MAX).expect("unbounded pow cannot fail")
     }
 
     /// `self^exp`, refusing to produce more than `max_bits` bits.
@@ -268,10 +267,10 @@ impl Nat {
             return Some(Nat::one());
         }
         // Quick a-priori bound: bits(self^exp) <= bits(self) * exp.
-        if self.bits().checked_mul(exp).map_or(true, |b| b > max_bits.saturating_mul(2)) {
+        if self.bits().checked_mul(exp).is_none_or(|b| b > max_bits.saturating_mul(2)) {
             // Allow slack of 2x before the precise running check below,
             // because bits(x^e) >= (bits(x)-1)*e could still be within budget.
-            if (self.bits() - 1).checked_mul(exp).map_or(true, |b| b > max_bits) {
+            if (self.bits() - 1).checked_mul(exp).is_none_or(|b| b > max_bits) {
                 return None;
             }
         }
@@ -563,8 +562,7 @@ impl Sub<&Nat> for Nat {
     /// Panics if the result would be negative (naturals are not closed
     /// under subtraction); use [`Nat::checked_sub`] to handle that case.
     fn sub(self, rhs: &Nat) -> Nat {
-        self.checked_sub(rhs)
-            .expect("Nat subtraction underflow; use checked_sub")
+        self.checked_sub(rhs).expect("Nat subtraction underflow; use checked_sub")
     }
 }
 
@@ -891,13 +889,8 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in [
-            "0",
-            "1",
-            "42",
-            "18446744073709551616",
-            "123456789012345678901234567890123456789",
-        ] {
+        for s in ["0", "1", "42", "18446744073709551616", "123456789012345678901234567890123456789"]
+        {
             let v: Nat = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -32,10 +32,7 @@ impl Rat {
         if g.is_one() {
             Rat { num, den }
         } else {
-            Rat {
-                num: num.div_rem(&g).0,
-                den: den.div_rem(&g).0,
-            }
+            Rat { num: num.div_rem(&g).0, den: den.div_rem(&g).0 }
         }
     }
 
@@ -214,7 +211,8 @@ mod tests {
     fn cmp_scaled_matches_direct() {
         let q = r(3, 7);
         // a vs (3/7)·b for assorted pairs.
-        let cases = [(3u64, 7u64, Ordering::Equal), (2, 7, Ordering::Less), (4, 7, Ordering::Greater)];
+        let cases =
+            [(3u64, 7u64, Ordering::Equal), (2, 7, Ordering::Less), (4, 7, Ordering::Greater)];
         for (a, b, expect) in cases {
             assert_eq!(
                 q.cmp_scaled(&Nat::from_u64(a), &Nat::from_u64(b)),

@@ -41,9 +41,7 @@ fn bench_connected_queries_overhead(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function("factored", |b| b.iter(|| NaiveCounter.count(&q, &d)));
-    group.bench_function("enumerative", |b| {
-        b.iter(|| NaiveCounter.count_enumerative(&q, &d))
-    });
+    group.bench_function("enumerative", |b| b.iter(|| NaiveCounter.count_enumerative(&q, &d)));
     group.finish();
 }
 

@@ -15,9 +15,7 @@ fn bench_construction(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for k in [4u32, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| q.power(k))
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| b.iter(|| q.power(k)));
     }
     group.finish();
 }

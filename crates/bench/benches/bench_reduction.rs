@@ -45,11 +45,9 @@ fn bench_phi_comparison(c: &mut Criterion) {
     let opts = EvalOptions::default();
     for val in [[1u64, 1], [2, 2], [3, 3]] {
         let d = red.correct_database(&val);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{val:?}")),
-            &d,
-            |b, d| b.iter(|| red.holds_on(d, &opts)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{val:?}")), &d, |b, d| {
+            b.iter(|| red.holds_on(d, &opts))
+        });
     }
     // Seriously incorrect databases exercise the interval path.
     let d = red.correct_database(&[1, 1]);

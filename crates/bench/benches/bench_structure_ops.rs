@@ -13,9 +13,7 @@ fn bench_product(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     for n in [8u32, 16, 32] {
         let d = random_digraph(&schema, n, 0.2, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
-            b.iter(|| d.product(d))
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| b.iter(|| d.product(d)));
     }
     group.finish();
 }
@@ -28,9 +26,7 @@ fn bench_blowup(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for k in [2u32, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| d.blowup(k))
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| b.iter(|| d.blowup(k)));
     }
     group.finish();
 }

@@ -6,8 +6,8 @@
 //! every sample): `hde(F, F) = 1`, `hde(θ, θ↑k) = 1/k`.
 
 use bagcq_bench::{digraph_schema, row, sep};
-use bagcq_core::prelude::*;
 use bagcq_core::containment::estimate_domination_exponent;
+use bagcq_core::prelude::*;
 
 fn main() {
     let schema = digraph_schema();

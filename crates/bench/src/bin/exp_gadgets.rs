@@ -12,7 +12,14 @@ use bagcq_core::reduction::cyclique;
 
 fn main() {
     println!("## E-L5 — Lemma 5: β multiplies by (p+1)²/2p");
-    row(&["p".into(), "ratio".into(), "β_s(W)".into(), "β_b(W)".into(), "(=) exact".into(), "(≤) sweep (40 rand)".into()]);
+    row(&[
+        "p".into(),
+        "ratio".into(),
+        "β_s(W)".into(),
+        "β_b(W)".into(),
+        "(=) exact".into(),
+        "(≤) sweep (40 rand)".into(),
+    ]);
     sep(6);
     for p in [3usize, 4, 5, 7, 9, 11] {
         let g = beta_gadget(p, "E");
@@ -37,7 +44,12 @@ fn main() {
 
     println!();
     println!("## E-L8 — Lemma 8: degenerate cyclasses have ≤ p/2 elements");
-    row(&["p".into(), "tuples checked".into(), "max degenerate cyclass".into(), "bound p/2".into()]);
+    row(&[
+        "p".into(),
+        "tuples checked".into(),
+        "max degenerate cyclass".into(),
+        "bound p/2".into(),
+    ]);
     sep(4);
     for p in 2usize..=9 {
         let mut max_deg = 0usize;
@@ -70,7 +82,14 @@ fn main() {
 
     println!();
     println!("## E-L10 — Lemma 10: γ multiplies by (m−1)/m with zero inequalities");
-    row(&["m".into(), "ratio".into(), "γ_s(W)".into(), "γ_b(W)".into(), "ineqs s/b".into(), "(≤) sweep".into()]);
+    row(&[
+        "m".into(),
+        "ratio".into(),
+        "γ_s(W)".into(),
+        "γ_b(W)".into(),
+        "ineqs s/b".into(),
+        "(≤) sweep".into(),
+    ]);
     sep(6);
     for m in [2usize, 3, 4, 6, 8] {
         let g = gamma_gadget(m, "E");
@@ -95,7 +114,15 @@ fn main() {
 
     println!();
     println!("## E-C — Section 3.2: α multiplies by exactly c, one inequality");
-    row(&["c".into(), "p=2c−1".into(), "m=p+1".into(), "ratio".into(), "α_s(W)".into(), "α_b(W)".into(), "ineqs s/b".into()]);
+    row(&[
+        "c".into(),
+        "p=2c−1".into(),
+        "m=p+1".into(),
+        "ratio".into(),
+        "α_s(W)".into(),
+        "α_b(W)".into(),
+        "ineqs s/b".into(),
+    ]);
     sep(7);
     for c in [2u64, 3, 4, 5] {
         let g = alpha_gadget(c, "E");

@@ -22,12 +22,7 @@ fn main() {
         // Reuse the Appendix B split: Q = 0 ⇔ P₁ > P₂ with natural
         // coefficients (Lemma 25), so U₁ ⊑bag U₂ iff Q has no root.
         let chain = reduce(&inst.poly);
-        let n_vars = chain
-            .p1
-            .max_var()
-            .max(chain.p2.max_var())
-            .map(|v| v + 1)
-            .unwrap_or(1);
+        let n_vars = chain.p1.max_var().max(chain.p2.max_var()).map(|v| v + 1).unwrap_or(1);
         let enc = ioannidis_encode(&chain.p1, &chain.p2, n_vars);
         let violated = inst.known_root.as_ref().map(|root| {
             // P₁/P₂ use shifted variables (ξ₁ unused): valuation = [0, root…].

@@ -7,12 +7,30 @@ use bagcq_core::prelude::*;
 fn main() {
     let red = Theorem1Reduction::new(toy_instance(2, vec![1, 2], vec![2, 3]));
     let opts = EvalOptions::default();
-    println!("Instance: c = {}, P_s = {}, P_b = {}", red.instance.c, red.instance.p_s(), red.instance.p_b());
-    println!("Reduction constants: k = {}, ℂ₁ = {}, ℂ = {} ({} bits)", red.k, red.c1, red.big_c, red.big_c.bits());
+    println!(
+        "Instance: c = {}, P_s = {}, P_b = {}",
+        red.instance.c,
+        red.instance.p_s(),
+        red.instance.p_b()
+    );
+    println!(
+        "Reduction constants: k = {}, ℂ₁ = {}, ℂ = {} ({} bits)",
+        red.k,
+        red.c1,
+        red.big_c,
+        red.big_c.bits()
+    );
     println!();
 
     println!("## E-L15 — Lemma 15: π-counts equal polynomial values on correct D");
-    row(&["Ξ".into(), "π_s(D)".into(), "P_s(Ξ)".into(), "π_b(D)".into(), "Ξ(x₁)^d·P_b(Ξ)".into(), "match".into()]);
+    row(&[
+        "Ξ".into(),
+        "π_s(D)".into(),
+        "P_s(Ξ)".into(),
+        "π_b(D)".into(),
+        "Ξ(x₁)^d·P_b(Ξ)".into(),
+        "match".into(),
+    ]);
     sep(6);
     for val in [[0u64, 0], [1, 0], [1, 1], [2, 1], [2, 3], [4, 2]] {
         let d = red.correct_database(&val);
@@ -20,9 +38,8 @@ fn main() {
         let pi_s = count(&red.pi_s, &d);
         let ps = red.instance.p_s().eval_nat(&nv);
         let pi_b = count(&red.pi_b, &d);
-        let pb = nv[0]
-            .pow_u64(red.instance.degree as u64)
-            .mul_ref(&red.instance.p_b().eval_nat(&nv));
+        let pb =
+            nv[0].pow_u64(red.instance.degree as u64).mul_ref(&red.instance.p_b().eval_nat(&nv));
         let ok = pi_s == ps && pi_b == pb;
         row(&[
             format!("{val:?}"),
@@ -107,7 +124,12 @@ fn main() {
     let delta1 = eval_power_query(&red.delta_b, &serious1, &opts);
     let thr = Magnitude::exact(red.big_c.clone());
     let ok1 = delta1.cmp_cert(&thr) == CertOrd::Greater;
-    row(&["seriously incorrect (♀ = a)".into(), format!("{delta1}"), "≥ 2^ℂ > ℂ".into(), ok1.to_string()]);
+    row(&[
+        "seriously incorrect (♀ = a)".into(),
+        format!("{delta1}"),
+        "≥ 2^ℂ > ℂ".into(),
+        ok1.to_string(),
+    ]);
     assert!(ok1);
 
     // Case 2: identify two non-♀ constants.
@@ -116,7 +138,12 @@ fn main() {
     let serious2 = d.identify(a1v, a2v);
     let delta2 = eval_power_query(&red.delta_b, &serious2, &opts);
     let ok2 = delta2.cmp_cert(&thr) == CertOrd::Greater;
-    row(&["seriously incorrect (a₁ = a₂)".into(), format!("{delta2}"), "≥ 2^ℂ > ℂ".into(), ok2.to_string()]);
+    row(&[
+        "seriously incorrect (a₁ = a₂)".into(),
+        format!("{delta2}"),
+        "≥ 2^ℂ > ℂ".into(),
+        ok2.to_string(),
+    ]);
     assert!(ok2);
 
     println!();

@@ -8,7 +8,14 @@ fn main() {
     let schema = digraph_schema();
 
     println!("## E-L1 — Lemma 1: (ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D)");
-    row(&["seed".into(), "ρ(D)".into(), "ρ'(D)".into(), "(ρ∧̄ρ')(D)".into(), "product".into(), "equal".into()]);
+    row(&[
+        "seed".into(),
+        "ρ(D)".into(),
+        "ρ'(D)".into(),
+        "(ρ∧̄ρ')(D)".into(),
+        "product".into(),
+        "equal".into(),
+    ]);
     sep(6);
     let qg = QueryGen { variables: 3, atoms: 3, constant_prob: 0.0, inequalities: 0 };
     for seed in 0..6u64 {
@@ -54,7 +61,15 @@ fn main() {
 
     println!();
     println!("## E-L22 — Lemma 22: blow-up and product laws");
-    row(&["k".into(), "φ(D)".into(), "φ(blowup(D,k))".into(), "k^j·φ(D)".into(), "φ(D^×k)".into(), "φ(D)^k".into(), "both equal".into()]);
+    row(&[
+        "k".into(),
+        "φ(D)".into(),
+        "φ(blowup(D,k))".into(),
+        "k^j·φ(D)".into(),
+        "φ(D^×k)".into(),
+        "φ(D)^k".into(),
+        "both equal".into(),
+    ]);
     sep(7);
     let q = cycle_query(&schema, "E", 3);
     let d = random_digraph(&schema, 6, 0.4, 23);

@@ -44,7 +44,14 @@ fn main() {
 
     println!();
     println!("## Scaling of the α gadget alone in the multiplier c");
-    row(&["c".into(), "arity p".into(), "α_s vars".into(), "α_s atoms".into(), "α_b atoms".into(), "ineqs α_b".into()]);
+    row(&[
+        "c".into(),
+        "arity p".into(),
+        "α_s vars".into(),
+        "α_s atoms".into(),
+        "α_b atoms".into(),
+        "ineqs α_b".into(),
+    ]);
     sep(6);
     for c in [2u64, 3, 5, 8, 12] {
         let g = alpha_gadget(c, "SZ");

@@ -96,13 +96,7 @@ fn main() {
     println!("ψ′_s/ψ_b is close to 1 and stays at 1 when ψ_b(D₀) = 0.");
 }
 
-fn run_case(
-    label_s: &str,
-    label_b: &str,
-    psi_s: &Query,
-    psi_b: &Query,
-    d0: &Structure,
-) {
+fn run_case(label_s: &str, label_b: &str, psi_s: &Query, psi_b: &Query, d0: &Structure) {
     let s0 = count(&psi_s.strip_inequalities(), d0);
     let b0 = count(psi_b, d0);
     match eliminate_inequalities(psi_s, psi_b, d0, 10) {

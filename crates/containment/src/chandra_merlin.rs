@@ -23,10 +23,7 @@ use bagcq_structure::Structure;
 /// the criterion is neither sound nor complete, and this function panics
 /// rather than return a wrong answer.
 pub fn set_contained(q_s: &Query, q_b: &Query) -> bool {
-    assert!(
-        q_s.is_pure() && q_b.is_pure(),
-        "Chandra-Merlin applies to pure CQs only"
-    );
+    assert!(q_s.is_pure() && q_b.is_pure(), "Chandra-Merlin applies to pure CQs only");
     let (canonical, _) = q_s.canonical_structure();
     NaiveCounter.exists(q_b, &canonical)
 }

@@ -26,6 +26,10 @@ use bagcq_query::Query;
 use bagcq_reduction::{eliminate_inequalities, EliminationError};
 use bagcq_structure::{Structure, StructureGen};
 
+/// Signature of an injectable `|Hom(ψ, D)|` counting function (see
+/// [`ContainmentChecker::check_with_counter`]).
+pub type CountFn<'a> = dyn Fn(&Query, &Structure) -> Nat + 'a;
+
 /// Search budget for the refutation phase.
 #[derive(Clone, Debug)]
 pub struct SearchBudget {
@@ -87,12 +91,18 @@ impl ContainmentChecker {
     }
 
     /// Verifies a candidate counterexample; returns counts when violated.
-    fn violates(&self, q_s: &Query, q_b: &Query, d: &Structure) -> Option<(Nat, Nat)> {
-        let s = count(q_s, d);
+    fn violates(
+        &self,
+        q_s: &Query,
+        q_b: &Query,
+        d: &Structure,
+        counter: &CountFn<'_>,
+    ) -> Option<(Nat, Nat)> {
+        let s = counter(q_s, d);
         if s.is_zero() {
             return None; // q·0 ≤ anything
         }
-        let b = count(q_b, d);
+        let b = counter(q_b, d);
         if self.le(&s, &b) {
             None
         } else {
@@ -102,6 +112,18 @@ impl ContainmentChecker {
 
     /// Runs the full pipeline.
     pub fn check(&self, q_s: &Query, q_b: &Query) -> Verdict {
+        self.check_with_counter(q_s, q_b, &|q, d| count(q, d))
+    }
+
+    /// Runs the full pipeline with an injected counting function.
+    ///
+    /// Every `|Hom(ψ, D)|` the refutation phase computes goes through
+    /// `counter`, which lets callers route counts through a memo cache or
+    /// a cross-validating dual-engine counter (the `bagcq-engine` crate
+    /// does both) without this crate depending on them. `counter` must be
+    /// extensionally equal to [`bagcq_homcount::count`] — the verdicts are
+    /// only as sound as the counts it returns.
+    pub fn check_with_counter(&self, q_s: &Query, q_b: &Query, counter: &CountFn<'_>) -> Verdict {
         let one_or_less = self.multiplier <= Rat::one();
 
         // --- Certificates ---
@@ -122,7 +144,7 @@ impl ContainmentChecker {
         if q_s.is_pure() && q_b.is_pure() && !set_contained(q_s, q_b) {
             let d = q_s.canonical_structure().0;
             checked += 1;
-            if let Some((s, b)) = self.violates(q_s, q_b, &d) {
+            if let Some((s, b)) = self.violates(q_s, q_b, &d, counter) {
                 return Verdict::Refuted(Counterexample {
                     database: d,
                     count_s: s,
@@ -135,7 +157,7 @@ impl ContainmentChecker {
         // Structured candidates.
         for d in self.structured_candidates(q_s, q_b) {
             checked += 1;
-            if let Some((s, b)) = self.violates(q_s, q_b, &d) {
+            if let Some((s, b)) = self.violates(q_s, q_b, &d, counter) {
                 return Verdict::Refuted(Counterexample {
                     database: d,
                     count_s: s,
@@ -148,11 +170,8 @@ impl ContainmentChecker {
         // Theorem 5 preprocessing: inequalities only in the s-query.
         if !q_s.is_pure() && q_b.is_pure() && self.multiplier.is_one() {
             let stripped = q_s.strip_inequalities();
-            let inner = ContainmentChecker {
-                budget: self.budget.clone(),
-                multiplier: Rat::one(),
-            };
-            if let Verdict::Refuted(ce) = inner.check(&stripped, q_b) {
+            let inner = ContainmentChecker { budget: self.budget.clone(), multiplier: Rat::one() };
+            if let Verdict::Refuted(ce) = inner.check_with_counter(&stripped, q_b, counter) {
                 checked += 1;
                 match eliminate_inequalities(q_s, q_b, &ce.database, self.budget.max_power) {
                     Ok(elim) => {
@@ -180,14 +199,10 @@ impl ContainmentChecker {
                 diagonal_density: 0.5,
             };
             for round in 0..self.budget.random_rounds {
-                let seed = self
-                    .budget
-                    .seed
-                    .wrapping_add((i as u64) << 32)
-                    .wrapping_add(round);
+                let seed = self.budget.seed.wrapping_add((i as u64) << 32).wrapping_add(round);
                 let d = gen.sample(schema, seed);
                 checked += 1;
-                if let Some((s, b)) = self.violates(q_s, q_b, &d) {
+                if let Some((s, b)) = self.violates(q_s, q_b, &d, counter) {
                     return Verdict::Refuted(Counterexample {
                         database: d,
                         count_s: s,
@@ -252,11 +267,7 @@ impl ContainmentChecker {
                 diagonal_density: 0.5,
             };
             for round in 0..self.budget.random_rounds {
-                let seed = self
-                    .budget
-                    .seed
-                    .wrapping_add((i as u64) << 40)
-                    .wrapping_add(round);
+                let seed = self.budget.seed.wrapping_add((i as u64) << 40).wrapping_add(round);
                 let d = gen.sample(schema, seed);
                 if let Some(v) = try_db(&d, &mut checked) {
                     return v;
@@ -321,9 +332,7 @@ mod tests {
         let x = qb.var("x");
         let y1 = qb.var("y1");
         let y2 = qb.var("y2");
-        qb.atom_named("E", &[x, x])
-            .atom_named("E", &[x, y1])
-            .atom_named("E", &[y1, y2]);
+        qb.atom_named("E", &[x, x]).atom_named("E", &[x, y1]).atom_named("E", &[y1, y2]);
         let big = qb.build();
         let v = ContainmentChecker::new().check(&small, &big);
         assert!(matches!(v, Verdict::Proved(Certificate::OntoHom(_))), "{v}");

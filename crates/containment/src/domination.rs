@@ -120,12 +120,9 @@ mod tests {
         let gen = StructureGen { extra_vertices: 4, density: 0.5, ..Default::default() };
         for k in [2u32, 3, 4] {
             let powered = q.power(k);
-            let est = estimate_domination_exponent(&q, &powered, &gen, 15, 11)
-                .expect("informative");
-            assert!(
-                (est - 1.0 / k as f64).abs() < 1e-9,
-                "k = {k}: estimate {est}"
-            );
+            let est =
+                estimate_domination_exponent(&q, &powered, &gen, 15, 11).expect("informative");
+            assert!((est - 1.0 / k as f64).abs() < 1e-9, "k = {k}: estimate {est}");
         }
     }
 

@@ -14,7 +14,10 @@
 //! * the Theorem 3 single-inequality assembly and the Theorem 5
 //!   inequality-elimination construction ([`reduction`]);
 //! * a sound-certificate / verified-counterexample containment harness
-//!   ([`containment`]).
+//!   ([`containment`]);
+//! * a concurrent batched evaluation service with a single-flight memo
+//!   cache, deadlines, and continuous dual-engine cross-validation
+//!   ([`engine`]).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 
 pub use bagcq_arith as arith;
 pub use bagcq_containment as containment;
+pub use bagcq_engine as engine;
 pub use bagcq_hilbert as hilbert;
 pub use bagcq_homcount as homcount;
 pub use bagcq_polynomial as polynomial;
@@ -60,6 +64,9 @@ pub mod prelude {
     pub use bagcq_arith::{CertOrd, Int, Magnitude, Nat, Rat};
     pub use bagcq_containment::{
         set_contained, Certificate, ContainmentChecker, Counterexample, SearchBudget, Verdict,
+    };
+    pub use bagcq_engine::{
+        CachedCounter, EngineConfig, EvalEngine, Job, JobHandle, JobSpec, MetricsSnapshot, Outcome,
     };
     pub use bagcq_hilbert::{by_name as hilbert_instance, library as hilbert_library, reduce};
     pub use bagcq_homcount::{
@@ -74,12 +81,11 @@ pub mod prelude {
     };
     pub use bagcq_reduction::{
         alpha_gadget, beta_gadget, compose_theorem3, eliminate_inequalities, eval_union,
-        gamma_gadget, ioannidis_encode, IoannidisEncoding,
-        theorem3_sizes, toy_instance, Correctness, MultiplyGadget, Theorem1Reduction,
-        Theorem2Statement, Theorem4Statement,
+        gamma_gadget, ioannidis_encode, theorem3_sizes, toy_instance, Correctness,
+        IoannidisEncoding, MultiplyGadget, Theorem1Reduction, Theorem2Statement, Theorem4Statement,
     };
     pub use bagcq_structure::{
-        isomorphic, parse_structure, parse_structure_infer, structure_to_text, ConstId, RelId, Schema,
-        SchemaBuilder, Structure, StructureGen, Vertex, MARS, VENUS,
+        isomorphic, parse_structure, parse_structure_infer, structure_to_text, ConstId, RelId,
+        Schema, SchemaBuilder, Structure, StructureGen, Vertex, MARS, VENUS,
     };
 }

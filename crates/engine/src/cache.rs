@@ -1,0 +1,234 @@
+//! Sharded single-flight memo cache.
+//!
+//! Outcomes are keyed by the job's content [`Fingerprint`]. Each shard is
+//! a plain `Mutex<HashMap>`; a slot is either `Ready` (a completed
+//! outcome, cloned out to every later lookup) or `InFlight` (a
+//! [`Flight`] rendezvous that later lookups join instead of duplicating
+//! the computation — "single-flight" deduplication).
+//!
+//! The protocol:
+//!
+//! 1. [`MemoCache::begin`] classifies a lookup as [`Lookup::Hit`],
+//!    [`Lookup::Join`], or [`Lookup::Lead`] and records the
+//!    hit/miss/join counters.
+//! 2. A **leader** computes the outcome and must call
+//!    [`MemoCache::complete`] exactly once — even when the computation
+//!    timed out or panicked — so joined waiters always wake up.
+//!    Successful outcomes are cached as `Ready`; failures
+//!    ([`Outcome::is_failure`]) are published to current waiters but the
+//!    slot is evicted, so the next submission retries.
+//! 3. A **joiner** blocks on [`Flight::wait`] bounded by its *own*
+//!    deadline: a joiner with a tight deadline can time out while the
+//!    leader (and more patient joiners) keep going.
+
+use crate::job::Outcome;
+use crate::metrics::Metrics;
+use bagcq_structure::Fingerprint;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Rendezvous for one in-flight computation.
+#[derive(Debug, Default)]
+pub(crate) struct Flight {
+    done: Mutex<Option<Outcome>>,
+    cond: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader publishes, or until `deadline`. Returns
+    /// `None` iff the caller's deadline expired first.
+    pub(crate) fn wait(&self, deadline: Option<Instant>) -> Option<Outcome> {
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if let Some(outcome) = done.as_ref() {
+                return Some(outcome.clone());
+            }
+            match deadline {
+                None => done = self.cond.wait(done).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _timeout) = self.cond.wait_timeout(done, d - now).unwrap();
+                    done = guard;
+                }
+            }
+        }
+    }
+
+    fn publish(&self, outcome: Outcome) {
+        let mut done = self.done.lock().unwrap();
+        *done = Some(outcome);
+        self.cond.notify_all();
+    }
+}
+
+enum Slot {
+    InFlight(Arc<Flight>),
+    Ready(Outcome),
+}
+
+/// What a [`MemoCache::begin`] lookup found.
+pub(crate) enum Lookup {
+    /// Cached outcome; use it directly.
+    Hit(Outcome),
+    /// Someone else is computing this key; wait on the flight.
+    Join(Arc<Flight>),
+    /// The caller is the leader: compute, then [`MemoCache::complete`]
+    /// with this token.
+    Lead(LeadToken),
+}
+
+/// Proof that the holder is the leader for `key`; must be redeemed with
+/// [`MemoCache::complete`].
+pub(crate) struct LeadToken {
+    key: Fingerprint,
+    flight: Arc<Flight>,
+}
+
+/// The sharded memo cache.
+pub(crate) struct MemoCache {
+    shards: Vec<Mutex<HashMap<Fingerprint, Slot>>>,
+    metrics: Arc<Metrics>,
+}
+
+impl MemoCache {
+    pub(crate) fn new(shards: usize, metrics: Arc<Metrics>) -> Self {
+        let shards = shards.max(1);
+        MemoCache { shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(), metrics }
+    }
+
+    fn shard(&self, key: &Fingerprint) -> &Mutex<HashMap<Fingerprint, Slot>> {
+        &self.shards[(key.lo as usize) % self.shards.len()]
+    }
+
+    /// Classifies a lookup and records hit/miss/join metrics.
+    pub(crate) fn begin(&self, key: Fingerprint) -> Lookup {
+        let mut shard = self.shard(&key).lock().unwrap();
+        match shard.get(&key) {
+            Some(Slot::Ready(outcome)) => {
+                self.metrics.cache_hit();
+                Lookup::Hit(outcome.clone())
+            }
+            Some(Slot::InFlight(flight)) => {
+                self.metrics.single_flight_join();
+                Lookup::Join(Arc::clone(flight))
+            }
+            None => {
+                self.metrics.cache_miss();
+                let flight = Arc::new(Flight::default());
+                shard.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                Lookup::Lead(LeadToken { key, flight })
+            }
+        }
+    }
+
+    /// Publishes the leader's outcome to every joined waiter and either
+    /// caches it (`Ready`) or evicts the slot (failures are never
+    /// cached).
+    pub(crate) fn complete(&self, token: LeadToken, outcome: Outcome) {
+        {
+            let mut shard = self.shard(&token.key).lock().unwrap();
+            if outcome.is_failure() {
+                shard.remove(&token.key);
+            } else {
+                shard.insert(token.key, Slot::Ready(outcome.clone()));
+            }
+        }
+        token.flight.publish(outcome);
+    }
+
+    /// Number of `Ready` entries across all shards (in-flight slots are
+    /// not counted).
+    pub(crate) fn ready_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock().unwrap().values().filter(|slot| matches!(slot, Slot::Ready(_))).count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_arith::Nat;
+    use std::time::Duration;
+
+    fn key(n: u64) -> Fingerprint {
+        Fingerprint { hi: n.wrapping_mul(0x9E37_79B9_7F4A_7C15), lo: n }
+    }
+
+    fn cache() -> MemoCache {
+        MemoCache::new(4, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn lead_then_hit() {
+        let c = cache();
+        let token = match c.begin(key(1)) {
+            Lookup::Lead(t) => t,
+            _ => panic!("first lookup must lead"),
+        };
+        c.complete(token, Outcome::Count(Nat::from_u64(5)));
+        match c.begin(key(1)) {
+            Lookup::Hit(Outcome::Count(n)) => assert_eq!(n, Nat::from_u64(5)),
+            _ => panic!("second lookup must hit"),
+        }
+        assert_eq!(c.ready_len(), 1);
+    }
+
+    #[test]
+    fn joiner_woken_by_leader() {
+        let c = Arc::new(cache());
+        let token = match c.begin(key(2)) {
+            Lookup::Lead(t) => t,
+            _ => panic!("must lead"),
+        };
+        let flight = match c.begin(key(2)) {
+            Lookup::Join(f) => f,
+            _ => panic!("must join"),
+        };
+        let waiter = std::thread::spawn(move || flight.wait(None));
+        c.complete(token, Outcome::Count(Nat::one()));
+        let got = waiter.join().unwrap().expect("leader published");
+        assert_eq!(got.as_count(), Some(&Nat::one()));
+    }
+
+    #[test]
+    fn joiner_deadline_expires_independently() {
+        let c = cache();
+        let _token = match c.begin(key(3)) {
+            Lookup::Lead(t) => t,
+            _ => panic!("must lead"),
+        };
+        let flight = match c.begin(key(3)) {
+            Lookup::Join(f) => f,
+            _ => panic!("must join"),
+        };
+        // Leader never completes within our 20ms deadline.
+        let got = flight.wait(Some(Instant::now() + Duration::from_millis(20)));
+        assert!(got.is_none(), "joiner must observe its own deadline");
+    }
+
+    #[test]
+    fn failures_are_published_but_not_cached() {
+        let c = cache();
+        let token = match c.begin(key(4)) {
+            Lookup::Lead(t) => t,
+            _ => panic!("must lead"),
+        };
+        let flight = match c.begin(key(4)) {
+            Lookup::Join(f) => f,
+            _ => panic!("must join"),
+        };
+        c.complete(token, Outcome::TimedOut);
+        assert!(matches!(flight.wait(None), Some(Outcome::TimedOut)));
+        assert_eq!(c.ready_len(), 0);
+        // Next lookup retries from scratch.
+        assert!(matches!(c.begin(key(4)), Lookup::Lead(_)));
+    }
+}

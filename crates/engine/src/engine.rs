@@ -1,0 +1,395 @@
+//! The worker pool and job execution.
+//!
+//! [`EvalEngine`] owns a fixed pool of named worker threads that drain a
+//! shared channel of submitted jobs. Each worker:
+//!
+//! 1. consults the sharded single-flight [`MemoCache`] under the job's
+//!    content fingerprint (hit → answer immediately; in-flight → join the
+//!    existing computation, bounded by this job's *own* deadline);
+//! 2. otherwise leads: builds an [`EvalControl`] from the job's deadline
+//!    and step budget, runs the evaluation under
+//!    [`std::panic::catch_unwind`], and publishes the outcome — failures
+//!    ([`Outcome::TimedOut`], [`Outcome::Panicked`]) reach current
+//!    waiters but are never cached, and a panicking evaluation never
+//!    poisons the pool.
+//!
+//! Counts performed *inside* a containment check are routed through the
+//! same cache under the same key a direct [`JobSpec::Count`] job would
+//! use, so mixed workloads share work across job kinds.
+
+use crate::cache::{Lookup, MemoCache};
+use crate::job::{count_fingerprint, Job, JobHandle, JobSpec, JobState, Outcome};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use bagcq_arith::{Magnitude, Nat};
+use bagcq_homcount::{try_count_with, CancelToken, Cancelled, Engine, EvalControl};
+use bagcq_query::Query;
+use bagcq_structure::Structure;
+use std::any::Any;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Configuration for an [`EvalEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `0` picks `available_parallelism` (capped at 8).
+    pub workers: usize,
+    /// Memo-cache shards (lock granularity; at least 1).
+    pub cache_shards: usize,
+    /// When `true`, every raw count is computed by **both** engines and
+    /// compared; a mismatch surfaces as [`Outcome::Panicked`] instead of
+    /// silently returning a wrong number.
+    pub cross_validate: bool,
+    /// Engine for counts the spec does not pin: containment-internal
+    /// counts, [`CachedCounter`], and power-query factors.
+    pub counter_engine: Engine,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache_shards: 16,
+            cross_validate: false,
+            counter_engine: Engine::default(),
+        }
+    }
+}
+
+/// State shared by the public handle, every worker, and every
+/// [`CachedCounter`].
+pub(crate) struct Shared {
+    cache: MemoCache,
+    metrics: Arc<Metrics>,
+    config: EngineConfig,
+}
+
+/// Panic payload used to tunnel a [`Cancelled`] signal through the
+/// infallible `CountFn` interface of the containment checker; unwrapped
+/// by the worker's `catch_unwind` and mapped to [`Outcome::TimedOut`].
+struct CancelBubble(#[allow(dead_code)] Cancelled);
+
+impl Shared {
+    /// A raw count with optional dual-engine cross-validation.
+    fn count_direct(
+        &self,
+        engine: Engine,
+        q: &Query,
+        d: &Structure,
+        ctl: &EvalControl,
+    ) -> Result<Nat, Cancelled> {
+        let n = try_count_with(engine, q, d, ctl)?;
+        if self.config.cross_validate {
+            let other = match engine {
+                Engine::Naive => Engine::Treewidth,
+                Engine::Treewidth => Engine::Naive,
+            };
+            let m = try_count_with(other, q, d, ctl)?;
+            self.metrics.cross_validation();
+            assert_eq!(
+                n, m,
+                "engine cross-validation mismatch on {q}: {engine:?} and {other:?} disagree"
+            );
+        }
+        Ok(n)
+    }
+
+    /// A raw count through the memo cache (the same key a direct
+    /// [`JobSpec::Count`] job uses). Joiners wait bounded by `deadline`;
+    /// if a leader fails, the joiner recomputes directly rather than
+    /// inheriting the failure.
+    fn count_cached(
+        &self,
+        engine: Engine,
+        q: &Query,
+        d: &Structure,
+        ctl: &EvalControl,
+        deadline: Option<Instant>,
+    ) -> Result<Nat, Cancelled> {
+        let key = count_fingerprint(q, d, engine);
+        match self.cache.begin(key) {
+            Lookup::Hit(Outcome::Count(n)) => Ok(n),
+            Lookup::Hit(_) => self.count_direct(engine, q, d, ctl),
+            Lookup::Join(flight) => match flight.wait(deadline) {
+                Some(Outcome::Count(n)) => Ok(n),
+                Some(_) => self.count_direct(engine, q, d, ctl),
+                None => {
+                    // Our own deadline expired while waiting.
+                    let token = CancelToken::with_deadline(deadline.expect("deadline set"));
+                    Err(token.check().expect_err("expired deadline must trip"))
+                }
+            },
+            Lookup::Lead(token) => {
+                let result = self.count_direct(engine, q, d, ctl);
+                let outcome = match &result {
+                    Ok(n) => Outcome::Count(n.clone()),
+                    Err(_) => Outcome::TimedOut,
+                };
+                self.cache.complete(token, outcome);
+                result
+            }
+        }
+    }
+
+    /// Evaluates a spec; `Err` means the job's own limits tripped.
+    fn run_spec(
+        &self,
+        spec: &JobSpec,
+        ctl: &EvalControl,
+        deadline: Option<Instant>,
+    ) -> Result<Outcome, Cancelled> {
+        match spec {
+            JobSpec::Count { query, database, engine } => {
+                // The job-level cache already keys this spec; compute directly.
+                Ok(Outcome::Count(self.count_direct(*engine, query, database, ctl)?))
+            }
+            JobSpec::EvalPower { query, database, exact_bits } => {
+                // Mirrors `try_eval_power_query`, but routes every factor
+                // count through the memo cache (φ_s and φ_b share factor
+                // counts on the same database) and cross-validation.
+                let engine = self.config.counter_engine;
+                let mut acc = Magnitude::exact_with_budget(Nat::one(), *exact_bits);
+                for f in query.factors() {
+                    let base = self.count_cached(engine, &f.base, database, ctl, deadline)?;
+                    let m = Magnitude::exact_with_budget(base, *exact_bits).pow(&f.exponent);
+                    acc = acc.mul(&m);
+                }
+                Ok(Outcome::Power(acc))
+            }
+            JobSpec::ContainmentCheck { checker, q_s, q_b } => {
+                let engine = self.config.counter_engine;
+                let counter = |q: &Query, d: &Structure| -> Nat {
+                    match self.count_cached(engine, q, d, ctl, deadline) {
+                        Ok(n) => n,
+                        // The checker's CountFn is infallible; tunnel the
+                        // cancellation out as a typed panic.
+                        Err(c) => panic_any(CancelBubble(c)),
+                    }
+                };
+                let verdict = checker.check_with_counter(q_s, q_b, &counter);
+                Ok(Outcome::Verdict(Arc::new(verdict)))
+            }
+        }
+    }
+
+    /// Runs a spec under its limits with panic isolation.
+    fn execute(&self, item: &WorkItem) -> Outcome {
+        let token = item.deadline.map(CancelToken::with_deadline);
+        let ctl = EvalControl::new(item.step_budget, token.clone());
+        let result =
+            catch_unwind(AssertUnwindSafe(|| self.run_spec(&item.spec, &ctl, item.deadline)));
+        match result {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(_cancelled)) => Outcome::TimedOut,
+            Err(payload) => {
+                if payload.is::<CancelBubble>() {
+                    Outcome::TimedOut
+                } else {
+                    Outcome::Panicked(panic_message(payload))
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "evaluation panicked".to_string()
+    }
+}
+
+struct WorkItem {
+    spec: JobSpec,
+    deadline: Option<Instant>,
+    step_budget: u64,
+    state: Arc<JobState>,
+    submitted: Instant,
+}
+
+fn process(shared: &Shared, item: WorkItem) {
+    let expired = item.deadline.is_some_and(|d| Instant::now() >= d);
+    let outcome = if expired {
+        Outcome::TimedOut
+    } else {
+        match shared.cache.begin(item.spec.fingerprint()) {
+            Lookup::Hit(outcome) => outcome,
+            Lookup::Join(flight) => flight.wait(item.deadline).unwrap_or(Outcome::TimedOut),
+            Lookup::Lead(token) => {
+                let outcome = shared.execute(&item);
+                shared.cache.complete(token, outcome.clone());
+                outcome
+            }
+        }
+    };
+    match &outcome {
+        Outcome::TimedOut => shared.metrics.job_timed_out(),
+        Outcome::Panicked(_) => shared.metrics.job_panicked(),
+        _ => {}
+    }
+    shared.metrics.job_completed();
+    shared.metrics.observe_latency(item.submitted.elapsed());
+    item.state.publish(outcome);
+}
+
+/// A concurrent, memoizing evaluation service.
+///
+/// ```
+/// use bagcq_engine::{EvalEngine, Job, Outcome};
+/// use bagcq_query::{path_query, Query};
+/// use bagcq_structure::{Schema, Structure, Vertex};
+/// use bagcq_arith::{Magnitude, Nat};
+/// use std::sync::Arc;
+///
+/// let mut sb = Schema::builder();
+/// let e = sb.relation("E", 2);
+/// let schema = sb.build();
+/// let mut d = Structure::new(Arc::clone(&schema));
+/// d.add_vertices(3);
+/// d.add_atom(e, &[Vertex(0), Vertex(1)]);
+/// d.add_atom(e, &[Vertex(1), Vertex(2)]);
+/// let d = Arc::new(d);
+///
+/// let engine = EvalEngine::with_workers(2);
+/// let handles: Vec<_> = (1..=2)
+///     .map(|k| engine.submit(Job::count(path_query(&schema, "E", k), Arc::clone(&d))))
+///     .collect();
+/// let counts: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+/// assert_eq!(counts[0].as_count(), Some(&Nat::from_u64(2)));
+/// assert_eq!(counts[1].as_count(), Some(&Nat::one()));
+/// ```
+pub struct EvalEngine {
+    shared: Arc<Shared>,
+    tx: Option<mpsc::Sender<WorkItem>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl EvalEngine {
+    /// Builds an engine with the given configuration and starts its
+    /// worker threads.
+    pub fn new(config: EngineConfig) -> Self {
+        let worker_count = if config.workers == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+        } else {
+            config.workers
+        };
+        let metrics = Arc::new(Metrics::new());
+        let shared = Arc::new(Shared {
+            cache: MemoCache::new(config.cache_shards, Arc::clone(&metrics)),
+            metrics,
+            config,
+        });
+        let (tx, rx) = mpsc::channel::<WorkItem>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..worker_count)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("bagcq-engine-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the recv itself so other
+                        // workers can pick up jobs while this one runs.
+                        let next = rx.lock().unwrap().recv();
+                        match next {
+                            Ok(item) => process(&shared, item),
+                            Err(_) => break, // engine dropped; drain done
+                        }
+                    })
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        EvalEngine { shared, tx: Some(tx), workers }
+    }
+
+    /// An engine with `n` workers and default everything else.
+    pub fn with_workers(n: usize) -> Self {
+        EvalEngine::new(EngineConfig { workers: n, ..EngineConfig::default() })
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one job; returns immediately with a waitable handle.
+    pub fn submit(&self, job: Job) -> JobHandle {
+        let state = Arc::new(JobState::default());
+        let submitted = Instant::now();
+        let item = WorkItem {
+            deadline: job.timeout.map(|t| submitted + t),
+            step_budget: job.step_budget,
+            spec: job.spec,
+            state: Arc::clone(&state),
+            submitted,
+        };
+        self.shared.metrics.job_submitted();
+        self.tx
+            .as_ref()
+            .expect("engine is live until dropped")
+            .send(item)
+            .expect("engine workers are alive");
+        JobHandle { state }
+    }
+
+    /// Submits a batch; handles are returned in submission order.
+    pub fn submit_batch(&self, jobs: impl IntoIterator<Item = Job>) -> Vec<JobHandle> {
+        jobs.into_iter().map(|j| self.submit(j)).collect()
+    }
+
+    /// A point-in-time copy of the engine's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Completed (`Ready`) memo-cache entries.
+    pub fn cache_entries(&self) -> usize {
+        self.shared.cache.ready_len()
+    }
+
+    /// A cloneable counter that routes every count through this engine's
+    /// memo cache (and cross-validation, when configured) — made to be
+    /// plugged into
+    /// [`ContainmentChecker::check_with_counter`](bagcq_containment::ContainmentChecker::check_with_counter).
+    pub fn cached_counter(&self) -> CachedCounter {
+        CachedCounter { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Drop for EvalEngine {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain the queue and exit.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A synchronous `|Hom(ψ, D)|` counter backed by an engine's memo cache.
+///
+/// Cloning is cheap (it shares the cache). The counter stays valid after
+/// the engine is dropped — it uses the calling thread, not the pool.
+#[derive(Clone)]
+pub struct CachedCounter {
+    shared: Arc<Shared>,
+}
+
+impl CachedCounter {
+    /// Counts `|Hom(q, d)|`, consulting and populating the memo cache.
+    ///
+    /// # Panics
+    ///
+    /// When the engine was configured with
+    /// [`EngineConfig::cross_validate`] and the two counting engines
+    /// disagree (which would mean an evaluation bug).
+    pub fn count(&self, q: &Query, d: &Structure) -> Nat {
+        self.shared
+            .count_cached(self.shared.config.counter_engine, q, d, &EvalControl::unlimited(), None)
+            .expect("unlimited evaluation cannot be cancelled")
+    }
+}

@@ -1,0 +1,383 @@
+//! Job descriptions, outcomes, and completion handles.
+//!
+//! A [`Job`] pairs a [`JobSpec`] (what to evaluate) with execution limits
+//! (a wall-clock timeout and a cooperative step budget). Submitting one to
+//! an [`crate::EvalEngine`] returns a [`JobHandle`]; `wait()`ing on the
+//! handle yields an [`Outcome`].
+//!
+//! Every spec has a stable 128-bit content [`Fingerprint`] derived from
+//! the fingerprints of its query/structure components — that fingerprint
+//! is the engine's memo-cache key, so two structurally equal jobs
+//! submitted from different threads share one computation.
+
+use bagcq_arith::{Magnitude, Nat};
+use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_homcount::Engine;
+use bagcq_query::{PowerQuery, Query};
+use bagcq_structure::{Fingerprint, FingerprintHasher, Structure};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What a job evaluates.
+#[derive(Clone)]
+pub enum JobSpec {
+    /// `|Hom(query, database)|` with the chosen counting engine
+    /// (Section 2.1 bag semantics).
+    Count {
+        /// The boolean conjunctive query `ψ`.
+        query: Query,
+        /// The database `D`.
+        database: Arc<Structure>,
+        /// Which counting engine evaluates it.
+        engine: Engine,
+    },
+    /// `Φ(D) = ∏ θᵢ(D)^{eᵢ}` for a symbolic power query, evaluated into a
+    /// certified [`Magnitude`].
+    EvalPower {
+        /// The factored query `Φ`.
+        query: PowerQuery,
+        /// The database `D`.
+        database: Arc<Structure>,
+        /// Bit budget below which the magnitude stays exact.
+        exact_bits: u64,
+    },
+    /// A full containment check `multiplier·ϱ_s(D) ≤ ϱ_b(D)`; every count
+    /// the checker's refutation phase performs is routed through the
+    /// engine's memo cache.
+    ContainmentCheck {
+        /// The checker configuration (budget, multiplier).
+        checker: ContainmentChecker,
+        /// The smaller side `ϱ_s`.
+        q_s: Query,
+        /// The bigger side `ϱ_b`.
+        q_b: Query,
+    },
+}
+
+impl JobSpec {
+    /// Short label for display and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Count { .. } => "count",
+            JobSpec::EvalPower { .. } => "eval_power",
+            JobSpec::ContainmentCheck { .. } => "containment",
+        }
+    }
+
+    /// The stable content fingerprint that keys the memo cache.
+    ///
+    /// Two specs collide iff their variant, parameters, and component
+    /// fingerprints all agree; structure fingerprints are insertion-order
+    /// independent, so semantically equal databases built in different
+    /// orders still share cache entries.
+    pub fn fingerprint(&self) -> Fingerprint {
+        match self {
+            JobSpec::Count { query, database, engine } => {
+                count_fingerprint(query, database, *engine)
+            }
+            JobSpec::EvalPower { query, database, exact_bits } => {
+                let mut h = FingerprintHasher::new(b"bagcq/job/eval-power");
+                let fp = power_query_fingerprint(query);
+                h.write_u64(fp.hi);
+                h.write_u64(fp.lo);
+                let db = database.fingerprint();
+                h.write_u64(db.hi);
+                h.write_u64(db.lo);
+                h.write_u64(*exact_bits);
+                h.finish()
+            }
+            JobSpec::ContainmentCheck { checker, q_s, q_b } => {
+                let mut h = FingerprintHasher::new(b"bagcq/job/containment");
+                for q in [q_s, q_b] {
+                    let fp = q.fingerprint();
+                    h.write_u64(fp.hi);
+                    h.write_u64(fp.lo);
+                }
+                write_nat(&mut h, checker.multiplier.numerator());
+                write_nat(&mut h, checker.multiplier.denominator());
+                let b = &checker.budget;
+                h.write_u64(b.random_rounds);
+                h.write_u32(b.max_blowup);
+                h.write_u32(b.max_power);
+                h.write_u64(b.seed);
+                h.write_u32(b.random_vertices);
+                h.finish()
+            }
+        }
+    }
+}
+
+/// The memo-cache key of a raw count — shared between [`JobSpec::Count`]
+/// jobs and the counts performed inside containment checks, so a
+/// containment job warms the cache for later direct counts (and vice
+/// versa).
+pub(crate) fn count_fingerprint(
+    query: &Query,
+    database: &Structure,
+    engine: Engine,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new(b"bagcq/job/count");
+    let q = query.fingerprint();
+    h.write_u64(q.hi);
+    h.write_u64(q.lo);
+    let d = database.fingerprint();
+    h.write_u64(d.hi);
+    h.write_u64(d.lo);
+    h.write_u32(match engine {
+        Engine::Naive => 0,
+        Engine::Treewidth => 1,
+    });
+    h.finish()
+}
+
+fn power_query_fingerprint(pq: &PowerQuery) -> Fingerprint {
+    let mut h = FingerprintHasher::new(b"bagcq/power-query");
+    h.write_usize(pq.factors().len());
+    for f in pq.factors() {
+        let fp = f.base.fingerprint();
+        h.write_u64(fp.hi);
+        h.write_u64(fp.lo);
+        write_nat(&mut h, &f.exponent);
+    }
+    h.finish()
+}
+
+fn write_nat(h: &mut FingerprintHasher, n: &Nat) {
+    let limbs = n.limbs();
+    h.write_usize(limbs.len());
+    for &l in limbs {
+        h.write_u64(l);
+    }
+}
+
+/// A spec plus execution limits, ready to submit.
+#[derive(Clone)]
+pub struct Job {
+    /// What to evaluate.
+    pub spec: JobSpec,
+    /// Wall-clock deadline, measured from submission. `None` = no limit.
+    pub timeout: Option<Duration>,
+    /// Cooperative step budget for the counting loops (`0` = unlimited).
+    pub step_budget: u64,
+}
+
+impl Job {
+    /// A job with no limits.
+    pub fn new(spec: JobSpec) -> Self {
+        Job { spec, timeout: None, step_budget: 0 }
+    }
+
+    /// A count job with the default (treewidth) engine.
+    pub fn count(query: Query, database: Arc<Structure>) -> Self {
+        Job::new(JobSpec::Count { query, database, engine: Engine::default() })
+    }
+
+    /// A count job with an explicit engine.
+    pub fn count_with(engine: Engine, query: Query, database: Arc<Structure>) -> Self {
+        Job::new(JobSpec::Count { query, database, engine })
+    }
+
+    /// A symbolic power-query evaluation job.
+    pub fn eval_power(query: PowerQuery, database: Arc<Structure>) -> Self {
+        Job::new(JobSpec::EvalPower {
+            query,
+            database,
+            exact_bits: bagcq_arith::DEFAULT_EXACT_BITS,
+        })
+    }
+
+    /// A containment-check job.
+    pub fn containment(checker: ContainmentChecker, q_s: Query, q_b: Query) -> Self {
+        Job::new(JobSpec::ContainmentCheck { checker, q_s, q_b })
+    }
+
+    /// Sets a wall-clock deadline (measured from submission).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets a cooperative step budget (`0` = unlimited).
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = steps;
+        self
+    }
+}
+
+/// The result of a job.
+///
+/// `Clone` so one cached computation can be handed to many waiters;
+/// verdicts travel behind an [`Arc`] because [`Verdict`] owns its
+/// certificate/counterexample and is deliberately not `Clone`.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// `|Hom(ψ, D)|`.
+    Count(Nat),
+    /// `Φ(D)` as a certified magnitude.
+    Power(Magnitude),
+    /// A containment verdict.
+    Verdict(Arc<Verdict>),
+    /// The job hit its wall-clock deadline or exhausted its step budget
+    /// before finishing. Never cached.
+    TimedOut,
+    /// The evaluation panicked (or a cross-validation mismatch was
+    /// detected); the payload is the panic message. Never cached.
+    Panicked(String),
+}
+
+impl Outcome {
+    /// The count, if this is a [`Outcome::Count`].
+    pub fn as_count(&self) -> Option<&Nat> {
+        match self {
+            Outcome::Count(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The magnitude, if this is a [`Outcome::Power`].
+    pub fn as_power(&self) -> Option<&Magnitude> {
+        match self {
+            Outcome::Power(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The verdict, if this is a [`Outcome::Verdict`].
+    pub fn as_verdict(&self) -> Option<&Verdict> {
+        match self {
+            Outcome::Verdict(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Outcome::TimedOut`] and [`Outcome::Panicked`] — the
+    /// outcomes that are published to waiters but never cached.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::TimedOut | Outcome::Panicked(_))
+    }
+}
+
+/// Shared completion state between a [`JobHandle`] and the worker that
+/// eventually publishes the outcome.
+#[derive(Debug, Default)]
+pub(crate) struct JobState {
+    slot: Mutex<Option<Outcome>>,
+    cond: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn publish(&self, outcome: Outcome) {
+        let mut slot = self.slot.lock().unwrap();
+        *slot = Some(outcome);
+        self.cond.notify_all();
+    }
+}
+
+/// A handle to a submitted job.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Blocks until the job's outcome is published, then returns it.
+    pub fn wait(&self) -> Outcome {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.state.cond.wait(slot).unwrap();
+        }
+    }
+
+    /// Returns the outcome if it is already available.
+    pub fn try_wait(&self) -> Option<Outcome> {
+        self.state.slot.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_structure::{Schema, Vertex};
+
+    fn setup() -> (Query, Arc<Structure>) {
+        let mut sb = Schema::builder();
+        let e = sb.relation("E", 2);
+        let schema = sb.build();
+        let mut d = Structure::new(Arc::clone(&schema));
+        d.add_vertices(2);
+        d.add_atom(e, &[Vertex(0), Vertex(1)]);
+        let mut qb = Query::builder(schema);
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]);
+        (qb.build(), Arc::new(d))
+    }
+
+    #[test]
+    fn count_fingerprint_separates_engines() {
+        let (q, d) = setup();
+        let naive =
+            JobSpec::Count { query: q.clone(), database: Arc::clone(&d), engine: Engine::Naive };
+        let tw = JobSpec::Count { query: q, database: d, engine: Engine::Treewidth };
+        assert_ne!(naive.fingerprint(), tw.fingerprint());
+        assert_eq!(naive.fingerprint(), naive.fingerprint());
+    }
+
+    #[test]
+    fn spec_variants_never_collide() {
+        let (q, d) = setup();
+        let count = JobSpec::Count {
+            query: q.clone(),
+            database: Arc::clone(&d),
+            engine: Engine::Treewidth,
+        };
+        let power = JobSpec::EvalPower {
+            query: PowerQuery::from_query(q.clone()),
+            database: Arc::clone(&d),
+            exact_bits: bagcq_arith::DEFAULT_EXACT_BITS,
+        };
+        let cont = JobSpec::ContainmentCheck {
+            checker: ContainmentChecker::new(),
+            q_s: q.clone(),
+            q_b: q,
+        };
+        let fps = [count.fingerprint(), power.fingerprint(), cont.fingerprint()];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[0], fps[2]);
+        assert_ne!(fps[1], fps[2]);
+    }
+
+    #[test]
+    fn power_fingerprint_tracks_exponent() {
+        let (q, d) = setup();
+        let p1 = JobSpec::EvalPower {
+            query: PowerQuery::power(q.clone(), Nat::from_u64(2)),
+            database: Arc::clone(&d),
+            exact_bits: 256,
+        };
+        let p2 = JobSpec::EvalPower {
+            query: PowerQuery::power(q, Nat::from_u64(3)),
+            database: d,
+            exact_bits: 256,
+        };
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+    }
+
+    #[test]
+    fn handle_publish_wakes_waiter() {
+        let state = Arc::new(JobState::default());
+        let handle = JobHandle { state: Arc::clone(&state) };
+        assert!(handle.try_wait().is_none());
+        let t = std::thread::spawn({
+            let handle = handle.clone();
+            move || handle.wait()
+        });
+        state.publish(Outcome::Count(Nat::from_u64(7)));
+        let out = t.join().unwrap();
+        assert_eq!(out.as_count(), Some(&Nat::from_u64(7)));
+        assert!(!out.is_failure());
+    }
+}

@@ -1,0 +1,49 @@
+//! # bagcq-engine
+//!
+//! A concurrent, batched evaluation service for the bag-semantics CQ
+//! toolkit. The rest of the workspace exposes *synchronous* primitives —
+//! `count`, `eval_power_query`, `ContainmentChecker::check` — whose costs
+//! range from microseconds to "effectively forever" (bag containment is a
+//! 30-year-open problem; the counting loops are exponential in the worst
+//! case). This crate wraps them in an [`EvalEngine`]:
+//!
+//! * **Fixed worker pool** (`std::thread` + channels, no external
+//!   dependencies): submit a [`Job`] or a batch, get [`JobHandle`]s,
+//!   `wait()` for [`Outcome`]s.
+//! * **Single-flight memo cache**, sharded and keyed by stable 128-bit
+//!   content fingerprints of queries and structures
+//!   ([`bagcq_structure::Fingerprint`]): structurally equal jobs are
+//!   computed once; concurrent duplicates join the in-flight computation
+//!   instead of repeating it.
+//! * **Deadlines and step budgets** via the cooperative
+//!   [`bagcq_homcount::CancelToken`] machinery: a pathological count
+//!   returns [`Outcome::TimedOut`] while unrelated jobs in the same batch
+//!   complete normally.
+//! * **Panic isolation**: evaluations run under `catch_unwind`, so a
+//!   panicking job yields [`Outcome::Panicked`] without poisoning the
+//!   pool.
+//! * **Dual-engine cross-validation** ([`EngineConfig::cross_validate`]):
+//!   every count is computed by both the naive backtracking engine and
+//!   the treewidth DP and compared — the workspace-wide soundness story
+//!   (two independent implementations of Section 2.1's `|Hom(ψ, D)|`)
+//!   applied continuously instead of only in tests.
+//! * **Metrics**: atomic job/cache counters plus a log₂ latency
+//!   histogram, snapshot-able as text ([`MetricsSnapshot::render`]).
+//!
+//! [`CachedCounter`] exposes the cache/cross-validation layer as a plain
+//! synchronous counter, which plugs into
+//! [`bagcq_containment::ContainmentChecker::check_with_counter`] — that is
+//! how the `exp_*` binaries route their containment verdicts through the
+//! engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod job;
+mod metrics;
+
+pub use engine::{CachedCounter, EngineConfig, EvalEngine};
+pub use job::{Job, JobHandle, JobSpec, Outcome};
+pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};

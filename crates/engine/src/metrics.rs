@@ -1,0 +1,236 @@
+//! Lock-free metrics for the evaluation engine.
+//!
+//! A [`Metrics`] registry is a bundle of [`AtomicU64`] counters plus a
+//! 32-bucket log₂ latency histogram, shared by every worker thread and
+//! every cache shard of an engine. Reading it never blocks the workers:
+//! [`Metrics::snapshot`] takes a relaxed point-in-time copy into a plain
+//! [`MetricsSnapshot`], which also knows how to [`render`] itself as a
+//! small text report (the format served by `exp_*` binaries and benches).
+//!
+//! [`render`]: MetricsSnapshot::render
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets. Bucket `i` covers latencies in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 covers `< 1µs`); the last
+/// bucket absorbs everything above `2^30µs ≈ 18 min`.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Shared atomic counters for one engine instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    jobs_panicked: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    single_flight_joins: AtomicU64,
+    cross_validations: AtomicU64,
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Metrics {
+    /// A fresh registry with every counter at zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub(crate) fn job_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_completed(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_timed_out(&self) {
+        self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_panicked(&self) {
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn single_flight_join(&self) {
+        self.single_flight_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cross_validation(&self) {
+        self.cross_validations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_us[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A relaxed point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latency_us = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in latency_us.iter_mut().zip(self.latency_us.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            single_flight_joins: self.single_flight_joins.load(Ordering::Relaxed),
+            cross_validations: self.cross_validations.load(Ordering::Relaxed),
+            latency_us,
+        }
+    }
+}
+
+/// The histogram bucket a latency of `us` microseconds falls into.
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        return 0;
+    }
+    let log2 = 64 - u64::leading_zeros(us) as usize; // ceil(log2(us+1))
+    log2.min(LATENCY_BUCKETS - 1)
+}
+
+/// A plain-data copy of a [`Metrics`] registry at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs handed to [`crate::EvalEngine::submit`].
+    pub jobs_submitted: u64,
+    /// Jobs whose outcome has been published (any outcome, including
+    /// failures).
+    pub jobs_completed: u64,
+    /// Jobs that finished as [`crate::Outcome::TimedOut`].
+    pub jobs_timed_out: u64,
+    /// Jobs that finished as [`crate::Outcome::Panicked`].
+    pub jobs_panicked: u64,
+    /// Memo-cache lookups answered from a `Ready` slot.
+    pub cache_hits: u64,
+    /// Lookups that started a fresh computation.
+    pub cache_misses: u64,
+    /// Lookups that joined an in-flight computation instead of
+    /// duplicating it (single-flight deduplication).
+    pub single_flight_joins: u64,
+    /// Counts that were computed by both engines and compared.
+    pub cross_validations: u64,
+    /// Log₂ latency histogram: bucket `i` counts jobs that took
+    /// `[2^(i-1), 2^i)` microseconds end to end.
+    pub latency_us: [u64; LATENCY_BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Total observations in the latency histogram.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_us.iter().sum()
+    }
+
+    /// Cache hit rate in `[0, 1]`, counting single-flight joins as hits
+    /// (the work was not duplicated). `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let hits = self.cache_hits + self.single_flight_joins;
+        let total = hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// Renders the snapshot as a small human-readable text report.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "engine metrics")?;
+        writeln!(
+            f,
+            "  jobs     submitted={} completed={} timed_out={} panicked={}",
+            self.jobs_submitted, self.jobs_completed, self.jobs_timed_out, self.jobs_panicked
+        )?;
+        write!(
+            f,
+            "  cache    hits={} misses={} joins={}",
+            self.cache_hits, self.cache_misses, self.single_flight_joins
+        )?;
+        match self.hit_rate() {
+            Some(r) => writeln!(f, " hit_rate={:.1}%", 100.0 * r)?,
+            None => writeln!(f)?,
+        }
+        writeln!(f, "  validate cross_validations={}", self.cross_validations)?;
+        writeln!(f, "  latency  ({} observations)", self.latency_count())?;
+        for (i, &n) in self.latency_us.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            if i == LATENCY_BUCKETS - 1 {
+                writeln!(f, "    >= {lo}us: {n}")?;
+            } else {
+                writeln!(f, "    [{lo}us, {}us): {n}", 1u64 << i)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_and_render() {
+        let m = Metrics::new();
+        m.job_submitted();
+        m.job_submitted();
+        m.job_completed();
+        m.cache_miss();
+        m.cache_hit();
+        m.observe_latency(Duration::from_micros(3));
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 2);
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.latency_count(), 1);
+        assert_eq!(s.hit_rate(), Some(0.5));
+        let text = s.render();
+        assert!(text.contains("submitted=2"), "{text}");
+        assert!(text.contains("hits=1"), "{text}");
+        assert!(text.contains("[2us, 4us): 1"), "{text}");
+    }
+
+    #[test]
+    fn hit_rate_counts_joins() {
+        let m = Metrics::new();
+        m.cache_miss();
+        m.single_flight_join();
+        m.single_flight_join();
+        let s = m.snapshot();
+        assert!((s.hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Metrics::new().snapshot().hit_rate(), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Integration tests for the evaluation service: a large mixed batch is
+//! bit-identical to the sequential baseline, repeated workloads hit the
+//! memo cache, deadlines isolate only the doomed job, and a panicking
+//! evaluation never poisons the pool.
+
+use bagcq_arith::Nat;
+use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_engine::{EngineConfig, EvalEngine, Job, JobSpec, Outcome};
+use bagcq_homcount::{count_with, eval_power_query, Engine, EvalOptions};
+use bagcq_query::{cycle_query, path_query, star_query, PowerQuery, Query};
+use bagcq_structure::{Schema, Structure, StructureGen, Vertex};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn digraph_schema() -> Arc<Schema> {
+    let mut sb = Schema::builder();
+    sb.relation("E", 2);
+    sb.build()
+}
+
+fn databases(schema: &Arc<Schema>, n: usize) -> Vec<Arc<Structure>> {
+    (0..n)
+        .map(|i| {
+            let gen = StructureGen {
+                extra_vertices: 4 + (i as u32 % 3),
+                density: 0.35,
+                ..StructureGen::default()
+            };
+            Arc::new(gen.sample(schema, 1000 + i as u64))
+        })
+        .collect()
+}
+
+fn queries(schema: &Arc<Schema>) -> Vec<Query> {
+    vec![
+        path_query(schema, "E", 1),
+        path_query(schema, "E", 2),
+        path_query(schema, "E", 3),
+        cycle_query(schema, "E", 3),
+        star_query(schema, "E", 3),
+    ]
+}
+
+/// The sequential reference result for a spec.
+fn sequential(spec: &JobSpec) -> Outcome {
+    match spec {
+        JobSpec::Count { query, database, engine } => {
+            Outcome::Count(count_with(*engine, query, database))
+        }
+        JobSpec::EvalPower { query, database, exact_bits } => {
+            let opts = EvalOptions { exact_bits: *exact_bits, ..EvalOptions::default() };
+            Outcome::Power(eval_power_query(query, database, &opts))
+        }
+        JobSpec::ContainmentCheck { checker, q_s, q_b } => {
+            Outcome::Verdict(Arc::new(checker.check(q_s, q_b)))
+        }
+    }
+}
+
+/// Structural equality for verdicts (they carry non-`Eq` certificates).
+fn verdict_shape(v: &Verdict) -> String {
+    match v {
+        Verdict::Proved(c) => format!("proved:{c:?}"),
+        Verdict::Refuted(c) => format!("refuted@{}", c.database.vertex_count()),
+        Verdict::Unknown { candidates_checked } => format!("unknown:{candidates_checked}"),
+    }
+}
+
+fn assert_same(got: &Outcome, want: &Outcome, label: &str) {
+    match (got, want) {
+        (Outcome::Count(a), Outcome::Count(b)) => assert_eq!(a, b, "{label}: count mismatch"),
+        (Outcome::Power(a), Outcome::Power(b)) => {
+            assert_eq!(a.as_exact(), b.as_exact(), "{label}: power mismatch");
+            assert_eq!(a.log2_approx(), b.log2_approx(), "{label}: power enclosure mismatch");
+        }
+        (Outcome::Verdict(a), Outcome::Verdict(b)) => {
+            assert_eq!(verdict_shape(a), verdict_shape(b), "{label}: verdict mismatch")
+        }
+        other => panic!("{label}: outcome kind mismatch: {other:?}"),
+    }
+}
+
+/// A mixed workload of well over 100 jobs: counts on both engines, power
+/// queries, and containment checks.
+fn mixed_jobs(schema: &Arc<Schema>) -> Vec<Job> {
+    let dbs = databases(schema, 6);
+    let qs = queries(schema);
+    let mut jobs = Vec::new();
+    for d in &dbs {
+        for q in &qs {
+            jobs.push(Job::count_with(Engine::Naive, q.clone(), Arc::clone(d)));
+            jobs.push(Job::count_with(Engine::Treewidth, q.clone(), Arc::clone(d)));
+            jobs.push(Job::eval_power(
+                PowerQuery::power(q.clone(), Nat::from_u64(3)),
+                Arc::clone(d),
+            ));
+        }
+    }
+    for (i, q_s) in qs.iter().enumerate() {
+        for q_b in qs.iter().skip(i) {
+            jobs.push(Job::containment(ContainmentChecker::new(), q_s.clone(), q_b.clone()));
+        }
+    }
+    jobs
+}
+
+#[test]
+fn mixed_batch_matches_sequential_baseline() {
+    let schema = digraph_schema();
+    let jobs = mixed_jobs(&schema);
+    assert!(jobs.len() >= 100, "workload has only {} jobs", jobs.len());
+
+    let engine = EvalEngine::with_workers(4);
+    let handles = engine.submit_batch(jobs.clone());
+    for (job, handle) in jobs.iter().zip(&handles) {
+        let got = handle.wait();
+        let want = sequential(&job.spec);
+        assert_same(&got, &want, job.spec.kind());
+    }
+    let m = engine.metrics();
+    assert_eq!(m.jobs_submitted, jobs.len() as u64);
+    assert_eq!(m.jobs_completed, jobs.len() as u64);
+    assert_eq!(m.jobs_panicked, 0);
+    assert_eq!(m.jobs_timed_out, 0);
+    assert_eq!(m.latency_count(), jobs.len() as u64);
+}
+
+#[test]
+fn repeated_submissions_hit_cache_with_equal_results() {
+    let schema = digraph_schema();
+    let d = databases(&schema, 1).remove(0);
+    let q = path_query(&schema, "E", 2);
+    let engine = EvalEngine::with_workers(2);
+
+    let jobs = vec![
+        Job::count(q.clone(), Arc::clone(&d)),
+        Job::containment(ContainmentChecker::new(), q.clone(), path_query(&schema, "E", 3)),
+    ];
+    let first: Vec<Outcome> = engine.submit_batch(jobs.clone()).iter().map(|h| h.wait()).collect();
+    let second: Vec<Outcome> = engine.submit_batch(jobs.clone()).iter().map(|h| h.wait()).collect();
+
+    for ((a, b), job) in first.iter().zip(&second).zip(&jobs) {
+        assert_same(a, b, job.spec.kind());
+    }
+    let m = engine.metrics();
+    assert!(m.cache_hits >= 2, "expected cached answers, metrics: {m}");
+    assert!(engine.cache_entries() > 0);
+}
+
+#[test]
+fn deadline_times_out_doomed_job_while_others_complete() {
+    let schema = digraph_schema();
+    // Dense 9-vertex digraph + 12-step path: ~9^13 naive enumeration steps,
+    // effectively unbounded without cancellation.
+    let gen = StructureGen { extra_vertices: 9, density: 0.9, ..StructureGen::default() };
+    let dense = Arc::new(gen.sample(&schema, 7));
+    let doomed_q = path_query(&schema, "E", 12);
+
+    let engine = EvalEngine::with_workers(2);
+    let doomed = engine.submit(
+        Job::count_with(Engine::Naive, doomed_q, Arc::clone(&dense))
+            .with_timeout(Duration::from_millis(30)),
+    );
+    let fine: Vec<_> = (1..=3)
+        .map(|k| engine.submit(Job::count(path_query(&schema, "E", k), Arc::clone(&dense))))
+        .collect();
+
+    assert!(matches!(doomed.wait(), Outcome::TimedOut), "doomed job must time out");
+    for h in fine {
+        assert!(h.wait().as_count().is_some(), "unrelated jobs must complete");
+    }
+    let m = engine.metrics();
+    assert_eq!(m.jobs_timed_out, 1);
+    assert_eq!(m.jobs_completed, 4);
+}
+
+#[test]
+fn step_budget_times_out_without_wall_clock() {
+    let schema = digraph_schema();
+    let gen = StructureGen { extra_vertices: 8, density: 0.8, ..StructureGen::default() };
+    let dense = Arc::new(gen.sample(&schema, 11));
+    let engine = EvalEngine::with_workers(1);
+    let out = engine
+        .submit(
+            Job::count_with(Engine::Naive, path_query(&schema, "E", 10), dense)
+                .with_step_budget(2_000),
+        )
+        .wait();
+    assert!(matches!(out, Outcome::TimedOut), "budget exhaustion must surface as TimedOut");
+}
+
+#[test]
+fn panicking_job_is_isolated_and_pool_survives() {
+    // A query over a *different* (larger) schema than the database: the
+    // counting engines index relations positionally, so evaluating it
+    // panics — the canonical "pathological evaluation".
+    let small = digraph_schema();
+    let mut sb = Schema::builder();
+    sb.relation("E", 2);
+    sb.relation("F", 2);
+    let big = sb.build();
+    let mut qb = Query::builder(Arc::clone(&big));
+    let x = qb.var("x");
+    let y = qb.var("y");
+    qb.atom_named("F", &[x, y]);
+    let bad_query = qb.build();
+
+    let mut d = Structure::new(Arc::clone(&small));
+    d.add_vertices(2);
+    d.add_atom(small.relation_by_name("E").unwrap(), &[Vertex(0), Vertex(1)]);
+    let d = Arc::new(d);
+
+    let engine = EvalEngine::with_workers(1);
+    let bad = engine.submit(Job::count(bad_query, Arc::clone(&d))).wait();
+    assert!(matches!(bad, Outcome::Panicked(_)), "got {bad:?}");
+
+    // Same single worker thread must still be alive and serving.
+    let ok = engine.submit(Job::count(path_query(&small, "E", 1), d)).wait();
+    assert_eq!(ok.as_count(), Some(&Nat::one()));
+    let m = engine.metrics();
+    assert_eq!(m.jobs_panicked, 1);
+    assert_eq!(m.jobs_completed, 2);
+}
+
+#[test]
+fn cross_validation_runs_and_agrees() {
+    let schema = digraph_schema();
+    let d = databases(&schema, 1).remove(0);
+    let engine =
+        EvalEngine::new(EngineConfig { cross_validate: true, workers: 2, ..Default::default() });
+    for q in queries(&schema) {
+        let out = engine.submit(Job::count(q.clone(), Arc::clone(&d))).wait();
+        assert_eq!(out.as_count(), Some(&count_with(Engine::Treewidth, &q, &d)));
+    }
+    let m = engine.metrics();
+    assert!(m.cross_validations >= 5);
+    assert_eq!(m.jobs_panicked, 0);
+}

@@ -126,22 +126,10 @@ pub fn reduce(q: &Polynomial) -> AppendixBChain {
             cf.into_magnitude()
         })
         .collect();
-    let n_vars = p1_homog
-        .max_var()
-        .map(|v| v + 1)
-        .expect("nonzero polynomial");
+    let n_vars = p1_homog.max_var().map(|v| v + 1).expect("nonzero polynomial");
 
-    let instance = Lemma11Instance {
-        c: c.clone(),
-        monomials,
-        coeff_s,
-        coeff_b,
-        n_vars,
-        degree,
-    };
-    instance
-        .validate()
-        .expect("Appendix B output must satisfy the Lemma 11 side conditions");
+    let instance = Lemma11Instance { c: c.clone(), monomials, coeff_s, coeff_b, n_vars, degree };
+    instance.validate().expect("Appendix B output must satisfy the Lemma 11 side conditions");
 
     AppendixBChain {
         q_shifted,
@@ -185,12 +173,7 @@ mod tests {
             let chain = reduce(&inst.poly);
             // Q′ = Q² is non-negative everywhere we look.
             // Sign split reconstructs.
-            assert_eq!(
-                chain.q_plus.sub(&chain.q_minus),
-                chain.q_squared,
-                "{}",
-                inst.name
-            );
+            assert_eq!(chain.q_plus.sub(&chain.q_minus), chain.q_squared, "{}", inst.name);
             // Common-monomial polynomials have natural coefficients and
             // equal monomial sets.
             assert!(chain.p1_common.has_natural_coefficients());
@@ -296,13 +279,7 @@ mod tests {
         assert!(chain.c >= Nat::from_u64(2));
         // Spot-check Lemma 26 claim 1: P″(1, Ξ) = P′(Ξ).
         let val_with_one = nat_val(&[1, 3, 2]);
-        assert_eq!(
-            chain.p1_homog.eval(&val_with_one),
-            chain.p1_common.eval(&val_with_one)
-        );
-        assert_eq!(
-            chain.p2_homog.eval(&val_with_one),
-            chain.p2_common.eval(&val_with_one)
-        );
+        assert_eq!(chain.p1_homog.eval(&val_with_one), chain.p1_common.eval(&val_with_one));
+        assert_eq!(chain.p2_homog.eval(&val_with_one), chain.p2_common.eval(&val_with_one));
     }
 }

@@ -1,0 +1,237 @@
+//! Cooperative cancellation and step budgets for the counting loops.
+//!
+//! The paper's constructions make it easy to write down queries whose
+//! naive evaluation is astronomically expensive (that is the point of
+//! Theorem 1's reduction). The evaluation engine therefore needs a way to
+//! bound a count without killing the thread running it: counting loops
+//! periodically poll a [`CancelToken`] (shared flag + optional wall-clock
+//! deadline) and a step budget, and return [`Cancelled`] instead of an
+//! answer when either trips.
+//!
+//! Polling is amortized: a [`Ticker`] checks the token only every
+//! [`CHECK_INTERVAL`] steps, so the fast path of the backtracking engines
+//! stays one increment-and-mask per step.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many ticks pass between token/deadline polls (a power of two).
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// Why a computation was cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+    /// The step budget ran out.
+    BudgetExhausted,
+}
+
+/// Error returned by cancellable counting entry points.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cancelled(pub CancelReason);
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            CancelReason::Cancelled => write!(f, "computation cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "computation deadline exceeded"),
+            CancelReason::BudgetExhausted => write!(f, "computation step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct TokenInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Shareable cancellation handle: an explicit flag plus an optional
+/// deadline. Cloning shares the same underlying state, so an engine can
+/// hand one clone to a worker and keep another to cancel it.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(TokenInner { flag: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that additionally trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner { flag: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Requests cancellation; all clones observe it at their next poll.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// The deadline this token carries, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Polls the token. `Err` carries whether the explicit flag or the
+    /// deadline tripped.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return Err(Cancelled(CancelReason::Cancelled));
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                // Latch, so clones see the cancellation without re-reading
+                // the clock.
+                self.inner.flag.store(true, Ordering::Relaxed);
+                return Err(Cancelled(CancelReason::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-erroring form of [`CancelToken::check`].
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// Bundled cancellation controls for one evaluation: optional token plus
+/// optional step budget (`0` = unlimited).
+#[derive(Clone, Debug, Default)]
+pub struct EvalControl {
+    step_budget: u64,
+    cancel: Option<CancelToken>,
+}
+
+impl EvalControl {
+    /// No budget, no token: counting never stops early.
+    pub fn unlimited() -> Self {
+        EvalControl::default()
+    }
+
+    /// Controls with the given budget (`0` = unlimited) and token.
+    pub fn new(step_budget: u64, cancel: Option<CancelToken>) -> Self {
+        EvalControl { step_budget, cancel }
+    }
+
+    /// True iff neither a budget nor a token is set (the fast path can
+    /// skip all bookkeeping).
+    pub fn is_unlimited(&self) -> bool {
+        self.step_budget == 0 && self.cancel.is_none()
+    }
+
+    /// Starts a step counter over these controls.
+    pub fn ticker(&self) -> Ticker<'_> {
+        Ticker { control: self, steps: 0 }
+    }
+}
+
+/// Amortized step counter: cheap `tick()` per loop iteration, with the
+/// token polled every [`CHECK_INTERVAL`] ticks and the budget enforced
+/// exactly.
+pub struct Ticker<'a> {
+    control: &'a EvalControl,
+    steps: u64,
+}
+
+impl Ticker<'_> {
+    /// Records one unit of work; errors if the budget is exhausted or (at
+    /// poll boundaries) the token has tripped.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), Cancelled> {
+        self.steps += 1;
+        let budget = self.control.step_budget;
+        if budget != 0 && self.steps > budget {
+            return Err(Cancelled(CancelReason::BudgetExhausted));
+        }
+        if self.steps.is_multiple_of(CHECK_INTERVAL) {
+            if let Some(token) = &self.control.cancel {
+                token.check()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps recorded so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_cancels_all_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.check(), Err(Cancelled(CancelReason::Cancelled)));
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.check(), Err(Cancelled(CancelReason::DeadlineExceeded)));
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn budget_enforced_exactly() {
+        let ctl = EvalControl::new(10, None);
+        let mut ticker = ctl.ticker();
+        for _ in 0..10 {
+            assert!(ticker.tick().is_ok());
+        }
+        assert_eq!(ticker.tick(), Err(Cancelled(CancelReason::BudgetExhausted)));
+    }
+
+    #[test]
+    fn cancellation_observed_at_poll_boundary() {
+        let token = CancelToken::new();
+        let ctl = EvalControl::new(0, Some(token.clone()));
+        let mut ticker = ctl.ticker();
+        token.cancel();
+        let mut tripped = false;
+        for _ in 0..CHECK_INTERVAL + 1 {
+            if ticker.tick().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn unlimited_never_trips() {
+        let ctl = EvalControl::unlimited();
+        assert!(ctl.is_unlimited());
+        let mut ticker = ctl.ticker();
+        for _ in 0..10_000 {
+            assert!(ticker.tick().is_ok());
+        }
+    }
+}

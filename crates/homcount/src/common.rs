@@ -56,9 +56,7 @@ pub(crate) struct IndexCache {
 
 impl IndexCache {
     pub(crate) fn get(&mut self, d: &Structure, rel: RelId, pos: usize) -> &PositionIndex {
-        self.indexes
-            .entry((rel.0, pos as u32))
-            .or_insert_with(|| PositionIndex::build(d, rel, pos))
+        self.indexes.entry((rel.0, pos as u32)).or_insert_with(|| PositionIndex::build(d, rel, pos))
     }
 }
 

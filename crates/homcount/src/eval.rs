@@ -7,6 +7,7 @@
 //! certified enclosure beyond that — which is how `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b`
 //! with its astronomical exponent `C` is evaluated at all.
 
+use crate::cancel::{CancelToken, Cancelled, EvalControl};
 use crate::naive::NaiveCounter;
 use crate::tw::TreewidthCounter;
 use bagcq_arith::{Magnitude, Nat, DEFAULT_EXACT_BITS};
@@ -24,17 +25,36 @@ pub enum Engine {
 }
 
 /// Evaluation options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Engine choice.
     pub engine: Engine,
     /// Bit budget below which magnitudes stay exact.
     pub exact_bits: u64,
+    /// Step budget for the counting loops (`0` = unlimited). Only the
+    /// `try_*` entry points report exhaustion; the infallible ones require
+    /// this to be `0`.
+    pub step_budget: u64,
+    /// Cooperative cancellation token (optional). As with `step_budget`,
+    /// meaningful through the `try_*` entry points.
+    pub cancel: Option<CancelToken>,
+}
+
+impl EvalOptions {
+    /// The cancellation controls these options describe.
+    pub fn control(&self) -> EvalControl {
+        EvalControl::new(self.step_budget, self.cancel.clone())
+    }
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { engine: Engine::Treewidth, exact_bits: DEFAULT_EXACT_BITS }
+        EvalOptions {
+            engine: Engine::Treewidth,
+            exact_bits: DEFAULT_EXACT_BITS,
+            step_budget: 0,
+            cancel: None,
+        }
     }
 }
 
@@ -46,12 +66,29 @@ pub fn count_with(engine: Engine, q: &Query, d: &Structure) -> Nat {
     }
 }
 
+/// Counts `|Hom(q, d)|` with the chosen engine under cancellation
+/// controls.
+pub fn try_count_with(
+    engine: Engine,
+    q: &Query,
+    d: &Structure,
+    ctl: &EvalControl,
+) -> Result<Nat, Cancelled> {
+    match engine {
+        Engine::Naive => NaiveCounter.try_count(q, d, ctl),
+        Engine::Treewidth => TreewidthCounter.try_count(q, d, ctl),
+    }
+}
+
 /// Counts `|Hom(q, d)|` with the default engine.
 pub fn count(q: &Query, d: &Structure) -> Nat {
     count_with(Engine::default(), q, d)
 }
 
 /// Evaluates a symbolic power query on a database.
+///
+/// Ignores any budget/token in `opts` (it cannot report cancellation);
+/// use [`try_eval_power_query`] to evaluate under controls.
 pub fn eval_power_query(pq: &PowerQuery, d: &Structure, opts: &EvalOptions) -> Magnitude {
     let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
     for f in pq.factors() {
@@ -60,6 +97,24 @@ pub fn eval_power_query(pq: &PowerQuery, d: &Structure, opts: &EvalOptions) -> M
         acc = acc.mul(&m);
     }
     acc
+}
+
+/// Evaluates a symbolic power query under the budget/token carried in
+/// `opts` (each counted factor gets the full step budget; the token is
+/// shared across all of them).
+pub fn try_eval_power_query(
+    pq: &PowerQuery,
+    d: &Structure,
+    opts: &EvalOptions,
+) -> Result<Magnitude, Cancelled> {
+    let ctl = opts.control();
+    let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
+    for f in pq.factors() {
+        let base = try_count_with(opts.engine, &f.base, d, &ctl)?;
+        let m = Magnitude::exact_with_budget(base, opts.exact_bits).pow(&f.exponent);
+        acc = acc.mul(&m);
+    }
+    Ok(acc)
 }
 
 #[cfg(test)]
@@ -126,10 +181,7 @@ mod tests {
     fn engines_agree() {
         let (s, d) = complete(3);
         let q = path_query(&s, "E", 3);
-        assert_eq!(
-            count_with(Engine::Naive, &q, &d),
-            count_with(Engine::Treewidth, &q, &d)
-        );
+        assert_eq!(count_with(Engine::Naive, &q, &d), count_with(Engine::Treewidth, &q, &d));
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //!   Lemma 12 onto-homomorphism certificates that prove
 //!   `ρ_s(D) ≤ ρ_b(D)` for all `D`;
 //! * [`for_each_hom_limited`] exhaustively enumerates homomorphisms (the
-//!   primitive behind existence checks and certificate searches).
+//!   primitive behind existence checks and certificate searches);
+//! * [`CancelToken`] / [`EvalControl`] give every counting loop
+//!   cooperative cancellation: deadlines and step budgets for the
+//!   evaluation engine's `try_*` entry points
+//!   ([`NaiveCounter::try_count`], [`TreewidthCounter::try_count`],
+//!   [`try_for_each_hom_limited`], [`try_eval_power_query`]).
 //!
 //! ```
 //! use bagcq_homcount::count;
@@ -49,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod common;
 mod eval;
 mod naive;
@@ -57,8 +63,11 @@ mod output_eval;
 mod treedec;
 mod tw;
 
-pub use eval::{count, count_with, eval_power_query, Engine, EvalOptions};
-pub use naive::{for_each_hom_limited, NaiveCounter};
+pub use cancel::{CancelReason, CancelToken, Cancelled, EvalControl, Ticker, CHECK_INTERVAL};
+pub use eval::{
+    count, count_with, eval_power_query, try_count_with, try_eval_power_query, Engine, EvalOptions,
+};
+pub use naive::{for_each_hom_limited, try_for_each_hom_limited, NaiveCounter};
 pub use onto::{find_onto_hom, verify_onto_hom, OntoHom};
 pub use output_eval::{answer_bag, answer_bag_contained, output_contained_on, AnswerBag};
 pub use treedec::{decompose_min_fill, TreeDecomposition};

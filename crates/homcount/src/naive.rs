@@ -15,6 +15,7 @@
 //! the tree-decomposition engine (and everything built on top) is
 //! cross-validated against.
 
+use crate::cancel::{Cancelled, EvalControl, Ticker};
 use crate::common::{components, inequality_ok, resolve, IndexCache, UNASSIGNED};
 use bagcq_arith::Nat;
 use bagcq_query::{Query, Term};
@@ -27,42 +28,48 @@ pub struct NaiveCounter;
 impl NaiveCounter {
     /// Counts `|Hom(q, d)|`.
     pub fn count(&self, q: &Query, d: &Structure) -> Nat {
+        self.try_count(q, d, &EvalControl::unlimited())
+            .expect("unlimited evaluation cannot be cancelled")
+    }
+
+    /// Counts `|Hom(q, d)|` under cooperative cancellation controls:
+    /// returns [`Cancelled`] once the step budget runs out or the token
+    /// trips (polled every ~1024 backtracking steps).
+    pub fn try_count(&self, q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
         let comps = components(q);
 
         // Ground atoms/inequalities gate the whole count.
         for &i in &comps.ground_atoms {
             let a = &q.atoms()[i];
             let assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
-            let args: Vec<_> = a
-                .args
-                .iter()
-                .map(|t| bagcq_structure::Vertex(resolve(t, &assign, d)))
-                .collect();
+            let args: Vec<_> =
+                a.args.iter().map(|t| bagcq_structure::Vertex(resolve(t, &assign, d))).collect();
             if !d.contains_atom(a.rel, &args) {
-                return Nat::zero();
+                return Ok(Nat::zero());
             }
         }
         for &i in &comps.ground_inequalities {
             let ineq = &q.inequalities()[i];
             let assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
             if resolve(&ineq.lhs, &assign, d) == resolve(&ineq.rhs, &assign, d) {
-                return Nat::zero();
+                return Ok(Nat::zero());
             }
         }
 
         let n = d.vertex_count() as u64;
+        let mut ticker = ctl.ticker();
         let mut total = Nat::one();
         for (atom_idx, ineq_idx, vars) in &comps.comps {
-            let c = count_component(q, d, atom_idx, ineq_idx, vars);
+            let c = count_component(q, d, atom_idx, ineq_idx, vars, &mut ticker)?;
             if c.is_zero() {
-                return Nat::zero();
+                return Ok(Nat::zero());
             }
             total *= &c;
         }
         if comps.free_vars > 0 {
             total *= &Nat::from_u64(n).pow_u64(comps.free_vars as u64);
         }
-        total
+        Ok(total)
     }
 
     /// Ablation baseline: counts by enumerating every homomorphism one at
@@ -97,16 +104,27 @@ fn count_component(
     atom_idx: &[usize],
     ineq_idx: &[usize],
     vars: &[u32],
-) -> Nat {
+    ticker: &mut Ticker<'_>,
+) -> Result<Nat, Cancelled> {
     let order = order_atoms(q, d, atom_idx);
     let mut assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
     let mut cache = IndexCache::default();
     let mut count = Nat::zero();
     let mut trail: Vec<u32> = Vec::new();
     backtrack_atoms(
-        q, d, &order, 0, ineq_idx, vars, &mut assign, &mut cache, &mut trail, &mut count,
-    );
-    count
+        q,
+        d,
+        &order,
+        0,
+        ineq_idx,
+        vars,
+        &mut assign,
+        &mut cache,
+        &mut trail,
+        &mut count,
+        ticker,
+    )?;
+    Ok(count)
 }
 
 /// Greedy atom ordering: repeatedly pick the atom with the most already-
@@ -129,11 +147,7 @@ fn order_atoms(q: &Query, d: &Structure, atom_idx: &[usize]) -> Vec<usize> {
                     .count();
                 let consts = a.args.iter().filter(|t| matches!(t, Term::Const(_))).count();
                 // Prefer connectivity, then constants, then small relations.
-                (
-                    bound_vars,
-                    consts,
-                    usize::MAX - d.atom_count(a.rel),
-                )
+                (bound_vars, consts, usize::MAX - d.atom_count(a.rel))
             })
             .expect("nonempty");
         order.push(best);
@@ -159,17 +173,14 @@ fn backtrack_atoms(
     cache: &mut IndexCache,
     trail: &mut Vec<u32>,
     count: &mut Nat,
-) {
+    ticker: &mut Ticker<'_>,
+) -> Result<(), Cancelled> {
     if depth == order.len() {
         // All atoms matched; enumerate component variables that occur only
         // in inequalities.
-        let unbound: Vec<u32> = vars
-            .iter()
-            .copied()
-            .filter(|&v| assign[v as usize] == UNASSIGNED)
-            .collect();
-        enumerate_unbound(q, d, &unbound, 0, ineq_idx, assign, count);
-        return;
+        let unbound: Vec<u32> =
+            vars.iter().copied().filter(|&v| assign[v as usize] == UNASSIGNED).collect();
+        return enumerate_unbound(q, d, &unbound, 0, ineq_idx, assign, count, ticker);
     }
     let atom = &q.atoms()[order[depth]];
     // Pick the most selective access path: a bound position with the
@@ -198,6 +209,7 @@ fn backtrack_atoms(
     let tuples: Vec<&[u32]> = d.tuples(atom.rel).collect();
 
     'tuples: for &ti in &tuple_ids {
+        ticker.tick()?;
         let tuple = tuples[ti as usize];
         let mark = trail.len();
         for (pos, t) in atom.args.iter().enumerate() {
@@ -228,9 +240,22 @@ fn backtrack_atoms(
                 }
             }
         }
-        backtrack_atoms(q, d, order, depth + 1, ineq_idx, vars, assign, cache, trail, count);
+        backtrack_atoms(
+            q,
+            d,
+            order,
+            depth + 1,
+            ineq_idx,
+            vars,
+            assign,
+            cache,
+            trail,
+            count,
+            ticker,
+        )?;
         unwind(assign, trail, mark);
     }
+    Ok(())
 }
 
 fn unwind(assign: &mut [u32], trail: &mut Vec<u32>, mark: usize) {
@@ -241,6 +266,7 @@ fn unwind(assign: &mut [u32], trail: &mut Vec<u32>, mark: usize) {
 }
 
 /// Enumerates variables that occur only in inequalities (never in atoms).
+#[allow(clippy::too_many_arguments)]
 fn enumerate_unbound(
     q: &Query,
     d: &Structure,
@@ -249,22 +275,22 @@ fn enumerate_unbound(
     ineq_idx: &[usize],
     assign: &mut Vec<u32>,
     count: &mut Nat,
-) {
+    ticker: &mut Ticker<'_>,
+) -> Result<(), Cancelled> {
     if i == unbound.len() {
         count.add_assign_u64(1);
-        return;
+        return Ok(());
     }
     let v = unbound[i];
     for u in 0..d.vertex_count() {
+        ticker.tick()?;
         assign[v as usize] = u;
-        if ineq_idx
-            .iter()
-            .all(|&ii| inequality_ok(&q.inequalities()[ii], assign, d))
-        {
-            enumerate_unbound(q, d, unbound, i + 1, ineq_idx, assign, count);
+        if ineq_idx.iter().all(|&ii| inequality_ok(&q.inequalities()[ii], assign, d)) {
+            enumerate_unbound(q, d, unbound, i + 1, ineq_idx, assign, count, ticker)?;
         }
     }
     assign[v as usize] = UNASSIGNED;
+    Ok(())
 }
 
 /// Enumerates complete homomorphisms (every variable assigned, including
@@ -274,12 +300,20 @@ fn enumerate_unbound(
 /// This is the exhaustive path used by the onto-homomorphism search and by
 /// cross-validation tests; the optimized counters above never materialize
 /// individual homs.
-pub fn for_each_hom_limited(
+pub fn for_each_hom_limited(q: &Query, d: &Structure, limit: u64, f: impl FnMut(&[u32]) -> bool) {
+    try_for_each_hom_limited(q, d, limit, &EvalControl::unlimited(), f)
+        .expect("unlimited enumeration cannot be cancelled")
+}
+
+/// Cancellable form of [`for_each_hom_limited`]: additionally stops with
+/// [`Cancelled`] when the step budget or token of `ctl` trips.
+pub fn try_for_each_hom_limited(
     q: &Query,
     d: &Structure,
     limit: u64,
+    ctl: &EvalControl,
     mut f: impl FnMut(&[u32]) -> bool,
-) {
+) -> Result<(), Cancelled> {
     // Check ground atoms first.
     let empty_assign: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
     for a in q.atoms() {
@@ -290,7 +324,7 @@ pub fn for_each_hom_limited(
                 .map(|t| bagcq_structure::Vertex(resolve(t, &empty_assign, d)))
                 .collect();
             if !d.contains_atom(a.rel, &args) {
-                return;
+                return Ok(());
             }
         }
     }
@@ -303,10 +337,22 @@ pub fn for_each_hom_limited(
     let mut trail: Vec<u32> = Vec::new();
     let mut seen: u64 = 0;
     let mut stop = false;
+    let mut ticker = ctl.ticker();
     full_backtrack(
-        q, d, &order, 0, &all_ineqs, &mut assign, &mut cache, &mut trail, &mut seen, limit,
-        &mut stop, &mut f,
-    );
+        q,
+        d,
+        &order,
+        0,
+        &all_ineqs,
+        &mut assign,
+        &mut cache,
+        &mut trail,
+        &mut seen,
+        limit,
+        &mut stop,
+        &mut ticker,
+        &mut f,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -322,18 +368,17 @@ fn full_backtrack(
     seen: &mut u64,
     limit: u64,
     stop: &mut bool,
+    ticker: &mut Ticker<'_>,
     f: &mut impl FnMut(&[u32]) -> bool,
-) {
+) -> Result<(), Cancelled> {
     if *stop {
-        return;
+        return Ok(());
     }
     if depth == order.len() {
         // Enumerate every remaining unassigned variable over the domain.
-        let unbound: Vec<u32> = (0..q.var_count())
-            .filter(|&v| assign[v as usize] == UNASSIGNED)
-            .collect();
-        full_enumerate(q, d, &unbound, 0, ineq_idx, assign, seen, limit, stop, f);
-        return;
+        let unbound: Vec<u32> =
+            (0..q.var_count()).filter(|&v| assign[v as usize] == UNASSIGNED).collect();
+        return full_enumerate(q, d, &unbound, 0, ineq_idx, assign, seen, limit, stop, ticker, f);
     }
     let atom = &q.atoms()[order[depth]];
     let mut best: Option<(usize, u32)> = None;
@@ -361,8 +406,9 @@ fn full_backtrack(
     let tuples: Vec<&[u32]> = d.tuples(atom.rel).collect();
     'tuples: for &ti in &tuple_ids {
         if *stop {
-            return;
+            return Ok(());
         }
+        ticker.tick()?;
         let tuple = tuples[ti as usize];
         let mark = trail.len();
         for (pos, t) in atom.args.iter().enumerate() {
@@ -392,9 +438,24 @@ fn full_backtrack(
                 }
             }
         }
-        full_backtrack(q, d, order, depth + 1, ineq_idx, assign, cache, trail, seen, limit, stop, f);
+        full_backtrack(
+            q,
+            d,
+            order,
+            depth + 1,
+            ineq_idx,
+            assign,
+            cache,
+            trail,
+            seen,
+            limit,
+            stop,
+            ticker,
+            f,
+        )?;
         unwind(assign, trail, mark);
     }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -408,32 +469,32 @@ fn full_enumerate(
     seen: &mut u64,
     limit: u64,
     stop: &mut bool,
+    ticker: &mut Ticker<'_>,
     f: &mut impl FnMut(&[u32]) -> bool,
-) {
+) -> Result<(), Cancelled> {
     if *stop {
-        return;
+        return Ok(());
     }
     if i == unbound.len() {
         *seen += 1;
         if !f(assign) || (limit != 0 && *seen >= limit) {
             *stop = true;
         }
-        return;
+        return Ok(());
     }
     let v = unbound[i];
     for u in 0..d.vertex_count() {
         if *stop {
             break;
         }
+        ticker.tick()?;
         assign[v as usize] = u;
-        if ineq_idx
-            .iter()
-            .all(|&ii| inequality_ok(&q.inequalities()[ii], assign, d))
-        {
-            full_enumerate(q, d, unbound, i + 1, ineq_idx, assign, seen, limit, stop, f);
+        if ineq_idx.iter().all(|&ii| inequality_ok(&q.inequalities()[ii], assign, d)) {
+            full_enumerate(q, d, unbound, i + 1, ineq_idx, assign, seen, limit, stop, ticker, f)?;
         }
     }
     assign[v as usize] = UNASSIGNED;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -543,11 +604,7 @@ mod tests {
         let q = path_query(&s, "E", 1);
         let c = NaiveCounter.count(&q, &d);
         for k in 0..4 {
-            assert_eq!(
-                NaiveCounter.count(&q.power(k), &d),
-                c.pow_u64(k as u64),
-                "power {k}"
-            );
+            assert_eq!(NaiveCounter.count(&q.power(k), &d), c.pow_u64(k as u64), "power {k}");
         }
     }
 
@@ -666,6 +723,60 @@ mod tests {
         });
         assert_eq!(n, 4);
     }
+
+    #[test]
+    fn step_budget_stops_count() {
+        use crate::cancel::CancelReason;
+        let s = digraph();
+        let d = complete_struct(&s, 8);
+        let q = path_query(&s, "E", 5);
+        // A tiny budget must trip; a generous one must agree with count().
+        let tiny = EvalControl::new(3, None);
+        assert_eq!(
+            NaiveCounter.try_count(&q, &d, &tiny),
+            Err(Cancelled(CancelReason::BudgetExhausted))
+        );
+        let roomy = EvalControl::new(100_000_000, None);
+        assert_eq!(NaiveCounter.try_count(&q, &d, &roomy), Ok(NaiveCounter.count(&q, &d)));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_enumeration() {
+        use crate::cancel::CancelToken;
+        let s = digraph();
+        let d = complete_struct(&s, 6);
+        let q = path_query(&s, "E", 6);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = EvalControl::new(0, Some(token));
+        let mut n = 0u64;
+        let r = try_for_each_hom_limited(&q, &d, 0, &ctl, |_| {
+            n += 1;
+            true
+        });
+        assert!(r.is_err());
+        // Polls happen every CHECK_INTERVAL steps, so a bounded prefix may
+        // have been visited before the trip.
+        assert!(n < 10 * crate::cancel::CHECK_INTERVAL, "saw {n} homs");
+    }
+
+    #[test]
+    fn budget_counts_inequality_enumeration() {
+        use crate::cancel::CancelReason;
+        let s = digraph();
+        let d = complete_struct(&s, 50);
+        // x ≠ y with neither in an atom: pure enumeration territory.
+        let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.neq(x, y);
+        let q = qb.build();
+        let tiny = EvalControl::new(10, None);
+        assert_eq!(
+            NaiveCounter.try_count(&q, &d, &tiny),
+            Err(Cancelled(CancelReason::BudgetExhausted))
+        );
+    }
 }
 
 #[cfg(test)]
@@ -699,13 +810,10 @@ mod ablation_tests {
         let mut b = SchemaBuilder::default();
         b.relation("E", 2);
         let s = b.build();
-        let d = StructureGen { extra_vertices: 3, density: 0.5, ..Default::default() }
-            .sample(&s, 3);
+        let d =
+            StructureGen { extra_vertices: 3, density: 0.5, ..Default::default() }.sample(&s, 3);
         let q = path_query(&s, "E", 1).power(2);
-        assert_eq!(
-            NaiveCounter.count_enumerative(&q, &d),
-            NaiveCounter.count(&q, &d)
-        );
+        assert_eq!(NaiveCounter.count_enumerative(&q, &d), NaiveCounter.count(&q, &d));
         let _ = Arc::strong_count(&s);
     }
 }

@@ -66,11 +66,7 @@ pub fn verify_onto_hom(big: &Query, small: &Query, h: &OntoHom) -> bool {
         }
     };
     for a in big.atoms() {
-        let args: Vec<_> = a
-            .args
-            .iter()
-            .map(|t| bagcq_structure::Vertex(resolve(t)))
-            .collect();
+        let args: Vec<_> = a.args.iter().map(|t| bagcq_structure::Vertex(resolve(t))).collect();
         if !target.contains_atom(a.rel, &args) {
             return false;
         }
@@ -134,9 +130,7 @@ mod tests {
         let x = qb.var("x");
         let y1 = qb.var("y1");
         let y2 = qb.var("y2");
-        qb.atom_named("E", &[x, x])
-            .atom_named("E", &[x, y1])
-            .atom_named("E", &[y1, y2]);
+        qb.atom_named("E", &[x, x]).atom_named("E", &[x, y1]).atom_named("E", &[y1, y2]);
         let big = qb.build();
 
         let h = find_onto_hom(&big, &small).expect("collapse through the loop");

@@ -30,9 +30,7 @@ pub fn answer_bag(oq: &OutputQuery, d: &Structure) -> AnswerBag {
     let mut out: AnswerBag = BTreeMap::new();
     for_each_hom_limited(&oq.query, d, 0, |assign| {
         let tuple: Vec<u32> = oq.outputs.iter().map(|v| assign[v.0 as usize]).collect();
-        out.entry(tuple)
-            .and_modify(|n| n.add_assign_u64(1))
-            .or_insert_with(Nat::one);
+        out.entry(tuple).and_modify(|n| n.add_assign_u64(1)).or_insert_with(Nat::one);
         true
     });
     out
@@ -41,16 +39,12 @@ pub fn answer_bag(oq: &OutputQuery, d: &Structure) -> AnswerBag {
 /// Multiset inclusion of answer bags: every tuple's multiplicity in `a`
 /// is at most its multiplicity in `b`.
 pub fn answer_bag_contained(a: &AnswerBag, b: &AnswerBag) -> bool {
-    a.iter().all(|(t, m)| b.get(t).map_or(false, |mb| m <= mb))
+    a.iter().all(|(t, m)| b.get(t).is_some_and(|mb| m <= mb))
 }
 
 /// Bag containment of two output queries on one database.
 pub fn output_contained_on(s: &OutputQuery, b: &OutputQuery, d: &Structure) -> bool {
-    assert_eq!(
-        s.output_arity(),
-        b.output_arity(),
-        "containment needs equal output arities"
-    );
+    assert_eq!(s.output_arity(), b.output_arity(), "containment needs equal output arities");
     answer_bag_contained(&answer_bag(s, d), &answer_bag(b, d))
 }
 
@@ -180,9 +174,7 @@ mod tests {
             // treat missing b-tuples as 0.
             let bag_s = answer_bag(&free_s, &d);
             let bag_b = answer_bag(&free_b, &d);
-            let nonboolean = bag_s.iter().all(|(t, m)| {
-                bag_b.get(t).map_or(false, |mb| m <= mb)
-            });
+            let nonboolean = bag_s.iter().all(|(t, m)| bag_b.get(t).is_some_and(|mb| m <= mb));
             assert_eq!(boolean_all, nonboolean, "seed {seed}");
         }
     }

@@ -102,11 +102,8 @@ pub fn decompose_min_fill(n: u32, adj: &[HashSet<u32>]) -> TreeDecomposition {
             if eliminated[v as usize] {
                 continue;
             }
-            let nbrs: Vec<u32> = work[v as usize]
-                .iter()
-                .copied()
-                .filter(|&u| !eliminated[u as usize])
-                .collect();
+            let nbrs: Vec<u32> =
+                work[v as usize].iter().copied().filter(|&u| !eliminated[u as usize]).collect();
             let mut fill = 0usize;
             for i in 0..nbrs.len() {
                 for j in (i + 1)..nbrs.len() {
@@ -115,16 +112,13 @@ pub fn decompose_min_fill(n: u32, adj: &[HashSet<u32>]) -> TreeDecomposition {
                     }
                 }
             }
-            if best.map_or(true, |(_, bf)| fill < bf) {
+            if best.is_none_or(|(_, bf)| fill < bf) {
                 best = Some((v, fill));
             }
         }
         let (v, _) = best.expect("some vertex remains");
-        let nbrs: Vec<u32> = work[v as usize]
-            .iter()
-            .copied()
-            .filter(|&u| !eliminated[u as usize])
-            .collect();
+        let nbrs: Vec<u32> =
+            work[v as usize].iter().copied().filter(|&u| !eliminated[u as usize]).collect();
         // Fill in the neighborhood.
         for i in 0..nbrs.len() {
             for j in (i + 1)..nbrs.len() {
@@ -153,11 +147,8 @@ pub fn decompose_min_fill(n: u32, adj: &[HashSet<u32>]) -> TreeDecomposition {
     let mut bags: Vec<Vec<u32>> = order.iter().map(|&v| bag_of[v as usize].clone()).collect();
     let mut parent: Vec<Option<usize>> = vec![None; bags.len()];
     for (i, &v) in order.iter().enumerate() {
-        let next = bag_of[v as usize]
-            .iter()
-            .copied()
-            .filter(|&u| u != v)
-            .min_by_key(|&u| pos[u as usize]);
+        let next =
+            bag_of[v as usize].iter().copied().filter(|&u| u != v).min_by_key(|&u| pos[u as usize]);
         if let Some(u) = next {
             parent[i] = Some(pos[u as usize]);
         }

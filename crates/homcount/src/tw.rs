@@ -7,6 +7,7 @@
 //! [`crate::NaiveCounter`] on low-width query families (paths, cycles,
 //! stars, grids; experiment E-PERF1).
 
+use crate::cancel::{Cancelled, EvalControl, Ticker};
 use crate::common::{components, inequality_ok, resolve, UNASSIGNED};
 use crate::treedec::{decompose_min_fill, TreeDecomposition};
 use bagcq_arith::Nat;
@@ -21,40 +22,46 @@ pub struct TreewidthCounter;
 impl TreewidthCounter {
     /// Counts `|Hom(q, d)|`.
     pub fn count(&self, q: &Query, d: &Structure) -> Nat {
+        self.try_count(q, d, &EvalControl::unlimited())
+            .expect("unlimited evaluation cannot be cancelled")
+    }
+
+    /// Counts `|Hom(q, d)|` under cooperative cancellation controls:
+    /// returns [`Cancelled`] once the step budget runs out or the token
+    /// trips (polled during bag enumeration, the DP's inner loop).
+    pub fn try_count(&self, q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
         let comps = components(q);
 
         // Ground gates, as in the naive engine.
         let empty: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
         for &i in &comps.ground_atoms {
             let a = &q.atoms()[i];
-            let args: Vec<_> = a
-                .args
-                .iter()
-                .map(|t| bagcq_structure::Vertex(resolve(t, &empty, d)))
-                .collect();
+            let args: Vec<_> =
+                a.args.iter().map(|t| bagcq_structure::Vertex(resolve(t, &empty, d))).collect();
             if !d.contains_atom(a.rel, &args) {
-                return Nat::zero();
+                return Ok(Nat::zero());
             }
         }
         for &i in &comps.ground_inequalities {
             let ineq = &q.inequalities()[i];
             if resolve(&ineq.lhs, &empty, d) == resolve(&ineq.rhs, &empty, d) {
-                return Nat::zero();
+                return Ok(Nat::zero());
             }
         }
 
+        let mut ticker = ctl.ticker();
         let mut total = Nat::one();
         for (atom_idx, ineq_idx, vars) in &comps.comps {
-            let c = count_component(q, d, atom_idx, ineq_idx, vars);
+            let c = count_component(q, d, atom_idx, ineq_idx, vars, &mut ticker)?;
             if c.is_zero() {
-                return Nat::zero();
+                return Ok(Nat::zero());
             }
             total *= &c;
         }
         if comps.free_vars > 0 {
             total *= &Nat::from_u64(d.vertex_count() as u64).pow_u64(comps.free_vars as u64);
         }
-        total
+        Ok(total)
     }
 
     /// The width min-fill found for this query's primal graph (diagnostics
@@ -82,11 +89,7 @@ fn decompose_component(
     ineq_idx: &[usize],
     vars: &[u32],
 ) -> (TreeDecomposition, HashMap<u32, u32>) {
-    let local: HashMap<u32, u32> = vars
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i as u32))
-        .collect();
+    let local: HashMap<u32, u32> = vars.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
     let n = vars.len() as u32;
     let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n as usize];
     let connect_all = |vs: &[u32], adj: &mut Vec<HashSet<u32>>| {
@@ -130,7 +133,8 @@ fn count_component(
     atom_idx: &[usize],
     ineq_idx: &[usize],
     vars: &[u32],
-) -> Nat {
+    ticker: &mut Ticker<'_>,
+) -> Result<Nat, Cancelled> {
     let (td, local) = decompose_component(q, atom_idx, ineq_idx, vars);
     let global: Vec<u32> = vars.to_vec(); // local index -> global var id
 
@@ -188,10 +192,12 @@ fn count_component(
         .collect();
 
     // Sanity (debug builds): every constraint covered by some bag.
-    debug_assert!((0..atom_idx.len())
-        .all(|k| (0..td.bags.len()).any(|b| bag_atoms[b].contains(&k))));
-    debug_assert!((0..ineq_idx.len())
-        .all(|k| (0..td.bags.len()).any(|b| bag_ineqs[b].contains(&k))));
+    debug_assert!(
+        (0..atom_idx.len()).all(|k| (0..td.bags.len()).any(|b| bag_atoms[b].contains(&k)))
+    );
+    debug_assert!(
+        (0..ineq_idx.len()).all(|k| (0..td.bags.len()).any(|b| bag_ineqs[b].contains(&k)))
+    );
 
     // Bottom-up DP in post-order.
     let order = postorder(&td);
@@ -202,25 +208,19 @@ fn count_component(
     for &b in &order {
         let bag = &td.bags[b];
         // Child aggregates keyed by the separator assignment.
-        let child_aggs: Vec<(Vec<u32>, HashMap<Vec<u32>, Nat>)> = td.children[b]
+        type ChildAgg = (Vec<u32>, HashMap<Vec<u32>, Nat>);
+        let child_aggs: Vec<ChildAgg> = td.children[b]
             .iter()
             .map(|&c| {
-                let sep: Vec<u32> = td.bags[c]
-                    .iter()
-                    .copied()
-                    .filter(|&lv| bag_has(bag, lv))
-                    .collect();
+                let sep: Vec<u32> =
+                    td.bags[c].iter().copied().filter(|&lv| bag_has(bag, lv)).collect();
                 let mut agg: HashMap<Vec<u32>, Nat> = HashMap::new();
                 let child_bag = &td.bags[c];
-                let sep_pos: Vec<usize> = sep
-                    .iter()
-                    .map(|lv| child_bag.binary_search(lv).unwrap())
-                    .collect();
+                let sep_pos: Vec<usize> =
+                    sep.iter().map(|lv| child_bag.binary_search(lv).unwrap()).collect();
                 for (a, cnt) in tables[c].take().expect("child computed") {
                     let key: Vec<u32> = sep_pos.iter().map(|&i| a[i]).collect();
-                    agg.entry(key)
-                        .and_modify(|acc| acc.add_assign_ref(&cnt))
-                        .or_insert(cnt);
+                    agg.entry(key).and_modify(|acc| acc.add_assign_ref(&cnt)).or_insert(cnt);
                 }
                 (sep, agg)
             })
@@ -242,14 +242,13 @@ fn count_component(
             ineq_idx,
             &mut assign_global,
             &mut current,
+            ticker,
             &mut |bag_assign: &[u32]| {
                 // Multiply in child aggregates.
                 let mut weight = Nat::one();
                 for (sep, agg) in &child_aggs {
-                    let key: Vec<u32> = sep
-                        .iter()
-                        .map(|lv| bag_assign[bag.binary_search(lv).unwrap()])
-                        .collect();
+                    let key: Vec<u32> =
+                        sep.iter().map(|lv| bag_assign[bag.binary_search(lv).unwrap()]).collect();
                     match agg.get(&key) {
                         Some(w) => weight *= w,
                         None => return, // no extension below
@@ -260,7 +259,7 @@ fn count_component(
                     .and_modify(|acc| acc.add_assign_ref(&weight))
                     .or_insert(weight);
             },
-        );
+        )?;
         tables[b] = Some(table);
     }
 
@@ -269,7 +268,7 @@ fn count_component(
     for (_, w) in root_table {
         total.add_assign_ref(&w);
     }
-    total
+    Ok(total)
 }
 
 fn postorder(td: &TreeDecomposition) -> Vec<usize> {
@@ -304,14 +303,16 @@ fn enumerate_bag(
     ineq_idx: &[usize],
     assign_global: &mut Vec<u32>,
     current: &mut Vec<u32>,
+    ticker: &mut Ticker<'_>,
     emit: &mut impl FnMut(&[u32]),
-) {
+) -> Result<(), Cancelled> {
     if i == bag.len() {
         emit(current);
-        return;
+        return Ok(());
     }
     let gvar = global[bag[i] as usize];
     for u in 0..d.vertex_count() {
+        ticker.tick()?;
         assign_global[gvar as usize] = u;
         current[i] = u;
         // Check bag constraints that are fully bound among bag[0..=i].
@@ -339,18 +340,30 @@ fn enumerate_bag(
                     .map(|t| bagcq_structure::Vertex(resolve(t, assign_global, d)))
                     .collect();
                 d.contains_atom(a.rel, &args)
-            }) && bag_ineqs.iter().all(|&k| {
-                inequality_ok(&q.inequalities()[ineq_idx[k]], assign_global, d)
-            })
+            }) && bag_ineqs
+                .iter()
+                .all(|&k| inequality_ok(&q.inequalities()[ineq_idx[k]], assign_global, d))
         };
         if bound_ok {
             enumerate_bag(
-                q, d, bag, global, i + 1, bag_atoms, bag_ineqs, atom_idx, ineq_idx,
-                assign_global, current, emit,
-            );
+                q,
+                d,
+                bag,
+                global,
+                i + 1,
+                bag_atoms,
+                bag_ineqs,
+                atom_idx,
+                ineq_idx,
+                assign_global,
+                current,
+                ticker,
+                emit,
+            )?;
         }
     }
     assign_global[gvar as usize] = UNASSIGNED;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -392,11 +405,7 @@ mod tests {
             grid_query(&s, "E", 3, 2),
         ] {
             for dd in [&d, &d2] {
-                assert_eq!(
-                    TreewidthCounter.count(&q, dd),
-                    NaiveCounter.count(&q, dd),
-                    "query {q}"
-                );
+                assert_eq!(TreewidthCounter.count(&q, dd), NaiveCounter.count(&q, dd), "query {q}");
             }
         }
     }
@@ -453,6 +462,21 @@ mod tests {
         qb.atom_named("E", &[x, y]).atom_named("E", &[y, z]).neq(x, z);
         let q = qb.build();
         assert_eq!(TreewidthCounter.count(&q, &d), NaiveCounter.count(&q, &d));
+    }
+
+    #[test]
+    fn step_budget_stops_dp() {
+        use crate::cancel::{CancelReason, Cancelled, EvalControl};
+        let s = digraph();
+        let d = cycle_struct(&s, 40);
+        let q = grid_query(&s, "E", 4, 4);
+        let tiny = EvalControl::new(5, None);
+        assert_eq!(
+            TreewidthCounter.try_count(&q, &d, &tiny),
+            Err(Cancelled(CancelReason::BudgetExhausted))
+        );
+        let roomy = EvalControl::new(500_000_000, None);
+        assert_eq!(TreewidthCounter.try_count(&q, &d, &roomy), Ok(TreewidthCounter.count(&q, &d)));
     }
 
     #[test]

@@ -17,12 +17,7 @@ fn schema() -> Arc<Schema> {
 }
 
 fn small_query(seed: u64, vars: u32, atoms: usize, ineqs: usize) -> Query {
-    let qg = QueryGen {
-        variables: vars,
-        atoms,
-        constant_prob: 0.1,
-        inequalities: ineqs,
-    };
+    let qg = QueryGen { variables: vars, atoms, constant_prob: 0.1, inequalities: ineqs };
     qg.sample(&schema(), seed)
 }
 

@@ -59,8 +59,7 @@ impl Lemma11Instance {
         if self.monomials.is_empty() {
             return Err(Lemma11Error("no monomials".into()));
         }
-        if self.monomials.len() != self.coeff_s.len()
-            || self.monomials.len() != self.coeff_b.len()
+        if self.monomials.len() != self.coeff_s.len() || self.monomials.len() != self.coeff_b.len()
         {
             return Err(Lemma11Error("coefficient/monomial length mismatch".into()));
         }
@@ -76,11 +75,9 @@ impl Lemma11Instance {
                 )));
             }
             if !t.starts_with(0) {
-                return Err(Lemma11Error(format!(
-                    "monomial {m} does not start with x₁"
-                )));
+                return Err(Lemma11Error(format!("monomial {m} does not start with x₁")));
             }
-            if t.max_var().map_or(false, |v| v >= self.n_vars) {
+            if t.max_var().is_some_and(|v| v >= self.n_vars) {
                 return Err(Lemma11Error(format!("monomial {m} uses a variable ≥ n")));
             }
         }

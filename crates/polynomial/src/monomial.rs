@@ -78,7 +78,7 @@ impl Monomial {
     /// homogenization `t′ᵢ = ξ₁^{d−dᵢ}·tᵢ`.
     pub fn prepend_power(&self, v: u32, k: usize) -> Monomial {
         let mut occ = Vec::with_capacity(k + self.occurrences.len());
-        occ.extend(std::iter::repeat(v).take(k));
+        occ.extend(std::iter::repeat_n(v, k));
         occ.extend_from_slice(&self.occurrences);
         Monomial { occurrences: occ }
     }

@@ -57,9 +57,7 @@ impl Polynomial {
         // structural equality coincides with polynomial equality. The
         // occurrence order *inside* each monomial is untouched.
         out.sort_by(|(_, a), (_, b)| {
-            a.degree()
-                .cmp(&b.degree())
-                .then_with(|| a.canonical_key().cmp(&b.canonical_key()))
+            a.degree().cmp(&b.degree()).then_with(|| a.canonical_key().cmp(&b.canonical_key()))
         });
         Polynomial { terms: out }
     }
@@ -136,12 +134,7 @@ impl Polynomial {
 
     /// Scales by an integer.
     pub fn scale(&self, k: &Int) -> Polynomial {
-        Polynomial::from_terms(
-            self.terms
-                .iter()
-                .map(|(c, m)| (c * k, m.clone()))
-                .collect(),
-        )
+        Polynomial::from_terms(self.terms.iter().map(|(c, m)| (c * k, m.clone())).collect())
     }
 
     /// `self²` (the Appendix B step `Q' = Q²`).
@@ -181,22 +174,14 @@ impl Polynomial {
     /// number. Panics if any coefficient is negative.
     pub fn eval_nat(&self, valuation: &[Nat]) -> Nat {
         let v = self.eval(valuation);
-        assert!(
-            !v.is_negative(),
-            "eval_nat on a polynomial with negative values"
-        );
+        assert!(!v.is_negative(), "eval_nat on a polynomial with negative values");
         v.into_magnitude()
     }
 
     /// Renumbers variables through `f` (e.g. the Appendix B shift that
     /// frees index 0 for `ξ₁`).
     pub fn map_vars(&self, f: impl Fn(u32) -> u32 + Copy) -> Polynomial {
-        Polynomial::from_terms(
-            self.terms
-                .iter()
-                .map(|(c, m)| (c.clone(), m.map_vars(f)))
-                .collect(),
-        )
+        Polynomial::from_terms(self.terms.iter().map(|(c, m)| (c.clone(), m.map_vars(f))).collect())
     }
 }
 
@@ -256,10 +241,7 @@ mod tests {
 
     #[test]
     fn zero_terms_vanish() {
-        let p = Polynomial::from_terms(vec![
-            (i(2), Monomial::var(0)),
-            (i(-2), Monomial::var(0)),
-        ]);
+        let p = Polynomial::from_terms(vec![(i(2), Monomial::var(0)), (i(-2), Monomial::var(0))]);
         assert!(p.is_zero());
         assert_eq!(p.degree(), 0);
     }
@@ -339,10 +321,8 @@ mod tests {
 
     #[test]
     fn eval_nat_on_natural_polynomial() {
-        let p = Polynomial::from_terms(vec![
-            (i(2), Monomial::new(vec![0])),
-            (i(1), Monomial::unit()),
-        ]);
+        let p =
+            Polynomial::from_terms(vec![(i(2), Monomial::new(vec![0])), (i(1), Monomial::unit())]);
         assert_eq!(p.eval_nat(&[n(5)]), n(11));
     }
 

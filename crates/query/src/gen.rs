@@ -39,9 +39,7 @@ impl QueryGen {
     pub fn sample_with(&self, schema: &Arc<Schema>, rng: &mut StdRng) -> Query {
         assert!(self.variables >= 1, "need at least one variable");
         let mut qb = Query::builder(Arc::clone(schema));
-        let vars: Vec<Term> = (0..self.variables)
-            .map(|i| qb.var(&format!("v{i}")))
-            .collect();
+        let vars: Vec<Term> = (0..self.variables).map(|i| qb.var(&format!("v{i}"))).collect();
         let n_consts = schema.constant_count();
         let rels: Vec<_> = schema.relations().collect();
         assert!(!rels.is_empty(), "schema has no relations");

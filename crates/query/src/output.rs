@@ -64,14 +64,10 @@ pub fn free_constants(q: &Query, constants: &[ConstId]) -> OutputQuery {
     let schema = Arc::clone(q.schema());
     let mut qb = Query::builder(Arc::clone(&schema));
     // Re-create the original variables under their names.
-    let old_vars: Vec<Term> = (0..q.var_count())
-        .map(|v| qb.var(q.var_name(VarId(v))))
-        .collect();
+    let old_vars: Vec<Term> = (0..q.var_count()).map(|v| qb.var(q.var_name(VarId(v)))).collect();
     // One fresh variable per freed constant.
-    let freed: Vec<Term> = constants
-        .iter()
-        .map(|c| qb.var(&format!("freed_{}", schema.constant_name(*c))))
-        .collect();
+    let freed: Vec<Term> =
+        constants.iter().map(|c| qb.var(&format!("freed_{}", schema.constant_name(*c)))).collect();
     let remap = |t: &Term| -> Term {
         match t {
             Term::Var(v) => old_vars[v.0 as usize],
@@ -141,7 +137,7 @@ mod tests {
         assert_eq!(oq.output_arity(), 1);
         assert_eq!(oq.query.constants_used(), vec![s.constant_by_name("b").unwrap()]);
         assert_eq!(oq.query.var_count(), 2); // x + freed_a
-        // All three atoms survive with the freed variable in a's slots.
+                                             // All three atoms survive with the freed variable in a's slots.
         assert_eq!(oq.query.atoms().len(), 3);
     }
 

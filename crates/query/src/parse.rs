@@ -147,17 +147,12 @@ fn parse_conjunct(src: &str) -> Result<(RawConjunct, &str), ParseQueryError> {
     let rest = rest
         .strip_prefix("!=")
         .or_else(|| rest.strip_prefix('≠'))
-        .ok_or_else(|| ParseQueryError {
-            message: format!("expected '!=' at {rest:?}"),
-        })?;
+        .ok_or_else(|| ParseQueryError { message: format!("expected '!=' at {rest:?}") })?;
     let (rhs, rest) = parse_term(rest)?;
     Ok((RawConjunct::Neq(lhs, rhs), rest))
 }
 
-fn resolve(
-    raw: Vec<RawConjunct>,
-    schema: Arc<Schema>,
-) -> Result<Query, ParseQueryError> {
+fn resolve(raw: Vec<RawConjunct>, schema: Arc<Schema>) -> Result<Query, ParseQueryError> {
     let mut qb = Query::builder(Arc::clone(&schema));
     let term = |qb: &mut QueryBuilder, t: &RawTerm| -> Result<Term, ParseQueryError> {
         match t {

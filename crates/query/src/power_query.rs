@@ -212,8 +212,8 @@ mod tests {
         let y = qb.var("y");
         qb.atom_named("E", &[x, y]).neq(x, y);
         let with_ineq = qb.build();
-        let p = PowerQuery::power(with_ineq, Nat::from_u64(7))
-            .disjoint_conj(PowerQuery::from_query(q));
+        let p =
+            PowerQuery::power(with_ineq, Nat::from_u64(7)).disjoint_conj(PowerQuery::from_query(q));
         assert_eq!(p.expanded_inequalities(), Nat::from_u64(7));
         assert!(!p.is_pure());
     }

@@ -18,7 +18,9 @@
 //!
 //! [`Query::power`] is Definition 2's `θ↑k`.
 
-use bagcq_structure::{ConstId, RelId, Schema, SchemaEmbedding, Structure, Vertex};
+use bagcq_structure::{
+    ConstId, Fingerprint, FingerprintHasher, RelId, Schema, SchemaEmbedding, Structure, Vertex,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -67,12 +69,7 @@ impl Query {
     /// Starts building a query over the given schema.
     pub fn builder(schema: Arc<Schema>) -> QueryBuilder {
         QueryBuilder {
-            q: Query {
-                schema,
-                var_names: Vec::new(),
-                atoms: Vec::new(),
-                inequalities: Vec::new(),
-            },
+            q: Query { schema, var_names: Vec::new(), atoms: Vec::new(), inequalities: Vec::new() },
             vars_by_name: HashMap::new(),
         }
     }
@@ -80,12 +77,7 @@ impl Query {
     /// The query with no atoms at all (one homomorphism into any database:
     /// the empty mapping), useful as a unit for conjunction.
     pub fn empty(schema: Arc<Schema>) -> Query {
-        Query {
-            schema,
-            var_names: Vec::new(),
-            atoms: Vec::new(),
-            inequalities: Vec::new(),
-        }
+        Query { schema, var_names: Vec::new(), atoms: Vec::new(), inequalities: Vec::new() }
     }
 
     /// The schema this query is over.
@@ -117,6 +109,47 @@ impl Query {
     /// paper's sense; Theorems 1 and 2 require this of both queries).
     pub fn is_pure(&self) -> bool {
         self.inequalities.is_empty()
+    }
+
+    /// Stable 128-bit content fingerprint, respecting the (derived)
+    /// structural equality: equal queries fingerprint equally across
+    /// processes and runs. Used by the evaluation engine as a memo-cache
+    /// key for counting jobs.
+    pub fn fingerprint(&self) -> Fingerprint {
+        fn write_term(h: &mut FingerprintHasher, t: &Term) {
+            match t {
+                Term::Var(v) => {
+                    h.write_u32(0);
+                    h.write_u32(v.0);
+                }
+                Term::Const(c) => {
+                    h.write_u32(1);
+                    h.write_u32(c.0);
+                }
+            }
+        }
+        let mut h = FingerprintHasher::new(b"bagcq/query");
+        let schema_fp = self.schema.fingerprint();
+        h.write_u64(schema_fp.hi);
+        h.write_u64(schema_fp.lo);
+        h.write_usize(self.var_names.len());
+        for name in &self.var_names {
+            h.write_str(name);
+        }
+        h.write_usize(self.atoms.len());
+        for atom in &self.atoms {
+            h.write_u32(atom.rel.0);
+            h.write_usize(atom.args.len());
+            for t in &atom.args {
+                write_term(&mut h, t);
+            }
+        }
+        h.write_usize(self.inequalities.len());
+        for ineq in &self.inequalities {
+            write_term(&mut h, &ineq.lhs);
+            write_term(&mut h, &ineq.rhs);
+        }
+        h.finish()
     }
 
     /// The constants occurring in the query.
@@ -159,12 +192,8 @@ impl Query {
             "conjunction requires a common schema"
         );
         let mut out = self.clone();
-        let by_name: HashMap<&str, VarId> = self
-            .var_names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.as_str(), VarId(i as u32)))
-            .collect();
+        let by_name: HashMap<&str, VarId> =
+            self.var_names.iter().enumerate().map(|(i, n)| (n.as_str(), VarId(i as u32))).collect();
         // Map other's variables into out.
         let mut var_map: Vec<VarId> = Vec::with_capacity(other.var_names.len());
         let mut new_names: Vec<String> = Vec::new();
@@ -262,8 +291,7 @@ impl Query {
     /// vertex of each variable.
     pub fn canonical_structure(&self) -> (Structure, Vec<Vertex>) {
         let mut d = Structure::new(Arc::clone(&self.schema));
-        let var_vertices: Vec<Vertex> =
-            (0..self.var_names.len()).map(|_| d.add_vertex()).collect();
+        let var_vertices: Vec<Vertex> = (0..self.var_names.len()).map(|_| d.add_vertex()).collect();
         let mut buf: Vec<Vertex> = Vec::new();
         for a in &self.atoms {
             buf.clear();
@@ -347,11 +375,8 @@ impl QueryBuilder {
 
     /// Adds a relational atom by relation name.
     pub fn atom_named(&mut self, rel: &str, args: &[Term]) -> &mut Self {
-        let r = self
-            .q
-            .schema
-            .relation_by_name(rel)
-            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        let r =
+            self.q.schema.relation_by_name(rel).unwrap_or_else(|| panic!("unknown relation {rel}"));
         self.atom(r, args)
     }
 
@@ -571,5 +596,28 @@ mod tests {
         let mut qb = Query::builder(s);
         let x = qb.var("x");
         qb.atom_named("E", &[x]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let s = schema2();
+        let q1 = path2(&s);
+        let q2 = path2(&s);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.fingerprint(), q2.fingerprint());
+        // A different atom list gives a different fingerprint…
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]);
+        let shorter = qb.build();
+        assert_ne!(q1.fingerprint(), shorter.fingerprint());
+        // …and so does adding an inequality to an otherwise equal query.
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        let z = qb.var("z");
+        qb.atom_named("E", &[x, y]).atom_named("E", &[y, z]).neq(x, z);
+        assert_ne!(q1.fingerprint(), qb.build().fingerprint());
     }
 }

@@ -128,9 +128,9 @@ impl Theorem1Reduction {
         for &(n, d, m) in &instance.positions() {
             qb.atom(r_rels[d], &[am_t[m], bn_t[n as usize]]);
         }
-        for m in 0..mm {
-            for mp in 0..mm {
-                qb.atom(s_rels[mp], &[am_t[m], am_t[m]]);
+        for &am in am_t.iter().take(mm) {
+            for &s in s_rels.iter().take(mm) {
+                qb.atom(s, &[am, am]);
             }
         }
         for m in 0..mm {
@@ -152,12 +152,8 @@ impl Theorem1Reduction {
         debug_assert_eq!(cycle_len, nn + mm + 2);
 
         // ---- π_s and π_b ----
-        let pi_s = build_pi(
-            &schema, &s_rels, &r_rels, x_rel, &instance, &instance.coeff_s, false,
-        );
-        let pi_b = build_pi(
-            &schema, &s_rels, &r_rels, x_rel, &instance, &instance.coeff_b, true,
-        );
+        let pi_s = build_pi(&schema, &s_rels, &r_rels, x_rel, &instance, &instance.coeff_s, false);
+        let pi_b = build_pi(&schema, &s_rels, &r_rels, x_rel, &instance, &instance.coeff_b, true);
 
         // ---- D_Arena ----
         let (d_arena, _) = arena.canonical_structure();
@@ -166,11 +162,8 @@ impl Theorem1Reduction {
         // j^P = number of P-atoms in D_Arena; j = max; k smallest with
         // ((j+1)/j)^k ≥ c, which also gives ((j^P+1)/j^P)^k ≥ c for all P.
         let sigma_rs: Vec<RelId> = s_rels.iter().chain(r_rels.iter()).copied().collect();
-        let j = sigma_rs
-            .iter()
-            .map(|&p| d_arena.atom_count(p))
-            .max()
-            .expect("Σ_RS nonempty") as u64;
+        let j =
+            sigma_rs.iter().map(|&p| d_arena.atom_count(p)).max().expect("Σ_RS nonempty") as u64;
         let k = {
             let mut k = 1u64;
             loop {
@@ -274,10 +267,7 @@ impl Theorem1Reduction {
         }
         // Injectivity of the constant interpretation.
         let all_consts: Vec<ConstId> = self.schema.constants().collect();
-        let mut interp: Vec<u32> = all_consts
-            .iter()
-            .map(|&c| d.constant_vertex(c).0)
-            .collect();
+        let mut interp: Vec<u32> = all_consts.iter().map(|&c| d.constant_vertex(c).0).collect();
         interp.sort_unstable();
         let distinct = {
             let mut i = interp.clone();
@@ -298,9 +288,8 @@ impl Theorem1Reduction {
             .chain(std::iter::once(&self.e_rel))
             .copied()
             .collect();
-        let counts_match = sigma0
-            .iter()
-            .all(|&rel| d.atom_count(rel) == self.d_arena.atom_count(rel));
+        let counts_match =
+            sigma0.iter().all(|&rel| d.atom_count(rel) == self.d_arena.atom_count(rel));
         if counts_match {
             Correctness::Correct
         } else {
@@ -381,17 +370,14 @@ fn build_pi(
     let mut qb = Query::builder(Arc::clone(schema));
     let x = qb.var("x");
     for (m, coeff) in coeffs.iter().enumerate() {
-        let c = coeff
-            .to_u64()
-            .expect("coefficient too large to materialize as a ray");
+        let c = coeff.to_u64().expect("coefficient too large to materialize as a ray");
         // Loop S_m(x, x).
         qb.atom(s_rels[m], &[x, x]);
         // Ray of c−1 edges: x → ray_{c−1} → … → ray_1 (Appendix A
         // convention; see module docs).
         if c >= 2 {
-            let ray: Vec<Term> = (1..c)
-                .map(|kk| qb.var(&format!("ray_m{}_{}", m + 1, kk)))
-                .collect();
+            let ray: Vec<Term> =
+                (1..c).map(|kk| qb.var(&format!("ray_m{}_{}", m + 1, kk))).collect();
             // ray[i] holds variable ray_{i+1}; topmost is ray_{c−1}.
             qb.atom(s_rels[m], &[x, ray[(c - 2) as usize]]);
             for kk in (1..c - 1).rev() {
@@ -399,10 +385,10 @@ fn build_pi(
             }
         }
     }
-    for d in 0..instance.degree {
+    for (d, &r) in r_rels.iter().enumerate().take(instance.degree) {
         let y = qb.var(&format!("y{}", d + 1));
         let z = qb.var(&format!("z{}", d + 1));
-        qb.atom(r_rels[d], &[x, y]);
+        qb.atom(r, &[x, y]);
         qb.atom(x_rel, &[y, z]);
     }
     if extra_x1_rays {

@@ -104,10 +104,7 @@ mod tests {
                 max_tuples_per_relation: 80,
                 diagonal_density: 0.7,
             };
-            assert!(
-                g.falsify(&gen, 40, 1000).is_none(),
-                "Lemma 5 violated at p = {p}"
-            );
+            assert!(g.falsify(&gen, 40, 1000).is_none(), "Lemma 5 violated at p = {p}");
         }
     }
 

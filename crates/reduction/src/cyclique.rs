@@ -56,10 +56,7 @@ pub fn is_cyclique(d: &Structure, rel: RelId, tuple: &[u32]) -> bool {
 
 /// All cycliques of `d` on relation `rel` (as owned tuples).
 pub fn cycliques(d: &Structure, rel: RelId) -> Vec<Vec<u32>> {
-    d.tuples(rel)
-        .filter(|t| is_cyclique(d, rel, t))
-        .map(|t| t.to_vec())
-        .collect()
+    d.tuples(rel).filter(|t| is_cyclique(d, rel, t)).map(|t| t.to_vec()).collect()
 }
 
 /// The cyclass of a tuple: its distinct cyclic shifts.
@@ -171,12 +168,7 @@ mod tests {
             loop {
                 if classify(&tuple) == CycliqueKind::Degenerate {
                     let size = cyclass(&tuple).len();
-                    assert!(
-                        size * 2 <= p,
-                        "degenerate {:?} has cyclass {} > p/2",
-                        tuple,
-                        size
-                    );
+                    assert!(size * 2 <= p, "degenerate {:?} has cyclass {} > p/2", tuple, size);
                 }
                 // Odometer over alphabet {0,1,2}.
                 let mut i = 0;

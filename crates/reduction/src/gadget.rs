@@ -167,14 +167,7 @@ impl MultiplyGadget {
 
         let mars = ea.constant(self.mars);
         let venus = ea.constant(self.venus);
-        MultiplyGadget {
-            q_s,
-            q_b,
-            ratio: &self.ratio * &other.ratio,
-            witness,
-            mars,
-            venus,
-        }
+        MultiplyGadget { q_s, q_b, ratio: &self.ratio * &other.ratio, witness, mars, venus }
     }
 }
 
@@ -241,14 +234,7 @@ mod tests {
         let mut witness = Structure::new(Arc::clone(&schema));
         let m = witness.constant_vertex(mars);
         witness.add_atom(e, &[m, m]);
-        MultiplyGadget {
-            q_s: q.clone(),
-            q_b: q,
-            ratio: Rat::one(),
-            witness,
-            mars,
-            venus,
-        }
+        MultiplyGadget { q_s: q.clone(), q_b: q, ratio: Rat::one(), witness, mars, venus }
     }
 
     #[test]
@@ -287,12 +273,8 @@ mod tests {
             let mut qb = Query::builder(Arc::clone(&schema));
             let mut terms: std::collections::HashMap<String, Term> = Default::default();
             for (a, bb) in atoms {
-                let ta = *terms
-                    .entry(a.to_string())
-                    .or_insert_with(|| qb.var(a));
-                let tb = *terms
-                    .entry(bb.to_string())
-                    .or_insert_with(|| qb.var(bb));
+                let ta = *terms.entry(a.to_string()).or_insert_with(|| qb.var(a));
+                let tb = *terms.entry(bb.to_string()).or_insert_with(|| qb.var(bb));
                 qb.atom(e, &[ta, tb]);
             }
             qb.build()
@@ -303,14 +285,7 @@ mod tests {
         let m = w.constant_vertex(mars);
         let v = w.constant_vertex(venus);
         w.add_atom(e, &[m, v]); // one edge, no 2-path
-        let g = MultiplyGadget {
-            q_s,
-            q_b,
-            ratio: Rat::one(),
-            witness: w.clone(),
-            mars,
-            venus,
-        };
+        let g = MultiplyGadget { q_s, q_b, ratio: Rat::one(), witness: w.clone(), mars, venus };
         assert!(matches!(g.check_le_on(&w), LeCheck::Violated { .. }));
     }
 

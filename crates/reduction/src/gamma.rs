@@ -136,10 +136,7 @@ mod tests {
                 max_tuples_per_relation: 60,
                 diagonal_density: 0.8,
             };
-            assert!(
-                g.falsify(&gen, 40, 2000).is_none(),
-                "Lemma 10 violated at m = {m}"
-            );
+            assert!(g.falsify(&gen, 40, 2000).is_none(), "Lemma 10 violated at m = {m}");
         }
     }
 

@@ -67,10 +67,7 @@ pub fn encode(p1: &Polynomial, p2: &Polynomial, n_vars: u32) -> IoannidisEncodin
                 qb.atom(x_rel, &[b, z]);
             }
             let q = qb.build();
-            let c = coeff
-                .magnitude()
-                .to_u64()
-                .expect("coefficient fits u64 for encoding");
+            let c = coeff.magnitude().to_u64().expect("coefficient fits u64 for encoding");
             u.push_copies(&q, c);
         }
         u
@@ -199,8 +196,8 @@ mod tests {
     #[test]
     fn fuzz_identity() {
         for seed in 0..10u64 {
-            let raw = PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 3 }
-                .sample(seed);
+            let raw =
+                PolyGen { variables: 2, terms: 3, max_degree: 2, coeff_bound: 3 }.sample(seed);
             let (p, _) = raw.split_signs(); // natural part
             if p.is_zero() {
                 continue;

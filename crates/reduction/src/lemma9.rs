@@ -72,9 +72,7 @@ impl Lemma9Report {
 
     /// All four conditional bounds hold.
     pub fn all_cells_meet_bound(&self) -> bool {
-        [self.case_a, self.case_b, self.case_c, self.case_d]
-            .iter()
-            .all(|c| c.meets_bound(self.p))
+        [self.case_a, self.case_b, self.case_c, self.case_d].iter().all(|c| c.meets_bound(self.p))
     }
 }
 
@@ -207,7 +205,7 @@ mod tests {
             // Ensure the premise by inserting the ground cycliques.
             let mars_v = d.constant_vertex(g.mars);
             let venus_v = d.constant_vertex(g.venus);
-            let mut t = vec![venus_v; 3];
+            let mut t = [venus_v; 3];
             t[0] = mars_v;
             for s in 0..3 {
                 let shifted: Vec<_> = (0..3).map(|i| t[(s + i) % 3]).collect();
@@ -216,10 +214,7 @@ mod tests {
             d.add_atom(rel, &[venus_v, venus_v, venus_v]);
             let report = lemma9_report(&d, rel, g.mars, g.venus);
             assert!(report.premise, "seed {seed}");
-            assert!(
-                report.all_cells_meet_bound(),
-                "seed {seed}: {report:?}"
-            );
+            assert!(report.all_cells_meet_bound(), "seed {seed}: {report:?}");
             if report.cyclique_count > 4 {
                 informative += 1;
             }

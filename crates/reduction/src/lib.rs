@@ -24,8 +24,8 @@
 
 mod alpha;
 mod arena;
-mod conjectures;
 mod beta;
+mod conjectures;
 pub mod cyclique;
 mod gadget;
 mod gamma;

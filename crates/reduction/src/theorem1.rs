@@ -32,10 +32,8 @@ impl Theorem1Reduction {
     /// found in the box.
     pub fn find_phi_witness(&self, bound: u64, opts: &EvalOptions) -> Option<Theorem1Witness> {
         let violation = self.instance.find_violation(bound)?;
-        let val_u64: Vec<u64> = violation
-            .iter()
-            .map(|v| v.to_u64().expect("search box fits u64"))
-            .collect();
+        let val_u64: Vec<u64> =
+            violation.iter().map(|v| v.to_u64().expect("search box fits u64")).collect();
         let database = self.correct_database(&val_u64);
         // The witness must be strict and non-trivial.
         assert!(

@@ -188,11 +188,7 @@ mod tests {
         let b = eval_power_query(&t3.psi_b, &d, &opts);
         // ψ_s(D) = α_s(D₂)·φ_s(D₁) = (c·α_b(D₂))·1 and
         // ψ_b(D) = α_b(D₂)·φ_b(D₁) = α_b(D₂)·1: strict gap by factor c.
-        assert_eq!(
-            s.cmp_cert(&b),
-            bagcq_arith::CertOrd::Greater,
-            "ψ_s = {s:?}, ψ_b = {b:?}"
-        );
+        assert_eq!(s.cmp_cert(&b), bagcq_arith::CertOrd::Greater, "ψ_s = {s:?}, ψ_b = {b:?}");
     }
 
     /// ¬(i) ⇒ ¬(ii) on the safe instance: ψ_s ≤ ψ_b on unions of correct

@@ -72,7 +72,7 @@ pub fn eliminate_inequalities(
     }
     let psi_s_pure = psi_s.strip_inequalities();
     let s0 = NaiveCounter.count(&psi_s_pure, d0);
-    let b0 = NaiveCounter.count(&psi_b, d0);
+    let b0 = NaiveCounter.count(psi_b, d0);
     if s0 <= b0 {
         return Err(EliminationError::SeedNotStrict);
     }

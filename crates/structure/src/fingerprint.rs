@@ -1,0 +1,132 @@
+//! Stable 128-bit content fingerprints.
+//!
+//! The evaluation engine memoizes job results keyed by *what* is being
+//! computed, so schemas, structures, and queries need identifiers that are
+//! (a) stable across processes and runs — unlike `DefaultHasher`, which is
+//! randomly keyed per process, (b) independent of incidental representation
+//! (tuple insertion order in a [`crate::Structure`] does not affect
+//! equality, so it must not affect the fingerprint), and (c) wide enough
+//! that accidental collisions are a non-issue at workload scale (128 bits).
+//!
+//! The hasher runs two independent FNV-1a-style 64-bit streams over the
+//! same byte feed, with different offset bases and primes, and mixes each
+//! with a final avalanche. This is *not* a cryptographic hash; it keys a
+//! cache, where an adversarial collision merely returns a wrong memoized
+//! answer to the adversary themselves.
+
+use std::fmt;
+
+/// A 128-bit content fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME_A: u64 = 0x0000_0100_0000_01b3;
+const OFFSET_B: u64 = 0x9ae1_6a3b_2f90_404f;
+const PRIME_B: u64 = 0x0000_0100_0000_01c9;
+
+/// Streaming hasher producing a [`Fingerprint`].
+#[derive(Clone, Debug)]
+pub struct FingerprintHasher {
+    a: u64,
+    b: u64,
+}
+
+impl FingerprintHasher {
+    /// Fresh hasher under a domain-separation `tag` (e.g. `b"structure"`),
+    /// so equal byte feeds of different kinds fingerprint differently.
+    pub fn new(tag: &[u8]) -> Self {
+        let mut h = FingerprintHasher { a: OFFSET_A, b: OFFSET_B };
+        h.write_bytes(tag);
+        h
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(PRIME_A);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(PRIME_B);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to 64 bits.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a string, length-prefixed so concatenations cannot alias
+    /// (`"ab","c"` vs `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finalizes both streams through an avalanche mix.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint { hi: avalanche(self.a), lo: avalanche(self.b) }
+    }
+}
+
+/// splitmix64 finalizer: full-width bit diffusion of the running state.
+fn avalanche(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_tag_separated() {
+        let mut h1 = FingerprintHasher::new(b"x");
+        h1.write_u64(42);
+        let mut h2 = FingerprintHasher::new(b"x");
+        h2.write_u64(42);
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FingerprintHasher::new(b"y");
+        h3.write_u64(42);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_aliasing() {
+        let mut h1 = FingerprintHasher::new(b"t");
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = FingerprintHasher::new(b"t");
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let fp = FingerprintHasher::new(b"d").finish();
+        let s = fp.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

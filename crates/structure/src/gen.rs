@@ -62,7 +62,9 @@ impl StructureGen {
             let space = (n as f64).powi(arity as i32);
             let budget = self.max_tuples_per_relation.min((space * self.density).ceil() as usize);
             for _ in 0..budget {
-                if rng.gen::<f64>() > self.density.max(1.0 / space) && budget == self.max_tuples_per_relation {
+                if rng.gen::<f64>() > self.density.max(1.0 / space)
+                    && budget == self.max_tuples_per_relation
+                {
                     continue;
                 }
                 buf.clear();
@@ -73,7 +75,7 @@ impl StructureGen {
                 for v in 0..n {
                     if rng.gen::<f64>() < self.diagonal_density {
                         buf.clear();
-                        buf.extend(std::iter::repeat(Vertex(v)).take(arity));
+                        buf.extend(std::iter::repeat_n(Vertex(v), arity));
                         d.add_atom(r, &buf);
                     }
                 }

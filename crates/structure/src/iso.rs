@@ -97,11 +97,7 @@ pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
     // Order unassigned vertices by candidate-set size (most constrained
     // first).
     let mut order: Vec<usize> = (0..n).filter(|&v| map[v].is_none()).collect();
-    order.sort_by_key(|&v| {
-        by_profile
-            .get(prof_a[v].as_slice())
-            .map_or(0, Vec::len)
-    });
+    order.sort_by_key(|&v| by_profile.get(prof_a[v].as_slice()).map_or(0, Vec::len));
 
     backtrack(a, b, schema, &order, 0, &mut map, &mut used, &prof_a, &by_profile)
 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fingerprint;
 mod gen;
 mod iso;
 mod parse;
@@ -43,8 +44,11 @@ mod schema;
 #[allow(clippy::module_inception)]
 mod structure;
 
+pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use gen::StructureGen;
 pub use iso::isomorphic;
 pub use parse::{parse_structure, parse_structure_infer, structure_to_text, ParseStructureError};
-pub use schema::{ConstId, RelId, RelationDecl, Schema, SchemaBuilder, SchemaEmbedding, MARS, VENUS};
+pub use schema::{
+    ConstId, RelId, RelationDecl, Schema, SchemaBuilder, SchemaEmbedding, MARS, VENUS,
+};
 pub use structure::{Structure, Vertex};

@@ -62,11 +62,9 @@ fn parse_tuple_list(src: &str, line_no: usize) -> Result<Vec<Vec<u32>>, ParseStr
         let mut tuple = Vec::new();
         for part in inner.split(',') {
             let part = part.trim();
-            let v: u32 = part
-                .parse()
-                .map_err(|_| ParseStructureError {
-                    message: format!("line {line_no}: bad vertex id {part:?}"),
-                })?;
+            let v: u32 = part.parse().map_err(|_| ParseStructureError {
+                message: format!("line {line_no}: bad vertex id {part:?}"),
+            })?;
             tuple.push(v);
         }
         if tuple.is_empty() {
@@ -140,10 +138,7 @@ fn parse_raw(src: &str) -> Result<RawStructure, ParseStructureError> {
     Ok(RawStructure { vertices, consts, relations })
 }
 
-fn build(
-    raw: RawStructure,
-    schema: Arc<Schema>,
-) -> Result<Structure, ParseStructureError> {
+fn build(raw: RawStructure, schema: Arc<Schema>) -> Result<Structure, ParseStructureError> {
     // Resolve the constant interpretation up front so the structure can
     // be built with the exact requested vertex count (which may be
     // smaller than the constant count when constants are identified).
@@ -201,18 +196,13 @@ fn build(
 }
 
 /// Parses a structure against a known schema.
-pub fn parse_structure(
-    schema: &Arc<Schema>,
-    src: &str,
-) -> Result<Structure, ParseStructureError> {
+pub fn parse_structure(schema: &Arc<Schema>, src: &str) -> Result<Structure, ParseStructureError> {
     build(parse_raw(src)?, Arc::clone(schema))
 }
 
 /// Parses a structure, inferring the schema from relation lines (arity
 /// from the first tuple) and the `consts` line.
-pub fn parse_structure_infer(
-    src: &str,
-) -> Result<(Structure, Arc<Schema>), ParseStructureError> {
+pub fn parse_structure_infer(src: &str) -> Result<(Structure, Arc<Schema>), ParseStructureError> {
     let raw = parse_raw(src)?;
     let mut sb = SchemaBuilder::default();
     for (rel, tuples) in &raw.relations {
@@ -244,11 +234,8 @@ mod tests {
 
     #[test]
     fn parses_cycle() {
-        let d = parse_structure(
-            &schema(),
-            "vertices: 3\nconsts: a = 0\nE: (0,1), (1,2), (2,0)",
-        )
-        .unwrap();
+        let d = parse_structure(&schema(), "vertices: 3\nconsts: a = 0\nE: (0,1), (1,2), (2,0)")
+            .unwrap();
         assert_eq!(d.vertex_count(), 3);
         let e = d.schema().relation_by_name("E").unwrap();
         assert_eq!(d.atom_count(e), 3);

@@ -11,6 +11,7 @@
 //! are ordinary named constants that the reduction crate registers under
 //! [`MARS`] and [`VENUS`].
 
+use crate::fingerprint::{Fingerprint, FingerprintHasher};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -98,6 +99,25 @@ impl Schema {
         self.const_by_name.get(name).copied()
     }
 
+    /// Stable 128-bit content fingerprint: a function of the declared
+    /// relations (names and arities, in declaration order) and constant
+    /// names. Equal schemas fingerprint equally across processes and runs,
+    /// which lets the evaluation engine key its memo cache on schema
+    /// content rather than `Arc` identity.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new(b"bagcq/schema");
+        h.write_usize(self.relations.len());
+        for decl in &self.relations {
+            h.write_str(&decl.name);
+            h.write_usize(decl.arity);
+        }
+        h.write_usize(self.constants.len());
+        for name in &self.constants {
+            h.write_str(name);
+        }
+        h.finish()
+    }
+
     /// Disjoint union of two schemas (Lemma 4 needs gadget schemas disjoint
     /// from the reduction schema).
     ///
@@ -105,7 +125,10 @@ impl Schema {
     /// identified (the paper shares `♂`/`♀` across gadget and reduction
     /// signatures). Returns the merged schema plus embeddings of both
     /// inputs.
-    pub fn disjoint_union(a: &Schema, b: &Schema) -> (Arc<Schema>, SchemaEmbedding, SchemaEmbedding) {
+    pub fn disjoint_union(
+        a: &Schema,
+        b: &Schema,
+    ) -> (Arc<Schema>, SchemaEmbedding, SchemaEmbedding) {
         let mut builder = Schema::builder();
         let mut emb_a = SchemaEmbedding::default();
         let mut emb_b = SchemaEmbedding::default();
@@ -114,7 +137,7 @@ impl Schema {
         }
         for decl in &b.relations {
             assert!(
-                a.rel_by_name.get(&decl.name).is_none(),
+                !a.rel_by_name.contains_key(&decl.name),
                 "relation name collision in disjoint schema union: {}",
                 decl.name
             );

@@ -10,6 +10,7 @@
 //! order (for cheap iteration by the counting engines) with a parallel hash
 //! set for O(1) membership and de-duplication.
 
+use crate::fingerprint::{Fingerprint, FingerprintHasher};
 use crate::schema::{ConstId, RelId, Schema};
 use std::collections::HashSet;
 use std::fmt;
@@ -56,16 +57,8 @@ impl Structure {
     /// how "seriously incorrect" databases (Definition 13) are built.
     pub fn new(schema: Arc<Schema>) -> Self {
         let k = schema.constant_count() as u32;
-        let rels = schema
-            .relations()
-            .map(|r| RelationData::new(schema.arity(r)))
-            .collect();
-        Structure {
-            schema,
-            vertex_count: k,
-            const_interp: (0..k).map(Vertex).collect(),
-            rels,
-        }
+        let rels = schema.relations().map(|r| RelationData::new(schema.arity(r))).collect();
+        Structure { schema, vertex_count: k, const_interp: (0..k).map(Vertex).collect(), rels }
     }
 
     /// Creates a structure with an explicit vertex count and constant
@@ -87,10 +80,7 @@ impl Structure {
             const_interp.iter().all(|v| v.0 < vertex_count),
             "constant interpreted outside the domain"
         );
-        let rels = schema
-            .relations()
-            .map(|r| RelationData::new(schema.arity(r)))
-            .collect();
+        let rels = schema.relations().map(|r| RelationData::new(schema.arity(r))).collect();
         Structure { schema, vertex_count, const_interp, rels }
     }
 
@@ -188,11 +178,9 @@ impl Structure {
         if self.const_interp != other.const_interp {
             return false;
         }
-        self.schema.relations().all(|r| {
-            other
-                .tuples(r)
-                .all(|t| self.rels[r.0 as usize].set.contains(t))
-        })
+        self.schema
+            .relations()
+            .all(|r| other.tuples(r).all(|t| self.rels[r.0 as usize].set.contains(t)))
     }
 
     /// True iff `self` and `other` have exactly the same atoms on the given
@@ -212,6 +200,34 @@ impl Structure {
         self.rels[rel.0 as usize] = RelationData::new(arity);
     }
 
+    /// Stable 128-bit content fingerprint, respecting [`PartialEq`]:
+    /// `d1 == d2` implies `d1.fingerprint() == d2.fingerprint()`. Equality
+    /// ignores tuple insertion order, so each relation's tuples are hashed
+    /// in sorted order. Used by the evaluation engine as a memo-cache key.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new(b"bagcq/structure");
+        let schema_fp = self.schema.fingerprint();
+        h.write_u64(schema_fp.hi);
+        h.write_u64(schema_fp.lo);
+        h.write_u32(self.vertex_count);
+        h.write_usize(self.const_interp.len());
+        for v in &self.const_interp {
+            h.write_u32(v.0);
+        }
+        for r in self.schema.relations() {
+            let data = &self.rels[r.0 as usize];
+            let mut tuples: Vec<&[u32]> = data.flat.chunks_exact(data.arity).collect();
+            tuples.sort_unstable();
+            h.write_usize(tuples.len());
+            for t in tuples {
+                for &v in t {
+                    h.write_u32(v);
+                }
+            }
+        }
+        h.finish()
+    }
+
     // ----------------------------------------------------------------
     // Operations on structures (Section 5.1 of the paper, plus the
     // union used in Section 3 and quotients for Definition 13).
@@ -229,11 +245,7 @@ impl Structure {
         let mut out = Structure {
             schema: Arc::clone(&self.schema),
             vertex_count: new_vertex_count,
-            const_interp: self
-                .const_interp
-                .iter()
-                .map(|v| Vertex(map[v.0 as usize]))
-                .collect(),
+            const_interp: self.const_interp.iter().map(|v| Vertex(map[v.0 as usize])).collect(),
             rels: self
                 .schema
                 .relations()
@@ -367,10 +379,7 @@ impl Structure {
         let mut d = Structure {
             vertex_count: 1,
             const_interp: schema.constants().map(|_| Vertex(0)).collect(),
-            rels: schema
-                .relations()
-                .map(|r| RelationData::new(schema.arity(r)))
-                .collect(),
+            rels: schema.relations().map(|r| RelationData::new(schema.arity(r))).collect(),
             schema,
         };
         let schema = Arc::clone(&d.schema);
@@ -390,11 +399,7 @@ impl Structure {
         let mut out = Structure {
             schema: Arc::clone(&self.schema),
             vertex_count: self.vertex_count * k,
-            const_interp: self
-                .const_interp
-                .iter()
-                .map(|v| Vertex(copy(v.0, 0)))
-                .collect(),
+            const_interp: self.const_interp.iter().map(|v| Vertex(copy(v.0, 0))).collect(),
             rels: self
                 .schema
                 .relations()
@@ -409,11 +414,7 @@ impl Structure {
                 let mut counters = vec![0u32; arity];
                 loop {
                     buf.clear();
-                    buf.extend(
-                        t.iter()
-                            .zip(counters.iter())
-                            .map(|(&v, &i)| Vertex(copy(v, i))),
-                    );
+                    buf.extend(t.iter().zip(counters.iter()).map(|(&v, &i)| Vertex(copy(v, i))));
                     out.add_atom(r, &buf);
                     // Increment the mixed-radix counter.
                     let mut pos = 0;
@@ -445,11 +446,7 @@ impl PartialEq for Structure {
         (Arc::ptr_eq(&self.schema, &other.schema) || self.schema == other.schema)
             && self.vertex_count == other.vertex_count
             && self.const_interp == other.const_interp
-            && self
-                .rels
-                .iter()
-                .zip(other.rels.iter())
-                .all(|(a, b)| a.set == b.set)
+            && self.rels.iter().zip(other.rels.iter()).all(|(a, b)| a.set == b.set)
     }
 }
 
@@ -677,6 +674,33 @@ mod tests {
         let a = d.schema().constant_by_name("a").unwrap();
         let bb = d.schema().constant_by_name("b").unwrap();
         assert_eq!(d.constant_vertex(a), d.constant_vertex(bb));
+    }
+
+    #[test]
+    fn fingerprint_ignores_insertion_order() {
+        let (schema, e) = digraph_schema();
+        let mut d1 = Structure::new(Arc::clone(&schema));
+        d1.add_vertices(3);
+        d1.add_atom(e, &[Vertex(0), Vertex(1)]);
+        d1.add_atom(e, &[Vertex(1), Vertex(2)]);
+        let mut d2 = Structure::new(schema);
+        d2.add_vertices(3);
+        d2.add_atom(e, &[Vertex(1), Vertex(2)]);
+        d2.add_atom(e, &[Vertex(0), Vertex(1)]);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.fingerprint(), d2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_different_structures() {
+        let (c3, e) = cycle(3);
+        let mut bigger = c3.clone();
+        bigger.add_atom(e, &[Vertex(0), Vertex(2)]);
+        assert_ne!(c3.fingerprint(), bigger.fingerprint());
+        // A fresh vertex changes the domain, hence the fingerprint.
+        let mut extra = c3.clone();
+        extra.add_vertex();
+        assert_ne!(c3.fingerprint(), extra.fingerprint());
     }
 
     #[test]

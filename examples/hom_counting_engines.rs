@@ -73,10 +73,6 @@ fn main() {
     for k in [1u32, 4, 16, 64] {
         let t0 = Instant::now();
         let c = TreewidthCounter.count(&q.power(k), &d);
-        println!(
-            "  (2-walks)↑{k:<3} = value with {:>6} bits   in {:.2?}",
-            c.bits(),
-            t0.elapsed()
-        );
+        println!("  (2-walks)↑{k:<3} = value with {:>6} bits   in {:.2?}", c.bits(), t0.elapsed());
     }
 }

@@ -17,7 +17,13 @@ fn main() {
     for p in [3usize, 4, 5, 7, 9] {
         let g = beta_gadget(p, "Ex");
         let (s, b) = g.check_witness().expect("Lemma 5 (=) holds");
-        println!("{:>4} {:>12} {:>14} {:>14}", p, g.ratio.to_string(), s.to_string(), b.to_string());
+        println!(
+            "{:>4} {:>12} {:>14} {:>14}",
+            p,
+            g.ratio.to_string(),
+            s.to_string(),
+            b.to_string()
+        );
     }
 
     println!();
@@ -26,12 +32,21 @@ fn main() {
     for m in [2usize, 3, 4, 6, 8] {
         let g = gamma_gadget(m, "Ex");
         let (s, b) = g.check_witness().expect("Lemma 10 (=) holds");
-        println!("{:>4} {:>12} {:>14} {:>14}", m, g.ratio.to_string(), s.to_string(), b.to_string());
+        println!(
+            "{:>4} {:>12} {:>14} {:>14}",
+            m,
+            g.ratio.to_string(),
+            s.to_string(),
+            b.to_string()
+        );
     }
 
     println!();
     println!("α gadget (Lemma 4 composition): multiplies by exactly c");
-    println!("{:>4} {:>8} {:>12} {:>14} {:>14} {:>6}", "c", "p", "ratio", "α_s(witness)", "α_b(witness)", "ineqs");
+    println!(
+        "{:>4} {:>8} {:>12} {:>14} {:>14} {:>6}",
+        "c", "p", "ratio", "α_s(witness)", "α_b(witness)", "ineqs"
+    );
     for c in [2u64, 3, 4] {
         let g = alpha_gadget(c, "Ex");
         let (s, b) = g.check_witness().expect("composition (=) holds");

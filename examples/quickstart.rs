@@ -29,10 +29,7 @@ fn main() {
     println!("3-cycles(D)= {}", count(&tri, &d));
 
     // The two engines agree (they are independent implementations).
-    assert_eq!(
-        count_with(Engine::Naive, &walks2, &d),
-        count_with(Engine::Treewidth, &walks2, &d)
-    );
+    assert_eq!(count_with(Engine::Naive, &walks2, &d), count_with(Engine::Treewidth, &walks2, &d));
 
     // ---- 3. The paper's query algebra ----------------------------------
     // Disjoint conjunction multiplies counts (Lemma 1) and powers

@@ -49,9 +49,7 @@ fn main() {
     let opts = EvalOptions::default();
     println!();
     println!("--- the ℜ ⇒ ☀ witness (pell has a root) ---");
-    let w = red
-        .find_phi_witness(3, &opts)
-        .expect("pell-derived instance violates in the box");
+    let w = red.find_phi_witness(3, &opts).expect("pell-derived instance violates in the box");
     println!(
         "violating valuation Ξ = {:?} → correct database with {} vertices",
         w.valuation,
@@ -72,21 +70,13 @@ fn main() {
     // a small stand-in c (the mathematics is the same — see the tests).
     let c = 2u64;
     let alpha = alpha_gadget(c, "Tour");
-    println!(
-        "α gadget for c = {c}: arity p = {}, ratio = {}",
-        2 * c - 1,
-        alpha.ratio
-    );
+    println!("α gadget for c = {c}: arity p = {}, ratio = {}", 2 * c - 1, alpha.ratio);
     let (s, b) = alpha.check_witness().expect("gadget witness checks");
     println!("on the gadget witness: α_s = {s}, α_b = {b} (exactly c·α_b)");
 
     let t3 = compose_theorem3(&alpha, &red.schema, &red.phi_s, &red.phi_b);
     let sizes = theorem3_sizes(&t3);
-    println!(
-        "ψ_s: pure = {}, inequalities = {}",
-        t3.psi_s.is_pure(),
-        sizes.psi_s_inequalities
-    );
+    println!("ψ_s: pure = {}, inequalities = {}", t3.psi_s.is_pure(), sizes.psi_s_inequalities);
     println!(
         "ψ_b: inequalities = {} (the paper's improvement over 59^10)",
         sizes.psi_b_inequalities

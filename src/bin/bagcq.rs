@@ -70,10 +70,7 @@ fn load(value: &str) -> Result<String, String> {
 
 /// Pulls `-flag value` pairs out of an argument list.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 /// Merges the inferred schemas of several query/structure sources into
@@ -174,7 +171,7 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
         None => {
             println!("verdict  : no violating valuation with entries ≤ 4;");
             println!("           sweeping databases…");
-            let checked = red.sweep_databases(1, &opts).map_err(|e| e)?;
+            let checked = red.sweep_databases(1, &opts)?;
             println!("           {checked} databases checked, all satisfy ℂ·φ_s ≤ φ_b");
         }
     }
@@ -212,8 +209,8 @@ fn cmd_hde(args: &[String]) -> Result<(), String> {
 fn cmd_instances() -> Result<(), String> {
     println!("Hilbert-10 corpus:");
     for inst in hilbert_library() {
-        let status = if inst.known_root.is_some() {
-            format!("root {:?}", inst.known_root.as_ref().unwrap())
+        let status = if let Some(root) = &inst.known_root {
+            format!("root {root:?}")
         } else if inst.provably_rootless {
             "provably rootless".into()
         } else {

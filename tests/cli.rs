@@ -32,13 +32,8 @@ fn count_inline() {
     std::fs::create_dir_all(&dir).unwrap();
     let db = dir.join("db.txt");
     std::fs::write(&db, "vertices: 3\nE: (0,1), (1,2), (2,0)\n").unwrap();
-    let (ok, stdout, stderr) = run(&[
-        "count",
-        "-q",
-        "E(x,y), E(y,z)",
-        "-d",
-        &format!("@{}", db.display()),
-    ]);
+    let (ok, stdout, stderr) =
+        run(&["count", "-q", "E(x,y), E(y,z)", "-d", &format!("@{}", db.display())]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("ψ(D) = 3"), "{stdout}");
 }
@@ -50,13 +45,8 @@ fn count_with_inequality() {
     let db = dir.join("db.txt");
     // Complete digraph on 2 vertices with loops: 4 edges.
     std::fs::write(&db, "vertices: 2\nE: (0,0), (0,1), (1,0), (1,1)\n").unwrap();
-    let (ok, stdout, _) = run(&[
-        "count",
-        "-q",
-        "E(x,y), x != y",
-        "-d",
-        &format!("@{}", db.display()),
-    ]);
+    let (ok, stdout, _) =
+        run(&["count", "-q", "E(x,y), x != y", "-d", &format!("@{}", db.display())]);
     assert!(ok);
     assert!(stdout.contains("ψ(D) = 2"), "{stdout}");
 }

@@ -70,11 +70,7 @@ fn lemma12_across_corpus() {
         let chain = reduce(&inst.poly);
         let red = Theorem1Reduction::new(chain.instance.clone());
         let h = red.lemma12_onto_hom();
-        assert!(
-            verify_onto_hom(&red.pi_b, &red.pi_s, &h),
-            "{}: Lemma 12 witness fails",
-            inst.name
-        );
+        assert!(verify_onto_hom(&red.pi_b, &red.pi_s, &h), "{}: Lemma 12 witness fails", inst.name);
     }
 }
 
@@ -207,7 +203,8 @@ fn theorem1_perturbation_fuzz() {
                 let (c1, c2) = loop {
                     let c1 = consts[rng.gen_range(0..consts.len())];
                     let c2 = consts[rng.gen_range(0..consts.len())];
-                    if c1 != c2 && !(c1 == red.mars && c2 == red.venus)
+                    if c1 != c2
+                        && !(c1 == red.mars && c2 == red.venus)
                         && !(c1 == red.venus && c2 == red.mars)
                     {
                         break (c1, c2);

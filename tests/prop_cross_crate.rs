@@ -13,8 +13,7 @@ fn schema() -> Arc<Schema> {
 }
 
 fn rand_query(seed: u64, vars: u32, atoms: usize) -> Query {
-    QueryGen { variables: vars, atoms, constant_prob: 0.0, inequalities: 0 }
-        .sample(&schema(), seed)
+    QueryGen { variables: vars, atoms, constant_prob: 0.0, inequalities: 0 }.sample(&schema(), seed)
 }
 
 fn rand_structure(seed: u64) -> Structure {

@@ -1,0 +1,245 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion its benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Execution model (much simpler than the real crate):
+//!
+//! * **Smoke mode** (default; what `cargo test` exercises): every
+//!   benchmark body runs exactly once, so benches double as integration
+//!   smoke tests without slowing the test suite down.
+//! * **Measure mode** (`--bench` in the argument list, as passed by
+//!   `cargo bench`): each benchmark is timed over as many iterations as
+//!   fit a small per-benchmark wall-clock cap, and a `name ... time/iter`
+//!   line is printed. No statistics, plots, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement cap per benchmark point in measure mode.
+const MEASURE_CAP: Duration = Duration::from_millis(250);
+
+/// Prevents the optimizer from discarding a value (best-effort safe
+/// implementation via a volatile-ish identity through `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter (group name supplies context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    measure: bool,
+    /// (iterations, total) recorded by the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `routine`: once in smoke mode, time-capped in measure mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            black_box(routine());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE_CAP || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench` in argv;
+        // `cargo test` does not — giving cheap smoke runs under test.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (no-op in this offline build).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_one(self.measure, &id.name, f);
+    }
+
+    /// Runs a standalone benchmark with an explicit input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        run_one(self.measure, &id.name, |b| f(b, input));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measure: bool, name: &str, mut f: F) {
+    let mut b = Bencher { measure, result: None };
+    f(&mut b);
+    if measure {
+        match b.result {
+            Some((iters, total)) if iters > 0 => {
+                let per_iter = total.as_nanos() / iters as u128;
+                println!("bench: {name:<56} {per_iter:>12} ns/iter ({iters} iters)");
+            }
+            _ => println!("bench: {name:<56} (no measurement)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the statistical sample size (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement wall-clock budget (accepted, ignored — this
+    /// build uses a fixed per-benchmark cap).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up budget (accepted, ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput accounting (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(self.criterion.measure, &full, f);
+    }
+
+    /// Runs one benchmark with an explicit input inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(self.criterion.measure, &full, |b| f(b, input));
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut group_runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_with_input(BenchmarkId::new("x", 3), &3u32, |b, &n| b.iter(|| group_runs += n));
+        g.finish();
+        assert_eq!(group_runs, 3);
+    }
+}

@@ -1,0 +1,565 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest its test suites use: the `proptest!` macro with
+//! `#![proptest_config(...)]`, range and `any::<T>()` strategies,
+//! `prop_map`, `proptest::collection::vec`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the sampled values in
+//!   the assertion message; it is not minimized.
+//! * **Deterministic generation.** Cases derive from a fixed per-test
+//!   seed (hash of the test name), so failures reproduce exactly across
+//!   runs. Set `PROPTEST_CASES` to override the case count globally.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// Marker returned (via `Err`) by `prop_assume!` to skip a case.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each `#[test]` inside `proptest!` runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// The effective case count, honouring `PROPTEST_CASES`.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 128 }
+        }
+    }
+
+    /// Deterministic per-test RNG (xoshiro256** seeded from the test name).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Derives the RNG from a test-identifying string.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, then splitmix64 state expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = h;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies (subset of `proptest::strategy`).
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike the real crate there is no value tree / shrinking: a
+    /// strategy simply draws a value from the RNG.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value (`proptest::strategy::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let span = (<$t>::MAX as i128 - lo + 1) as u128;
+                    (lo + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+}
+
+/// `any::<T>()` support (subset of `proptest::arbitrary`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Bias towards structurally interesting values: small ints and
+            // limb boundaries show up far more often than uniform sampling
+            // would produce (cheap stand-in for proptest's edge weighting).
+            match rng.next_u64() % 8 {
+                0 => rng.next_u64() % 16,
+                1 => u64::MAX - (rng.next_u64() % 16),
+                _ => rng.next_u64(),
+            }
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.next_u64() % 8 {
+                0 => (rng.next_u64() % 16) as u128,
+                1 => u128::MAX - (rng.next_u64() % 16) as u128,
+                _ => ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128,
+            }
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u64::arbitrary(rng) >> 16) as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1);
+            let n = self.size.start + (rng.next_u64() as usize % span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// String strategies from regex-like patterns (subset of proptest's
+/// string-regex support: literals, escapes, `[a-b…]` classes, `(...)`
+/// groups, and `{m}`/`{m,n}`/`?`/`*`/`+` repetition).
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Unbounded repeats (`*`, `+`) cap at this many copies.
+    const UNBOUNDED_CAP: u32 = 16;
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Lit(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<(Node, (u32, u32))>),
+    }
+
+    /// A parsed pattern: sequence of nodes with repetition bounds.
+    #[derive(Clone, Debug)]
+    pub struct PatternStrategy {
+        seq: Vec<(Node, (u32, u32))>,
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        in_group: bool,
+    ) -> Vec<(Node, (u32, u32))> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let node = match c {
+                ')' if in_group => break,
+                '[' => {
+                    chars.next();
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => unescape(chars.next().expect("pattern: dangling escape")),
+                            Some(ch) => ch,
+                            None => panic!("pattern: unterminated class"),
+                        };
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = match chars.next() {
+                                Some('\\') => {
+                                    unescape(chars.next().expect("pattern: dangling escape"))
+                                }
+                                Some(ch) if ch != ']' => ch,
+                                _ => panic!("pattern: bad class range"),
+                            };
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Node::Class(ranges)
+                }
+                '(' => {
+                    chars.next();
+                    // Tolerate non-capturing group syntax.
+                    if chars.peek() == Some(&'?') {
+                        chars.next();
+                        if chars.peek() == Some(&':') {
+                            chars.next();
+                        }
+                    }
+                    let inner = parse_seq(chars, true);
+                    assert_eq!(chars.next(), Some(')'), "pattern: unterminated group");
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    chars.next();
+                    Node::Lit(unescape(chars.next().expect("pattern: dangling escape")))
+                }
+                _ => {
+                    chars.next();
+                    Node::Lit(c)
+                }
+            };
+            let rep = parse_rep(chars);
+            seq.push((node, rep));
+        }
+        seq
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_rep(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("pattern: bad repeat lower bound"),
+                        hi.trim().parse().expect("pattern: bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("pattern: bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn emit(seq: &[(Node, (u32, u32))], rng: &mut TestRng, out: &mut String) {
+        for (node, (lo, hi)) in seq {
+            let span = u64::from(hi - lo) + 1;
+            let n = lo + (rng.next_u64() % span) as u32;
+            for _ in 0..n {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let (a, b) = ranges[(rng.next_u64() as usize) % ranges.len()];
+                        let width = b as u32 - a as u32 + 1;
+                        let code = a as u32 + (rng.next_u64() % u64::from(width)) as u32;
+                        out.push(char::from_u32(code).unwrap_or(a));
+                    }
+                    Node::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Parses `pattern`; panics on syntax outside the supported subset.
+    pub fn pattern(pattern: &str) -> PatternStrategy {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false);
+        assert!(chars.next().is_none(), "pattern: unbalanced ')'");
+        PatternStrategy { seq }
+    }
+
+    impl Strategy for PatternStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            emit(&self.seq, rng, &mut out);
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            pattern(self).generate(rng)
+        }
+    }
+}
+
+/// Flat re-exports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The `proptest!` macro: generates one `#[test]` fn per entry, running
+/// `Config::cases` deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the individual test fns for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.effective_cases() {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                // Rejected cases (prop_assume! failures) are simply skipped.
+                let _ = (__case, __outcome);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!`: plain assertion (no shrinking in this offline build).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`: plain equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!`: plain inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// `prop_assume!`: rejects (skips) the current case when the condition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(a in 3u32..10, b in 0u64.., v in collection::vec(any::<u64>(), 1..5)) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            let doubled = (0u64..5).prop_map(|x| x * 2).generate(
+                &mut crate::test_runner::TestRng::for_test("inner"),
+            );
+            prop_assert!(doubled % 2 == 0);
+            prop_assume!(b % 2 == 0);
+            prop_assert_eq!(b % 2, 0);
+        }
+    }
+
+    // The macro above expands to plain #[test] fns; silence "unused"
+    // by referencing the strategy trait directly.
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn deterministic_generation() {
+        let mut r1 = crate::test_runner::TestRng::for_test("t");
+        let mut r2 = crate::test_runner::TestRng::for_test("t");
+        for _ in 0..32 {
+            assert_eq!((0u64..100).generate(&mut r1), (0u64..100).generate(&mut r2));
+        }
+    }
+}
