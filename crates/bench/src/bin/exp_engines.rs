@@ -87,13 +87,16 @@ fn main() {
         }
     }
 
-    // The containment harness plugged into the engine's cached counter:
-    // every count the refutation phase makes is cached + cross-validated.
+    // The containment harness plugged into the engine's cached counter
+    // through the *fallible* path: every count the refutation phase makes
+    // is cached + cross-validated, and a failing counter aborts the check
+    // with a typed error instead of panicking.
     let counter = engine.cached_counter();
     let edges = path_query(&schema, "E", 1);
     let walks = path_query(&schema, "E", 2);
-    let verdict =
-        ContainmentChecker::new().check_with_counter(&edges, &walks, &|q, db| counter.count(q, db));
+    let verdict = ContainmentChecker::new()
+        .try_check_with_counter(&edges, &walks, &|q, db| counter.try_count(q, db))
+        .expect("no faults configured, counts cannot fail");
     assert!(verdict.is_refuted(), "edges ≤ 2-walks must be refuted");
     println!();
     println!("containment `edges ≤ 2-walks` through the engine: refuted (correct).");
@@ -102,6 +105,63 @@ fn main() {
     assert!(m.cache_hits > 0, "resubmitted batch must hit the cache");
     assert!(m.cross_validations > 0);
     assert_eq!(m.jobs_panicked, 0);
+    println!();
+    print!("{}", m.render());
+
+    println!();
+    println!("## E-RESIL — the same workload under deterministic fault injection");
+    println!();
+    println!("Seeded chaos plan (panics, stalls, spurious cancels, transient count");
+    println!("errors) threaded through every evaluation checkpoint. Completed");
+    println!("outcomes stay bit-identical to the clean run above; failures are");
+    println!("retried/fallen back, and nothing faulty ever enters the memo cache.");
+    let injector = FaultInjector::new(FaultPlan::seeded(42).with_rate_per_mille(100));
+    let chaos = EvalEngine::new(EngineConfig {
+        fault: Some(Arc::clone(&injector)),
+        ..EngineConfig::default()
+    });
+    // Injected panics are caught by the engine; keep their backtraces out
+    // of the experiment output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut recovered = 0u32;
+    for (handle, (name, q)) in chaos.submit_batch(make_batch()).iter().zip(query_families(&schema))
+    {
+        let want = count(&q, &d);
+        let mut out = handle.wait();
+        while out.is_failure() {
+            // Never cached, so a resubmission recomputes; the plan's
+            // fault cap guarantees this loop terminates.
+            recovered += 1;
+            out = chaos.submit(Job::count(q.clone(), Arc::clone(&d))).wait();
+        }
+        assert_eq!(out.as_count(), Some(&want), "{name}: fault injection corrupted a count");
+    }
+    std::panic::set_hook(prev_hook);
+    println!();
+    println!(
+        "faults injected: {} (of {} checkpoints); jobs resubmitted to recovery: {recovered}",
+        injector.injected(),
+        injector.checkpoints()
+    );
+
+    // Surface a sweep-journal resume through the same metrics pipe the
+    // experiment drivers use (see exp_theorem1 for the real sweeps).
+    let journal_path =
+        std::env::temp_dir().join(format!("bagcq-demo-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let mut j = SweepJournal::open(&journal_path, "demo").expect("fresh journal");
+    for p in ["0,0", "1,0", "0,1"] {
+        j.record(p, "ok:3").expect("journal commit");
+    }
+    drop(j);
+    let j = SweepJournal::open(&journal_path, "demo").expect("reopen");
+    chaos.record_journal_resumes(j.resumed_entries() as u64);
+    j.finish().expect("journal cleanup");
+
+    let m = chaos.metrics();
+    assert!(m.retries + m.fallbacks_taken + m.jobs_panicked > 0 || injector.injected() == 0);
+    assert_eq!(m.journal_resumes, 3);
     println!();
     print!("{}", m.render());
 }

@@ -1,8 +1,17 @@
 //! Experiments E-L12, E-L15, E-L17/18, E-L19/20/21 — the Section 4
 //! machinery of the Theorem 1 reduction, claim by claim.
 
-use bagcq_bench::{fmt_count, row, sep};
+use bagcq_bench::{fmt_count, journaled_backward_sweep, row, sep};
 use bagcq_core::prelude::*;
+use std::path::PathBuf;
+
+/// Where sweep journals live: `BAGCQ_JOURNAL_DIR`, defaulting to
+/// `target/sweep-journals` (same convention as `exp_theorem1`).
+fn journal_dir() -> PathBuf {
+    std::env::var_os("BAGCQ_JOURNAL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/sweep-journals"))
+}
 
 fn main() {
     let red = Theorem1Reduction::new(toy_instance(2, vec![1, 2], vec![2, 3]));
@@ -169,6 +178,30 @@ fn main() {
         row(&[label.into(), format!("{class:?}"), format!("{holds:?}")]);
         assert_eq!(holds, Some(true));
     }
+    println!();
+    println!("## Crash-safe class sweep (journaled)");
+    println!("Every valuation in 0..=1² re-checked across all three Definition 13");
+    println!("classes, one journal commit per point: kill this binary mid-sweep and");
+    println!("the next run resumes at the first unrecorded valuation.");
+    let sweep_name = "reduction-classes-bound1";
+    let path = journal_dir().join(format!("{sweep_name}.journal"));
+    let mut journal = SweepJournal::open(&path, sweep_name)
+        .unwrap_or_else(|e| panic!("cannot open sweep journal: {e}"));
+    match journaled_backward_sweep(&red, 1, &opts, &mut journal, |_| {}) {
+        Ok(stats) => {
+            println!(
+                "points: {} ({} resumed from {:?}, {} computed); databases checked: {}",
+                stats.points_total,
+                stats.points_resumed,
+                path,
+                stats.points_computed,
+                stats.databases_checked,
+            );
+            journal.finish().unwrap_or_else(|e| panic!("cannot remove journal: {e}"));
+        }
+        Err(e) => panic!("journaled class sweep failed: {e}"),
+    }
+
     println!();
     println!("counts shown compactly where huge, e.g. ℂ = {}", fmt_count(&red.big_c));
     println!("All Section 4 claims verified.");

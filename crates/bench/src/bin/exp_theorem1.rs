@@ -2,10 +2,20 @@
 //! the Hilbert corpus: root existence ⇔ database witness existence, with
 //! the Appendix B chain in between.
 
-use bagcq_bench::{row, sep};
+use bagcq_bench::{journaled_backward_sweep, row, sep};
 use bagcq_core::prelude::*;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Where sweep journals live: `BAGCQ_JOURNAL_DIR`, defaulting to
+/// `target/sweep-journals`. A sweep killed mid-run leaves its journal
+/// here and resumes from it on the next invocation.
+fn journal_dir() -> PathBuf {
+    std::env::var_os("BAGCQ_JOURNAL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/sweep-journals"))
+}
 
 /// Re-verifies `ℂ·φ_s(D) ≤ φ_b(D)` decisions through the `bagcq-engine`
 /// service: all φ-evaluations for a box of correct databases go in as one
@@ -122,16 +132,38 @@ fn main() {
 
     println!();
     println!("## Backward sweeps on rootless instances (correct + perturbed databases)");
-    row(&["instance".into(), "databases checked".into(), "all satisfy ℂ·φ_s ≤ φ_b".into()]);
-    sep(3);
+    println!("(crash-safe: each point is journaled under {:?}; a killed", journal_dir());
+    println!(" sweep resumes from its journal instead of recomputing)");
+    row(&[
+        "instance".into(),
+        "databases checked".into(),
+        "points resumed".into(),
+        "all satisfy ℂ·φ_s ≤ φ_b".into(),
+    ]);
+    sep(4);
     for name in ["parity", "shifted-positive", "square-plus-one"] {
         let inst = hilbert_instance(name).unwrap();
         let chain = reduce(&inst.poly);
         let red = Theorem1Reduction::new(chain.instance.clone());
-        match red.sweep_databases(1, &opts) {
-            Ok(n) => row(&[name.into(), n.to_string(), "yes".into()]),
+        let sweep_name = format!("theorem1-backward-{name}-bound1");
+        let path = journal_dir().join(format!("{sweep_name}.journal"));
+        let mut journal = SweepJournal::open(&path, &sweep_name).unwrap_or_else(|e| {
+            panic!("cannot open sweep journal: {e}");
+        });
+        match journaled_backward_sweep(&red, 1, &opts, &mut journal, |_| {}) {
+            Ok(stats) => {
+                row(&[
+                    name.into(),
+                    stats.databases_checked.to_string(),
+                    stats.points_resumed.to_string(),
+                    "yes".into(),
+                ]);
+                // Clean completion: drop the journal so the next run
+                // re-verifies instead of replaying.
+                journal.finish().unwrap_or_else(|e| panic!("cannot remove journal: {e}"));
+            }
             Err(e) => {
-                row(&[name.into(), "-".into(), format!("NO: {e}")]);
+                row(&[name.into(), "-".into(), "-".into(), format!("NO: {e}")]);
                 panic!("{e}");
             }
         }

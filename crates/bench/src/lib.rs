@@ -41,6 +41,80 @@ pub fn query_families(schema: &Arc<Schema>) -> Vec<(&'static str, Query)> {
     ]
 }
 
+/// Summary of one journaled backward sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total sweep points (valuations) in the box.
+    pub points_total: usize,
+    /// Points answered from the journal (completed by an earlier run).
+    pub points_resumed: usize,
+    /// Points computed (and committed) by this run.
+    pub points_computed: usize,
+    /// Databases checked across all points, including resumed ones.
+    pub databases_checked: usize,
+}
+
+/// The crash-safe variant of
+/// [`Theorem1Reduction::sweep_databases`]: every completed sweep point
+/// (valuation) is committed to `journal` with an atomic
+/// write-temp-then-rename, and points already committed by a previous
+/// (killed) run are skipped instead of recomputed.
+///
+/// `on_point` fires immediately *before* each computed point — the resume
+/// integration test uses it to kill the sweep partway; experiment
+/// binaries pass a no-op.
+///
+/// The caller decides the journal's fate: [`SweepJournal::finish`] after
+/// a fully clean sweep, or keep it on disk to resume after a failure.
+pub fn journaled_backward_sweep(
+    red: &Theorem1Reduction,
+    bound: u64,
+    opts: &EvalOptions,
+    journal: &mut SweepJournal,
+    mut on_point: impl FnMut(&[u64]),
+) -> Result<SweepStats, String> {
+    let n = red.instance.n_vars as usize;
+    let mut stats =
+        SweepStats { points_total: 0, points_resumed: 0, points_computed: 0, databases_checked: 0 };
+    let mut val = vec![0u64; n];
+    loop {
+        stats.points_total += 1;
+        let key: String = val.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        match journal.get(&key) {
+            Some(recorded) => {
+                // Committed by an earlier run; trust the journal.
+                let checked: usize = recorded
+                    .strip_prefix("ok:")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("journal entry {key:?} is corrupt: {recorded:?}"))?;
+                stats.points_resumed += 1;
+                stats.databases_checked += checked;
+            }
+            None => {
+                on_point(&val);
+                let checked = red.sweep_point(&val, opts)?;
+                journal.record(&key, &format!("ok:{checked}"))?;
+                stats.points_computed += 1;
+                stats.databases_checked += checked;
+            }
+        }
+
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return Ok(stats);
+            }
+            val[i] += 1;
+            if val[i] <= bound {
+                break;
+            }
+            val[i] = 0;
+            i += 1;
+        }
+    }
+}
+
 /// Formats a potentially huge count compactly.
 pub fn fmt_count(n: &Nat) -> String {
     let s = n.to_string();

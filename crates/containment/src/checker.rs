@@ -30,6 +30,12 @@ use bagcq_structure::{Structure, StructureGen};
 /// [`ContainmentChecker::check_with_counter`]).
 pub type CountFn<'a> = dyn Fn(&Query, &Structure) -> Nat + 'a;
 
+/// Signature of an injectable *fallible* counting function (see
+/// [`ContainmentChecker::try_check_with_counter`]). The error type is the
+/// caller's: the checker never inspects it, it only aborts the search and
+/// hands it back.
+pub type TryCountFn<'a, E> = dyn Fn(&Query, &Structure) -> Result<Nat, E> + 'a;
+
 /// Search budget for the refutation phase.
 #[derive(Clone, Debug)]
 pub struct SearchBudget {
@@ -91,22 +97,23 @@ impl ContainmentChecker {
     }
 
     /// Verifies a candidate counterexample; returns counts when violated.
-    fn violates(
+    /// `Err` aborts the search with the counter's own error.
+    fn violates<E>(
         &self,
         q_s: &Query,
         q_b: &Query,
         d: &Structure,
-        counter: &CountFn<'_>,
-    ) -> Option<(Nat, Nat)> {
-        let s = counter(q_s, d);
+        counter: &TryCountFn<'_, E>,
+    ) -> Result<Option<(Nat, Nat)>, E> {
+        let s = counter(q_s, d)?;
         if s.is_zero() {
-            return None; // q·0 ≤ anything
+            return Ok(None); // q·0 ≤ anything
         }
-        let b = counter(q_b, d);
+        let b = counter(q_b, d)?;
         if self.le(&s, &b) {
-            None
+            Ok(None)
         } else {
-            Some((s, b))
+            Ok(Some((s, b)))
         }
     }
 
@@ -124,15 +131,38 @@ impl ContainmentChecker {
     /// extensionally equal to [`bagcq_homcount::count`] — the verdicts are
     /// only as sound as the counts it returns.
     pub fn check_with_counter(&self, q_s: &Query, q_b: &Query, counter: &CountFn<'_>) -> Verdict {
+        match self
+            .try_check_with_counter::<std::convert::Infallible>(q_s, q_b, &|q, d| Ok(counter(q, d)))
+        {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Runs the full pipeline with an injected *fallible* counting
+    /// function.
+    ///
+    /// This is the resilient-evaluation entry point: a counter that can be
+    /// cancelled (deadlines, step budgets) or fail transiently (fault
+    /// injection, cross-validation disagreement) aborts the whole check
+    /// with its typed error instead of panicking through the search. The
+    /// error type `E` is entirely the caller's; the first `Err` the
+    /// counter returns is handed back verbatim.
+    pub fn try_check_with_counter<E>(
+        &self,
+        q_s: &Query,
+        q_b: &Query,
+        counter: &TryCountFn<'_, E>,
+    ) -> Result<Verdict, E> {
         let one_or_less = self.multiplier <= Rat::one();
 
         // --- Certificates ---
         if one_or_less && q_s == q_b {
-            return Verdict::Proved(Certificate::Identical);
+            return Ok(Verdict::Proved(Certificate::Identical));
         }
         if one_or_less && q_b.is_pure() {
             if let Some(h) = find_onto_hom(q_b, q_s) {
-                return Verdict::Proved(Certificate::OntoHom(h));
+                return Ok(Verdict::Proved(Certificate::OntoHom(h)));
             }
         }
 
@@ -144,26 +174,26 @@ impl ContainmentChecker {
         if q_s.is_pure() && q_b.is_pure() && !set_contained(q_s, q_b) {
             let d = q_s.canonical_structure().0;
             checked += 1;
-            if let Some((s, b)) = self.violates(q_s, q_b, &d, counter) {
-                return Verdict::Refuted(Counterexample {
+            if let Some((s, b)) = self.violates(q_s, q_b, &d, counter)? {
+                return Ok(Verdict::Refuted(Counterexample {
                     database: d,
                     count_s: s,
                     count_b: b,
                     provenance: Provenance::CanonicalStructure,
-                });
+                }));
             }
         }
 
         // Structured candidates.
         for d in self.structured_candidates(q_s, q_b) {
             checked += 1;
-            if let Some((s, b)) = self.violates(q_s, q_b, &d, counter) {
-                return Verdict::Refuted(Counterexample {
+            if let Some((s, b)) = self.violates(q_s, q_b, &d, counter)? {
+                return Ok(Verdict::Refuted(Counterexample {
                     database: d,
                     count_s: s,
                     count_b: b,
                     provenance: Provenance::StructuredCandidate,
-                });
+                }));
             }
         }
 
@@ -171,16 +201,16 @@ impl ContainmentChecker {
         if !q_s.is_pure() && q_b.is_pure() && self.multiplier.is_one() {
             let stripped = q_s.strip_inequalities();
             let inner = ContainmentChecker { budget: self.budget.clone(), multiplier: Rat::one() };
-            if let Verdict::Refuted(ce) = inner.check_with_counter(&stripped, q_b, counter) {
+            if let Verdict::Refuted(ce) = inner.try_check_with_counter(&stripped, q_b, counter)? {
                 checked += 1;
                 match eliminate_inequalities(q_s, q_b, &ce.database, self.budget.max_power) {
                     Ok(elim) => {
-                        return Verdict::Refuted(Counterexample {
+                        return Ok(Verdict::Refuted(Counterexample {
                             count_s: elim.count_s,
                             count_b: elim.count_b,
                             database: elim.witness,
                             provenance: Provenance::InequalityElimination,
-                        });
+                        }));
                     }
                     Err(EliminationError::SeedNotStrict)
                     | Err(EliminationError::PowerTooLarge { .. }) => {}
@@ -202,18 +232,18 @@ impl ContainmentChecker {
                 let seed = self.budget.seed.wrapping_add((i as u64) << 32).wrapping_add(round);
                 let d = gen.sample(schema, seed);
                 checked += 1;
-                if let Some((s, b)) = self.violates(q_s, q_b, &d, counter) {
-                    return Verdict::Refuted(Counterexample {
+                if let Some((s, b)) = self.violates(q_s, q_b, &d, counter)? {
+                    return Ok(Verdict::Refuted(Counterexample {
                         database: d,
                         count_s: s,
                         count_b: b,
                         provenance: Provenance::RandomSearch,
-                    });
+                    }));
                 }
             }
         }
 
-        Verdict::Unknown { candidates_checked: checked }
+        Ok(Verdict::Unknown { candidates_checked: checked })
     }
 
     /// Refutation-only sweep for symbolic [`PowerQuery`] pairs (the shape
@@ -377,6 +407,37 @@ mod tests {
         // skipped only for multiplier > 1... identity applies here.
         let v = ContainmentChecker::with_multiplier(Rat::from_u64s(1, 2)).check(&q, &q);
         assert!(v.is_proved(), "{v}");
+    }
+
+    #[test]
+    fn try_counter_error_aborts_check() {
+        // A counter that fails on its very first call must abort the whole
+        // check with that error, untouched.
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let r =
+            ContainmentChecker::new().try_check_with_counter::<&'static str>(&p1, &p2, &|_, _| {
+                Err("counter unavailable")
+            });
+        assert_eq!(r.unwrap_err(), "counter unavailable");
+    }
+
+    #[test]
+    fn try_counter_matches_infallible_path() {
+        use std::cell::Cell;
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let calls = Cell::new(0usize);
+        let v = ContainmentChecker::new()
+            .try_check_with_counter::<std::convert::Infallible>(&p1, &p2, &|q, d| {
+                calls.set(calls.get() + 1);
+                Ok(bagcq_homcount::count(q, d))
+            })
+            .unwrap();
+        assert!(v.is_refuted(), "{v}");
+        assert!(calls.get() > 0, "counter must actually be consulted");
     }
 
     #[test]

@@ -25,6 +25,6 @@ mod domination;
 mod verdict;
 
 pub use chandra_merlin::{canonical_counterexample, set_contained};
-pub use checker::{ContainmentChecker, CountFn, SearchBudget};
+pub use checker::{ContainmentChecker, CountFn, SearchBudget, TryCountFn};
 pub use domination::{domination_ratio, estimate_domination_exponent, DominationSample};
 pub use verdict::{Certificate, Counterexample, Provenance, Verdict};

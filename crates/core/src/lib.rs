@@ -16,7 +16,9 @@
 //! * a sound-certificate / verified-counterexample containment harness
 //!   ([`containment`]);
 //! * a concurrent batched evaluation service with a single-flight memo
-//!   cache, deadlines, and continuous dual-engine cross-validation
+//!   cache, deadlines, continuous dual-engine cross-validation, and a
+//!   resilience layer (deterministic fault injection, retry/backoff,
+//!   engine fallback, circuit breakers, crash-safe sweep journals)
 //!   ([`engine`]).
 //!
 //! ## Quickstart
@@ -63,10 +65,13 @@ pub use bagcq_structure as structure;
 pub mod prelude {
     pub use bagcq_arith::{CertOrd, Int, Magnitude, Nat, Rat};
     pub use bagcq_containment::{
-        set_contained, Certificate, ContainmentChecker, Counterexample, SearchBudget, Verdict,
+        set_contained, Certificate, ContainmentChecker, Counterexample, SearchBudget, TryCountFn,
+        Verdict,
     };
     pub use bagcq_engine::{
-        CachedCounter, EngineConfig, EvalEngine, Job, JobHandle, JobSpec, MetricsSnapshot, Outcome,
+        BreakerConfig, CachedCounter, CountError, EngineConfig, EvalEngine, FailFast,
+        FaultInjector, FaultKind, FaultPlan, Job, JobHandle, JobSpec, MetricsSnapshot, Outcome,
+        RetryPolicy, SweepJournal,
     };
     pub use bagcq_hilbert::{by_name as hilbert_instance, library as hilbert_library, reduce};
     pub use bagcq_homcount::{

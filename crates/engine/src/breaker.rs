@@ -1,0 +1,251 @@
+//! Per-job-kind circuit breakers.
+//!
+//! A breaker guards one job kind (`count`, `eval_power`, `containment`)
+//! through the classic three-state machine:
+//!
+//! * **Closed** — evaluations run normally; consecutive evaluation
+//!   failures (panics, cross-validation mismatches) are counted, and
+//!   reaching [`BreakerConfig::failure_threshold`] trips the breaker;
+//! * **Open** — jobs of that kind fail fast with a typed
+//!   [`crate::Outcome::FailedFast`] instead of burning a worker on a kind
+//!   that is currently hopeless; after [`BreakerConfig::cooldown`] the
+//!   next arrival is admitted as a probe;
+//! * **Half-open** — exactly one probe is in flight; its success closes
+//!   the breaker, its failure re-opens it for another cooldown.
+//!
+//! Deadline/budget cancellations are *neutral*: they are expected under
+//! tight limits and say nothing about the health of the evaluation path,
+//! so they neither trip nor close a breaker (a timed-out probe re-opens,
+//! since the probe slot must be released either way).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration for the engine's circuit breakers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive evaluation failures that trip a closed breaker. `0`
+    /// disables breaking entirely.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown: Duration::from_millis(250) }
+    }
+}
+
+impl BreakerConfig {
+    /// A configuration with breaking disabled.
+    pub fn disabled() -> Self {
+        BreakerConfig { failure_threshold: 0, ..BreakerConfig::default() }
+    }
+}
+
+/// Payload of a fail-fast rejection: which breaker tripped and how many
+/// consecutive failures opened it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailFast {
+    /// The job kind whose breaker is open (see `JobSpec::kind`).
+    pub job_kind: &'static str,
+    /// Consecutive failures observed when the breaker opened.
+    pub consecutive_failures: u32,
+}
+
+/// How an admitted evaluation ended, as the breaker sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Signal {
+    /// A value outcome: closes the breaker.
+    Success,
+    /// An evaluation failure (panic / mismatch): counts toward tripping.
+    Failure,
+    /// A deadline or budget cancellation: health-neutral.
+    Neutral,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: Instant, failures: u32 },
+    HalfOpen { failures: u32 },
+}
+
+/// What `admit` decided.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Run the evaluation (breaker closed, or this is the half-open
+    /// probe). Every admitted evaluation must `record` a [`Signal`].
+    Allowed,
+    /// Fail fast; do not evaluate, do not `record`.
+    Rejected(FailFast),
+}
+
+/// One breaker; the engine keeps one per job kind.
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    pub(crate) fn new(config: BreakerConfig) -> Self {
+        Breaker { config, state: Mutex::new(State::Closed { failures: 0 }) }
+    }
+
+    /// Admission decision for one job of this kind. Returns the number of
+    /// state transitions performed (for metrics) alongside the decision.
+    pub(crate) fn admit(&self, kind: &'static str, now: Instant) -> (Admit, u64) {
+        if self.config.failure_threshold == 0 {
+            return (Admit::Allowed, 0);
+        }
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            State::Closed { .. } => (Admit::Allowed, 0),
+            State::Open { until, failures } if now >= until => {
+                *state = State::HalfOpen { failures };
+                (Admit::Allowed, 1)
+            }
+            State::Open { failures, .. } | State::HalfOpen { failures } => {
+                (Admit::Rejected(FailFast { job_kind: kind, consecutive_failures: failures }), 0)
+            }
+        }
+    }
+
+    /// Records how an admitted evaluation ended; returns the number of
+    /// state transitions performed.
+    pub(crate) fn record(&self, signal: Signal, now: Instant) -> u64 {
+        if self.config.failure_threshold == 0 {
+            return 0;
+        }
+        let mut state = self.state.lock().unwrap();
+        match (*state, signal) {
+            (State::Closed { failures: 0 }, Signal::Success) => 0,
+            (_, Signal::Success) => {
+                let was_closed = matches!(*state, State::Closed { .. });
+                *state = State::Closed { failures: 0 };
+                u64::from(!was_closed)
+            }
+            (State::Closed { failures }, Signal::Failure) => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = State::Open { until: now + self.config.cooldown, failures };
+                    1
+                } else {
+                    *state = State::Closed { failures };
+                    0
+                }
+            }
+            (State::HalfOpen { failures }, Signal::Failure | Signal::Neutral) => {
+                // Probe failed (or never finished): back to Open. A fresh
+                // cooldown starts now either way.
+                *state = State::Open { until: now + self.config.cooldown, failures };
+                1
+            }
+            (_, Signal::Neutral) => 0,
+            (State::Open { .. }, Signal::Failure) => 0, // stale report; already open
+        }
+    }
+
+    /// `true` while the breaker would reject.
+    #[cfg(test)]
+    pub(crate) fn is_open(&self, now: Instant) -> bool {
+        match *self.state.lock().unwrap() {
+            State::Open { until, .. } => now < until,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig { failure_threshold: threshold, cooldown: Duration::from_millis(cooldown_ms) }
+    }
+
+    #[test]
+    fn trips_after_k_consecutive_failures() {
+        let b = Breaker::new(cfg(3, 1000));
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            assert_eq!(b.admit("count", t0).0, Admit::Allowed);
+            b.record(Signal::Failure, t0);
+        }
+        assert!(!b.is_open(t0), "two failures stay closed at threshold 3");
+        assert_eq!(b.admit("count", t0).0, Admit::Allowed);
+        assert_eq!(b.record(Signal::Failure, t0), 1, "third failure transitions to open");
+        assert!(b.is_open(t0));
+        match b.admit("count", t0).0 {
+            Admit::Rejected(ff) => {
+                assert_eq!(ff.job_kind, "count");
+                assert_eq!(ff.consecutive_failures, 3);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = Breaker::new(cfg(2, 1000));
+        let t0 = Instant::now();
+        b.record(Signal::Failure, t0);
+        b.record(Signal::Success, t0);
+        b.record(Signal::Failure, t0);
+        assert!(!b.is_open(t0), "non-consecutive failures must not trip");
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens() {
+        let b = Breaker::new(cfg(1, 0)); // zero cooldown: immediate probe
+        let t0 = Instant::now();
+        b.record(Signal::Failure, t0);
+        // Cooldown elapsed (zero): next admit is the probe.
+        let (admit, transitions) = b.admit("eval_power", t0);
+        assert_eq!(admit, Admit::Allowed);
+        assert_eq!(transitions, 1, "open → half-open");
+        // While the probe is out, everyone else is rejected.
+        assert!(matches!(b.admit("eval_power", t0).0, Admit::Rejected(_)));
+        // Probe fails → open again; probe succeeds next round → closed.
+        assert_eq!(b.record(Signal::Failure, t0), 1);
+        let (admit, _) = b.admit("eval_power", t0);
+        assert_eq!(admit, Admit::Allowed);
+        assert_eq!(b.record(Signal::Success, t0), 1, "half-open → closed");
+        assert_eq!(b.admit("eval_power", t0).0, Admit::Allowed);
+    }
+
+    #[test]
+    fn neutral_signals_do_not_trip() {
+        let b = Breaker::new(cfg(1, 1000));
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            b.record(Signal::Neutral, t0);
+        }
+        assert!(!b.is_open(t0), "timeouts are health-neutral");
+    }
+
+    #[test]
+    fn timed_out_probe_reopens() {
+        let b = Breaker::new(cfg(1, 0));
+        let t0 = Instant::now();
+        b.record(Signal::Failure, t0);
+        assert_eq!(b.admit("containment", t0).0, Admit::Allowed); // probe
+        b.record(Signal::Neutral, t0); // probe timed out
+                                       // Zero cooldown: the next admit is a fresh probe, not a free pass.
+        let (admit, transitions) = b.admit("containment", t0);
+        assert_eq!(admit, Admit::Allowed);
+        assert_eq!(transitions, 1, "the neutral probe re-opened the breaker");
+    }
+
+    #[test]
+    fn disabled_breaker_never_rejects() {
+        let b = Breaker::new(BreakerConfig::disabled());
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            b.record(Signal::Failure, t0);
+            assert_eq!(b.admit("count", t0).0, Admit::Allowed);
+        }
+    }
+}

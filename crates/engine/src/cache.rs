@@ -70,6 +70,8 @@ enum Slot {
     Ready(Outcome),
 }
 
+type Shard = Mutex<HashMap<Fingerprint, Slot>>;
+
 /// What a [`MemoCache::begin`] lookup found.
 pub(crate) enum Lookup {
     /// Cached outcome; use it directly.
@@ -83,24 +85,53 @@ pub(crate) enum Lookup {
 
 /// Proof that the holder is the leader for `key`; must be redeemed with
 /// [`MemoCache::complete`].
+///
+/// If the leader dies without redeeming (a panic unwinding through the
+/// lead path — fault injection makes that routine), the token's `Drop`
+/// evicts the in-flight slot and publishes [`Outcome::Panicked`] to every
+/// joined waiter, so nobody waits forever on a flight with no leader.
 pub(crate) struct LeadToken {
     key: Fingerprint,
     flight: Arc<Flight>,
+    shard: Arc<Shard>,
+    redeemed: bool,
+}
+
+impl Drop for LeadToken {
+    fn drop(&mut self) {
+        if self.redeemed {
+            return;
+        }
+        {
+            let mut shard = self.shard.lock().unwrap();
+            // Only evict our own flight: a new leader may already hold the
+            // key if this drop races a retry.
+            if let Some(Slot::InFlight(f)) = shard.get(&self.key) {
+                if Arc::ptr_eq(f, &self.flight) {
+                    shard.remove(&self.key);
+                }
+            }
+        }
+        self.flight.publish(Outcome::Panicked("cache leader died before completing".to_string()));
+    }
 }
 
 /// The sharded memo cache.
 pub(crate) struct MemoCache {
-    shards: Vec<Mutex<HashMap<Fingerprint, Slot>>>,
+    shards: Vec<Arc<Shard>>,
     metrics: Arc<Metrics>,
 }
 
 impl MemoCache {
     pub(crate) fn new(shards: usize, metrics: Arc<Metrics>) -> Self {
         let shards = shards.max(1);
-        MemoCache { shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(), metrics }
+        MemoCache {
+            shards: (0..shards).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect(),
+            metrics,
+        }
     }
 
-    fn shard(&self, key: &Fingerprint) -> &Mutex<HashMap<Fingerprint, Slot>> {
+    fn shard(&self, key: &Fingerprint) -> &Arc<Shard> {
         &self.shards[(key.lo as usize) % self.shards.len()]
     }
 
@@ -120,7 +151,12 @@ impl MemoCache {
                 self.metrics.cache_miss();
                 let flight = Arc::new(Flight::default());
                 shard.insert(key, Slot::InFlight(Arc::clone(&flight)));
-                Lookup::Lead(LeadToken { key, flight })
+                Lookup::Lead(LeadToken {
+                    key,
+                    flight,
+                    shard: Arc::clone(self.shard(&key)),
+                    redeemed: false,
+                })
             }
         }
     }
@@ -128,9 +164,10 @@ impl MemoCache {
     /// Publishes the leader's outcome to every joined waiter and either
     /// caches it (`Ready`) or evicts the slot (failures are never
     /// cached).
-    pub(crate) fn complete(&self, token: LeadToken, outcome: Outcome) {
+    pub(crate) fn complete(&self, mut token: LeadToken, outcome: Outcome) {
+        token.redeemed = true;
         {
-            let mut shard = self.shard(&token.key).lock().unwrap();
+            let mut shard = token.shard.lock().unwrap();
             if outcome.is_failure() {
                 shard.remove(&token.key);
             } else {
@@ -212,6 +249,29 @@ mod tests {
         // Leader never completes within our 20ms deadline.
         let got = flight.wait(Some(Instant::now() + Duration::from_millis(20)));
         assert!(got.is_none(), "joiner must observe its own deadline");
+    }
+
+    #[test]
+    fn dropped_lead_token_wakes_joiners_and_evicts() {
+        let c = cache();
+        let token = match c.begin(key(9)) {
+            Lookup::Lead(t) => t,
+            _ => panic!("must lead"),
+        };
+        let flight = match c.begin(key(9)) {
+            Lookup::Join(f) => f,
+            _ => panic!("must join"),
+        };
+        // Leader "dies" (panic unwound past the lead path) without
+        // completing: the joiner must wake with a failure, not hang.
+        drop(token);
+        match flight.wait(None) {
+            Some(Outcome::Panicked(msg)) => assert!(msg.contains("leader died"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(c.ready_len(), 0);
+        // And the key is free for a retry to lead.
+        assert!(matches!(c.begin(key(9)), Lookup::Lead(_)));
     }
 
     #[test]

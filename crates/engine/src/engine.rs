@@ -1,31 +1,58 @@
-//! The worker pool and job execution.
+//! The worker pool, resilient job execution, and failure classification.
 //!
 //! [`EvalEngine`] owns a fixed pool of named worker threads that drain a
 //! shared channel of submitted jobs. Each worker:
 //!
-//! 1. consults the sharded single-flight [`MemoCache`] under the job's
+//! 1. asks the job kind's circuit breaker for admission (an open breaker
+//!    fails fast with [`Outcome::FailedFast`] instead of burning a worker
+//!    on a kind that keeps failing);
+//! 2. consults the sharded single-flight [`MemoCache`] under the job's
 //!    content fingerprint (hit → answer immediately; in-flight → join the
 //!    existing computation, bounded by this job's *own* deadline);
-//! 2. otherwise leads: builds an [`EvalControl`] from the job's deadline
-//!    and step budget, runs the evaluation under
-//!    [`std::panic::catch_unwind`], and publishes the outcome — failures
-//!    ([`Outcome::TimedOut`], [`Outcome::Panicked`]) reach current
-//!    waiters but are never cached, and a panicking evaluation never
-//!    poisons the pool.
+//! 3. otherwise leads: runs the evaluation through the **resilience
+//!    ladder** below and publishes the outcome — failures
+//!    ([`Outcome::TimedOut`], [`Outcome::Panicked`],
+//!    [`Outcome::FailedFast`]) reach current waiters but are never
+//!    cached, and a panicking evaluation never poisons the pool.
+//!
+//! # The resilience ladder
+//!
+//! Every attempt is classified into the failure taxonomy:
+//!
+//! * **terminal** — the job's own wall-clock deadline tripped, or a
+//!   dual-engine cross-validation mismatch was detected (deterministic;
+//!   retrying reproduces it). Deadline → [`Outcome::TimedOut`], mismatch
+//!   → [`Outcome::Panicked`].
+//! * **exhaustion** — the cooperative step budget ran out. Retrying the
+//!   same engine against the same budget is futile, but the *other*
+//!   engine may finish within it, so the worker takes the fallback chain
+//!   (treewidth → naive) once, then gives up with
+//!   [`Outcome::TimedOut`].
+//! * **transient** — a spurious cancellation (one no token requested), a
+//!   typed transient counter error, or a panic. The worker retries under
+//!   [`RetryPolicy`] with exponential backoff and deterministic jitter
+//!   (sleeps are capped by the job's deadline), then falls back, then
+//!   gives up with [`Outcome::Panicked`].
 //!
 //! Counts performed *inside* a containment check are routed through the
 //! same cache under the same key a direct [`JobSpec::Count`] job would
 //! use, so mixed workloads share work across job kinds.
 
+use crate::breaker::{Admit, Breaker, BreakerConfig, Signal};
 use crate::cache::{Lookup, MemoCache};
+use crate::fault::FaultInjector;
 use crate::job::{count_fingerprint, Job, JobHandle, JobSpec, JobState, Outcome};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::retry::RetryPolicy;
 use bagcq_arith::{Magnitude, Nat};
-use bagcq_homcount::{try_count_with, CancelToken, Cancelled, Engine, EvalControl};
+use bagcq_homcount::{
+    try_count_with, CancelReason, CancelToken, Cancelled, CheckpointHook, Engine, EvalControl,
+};
 use bagcq_query::Query;
 use bagcq_structure::Structure;
 use std::any::Any;
-use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -44,6 +71,17 @@ pub struct EngineConfig {
     /// Engine for counts the spec does not pin: containment-internal
     /// counts, [`CachedCounter`], and power-query factors.
     pub counter_engine: Engine,
+    /// Retry policy for transient failures (spurious cancellations,
+    /// transient counter errors, panics).
+    pub retry: RetryPolicy,
+    /// When `true`, a treewidth evaluation that panics past its retries
+    /// or exhausts its step budget is re-run once on the naive engine.
+    pub fallback_enabled: bool,
+    /// Per-job-kind circuit breakers.
+    pub breaker: BreakerConfig,
+    /// Deterministic fault injector threaded through every evaluation
+    /// (chaos testing). `None` in production.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for EngineConfig {
@@ -53,8 +91,69 @@ impl Default for EngineConfig {
             cache_shards: 16,
             cross_validate: false,
             counter_engine: Engine::default(),
+            retry: RetryPolicy::default(),
+            fallback_enabled: true,
+            breaker: BreakerConfig::default(),
+            fault: None,
         }
     }
+}
+
+/// Typed failure of one cached/validated count.
+///
+/// This is the error the engine's internal counters — and the public
+/// [`CachedCounter::try_count`] — speak, and the error type the
+/// containment checker's fallible counter plumbing
+/// ([`bagcq_containment::ContainmentChecker::try_check_with_counter`])
+/// propagates out of a check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CountError {
+    /// The evaluation was cancelled (deadline, step budget, or a spurious
+    /// injected cancellation — see [`CancelReason`]).
+    Cancelled(Cancelled),
+    /// Dual-engine cross-validation disagreed: one of the two counting
+    /// engines has a bug, and no number can be trusted. Terminal.
+    Mismatch(String),
+    /// A transient infrastructure failure worth retrying.
+    Transient(String),
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::Cancelled(c) => write!(f, "{c}"),
+            CountError::Mismatch(msg) => write!(f, "cross-validation mismatch: {msg}"),
+            CountError::Transient(msg) => write!(f, "transient failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
+
+impl From<Cancelled> for CountError {
+    fn from(c: Cancelled) -> Self {
+        CountError::Cancelled(c)
+    }
+}
+
+impl CountError {
+    /// `true` for failures a retry may cure: transient errors and
+    /// spurious cancellations (a cancellation nobody's deadline or budget
+    /// explains).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CountError::Transient(_) | CountError::Cancelled(Cancelled(CancelReason::Cancelled))
+        )
+    }
+}
+
+/// One attempt's failure, classified for the resilience ladder.
+enum JobFailure {
+    Cancelled(CancelReason),
+    Transient(String),
+    Mismatch(String),
+    Panic(String),
 }
 
 /// State shared by the public handle, every worker, and every
@@ -63,14 +162,43 @@ pub(crate) struct Shared {
     cache: MemoCache,
     metrics: Arc<Metrics>,
     config: EngineConfig,
+    breakers: BreakerSet,
 }
 
-/// Panic payload used to tunnel a [`Cancelled`] signal through the
-/// infallible `CountFn` interface of the containment checker; unwrapped
-/// by the worker's `catch_unwind` and mapped to [`Outcome::TimedOut`].
-struct CancelBubble(#[allow(dead_code)] Cancelled);
+/// One breaker per job kind (see [`JobSpec::kind`]).
+struct BreakerSet {
+    count: Breaker,
+    eval_power: Breaker,
+    containment: Breaker,
+}
+
+impl BreakerSet {
+    fn new(config: &BreakerConfig) -> Self {
+        BreakerSet {
+            count: Breaker::new(config.clone()),
+            eval_power: Breaker::new(config.clone()),
+            containment: Breaker::new(config.clone()),
+        }
+    }
+
+    fn for_kind(&self, kind: &str) -> &Breaker {
+        match kind {
+            "count" => &self.count,
+            "eval_power" => &self.eval_power,
+            _ => &self.containment,
+        }
+    }
+}
 
 impl Shared {
+    /// The engine-level fault checkpoint: fires before every raw count.
+    fn count_checkpoint(&self, site: &'static str) -> Result<(), CountError> {
+        match &self.config.fault {
+            Some(injector) => injector.intercept_count(site),
+            None => Ok(()),
+        }
+    }
+
     /// A raw count with optional dual-engine cross-validation.
     fn count_direct(
         &self,
@@ -78,7 +206,8 @@ impl Shared {
         q: &Query,
         d: &Structure,
         ctl: &EvalControl,
-    ) -> Result<Nat, Cancelled> {
+    ) -> Result<Nat, CountError> {
+        self.count_checkpoint("engine/count")?;
         let n = try_count_with(engine, q, d, ctl)?;
         if self.config.cross_validate {
             let other = match engine {
@@ -87,10 +216,11 @@ impl Shared {
             };
             let m = try_count_with(other, q, d, ctl)?;
             self.metrics.cross_validation();
-            assert_eq!(
-                n, m,
-                "engine cross-validation mismatch on {q}: {engine:?} and {other:?} disagree"
-            );
+            if n != m {
+                return Err(CountError::Mismatch(format!(
+                    "engines disagree on {q}: {engine:?} and {other:?} returned different counts"
+                )));
+            }
         }
         Ok(n)
     }
@@ -106,7 +236,7 @@ impl Shared {
         d: &Structure,
         ctl: &EvalControl,
         deadline: Option<Instant>,
-    ) -> Result<Nat, Cancelled> {
+    ) -> Result<Nat, CountError> {
         let key = count_fingerprint(q, d, engine);
         match self.cache.begin(key) {
             Lookup::Hit(Outcome::Count(n)) => Ok(n),
@@ -114,13 +244,12 @@ impl Shared {
             Lookup::Join(flight) => match flight.wait(deadline) {
                 Some(Outcome::Count(n)) => Ok(n),
                 Some(_) => self.count_direct(engine, q, d, ctl),
-                None => {
-                    // Our own deadline expired while waiting.
-                    let token = CancelToken::with_deadline(deadline.expect("deadline set"));
-                    Err(token.check().expect_err("expired deadline must trip"))
-                }
+                // Our own deadline expired while waiting on the leader.
+                None => Err(Cancelled(CancelReason::DeadlineExceeded).into()),
             },
             Lookup::Lead(token) => {
+                // If count_direct panics, the token's Drop evicts the
+                // in-flight slot and wakes joiners, so nobody hangs.
                 let result = self.count_direct(engine, q, d, ctl);
                 let outcome = match &result {
                     Ok(n) => Outcome::Count(n.clone()),
@@ -132,23 +261,26 @@ impl Shared {
         }
     }
 
-    /// Evaluates a spec; `Err` means the job's own limits tripped.
+    /// Evaluates a spec once; `Err` carries the typed failure.
+    /// `engine_override` is the fallback chain's engine substitution.
     fn run_spec(
         &self,
         spec: &JobSpec,
         ctl: &EvalControl,
         deadline: Option<Instant>,
-    ) -> Result<Outcome, Cancelled> {
+        engine_override: Option<Engine>,
+    ) -> Result<Outcome, CountError> {
         match spec {
             JobSpec::Count { query, database, engine } => {
                 // The job-level cache already keys this spec; compute directly.
-                Ok(Outcome::Count(self.count_direct(*engine, query, database, ctl)?))
+                let engine = engine_override.unwrap_or(*engine);
+                Ok(Outcome::Count(self.count_direct(engine, query, database, ctl)?))
             }
             JobSpec::EvalPower { query, database, exact_bits } => {
                 // Mirrors `try_eval_power_query`, but routes every factor
                 // count through the memo cache (φ_s and φ_b share factor
                 // counts on the same database) and cross-validation.
-                let engine = self.config.counter_engine;
+                let engine = engine_override.unwrap_or(self.config.counter_engine);
                 let mut acc = Magnitude::exact_with_budget(Nat::one(), *exact_bits);
                 for f in query.factors() {
                     let base = self.count_cached(engine, &f.base, database, ctl, deadline)?;
@@ -158,35 +290,146 @@ impl Shared {
                 Ok(Outcome::Power(acc))
             }
             JobSpec::ContainmentCheck { checker, q_s, q_b } => {
-                let engine = self.config.counter_engine;
-                let counter = |q: &Query, d: &Structure| -> Nat {
-                    match self.count_cached(engine, q, d, ctl, deadline) {
-                        Ok(n) => n,
-                        // The checker's CountFn is infallible; tunnel the
-                        // cancellation out as a typed panic.
-                        Err(c) => panic_any(CancelBubble(c)),
-                    }
+                let engine = engine_override.unwrap_or(self.config.counter_engine);
+                let counter = |q: &Query, d: &Structure| -> Result<Nat, CountError> {
+                    self.count_cached(engine, q, d, ctl, deadline)
                 };
-                let verdict = checker.check_with_counter(q_s, q_b, &counter);
+                let verdict = checker.try_check_with_counter(q_s, q_b, &counter)?;
                 Ok(Outcome::Verdict(Arc::new(verdict)))
             }
         }
     }
 
-    /// Runs a spec under its limits with panic isolation.
-    fn execute(&self, item: &WorkItem) -> Outcome {
-        let token = item.deadline.map(CancelToken::with_deadline);
-        let ctl = EvalControl::new(item.step_budget, token.clone());
-        let result =
-            catch_unwind(AssertUnwindSafe(|| self.run_spec(&item.spec, &ctl, item.deadline)));
-        match result {
-            Ok(Ok(outcome)) => outcome,
-            Ok(Err(_cancelled)) => Outcome::TimedOut,
-            Err(payload) => {
-                if payload.is::<CancelBubble>() {
-                    Outcome::TimedOut
-                } else {
-                    Outcome::Panicked(panic_message(payload))
+    /// The evaluation controls for one attempt: deadline token, step
+    /// budget, and the fault-injection hook (when configured).
+    fn controls(&self, deadline: Option<Instant>, step_budget: u64) -> EvalControl {
+        let token = deadline.map(CancelToken::with_deadline);
+        let hook = self.config.fault.as_ref().map(|f| Arc::clone(f) as Arc<dyn CheckpointHook>);
+        EvalControl::with_hook(step_budget, token, hook)
+    }
+
+    /// Runs one attempt with panic isolation and classifies the result.
+    fn execute_once(
+        &self,
+        item: &WorkItem,
+        engine_override: Option<Engine>,
+    ) -> Result<Outcome, JobFailure> {
+        let ctl = self.controls(item.deadline, item.step_budget);
+        let run = || self.run_spec(&item.spec, &ctl, item.deadline, engine_override);
+        match catch_unwind(AssertUnwindSafe(run)) {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(CountError::Cancelled(Cancelled(reason)))) => Err(JobFailure::Cancelled(reason)),
+            Ok(Err(CountError::Transient(msg))) => Err(JobFailure::Transient(msg)),
+            Ok(Err(CountError::Mismatch(msg))) => Err(JobFailure::Mismatch(msg)),
+            Err(payload) => Err(JobFailure::Panic(panic_message(payload))),
+        }
+    }
+
+    /// The fallback engine for this job, or `None` when the chain is
+    /// exhausted (fallback disabled, already taken, or the job is pinned
+    /// to the last engine in the chain). The chain is one hop:
+    /// treewidth → naive.
+    fn fallback_for(&self, item: &WorkItem, current: Option<Engine>) -> Option<Engine> {
+        if !self.config.fallback_enabled || current.is_some() {
+            return None;
+        }
+        let pinned = match &item.spec {
+            JobSpec::Count { engine, .. } => *engine,
+            _ => self.config.counter_engine,
+        };
+        match pinned {
+            Engine::Treewidth => Some(Engine::Naive),
+            Engine::Naive => None,
+        }
+    }
+
+    /// Sleeps the backoff for `attempt`, capped by the job's deadline.
+    fn backoff_sleep(&self, attempt: u32, salt: u64, deadline: Option<Instant>) {
+        let mut delay = self.config.retry.backoff(attempt, salt);
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                return;
+            }
+            delay = delay.min(d - now);
+        }
+        if !delay.is_zero() {
+            thread::sleep(delay);
+        }
+    }
+
+    /// Runs a spec through the full resilience ladder (classification →
+    /// retry with backoff → engine fallback → terminal outcome). Always
+    /// returns an outcome; never panics outward.
+    fn execute_resilient(&self, item: &WorkItem) -> Outcome {
+        let fp = item.spec.fingerprint();
+        let salt = fp.hi ^ fp.lo;
+        let mut engine_override: Option<Engine> = None;
+        let mut attempt: u32 = 0;
+        loop {
+            if item.deadline.is_some_and(|d| Instant::now() >= d) {
+                return Outcome::TimedOut;
+            }
+            let failure = match self.execute_once(item, engine_override) {
+                Ok(outcome) => return outcome,
+                Err(f) => f,
+            };
+            // The token latches its deadline into the plain-cancel flag, so
+            // a `Cancelled` reason after the deadline passed is really a
+            // deadline trip — classify by the clock, not the latch.
+            let deadline_expired = item.deadline.is_some_and(|d| Instant::now() >= d);
+            match failure {
+                JobFailure::Cancelled(CancelReason::DeadlineExceeded) => return Outcome::TimedOut,
+                JobFailure::Cancelled(_) if deadline_expired => return Outcome::TimedOut,
+                JobFailure::Mismatch(msg) => {
+                    // Deterministic: both engines would disagree again.
+                    return Outcome::Panicked(format!("cross-validation mismatch: {msg}"));
+                }
+                JobFailure::Cancelled(CancelReason::BudgetExhausted) => {
+                    // Deterministic for a fixed engine; the fallback engine
+                    // may fit the budget.
+                    match self.fallback_for(item, engine_override) {
+                        Some(engine) => {
+                            engine_override = Some(engine);
+                            attempt = 0;
+                            self.metrics.fallback_taken();
+                        }
+                        None => return Outcome::TimedOut,
+                    }
+                }
+                f @ (JobFailure::Cancelled(CancelReason::Cancelled) | JobFailure::Transient(_)) => {
+                    // Spurious cancellation or typed transient error.
+                    if attempt < self.config.retry.max_retries {
+                        self.backoff_sleep(attempt, salt, item.deadline);
+                        attempt += 1;
+                        self.metrics.retry();
+                    } else if let Some(engine) = self.fallback_for(item, engine_override) {
+                        engine_override = Some(engine);
+                        attempt = 0;
+                        self.metrics.fallback_taken();
+                    } else {
+                        return Outcome::Panicked(match f {
+                            JobFailure::Transient(msg) => {
+                                format!("transient failure persisted past the retry budget: {msg}")
+                            }
+                            _ => {
+                                "spurious cancellation persisted past the retry budget".to_string()
+                            }
+                        });
+                    }
+                }
+                JobFailure::Panic(msg) => {
+                    if attempt < self.config.retry.max_retries {
+                        self.backoff_sleep(attempt, salt, item.deadline);
+                        attempt += 1;
+                        self.metrics.retry();
+                    } else if let Some(engine) = self.fallback_for(item, engine_override) {
+                        engine_override = Some(engine);
+                        attempt = 0;
+                        self.metrics.fallback_taken();
+                    } else {
+                        return Outcome::Panicked(msg);
+                    }
                 }
             }
         }
@@ -211,17 +454,66 @@ struct WorkItem {
     submitted: Instant,
 }
 
+/// Publishes a poison outcome if the worker dies between picking up a job
+/// and publishing its result, so `JobHandle::wait()` never hangs on a
+/// dead worker. Disarmed by the normal publish path.
+struct PublishGuard<'a> {
+    state: &'a Arc<JobState>,
+    metrics: &'a Metrics,
+}
+
+impl PublishGuard<'_> {
+    fn publish(self, outcome: Outcome) {
+        self.state.publish(outcome);
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for PublishGuard<'_> {
+    fn drop(&mut self) {
+        if self.state.publish_if_pending(Outcome::Panicked(
+            "worker died before publishing an outcome".to_string(),
+        )) {
+            self.metrics.job_panicked();
+            self.metrics.job_completed();
+        }
+    }
+}
+
 fn process(shared: &Shared, item: WorkItem) {
+    let guard = PublishGuard { state: &item.state, metrics: &shared.metrics };
     let expired = item.deadline.is_some_and(|d| Instant::now() >= d);
     let outcome = if expired {
         Outcome::TimedOut
     } else {
-        match shared.cache.begin(item.spec.fingerprint()) {
-            Lookup::Hit(outcome) => outcome,
-            Lookup::Join(flight) => flight.wait(item.deadline).unwrap_or(Outcome::TimedOut),
-            Lookup::Lead(token) => {
-                let outcome = shared.execute(&item);
-                shared.cache.complete(token, outcome.clone());
+        let breaker = shared.breakers.for_kind(item.spec.kind());
+        let (admit, transitions) = breaker.admit(item.spec.kind(), Instant::now());
+        shared.metrics.breaker_transitions_add(transitions);
+        match admit {
+            Admit::Rejected(ff) => {
+                shared.metrics.breaker_rejection();
+                Outcome::FailedFast(ff)
+            }
+            Admit::Allowed => {
+                let outcome = match shared.cache.begin(item.spec.fingerprint()) {
+                    Lookup::Hit(outcome) => outcome,
+                    Lookup::Join(flight) => flight.wait(item.deadline).unwrap_or(Outcome::TimedOut),
+                    Lookup::Lead(token) => {
+                        let outcome = shared.execute_resilient(&item);
+                        shared.cache.complete(token, outcome.clone());
+                        outcome
+                    }
+                };
+                // Every admitted job reports back so a half-open probe can
+                // never leak: value → success, panic → failure, timeout →
+                // neutral (health says nothing under tight limits).
+                let signal = match &outcome {
+                    Outcome::Panicked(_) => Signal::Failure,
+                    Outcome::TimedOut | Outcome::FailedFast(_) => Signal::Neutral,
+                    _ => Signal::Success,
+                };
+                let transitions = breaker.record(signal, Instant::now());
+                shared.metrics.breaker_transitions_add(transitions);
                 outcome
             }
         }
@@ -229,14 +521,15 @@ fn process(shared: &Shared, item: WorkItem) {
     match &outcome {
         Outcome::TimedOut => shared.metrics.job_timed_out(),
         Outcome::Panicked(_) => shared.metrics.job_panicked(),
+        Outcome::FailedFast(_) => shared.metrics.job_failed_fast(),
         _ => {}
     }
     shared.metrics.job_completed();
     shared.metrics.observe_latency(item.submitted.elapsed());
-    item.state.publish(outcome);
+    guard.publish(outcome);
 }
 
-/// A concurrent, memoizing evaluation service.
+/// A concurrent, memoizing, fault-tolerant evaluation service.
 ///
 /// ```
 /// use bagcq_engine::{EvalEngine, Job, Outcome};
@@ -278,10 +571,12 @@ impl EvalEngine {
             config.workers
         };
         let metrics = Arc::new(Metrics::new());
+        let breakers = BreakerSet::new(&config.breaker);
         let shared = Arc::new(Shared {
             cache: MemoCache::new(config.cache_shards, Arc::clone(&metrics)),
             metrics,
             config,
+            breakers,
         });
         let (tx, rx) = mpsc::channel::<WorkItem>();
         let rx = Arc::new(Mutex::new(rx));
@@ -351,6 +646,13 @@ impl EvalEngine {
         self.shared.cache.ready_len()
     }
 
+    /// Adds sweep-journal resume counts to this engine's metrics, so an
+    /// experiment driver that resumed `n` points from a
+    /// [`crate::SweepJournal`] surfaces them in the same report.
+    pub fn record_journal_resumes(&self, n: u64) {
+        self.shared.metrics.journal_resumes_add(n);
+    }
+
     /// A cloneable counter that routes every count through this engine's
     /// memo cache (and cross-validation, when configured) — made to be
     /// plugged into
@@ -381,15 +683,39 @@ pub struct CachedCounter {
 
 impl CachedCounter {
     /// Counts `|Hom(q, d)|`, consulting and populating the memo cache.
+    /// Transient failures are retried under the engine's [`RetryPolicy`];
+    /// terminal failures (cross-validation mismatch, cancellation)
+    /// surface as a typed [`CountError`].
+    ///
+    /// Unlike pool execution there is no panic isolation here: an
+    /// evaluation panic propagates to the caller.
+    pub fn try_count(&self, q: &Query, d: &Structure) -> Result<Nat, CountError> {
+        let engine = self.shared.config.counter_engine;
+        let ctl = self.shared.controls(None, 0);
+        let salt = count_fingerprint(q, d, engine);
+        let salt = salt.hi ^ salt.lo;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.shared.count_cached(engine, q, d, &ctl, None) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_transient() && attempt < self.shared.config.retry.max_retries => {
+                    self.shared.backoff_sleep(attempt, salt, None);
+                    attempt += 1;
+                    self.shared.metrics.retry();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Infallible form of [`CachedCounter::try_count`].
     ///
     /// # Panics
     ///
-    /// When the engine was configured with
-    /// [`EngineConfig::cross_validate`] and the two counting engines
-    /// disagree (which would mean an evaluation bug).
+    /// When the count fails terminally — in practice when the engine was
+    /// configured with [`EngineConfig::cross_validate`] and the two
+    /// counting engines disagree (which would mean an evaluation bug).
     pub fn count(&self, q: &Query, d: &Structure) -> Nat {
-        self.shared
-            .count_cached(self.shared.config.counter_engine, q, d, &EvalControl::unlimited(), None)
-            .expect("unlimited evaluation cannot be cancelled")
+        self.try_count(q, d).unwrap_or_else(|e| panic!("cached count failed: {e}"))
     }
 }

@@ -1,0 +1,285 @@
+//! Deterministic, seedable fault injection for the evaluation engine.
+//!
+//! A [`FaultPlan`] is a pure description of *how often* and *which kinds*
+//! of faults to inject; a [`FaultInjector`] executes one plan. The
+//! injector implements [`CheckpointHook`], so installing it on an
+//! [`crate::EngineConfig`] threads it through every
+//! [`bagcq_homcount::EvalControl`] the workers build — faults then fire
+//! inside the counting loops themselves (ticker poll boundaries) and at
+//! the engine's own count checkpoints, exactly where real failures strike.
+//!
+//! Decisions are a pure function of `(seed, site, checkpoint-sequence)`:
+//! re-running the same single-threaded workload under the same plan
+//! injects the same faults in the same places. Under a multi-worker pool
+//! the *sequence* of decisions is still fixed by the seed; only which job
+//! draws which decision varies with scheduling — which is what the chaos
+//! suite wants, since its property ("completed outcomes are bit-identical
+//! to a clean run, failures are never cached") must hold under **any**
+//! interleaving.
+//!
+//! Four fault kinds, mirroring what long sweeps actually hit:
+//!
+//! * [`FaultKind::Panic`] — a worker crash (`panic!` at the checkpoint);
+//! * [`FaultKind::Latency`] — a slow disk/NUMA stall (bounded sleep);
+//! * [`FaultKind::SpuriousCancel`] — a cancellation nobody requested;
+//! * [`FaultKind::TransientError`] — a counter that fails once and then
+//!   recovers (only fires at engine count sites; at loop checkpoints it
+//!   degrades to a spurious cancel, the closest typed signal available).
+
+use crate::engine::CountError;
+use crate::retry::splitmix64;
+use bagcq_homcount::{CancelReason, Cancelled, CheckpointHook};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The kinds of fault an injector can fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the checkpoint (simulated worker crash).
+    Panic,
+    /// Sleep briefly at the checkpoint (simulated stall).
+    Latency,
+    /// Return a spurious [`Cancelled`] that no token requested.
+    SpuriousCancel,
+    /// Fail a count with a typed transient error.
+    TransientError,
+}
+
+const ALL_KINDS: [FaultKind; 4] =
+    [FaultKind::Panic, FaultKind::Latency, FaultKind::SpuriousCancel, FaultKind::TransientError];
+
+/// A seeded, declarative fault schedule.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Injection probability per checkpoint, in per-mille (`0..=1000`).
+    pub rate_per_mille: u32,
+    /// Hard cap on total faults injected (`0` = unlimited). Chaos tests
+    /// set this so every job eventually succeeds on resubmission.
+    pub max_faults: u64,
+    /// Which kinds the plan may fire (empty = no faults at all).
+    pub kinds: Vec<FaultKind>,
+    /// Sleep duration for [`FaultKind::Latency`] faults.
+    pub latency: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with every fault kind enabled at a moderate rate, capped so
+    /// workloads always terminate.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rate_per_mille: 60,
+            max_faults: 48,
+            kinds: ALL_KINDS.to_vec(),
+            latency: Duration::from_millis(1),
+        }
+    }
+
+    /// Keeps only the given kinds.
+    pub fn with_kinds(mut self, kinds: &[FaultKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Sets the per-mille injection rate.
+    pub fn with_rate_per_mille(mut self, rate: u32) -> Self {
+        self.rate_per_mille = rate.min(1000);
+        self
+    }
+
+    /// Sets the total fault cap (`0` = unlimited).
+    pub fn with_max_faults(mut self, max: u64) -> Self {
+        self.max_faults = max;
+        self
+    }
+}
+
+/// Executes a [`FaultPlan`]: decides, per checkpoint, whether to fire and
+/// what, and keeps per-kind counters of what it injected.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    sequence: AtomicU64,
+    fired: AtomicU64,
+    per_kind: [AtomicU64; 4],
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a, enough to decorrelate the handful of static site names.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`, shareable across workers.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            plan,
+            sequence: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+            per_kind: Default::default(),
+        })
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Faults of one kind injected so far.
+    pub fn injected_of(&self, kind: FaultKind) -> u64 {
+        self.per_kind[kind_index(kind)].load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints seen so far (fired or not).
+    pub fn checkpoints(&self) -> u64 {
+        self.sequence.load(Ordering::Relaxed)
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draws the decision for the next checkpoint at `site`.
+    fn decide(&self, site: &str) -> Option<FaultKind> {
+        if self.plan.kinds.is_empty() || self.plan.rate_per_mille == 0 {
+            self.sequence.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let n = self.sequence.fetch_add(1, Ordering::Relaxed);
+        let h =
+            splitmix64(self.plan.seed ^ site_hash(site) ^ n.wrapping_mul(0xA24B_AED4_963E_E407));
+        if (h % 1000) as u32 >= self.plan.rate_per_mille {
+            return None;
+        }
+        // Respect the global cap without over-counting under contention.
+        if self.plan.max_faults > 0 {
+            let claimed = self
+                .fired
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                    (f < self.plan.max_faults).then_some(f + 1)
+                })
+                .is_ok();
+            if !claimed {
+                return None;
+            }
+        } else {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        let kind = self.plan.kinds[((h >> 32) as usize) % self.plan.kinds.len()];
+        self.per_kind[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
+    /// Checkpoint for engine-level count sites: all four kinds fire with
+    /// their precise semantics ([`FaultKind::TransientError`] becomes a
+    /// typed [`CountError::Transient`]).
+    pub(crate) fn intercept_count(&self, site: &'static str) -> Result<(), CountError> {
+        match self.decide(site) {
+            None => Ok(()),
+            Some(FaultKind::Panic) => panic!("fault injection: panic at {site}"),
+            Some(FaultKind::Latency) => {
+                std::thread::sleep(self.plan.latency);
+                Ok(())
+            }
+            Some(FaultKind::SpuriousCancel) => {
+                Err(CountError::Cancelled(Cancelled(CancelReason::Cancelled)))
+            }
+            Some(FaultKind::TransientError) => {
+                Err(CountError::Transient(format!("fault injection: transient error at {site}")))
+            }
+        }
+    }
+}
+
+fn kind_index(kind: FaultKind) -> usize {
+    match kind {
+        FaultKind::Panic => 0,
+        FaultKind::Latency => 1,
+        FaultKind::SpuriousCancel => 2,
+        FaultKind::TransientError => 3,
+    }
+}
+
+impl CheckpointHook for FaultInjector {
+    /// Checkpoint inside the counting loops: the hook's error channel is
+    /// [`Cancelled`], so a drawn `TransientError` degrades to a spurious
+    /// cancel (same transient class, same retry treatment).
+    fn checkpoint(&self, site: &'static str) -> Result<(), Cancelled> {
+        match self.decide(site) {
+            None => Ok(()),
+            Some(FaultKind::Panic) => panic!("fault injection: panic at {site}"),
+            Some(FaultKind::Latency) => {
+                std::thread::sleep(self.plan.latency);
+                Ok(())
+            }
+            Some(FaultKind::SpuriousCancel) | Some(FaultKind::TransientError) => {
+                Err(Cancelled(CancelReason::Cancelled))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(inj: &FaultInjector, n: u64) -> Vec<Option<FaultKind>> {
+        (0..n).map(|_| inj.decide("test/site")).collect()
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let a = FaultInjector::new(FaultPlan::seeded(7).with_max_faults(0));
+        let b = FaultInjector::new(FaultPlan::seeded(7).with_max_faults(0));
+        assert_eq!(drain(&a, 500), drain(&b, 500));
+        assert!(a.injected() > 0, "a 6% rate over 500 checkpoints must fire");
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let a = FaultInjector::new(FaultPlan::seeded(1).with_max_faults(0));
+        let b = FaultInjector::new(FaultPlan::seeded(2).with_max_faults(0));
+        assert_ne!(drain(&a, 500), drain(&b, 500));
+    }
+
+    #[test]
+    fn max_faults_caps_total() {
+        let inj = FaultInjector::new(FaultPlan::seeded(3).with_rate_per_mille(1000));
+        let fired = drain(&inj, 200).into_iter().flatten().count() as u64;
+        assert_eq!(fired, inj.plan().max_faults);
+        assert_eq!(inj.injected(), inj.plan().max_faults);
+        // Once the cap is hit, everything passes clean.
+        assert!(drain(&inj, 50).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn rate_zero_is_a_no_op() {
+        let inj = FaultInjector::new(FaultPlan::seeded(4).with_rate_per_mille(0));
+        assert!(drain(&inj, 300).iter().all(Option::is_none));
+        assert_eq!(inj.injected(), 0);
+        assert_eq!(inj.checkpoints(), 300);
+    }
+
+    #[test]
+    fn kind_filter_respected() {
+        let inj = FaultInjector::new(
+            FaultPlan::seeded(5)
+                .with_rate_per_mille(1000)
+                .with_max_faults(0)
+                .with_kinds(&[FaultKind::SpuriousCancel]),
+        );
+        for d in drain(&inj, 100) {
+            assert_eq!(d, Some(FaultKind::SpuriousCancel));
+        }
+        assert_eq!(inj.injected_of(FaultKind::SpuriousCancel), 100);
+        assert_eq!(inj.injected_of(FaultKind::Panic), 0);
+    }
+}

@@ -10,6 +10,7 @@
 //! is the engine's memo-cache key, so two structurally equal jobs
 //! submitted from different threads share one computation.
 
+use crate::breaker::FailFast;
 use bagcq_arith::{Magnitude, Nat};
 use bagcq_containment::{ContainmentChecker, Verdict};
 use bagcq_homcount::Engine;
@@ -221,8 +222,13 @@ pub enum Outcome {
     /// before finishing. Never cached.
     TimedOut,
     /// The evaluation panicked (or a cross-validation mismatch was
-    /// detected); the payload is the panic message. Never cached.
+    /// detected, or a transient failure persisted past the retry budget);
+    /// the payload is the panic message. Never cached.
     Panicked(String),
+    /// The job kind's circuit breaker was open: the job was rejected
+    /// without evaluating, to stop a failing kind from burning workers.
+    /// Never cached.
+    FailedFast(FailFast),
 }
 
 impl Outcome {
@@ -250,10 +256,19 @@ impl Outcome {
         }
     }
 
-    /// `true` for [`Outcome::TimedOut`] and [`Outcome::Panicked`] — the
-    /// outcomes that are published to waiters but never cached.
+    /// The fail-fast payload, if this is a [`Outcome::FailedFast`].
+    pub fn as_failed_fast(&self) -> Option<&FailFast> {
+        match self {
+            Outcome::FailedFast(ff) => Some(ff),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Outcome::TimedOut`], [`Outcome::Panicked`], and
+    /// [`Outcome::FailedFast`] — the outcomes that are published to
+    /// waiters but never cached.
     pub fn is_failure(&self) -> bool {
-        matches!(self, Outcome::TimedOut | Outcome::Panicked(_))
+        matches!(self, Outcome::TimedOut | Outcome::Panicked(_) | Outcome::FailedFast(_))
     }
 }
 
@@ -270,6 +285,19 @@ impl JobState {
         let mut slot = self.slot.lock().unwrap();
         *slot = Some(outcome);
         self.cond.notify_all();
+    }
+
+    /// Publishes only if nothing was published yet; returns whether this
+    /// call published. Used by the worker's drop guard so a dying worker
+    /// never overwrites a real outcome — and never leaves waiters hung.
+    pub(crate) fn publish_if_pending(&self, outcome: Outcome) -> bool {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(outcome);
+        self.cond.notify_all();
+        true
     }
 }
 
@@ -294,6 +322,25 @@ impl JobHandle {
     /// Returns the outcome if it is already available.
     pub fn try_wait(&self) -> Option<Outcome> {
         self.state.slot.lock().unwrap().clone()
+    }
+
+    /// Blocks until the outcome is published or `timeout` elapses.
+    /// Returns `None` on timeout — the job may still complete later, and
+    /// a later `wait`/`wait_timeout` will observe it.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.state.cond.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+        }
     }
 }
 
@@ -364,6 +411,25 @@ mod tests {
             exact_bits: 256,
         };
         assert_ne!(p1.fingerprint(), p2.fingerprint());
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_then_sees_late_outcome() {
+        let state = Arc::new(JobState::default());
+        let handle = JobHandle { state: Arc::clone(&state) };
+        assert!(handle.wait_timeout(Duration::from_millis(10)).is_none());
+        state.publish(Outcome::TimedOut);
+        let out = handle.wait_timeout(Duration::from_millis(10)).expect("published");
+        assert!(out.is_failure());
+    }
+
+    #[test]
+    fn publish_if_pending_never_overwrites() {
+        let state = Arc::new(JobState::default());
+        assert!(state.publish_if_pending(Outcome::Count(Nat::one())));
+        assert!(!state.publish_if_pending(Outcome::Panicked("late".into())));
+        let handle = JobHandle { state };
+        assert_eq!(handle.wait().as_count(), Some(&Nat::one()));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Crash-safe checkpoint journals for long experiment sweeps.
+//!
+//! A [`SweepJournal`] persists the per-point results of a sweep so that a
+//! killed run (crash, OOM, ctrl-C, batch-queue preemption) resumes where
+//! it stopped instead of recomputing days of work. The format is an
+//! append-only list of `key<TAB>value` records under a header naming the
+//! sweep; a record is *committed* by rewriting the whole state to a
+//! sibling `*.tmp` file and atomically renaming it over the journal, so a
+//! crash at any instant leaves either the old state or the new state on
+//! disk — never a torn file.
+//!
+//! Whole-file rewrite keeps the commit path trivially crash-safe without
+//! `fsync` bookkeeping or a framing format; sweeps here are thousands of
+//! points, not millions, and each point costs orders of magnitude more
+//! than the rewrite.
+//!
+//! Keys and values are sweep-defined opaque strings (no tabs/newlines);
+//! [`SweepJournal::finish`] deletes the journal after a fully completed
+//! sweep so the next run starts fresh rather than trusting stale results.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const HEADER_PREFIX: &str = "# bagcq-sweep-journal v1 ";
+
+/// An on-disk, atomically updated map from sweep-point keys to results.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    name: String,
+    entries: BTreeMap<String, String>,
+    /// Entries recovered from disk at open time (i.e. completed by a
+    /// previous run of this sweep).
+    resumed: usize,
+}
+
+impl SweepJournal {
+    /// Opens (or creates) the journal for sweep `name` at `path`,
+    /// recovering any previously committed entries.
+    ///
+    /// Fails if the file exists but belongs to a different sweep or is
+    /// not a journal — resuming against the wrong state silently corrupts
+    /// a sweep, so that is a hard error, not a fresh start.
+    pub fn open(path: impl Into<PathBuf>, name: &str) -> Result<Self, String> {
+        assert!(
+            !name.contains('\n') && !name.contains('\t'),
+            "journal names must not contain tabs or newlines"
+        );
+        let path = path.into();
+        let mut entries = BTreeMap::new();
+        let mut resumed = 0;
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                let header = lines.next().unwrap_or("");
+                let found = header.strip_prefix(HEADER_PREFIX).ok_or_else(|| {
+                    format!("{}: not a bagcq sweep journal (header {header:?})", path.display())
+                })?;
+                if found != name {
+                    return Err(format!(
+                        "{}: journal belongs to sweep {found:?}, not {name:?}",
+                        path.display()
+                    ));
+                }
+                for line in lines {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (k, v) = line.split_once('\t').ok_or_else(|| {
+                        format!("{}: malformed journal line {line:?}", path.display())
+                    })?;
+                    entries.insert(k.to_string(), v.to_string());
+                }
+                resumed = entries.len();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+        Ok(SweepJournal { path, name: name.to_string(), entries, resumed })
+    }
+
+    /// Whether `key` was already committed (by this run or a previous one).
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The committed value for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Commits `key = value` durably: the entry is on disk (or the whole
+    /// commit never happened) once this returns `Ok`.
+    pub fn record(&mut self, key: &str, value: &str) -> Result<(), String> {
+        assert!(
+            !key.contains('\n') && !key.contains('\t'),
+            "journal keys must not contain tabs or newlines"
+        );
+        assert!(!value.contains('\n'), "journal values must not contain newlines");
+        self.entries.insert(key.to_string(), value.to_string());
+        self.flush()
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        let tmp = self.path.with_extension("tmp");
+        let mut buf = String::with_capacity(64 + self.entries.len() * 32);
+        buf.push_str(HEADER_PREFIX);
+        buf.push_str(&self.name);
+        buf.push('\n');
+        for (k, v) in &self.entries {
+            buf.push_str(k);
+            buf.push('\t');
+            buf.push_str(v);
+            buf.push('\n');
+        }
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(buf.as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, &self.path)
+        };
+        write().map_err(|e| format!("{}: {e}", self.path.display()))
+    }
+
+    /// Entries recovered from a previous run at open time.
+    pub fn resumed_entries(&self) -> usize {
+        self.resumed
+    }
+
+    /// Total committed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal has no committed entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Removes the journal file after a fully completed sweep, so reruns
+    /// recompute (and re-verify) rather than replaying stale results.
+    pub fn finish(self) -> Result<(), String> {
+        match fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(format!("{}: {e}", self.path.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bagcq-journal-{tag}-{}.journal", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let path = temp_path("reopen");
+        {
+            let mut j = SweepJournal::open(&path, "sweep-a").unwrap();
+            assert_eq!(j.resumed_entries(), 0);
+            j.record("point-1", "ok:3").unwrap();
+            j.record("point-2", "ok:5").unwrap();
+        }
+        let j = SweepJournal::open(&path, "sweep-a").unwrap();
+        assert_eq!(j.resumed_entries(), 2);
+        assert_eq!(j.get("point-1"), Some("ok:3"));
+        assert_eq!(j.get("point-2"), Some("ok:5"));
+        assert!(!j.contains("point-3"));
+        j.finish().unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn rewriting_a_key_keeps_latest_value() {
+        let path = temp_path("rewrite");
+        let mut j = SweepJournal::open(&path, "s").unwrap();
+        j.record("k", "v1").unwrap();
+        j.record("k", "v2").unwrap();
+        assert_eq!(j.len(), 1);
+        drop(j);
+        let j = SweepJournal::open(&path, "s").unwrap();
+        assert_eq!(j.get("k"), Some("v2"));
+        j.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_sweep_name_is_rejected() {
+        let path = temp_path("wrong-name");
+        SweepJournal::open(&path, "alpha").unwrap().record("k", "v").unwrap();
+        let err = SweepJournal::open(&path, "beta").unwrap_err();
+        assert!(err.contains("alpha"), "error should name the conflicting sweep: {err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected() {
+        let path = temp_path("garbage");
+        fs::write(&path, "this is not a journal\n").unwrap();
+        assert!(SweepJournal::open(&path, "s").is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tmp_file_does_not_corrupt_state() {
+        let path = temp_path("torn");
+        let mut j = SweepJournal::open(&path, "s").unwrap();
+        j.record("committed", "yes").unwrap();
+        drop(j);
+        // Simulate a crash mid-write: a half-written tmp file next to the
+        // journal must not affect recovery.
+        fs::write(path.with_extension("tmp"), "# bagcq-sweep-journal v1 s\ncommitted\tno").unwrap();
+        let j = SweepJournal::open(&path, "s").unwrap();
+        assert_eq!(j.get("committed"), Some("yes"));
+        let _ = fs::remove_file(path.with_extension("tmp"));
+        j.finish().unwrap();
+    }
+}

@@ -26,24 +26,49 @@
 //!   every count is computed by both the naive backtracking engine and
 //!   the treewidth DP and compared — the workspace-wide soundness story
 //!   (two independent implementations of Section 2.1's `|Hom(ψ, D)|`)
-//!   applied continuously instead of only in tests.
-//! * **Metrics**: atomic job/cache counters plus a log₂ latency
-//!   histogram, snapshot-able as text ([`MetricsSnapshot::render`]).
+//!   applied continuously instead of only in tests. A disagreement is a
+//!   typed [`CountError::Mismatch`], never a silently wrong number.
+//! * **Resilience**: transient failures (spurious cancellations, typed
+//!   transient errors, panics) are retried under a [`RetryPolicy`] with
+//!   exponential backoff and deterministic jitter; a treewidth evaluation
+//!   that keeps failing or exhausts its step budget falls back to the
+//!   naive engine once; per-job-kind circuit breakers ([`BreakerConfig`])
+//!   fail fast ([`Outcome::FailedFast`]) when a kind keeps failing.
+//! * **Deterministic fault injection** ([`FaultPlan`], [`FaultInjector`]):
+//!   a seeded chaos harness threaded through every evaluation checkpoint,
+//!   driving the chaos test suite's core property — under any fault
+//!   schedule, completed outcomes are bit-identical to a clean run and
+//!   the cache never stores a faulty result.
+//! * **Crash-safe sweeps** ([`SweepJournal`]): experiment drivers commit
+//!   each completed sweep point with an atomic write-temp-then-rename, so
+//!   a killed sweep resumes where it stopped.
+//! * **Metrics**: atomic job/cache/resilience counters plus a log₂
+//!   latency histogram, snapshot-able as text
+//!   ([`MetricsSnapshot::render`]).
 //!
 //! [`CachedCounter`] exposes the cache/cross-validation layer as a plain
-//! synchronous counter, which plugs into
-//! [`bagcq_containment::ContainmentChecker::check_with_counter`] — that is
-//! how the `exp_*` binaries route their containment verdicts through the
-//! engine.
+//! synchronous counter: [`CachedCounter::try_count`] returns a typed
+//! [`CountError`], which plugs into
+//! [`bagcq_containment::ContainmentChecker::try_check_with_counter`] —
+//! that is how the `exp_*` binaries route their containment verdicts
+//! through the engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod cache;
 mod engine;
+mod fault;
 mod job;
+mod journal;
 mod metrics;
+mod retry;
 
-pub use engine::{CachedCounter, EngineConfig, EvalEngine};
+pub use breaker::{BreakerConfig, FailFast};
+pub use engine::{CachedCounter, CountError, EngineConfig, EvalEngine};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use job::{Job, JobHandle, JobSpec, Outcome};
+pub use journal::SweepJournal;
 pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};
+pub use retry::RetryPolicy;

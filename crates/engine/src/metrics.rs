@@ -25,10 +25,16 @@ pub struct Metrics {
     jobs_completed: AtomicU64,
     jobs_timed_out: AtomicU64,
     jobs_panicked: AtomicU64,
+    jobs_failed_fast: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     single_flight_joins: AtomicU64,
     cross_validations: AtomicU64,
+    retries: AtomicU64,
+    fallbacks_taken: AtomicU64,
+    breaker_transitions: AtomicU64,
+    breaker_rejections: AtomicU64,
+    journal_resumes: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -70,6 +76,34 @@ impl Metrics {
         self.cross_validations.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn job_failed_fast(&self) {
+        self.jobs_failed_fast.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn fallback_taken(&self) {
+        self.fallbacks_taken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn breaker_transitions_add(&self, n: u64) {
+        if n != 0 {
+            self.breaker_transitions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn breaker_rejection(&self) {
+        self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn journal_resumes_add(&self, n: u64) {
+        if n != 0 {
+            self.journal_resumes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn observe_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         self.latency_us[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
@@ -86,10 +120,16 @@ impl Metrics {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
             jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_failed_fast: self.jobs_failed_fast.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             single_flight_joins: self.single_flight_joins.load(Ordering::Relaxed),
             cross_validations: self.cross_validations.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks_taken: self.fallbacks_taken.load(Ordering::Relaxed),
+            breaker_transitions: self.breaker_transitions.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            journal_resumes: self.journal_resumes.load(Ordering::Relaxed),
             latency_us,
         }
     }
@@ -116,6 +156,9 @@ pub struct MetricsSnapshot {
     pub jobs_timed_out: u64,
     /// Jobs that finished as [`crate::Outcome::Panicked`].
     pub jobs_panicked: u64,
+    /// Jobs rejected by an open circuit breaker
+    /// ([`crate::Outcome::FailedFast`]).
+    pub jobs_failed_fast: u64,
     /// Memo-cache lookups answered from a `Ready` slot.
     pub cache_hits: u64,
     /// Lookups that started a fresh computation.
@@ -125,6 +168,18 @@ pub struct MetricsSnapshot {
     pub single_flight_joins: u64,
     /// Counts that were computed by both engines and compared.
     pub cross_validations: u64,
+    /// Transient-failure retries performed (backoff sleeps taken).
+    pub retries: u64,
+    /// Evaluations re-run on the fallback engine (treewidth → naive).
+    pub fallbacks_taken: u64,
+    /// Circuit-breaker state transitions (closed→open, open→half-open,
+    /// half-open→closed/open).
+    pub breaker_transitions: u64,
+    /// Jobs rejected by an open breaker before evaluation.
+    pub breaker_rejections: u64,
+    /// Sweep points restored from a [`crate::SweepJournal`] instead of
+    /// recomputed (reported by experiment drivers).
+    pub journal_resumes: u64,
     /// Log₂ latency histogram: bucket `i` counts jobs that took
     /// `[2^(i-1), 2^i)` microseconds end to end.
     pub latency_us: [u64; LATENCY_BUCKETS],
@@ -159,8 +214,12 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f, "engine metrics")?;
         writeln!(
             f,
-            "  jobs     submitted={} completed={} timed_out={} panicked={}",
-            self.jobs_submitted, self.jobs_completed, self.jobs_timed_out, self.jobs_panicked
+            "  jobs     submitted={} completed={} timed_out={} panicked={} failed_fast={}",
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_timed_out,
+            self.jobs_panicked,
+            self.jobs_failed_fast
         )?;
         write!(
             f,
@@ -172,6 +231,15 @@ impl fmt::Display for MetricsSnapshot {
             None => writeln!(f)?,
         }
         writeln!(f, "  validate cross_validations={}", self.cross_validations)?;
+        writeln!(
+            f,
+            "  resilience retries={} fallbacks={} breaker_transitions={} breaker_rejections={} journal_resumes={}",
+            self.retries,
+            self.fallbacks_taken,
+            self.breaker_transitions,
+            self.breaker_rejections,
+            self.journal_resumes
+        )?;
         writeln!(f, "  latency  ({} observations)", self.latency_count())?;
         for (i, &n) in self.latency_us.iter().enumerate() {
             if n == 0 {
@@ -221,6 +289,29 @@ mod tests {
         assert!(text.contains("submitted=2"), "{text}");
         assert!(text.contains("hits=1"), "{text}");
         assert!(text.contains("[2us, 4us): 1"), "{text}");
+    }
+
+    #[test]
+    fn resilience_counters_render() {
+        let m = Metrics::new();
+        m.retry();
+        m.retry();
+        m.fallback_taken();
+        m.breaker_transitions_add(3);
+        m.breaker_rejection();
+        m.journal_resumes_add(4);
+        m.job_failed_fast();
+        let s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.fallbacks_taken, 1);
+        assert_eq!(s.breaker_transitions, 3);
+        assert_eq!(s.breaker_rejections, 1);
+        assert_eq!(s.journal_resumes, 4);
+        assert_eq!(s.jobs_failed_fast, 1);
+        let text = s.render();
+        assert!(text.contains("retries=2"), "{text}");
+        assert!(text.contains("journal_resumes=4"), "{text}");
+        assert!(text.contains("failed_fast=1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Chaos suite: the engine under deterministic fault injection.
+//!
+//! The core property, asserted across seeded fault schedules (and by CI
+//! under a matrix of fixed seeds via `BAGCQ_CHAOS_SEED`):
+//!
+//! 1. every outcome that **completes** under faults is bit-identical to
+//!    the same job's outcome on a clean engine — faults may delay or fail
+//!    a job, never corrupt it;
+//! 2. the memo cache **never stores a faulty result**: resubmitting a job
+//!    that failed recomputes it (and succeeds once the plan's fault cap
+//!    is spent), and a full resubmission of the workload after the faults
+//!    are exhausted reproduces the clean run exactly;
+//! 3. circuit breakers trip on persistent failure, fail fast while open,
+//!    and recover through a half-open probe.
+
+use bagcq_arith::Nat;
+use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_engine::{
+    BreakerConfig, EngineConfig, EvalEngine, FaultInjector, FaultKind, FaultPlan, Job, Outcome,
+    RetryPolicy,
+};
+use bagcq_homcount::Engine;
+use bagcq_query::{cycle_query, path_query, PowerQuery};
+use bagcq_structure::{Schema, Structure, StructureGen};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn digraph(extra_vertices: u32, seed: u64) -> (Arc<Schema>, Arc<Structure>) {
+    let mut sb = Schema::builder();
+    sb.relation("E", 2);
+    let schema = sb.build();
+    let gen = StructureGen { extra_vertices, density: 0.4, ..StructureGen::default() };
+    let d = Arc::new(gen.sample(&schema, seed));
+    (schema, d)
+}
+
+/// A mixed workload exercising every job kind (and both count engines).
+fn workload(schema: &Arc<Schema>, d: &Arc<Structure>) -> Vec<Job> {
+    let p2 = path_query(schema, "E", 2);
+    let p3 = path_query(schema, "E", 3);
+    let mut jobs: Vec<Job> =
+        [path_query(schema, "E", 1), p2.clone(), p3.clone(), cycle_query(schema, "E", 3)]
+            .into_iter()
+            .flat_map(|q| {
+                [
+                    Job::count_with(Engine::Naive, q.clone(), Arc::clone(d)),
+                    Job::count_with(Engine::Treewidth, q, Arc::clone(d)),
+                ]
+            })
+            .collect();
+    jobs.push(Job::eval_power(PowerQuery::power(p2.clone(), Nat::from_u64(3)), Arc::clone(d)));
+    jobs.push(Job::containment(ContainmentChecker::new(), p2, p3));
+    jobs
+}
+
+/// A canonical, comparable rendering of an outcome. Counts and powers
+/// compare bit-identically; verdicts compare by shape and counterexample
+/// counts (the checker is deterministic, so equal inputs give equal
+/// shapes).
+fn outcome_key(o: &Outcome) -> String {
+    match o {
+        Outcome::Count(n) => format!("count:{n:?}"),
+        Outcome::Power(m) => format!("power:{m:?}"),
+        Outcome::Verdict(v) => match v.as_ref() {
+            Verdict::Proved(c) => format!("proved:{c:?}"),
+            Verdict::Refuted(c) => format!("refuted:{:?}:{:?}", c.count_s, c.count_b),
+            Verdict::Unknown { candidates_checked } => format!("unknown:{candidates_checked}"),
+        },
+        fail => format!("fail:{fail:?}"),
+    }
+}
+
+fn clean_outcomes(jobs: &[Job]) -> Vec<String> {
+    let engine = EvalEngine::with_workers(2);
+    engine.submit_batch(jobs.to_vec()).iter().map(|h| outcome_key(&h.wait())).collect()
+}
+
+fn chaos_engine(plan: FaultPlan) -> (EvalEngine, Arc<FaultInjector>) {
+    let injector = FaultInjector::new(plan);
+    let engine = EvalEngine::new(EngineConfig {
+        workers: 3,
+        // Breakers are tested separately; here they would only add
+        // cooldown stalls between resubmissions.
+        breaker: BreakerConfig::disabled(),
+        fault: Some(Arc::clone(&injector)),
+        ..EngineConfig::default()
+    });
+    (engine, injector)
+}
+
+/// Runs the workload under `plan` and checks properties (1) and (2)
+/// against the clean baseline.
+fn assert_chaos_invariants(seed: u64, plan: FaultPlan) {
+    let (schema, d) = digraph(5, seed);
+    let jobs = workload(&schema, &d);
+    let clean = clean_outcomes(&jobs);
+
+    let (engine, injector) = chaos_engine(plan);
+    let handles = engine.submit_batch(jobs.clone());
+    for ((job, handle), want) in jobs.iter().zip(&handles).zip(&clean) {
+        let first = handle.wait();
+        if !first.is_failure() {
+            // Property 1: a completed outcome is bit-identical to clean.
+            assert_eq!(&outcome_key(&first), want, "faulted run corrupted a completed outcome");
+            continue;
+        }
+        // Property 2: failures are not cached — resubmission recomputes,
+        // and succeeds once the fault cap is spent.
+        let mut resubmissions = 0;
+        loop {
+            resubmissions += 1;
+            assert!(
+                resubmissions <= 200,
+                "job did not recover after {resubmissions} resubmissions \
+                 ({} faults injected, cap {})",
+                injector.injected(),
+                injector.plan().max_faults,
+            );
+            let retry = engine.submit(job.clone()).wait();
+            if !retry.is_failure() {
+                assert_eq!(&outcome_key(&retry), want, "recovered outcome differs from clean run");
+                break;
+            }
+        }
+    }
+
+    // With the cap spent, a full resubmission must reproduce the clean
+    // run exactly — anything else means a faulty result was cached.
+    let replay: Vec<String> =
+        engine.submit_batch(jobs).iter().map(|h| outcome_key(&h.wait())).collect();
+    assert_eq!(replay, clean, "post-fault replay diverged from the clean run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Properties 1 and 2 hold under arbitrary seeds for the full fault
+    /// mix (panics, latency, spurious cancels, transient errors).
+    #[test]
+    fn completed_outcomes_bit_identical_under_any_fault_schedule(seed in 0u64..100_000) {
+        assert_chaos_invariants(seed, FaultPlan::seeded(seed));
+    }
+
+    /// Same properties under a panic-heavy plan — the worst case for the
+    /// cache (leaders dying mid-flight) and the retry/fallback ladder.
+    #[test]
+    fn panic_storms_never_poison_cache_or_pool(seed in 0u64..100_000) {
+        let plan = FaultPlan::seeded(seed)
+            .with_kinds(&[FaultKind::Panic])
+            .with_rate_per_mille(150)
+            .with_max_faults(24);
+        assert_chaos_invariants(seed, plan);
+    }
+}
+
+/// The CI chaos job pins `BAGCQ_CHAOS_SEED` across a matrix of seeds; one
+/// run of the full invariant suite per pinned seed, with enough fault
+/// pressure that the injector demonstrably fires.
+#[test]
+fn fixed_seed_chaos_run() {
+    let seed: u64 =
+        std::env::var("BAGCQ_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+    let plan = FaultPlan::seeded(seed).with_rate_per_mille(120);
+    let (_, d) = digraph(5, seed);
+    drop(d);
+    assert_chaos_invariants(seed, plan.clone());
+
+    // The plan must actually have injected something at this rate; a
+    // silent no-op injector would make the suite vacuous.
+    let (engine, injector) = chaos_engine(plan);
+    let (schema, d) = digraph(5, seed);
+    for h in engine.submit_batch(workload(&schema, &d)) {
+        let _ = h.wait();
+    }
+    assert!(injector.injected() > 0, "fault plan at 12% never fired");
+    assert!(injector.checkpoints() > 0);
+}
+
+/// Transient-only faults are absorbed by the retry layer: the workload
+/// completes identically to a clean run and the retry counter moves.
+#[test]
+fn transient_faults_are_retried_to_success() {
+    let seed = 7;
+    let (schema, d) = digraph(5, seed);
+    let jobs = workload(&schema, &d);
+    let clean = clean_outcomes(&jobs);
+    let plan = FaultPlan::seeded(seed)
+        .with_kinds(&[FaultKind::SpuriousCancel, FaultKind::TransientError])
+        .with_rate_per_mille(100)
+        .with_max_faults(8);
+    let (engine, injector) = chaos_engine(plan);
+    let got: Vec<String> =
+        engine.submit_batch(jobs).iter().map(|h| outcome_key(&h.wait())).collect();
+    // Default retries (2) + one fallback hop absorb a per-job fault
+    // budget of 8 spread over 10 jobs with overwhelming probability for
+    // this seed; the assertion below locks that in.
+    assert_eq!(got, clean);
+    assert!(injector.injected() > 0, "plan never fired");
+    assert!(engine.metrics().retries > 0, "retry path never exercised");
+}
+
+/// The fallible cached counter surfaces transient faults through retries
+/// and stays bit-identical to the direct count.
+#[test]
+fn cached_counter_try_count_retries_transients() {
+    let seed = 11;
+    let (schema, d) = digraph(5, seed);
+    let q = path_query(&schema, "E", 2);
+    let want = bagcq_homcount::count(&q, &d);
+
+    let plan = FaultPlan::seeded(seed)
+        .with_kinds(&[FaultKind::TransientError])
+        .with_rate_per_mille(400)
+        .with_max_faults(2);
+    let (engine, _injector) = chaos_engine(plan);
+    let counter = engine.cached_counter();
+    let got = counter.try_count(&q, &d).expect("retries absorb two transient faults");
+    assert_eq!(got, want);
+    assert!(engine.metrics().retries > 0);
+}
+
+/// Breakers: persistent panics trip the breaker after the configured
+/// threshold, jobs then fail fast without evaluating, and once the fault
+/// budget is spent the half-open probe closes the breaker again.
+#[test]
+fn breaker_trips_fails_fast_and_recovers() {
+    let seed = 3;
+    let (schema, d) = digraph(5, seed);
+    // Panic on every engine count until the cap (4 faults) is spent; no
+    // retries or fallback, so each faulted job fails immediately.
+    let injector = FaultInjector::new(
+        FaultPlan::seeded(seed)
+            .with_kinds(&[FaultKind::Panic])
+            .with_rate_per_mille(1000)
+            .with_max_faults(4),
+    );
+    let engine = EvalEngine::new(EngineConfig {
+        workers: 1,
+        retry: RetryPolicy::none(),
+        fallback_enabled: false,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: std::time::Duration::from_millis(0),
+        },
+        fault: Some(Arc::clone(&injector)),
+        ..EngineConfig::default()
+    });
+
+    let mut outcomes = Vec::new();
+    for k in 1..=8 {
+        // Distinct queries so the cache never answers for the breaker.
+        let q = path_query(&schema, "E", 1 + (k % 3));
+        let job = Job::count_with(Engine::Naive, q, Arc::clone(&d));
+        outcomes.push(engine.submit(job).wait());
+    }
+    let panicked = outcomes.iter().filter(|o| matches!(o, Outcome::Panicked(_))).count();
+    let succeeded = outcomes.iter().filter(|o| !o.is_failure()).count();
+    assert!(panicked >= 2, "the first faulted jobs must fail: {outcomes:?}");
+    assert!(succeeded > 0, "the breaker must recover once faults are spent: {outcomes:?}");
+
+    let m = engine.metrics();
+    assert!(m.breaker_transitions >= 2, "expected open + close transitions: {m}");
+    assert_eq!(injector.injected(), 4);
+}
+
+/// Step-budget exhaustion takes the fallback chain exactly once
+/// (treewidth → naive) and is terminal when the fallback exhausts too.
+#[test]
+fn budget_exhaustion_takes_fallback_then_times_out() {
+    let (schema, d) = digraph(6, 5);
+    let engine = EvalEngine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+    let q = path_query(&schema, "E", 3);
+    let job = Job::count_with(Engine::Treewidth, q, Arc::clone(&d)).with_step_budget(1);
+    let out = engine.submit(job).wait();
+    assert!(matches!(out, Outcome::TimedOut), "a 1-step budget must exhaust: {out:?}");
+    let m = engine.metrics();
+    assert_eq!(m.fallbacks_taken, 1, "exactly one fallback hop: {m}");
+    assert_eq!(m.jobs_timed_out, 1);
+}

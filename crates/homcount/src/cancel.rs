@@ -113,12 +113,46 @@ impl Default for CancelToken {
     }
 }
 
+/// A callback fired at evaluation checkpoints.
+///
+/// The counting loops call it through [`EvalControl::checkpoint`] — once
+/// at every coarse boundary (evaluation entry, per power-query factor)
+/// and at every [`CHECK_INTERVAL`]-step [`Ticker`] poll. A hook may:
+///
+/// * return `Ok(())` — the common no-op;
+/// * sleep before returning — injected latency;
+/// * return `Err(Cancelled)` — a spurious cancellation, indistinguishable
+///   from a real one to the evaluation itself;
+/// * panic — a simulated worker crash, to be caught by whatever
+///   `catch_unwind` isolation the caller runs under.
+///
+/// The `bagcq-engine` crate uses this to thread its deterministic
+/// fault-injection harness through every evaluation without the counting
+/// code knowing anything about faults.
+pub trait CheckpointHook: Send + Sync {
+    /// Fires the checkpoint; `site` names the location (e.g.
+    /// `"homcount/count"`, `"homcount/tick"`).
+    fn checkpoint(&self, site: &'static str) -> Result<(), Cancelled>;
+}
+
 /// Bundled cancellation controls for one evaluation: optional token plus
-/// optional step budget (`0` = unlimited).
-#[derive(Clone, Debug, Default)]
+/// optional step budget (`0` = unlimited) plus an optional
+/// [`CheckpointHook`] for fault injection.
+#[derive(Clone, Default)]
 pub struct EvalControl {
     step_budget: u64,
     cancel: Option<CancelToken>,
+    hook: Option<Arc<dyn CheckpointHook>>,
+}
+
+impl fmt::Debug for EvalControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalControl")
+            .field("step_budget", &self.step_budget)
+            .field("cancel", &self.cancel)
+            .field("hook", &self.hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl EvalControl {
@@ -129,13 +163,31 @@ impl EvalControl {
 
     /// Controls with the given budget (`0` = unlimited) and token.
     pub fn new(step_budget: u64, cancel: Option<CancelToken>) -> Self {
-        EvalControl { step_budget, cancel }
+        EvalControl { step_budget, cancel, hook: None }
     }
 
-    /// True iff neither a budget nor a token is set (the fast path can
-    /// skip all bookkeeping).
+    /// Controls with a budget, token, and checkpoint hook.
+    pub fn with_hook(
+        step_budget: u64,
+        cancel: Option<CancelToken>,
+        hook: Option<Arc<dyn CheckpointHook>>,
+    ) -> Self {
+        EvalControl { step_budget, cancel, hook }
+    }
+
+    /// True iff no budget, token, or hook is set (the fast path can skip
+    /// all bookkeeping).
     pub fn is_unlimited(&self) -> bool {
-        self.step_budget == 0 && self.cancel.is_none()
+        self.step_budget == 0 && self.cancel.is_none() && self.hook.is_none()
+    }
+
+    /// Fires the checkpoint hook, if one is installed.
+    #[inline]
+    pub fn checkpoint(&self, site: &'static str) -> Result<(), Cancelled> {
+        match &self.hook {
+            Some(hook) => hook.checkpoint(site),
+            None => Ok(()),
+        }
     }
 
     /// Starts a step counter over these controls.
@@ -166,6 +218,7 @@ impl Ticker<'_> {
             if let Some(token) = &self.control.cancel {
                 token.check()?;
             }
+            self.control.checkpoint("homcount/tick")?;
         }
         Ok(())
     }
@@ -223,6 +276,44 @@ mod tests {
             }
         }
         assert!(tripped);
+    }
+
+    #[test]
+    fn hook_fires_at_poll_boundary_and_can_cancel() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Hook {
+            fires: AtomicU64,
+            fail_from: u64,
+        }
+        impl CheckpointHook for Hook {
+            fn checkpoint(&self, _site: &'static str) -> Result<(), Cancelled> {
+                let n = self.fires.fetch_add(1, Ordering::Relaxed) + 1;
+                if n >= self.fail_from {
+                    Err(Cancelled(CancelReason::Cancelled))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        let hook = Arc::new(Hook { fires: AtomicU64::new(0), fail_from: 2 });
+        let ctl = EvalControl::with_hook(0, None, Some(Arc::clone(&hook) as _));
+        assert!(!ctl.is_unlimited(), "a hook disables the unlimited fast path");
+        // Direct checkpoint: first fire ok, second fire cancels.
+        assert!(ctl.checkpoint("test/site").is_ok());
+        assert_eq!(ctl.checkpoint("test/site"), Err(Cancelled(CancelReason::Cancelled)));
+        // Ticker path: the third fire happens at the first poll boundary.
+        let mut ticker = ctl.ticker();
+        let mut tripped = false;
+        for _ in 0..CHECK_INTERVAL + 1 {
+            if ticker.tick().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "hook cancellation must surface through the ticker");
+        assert_eq!(hook.fires.load(Ordering::Relaxed), 3);
     }
 
     #[test]

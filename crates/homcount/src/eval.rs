@@ -74,6 +74,9 @@ pub fn try_count_with(
     d: &Structure,
     ctl: &EvalControl,
 ) -> Result<Nat, Cancelled> {
+    // Entry checkpoint: small queries may never reach a ticker poll
+    // boundary, so fault-injection hooks get at least one shot per count.
+    ctl.checkpoint("homcount/count")?;
     match engine {
         Engine::Naive => NaiveCounter.try_count(q, d, ctl),
         Engine::Treewidth => TreewidthCounter.try_count(q, d, ctl),
@@ -110,6 +113,7 @@ pub fn try_eval_power_query(
     let ctl = opts.control();
     let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
     for f in pq.factors() {
+        ctl.checkpoint("homcount/power-factor")?;
         let base = try_count_with(opts.engine, &f.base, d, &ctl)?;
         let m = Magnitude::exact_with_budget(base, opts.exact_bits).pow(&f.exponent);
         acc = acc.mul(&m);

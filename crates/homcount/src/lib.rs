@@ -63,7 +63,9 @@ mod output_eval;
 mod treedec;
 mod tw;
 
-pub use cancel::{CancelReason, CancelToken, Cancelled, EvalControl, Ticker, CHECK_INTERVAL};
+pub use cancel::{
+    CancelReason, CancelToken, Cancelled, CheckpointHook, EvalControl, Ticker, CHECK_INTERVAL,
+};
 pub use eval::{
     count, count_with, eval_power_query, try_count_with, try_eval_power_query, Engine, EvalOptions,
 };

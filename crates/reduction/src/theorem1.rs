@@ -48,56 +48,68 @@ impl Theorem1Reduction {
         }
     }
 
-    /// `☀ ⇒ ℜ` sweep: checks `ℂ·φ_s(D) ≤ φ_b(D)` (certified) on a family
-    /// of databases derived from valuations in `0..=bound` — each correct
-    /// database plus slightly- and seriously-incorrect perturbations of it.
-    /// Returns the first counterexample to the *expected* behaviour, i.e. a
-    /// database where the inequality fails even though the polynomial
-    /// inequality holds everywhere in the box.
+    /// One `☀ ⇒ ℜ` sweep point: checks `ℂ·φ_s(D) ≤ φ_b(D)` (certified)
+    /// on the three databases derived from one valuation — the correct
+    /// database plus its slightly- and seriously-incorrect perturbations.
+    /// Returns the number of databases checked (3), or the first
+    /// counterexample to the *expected* behaviour.
+    ///
+    /// This is the unit of work the crash-safe sweep journal checkpoints:
+    /// a point is self-contained, so a killed sweep resumes at the next
+    /// unrecorded valuation.
+    pub fn sweep_point(&self, val: &[u64], opts: &EvalOptions) -> Result<usize, String> {
+        let mut checked = 0usize;
+        let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
+        let poly_holds = self.instance.holds_at(&nat_val);
+        let d = self.correct_database(val);
+
+        // Correct database: φ-inequality must match the polynomial
+        // inequality exactly (Lemmas 15, 17, 20).
+        let phi_holds = self
+            .holds_on(&d, opts)
+            .ok_or_else(|| format!("undecided comparison on correct D at {val:?}"))?;
+        if phi_holds != poly_holds {
+            return Err(format!(
+                "correct D at {val:?}: polynomial says {poly_holds}, φ says {phi_holds}"
+            ));
+        }
+        checked += 1;
+
+        // Slightly incorrect: add one extra S-atom. The inequality
+        // must hold regardless of the valuation (Lemma 18 pays for it).
+        let mut slight = d.clone();
+        let a1 = slight.constant_vertex(self.a_m[0]);
+        let b1 = slight.constant_vertex(self.b_n[0]);
+        slight.add_atom(self.s_rels[0], &[a1, b1]);
+        debug_assert_eq!(self.classify(&slight), Correctness::SlightlyIncorrect);
+        if self.holds_on(&slight, opts) != Some(true) {
+            return Err(format!("slightly incorrect D at {val:?} violates the inequality"));
+        }
+        checked += 1;
+
+        // Seriously incorrect: identify a constant pair (keeping ♂/♀
+        // distinct). δ_b ≥ 2^ℂ must dominate (Lemma 21).
+        let av = d.constant_vertex(self.a_const);
+        let a1v = d.constant_vertex(self.a_m[0]);
+        let serious = d.identify(av, a1v);
+        debug_assert_eq!(self.classify(&serious), Correctness::SeriouslyIncorrect);
+        debug_assert!(serious.is_nontrivial(self.mars, self.venus));
+        if self.holds_on(&serious, opts) != Some(true) {
+            return Err(format!("seriously incorrect D at {val:?} violates the inequality"));
+        }
+        checked += 1;
+        Ok(checked)
+    }
+
+    /// `☀ ⇒ ℜ` sweep: [`Theorem1Reduction::sweep_point`] over every
+    /// valuation in `0..=bound`ⁿ. Returns the total number of databases
+    /// checked, or the first failure.
     pub fn sweep_databases(&self, bound: u64, opts: &EvalOptions) -> Result<usize, String> {
         let n = self.instance.n_vars as usize;
         let mut checked = 0usize;
         let mut val = vec![0u64; n];
         loop {
-            let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
-            let poly_holds = self.instance.holds_at(&nat_val);
-            let d = self.correct_database(&val);
-
-            // Correct database: φ-inequality must match the polynomial
-            // inequality exactly (Lemmas 15, 17, 20).
-            let phi_holds = self
-                .holds_on(&d, opts)
-                .ok_or_else(|| format!("undecided comparison on correct D at {val:?}"))?;
-            if phi_holds != poly_holds {
-                return Err(format!(
-                    "correct D at {val:?}: polynomial says {poly_holds}, φ says {phi_holds}"
-                ));
-            }
-            checked += 1;
-
-            // Slightly incorrect: add one extra S-atom. The inequality
-            // must hold regardless of the valuation (Lemma 18 pays for it).
-            let mut slight = d.clone();
-            let a1 = slight.constant_vertex(self.a_m[0]);
-            let b1 = slight.constant_vertex(self.b_n[0]);
-            slight.add_atom(self.s_rels[0], &[a1, b1]);
-            debug_assert_eq!(self.classify(&slight), Correctness::SlightlyIncorrect);
-            if self.holds_on(&slight, opts) != Some(true) {
-                return Err(format!("slightly incorrect D at {val:?} violates the inequality"));
-            }
-            checked += 1;
-
-            // Seriously incorrect: identify a constant pair (keeping ♂/♀
-            // distinct). δ_b ≥ 2^ℂ must dominate (Lemma 21).
-            let av = d.constant_vertex(self.a_const);
-            let a1v = d.constant_vertex(self.a_m[0]);
-            let serious = d.identify(av, a1v);
-            debug_assert_eq!(self.classify(&serious), Correctness::SeriouslyIncorrect);
-            debug_assert!(serious.is_nontrivial(self.mars, self.venus));
-            if self.holds_on(&serious, opts) != Some(true) {
-                return Err(format!("seriously incorrect D at {val:?} violates the inequality"));
-            }
-            checked += 1;
+            checked += self.sweep_point(&val, opts)?;
 
             // Odometer.
             let mut i = 0;

@@ -1,0 +1,76 @@
+//! Crash-safe sweep resume (acceptance criterion for the resilience
+//! layer): kill a journaled backward sweep partway through, re-run it,
+//! and verify the second run resumes from the journal without
+//! recomputing any completed point.
+
+use bagcq_bench::journaled_backward_sweep;
+use bagcq_core::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn killed_sweep_resumes_from_journal() {
+    // The safe toy instance: c·P_s ≤ P_b everywhere, so the full sweep
+    // (2 vars, bound 1 → 4 points × 3 databases) completes cleanly.
+    let red = Theorem1Reduction::new(toy_instance(2, vec![1, 1], vec![2, 2]));
+    let opts = EvalOptions::default();
+    let path =
+        std::env::temp_dir().join(format!("bagcq-sweep-resume-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // First run: simulate a crash after two completed points. `on_point`
+    // fires before a point is computed or committed, so the third point
+    // dies without a journal entry.
+    let mut first_run_points: Vec<Vec<u64>> = Vec::new();
+    let mut journal = SweepJournal::open(&path, "resume-test").expect("fresh journal");
+    let crash = catch_unwind(AssertUnwindSafe(|| {
+        journaled_backward_sweep(&red, 1, &opts, &mut journal, |val| {
+            if first_run_points.len() == 2 {
+                panic!("simulated crash");
+            }
+            first_run_points.push(val.to_vec());
+        })
+    }));
+    assert!(crash.is_err(), "the injected crash must abort the sweep");
+    assert_eq!(first_run_points.len(), 2);
+    drop(journal);
+    assert!(path.exists(), "journal must survive the crash");
+
+    // Second run: a fresh process reopening the same path. The two
+    // committed points come back from the journal; only the remaining
+    // two are recomputed.
+    let mut journal = SweepJournal::open(&path, "resume-test").expect("reopen after crash");
+    assert_eq!(journal.resumed_entries(), 2);
+    let mut second_run_points: Vec<Vec<u64>> = Vec::new();
+    let stats = journaled_backward_sweep(&red, 1, &opts, &mut journal, |val| {
+        second_run_points.push(val.to_vec());
+    })
+    .expect("resumed sweep completes");
+
+    assert_eq!(stats.points_total, 4);
+    assert_eq!(stats.points_resumed, 2);
+    assert_eq!(stats.points_computed, 2);
+    assert_eq!(stats.databases_checked, 12);
+    for p in &second_run_points {
+        assert!(
+            !first_run_points.contains(p),
+            "point {p:?} was recomputed despite being journaled"
+        );
+    }
+
+    // Clean completion deletes the journal; the next sweep starts fresh.
+    journal.finish().expect("journal cleanup");
+    assert!(!path.exists());
+}
+
+#[test]
+fn journal_refuses_a_different_sweeps_file() {
+    let path =
+        std::env::temp_dir().join(format!("bagcq-sweep-name-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut j = SweepJournal::open(&path, "sweep-a").expect("fresh");
+    j.record("0,0", "ok:3").expect("commit");
+    drop(j);
+    let err = SweepJournal::open(&path, "sweep-b").expect_err("name mismatch must be an error");
+    assert!(err.contains("sweep-a"), "error should name the owning sweep: {err}");
+    std::fs::remove_file(&path).expect("cleanup");
+}
