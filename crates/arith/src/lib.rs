@@ -44,4 +44,4 @@ mod rat;
 pub use int::{Int, Sign};
 pub use magnitude::{CertOrd, Magnitude, DEFAULT_EXACT_BITS};
 pub use nat::{Nat, ParseNatError};
-pub use rat::Rat;
+pub use rat::{ParseRatError, Rat};

@@ -10,7 +10,8 @@
 use crate::nat::Nat;
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::Mul;
+use std::ops::{Add, Mul};
+use std::str::FromStr;
 
 /// An exact non-negative rational, kept in lowest terms.
 ///
@@ -128,6 +129,57 @@ impl Mul for Rat {
     }
 }
 
+impl Add<&Rat> for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        // a/b + c/d = (a·d + c·b) / (b·d); `new` renormalizes.
+        let num = self.num.mul_ref(&rhs.den) + &rhs.num.mul_ref(&self.den);
+        Rat::new(num, self.den.mul_ref(&rhs.den))
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        &self + &rhs
+    }
+}
+
+/// Error parsing a [`Rat`] from text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseRatError;
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal (expected \"num\" or \"num/den\", den nonzero)")
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    /// Accepts the same forms `Display` produces: a decimal numerator
+    /// alone (`"7"`) or `"num/den"` (`"22/7"`). The result is normalized,
+    /// so the round-trip is `parse(display(q)) == q` — not the reverse.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (num, den) = match s.split_once('/') {
+            Some((n, d)) => (n, Some(d)),
+            None => (s, None),
+        };
+        let num: Nat = num.parse().map_err(|_| ParseRatError)?;
+        let den: Nat = match den {
+            Some(d) => d.parse().map_err(|_| ParseRatError)?,
+            None => Nat::one(),
+        };
+        if den.is_zero() {
+            return Err(ParseRatError);
+        }
+        Ok(Rat::new(num, den))
+    }
+}
+
 impl PartialOrd for Rat {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -241,5 +293,23 @@ mod tests {
     fn integral_check() {
         assert!(r(14, 7).is_integral());
         assert!(!r(3, 7).is_integral());
+    }
+
+    #[test]
+    fn addition_normalizes() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 4) + &r(1, 4), r(1, 2));
+        assert_eq!(r(0, 1) + r(3, 7), r(3, 7));
+    }
+
+    #[test]
+    fn parse_accepts_display_forms() {
+        assert_eq!("3/7".parse::<Rat>().unwrap(), r(3, 7));
+        assert_eq!("6/14".parse::<Rat>().unwrap(), r(3, 7));
+        assert_eq!("5".parse::<Rat>().unwrap(), r(5, 1));
+        assert_eq!("0".parse::<Rat>().unwrap(), Rat::zero());
+        for bad in ["", "/", "3/", "/7", "3/0", "-1/2", "1.5", "a/b", "1/2/3"] {
+            assert!(bad.parse::<Rat>().is_err(), "{bad:?} should not parse");
+        }
     }
 }

@@ -1,8 +1,22 @@
 //! Property-based tests for `bagcq-arith`, cross-checking the bignum
 //! implementation against native `u128` arithmetic and algebraic laws.
 
-use bagcq_arith::{CertOrd, Magnitude, Nat, Rat};
+use bagcq_arith::{CertOrd, Int, Magnitude, Nat, Rat};
 use proptest::prelude::*;
+
+// The vendored proptest has no tuple-strategy impls, so numerator and
+// denominator both come out of one `u128` draw.
+fn rat() -> impl Strategy<Value = Rat> {
+    any::<u128>().prop_map(|v| Rat::from_u64s(v as u64, ((v >> 64) as u64).max(1)))
+}
+
+fn rat_pos() -> impl Strategy<Value = Rat> {
+    any::<u128>().prop_map(|v| Rat::from_u64s((v as u64).max(1), ((v >> 64) as u64).max(1)))
+}
+
+fn int_small() -> impl Strategy<Value = (Int, i64)> {
+    (-(1i64 << 40)..(1i64 << 40)).prop_map(|v| (Int::from_i64(v), v))
+}
 
 fn nat_small() -> impl Strategy<Value = (Nat, u128)> {
     any::<u64>().prop_map(|v| (Nat::from_u64(v), v as u128))
@@ -156,5 +170,92 @@ proptest! {
         let truth = Magnitude::exact(Nat::from_u128(av as u128 + bv as u128));
         let ord = s.cmp_cert(&truth);
         prop_assert!(ord == CertOrd::Unknown || ord == CertOrd::Equal);
+    }
+
+    // ---- Rat: commutative semiring laws, order, parsing ----------------
+
+    #[test]
+    fn rat_semiring_laws(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a + &Rat::zero(), a.clone());
+        prop_assert_eq!(&a * &Rat::one(), a.clone());
+        prop_assert_eq!(&a * &Rat::zero(), Rat::zero());
+    }
+
+    #[test]
+    fn rat_recip_is_multiplicative_inverse(a in rat_pos()) {
+        prop_assert_eq!(&a * &a.recip(), Rat::one());
+        prop_assert_eq!(a.recip().recip(), a);
+    }
+
+    #[test]
+    fn rat_order_respects_arithmetic(a in rat(), b in rat(), c in rat()) {
+        // Total order consistent with + and with · by positives.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a <= b {
+            prop_assert!(&a + &c <= &b + &c);
+            if !c.is_zero() {
+                prop_assert!(&a * &c <= &b * &c);
+            }
+        }
+    }
+
+    #[test]
+    fn rat_ordering_consistent_with_cmp_scaled(a in rat(), n in 0u64..10_000, d in 1u64..10_000) {
+        // a ⋛ n/d  ⇔  n ⋛ a·d, i.e. Ord and cmp_scaled agree.
+        let q = Rat::from_u64s(n, d);
+        let via_scaled = a.cmp_scaled(&Nat::from_u64(n), &Nat::from_u64(d)).reverse();
+        prop_assert_eq!(a.cmp(&q), via_scaled);
+    }
+
+    #[test]
+    fn rat_display_parse_roundtrip(a in rat()) {
+        let back: Rat = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    // ---- Int: ring laws against native i128, parsing -------------------
+
+    #[test]
+    fn int_ring_matches_i128((a, av) in int_small(), (b, bv) in int_small(), (c, cv) in int_small()) {
+        let from = |v: i128| {
+            let mag = Nat::from_u128(v.unsigned_abs());
+            if v < 0 { -Int::from_nat(mag) } else { Int::from_nat(mag) }
+        };
+        prop_assert_eq!(&a + &b, from(av as i128 + bv as i128));
+        prop_assert_eq!(&a - &b, from(av as i128 - bv as i128));
+        prop_assert_eq!(&a * &b, from(av as i128 * bv as i128));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&(&a + &b) + &c, from(av as i128 + bv as i128 + cv as i128));
+        prop_assert_eq!(&a + &(-a.clone()), Int::zero());
+    }
+
+    #[test]
+    fn int_display_parse_roundtrip((a, _) in int_small()) {
+        let back: Int = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn int_pow_matches_iterated_mul((a, _) in int_small(), e in 0u64..5) {
+        let mut expect = Int::one();
+        for _ in 0..e {
+            expect = &expect * &a;
+        }
+        prop_assert_eq!(a.pow_u64(e), expect);
+    }
+
+    // ---- Magnitude: algebraic laws hold up to certified ordering --------
+
+    #[test]
+    fn magnitude_mul_commutes(av in 1u64.., bv in 1u64..) {
+        let a = Magnitude::exact_with_budget(Nat::from_u64(av), 8);
+        let b = Magnitude::exact_with_budget(Nat::from_u64(bv), 8);
+        let ord = a.mul(&b).cmp_cert(&b.mul(&a));
+        prop_assert!(ord == CertOrd::Equal || ord == CertOrd::Unknown);
     }
 }

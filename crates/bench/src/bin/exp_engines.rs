@@ -2,12 +2,16 @@
 //! wall-clock timings; the criterion bench `bench_homcount` produces the
 //! statistically rigorous version.
 
-use bagcq_bench::{digraph_schema, fmt_count, query_families, random_digraph, row, sep};
+use bagcq_bench::{
+    digraph_schema, emit_trace_section, fmt_count, query_families, random_digraph, row, sep,
+    start_trace_from_args,
+};
 use bagcq_core::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
+    let trace = start_trace_from_args();
     let schema = digraph_schema();
     println!("## E-PERF1 — naive vs tree-decomposition #Hom");
     println!();
@@ -164,4 +168,6 @@ fn main() {
     assert_eq!(m.journal_resumes, 3);
     println!();
     print!("{}", m.render());
+
+    emit_trace_section(trace);
 }

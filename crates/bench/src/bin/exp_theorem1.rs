@@ -2,7 +2,7 @@
 //! the Hilbert corpus: root existence ⇔ database witness existence, with
 //! the Appendix B chain in between.
 
-use bagcq_bench::{journaled_backward_sweep, row, sep};
+use bagcq_bench::{emit_trace_section, journaled_backward_sweep, row, sep, start_trace_from_args};
 use bagcq_core::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -88,6 +88,7 @@ fn engine_sweep(red: &Theorem1Reduction, bound: u64, opts: &EvalOptions) -> (usi
 }
 
 fn main() {
+    let trace = start_trace_from_args();
     println!("## E-B / E-T1 — Hilbert corpus through Appendix B + Theorem 1");
     row(&[
         "instance".into(),
@@ -199,4 +200,6 @@ fn main() {
 
     println!();
     println!("Theorem 1 equivalence verified across the corpus.");
+
+    emit_trace_section(trace);
 }

@@ -115,6 +115,49 @@ pub fn journaled_backward_sweep(
     }
 }
 
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag from the command
+/// line and starts a [`TraceSession`] at that path. Returns `None` — and
+/// leaves the tracer disabled, its cost one relaxed load per
+/// instrumentation site — when the flag is absent.
+pub fn start_trace_from_args() -> Option<TraceSession> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let path = args.next().expect("--trace requires a path argument");
+            return Some(TraceSession::start(path));
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(TraceSession::start(p.to_string()));
+        }
+    }
+    None
+}
+
+/// Prints the `E-TRACE` summary section (per-stage latency histograms)
+/// and commits the session's trace files. No-op when `session` is `None`
+/// (the binary ran without `--trace`), so golden output stays stable.
+pub fn emit_trace_section(session: Option<TraceSession>) {
+    let Some(session) = session else { return };
+    println!();
+    println!("## E-TRACE — per-stage span latencies (process-wide tracer)");
+    println!();
+    let stats = bagcq_core::obs::stage_snapshot();
+    print!("{}", bagcq_core::obs::render_stage_report(&stats));
+    match session.finish() {
+        Ok(report) => {
+            println!();
+            println!(
+                "trace committed: {} spans + {} instants -> {} (Perfetto) and {} (JSONL)",
+                report.spans,
+                report.instants,
+                report.chrome_path.display(),
+                report.jsonl_path.display()
+            );
+        }
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
+}
+
 /// Formats a potentially huge count compactly.
 pub fn fmt_count(n: &Nat) -> String {
     let s = n.to_string();

@@ -1,0 +1,100 @@
+//! Golden snapshot tests for the experiment binaries.
+//!
+//! Each test runs a binary, normalizes the few environment-dependent
+//! lines out of its stdout, and compares against a checked-in snapshot
+//! under `tests/golden/`. Regenerate after an intentional output change
+//! with:
+//!
+//! ```text
+//! BAGCQ_BLESS=1 cargo test -p bagcq-bench --test golden_exp
+//! ```
+//!
+//! (`exp_engines` is deliberately absent: its tables quote wall-clock
+//! timings, which no normalization short of deleting the tables would
+//! stabilize. Those paths are covered by `trace_smoke.rs` instead.)
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Runs a binary and returns its stdout; stderr is surfaced on failure.
+fn run(bin: &str, envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(bin);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("experiment binary runs");
+    assert!(out.status.success(), "{bin} failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Compares `actual` against the snapshot, or rewrites the snapshot when
+/// `BAGCQ_BLESS=1`. The diff shows the first divergent line to keep
+/// failures readable.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BAGCQ_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {path:?} ({e}); run with BAGCQ_BLESS=1 to create it")
+    });
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(a, e, "{name} diverges at line {}", i + 1);
+    }
+    panic!(
+        "{name}: line counts differ ({} actual vs {} expected)",
+        actual.lines().count(),
+        expected.lines().count()
+    );
+}
+
+#[test]
+fn exp_gadgets_output_is_stable() {
+    // Fully deterministic: seeded falsification sweeps, exact counts.
+    assert_golden("exp_gadgets.txt", &run(env!("CARGO_BIN_EXE_exp_gadgets"), &[]));
+}
+
+#[test]
+fn exp_theorem1_output_is_stable() {
+    let dir = std::env::temp_dir().join(format!("bagcq-golden-t1-{}", std::process::id()));
+    let out = run(
+        env!("CARGO_BIN_EXE_exp_theorem1"),
+        &[("BAGCQ_JOURNAL_DIR", dir.to_str().expect("utf8 temp path"))],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_golden("exp_theorem1.txt", &normalize_theorem1(&out));
+}
+
+/// Rewrites the two environment-dependent spots in `exp_theorem1` output:
+/// the journal directory (a temp path here, `target/sweep-journals` for a
+/// user run) and the cache-hits column of the engine-routed table (the
+/// single-flight dedup vs. plain cache-hit split depends on worker
+/// scheduling even though the total work never changes).
+fn normalize_theorem1(out: &str) -> String {
+    out.lines()
+        .map(|line| {
+            if let Some(rest) = line.strip_prefix("(crash-safe: each point is journaled under ") {
+                let tail = rest.split_once(';').map(|(_, t)| t).unwrap_or("");
+                format!("(crash-safe: each point is journaled under <journal-dir>;{tail}")
+            } else if line.ends_with("| ok |") {
+                // `| instance | decisions | cache hits | deadline demo |`
+                let cells: Vec<&str> = line.split('|').collect();
+                assert_eq!(cells.len(), 6, "unexpected engine-table row: {line}");
+                format!("|{}|{}| <cache-hits> |{}|", cells[1], cells[2], cells[4])
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}

@@ -154,6 +154,7 @@ impl ContainmentChecker {
         q_b: &Query,
         counter: &TryCountFn<'_, E>,
     ) -> Result<Verdict, E> {
+        let _span = bagcq_obs::span("containment.check", "pipeline");
         let one_or_less = self.multiplier <= Rat::one();
 
         // --- Certificates ---

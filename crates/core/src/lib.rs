@@ -56,6 +56,7 @@ pub use bagcq_containment as containment;
 pub use bagcq_engine as engine;
 pub use bagcq_hilbert as hilbert;
 pub use bagcq_homcount as homcount;
+pub use bagcq_obs as obs;
 pub use bagcq_polynomial as polynomial;
 pub use bagcq_query as query;
 pub use bagcq_reduction as reduction;
@@ -71,7 +72,7 @@ pub mod prelude {
     pub use bagcq_engine::{
         BreakerConfig, CachedCounter, CountError, EngineConfig, EvalEngine, FailFast,
         FaultInjector, FaultKind, FaultPlan, Job, JobHandle, JobSpec, MetricsSnapshot, Outcome,
-        RetryPolicy, SweepJournal,
+        RetryPolicy, SweepJournal, TraceReport, TraceSession,
     };
     pub use bagcq_hilbert::{by_name as hilbert_instance, library as hilbert_library, reduce};
     pub use bagcq_homcount::{
@@ -79,6 +80,7 @@ pub mod prelude {
         output_contained_on, verify_onto_hom, AnswerBag, Engine, EvalOptions, NaiveCounter,
         TreewidthCounter,
     };
+    pub use bagcq_obs::StageStats;
     pub use bagcq_polynomial::{Lemma11Instance, Monomial, Polynomial};
     pub use bagcq_query::{
         cycle_query, free_constants, grid_query, parse_query, parse_query_infer, path_query,

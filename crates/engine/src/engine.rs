@@ -44,10 +44,12 @@ use crate::fault::FaultInjector;
 use crate::job::{count_fingerprint, Job, JobHandle, JobSpec, JobState, Outcome};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::retry::RetryPolicy;
+use crate::trace::{fp_bits, outcome_label};
 use bagcq_arith::{Magnitude, Nat};
 use bagcq_homcount::{
     try_count_with, CancelReason, CancelToken, Cancelled, CheckpointHook, Engine, EvalControl,
 };
+use bagcq_obs as obs;
 use bagcq_query::Query;
 use bagcq_structure::Structure;
 use std::any::Any;
@@ -208,6 +210,13 @@ impl Shared {
         ctl: &EvalControl,
     ) -> Result<Nat, CountError> {
         self.count_checkpoint("engine/count")?;
+        let _span = obs::span(
+            "engine.count",
+            match engine {
+                Engine::Naive => "naive",
+                Engine::Treewidth => "treewidth",
+            },
+        );
         let n = try_count_with(engine, q, d, ctl)?;
         if self.config.cross_validate {
             let other = match engine {
@@ -363,6 +372,7 @@ impl Shared {
     /// returns an outcome; never panics outward.
     fn execute_resilient(&self, item: &WorkItem) -> Outcome {
         let fp = item.spec.fingerprint();
+        let _span = obs::span_fp("engine.execute", item.spec.kind(), fp_bits(&fp));
         let salt = fp.hi ^ fp.lo;
         let mut engine_override: Option<Engine> = None;
         let mut attempt: u32 = 0;
@@ -481,6 +491,13 @@ impl Drop for PublishGuard<'_> {
 }
 
 fn process(shared: &Shared, item: WorkItem) {
+    // The dequeue → count → publish span; enqueue time is the gap between
+    // the `engine.enqueue` instant with the same fingerprint and this.
+    let _span = if obs::enabled() {
+        obs::span_fp("engine.process", item.spec.kind(), fp_bits(&item.spec.fingerprint()))
+    } else {
+        None
+    };
     let guard = PublishGuard { state: &item.state, metrics: &shared.metrics };
     let expired = item.deadline.is_some_and(|d| Instant::now() >= d);
     let outcome = if expired {
@@ -526,6 +543,7 @@ fn process(shared: &Shared, item: WorkItem) {
     }
     shared.metrics.job_completed();
     shared.metrics.observe_latency(item.submitted.elapsed());
+    obs::instant("engine.publish", outcome_label(&outcome));
     guard.publish(outcome);
 }
 
@@ -623,6 +641,9 @@ impl EvalEngine {
             submitted,
         };
         self.shared.metrics.job_submitted();
+        if obs::enabled() {
+            obs::instant_fp("engine.enqueue", item.spec.kind(), fp_bits(&item.spec.fingerprint()));
+        }
         self.tx
             .as_ref()
             .expect("engine is live until dropped")

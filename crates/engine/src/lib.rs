@@ -64,6 +64,12 @@ mod job;
 mod journal;
 mod metrics;
 mod retry;
+pub mod trace;
+
+/// The process-global tracer this engine is instrumented with
+/// (re-exported so drivers can enable/inspect it without a separate
+/// dependency edge).
+pub use bagcq_obs as obs;
 
 pub use breaker::{BreakerConfig, FailFast};
 pub use engine::{CachedCounter, CountError, EngineConfig, EvalEngine};
@@ -72,3 +78,4 @@ pub use job::{Job, JobHandle, JobSpec, Outcome};
 pub use journal::SweepJournal;
 pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};
 pub use retry::RetryPolicy;
+pub use trace::{TraceReport, TraceSession};

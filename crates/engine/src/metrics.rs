@@ -9,6 +9,7 @@
 //!
 //! [`render`]: MetricsSnapshot::render
 
+use bagcq_obs::StageStats;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -82,25 +83,30 @@ impl Metrics {
 
     pub(crate) fn retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.resilience", "retry");
     }
 
     pub(crate) fn fallback_taken(&self) {
         self.fallbacks_taken.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.resilience", "fallback");
     }
 
     pub(crate) fn breaker_transitions_add(&self, n: u64) {
         if n != 0 {
             self.breaker_transitions.fetch_add(n, Ordering::Relaxed);
+            bagcq_obs::instant("engine.resilience", "breaker_transition");
         }
     }
 
     pub(crate) fn breaker_rejection(&self) {
         self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.resilience", "breaker_rejection");
     }
 
     pub(crate) fn journal_resumes_add(&self, n: u64) {
         if n != 0 {
             self.journal_resumes.fetch_add(n, Ordering::Relaxed);
+            bagcq_obs::instant("engine.resilience", "journal_resume");
         }
     }
 
@@ -131,6 +137,7 @@ impl Metrics {
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
             journal_resumes: self.journal_resumes.load(Ordering::Relaxed),
             latency_us,
+            stages: bagcq_obs::stage_snapshot(),
         }
     }
 }
@@ -183,6 +190,11 @@ pub struct MetricsSnapshot {
     /// Log₂ latency histogram: bucket `i` counts jobs that took
     /// `[2^(i-1), 2^i)` microseconds end to end.
     pub latency_us: [u64; LATENCY_BUCKETS],
+    /// Per-stage span latency histograms from the process-global tracer
+    /// ([`bagcq_obs`]). Empty unless tracing was enabled — the tracer is
+    /// process-wide, so these aggregate *all* instrumented activity, not
+    /// just this engine's.
+    pub stages: Vec<StageStats>,
 }
 
 impl MetricsSnapshot {
@@ -251,6 +263,10 @@ impl fmt::Display for MetricsSnapshot {
             } else {
                 writeln!(f, "    [{lo}us, {}us): {n}", 1u64 << i)?;
             }
+        }
+        if !self.stages.is_empty() {
+            writeln!(f, "  stages   (process-wide tracer)")?;
+            write!(f, "{}", bagcq_obs::render_stage_report(&self.stages))?;
         }
         Ok(())
     }

@@ -93,6 +93,7 @@ pub fn count(q: &Query, d: &Structure) -> Nat {
 /// Ignores any budget/token in `opts` (it cannot report cancellation);
 /// use [`try_eval_power_query`] to evaluate under controls.
 pub fn eval_power_query(pq: &PowerQuery, d: &Structure, opts: &EvalOptions) -> Magnitude {
+    let _span = bagcq_obs::span("homcount.power", "eval");
     let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
     for f in pq.factors() {
         let base = count_with(opts.engine, &f.base, d);
@@ -111,6 +112,7 @@ pub fn try_eval_power_query(
     opts: &EvalOptions,
 ) -> Result<Magnitude, Cancelled> {
     let ctl = opts.control();
+    let _span = bagcq_obs::span("homcount.power", "eval");
     let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
     for f in pq.factors() {
         ctl.checkpoint("homcount/power-factor")?;

@@ -36,6 +36,7 @@ impl NaiveCounter {
     /// returns [`Cancelled`] once the step budget runs out or the token
     /// trips (polled every ~1024 backtracking steps).
     pub fn try_count(&self, q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
+        let _span = bagcq_obs::span("homcount.naive", "backtrack");
         let comps = components(q);
 
         // Ground atoms/inequalities gate the whole count.

@@ -89,6 +89,7 @@ fn decompose_component(
     ineq_idx: &[usize],
     vars: &[u32],
 ) -> (TreeDecomposition, HashMap<u32, u32>) {
+    let _span = bagcq_obs::span("homcount.treedec", "min-fill");
     let local: HashMap<u32, u32> = vars.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
     let n = vars.len() as u32;
     let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n as usize];
@@ -135,6 +136,7 @@ fn count_component(
     vars: &[u32],
     ticker: &mut Ticker<'_>,
 ) -> Result<Nat, Cancelled> {
+    let _span = bagcq_obs::span("homcount.bagsweep", "dp");
     let (td, local) = decompose_component(q, atom_idx, ineq_idx, vars);
     let global: Vec<u32> = vars.to_vec(); // local index -> global var id
 

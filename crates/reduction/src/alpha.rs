@@ -19,6 +19,11 @@ use bagcq_arith::Rat;
 /// `p = 2c−1 ≥ 3` as Lemma 5 needs).
 pub fn alpha_gadget(c: u64, prefix: &str) -> MultiplyGadget {
     assert!(c >= 2, "alpha gadget needs c >= 2 (p = 2c-1 >= 3)");
+    let _span = if bagcq_obs::enabled() {
+        bagcq_obs::span("reduction.gadget", &format!("alpha(c={c})"))
+    } else {
+        None
+    };
     let p = (2 * c - 1) as usize;
     let m = p + 1;
     let beta = beta_gadget(p, &format!("{prefix}b"));

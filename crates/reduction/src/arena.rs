@@ -99,6 +99,7 @@ pub struct Theorem1Reduction {
 impl Theorem1Reduction {
     /// Runs the reduction. The instance must validate.
     pub fn new(instance: Lemma11Instance) -> Self {
+        let _span = bagcq_obs::span("reduction.build", "theorem1");
         instance.validate().expect("invalid Lemma 11 instance");
         let mm = instance.monomials.len(); // 𝕞
         let nn = instance.n_vars as usize; // 𝕟

@@ -23,6 +23,11 @@ use std::sync::Arc;
 /// are later composed with).
 pub fn beta_gadget(p: usize, prefix: &str) -> MultiplyGadget {
     assert!(p >= 3, "Lemma 5 needs arity p >= 3");
+    let _span = if bagcq_obs::enabled() {
+        bagcq_obs::span("reduction.gadget", &format!("beta(p={p})"))
+    } else {
+        None
+    };
     let mut b = SchemaBuilder::default();
     let r = b.relation(&format!("{prefix}R"), p);
     let mars = b.constant(MARS);

@@ -34,6 +34,11 @@ fn add_cycliq_u_atoms(qb: &mut QueryBuilder, p_rel: RelId, u_rel: RelId, args: &
 /// `{prefix}A`, `{prefix}B`.
 pub fn gamma_gadget(m: usize, prefix: &str) -> MultiplyGadget {
     assert!(m >= 2, "Lemma 10 needs m >= 2");
+    let _span = if bagcq_obs::enabled() {
+        bagcq_obs::span("reduction.gadget", &format!("gamma(m={m})"))
+    } else {
+        None
+    };
     let mut b = SchemaBuilder::default();
     let p_rel = b.relation(&format!("{prefix}P"), m);
     let a_rel = b.relation(&format!("{prefix}A"), 1);

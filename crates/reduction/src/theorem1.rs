@@ -58,6 +58,7 @@ impl Theorem1Reduction {
     /// a point is self-contained, so a killed sweep resumes at the next
     /// unrecorded valuation.
     pub fn sweep_point(&self, val: &[u64], opts: &EvalOptions) -> Result<usize, String> {
+        let _span = bagcq_obs::span("reduction.sweep_point", "point");
         let mut checked = 0usize;
         let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
         let poly_holds = self.instance.holds_at(&nat_val);

@@ -107,6 +107,34 @@ proptest! {
         }
     }
 
+    /// Differential: counts routed through the batched evaluation engine
+    /// are bit-identical to a direct naive count — with the tracer
+    /// *enabled*, so the span-instrumented code paths (enqueue → process
+    /// → count → publish, plus both homcount engines under
+    /// cross-validation) are exactly the paths being exercised.
+    #[test]
+    fn engine_batched_counts_match_naive(qseed in 0u64..3000, dseed in 0u64..3000) {
+        bagcq_core::obs::enable();
+        let q = rand_query(qseed, 3, 3);
+        let d = Arc::new(rand_structure(dseed));
+        let direct = count_with(Engine::Naive, &q, &d);
+        let engine = EvalEngine::new(EngineConfig {
+            cross_validate: true,
+            ..EngineConfig::default()
+        });
+        // Submitted twice: one computed, one answered by the
+        // single-flight memo cache; both must equal the direct count.
+        let handles = engine.submit_batch(vec![
+            Job::count(q.clone(), Arc::clone(&d)),
+            Job::count(q.clone(), Arc::clone(&d)),
+        ]);
+        for h in &handles {
+            let out = h.wait();
+            prop_assert_eq!(out.as_count(), Some(&direct), "engine diverges from naive");
+        }
+        prop_assert!(engine.metrics().cross_validations > 0);
+    }
+
     /// Refuted verdicts always carry verified counts.
     #[test]
     fn refutations_verified(s1 in 0u64..500, s2 in 0u64..500) {
