@@ -247,8 +247,35 @@ impl Nat {
     ///
     /// Uses binary exponentiation; the result can of course be huge —
     /// callers that need a bound should use [`Nat::checked_pow`].
+    ///
+    /// Unlike routing through `checked_pow(exp, u64::MAX)`, this has no
+    /// failure path at all: that route *did* fail (and used to panic on an
+    /// `expect`) whenever `bits(self)·exp` overflowed `u64`, because the
+    /// a-priori bound check cannot distinguish "unsizeable" from "over
+    /// budget". Counting code that can meet hostile sizes must use
+    /// [`Nat::checked_pow`] and handle `None`; this method is for callers
+    /// whose exponents are small by construction.
     pub fn pow_u64(&self, exp: u64) -> Nat {
-        self.checked_pow(exp, u64::MAX).expect("unbounded pow cannot fail")
+        if exp == 0 || self.is_one() {
+            return Nat::one();
+        }
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        let mut base = self.clone();
+        let mut acc = Nat::one();
+        let mut e = exp;
+        loop {
+            if e & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            base = base.mul_ref(&base);
+        }
+        acc
     }
 
     /// `self^exp`, refusing to produce more than `max_bits` bits.
@@ -820,6 +847,21 @@ mod tests {
         assert_eq!(n(2).checked_pow(100, 200), Some(Nat::pow2(100)));
         // 1^anything never exceeds any budget.
         assert_eq!(Nat::one().checked_pow(u64::MAX, 1), Some(Nat::one()));
+    }
+
+    #[test]
+    fn checked_pow_unsizeable_result_is_none_not_panic() {
+        // bits(base)·exp overflows u64: the result would need more than
+        // 2^64 bits, so no budget — not even u64::MAX — admits it. The old
+        // `pow_u64` routed through this path and panicked on an `expect`;
+        // now it must be a plain `None` for every budget.
+        let base = Nat::pow2(40); // 41 bits
+        assert_eq!(base.checked_pow(u64::MAX, u64::MAX), None);
+        assert_eq!(base.checked_pow(u64::MAX / 2, 1 << 20), None);
+        // pow_u64 itself no longer consults the budget machinery, so huge
+        // exponents on trivial bases stay total.
+        assert_eq!(Nat::one().pow_u64(u64::MAX), Nat::one());
+        assert_eq!(Nat::zero().pow_u64(u64::MAX), Nat::zero());
     }
 
     #[test]

@@ -169,5 +169,74 @@ fn main() {
     println!();
     print!("{}", m.render());
 
+    println!();
+    println!("## E-OVERLOAD — the serving layer under a 10x-capacity burst");
+    println!();
+    println!("One worker, a bounded queue of 4 under RejectNewest, and a burst of 40");
+    println!("jobs while the worker is stalled: the excess is shed with typed");
+    println!("outcomes (never hangs, never grows the queue), every admitted job's");
+    println!("count matches the direct evaluation, and a graceful drain resolves");
+    println!("everything by its deadline.");
+    const CAPACITY: usize = 4;
+    // A plan whose only fault is one 60ms stall at the first checkpoint:
+    // it pins the worker so the burst actually overloads the queue.
+    let stall = FaultInjector::new(FaultPlan {
+        latency: std::time::Duration::from_millis(60),
+        ..FaultPlan::seeded(0)
+            .with_kinds(&[FaultKind::Latency])
+            .with_rate_per_mille(1000)
+            .with_max_faults(1)
+    });
+    let serving = EvalEngine::new(EngineConfig {
+        workers: 1,
+        admission: AdmissionConfig { capacity: CAPACITY, policy: AdmissionPolicy::RejectNewest },
+        memory_budget_bytes: 1 << 20,
+        fault: Some(stall),
+        ..EngineConfig::default()
+    });
+    let q = path_query(&schema, "E", 2);
+    let want = count(&q, &d);
+    let burst: Vec<_> =
+        (0..10 * CAPACITY).map(|_| serving.submit(Job::count(q.clone(), Arc::clone(&d)))).collect();
+    let (mut served, mut shed) = (0u64, 0u64);
+    for handle in &burst {
+        match handle.wait() {
+            Outcome::Count(n) => {
+                assert_eq!(n, want, "overload corrupted an admitted count");
+                served += 1;
+            }
+            Outcome::Shed(reason) => {
+                assert_eq!(reason, ShedReason::QueueFull);
+                shed += 1;
+            }
+            other => panic!("unexpected outcome under burst: {other:?}"),
+        }
+    }
+    println!();
+    println!("burst of {}: served={served} shed={shed} (typed, accounted)", 10 * CAPACITY);
+    let report = serving.drain(std::time::Duration::from_secs(5));
+    assert!(report.met_deadline && report.stragglers == 0, "drain must not lose jobs: {report:?}");
+    println!(
+        "drain: completed={} shed={} stragglers={} met_deadline={} in {:.2?}",
+        report.completed, report.shed, report.stragglers, report.met_deadline, report.elapsed
+    );
+    let m = serving.metrics();
+    assert_eq!(m.jobs_completed, m.jobs_submitted, "every job resolves exactly once");
+    assert_eq!(m.jobs_shed, shed);
+    assert_eq!(m.health, EngineHealth::Draining);
+    println!();
+    print!("{}", m.render());
+
+    // The engine-wide byte budget fails Nat-heavy evaluations typed — a
+    // starved account refuses the very first component count.
+    let starved = EvalEngine::new(EngineConfig {
+        workers: 1,
+        memory_budget_bytes: 1,
+        ..EngineConfig::default()
+    });
+    let err = starved.cached_counter().try_count(&q, &d).expect_err("1-byte budget must refuse");
+    println!();
+    println!("1-byte memory budget refuses the count with a typed error: {err}");
+
     emit_trace_section(trace);
 }

@@ -18,7 +18,9 @@
 //! * a concurrent batched evaluation service with a single-flight memo
 //!   cache, deadlines, continuous dual-engine cross-validation, and a
 //!   resilience layer (deterministic fault injection, retry/backoff,
-//!   engine fallback, circuit breakers, crash-safe sweep journals)
+//!   engine fallback, circuit breakers, crash-safe sweep journals), and
+//!   an overload-safe serving layer (bounded admission, typed load
+//!   shedding, worker supervision, memory budgeting, graceful drain)
 //!   ([`engine`]).
 //!
 //! ## Quickstart
@@ -70,9 +72,10 @@ pub mod prelude {
         Verdict,
     };
     pub use bagcq_engine::{
-        BreakerConfig, CachedCounter, CountError, EngineConfig, EvalEngine, FailFast,
-        FaultInjector, FaultKind, FaultPlan, Job, JobHandle, JobSpec, MetricsSnapshot, Outcome,
-        RetryPolicy, SweepJournal, TraceReport, TraceSession,
+        AdmissionConfig, AdmissionPolicy, BreakerConfig, CachedCounter, CountError, DrainReport,
+        EngineConfig, EngineHealth, EvalEngine, FailFast, FaultInjector, FaultKind, FaultPlan, Job,
+        JobHandle, JobSpec, MetricsSnapshot, Outcome, RetryPolicy, ShedReason, SupervisorConfig,
+        SweepJournal, TraceReport, TraceSession,
     };
     pub use bagcq_hilbert::{by_name as hilbert_instance, library as hilbert_library, reduce};
     pub use bagcq_homcount::{

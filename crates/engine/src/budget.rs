@@ -1,0 +1,155 @@
+//! Per-engine memory budgeting for `Nat`-heavy evaluations.
+//!
+//! The paper's constructions (the `ζ_b`/`δ_b` counts behind Theorem 1)
+//! make it trivial to write jobs whose intermediate big integers dwarf the
+//! machine. A [`MemoryBudget`] is the engine-wide byte account those
+//! evaluations debit through `homcount`'s
+//! [`MemoryGauge`](bagcq_homcount::MemoryGauge) hook: each attempt gets a
+//! [`MemScope`] that charges reservations against the shared account and
+//! releases everything it charged when the attempt ends (success *or*
+//! failure), so one aborted giant does not permanently eat the budget.
+//!
+//! A refused reservation surfaces as the typed
+//! `CancelReason::MemoryBudgetExceeded` — the resilience ladder then takes
+//! the fallback chain (the naive engine holds less intermediate state than
+//! the treewidth DP) and, if that fails too, publishes a failure outcome
+//! instead of letting the allocator abort the process.
+
+use bagcq_homcount::{CancelReason, Cancelled, MemoryGauge};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared byte account for one engine.
+#[derive(Debug)]
+pub(crate) struct MemoryBudget {
+    limit: u64,
+    used: AtomicU64,
+    high_water: AtomicU64,
+    denials: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// A budget of `limit` bytes (callers gate `limit == 0` themselves;
+    /// an engine without a budget simply installs no gauge).
+    pub fn new(limit: u64) -> Arc<Self> {
+        Arc::new(MemoryBudget {
+            limit,
+            used: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+        })
+    }
+
+    /// Reserves `bytes` if the account stays within the limit.
+    fn try_reserve(&self, bytes: u64) -> bool {
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = used.checked_add(bytes) else { return false };
+            if next > self.limit {
+                return false;
+            }
+            match self.used.compare_exchange_weak(used, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.high_water.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the account has ever been.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Reservations refused so far.
+    pub fn denials(&self) -> u64 {
+        self.denials.load(Ordering::Relaxed)
+    }
+
+    /// A per-attempt scope over this account.
+    pub fn scope(self: &Arc<Self>) -> MemScope {
+        MemScope { budget: Arc::clone(self), charged: AtomicU64::new(0) }
+    }
+}
+
+/// One evaluation attempt's view of the shared [`MemoryBudget`]: tracks
+/// what *this attempt* reserved and gives it all back on drop.
+#[derive(Debug)]
+pub(crate) struct MemScope {
+    budget: Arc<MemoryBudget>,
+    charged: AtomicU64,
+}
+
+impl MemoryGauge for MemScope {
+    fn try_reserve(&self, bytes: u64) -> Result<(), Cancelled> {
+        if self.budget.try_reserve(bytes) {
+            self.charged.fetch_add(bytes, Ordering::Relaxed);
+            Ok(())
+        } else {
+            self.budget.denials.fetch_add(1, Ordering::Relaxed);
+            bagcq_obs::instant("engine.budget", "denial");
+            Err(Cancelled(CancelReason::MemoryBudgetExceeded))
+        }
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        let charged = self.charged.load(Ordering::Relaxed);
+        if charged != 0 {
+            self.budget.release(charged);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_accumulate_and_release_on_scope_drop() {
+        let budget = MemoryBudget::new(100);
+        {
+            let scope = budget.scope();
+            assert!(scope.try_reserve(40).is_ok());
+            assert!(scope.try_reserve(40).is_ok());
+            assert_eq!(budget.used(), 80);
+            assert_eq!(scope.try_reserve(40), Err(Cancelled(CancelReason::MemoryBudgetExceeded)));
+            assert_eq!(budget.denials(), 1);
+        }
+        assert_eq!(budget.used(), 0, "scope drop releases everything it charged");
+        assert_eq!(budget.high_water(), 80);
+    }
+
+    #[test]
+    fn scopes_share_one_account() {
+        let budget = MemoryBudget::new(100);
+        let a = budget.scope();
+        let b = budget.scope();
+        assert!(a.try_reserve(60).is_ok());
+        assert!(b.try_reserve(60).is_err(), "the account is engine-wide, not per-scope");
+        drop(a);
+        assert!(b.try_reserve(60).is_ok());
+        assert_eq!(budget.used(), 60);
+    }
+
+    #[test]
+    fn overflowing_reservation_is_a_denial_not_a_wrap() {
+        let budget = MemoryBudget::new(u64::MAX);
+        let scope = budget.scope();
+        assert!(scope.try_reserve(u64::MAX - 1).is_ok());
+        assert!(scope.try_reserve(u64::MAX).is_err());
+    }
+}

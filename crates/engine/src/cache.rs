@@ -97,6 +97,13 @@ pub(crate) struct LeadToken {
     redeemed: bool,
 }
 
+/// The poison outcome a dropped (unredeemed) [`LeadToken`] publishes to
+/// its joiners. Joiners match on this exact message and retry the lookup
+/// instead of surfacing it: the slot was evicted, so one of them becomes
+/// the new leader — a dead worker must not fail the jobs that merely
+/// shared its flight.
+pub(crate) const LEAD_DIED: &str = "cache leader died before completing";
+
 impl Drop for LeadToken {
     fn drop(&mut self) {
         if self.redeemed {
@@ -112,7 +119,7 @@ impl Drop for LeadToken {
                 }
             }
         }
-        self.flight.publish(Outcome::Panicked("cache leader died before completing".to_string()));
+        self.flight.publish(Outcome::Panicked(LEAD_DIED.to_string()));
     }
 }
 

@@ -1,33 +1,59 @@
-//! The worker pool, resilient job execution, and failure classification.
+//! The worker pool, resilient job execution, serving layer, and failure
+//! classification.
 //!
 //! [`EvalEngine`] owns a fixed pool of named worker threads that drain a
-//! shared channel of submitted jobs. Each worker:
+//! bounded admission queue of submitted jobs, plus a supervisor thread
+//! that keeps the pool alive. Each worker:
 //!
-//! 1. asks the job kind's circuit breaker for admission (an open breaker
+//! 1. under [`AdmissionPolicy::ShedExpired`], drops a dequeued job whose
+//!    deadline already passed while it sat queued
+//!    ([`Outcome::Shed`]) instead of burning a worker on it;
+//! 2. asks the job kind's circuit breaker for admission (an open breaker
 //!    fails fast with [`Outcome::FailedFast`] instead of burning a worker
 //!    on a kind that keeps failing);
-//! 2. consults the sharded single-flight [`MemoCache`] under the job's
+//! 3. consults the sharded single-flight [`MemoCache`] under the job's
 //!    content fingerprint (hit → answer immediately; in-flight → join the
 //!    existing computation, bounded by this job's *own* deadline);
-//! 3. otherwise leads: runs the evaluation through the **resilience
+//! 4. otherwise leads: runs the evaluation through the **resilience
 //!    ladder** below and publishes the outcome — failures
 //!    ([`Outcome::TimedOut`], [`Outcome::Panicked`],
-//!    [`Outcome::FailedFast`]) reach current waiters but are never
-//!    cached, and a panicking evaluation never poisons the pool.
+//!    [`Outcome::FailedFast`], [`Outcome::Shed`]) reach current waiters
+//!    but are never cached, and a panicking evaluation never poisons the
+//!    pool.
+//!
+//! # The serving layer
+//!
+//! Submission passes through a [`BoundedQueue`] governed by
+//! [`EngineConfig::admission`]; a refused job resolves to
+//! [`Outcome::Shed`] with a typed [`ShedReason`] rather than blocking the
+//! engine or vanishing. A supervisor thread polls worker liveness and —
+//! within [`SupervisorConfig::restart_budget`] — restarts dead workers
+//! with exponential backoff, requeueing the job the dead worker was
+//! holding (once) so a killed worker costs latency, not answers. Big
+//! integer evaluation state is debited against
+//! [`EngineConfig::memory_budget_bytes`] through `homcount`'s
+//! [`MemoryGauge`](bagcq_homcount::MemoryGauge) hook, so an evaluation
+//! that would dwarf memory fails with a typed error instead of taking the
+//! process down. [`EvalEngine::drain`] stops admission and winds the
+//! engine down by a caller-supplied deadline, shedding what cannot
+//! finish.
 //!
 //! # The resilience ladder
 //!
 //! Every attempt is classified into the failure taxonomy:
 //!
-//! * **terminal** — the job's own wall-clock deadline tripped, or a
+//! * **terminal** — the job's own wall-clock deadline tripped, a
 //!   dual-engine cross-validation mismatch was detected (deterministic;
-//!   retrying reproduces it). Deadline → [`Outcome::TimedOut`], mismatch
-//!   → [`Outcome::Panicked`].
-//! * **exhaustion** — the cooperative step budget ran out. Retrying the
-//!   same engine against the same budget is futile, but the *other*
-//!   engine may finish within it, so the worker takes the fallback chain
-//!   (treewidth → naive) once, then gives up with
-//!   [`Outcome::TimedOut`].
+//!   retrying reproduces it), or the engine is hard-stopping a drain.
+//!   Deadline/drain → [`Outcome::TimedOut`], mismatch →
+//!   [`Outcome::Panicked`].
+//! * **exhaustion** — the cooperative step budget ran out, or the memory
+//!   budget refused a reservation. Retrying the same engine against the
+//!   same budget is futile, but the *other* engine may fit (the naive
+//!   engine holds less intermediate state than the treewidth DP), so the
+//!   worker takes the fallback chain (treewidth → naive) once, then gives
+//!   up — step exhaustion as [`Outcome::TimedOut`], memory exhaustion as
+//!   [`Outcome::Panicked`] with a budget message.
 //! * **transient** — a spurious cancellation (one no token requested), a
 //!   typed transient counter error, or a panic. The worker retries under
 //!   [`RetryPolicy`] with exponential backoff and deterministic jitter
@@ -38,12 +64,15 @@
 //! same cache under the same key a direct [`JobSpec::Count`] job would
 //! use, so mixed workloads share work across job kinds.
 
+use crate::admission::{AdmissionConfig, AdmissionPolicy, BoundedQueue};
 use crate::breaker::{Admit, Breaker, BreakerConfig, Signal};
+use crate::budget::MemoryBudget;
 use crate::cache::{Lookup, MemoCache};
-use crate::fault::FaultInjector;
-use crate::job::{count_fingerprint, Job, JobHandle, JobSpec, JobState, Outcome};
+use crate::fault::{FaultInjector, WorkerKillMarker};
+use crate::job::{count_fingerprint, Job, JobHandle, JobSpec, JobState, Outcome, ShedReason};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::retry::RetryPolicy;
+use crate::supervisor::{EngineHealth, SupervisorConfig};
 use crate::trace::{fp_bits, outcome_label};
 use bagcq_arith::{Magnitude, Nat};
 use bagcq_homcount::{
@@ -55,9 +84,16 @@ use bagcq_structure::Structure;
 use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How many times a job may be recovered from a dying worker before it
+/// fails fast with the poison [`Outcome::Panicked`]. A job that kills
+/// every worker it touches must not chew through the whole restart
+/// budget.
+const MAX_JOB_DEATHS: u32 = 2;
 
 /// Configuration for an [`EvalEngine`].
 #[derive(Clone, Debug)]
@@ -84,6 +120,18 @@ pub struct EngineConfig {
     /// Deterministic fault injector threaded through every evaluation
     /// (chaos testing). `None` in production.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Admission control: queue capacity and overload policy. The default
+    /// (unbounded queue) preserves the pre-serving-layer behavior.
+    pub admission: AdmissionConfig,
+    /// Worker supervision: liveness polling, restart budget/backoff, and
+    /// whether jobs recovered from dead workers are requeued.
+    pub supervisor: SupervisorConfig,
+    /// Byte budget for big-integer evaluation state, shared by every
+    /// worker (`0` = no budget). Charged through `homcount`'s
+    /// [`MemoryGauge`](bagcq_homcount::MemoryGauge) hook; an evaluation
+    /// that would exceed it fails with a typed error instead of aborting
+    /// the process.
+    pub memory_budget_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +145,9 @@ impl Default for EngineConfig {
             fallback_enabled: true,
             breaker: BreakerConfig::default(),
             fault: None,
+            admission: AdmissionConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -110,8 +161,9 @@ impl Default for EngineConfig {
 /// propagates out of a check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CountError {
-    /// The evaluation was cancelled (deadline, step budget, or a spurious
-    /// injected cancellation — see [`CancelReason`]).
+    /// The evaluation was cancelled (deadline, step budget, memory
+    /// budget, engine shutdown, or a spurious injected cancellation — see
+    /// [`CancelReason`]).
     Cancelled(Cancelled),
     /// Dual-engine cross-validation disagreed: one of the two counting
     /// engines has a bug, and no number can be trusted. Terminal.
@@ -158,13 +210,37 @@ enum JobFailure {
     Panic(String),
 }
 
-/// State shared by the public handle, every worker, and every
-/// [`CachedCounter`].
+/// The checkpoint hook every evaluation runs under: a drain hard-stop
+/// check first, then the configured fault injector (if any).
+struct EngineHook {
+    drain_stop: Arc<AtomicBool>,
+    fault: Option<Arc<FaultInjector>>,
+}
+
+impl CheckpointHook for EngineHook {
+    fn checkpoint(&self, site: &'static str) -> Result<(), Cancelled> {
+        if self.drain_stop.load(Ordering::Relaxed) {
+            return Err(Cancelled(CancelReason::ShuttingDown));
+        }
+        match &self.fault {
+            Some(injector) => injector.checkpoint(site),
+            None => Ok(()),
+        }
+    }
+}
+
+/// State shared by the public handle, every worker, the supervisor, and
+/// every [`CachedCounter`].
 pub(crate) struct Shared {
     cache: MemoCache,
     metrics: Arc<Metrics>,
     config: EngineConfig,
     breakers: BreakerSet,
+    queue: BoundedQueue<WorkItem>,
+    budget: Option<Arc<MemoryBudget>>,
+    drain_stop: Arc<AtomicBool>,
+    hook: Arc<EngineHook>,
+    flush_hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 /// One breaker per job kind (see [`JobSpec::kind`]).
@@ -195,6 +271,9 @@ impl BreakerSet {
 impl Shared {
     /// The engine-level fault checkpoint: fires before every raw count.
     fn count_checkpoint(&self, site: &'static str) -> Result<(), CountError> {
+        if self.drain_stop.load(Ordering::Relaxed) {
+            return Err(CountError::Cancelled(Cancelled(CancelReason::ShuttingDown)));
+        }
         match &self.config.fault {
             Some(injector) => injector.intercept_count(site),
             None => Ok(()),
@@ -310,14 +389,24 @@ impl Shared {
     }
 
     /// The evaluation controls for one attempt: deadline token, step
-    /// budget, and the fault-injection hook (when configured).
+    /// budget, the engine checkpoint hook (drain stop + fault injection),
+    /// and a fresh per-attempt memory scope when a byte budget is
+    /// configured (scopes release what they charged when the attempt
+    /// ends, so a failed giant gives its bytes back).
     fn controls(&self, deadline: Option<Instant>, step_budget: u64) -> EvalControl {
         let token = deadline.map(CancelToken::with_deadline);
-        let hook = self.config.fault.as_ref().map(|f| Arc::clone(f) as Arc<dyn CheckpointHook>);
-        EvalControl::with_hook(step_budget, token, hook)
+        let hook = Some(Arc::clone(&self.hook) as Arc<dyn CheckpointHook>);
+        let mut ctl = EvalControl::with_hook(step_budget, token, hook);
+        if let Some(budget) = &self.budget {
+            ctl = ctl.with_memory_gauge(Arc::new(budget.scope()));
+        }
+        ctl
     }
 
     /// Runs one attempt with panic isolation and classifies the result.
+    /// A [`WorkerKillMarker`] panic is deliberately re-raised: it
+    /// simulates a worker-thread death, which the supervision layer (not
+    /// the resilience ladder) must absorb.
     fn execute_once(
         &self,
         item: &WorkItem,
@@ -330,7 +419,12 @@ impl Shared {
             Ok(Err(CountError::Cancelled(Cancelled(reason)))) => Err(JobFailure::Cancelled(reason)),
             Ok(Err(CountError::Transient(msg))) => Err(JobFailure::Transient(msg)),
             Ok(Err(CountError::Mismatch(msg))) => Err(JobFailure::Mismatch(msg)),
-            Err(payload) => Err(JobFailure::Panic(panic_message(payload))),
+            Err(payload) => {
+                if payload.is::<WorkerKillMarker>() {
+                    std::panic::resume_unwind(payload);
+                }
+                Err(JobFailure::Panic(panic_message(payload)))
+            }
         }
     }
 
@@ -369,7 +463,8 @@ impl Shared {
 
     /// Runs a spec through the full resilience ladder (classification →
     /// retry with backoff → engine fallback → terminal outcome). Always
-    /// returns an outcome; never panics outward.
+    /// returns an outcome; never panics outward — except a
+    /// [`WorkerKillMarker`], which is for the supervisor.
     fn execute_resilient(&self, item: &WorkItem) -> Outcome {
         let fp = item.spec.fingerprint();
         let _span = obs::span_fp("engine.execute", item.spec.kind(), fp_bits(&fp));
@@ -391,6 +486,9 @@ impl Shared {
             match failure {
                 JobFailure::Cancelled(CancelReason::DeadlineExceeded) => return Outcome::TimedOut,
                 JobFailure::Cancelled(_) if deadline_expired => return Outcome::TimedOut,
+                // A drain hard stop: the job cannot finish and must not
+                // retry — the engine is going away.
+                JobFailure::Cancelled(CancelReason::ShuttingDown) => return Outcome::TimedOut,
                 JobFailure::Mismatch(msg) => {
                     // Deterministic: both engines would disagree again.
                     return Outcome::Panicked(format!("cross-validation mismatch: {msg}"));
@@ -405,6 +503,26 @@ impl Shared {
                             self.metrics.fallback_taken();
                         }
                         None => return Outcome::TimedOut,
+                    }
+                }
+                JobFailure::Cancelled(CancelReason::MemoryBudgetExceeded) => {
+                    // Deterministic for a fixed engine, like step-budget
+                    // exhaustion — but the naive engine holds less
+                    // intermediate state than the treewidth DP, so the
+                    // fallback hop is worth one try.
+                    match self.fallback_for(item, engine_override) {
+                        Some(engine) => {
+                            engine_override = Some(engine);
+                            attempt = 0;
+                            self.metrics.fallback_taken();
+                        }
+                        None => {
+                            return Outcome::Panicked(
+                                "memory budget exceeded: the evaluation's big-integer state \
+                                 does not fit the engine's byte budget"
+                                    .to_string(),
+                            )
+                        }
                     }
                 }
                 f @ (JobFailure::Cancelled(CancelReason::Cancelled) | JobFailure::Transient(_)) => {
@@ -462,31 +580,69 @@ struct WorkItem {
     step_budget: u64,
     state: Arc<JobState>,
     submitted: Instant,
+    /// How many workers have already died holding this job.
+    deaths: u32,
 }
 
-/// Publishes a poison outcome if the worker dies between picking up a job
-/// and publishing its result, so `JobHandle::wait()` never hangs on a
+/// Resolves a job the serving layer refused to evaluate: publishes the
+/// typed [`Outcome::Shed`] (if nothing was published yet) and keeps the
+/// submitted/completed accounting balanced.
+fn publish_shed(shared: &Shared, state: &Arc<JobState>, reason: ShedReason) {
+    state.publish_if_pending_with(Outcome::Shed(reason), || {
+        shared.metrics.job_shed(reason);
+        shared.metrics.job_completed();
+    });
+}
+
+/// Keeps a job from vanishing if the worker dies between picking it up
+/// and publishing its result. On an unwinding worker this either requeues
+/// the job for another worker (bounded by [`MAX_JOB_DEATHS`] and
+/// [`SupervisorConfig::requeue_on_death`], never during a drain) or
+/// publishes a poison outcome so `JobHandle::wait()` never hangs on a
 /// dead worker. Disarmed by the normal publish path.
 struct PublishGuard<'a> {
-    state: &'a Arc<JobState>,
-    metrics: &'a Metrics,
+    shared: &'a Shared,
+    item: &'a WorkItem,
 }
 
 impl PublishGuard<'_> {
     fn publish(self, outcome: Outcome) {
-        self.state.publish(outcome);
+        self.item.state.publish(outcome);
         std::mem::forget(self);
     }
 }
 
 impl Drop for PublishGuard<'_> {
     fn drop(&mut self) {
-        if self.state.publish_if_pending(Outcome::Panicked(
-            "worker died before publishing an outcome".to_string(),
-        )) {
-            self.metrics.job_panicked();
-            self.metrics.job_completed();
+        let draining = self.shared.metrics.health() == EngineHealth::Draining
+            || self.shared.drain_stop.load(Ordering::Relaxed);
+        if self.shared.config.supervisor.requeue_on_death
+            && self.item.deaths < MAX_JOB_DEATHS
+            && !draining
+        {
+            let requeued = WorkItem {
+                spec: self.item.spec.clone(),
+                deadline: self.item.deadline,
+                step_budget: self.item.step_budget,
+                state: Arc::clone(&self.item.state),
+                submitted: self.item.submitted,
+                deaths: self.item.deaths + 1,
+            };
+            // Past the capacity bound on purpose: the job was admitted
+            // once already, so bouncing it here would turn a worker death
+            // into job loss.
+            if self.shared.queue.force_push(requeued).is_ok() {
+                self.shared.metrics.job_requeued();
+                return;
+            }
         }
+        self.item.state.publish_if_pending_with(
+            Outcome::Panicked("worker died before publishing an outcome".to_string()),
+            || {
+                self.shared.metrics.job_panicked();
+                self.shared.metrics.job_completed();
+            },
+        );
     }
 }
 
@@ -498,7 +654,7 @@ fn process(shared: &Shared, item: WorkItem) {
     } else {
         None
     };
-    let guard = PublishGuard { state: &item.state, metrics: &shared.metrics };
+    let guard = PublishGuard { shared, item: &item };
     let expired = item.deadline.is_some_and(|d| Instant::now() >= d);
     let outcome = if expired {
         Outcome::TimedOut
@@ -512,13 +668,26 @@ fn process(shared: &Shared, item: WorkItem) {
                 Outcome::FailedFast(ff)
             }
             Admit::Allowed => {
-                let outcome = match shared.cache.begin(item.spec.fingerprint()) {
-                    Lookup::Hit(outcome) => outcome,
-                    Lookup::Join(flight) => flight.wait(item.deadline).unwrap_or(Outcome::TimedOut),
-                    Lookup::Lead(token) => {
-                        let outcome = shared.execute_resilient(&item);
-                        shared.cache.complete(token, outcome.clone());
-                        outcome
+                // Looped for one reason: a joiner whose leader's worker
+                // died wakes with the `LEAD_DIED` poison after the slot
+                // was evicted — it retries the lookup (becoming the new
+                // leader, or joining one) instead of failing a job that
+                // merely shared the dead worker's flight.
+                let outcome = loop {
+                    match shared.cache.begin(item.spec.fingerprint()) {
+                        Lookup::Hit(outcome) => break outcome,
+                        Lookup::Join(flight) => match flight.wait(item.deadline) {
+                            None => break Outcome::TimedOut,
+                            Some(Outcome::Panicked(msg)) if msg == crate::cache::LEAD_DIED => {
+                                continue;
+                            }
+                            Some(outcome) => break outcome,
+                        },
+                        Lookup::Lead(token) => {
+                            let outcome = shared.execute_resilient(&item);
+                            shared.cache.complete(token, outcome.clone());
+                            break outcome;
+                        }
                     }
                 };
                 // Every admitted job reports back so a half-open probe can
@@ -526,7 +695,9 @@ fn process(shared: &Shared, item: WorkItem) {
                 // neutral (health says nothing under tight limits).
                 let signal = match &outcome {
                     Outcome::Panicked(_) => Signal::Failure,
-                    Outcome::TimedOut | Outcome::FailedFast(_) => Signal::Neutral,
+                    Outcome::TimedOut | Outcome::FailedFast(_) | Outcome::Shed(_) => {
+                        Signal::Neutral
+                    }
                     _ => Signal::Success,
                 };
                 let transitions = breaker.record(signal, Instant::now());
@@ -539,12 +710,114 @@ fn process(shared: &Shared, item: WorkItem) {
         Outcome::TimedOut => shared.metrics.job_timed_out(),
         Outcome::Panicked(_) => shared.metrics.job_panicked(),
         Outcome::FailedFast(_) => shared.metrics.job_failed_fast(),
+        Outcome::Shed(reason) => shared.metrics.job_shed(*reason),
         _ => {}
     }
     shared.metrics.job_completed();
     shared.metrics.observe_latency(item.submitted.elapsed());
     obs::instant("engine.publish", outcome_label(&outcome));
     guard.publish(outcome);
+}
+
+/// One worker thread's life: drain the queue until it is closed *and*
+/// empty. Under [`AdmissionPolicy::ShedExpired`], jobs whose deadline
+/// passed while queued are shed at dequeue instead of evaluated.
+fn worker_loop(shared: &Shared) {
+    while let Some(item) = shared.queue.pop() {
+        if matches!(shared.config.admission.policy, AdmissionPolicy::ShedExpired)
+            && item.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            publish_shed(shared, &item.state, ShedReason::ExpiredAtDequeue);
+            continue;
+        }
+        process(shared, item);
+    }
+}
+
+type WorkerSlots = Arc<Mutex<Vec<Option<thread::JoinHandle<()>>>>>;
+
+fn lock_slots(slots: &WorkerSlots) -> MutexGuard<'_, Vec<Option<thread::JoinHandle<()>>>> {
+    slots.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn spawn_worker(shared: &Arc<Shared>, name: String) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared))
+        .expect("failed to spawn engine worker")
+}
+
+/// The supervisor thread: polls worker liveness, reaps dead workers, and
+/// restarts them within the restart budget. Worker exits during a drain
+/// are normal shutdown, not deaths.
+fn supervisor_loop(shared: Arc<Shared>, slots: WorkerSlots, stop: Arc<AtomicBool>) {
+    let cfg = shared.config.supervisor;
+    let mut restarts_used: u32 = 0;
+    let mut consecutive: u32 = 0;
+    let mut generation: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        let draining = shared.metrics.health() == EngineHealth::Draining;
+        let mut dead: Vec<usize> = Vec::new();
+        {
+            let mut guard = lock_slots(&slots);
+            for (i, slot) in guard.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(|h| h.is_finished()) {
+                    let _ = slot.take().expect("checked is_some").join();
+                    dead.push(i);
+                }
+            }
+        }
+        if dead.is_empty() {
+            consecutive = 0;
+            if !draining && shared.metrics.health() == EngineHealth::Degraded {
+                // Recovery: the full complement is back.
+                let all_alive = lock_slots(&slots).iter().all(Option::is_some);
+                if all_alive {
+                    shared.metrics.set_health(EngineHealth::Healthy);
+                }
+            }
+        } else if !draining {
+            for &i in &dead {
+                shared.metrics.worker_death();
+                shared.metrics.set_health(EngineHealth::Degraded);
+                if restarts_used >= cfg.restart_budget {
+                    // Budget exhausted: the pool stays short (and the
+                    // engine stays Degraded) rather than spawn-storming a
+                    // crash loop.
+                    continue;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(cfg.backoff(consecutive));
+                consecutive = consecutive.saturating_add(1);
+                generation += 1;
+                let handle = spawn_worker(&shared, format!("bagcq-engine-{i}.{generation}"));
+                lock_slots(&slots)[i] = Some(handle);
+                restarts_used += 1;
+                shared.metrics.worker_restart();
+            }
+        }
+        thread::sleep(cfg.poll_interval);
+    }
+}
+
+/// What [`EvalEngine::drain`] did, and whether it met its deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that resolved (any outcome) during the drain window.
+    pub completed: u64,
+    /// Jobs the drain shed (queued work flushed with
+    /// [`ShedReason::Draining`], plus dequeue-time sheds in the window).
+    pub shed: u64,
+    /// Jobs still unresolved when the drain returned — `0` unless an
+    /// evaluation ignored the cooperative hard stop past the deadline.
+    pub stragglers: u64,
+    /// Whether the drain returned within its timeout.
+    pub met_deadline: bool,
+    /// Wall-clock time the drain took.
+    pub elapsed: Duration,
 }
 
 /// A concurrent, memoizing, fault-tolerant evaluation service.
@@ -575,13 +848,15 @@ fn process(shared: &Shared, item: WorkItem) {
 /// ```
 pub struct EvalEngine {
     shared: Arc<Shared>,
-    tx: Option<mpsc::Sender<WorkItem>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    slots: WorkerSlots,
+    supervisor_stop: Arc<AtomicBool>,
+    supervisor: Option<thread::JoinHandle<()>>,
+    worker_target: usize,
 }
 
 impl EvalEngine {
     /// Builds an engine with the given configuration and starts its
-    /// worker threads.
+    /// worker threads and supervisor.
     pub fn new(config: EngineConfig) -> Self {
         let worker_count = if config.workers == 0 {
             thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
@@ -590,33 +865,47 @@ impl EvalEngine {
         };
         let metrics = Arc::new(Metrics::new());
         let breakers = BreakerSet::new(&config.breaker);
+        let drain_stop = Arc::new(AtomicBool::new(false));
+        let hook = Arc::new(EngineHook {
+            drain_stop: Arc::clone(&drain_stop),
+            fault: config.fault.clone(),
+        });
+        let budget =
+            (config.memory_budget_bytes > 0).then(|| MemoryBudget::new(config.memory_budget_bytes));
+        let queue = BoundedQueue::new(config.admission.capacity);
         let shared = Arc::new(Shared {
             cache: MemoCache::new(config.cache_shards, Arc::clone(&metrics)),
             metrics,
             config,
             breakers,
+            queue,
+            budget,
+            drain_stop,
+            hook,
+            flush_hooks: Mutex::new(Vec::new()),
         });
-        let (tx, rx) = mpsc::channel::<WorkItem>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..worker_count)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("bagcq-engine-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only for the recv itself so other
-                        // workers can pick up jobs while this one runs.
-                        let next = rx.lock().unwrap().recv();
-                        match next {
-                            Ok(item) => process(&shared, item),
-                            Err(_) => break, // engine dropped; drain done
-                        }
-                    })
-                    .expect("failed to spawn engine worker")
-            })
-            .collect();
-        EvalEngine { shared, tx: Some(tx), workers }
+        let slots: WorkerSlots = Arc::new(Mutex::new(
+            (0..worker_count)
+                .map(|i| Some(spawn_worker(&shared, format!("bagcq-engine-{i}"))))
+                .collect(),
+        ));
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let slots = Arc::clone(&slots);
+            let stop = Arc::clone(&supervisor_stop);
+            thread::Builder::new()
+                .name("bagcq-engine-supervisor".to_string())
+                .spawn(move || supervisor_loop(shared, slots, stop))
+                .expect("failed to spawn engine supervisor")
+        };
+        EvalEngine {
+            shared,
+            slots,
+            supervisor_stop,
+            supervisor: Some(supervisor),
+            worker_target: worker_count,
+        }
     }
 
     /// An engine with `n` workers and default everything else.
@@ -624,12 +913,29 @@ impl EvalEngine {
         EvalEngine::new(EngineConfig { workers: n, ..EngineConfig::default() })
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the engine targets (the supervisor keeps
+    /// the pool at this size within its restart budget).
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.worker_target
     }
 
-    /// Submits one job; returns immediately with a waitable handle.
+    /// Worker threads currently alive.
+    pub fn live_workers(&self) -> usize {
+        lock_slots(&self.slots)
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
+    }
+
+    /// The engine's current health state.
+    pub fn health(&self) -> EngineHealth {
+        self.shared.metrics.health()
+    }
+
+    /// Submits one job; returns immediately (or, under
+    /// [`AdmissionPolicy::Block`], after at most `max_wait`) with a
+    /// waitable handle. A job the admission layer refuses still resolves:
+    /// its handle yields [`Outcome::Shed`] with the typed reason.
     pub fn submit(&self, job: Job) -> JobHandle {
         let state = Arc::new(JobState::default());
         let submitted = Instant::now();
@@ -639,16 +945,17 @@ impl EvalEngine {
             spec: job.spec,
             state: Arc::clone(&state),
             submitted,
+            deaths: 0,
         };
         self.shared.metrics.job_submitted();
         if obs::enabled() {
             obs::instant_fp("engine.enqueue", item.spec.kind(), fp_bits(&item.spec.fingerprint()));
         }
-        self.tx
-            .as_ref()
-            .expect("engine is live until dropped")
-            .send(item)
-            .expect("engine workers are alive");
+        match self.shared.queue.push(item, &self.shared.config.admission.policy) {
+            Ok(true) => self.shared.metrics.admission_wait(),
+            Ok(false) => {}
+            Err(refused) => publish_shed(&self.shared, &refused.item.state, refused.reason),
+        }
         JobHandle { state }
     }
 
@@ -657,9 +964,91 @@ impl EvalEngine {
         jobs.into_iter().map(|j| self.submit(j)).collect()
     }
 
-    /// A point-in-time copy of the engine's metrics.
+    /// Jobs submitted but not yet resolved.
+    fn outstanding(&self) -> u64 {
+        self.shared.metrics.submitted_count().saturating_sub(self.shared.metrics.completed_count())
+    }
+
+    /// Registers a flush hook the drain runs after the workers stop —
+    /// sweep-journal syncs, trace-buffer commits, and the like. Hooks run
+    /// under panic isolation, in registration order.
+    pub fn register_drain_flush(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.shared.flush_hooks.lock().unwrap_or_else(|p| p.into_inner()).push(Box::new(hook));
+    }
+
+    /// Gracefully winds the engine down, returning by `timeout`:
+    ///
+    /// 1. health → [`EngineHealth::Draining`] (terminal) and admission
+    ///    closes — new submissions resolve as
+    ///    [`Outcome::Shed`]`(`[`ShedReason::Draining`]`)`;
+    /// 2. in-flight and queued work gets most of the timeout to finish
+    ///    normally;
+    /// 3. whatever is still queued near the deadline is flushed and shed;
+    ///    still-running evaluations are hard-stopped through the
+    ///    cooperative checkpoint hook (they resolve as
+    ///    [`Outcome::TimedOut`]);
+    /// 4. registered flush hooks run (journal/trace commits).
+    ///
+    /// Every job submitted before or during the drain resolves to exactly
+    /// one outcome; none is lost or left hanging. Draining is terminal —
+    /// the engine does not serve again afterwards (submissions shed), but
+    /// [`CachedCounter`]s remain usable on the caller's thread.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        let started = Instant::now();
+        let deadline = started + timeout;
+        obs::instant("engine.drain", "begin");
+        let completed_before = self.shared.metrics.completed_count();
+        let shed_before = self.shared.metrics.shed_count();
+        self.shared.metrics.set_health(EngineHealth::Draining);
+        self.shared.queue.close();
+        // Most of the timeout goes to letting work finish; a margin is
+        // reserved for the shed + hard-stop + flush steps.
+        let margin = (timeout / 10)
+            .clamp(Duration::from_millis(2), Duration::from_millis(100))
+            .min(timeout / 2);
+        let soft_deadline = deadline - margin;
+        while self.outstanding() > 0 && Instant::now() < soft_deadline {
+            thread::sleep(Duration::from_micros(200));
+        }
+        for item in self.shared.queue.drain_now() {
+            publish_shed(&self.shared, &item.state, ShedReason::Draining);
+        }
+        if self.outstanding() > 0 {
+            self.shared.drain_stop.store(true, Ordering::Relaxed);
+            obs::instant("engine.drain", "hard_stop");
+            while self.outstanding() > 0 && Instant::now() < deadline {
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+        {
+            let hooks = self.shared.flush_hooks.lock().unwrap_or_else(|p| p.into_inner());
+            for hook in hooks.iter() {
+                let _ = catch_unwind(AssertUnwindSafe(hook));
+            }
+        }
+        obs::instant("engine.drain", "end");
+        let elapsed = started.elapsed();
+        DrainReport {
+            completed: self.shared.metrics.completed_count() - completed_before,
+            shed: self.shared.metrics.shed_count() - shed_before,
+            stragglers: self.outstanding(),
+            met_deadline: elapsed <= timeout,
+            elapsed,
+        }
+    }
+
+    /// A point-in-time copy of the engine's metrics, including the
+    /// serving-layer gauges (queue depth, memory budget account).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        snap.queue_depth = self.shared.queue.len() as u64;
+        snap.queue_high_water = self.shared.queue.high_water() as u64;
+        if let Some(budget) = &self.shared.budget {
+            snap.mem_used_bytes = budget.used();
+            snap.mem_high_water_bytes = budget.high_water();
+            snap.mem_denials = budget.denials();
+        }
+        snap
     }
 
     /// Completed (`Ready`) memo-cache entries.
@@ -685,10 +1074,18 @@ impl EvalEngine {
 
 impl Drop for EvalEngine {
     fn drop(&mut self) {
-        // Closing the channel lets workers drain the queue and exit.
-        self.tx.take();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Stop the supervisor first, so workers exiting normally on queue
+        // close are not miscounted as deaths (and not restarted).
+        self.supervisor_stop.store(true, Ordering::Relaxed);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Closing the queue lets workers drain what is left and exit.
+        self.shared.queue.close();
+        for slot in lock_slots(&self.slots).iter_mut() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -705,8 +1102,8 @@ pub struct CachedCounter {
 impl CachedCounter {
     /// Counts `|Hom(q, d)|`, consulting and populating the memo cache.
     /// Transient failures are retried under the engine's [`RetryPolicy`];
-    /// terminal failures (cross-validation mismatch, cancellation)
-    /// surface as a typed [`CountError`].
+    /// terminal failures (cross-validation mismatch, cancellation, a
+    /// memory-budget refusal) surface as a typed [`CountError`].
     ///
     /// Unlike pool execution there is no panic isolation here: an
     /// evaluation panic propagates to the caller.

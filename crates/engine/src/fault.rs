@@ -25,6 +25,11 @@
 //! * [`FaultKind::TransientError`] — a counter that fails once and then
 //!   recovers (only fires at engine count sites; at loop checkpoints it
 //!   degrades to a spurious cancel, the closest typed signal available).
+//!
+//! A fifth, opt-in kind targets the supervision layer rather than the
+//! per-job ladder: [`FaultKind::WorkerKill`] kills the worker *thread*
+//! itself (its marker panic is deliberately re-raised past the engine's
+//! `catch_unwind`), forcing the supervisor to reap and restart it.
 
 use crate::engine::CountError;
 use crate::retry::splitmix64;
@@ -44,10 +49,23 @@ pub enum FaultKind {
     SpuriousCancel,
     /// Fail a count with a typed transient error.
     TransientError,
+    /// Kill the whole worker *thread*, not just the attempt: the panic
+    /// carries a [`WorkerKillMarker`] payload that the engine's
+    /// `catch_unwind` deliberately re-raises, so the thread dies and the
+    /// supervision layer has to notice, recover the job, and restart the
+    /// worker. Not in [`FaultPlan::seeded`]'s default mix (it exercises
+    /// supervision, not the per-job resilience ladder); opt in with
+    /// [`FaultPlan::with_kinds`].
+    WorkerKill,
 }
 
 const ALL_KINDS: [FaultKind; 4] =
     [FaultKind::Panic, FaultKind::Latency, FaultKind::SpuriousCancel, FaultKind::TransientError];
+
+/// The panic payload of a [`FaultKind::WorkerKill`] fault. The engine's
+/// panic isolation checks for this exact type and resumes the unwind
+/// instead of converting it to [`crate::Outcome::Panicked`].
+pub(crate) struct WorkerKillMarker;
 
 /// A seeded, declarative fault schedule.
 #[derive(Clone, Debug)]
@@ -104,7 +122,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     sequence: AtomicU64,
     fired: AtomicU64,
-    per_kind: [AtomicU64; 4],
+    per_kind: [AtomicU64; 5],
 }
 
 fn site_hash(site: &str) -> u64 {
@@ -195,6 +213,7 @@ impl FaultInjector {
             Some(FaultKind::TransientError) => {
                 Err(CountError::Transient(format!("fault injection: transient error at {site}")))
             }
+            Some(FaultKind::WorkerKill) => std::panic::panic_any(WorkerKillMarker),
         }
     }
 }
@@ -205,6 +224,7 @@ fn kind_index(kind: FaultKind) -> usize {
         FaultKind::Latency => 1,
         FaultKind::SpuriousCancel => 2,
         FaultKind::TransientError => 3,
+        FaultKind::WorkerKill => 4,
     }
 }
 
@@ -223,6 +243,7 @@ impl CheckpointHook for FaultInjector {
             Some(FaultKind::SpuriousCancel) | Some(FaultKind::TransientError) => {
                 Err(Cancelled(CancelReason::Cancelled))
             }
+            Some(FaultKind::WorkerKill) => std::panic::panic_any(WorkerKillMarker),
         }
     }
 }

@@ -16,6 +16,7 @@ use bagcq_containment::{ContainmentChecker, Verdict};
 use bagcq_homcount::Engine;
 use bagcq_query::{PowerQuery, Query};
 use bagcq_structure::{Fingerprint, FingerprintHasher, Structure};
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -229,6 +230,47 @@ pub enum Outcome {
     /// without evaluating, to stop a failing kind from burning workers.
     /// Never cached.
     FailedFast(FailFast),
+    /// The job was shed by the serving layer without evaluating: refused
+    /// at admission (queue full, admission wait timed out, or the engine
+    /// was draining) or dropped at dequeue because its deadline had
+    /// already passed. Never cached.
+    Shed(ShedReason),
+}
+
+/// Why the serving layer shed a job (see [`Outcome::Shed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full under a rejecting admission policy.
+    QueueFull,
+    /// [`crate::AdmissionPolicy::Block`] waited `max_wait` without a slot
+    /// freeing up.
+    AdmissionTimeout,
+    /// The job's deadline passed while it sat queued; a
+    /// [`crate::AdmissionPolicy::ShedExpired`] worker dropped it at
+    /// dequeue instead of evaluating work nobody can use.
+    ExpiredAtDequeue,
+    /// Admission was closed: the engine is draining (or already drained)
+    /// and this job was either refused at submit or flushed out of the
+    /// queue by the drain deadline.
+    Draining,
+}
+
+impl ShedReason {
+    /// Stable lowercase label (metrics rendering, trace instants).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::AdmissionTimeout => "admission_timeout",
+            ShedReason::ExpiredAtDequeue => "expired_at_dequeue",
+            ShedReason::Draining => "draining",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl Outcome {
@@ -264,11 +306,22 @@ impl Outcome {
         }
     }
 
-    /// `true` for [`Outcome::TimedOut`], [`Outcome::Panicked`], and
-    /// [`Outcome::FailedFast`] — the outcomes that are published to
-    /// waiters but never cached.
+    /// The shed reason, if this is a [`Outcome::Shed`].
+    pub fn as_shed(&self) -> Option<ShedReason> {
+        match self {
+            Outcome::Shed(reason) => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Outcome::TimedOut`], [`Outcome::Panicked`],
+    /// [`Outcome::FailedFast`], and [`Outcome::Shed`] — the outcomes that
+    /// are published to waiters but never cached.
     pub fn is_failure(&self) -> bool {
-        matches!(self, Outcome::TimedOut | Outcome::Panicked(_) | Outcome::FailedFast(_))
+        matches!(
+            self,
+            Outcome::TimedOut | Outcome::Panicked(_) | Outcome::FailedFast(_) | Outcome::Shed(_)
+        )
     }
 }
 
@@ -287,15 +340,26 @@ impl JobState {
         self.cond.notify_all();
     }
 
-    /// Publishes only if nothing was published yet; returns whether this
-    /// call published. Used by the worker's drop guard so a dying worker
-    /// never overwrites a real outcome — and never leaves waiters hung.
-    pub(crate) fn publish_if_pending(&self, outcome: Outcome) -> bool {
+    /// Publishes only if nothing was published yet (so a dying worker
+    /// never overwrites a real outcome — and never leaves waiters hung);
+    /// returns whether this call published. `accounting` runs while still
+    /// holding the outcome slot's lock: metric updates that belong to the
+    /// publication (shed/completed counters) go there, because a waiter
+    /// woken by the publish cannot re-acquire the lock — and therefore
+    /// cannot observe the outcome — before the accounting has landed, so
+    /// a `metrics()` read after `wait()` never sees a resolved job as
+    /// still outstanding.
+    pub(crate) fn publish_if_pending_with(
+        &self,
+        outcome: Outcome,
+        accounting: impl FnOnce(),
+    ) -> bool {
         let mut slot = self.slot.lock().unwrap();
         if slot.is_some() {
             return false;
         }
         *slot = Some(outcome);
+        accounting();
         self.cond.notify_all();
         true
     }
@@ -426,10 +490,24 @@ mod tests {
     #[test]
     fn publish_if_pending_never_overwrites() {
         let state = Arc::new(JobState::default());
-        assert!(state.publish_if_pending(Outcome::Count(Nat::one())));
-        assert!(!state.publish_if_pending(Outcome::Panicked("late".into())));
+        let mut accounted = 0;
+        assert!(state.publish_if_pending_with(Outcome::Count(Nat::one()), || accounted += 1));
+        assert!(!state.publish_if_pending_with(Outcome::Panicked("late".into()), || accounted += 1));
+        assert_eq!(accounted, 1, "accounting runs only when the publish lands");
         let handle = JobHandle { state };
         assert_eq!(handle.wait().as_count(), Some(&Nat::one()));
+    }
+
+    #[test]
+    fn shed_is_a_failure_with_a_stable_label() {
+        let out = Outcome::Shed(ShedReason::QueueFull);
+        assert!(out.is_failure());
+        assert_eq!(out.as_shed(), Some(ShedReason::QueueFull));
+        assert_eq!(out.as_count(), None);
+        assert_eq!(ShedReason::QueueFull.to_string(), "queue_full");
+        assert_eq!(ShedReason::AdmissionTimeout.label(), "admission_timeout");
+        assert_eq!(ShedReason::ExpiredAtDequeue.label(), "expired_at_dequeue");
+        assert_eq!(ShedReason::Draining.label(), "draining");
     }
 
     #[test]

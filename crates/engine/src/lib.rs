@@ -39,6 +39,25 @@
 //!   driving the chaos test suite's core property — under any fault
 //!   schedule, completed outcomes are bit-identical to a clean run and
 //!   the cache never stores a faulty result.
+//! * **Overload-safe serving** ([`AdmissionConfig`]): submission passes
+//!   through a bounded queue with a pluggable [`AdmissionPolicy`]
+//!   (blocking backpressure, reject-newest, shed-expired-at-dequeue); a
+//!   refused job resolves to a typed [`Outcome::Shed`] instead of
+//!   hanging, vanishing, or growing the queue without bound.
+//! * **Worker supervision** ([`SupervisorConfig`]): a supervisor thread
+//!   reaps dead worker threads and restarts them within a capped,
+//!   backoff-governed budget, requeueing the job a dead worker was
+//!   holding; pool state is exposed as an [`EngineHealth`] machine
+//!   (`Healthy → Degraded → Draining`).
+//! * **Memory budgeting** ([`EngineConfig::memory_budget_bytes`]): the
+//!   `Nat`-heavy counting loops debit an engine-wide byte account through
+//!   `homcount`'s [`bagcq_homcount::MemoryGauge`] hook; an evaluation
+//!   that would dwarf memory fails with a typed error instead of taking
+//!   the process down.
+//! * **Graceful drain** ([`EvalEngine::drain`]): stops admission,
+//!   finishes or sheds in-flight work, runs registered flush hooks, and
+//!   returns by a caller-supplied deadline with a [`DrainReport`] —
+//!   every job resolves to exactly one outcome.
 //! * **Crash-safe sweeps** ([`SweepJournal`]): experiment drivers commit
 //!   each completed sweep point with an atomic write-temp-then-rename, so
 //!   a killed sweep resumes where it stopped.
@@ -56,7 +75,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod breaker;
+mod budget;
 mod cache;
 mod engine;
 mod fault;
@@ -64,6 +85,7 @@ mod job;
 mod journal;
 mod metrics;
 mod retry;
+mod supervisor;
 pub mod trace;
 
 /// The process-global tracer this engine is instrumented with
@@ -71,11 +93,13 @@ pub mod trace;
 /// dependency edge).
 pub use bagcq_obs as obs;
 
+pub use admission::{AdmissionConfig, AdmissionPolicy};
 pub use breaker::{BreakerConfig, FailFast};
-pub use engine::{CachedCounter, CountError, EngineConfig, EvalEngine};
+pub use engine::{CachedCounter, CountError, DrainReport, EngineConfig, EvalEngine};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
-pub use job::{Job, JobHandle, JobSpec, Outcome};
+pub use job::{Job, JobHandle, JobSpec, Outcome, ShedReason};
 pub use journal::SweepJournal;
 pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};
 pub use retry::RetryPolicy;
+pub use supervisor::{EngineHealth, SupervisorConfig};
 pub use trace::{TraceReport, TraceSession};

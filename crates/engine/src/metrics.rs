@@ -9,6 +9,8 @@
 //!
 //! [`render`]: MetricsSnapshot::render
 
+use crate::job::ShedReason;
+use crate::supervisor::{EngineHealth, HealthCell};
 use bagcq_obs::StageStats;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +38,12 @@ pub struct Metrics {
     breaker_transitions: AtomicU64,
     breaker_rejections: AtomicU64,
     journal_resumes: AtomicU64,
+    jobs_shed: AtomicU64,
+    jobs_requeued: AtomicU64,
+    admission_waits: AtomicU64,
+    worker_deaths: AtomicU64,
+    worker_restarts: AtomicU64,
+    health: HealthCell,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -110,6 +118,54 @@ impl Metrics {
         }
     }
 
+    pub(crate) fn job_shed(&self, reason: ShedReason) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.admission", reason.label());
+    }
+
+    pub(crate) fn job_requeued(&self) {
+        self.jobs_requeued.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.supervisor", "requeue");
+    }
+
+    pub(crate) fn admission_wait(&self) {
+        self.admission_waits.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.admission", "wait");
+    }
+
+    pub(crate) fn worker_death(&self) {
+        self.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.supervisor", "worker_death");
+    }
+
+    pub(crate) fn worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.supervisor", "worker_restart");
+    }
+
+    pub(crate) fn health(&self) -> EngineHealth {
+        self.health.get()
+    }
+
+    /// Raw counter reads for the drain loop — polling with full
+    /// [`Metrics::snapshot`]s (which clone the process-wide stage stats)
+    /// would be needlessly heavy.
+    pub(crate) fn submitted_count(&self) -> u64 {
+        self.jobs_submitted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn completed_count(&self) -> u64 {
+        self.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn shed_count(&self) -> u64 {
+        self.jobs_shed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_health(&self, next: EngineHealth) -> bool {
+        self.health.set(next)
+    }
+
     pub(crate) fn observe_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         self.latency_us[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
@@ -136,6 +192,19 @@ impl Metrics {
             breaker_transitions: self.breaker_transitions.load(Ordering::Relaxed),
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
             journal_resumes: self.journal_resumes.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            jobs_requeued: self.jobs_requeued.load(Ordering::Relaxed),
+            admission_waits: self.admission_waits.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            health: self.health.get(),
+            // The queue and memory gauges live outside the registry; the
+            // engine fills them in (`EvalEngine::metrics`).
+            queue_depth: 0,
+            queue_high_water: 0,
+            mem_used_bytes: 0,
+            mem_high_water_bytes: 0,
+            mem_denials: 0,
             latency_us,
             stages: bagcq_obs::stage_snapshot(),
         }
@@ -187,6 +256,31 @@ pub struct MetricsSnapshot {
     /// Sweep points restored from a [`crate::SweepJournal`] instead of
     /// recomputed (reported by experiment drivers).
     pub journal_resumes: u64,
+    /// Jobs shed by the serving layer ([`crate::Outcome::Shed`]): refused
+    /// at admission, expired at dequeue, or flushed by a drain.
+    pub jobs_shed: u64,
+    /// Jobs recovered from a dying worker and requeued for another run.
+    pub jobs_requeued: u64,
+    /// Submissions that blocked for a queue slot under
+    /// [`crate::AdmissionPolicy::Block`] (backpressure events).
+    pub admission_waits: u64,
+    /// Worker threads the supervisor found dead.
+    pub worker_deaths: u64,
+    /// Worker threads the supervisor restarted.
+    pub worker_restarts: u64,
+    /// The engine health state at snapshot time.
+    pub health: EngineHealth,
+    /// Jobs queued at snapshot time.
+    pub queue_depth: u64,
+    /// The deepest the job queue has ever been.
+    pub queue_high_water: u64,
+    /// Bytes currently reserved against the memory budget (`0` when no
+    /// budget is configured).
+    pub mem_used_bytes: u64,
+    /// The deepest the memory budget account has ever been.
+    pub mem_high_water_bytes: u64,
+    /// Memory-budget reservations refused.
+    pub mem_denials: u64,
     /// Log₂ latency histogram: bucket `i` counts jobs that took
     /// `[2^(i-1), 2^i)` microseconds end to end.
     pub latency_us: [u64; LATENCY_BUCKETS],
@@ -252,6 +346,24 @@ impl fmt::Display for MetricsSnapshot {
             self.breaker_rejections,
             self.journal_resumes
         )?;
+        writeln!(
+            f,
+            "  serving  health={} shed={} requeued={} admission_waits={} queue_depth={} queue_high_water={}",
+            self.health.label(),
+            self.jobs_shed,
+            self.jobs_requeued,
+            self.admission_waits,
+            self.queue_depth,
+            self.queue_high_water
+        )?;
+        writeln!(f, "  workers  deaths={} restarts={}", self.worker_deaths, self.worker_restarts)?;
+        if self.mem_used_bytes != 0 || self.mem_high_water_bytes != 0 || self.mem_denials != 0 {
+            writeln!(
+                f,
+                "  memory   used={} high_water={} denials={}",
+                self.mem_used_bytes, self.mem_high_water_bytes, self.mem_denials
+            )?;
+        }
         writeln!(f, "  latency  ({} observations)", self.latency_count())?;
         for (i, &n) in self.latency_us.iter().enumerate() {
             if n == 0 {
@@ -328,6 +440,40 @@ mod tests {
         assert!(text.contains("retries=2"), "{text}");
         assert!(text.contains("journal_resumes=4"), "{text}");
         assert!(text.contains("failed_fast=1"), "{text}");
+    }
+
+    #[test]
+    fn serving_counters_render() {
+        let m = Metrics::new();
+        m.job_shed(ShedReason::QueueFull);
+        m.job_shed(ShedReason::Draining);
+        m.job_requeued();
+        m.admission_wait();
+        m.worker_death();
+        m.worker_restart();
+        assert!(m.set_health(EngineHealth::Degraded));
+        let mut s = m.snapshot();
+        assert_eq!(s.jobs_shed, 2);
+        assert_eq!(s.jobs_requeued, 1);
+        assert_eq!(s.admission_waits, 1);
+        assert_eq!(s.worker_deaths, 1);
+        assert_eq!(s.worker_restarts, 1);
+        assert_eq!(s.health, EngineHealth::Degraded);
+        s.queue_depth = 3;
+        s.mem_denials = 2;
+        let text = s.render();
+        assert!(text.contains("health=degraded"), "{text}");
+        assert!(text.contains("shed=2"), "{text}");
+        assert!(text.contains("queue_depth=3"), "{text}");
+        assert!(text.contains("deaths=1 restarts=1"), "{text}");
+        assert!(text.contains("denials=2"), "{text}");
+    }
+
+    #[test]
+    fn memory_line_is_omitted_when_untouched() {
+        let text = Metrics::new().snapshot().render();
+        assert!(!text.contains("  memory"), "{text}");
+        assert!(text.contains("health=healthy"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Worker supervision policy and the engine health state machine.
+//!
+//! PR 2 gave each *job* a drop-safety net ([`PublishGuard`] publishes a
+//! poison outcome when a worker dies mid-job, [`LeadToken`] evicts its
+//! in-flight cache slot); this module adds the *pool*-level half: a
+//! supervisor thread (see `engine.rs`) polls the worker handles, reaps
+//! dead ones, and — within a capped, backoff-governed restart budget —
+//! spawns replacements, so one `WorkerKill` chaos fault (or a real bug
+//! that escapes `catch_unwind`) degrades throughput instead of slowly
+//! bleeding the pool to zero.
+//!
+//! The pool's state is summarized by [`EngineHealth`]:
+//!
+//! ```text
+//!           worker death detected
+//!   Healthy ─────────────────────▶ Degraded
+//!      ▲                              │
+//!      └──────────────────────────────┘
+//!        full worker complement restored
+//!
+//!   (any state) ──▶ Draining        terminal: drain() was called
+//! ```
+//!
+//! Transitions are exposed through [`crate::MetricsSnapshot`] and as
+//! `engine.health` trace instants.
+//!
+//! [`PublishGuard`]: crate::EvalEngine
+//! [`LeadToken`]: crate::EvalEngine
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
+
+/// The engine-level health state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// Full worker complement, accepting work.
+    Healthy,
+    /// At least one worker died; the pool is running short (or exhausted
+    /// its restart budget) but still serving.
+    Degraded,
+    /// `drain()` was called: admission is closed and the engine is
+    /// winding down. Terminal.
+    Draining,
+}
+
+impl EngineHealth {
+    /// Stable lowercase label (metrics rendering, trace instants).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineHealth::Healthy => "healthy",
+            EngineHealth::Degraded => "degraded",
+            EngineHealth::Draining => "draining",
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            EngineHealth::Healthy => 0,
+            EngineHealth::Degraded => 1,
+            EngineHealth::Draining => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => EngineHealth::Healthy,
+            1 => EngineHealth::Degraded,
+            _ => EngineHealth::Draining,
+        }
+    }
+}
+
+/// Lock-free holder of the current [`EngineHealth`], enforcing that
+/// [`EngineHealth::Draining`] is terminal and emitting an `engine.health`
+/// trace instant on every transition.
+#[derive(Debug, Default)]
+pub(crate) struct HealthCell(AtomicU8);
+
+impl HealthCell {
+    pub fn get(&self) -> EngineHealth {
+        EngineHealth::from_u8(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Transitions to `next`; returns whether the state changed.
+    /// Transitions out of `Draining` are refused.
+    pub fn set(&self, next: EngineHealth) -> bool {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let cur = EngineHealth::from_u8(current);
+            if cur == next || cur == EngineHealth::Draining {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                next.as_u8(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    bagcq_obs::instant("engine.health", next.label());
+                    return true;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// Supervision policy for an engine's worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Total worker restarts the supervisor may perform over the engine's
+    /// lifetime. Once exhausted, further deaths leave the pool permanently
+    /// [`EngineHealth::Degraded`] (a crash loop must not become a spawn
+    /// storm).
+    pub restart_budget: u32,
+    /// Base delay before a restart; doubles per *consecutive* death
+    /// (resetting after a quiet poll) up to [`SupervisorConfig::max_backoff`].
+    pub restart_backoff: Duration,
+    /// Cap on the restart backoff.
+    pub max_backoff: Duration,
+    /// How often the supervisor polls worker liveness.
+    pub poll_interval: Duration,
+    /// When `true`, a job recovered from a dying worker is requeued (once)
+    /// and re-run; when `false`, it fails fast with the poison
+    /// [`crate::Outcome::Panicked`] outcome.
+    pub requeue_on_death: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            restart_budget: 8,
+            restart_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            poll_interval: Duration::from_millis(5),
+            requeue_on_death: true,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The backoff before restart number `consecutive` in a death streak.
+    pub(crate) fn backoff(&self, consecutive: u32) -> Duration {
+        let factor = 1u32 << consecutive.min(16);
+        self.restart_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draining_is_terminal() {
+        let cell = HealthCell::default();
+        assert_eq!(cell.get(), EngineHealth::Healthy);
+        assert!(cell.set(EngineHealth::Degraded));
+        assert!(!cell.set(EngineHealth::Degraded), "no-op transition reports unchanged");
+        assert!(cell.set(EngineHealth::Healthy), "recovery is allowed");
+        assert!(cell.set(EngineHealth::Draining));
+        assert!(!cell.set(EngineHealth::Healthy), "draining is terminal");
+        assert!(!cell.set(EngineHealth::Degraded));
+        assert_eq!(cell.get(), EngineHealth::Draining);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = SupervisorConfig {
+            restart_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.backoff(0), Duration::from_millis(10));
+        assert_eq!(cfg.backoff(1), Duration::from_millis(20));
+        assert_eq!(cfg.backoff(2), Duration::from_millis(40));
+        assert_eq!(cfg.backoff(3), Duration::from_millis(50), "capped");
+        assert_eq!(cfg.backoff(60), Duration::from_millis(50), "shift is clamped");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EngineHealth::Healthy.label(), "healthy");
+        assert_eq!(EngineHealth::Degraded.label(), "degraded");
+        assert_eq!(EngineHealth::Draining.label(), "draining");
+    }
+}

@@ -35,6 +35,7 @@ pub fn outcome_label(outcome: &Outcome) -> &'static str {
         Outcome::TimedOut => "timed_out",
         Outcome::Panicked(_) => "panicked",
         Outcome::FailedFast(_) => "failed_fast",
+        Outcome::Shed(_) => "shed",
     }
 }
 
@@ -129,6 +130,7 @@ mod tests {
     fn outcome_labels_are_stable() {
         assert_eq!(outcome_label(&Outcome::TimedOut), "timed_out");
         assert_eq!(outcome_label(&Outcome::Panicked("x".into())), "panicked");
+        assert_eq!(outcome_label(&Outcome::Shed(crate::job::ShedReason::QueueFull)), "shed");
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum CancelReason {
     DeadlineExceeded,
     /// The step budget ran out.
     BudgetExhausted,
+    /// A [`MemoryGauge`] refused an allocation: the evaluation would push
+    /// the engine past its byte budget (or past what `u64` arithmetic can
+    /// even size). Deterministic for a fixed budget — retrying the same
+    /// engine is futile, but a leaner engine may fit.
+    MemoryBudgetExceeded,
+    /// The owning engine is draining: in-flight work is asked to stop at
+    /// the next checkpoint so shutdown can meet its deadline.
+    ShuttingDown,
 }
 
 /// Error returned by cancellable counting entry points.
@@ -41,6 +49,10 @@ impl fmt::Display for Cancelled {
             CancelReason::Cancelled => write!(f, "computation cancelled"),
             CancelReason::DeadlineExceeded => write!(f, "computation deadline exceeded"),
             CancelReason::BudgetExhausted => write!(f, "computation step budget exhausted"),
+            CancelReason::MemoryBudgetExceeded => {
+                write!(f, "computation memory budget exceeded")
+            }
+            CancelReason::ShuttingDown => write!(f, "computation stopped: engine shutting down"),
         }
     }
 }
@@ -135,14 +147,33 @@ pub trait CheckpointHook: Send + Sync {
     fn checkpoint(&self, site: &'static str) -> Result<(), Cancelled>;
 }
 
+/// A shared allocation-accounting hook: the counting loops report the
+/// sizes of the big numbers they are about to materialize *before*
+/// materializing them, and the gauge either reserves the bytes or refuses
+/// with [`CancelReason::MemoryBudgetExceeded`].
+///
+/// Accounting is advisory, not an allocator shim — only the `Nat`-heavy
+/// products of the counting layer are charged (component counts, free-
+/// variable power factors, power-query accumulators), which is where the
+/// paper's constructions put all the weight. The `bagcq-engine` crate
+/// implements this over a per-engine byte budget so a burst of Theorem 1
+/// sweep jobs degrades with typed errors instead of aborting on OOM.
+pub trait MemoryGauge: Send + Sync {
+    /// Attempts to reserve `bytes` against the budget. `Err` must carry
+    /// [`CancelReason::MemoryBudgetExceeded`].
+    fn try_reserve(&self, bytes: u64) -> Result<(), Cancelled>;
+}
+
 /// Bundled cancellation controls for one evaluation: optional token plus
 /// optional step budget (`0` = unlimited) plus an optional
-/// [`CheckpointHook`] for fault injection.
+/// [`CheckpointHook`] for fault injection plus an optional [`MemoryGauge`]
+/// for allocation accounting.
 #[derive(Clone, Default)]
 pub struct EvalControl {
     step_budget: u64,
     cancel: Option<CancelToken>,
     hook: Option<Arc<dyn CheckpointHook>>,
+    mem: Option<Arc<dyn MemoryGauge>>,
 }
 
 impl fmt::Debug for EvalControl {
@@ -151,6 +182,7 @@ impl fmt::Debug for EvalControl {
             .field("step_budget", &self.step_budget)
             .field("cancel", &self.cancel)
             .field("hook", &self.hook.as_ref().map(|_| "<hook>"))
+            .field("mem", &self.mem.as_ref().map(|_| "<gauge>"))
             .finish()
     }
 }
@@ -163,7 +195,7 @@ impl EvalControl {
 
     /// Controls with the given budget (`0` = unlimited) and token.
     pub fn new(step_budget: u64, cancel: Option<CancelToken>) -> Self {
-        EvalControl { step_budget, cancel, hook: None }
+        EvalControl { step_budget, cancel, hook: None, mem: None }
     }
 
     /// Controls with a budget, token, and checkpoint hook.
@@ -172,13 +204,19 @@ impl EvalControl {
         cancel: Option<CancelToken>,
         hook: Option<Arc<dyn CheckpointHook>>,
     ) -> Self {
-        EvalControl { step_budget, cancel, hook }
+        EvalControl { step_budget, cancel, hook, mem: None }
     }
 
-    /// True iff no budget, token, or hook is set (the fast path can skip
-    /// all bookkeeping).
+    /// Installs a memory gauge on these controls (builder style).
+    pub fn with_memory_gauge(mut self, mem: Arc<dyn MemoryGauge>) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// True iff no budget, token, hook, or gauge is set (the fast path
+    /// can skip all bookkeeping).
     pub fn is_unlimited(&self) -> bool {
-        self.step_budget == 0 && self.cancel.is_none() && self.hook.is_none()
+        self.step_budget == 0 && self.cancel.is_none() && self.hook.is_none() && self.mem.is_none()
     }
 
     /// Fires the checkpoint hook, if one is installed.
@@ -186,6 +224,18 @@ impl EvalControl {
     pub fn checkpoint(&self, site: &'static str) -> Result<(), Cancelled> {
         match &self.hook {
             Some(hook) => hook.checkpoint(site),
+            None => Ok(()),
+        }
+    }
+
+    /// Reserves `bytes` against the installed memory gauge, if any.
+    ///
+    /// Counting loops call this *before* materializing a big number; with
+    /// no gauge installed it is free.
+    #[inline]
+    pub fn charge(&self, bytes: u64) -> Result<(), Cancelled> {
+        match &self.mem {
+            Some(gauge) => gauge.try_reserve(bytes),
             None => Ok(()),
         }
     }
@@ -314,6 +364,34 @@ mod tests {
         }
         assert!(tripped, "hook cancellation must surface through the ticker");
         assert_eq!(hook.fires.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn memory_gauge_refusal_surfaces_through_charge() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Gauge {
+            limit: u64,
+            used: AtomicU64,
+        }
+        impl MemoryGauge for Gauge {
+            fn try_reserve(&self, bytes: u64) -> Result<(), Cancelled> {
+                let used = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                if used > self.limit {
+                    Err(Cancelled(CancelReason::MemoryBudgetExceeded))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        let ctl = EvalControl::unlimited();
+        assert!(ctl.charge(u64::MAX).is_ok(), "no gauge: charging is free");
+        let gauged = EvalControl::unlimited()
+            .with_memory_gauge(Arc::new(Gauge { limit: 100, used: AtomicU64::new(0) }));
+        assert!(!gauged.is_unlimited(), "a gauge disables the unlimited fast path");
+        assert!(gauged.charge(60).is_ok());
+        assert_eq!(gauged.charge(60), Err(Cancelled(CancelReason::MemoryBudgetExceeded)));
     }
 
     #[test]

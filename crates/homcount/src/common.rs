@@ -2,6 +2,8 @@
 //! checking, per-position tuple indexes, and decomposition of a query into
 //! connected components.
 
+use crate::cancel::{CancelReason, Cancelled, EvalControl};
+use bagcq_arith::Nat;
 use bagcq_query::{Inequality, Query, Term};
 use bagcq_structure::{RelId, Structure};
 use std::collections::HashMap;
@@ -25,6 +27,32 @@ pub(crate) fn inequality_ok(ineq: &Inequality, assign: &[u32], d: &Structure) ->
     let a = resolve(&ineq.lhs, assign, d);
     let b = resolve(&ineq.rhs, assign, d);
     a == UNASSIGNED || b == UNASSIGNED || a != b
+}
+
+/// Heap bytes a [`Nat`] occupies (its limbs), for memory-gauge charges.
+#[inline]
+pub(crate) fn nat_bytes(n: &Nat) -> u64 {
+    8 * n.limbs().len() as u64
+}
+
+/// The `|V_D|^k` factor contributed by variables occurring in no atom and
+/// no inequality.
+///
+/// Routed through [`Nat::checked_pow`] with the a-priori bound
+/// `bits(n)·k`, which the true result never exceeds — so the only failure
+/// paths are the typed ones: the bound itself overflowing `u64` (a result
+/// too large to even size) or the memory gauge refusing the bytes. A
+/// hostile free-variable count therefore yields
+/// [`CancelReason::MemoryBudgetExceeded`] instead of panicking or
+/// aborting a worker mid-allocation.
+pub(crate) fn free_var_factor(n: u64, k: u64, ctl: &EvalControl) -> Result<Nat, Cancelled> {
+    if n <= 1 || k == 0 {
+        return Ok(if n == 0 && k > 0 { Nat::zero() } else { Nat::one() });
+    }
+    let base = Nat::from_u64(n);
+    let bound = base.bits().checked_mul(k).ok_or(Cancelled(CancelReason::MemoryBudgetExceeded))?;
+    ctl.charge(bound.div_ceil(8))?;
+    base.checked_pow(k, bound).ok_or(Cancelled(CancelReason::MemoryBudgetExceeded))
 }
 
 /// Inverted index over one relation of a structure: for a fixed argument

@@ -8,6 +8,7 @@
 //! with its astronomical exponent `C` is evaluated at all.
 
 use crate::cancel::{CancelToken, Cancelled, EvalControl};
+use crate::common::nat_bytes;
 use crate::naive::NaiveCounter;
 use crate::tw::TreewidthCounter;
 use bagcq_arith::{Magnitude, Nat, DEFAULT_EXACT_BITS};
@@ -118,6 +119,9 @@ pub fn try_eval_power_query(
         ctl.checkpoint("homcount/power-factor")?;
         let base = try_count_with(opts.engine, &f.base, d, &ctl)?;
         let m = Magnitude::exact_with_budget(base, opts.exact_bits).pow(&f.exponent);
+        // Exact magnitudes carry their Nat on the heap; intervals are a
+        // couple of machine words. Charge before accumulating.
+        ctl.charge(m.as_exact().map_or(16, nat_bytes))?;
         acc = acc.mul(&m);
     }
     Ok(acc)

@@ -64,7 +64,8 @@ mod treedec;
 mod tw;
 
 pub use cancel::{
-    CancelReason, CancelToken, Cancelled, CheckpointHook, EvalControl, Ticker, CHECK_INTERVAL,
+    CancelReason, CancelToken, Cancelled, CheckpointHook, EvalControl, MemoryGauge, Ticker,
+    CHECK_INTERVAL,
 };
 pub use eval::{
     count, count_with, eval_power_query, try_count_with, try_eval_power_query, Engine, EvalOptions,

@@ -16,7 +16,9 @@
 //! cross-validated against.
 
 use crate::cancel::{Cancelled, EvalControl, Ticker};
-use crate::common::{components, inequality_ok, resolve, IndexCache, UNASSIGNED};
+use crate::common::{
+    components, free_var_factor, inequality_ok, nat_bytes, resolve, IndexCache, UNASSIGNED,
+};
 use bagcq_arith::Nat;
 use bagcq_query::{Query, Term};
 use bagcq_structure::Structure;
@@ -65,10 +67,11 @@ impl NaiveCounter {
             if c.is_zero() {
                 return Ok(Nat::zero());
             }
+            ctl.charge(nat_bytes(&c))?;
             total *= &c;
         }
         if comps.free_vars > 0 {
-            total *= &Nat::from_u64(n).pow_u64(comps.free_vars as u64);
+            total *= &free_var_factor(n, comps.free_vars as u64, ctl)?;
         }
         Ok(total)
     }

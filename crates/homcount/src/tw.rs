@@ -8,7 +8,7 @@
 //! stars, grids; experiment E-PERF1).
 
 use crate::cancel::{Cancelled, EvalControl, Ticker};
-use crate::common::{components, inequality_ok, resolve, UNASSIGNED};
+use crate::common::{components, free_var_factor, inequality_ok, nat_bytes, resolve, UNASSIGNED};
 use crate::treedec::{decompose_min_fill, TreeDecomposition};
 use bagcq_arith::Nat;
 use bagcq_query::{Query, Term};
@@ -56,10 +56,11 @@ impl TreewidthCounter {
             if c.is_zero() {
                 return Ok(Nat::zero());
             }
+            ctl.charge(nat_bytes(&c))?;
             total *= &c;
         }
         if comps.free_vars > 0 {
-            total *= &Nat::from_u64(d.vertex_count() as u64).pow_u64(comps.free_vars as u64);
+            total *= &free_var_factor(d.vertex_count() as u64, comps.free_vars as u64, ctl)?;
         }
         Ok(total)
     }

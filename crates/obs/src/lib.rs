@@ -28,6 +28,24 @@
 
 pub mod json;
 
+/// Well-known stage names for the serving layer's instant events, so
+/// emitters and trace consumers agree on the strings. Stages emitted by
+/// span-instrumented code (e.g. `engine.count`, `homcount.power`) stay
+/// inline at their call sites; these constants cover the engine
+/// lifecycle instants that tests and dashboards filter on.
+pub mod stages {
+    /// Engine health transitions (`healthy` / `degraded` / `draining`).
+    pub const ENGINE_HEALTH: &str = "engine.health";
+    /// Admission events: shed reasons and blocking-admission waits.
+    pub const ENGINE_ADMISSION: &str = "engine.admission";
+    /// Drain lifecycle: `begin`, `hard_stop`, `end`.
+    pub const ENGINE_DRAIN: &str = "engine.drain";
+    /// Supervisor events: `worker_death`, `worker_restart`, `requeue`.
+    pub const ENGINE_SUPERVISOR: &str = "engine.supervisor";
+    /// Memory-budget events: `denial`.
+    pub const ENGINE_BUDGET: &str = "engine.budget";
+}
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
