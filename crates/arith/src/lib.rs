@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod acc;
 mod int;
 mod magnitude;
 mod nat;
 mod rat;
 
+pub use acc::{acc_promotions, Acc, Accumulator};
 pub use int::{Int, Sign};
 pub use magnitude::{CertOrd, Magnitude, DEFAULT_EXACT_BITS};
 pub use nat::{Nat, ParseNatError};

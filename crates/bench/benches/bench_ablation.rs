@@ -21,7 +21,7 @@ fn bench_factorization_ablation(c: &mut Criterion) {
     for k in [1u32, 2, 3] {
         let powered = q.power(k);
         group.bench_with_input(BenchmarkId::new("factored", k), &powered, |b, pq| {
-            b.iter(|| NaiveCounter.count(pq, &d))
+            b.iter(|| CountRequest::new(pq, &d).backend(BackendChoice::Naive).count())
         });
         group.bench_with_input(BenchmarkId::new("enumerative", k), &powered, |b, pq| {
             b.iter(|| NaiveCounter.count_enumerative(pq, &d))
@@ -40,7 +40,9 @@ fn bench_connected_queries_overhead(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_millis(800));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    group.bench_function("factored", |b| b.iter(|| NaiveCounter.count(&q, &d)));
+    group.bench_function("factored", |b| {
+        b.iter(|| CountRequest::new(&q, &d).backend(BackendChoice::Naive).count())
+    });
     group.bench_function("enumerative", |b| b.iter(|| NaiveCounter.count_enumerative(&q, &d)));
     group.finish();
 }

@@ -94,6 +94,46 @@ fn bench_cross_validation_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// E-KERNEL companion: the same cold batch executed through the engine
+/// with every job pinned to one [`BackendChoice`] — the fast machine-word
+/// paths against their `Nat`-reference algorithms, plus `Auto`'s
+/// heuristic pick. Expected shape: `fast-*` beats its reference family on
+/// this count-heavy workload; `auto` tracks the best of the four.
+fn bench_backend_comparison(c: &mut Criterion) {
+    let schema = digraph_schema();
+    let dbs: Vec<Arc<Structure>> =
+        (0..4).map(|i| Arc::new(random_digraph(&schema, 13, 0.4, 300 + i))).collect();
+    let queries = [
+        path_query(&schema, "E", 4),
+        path_query(&schema, "E", 2).power(12),
+        cycle_query(&schema, "E", 4),
+        star_query(&schema, "E", 5),
+    ];
+
+    let mut group = c.benchmark_group("engine_backend_comparison");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.throughput(Throughput::Elements((dbs.len() * queries.len()) as u64));
+    for choice in BackendChoice::ALL {
+        let batch: Vec<Job> = dbs
+            .iter()
+            .flat_map(|d| queries.iter().map(|q| Job::count_with(choice, q.clone(), Arc::clone(d))))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(choice), &batch, |b, batch| {
+            b.iter(|| {
+                // Fresh engine per iteration: a cold cache, so every job
+                // actually runs its pinned kernel.
+                let engine = EvalEngine::with_workers(2);
+                for h in engine.submit_batch(batch.clone()) {
+                    criterion::black_box(h.wait());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 /// E-OVERLOAD companion: the serving layer's cost under burst load. An
 /// unbounded queue absorbs the whole burst (baseline); a bounded queue
 /// under RejectNewest sheds most of it at admission. Shedding should be
@@ -135,6 +175,7 @@ criterion_group!(
     benches,
     bench_batch_throughput,
     bench_cross_validation_overhead,
+    bench_backend_comparison,
     bench_overload_admission
 );
 criterion_main!(benches);

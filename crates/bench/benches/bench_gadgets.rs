@@ -17,8 +17,9 @@ fn bench_beta(c: &mut Criterion) {
         let g = beta_gadget(p, "Bn");
         group.bench_with_input(BenchmarkId::new("witness_eval", p), &g, |b, g| {
             b.iter(|| {
-                let s = NaiveCounter.count(&g.q_s, &g.witness);
-                let bb = NaiveCounter.count(&g.q_b, &g.witness);
+                let s = CountRequest::new(&g.q_s, &g.witness).backend(BackendChoice::Naive).count();
+                let bb =
+                    CountRequest::new(&g.q_b, &g.witness).backend(BackendChoice::Naive).count();
                 (s, bb)
             })
         });
@@ -38,8 +39,9 @@ fn bench_gamma(c: &mut Criterion) {
         let g = gamma_gadget(m, "Gn");
         group.bench_with_input(BenchmarkId::new("witness_eval", m), &g, |b, g| {
             b.iter(|| {
-                let s = NaiveCounter.count(&g.q_s, &g.witness);
-                let bb = NaiveCounter.count(&g.q_b, &g.witness);
+                let s = CountRequest::new(&g.q_s, &g.witness).backend(BackendChoice::Naive).count();
+                let bb =
+                    CountRequest::new(&g.q_b, &g.witness).backend(BackendChoice::Naive).count();
                 (s, bb)
             })
         });

@@ -20,12 +20,16 @@ fn bench_engines(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("naive/{name}"), n),
                 &(&q, &d),
-                |b, (q, d)| b.iter(|| NaiveCounter.count(q, d)),
+                |b, (q, d)| {
+                    b.iter(|| CountRequest::new(q, d).backend(BackendChoice::Naive).count())
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("treewidth/{name}"), n),
                 &(&q, &d),
-                |b, (q, d)| b.iter(|| TreewidthCounter.count(q, d)),
+                |b, (q, d)| {
+                    b.iter(|| CountRequest::new(q, d).backend(BackendChoice::Treewidth).count())
+                },
             );
         }
     }
@@ -44,7 +48,7 @@ fn bench_power_factorization(c: &mut Criterion) {
     for k in [1u32, 8, 32] {
         let powered = q.power(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &powered, |b, pq| {
-            b.iter(|| TreewidthCounter.count(pq, &d))
+            b.iter(|| CountRequest::new(pq, &d).backend(BackendChoice::Treewidth).count())
         });
     }
     group.finish();

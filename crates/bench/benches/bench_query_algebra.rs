@@ -33,11 +33,11 @@ fn bench_eval_factored_vs_flat(c: &mut Criterion) {
         // inside the engine still helps; this measures its overhead).
         let flat = q.power(k);
         group.bench_with_input(BenchmarkId::new("flat", k), &flat, |b, flat| {
-            b.iter(|| count(flat, &d))
+            b.iter(|| CountRequest::new(flat, &d).count())
         });
         // Factored: count once, pow.
         group.bench_with_input(BenchmarkId::new("factored", k), &k, |b, &k| {
-            b.iter(|| count(&q, &d).pow_u64(k as u64))
+            b.iter(|| CountRequest::new(&q, &d).count().pow_u64(k as u64))
         });
         // Symbolic PowerQuery evaluation.
         let pq = PowerQuery::power(q.clone(), Nat::from_u64(k as u64));

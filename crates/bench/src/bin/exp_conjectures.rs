@@ -15,7 +15,7 @@ fn main() {
     row(&["query".into(), "count on the well".into()]);
     sep(2);
     for (name, q) in [("Arena", &red.arena), ("π_s", &red.pi_s), ("π_b", &red.pi_b)] {
-        row(&[name.into(), count(q, &well).to_string()]);
+        row(&[name.into(), CountRequest::new(q, &well).count().to_string()]);
     }
     println!();
     println!(
@@ -60,8 +60,8 @@ fn main() {
     for (name, d) in [("well of positivity", &gadget_well), ("gadget witness", &g.witness)] {
         row(&[
             name.into(),
-            count(&g.q_s, d).to_string(),
-            count(&g.q_b, d).to_string(),
+            CountRequest::new(&g.q_s, d).count().to_string(),
+            CountRequest::new(&g.q_b, d).count().to_string(),
             format!("{:?}", stmt.holds_on(d, &opts)),
         ]);
     }

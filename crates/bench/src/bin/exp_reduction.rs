@@ -44,9 +44,9 @@ fn main() {
     for val in [[0u64, 0], [1, 0], [1, 1], [2, 1], [2, 3], [4, 2]] {
         let d = red.correct_database(&val);
         let nv: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
-        let pi_s = count(&red.pi_s, &d);
+        let pi_s = CountRequest::new(&red.pi_s, &d).count();
         let ps = red.instance.p_s().eval_nat(&nv);
-        let pi_b = count(&red.pi_b, &d);
+        let pi_b = CountRequest::new(&red.pi_b, &d).count();
         let pb =
             nv[0].pow_u64(red.instance.degree as u64).mul_ref(&red.instance.p_b().eval_nat(&nv));
         let ok = pi_s == ps && pi_b == pb;
@@ -74,8 +74,8 @@ fn main() {
     let mut worst: Option<(Nat, Nat)> = None;
     for seed in 0..60u64 {
         let d = gen.sample(&red.schema, seed);
-        let s = count(&red.pi_s, &d);
-        let b = count(&red.pi_b, &d);
+        let s = CountRequest::new(&red.pi_s, &d).count();
+        let b = CountRequest::new(&red.pi_b, &d).count();
         assert!(s <= b, "Lemma 12 violated at seed {seed}");
         if !s.is_zero() {
             worst = Some((s.clone(), b.clone()));

@@ -22,9 +22,9 @@ fn main() {
         let q1 = qg.sample(&schema, seed);
         let q2 = qg.sample(&schema, seed + 100);
         let d = random_digraph(&schema, 6, 0.3, seed);
-        let c1 = count(&q1, &d);
-        let c2 = count(&q2, &d);
-        let cc = count(&q1.disjoint_conj(&q2), &d);
+        let c1 = CountRequest::new(&q1, &d).count();
+        let c2 = CountRequest::new(&q2, &d).count();
+        let cc = CountRequest::new(&q1.disjoint_conj(&q2), &d).count();
         let prod = c1.mul_ref(&c2);
         let ok = cc == prod;
         row(&[
@@ -44,9 +44,9 @@ fn main() {
     sep(5);
     let q = path_query(&schema, "E", 2);
     let d = random_digraph(&schema, 7, 0.3, 17);
-    let base = count(&q, &d);
+    let base = CountRequest::new(&q, &d).count();
     for k in [0u32, 1, 2, 4, 8] {
-        let powered = count(&q.power(k), &d);
+        let powered = CountRequest::new(&q.power(k), &d).count();
         let expect = base.pow_u64(k as u64);
         let ok = powered == expect;
         row(&[
@@ -74,11 +74,11 @@ fn main() {
     let q = cycle_query(&schema, "E", 3);
     let d = random_digraph(&schema, 6, 0.4, 23);
     let j = q.var_count() as u64;
-    let base = count(&q, &d);
+    let base = CountRequest::new(&q, &d).count();
     for k in [1u32, 2, 3] {
-        let blown = count(&q, &d.blowup(k));
+        let blown = CountRequest::new(&q, &d.blowup(k)).count();
         let expect_blow = Nat::from_u64(k as u64).pow_u64(j).mul_ref(&base);
-        let powered = count(&q, &d.power(k));
+        let powered = CountRequest::new(&q, &d.power(k)).count();
         let expect_pow = base.pow_u64(k as u64);
         let ok = blown == expect_blow && powered == expect_pow;
         row(&[

@@ -97,8 +97,8 @@ fn main() {
 }
 
 fn run_case(label_s: &str, label_b: &str, psi_s: &Query, psi_b: &Query, d0: &Structure) {
-    let s0 = count(&psi_s.strip_inequalities(), d0);
-    let b0 = count(psi_b, d0);
+    let s0 = CountRequest::new(&psi_s.strip_inequalities(), d0).count();
+    let b0 = CountRequest::new(psi_b, d0).count();
     match eliminate_inequalities(psi_s, psi_b, d0, 10) {
         Ok(elim) => {
             row(&[

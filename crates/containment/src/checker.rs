@@ -21,7 +21,7 @@
 use crate::chandra_merlin::set_contained;
 use crate::verdict::{Certificate, Counterexample, Provenance, Verdict};
 use bagcq_arith::{Nat, Rat};
-use bagcq_homcount::{count, find_onto_hom};
+use bagcq_homcount::{find_onto_hom, BackendChoice, CountRequest};
 use bagcq_query::Query;
 use bagcq_reduction::{eliminate_inequalities, EliminationError};
 use bagcq_structure::{Structure, StructureGen};
@@ -117,9 +117,17 @@ impl ContainmentChecker {
         }
     }
 
-    /// Runs the full pipeline.
+    /// Runs the full pipeline, counting with the default backend
+    /// ([`BackendChoice::Auto`]).
     pub fn check(&self, q_s: &Query, q_b: &Query) -> Verdict {
-        self.check_with_counter(q_s, q_b, &|q, d| count(q, d))
+        self.check_with_backend(q_s, q_b, BackendChoice::Auto)
+    }
+
+    /// Runs the full pipeline with every count pinned to one
+    /// [`BackendChoice`] — how the conformance suite re-runs the same
+    /// checks through each registered kernel.
+    pub fn check_with_backend(&self, q_s: &Query, q_b: &Query, backend: BackendChoice) -> Verdict {
+        self.check_with_counter(q_s, q_b, &|q, d| CountRequest::new(q, d).backend(backend).count())
     }
 
     /// Runs the full pipeline with an injected counting function.
@@ -128,8 +136,8 @@ impl ContainmentChecker {
     /// `counter`, which lets callers route counts through a memo cache or
     /// a cross-validating dual-engine counter (the `bagcq-engine` crate
     /// does both) without this crate depending on them. `counter` must be
-    /// extensionally equal to [`bagcq_homcount::count`] — the verdicts are
-    /// only as sound as the counts it returns.
+    /// extensionally equal to [`bagcq_homcount::CountRequest::count`] —
+    /// the verdicts are only as sound as the counts it returns.
     pub fn check_with_counter(&self, q_s: &Query, q_b: &Query, counter: &CountFn<'_>) -> Verdict {
         match self
             .try_check_with_counter::<std::convert::Infallible>(q_s, q_b, &|q, d| Ok(counter(q, d)))
@@ -434,7 +442,7 @@ mod tests {
         let v = ContainmentChecker::new()
             .try_check_with_counter::<std::convert::Infallible>(&p1, &p2, &|q, d| {
                 calls.set(calls.get() + 1);
-                Ok(bagcq_homcount::count(q, d))
+                Ok(CountRequest::new(q, d).count())
             })
             .unwrap();
         assert!(v.is_refuted(), "{v}");

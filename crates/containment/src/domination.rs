@@ -20,7 +20,7 @@
 //! (`hde(θ, θ↑k) = 1/k`) the estimator is exact on every sample, which
 //! the tests pin down.
 
-use bagcq_homcount::count;
+use bagcq_homcount::CountRequest;
 use bagcq_query::Query;
 use bagcq_structure::{Structure, StructureGen};
 
@@ -38,11 +38,11 @@ pub struct DominationSample {
 /// Computes the domination ratio on one database, when meaningful
 /// (`hom(G, D) ≥ 2` so the denominator is positive, and `hom(F, D) ≥ 1`).
 pub fn domination_ratio(f: &Query, g: &Query, d: &Structure) -> Option<DominationSample> {
-    let hf = count(f, d);
+    let hf = CountRequest::new(f, d).count();
     if hf.is_zero() {
         // hom(F,D) = 0 with hom(G,D) ≥ 2 would make the exponent -∞;
         // report it as a ratio of f64::NEG_INFINITY.
-        let hg = count(g, d);
+        let hg = CountRequest::new(g, d).count();
         if hg > bagcq_arith::Nat::one() {
             return Some(DominationSample {
                 log_f: f64::NEG_INFINITY,
@@ -52,7 +52,7 @@ pub fn domination_ratio(f: &Query, g: &Query, d: &Structure) -> Option<Dominatio
         }
         return None;
     }
-    let hg = count(g, d);
+    let hg = CountRequest::new(g, d).count();
     if hg <= bagcq_arith::Nat::one() {
         return None; // log hom(G,D) ≤ 0: the ratio is not informative
     }

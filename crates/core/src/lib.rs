@@ -66,7 +66,7 @@ pub use bagcq_structure as structure;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use bagcq_arith::{CertOrd, Int, Magnitude, Nat, Rat};
+    pub use bagcq_arith::{acc_promotions, CertOrd, Int, Magnitude, Nat, Rat};
     pub use bagcq_containment::{
         set_contained, Certificate, ContainmentChecker, Counterexample, SearchBudget, TryCountFn,
         Verdict,
@@ -79,10 +79,13 @@ pub mod prelude {
     };
     pub use bagcq_hilbert::{by_name as hilbert_instance, library as hilbert_library, reduce};
     pub use bagcq_homcount::{
-        answer_bag, answer_bag_contained, count, count_with, eval_power_query, find_onto_hom,
-        output_contained_on, verify_onto_hom, AnswerBag, Engine, EvalOptions, NaiveCounter,
-        TreewidthCounter,
+        answer_bag, answer_bag_contained, backend_for, eval_power_query, find_onto_hom,
+        output_contained_on, registered_backends, verify_onto_hom, AnswerBag, BackendChoice,
+        CountBackend, CountRequest, Engine, EvalOptions, FastNaiveCounter, FastTreewidthCounter,
+        NaiveCounter, TreewidthCounter,
     };
+    #[allow(deprecated)] // legacy free-function entry points, kept for one release
+    pub use bagcq_homcount::{count, count_with};
     pub use bagcq_obs::StageStats;
     pub use bagcq_polynomial::{Lemma11Instance, Monomial, Polynomial};
     pub use bagcq_query::{

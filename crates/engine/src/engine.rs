@@ -76,13 +76,13 @@ use crate::supervisor::{EngineHealth, SupervisorConfig};
 use crate::trace::{fp_bits, outcome_label};
 use bagcq_arith::{Magnitude, Nat};
 use bagcq_homcount::{
-    try_count_with, CancelReason, CancelToken, Cancelled, CheckpointHook, Engine, EvalControl,
+    BackendChoice, CancelReason, CancelToken, Cancelled, CheckpointHook, CountError, CountRequest,
+    Engine, EvalControl,
 };
 use bagcq_obs as obs;
 use bagcq_query::Query;
 use bagcq_structure::Structure;
 use std::any::Any;
-use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -102,13 +102,15 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Memo-cache shards (lock granularity; at least 1).
     pub cache_shards: usize,
-    /// When `true`, every raw count is computed by **both** engines and
-    /// compared; a mismatch surfaces as [`Outcome::Panicked`] instead of
-    /// silently returning a wrong number.
+    /// When `true`, every raw count is computed by **both** kernel
+    /// families (the resolved backend plus the reference kernel of the
+    /// *other* [`BackendChoice::family`]) and compared; a mismatch
+    /// surfaces as [`Outcome::Panicked`] instead of silently returning a
+    /// wrong number.
     pub cross_validate: bool,
-    /// Engine for counts the spec does not pin: containment-internal
+    /// Backend for counts the spec does not pin: containment-internal
     /// counts, [`CachedCounter`], and power-query factors.
-    pub counter_engine: Engine,
+    pub counter_backend: BackendChoice,
     /// Retry policy for transient failures (spurious cancellations,
     /// transient counter errors, panics).
     pub retry: RetryPolicy,
@@ -140,7 +142,7 @@ impl Default for EngineConfig {
             workers: 0,
             cache_shards: 16,
             cross_validate: false,
-            counter_engine: Engine::default(),
+            counter_backend: BackendChoice::default(),
             retry: RetryPolicy::default(),
             fallback_enabled: true,
             breaker: BreakerConfig::default(),
@@ -149,56 +151,6 @@ impl Default for EngineConfig {
             supervisor: SupervisorConfig::default(),
             memory_budget_bytes: 0,
         }
-    }
-}
-
-/// Typed failure of one cached/validated count.
-///
-/// This is the error the engine's internal counters — and the public
-/// [`CachedCounter::try_count`] — speak, and the error type the
-/// containment checker's fallible counter plumbing
-/// ([`bagcq_containment::ContainmentChecker::try_check_with_counter`])
-/// propagates out of a check.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CountError {
-    /// The evaluation was cancelled (deadline, step budget, memory
-    /// budget, engine shutdown, or a spurious injected cancellation — see
-    /// [`CancelReason`]).
-    Cancelled(Cancelled),
-    /// Dual-engine cross-validation disagreed: one of the two counting
-    /// engines has a bug, and no number can be trusted. Terminal.
-    Mismatch(String),
-    /// A transient infrastructure failure worth retrying.
-    Transient(String),
-}
-
-impl fmt::Display for CountError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CountError::Cancelled(c) => write!(f, "{c}"),
-            CountError::Mismatch(msg) => write!(f, "cross-validation mismatch: {msg}"),
-            CountError::Transient(msg) => write!(f, "transient failure: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for CountError {}
-
-impl From<Cancelled> for CountError {
-    fn from(c: Cancelled) -> Self {
-        CountError::Cancelled(c)
-    }
-}
-
-impl CountError {
-    /// `true` for failures a retry may cure: transient errors and
-    /// spurious cancellations (a cancellation nobody's deadline or budget
-    /// explains).
-    pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
-            CountError::Transient(_) | CountError::Cancelled(Cancelled(CancelReason::Cancelled))
-        )
     }
 }
 
@@ -280,33 +232,32 @@ impl Shared {
         }
     }
 
-    /// A raw count with optional dual-engine cross-validation.
+    /// A raw count with optional cross-family validation.
     fn count_direct(
         &self,
-        engine: Engine,
+        backend: BackendChoice,
         q: &Query,
         d: &Structure,
         ctl: &EvalControl,
     ) -> Result<Nat, CountError> {
         self.count_checkpoint("engine/count")?;
-        let _span = obs::span(
-            "engine.count",
-            match engine {
-                Engine::Naive => "naive",
-                Engine::Treewidth => "treewidth",
-            },
-        );
-        let n = try_count_with(engine, q, d, ctl)?;
+        let resolved = backend.resolve(q, d);
+        let _span = obs::span("engine.count", resolved.label());
+        let n = CountRequest::new(q, d).backend(resolved).control(ctl.clone()).run()?;
         if self.config.cross_validate {
-            let other = match engine {
+            // Validate against the reference kernel of the *other* family:
+            // two independent counting algorithms, not the same algorithm
+            // over two accumulator widths.
+            let other: BackendChoice = match resolved.family() {
                 Engine::Naive => Engine::Treewidth,
                 Engine::Treewidth => Engine::Naive,
-            };
-            let m = try_count_with(other, q, d, ctl)?;
+            }
+            .into();
+            let m = CountRequest::new(q, d).backend(other).control(ctl.clone()).run()?;
             self.metrics.cross_validation();
             if n != m {
                 return Err(CountError::Mismatch(format!(
-                    "engines disagree on {q}: {engine:?} and {other:?} returned different counts"
+                    "backends disagree on {q}: {resolved} and {other} returned different counts"
                 )));
             }
         }
@@ -319,26 +270,26 @@ impl Shared {
     /// inheriting the failure.
     fn count_cached(
         &self,
-        engine: Engine,
+        backend: BackendChoice,
         q: &Query,
         d: &Structure,
         ctl: &EvalControl,
         deadline: Option<Instant>,
     ) -> Result<Nat, CountError> {
-        let key = count_fingerprint(q, d, engine);
+        let key = count_fingerprint(q, d, backend);
         match self.cache.begin(key) {
             Lookup::Hit(Outcome::Count(n)) => Ok(n),
-            Lookup::Hit(_) => self.count_direct(engine, q, d, ctl),
+            Lookup::Hit(_) => self.count_direct(backend, q, d, ctl),
             Lookup::Join(flight) => match flight.wait(deadline) {
                 Some(Outcome::Count(n)) => Ok(n),
-                Some(_) => self.count_direct(engine, q, d, ctl),
+                Some(_) => self.count_direct(backend, q, d, ctl),
                 // Our own deadline expired while waiting on the leader.
                 None => Err(Cancelled(CancelReason::DeadlineExceeded).into()),
             },
             Lookup::Lead(token) => {
                 // If count_direct panics, the token's Drop evicts the
                 // in-flight slot and wakes joiners, so nobody hangs.
-                let result = self.count_direct(engine, q, d, ctl);
+                let result = self.count_direct(backend, q, d, ctl);
                 let outcome = match &result {
                     Ok(n) => Outcome::Count(n.clone()),
                     Err(_) => Outcome::TimedOut,
@@ -350,37 +301,37 @@ impl Shared {
     }
 
     /// Evaluates a spec once; `Err` carries the typed failure.
-    /// `engine_override` is the fallback chain's engine substitution.
+    /// `backend_override` is the fallback chain's backend substitution.
     fn run_spec(
         &self,
         spec: &JobSpec,
         ctl: &EvalControl,
         deadline: Option<Instant>,
-        engine_override: Option<Engine>,
+        backend_override: Option<BackendChoice>,
     ) -> Result<Outcome, CountError> {
         match spec {
-            JobSpec::Count { query, database, engine } => {
+            JobSpec::Count { query, database, backend } => {
                 // The job-level cache already keys this spec; compute directly.
-                let engine = engine_override.unwrap_or(*engine);
-                Ok(Outcome::Count(self.count_direct(engine, query, database, ctl)?))
+                let backend = backend_override.unwrap_or(*backend);
+                Ok(Outcome::Count(self.count_direct(backend, query, database, ctl)?))
             }
             JobSpec::EvalPower { query, database, exact_bits } => {
                 // Mirrors `try_eval_power_query`, but routes every factor
                 // count through the memo cache (φ_s and φ_b share factor
                 // counts on the same database) and cross-validation.
-                let engine = engine_override.unwrap_or(self.config.counter_engine);
+                let backend = backend_override.unwrap_or(self.config.counter_backend);
                 let mut acc = Magnitude::exact_with_budget(Nat::one(), *exact_bits);
                 for f in query.factors() {
-                    let base = self.count_cached(engine, &f.base, database, ctl, deadline)?;
+                    let base = self.count_cached(backend, &f.base, database, ctl, deadline)?;
                     let m = Magnitude::exact_with_budget(base, *exact_bits).pow(&f.exponent);
                     acc = acc.mul(&m);
                 }
                 Ok(Outcome::Power(acc))
             }
             JobSpec::ContainmentCheck { checker, q_s, q_b } => {
-                let engine = engine_override.unwrap_or(self.config.counter_engine);
+                let backend = backend_override.unwrap_or(self.config.counter_backend);
                 let counter = |q: &Query, d: &Structure| -> Result<Nat, CountError> {
-                    self.count_cached(engine, q, d, ctl, deadline)
+                    self.count_cached(backend, q, d, ctl, deadline)
                 };
                 let verdict = checker.try_check_with_counter(q_s, q_b, &counter)?;
                 Ok(Outcome::Verdict(Arc::new(verdict)))
@@ -410,10 +361,10 @@ impl Shared {
     fn execute_once(
         &self,
         item: &WorkItem,
-        engine_override: Option<Engine>,
+        backend_override: Option<BackendChoice>,
     ) -> Result<Outcome, JobFailure> {
         let ctl = self.controls(item.deadline, item.step_budget);
-        let run = || self.run_spec(&item.spec, &ctl, item.deadline, engine_override);
+        let run = || self.run_spec(&item.spec, &ctl, item.deadline, backend_override);
         match catch_unwind(AssertUnwindSafe(run)) {
             Ok(Ok(outcome)) => Ok(outcome),
             Ok(Err(CountError::Cancelled(Cancelled(reason)))) => Err(JobFailure::Cancelled(reason)),
@@ -428,21 +379,30 @@ impl Shared {
         }
     }
 
-    /// The fallback engine for this job, or `None` when the chain is
+    /// The fallback backend for this job, or `None` when the chain is
     /// exhausted (fallback disabled, already taken, or the job is pinned
-    /// to the last engine in the chain). The chain is one hop:
-    /// treewidth → naive.
-    fn fallback_for(&self, item: &WorkItem, current: Option<Engine>) -> Option<Engine> {
+    /// to the last backend in the chain). The chain is one hop to the
+    /// backtracking family, which holds less intermediate state than the
+    /// treewidth DP: treewidth → naive, fast-treewidth → fast-naive,
+    /// auto → naive (the reference kernel, in case the fast path itself
+    /// is what keeps failing).
+    fn fallback_for(
+        &self,
+        item: &WorkItem,
+        current: Option<BackendChoice>,
+    ) -> Option<BackendChoice> {
         if !self.config.fallback_enabled || current.is_some() {
             return None;
         }
         let pinned = match &item.spec {
-            JobSpec::Count { engine, .. } => *engine,
-            _ => self.config.counter_engine,
+            JobSpec::Count { backend, .. } => *backend,
+            _ => self.config.counter_backend,
         };
         match pinned {
-            Engine::Treewidth => Some(Engine::Naive),
-            Engine::Naive => None,
+            BackendChoice::Treewidth => Some(BackendChoice::Naive),
+            BackendChoice::FastTreewidth => Some(BackendChoice::FastNaive),
+            BackendChoice::Auto => Some(BackendChoice::Naive),
+            BackendChoice::Naive | BackendChoice::FastNaive => None,
         }
     }
 
@@ -469,13 +429,13 @@ impl Shared {
         let fp = item.spec.fingerprint();
         let _span = obs::span_fp("engine.execute", item.spec.kind(), fp_bits(&fp));
         let salt = fp.hi ^ fp.lo;
-        let mut engine_override: Option<Engine> = None;
+        let mut backend_override: Option<BackendChoice> = None;
         let mut attempt: u32 = 0;
         loop {
             if item.deadline.is_some_and(|d| Instant::now() >= d) {
                 return Outcome::TimedOut;
             }
-            let failure = match self.execute_once(item, engine_override) {
+            let failure = match self.execute_once(item, backend_override) {
                 Ok(outcome) => return outcome,
                 Err(f) => f,
             };
@@ -496,9 +456,9 @@ impl Shared {
                 JobFailure::Cancelled(CancelReason::BudgetExhausted) => {
                     // Deterministic for a fixed engine; the fallback engine
                     // may fit the budget.
-                    match self.fallback_for(item, engine_override) {
-                        Some(engine) => {
-                            engine_override = Some(engine);
+                    match self.fallback_for(item, backend_override) {
+                        Some(backend) => {
+                            backend_override = Some(backend);
                             attempt = 0;
                             self.metrics.fallback_taken();
                         }
@@ -510,9 +470,9 @@ impl Shared {
                     // exhaustion — but the naive engine holds less
                     // intermediate state than the treewidth DP, so the
                     // fallback hop is worth one try.
-                    match self.fallback_for(item, engine_override) {
-                        Some(engine) => {
-                            engine_override = Some(engine);
+                    match self.fallback_for(item, backend_override) {
+                        Some(backend) => {
+                            backend_override = Some(backend);
                             attempt = 0;
                             self.metrics.fallback_taken();
                         }
@@ -531,8 +491,8 @@ impl Shared {
                         self.backoff_sleep(attempt, salt, item.deadline);
                         attempt += 1;
                         self.metrics.retry();
-                    } else if let Some(engine) = self.fallback_for(item, engine_override) {
-                        engine_override = Some(engine);
+                    } else if let Some(backend) = self.fallback_for(item, backend_override) {
+                        backend_override = Some(backend);
                         attempt = 0;
                         self.metrics.fallback_taken();
                     } else {
@@ -551,8 +511,8 @@ impl Shared {
                         self.backoff_sleep(attempt, salt, item.deadline);
                         attempt += 1;
                         self.metrics.retry();
-                    } else if let Some(engine) = self.fallback_for(item, engine_override) {
-                        engine_override = Some(engine);
+                    } else if let Some(backend) = self.fallback_for(item, backend_override) {
+                        backend_override = Some(backend);
                         attempt = 0;
                         self.metrics.fallback_taken();
                     } else {
@@ -1108,13 +1068,13 @@ impl CachedCounter {
     /// Unlike pool execution there is no panic isolation here: an
     /// evaluation panic propagates to the caller.
     pub fn try_count(&self, q: &Query, d: &Structure) -> Result<Nat, CountError> {
-        let engine = self.shared.config.counter_engine;
+        let backend = self.shared.config.counter_backend;
         let ctl = self.shared.controls(None, 0);
-        let salt = count_fingerprint(q, d, engine);
+        let salt = count_fingerprint(q, d, backend);
         let salt = salt.hi ^ salt.lo;
         let mut attempt: u32 = 0;
         loop {
-            match self.shared.count_cached(engine, q, d, &ctl, None) {
+            match self.shared.count_cached(backend, q, d, &ctl, None) {
                 Ok(n) => return Ok(n),
                 Err(e) if e.is_transient() && attempt < self.shared.config.retry.max_retries => {
                     self.shared.backoff_sleep(attempt, salt, None);

@@ -31,8 +31,8 @@
 //! itself (its marker panic is deliberately re-raised past the engine's
 //! `catch_unwind`), forcing the supervisor to reap and restart it.
 
-use crate::engine::CountError;
 use crate::retry::splitmix64;
+use bagcq_homcount::CountError;
 use bagcq_homcount::{CancelReason, Cancelled, CheckpointHook};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

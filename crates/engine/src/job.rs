@@ -13,7 +13,7 @@
 use crate::breaker::FailFast;
 use bagcq_arith::{Magnitude, Nat};
 use bagcq_containment::{ContainmentChecker, Verdict};
-use bagcq_homcount::Engine;
+use bagcq_homcount::BackendChoice;
 use bagcq_query::{PowerQuery, Query};
 use bagcq_structure::{Fingerprint, FingerprintHasher, Structure};
 use std::fmt;
@@ -23,15 +23,15 @@ use std::time::Duration;
 /// What a job evaluates.
 #[derive(Clone)]
 pub enum JobSpec {
-    /// `|Hom(query, database)|` with the chosen counting engine
+    /// `|Hom(query, database)|` with the chosen counting backend
     /// (Section 2.1 bag semantics).
     Count {
         /// The boolean conjunctive query `ψ`.
         query: Query,
         /// The database `D`.
         database: Arc<Structure>,
-        /// Which counting engine evaluates it.
-        engine: Engine,
+        /// Which counting backend evaluates it.
+        backend: BackendChoice,
     },
     /// `Φ(D) = ∏ θᵢ(D)^{eᵢ}` for a symbolic power query, evaluated into a
     /// certified [`Magnitude`].
@@ -74,8 +74,8 @@ impl JobSpec {
     /// orders still share cache entries.
     pub fn fingerprint(&self) -> Fingerprint {
         match self {
-            JobSpec::Count { query, database, engine } => {
-                count_fingerprint(query, database, *engine)
+            JobSpec::Count { query, database, backend } => {
+                count_fingerprint(query, database, *backend)
             }
             JobSpec::EvalPower { query, database, exact_bits } => {
                 let mut h = FingerprintHasher::new(b"bagcq/job/eval-power");
@@ -116,7 +116,7 @@ impl JobSpec {
 pub(crate) fn count_fingerprint(
     query: &Query,
     database: &Structure,
-    engine: Engine,
+    backend: BackendChoice,
 ) -> Fingerprint {
     let mut h = FingerprintHasher::new(b"bagcq/job/count");
     let q = query.fingerprint();
@@ -125,9 +125,14 @@ pub(crate) fn count_fingerprint(
     let d = database.fingerprint();
     h.write_u64(d.hi);
     h.write_u64(d.lo);
-    h.write_u32(match engine {
-        Engine::Naive => 0,
-        Engine::Treewidth => 1,
+    // Stable tags: the reference kernels keep the pre-BackendChoice
+    // values 0/1 so their cache keys survive the API migration.
+    h.write_u32(match backend {
+        BackendChoice::Naive => 0,
+        BackendChoice::Treewidth => 1,
+        BackendChoice::FastNaive => 2,
+        BackendChoice::FastTreewidth => 3,
+        BackendChoice::Auto => 4,
     });
     h.finish()
 }
@@ -169,14 +174,19 @@ impl Job {
         Job { spec, timeout: None, step_budget: 0 }
     }
 
-    /// A count job with the default (treewidth) engine.
+    /// A count job with the default backend ([`BackendChoice::Auto`]).
     pub fn count(query: Query, database: Arc<Structure>) -> Self {
-        Job::new(JobSpec::Count { query, database, engine: Engine::default() })
+        Job::new(JobSpec::Count { query, database, backend: BackendChoice::default() })
     }
 
-    /// A count job with an explicit engine.
-    pub fn count_with(engine: Engine, query: Query, database: Arc<Structure>) -> Self {
-        Job::new(JobSpec::Count { query, database, engine })
+    /// A count job with an explicit backend. Accepts a [`BackendChoice`]
+    /// or a legacy [`bagcq_homcount::Engine`] value.
+    pub fn count_with(
+        backend: impl Into<BackendChoice>,
+        query: Query,
+        database: Arc<Structure>,
+    ) -> Self {
+        Job::new(JobSpec::Count { query, database, backend: backend.into() })
     }
 
     /// A symbolic power-query evaluation job.
@@ -428,13 +438,18 @@ mod tests {
     }
 
     #[test]
-    fn count_fingerprint_separates_engines() {
+    fn count_fingerprint_separates_backends() {
         let (q, d) = setup();
-        let naive =
-            JobSpec::Count { query: q.clone(), database: Arc::clone(&d), engine: Engine::Naive };
-        let tw = JobSpec::Count { query: q, database: d, engine: Engine::Treewidth };
-        assert_ne!(naive.fingerprint(), tw.fingerprint());
-        assert_eq!(naive.fingerprint(), naive.fingerprint());
+        let specs: Vec<JobSpec> = BackendChoice::ALL
+            .iter()
+            .map(|&b| JobSpec::Count { query: q.clone(), database: Arc::clone(&d), backend: b })
+            .collect();
+        for (i, a) in specs.iter().enumerate() {
+            assert_eq!(a.fingerprint(), a.fingerprint());
+            for b in specs.iter().skip(i + 1) {
+                assert_ne!(a.fingerprint(), b.fingerprint());
+            }
+        }
     }
 
     #[test]
@@ -443,7 +458,7 @@ mod tests {
         let count = JobSpec::Count {
             query: q.clone(),
             database: Arc::clone(&d),
-            engine: Engine::Treewidth,
+            backend: BackendChoice::Treewidth,
         };
         let power = JobSpec::EvalPower {
             query: PowerQuery::from_query(q.clone()),

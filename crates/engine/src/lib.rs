@@ -94,8 +94,15 @@ pub mod trace;
 pub use bagcq_obs as obs;
 
 pub use admission::{AdmissionConfig, AdmissionPolicy};
+/// The unified counting surface, re-exported from `bagcq-homcount` so
+/// engine users name backends and counting errors without a separate
+/// dependency edge: [`BackendChoice`] selects a kernel,
+/// [`CountRequest`]/[`CountBackend`] are the direct (engine-less) API,
+/// and [`CountError`] is the one error hierarchy the engine, the
+/// containment checker, and the kernels all speak.
+pub use bagcq_homcount::{BackendChoice, CountBackend, CountError, CountRequest};
 pub use breaker::{BreakerConfig, FailFast};
-pub use engine::{CachedCounter, CountError, DrainReport, EngineConfig, EvalEngine};
+pub use engine::{CachedCounter, DrainReport, EngineConfig, EvalEngine};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use job::{Job, JobHandle, JobSpec, Outcome, ShedReason};
 pub use journal::SweepJournal;

@@ -206,7 +206,7 @@ fn cached_counter_try_count_retries_transients() {
     let seed = 11;
     let (schema, d) = digraph(5, seed);
     let q = path_query(&schema, "E", 2);
-    let want = bagcq_homcount::count(&q, &d);
+    let want = bagcq_homcount::CountRequest::new(&q, &d).count();
 
     let plan = FaultPlan::seeded(seed)
         .with_kinds(&[FaultKind::TransientError])

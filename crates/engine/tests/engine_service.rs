@@ -6,7 +6,7 @@
 use bagcq_arith::Nat;
 use bagcq_containment::{ContainmentChecker, Verdict};
 use bagcq_engine::{EngineConfig, EvalEngine, Job, JobSpec, Outcome};
-use bagcq_homcount::{count_with, eval_power_query, Engine, EvalOptions};
+use bagcq_homcount::{eval_power_query, CountRequest, Engine, EvalOptions};
 use bagcq_query::{cycle_query, path_query, star_query, PowerQuery, Query};
 use bagcq_structure::{Schema, Structure, StructureGen, Vertex};
 use std::sync::Arc;
@@ -44,8 +44,8 @@ fn queries(schema: &Arc<Schema>) -> Vec<Query> {
 /// The sequential reference result for a spec.
 fn sequential(spec: &JobSpec) -> Outcome {
     match spec {
-        JobSpec::Count { query, database, engine } => {
-            Outcome::Count(count_with(*engine, query, database))
+        JobSpec::Count { query, database, backend } => {
+            Outcome::Count(CountRequest::new(query, database).backend(*backend).count())
         }
         JobSpec::EvalPower { query, database, exact_bits } => {
             let opts = EvalOptions { exact_bits: *exact_bits, ..EvalOptions::default() };
@@ -230,7 +230,7 @@ fn cross_validation_runs_and_agrees() {
         EvalEngine::new(EngineConfig { cross_validate: true, workers: 2, ..Default::default() });
     for q in queries(&schema) {
         let out = engine.submit(Job::count(q.clone(), Arc::clone(&d))).wait();
-        assert_eq!(out.as_count(), Some(&count_with(Engine::Treewidth, &q, &d)));
+        assert_eq!(out.as_count(), Some(&CountRequest::new(&q, &d).count()));
     }
     let m = engine.metrics();
     assert!(m.cross_validations >= 5);

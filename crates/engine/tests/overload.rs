@@ -63,7 +63,7 @@ fn burst_of_ten_times_capacity_sheds_and_stays_correct() {
     const CAPACITY: usize = 8;
     let (schema, d) = digraph(5, 42);
     let q = path_query(&schema, "E", 2);
-    let want = bagcq_homcount::count(&q, &d);
+    let want = bagcq_homcount::CountRequest::new(&q, &d).count();
 
     let engine = EvalEngine::new(EngineConfig {
         workers: 1,
@@ -157,7 +157,7 @@ fn block_policy_backpressures_then_times_out() {
 fn shed_expired_drops_stale_queued_jobs() {
     let (schema, d) = digraph(5, 11);
     let q = path_query(&schema, "E", 2);
-    let want = bagcq_homcount::count(&q, &d);
+    let want = bagcq_homcount::CountRequest::new(&q, &d).count();
     let engine = EvalEngine::new(EngineConfig {
         workers: 1,
         admission: AdmissionConfig { capacity: 0, policy: AdmissionPolicy::ShedExpired },
@@ -241,7 +241,7 @@ fn generous_memory_budget_is_transparent_and_released() {
     });
     for k in 1..=3 {
         let q = path_query(&schema, "E", k);
-        let want = bagcq_homcount::count(&q, &d);
+        let want = bagcq_homcount::CountRequest::new(&q, &d).count();
         assert_eq!(engine.submit(Job::count(q, Arc::clone(&d))).wait().as_count(), Some(&want));
     }
     let m = engine.metrics();

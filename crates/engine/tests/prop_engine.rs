@@ -5,7 +5,7 @@
 
 use bagcq_containment::{ContainmentChecker, Verdict};
 use bagcq_engine::{EvalEngine, Job, Outcome};
-use bagcq_homcount::{count_with, Engine};
+use bagcq_homcount::{CountRequest, Engine};
 use bagcq_query::{cycle_query, path_query, Query};
 use bagcq_structure::{Schema, Structure, StructureGen};
 use proptest::prelude::*;
@@ -63,11 +63,11 @@ proptest! {
             .collect();
         let handles = engine.submit_batch(jobs.clone());
         for (job, h) in jobs.iter().zip(&handles) {
-            let (query, engine_kind) = match &job.spec {
-                bagcq_engine::JobSpec::Count { query, engine, .. } => (query, *engine),
+            let (query, backend) = match &job.spec {
+                bagcq_engine::JobSpec::Count { query, backend, .. } => (query, *backend),
                 _ => unreachable!(),
             };
-            let want = count_with(engine_kind, query, &d);
+            let want = CountRequest::new(query, &d).backend(backend).count();
             prop_assert_eq!(h.wait().as_count(), Some(&want));
         }
     }

@@ -76,7 +76,8 @@ fn worker_kills_are_survived_bit_identically() {
         std::env::var("BAGCQ_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
     let (schema, d) = digraph(5, seed);
     let queries: Vec<Query> = (1..=3).map(|k| path_query(&schema, "E", k)).collect();
-    let want: Vec<_> = queries.iter().map(|q| bagcq_homcount::count(q, &d)).collect();
+    let want: Vec<_> =
+        queries.iter().map(|q| bagcq_homcount::CountRequest::new(q, &d).count()).collect();
 
     let injector = kill_plan(seed, 2);
     let engine = EvalEngine::new(EngineConfig {
@@ -121,7 +122,7 @@ fn worker_kills_are_survived_bit_identically() {
 fn requeue_disabled_fails_the_killed_job_typed() {
     let (schema, d) = digraph(5, 7);
     let q = path_query(&schema, "E", 2);
-    let want = bagcq_homcount::count(&q, &d);
+    let want = bagcq_homcount::CountRequest::new(&q, &d).count();
 
     let engine = EvalEngine::new(EngineConfig {
         workers: 2,
@@ -163,7 +164,7 @@ fn requeue_disabled_fails_the_killed_job_typed() {
 fn exhausted_restart_budget_degrades_but_keeps_serving() {
     let (schema, d) = digraph(5, 11);
     let q = path_query(&schema, "E", 2);
-    let want = bagcq_homcount::count(&q, &d);
+    let want = bagcq_homcount::CountRequest::new(&q, &d).count();
 
     let engine = EvalEngine::new(EngineConfig {
         workers: 2,
@@ -189,7 +190,7 @@ fn exhausted_restart_budget_degrades_but_keeps_serving() {
     // Still serving, still correct, on the surviving worker.
     for k in 1..=3 {
         let q = path_query(&schema, "E", k);
-        let want = bagcq_homcount::count(&q, &d);
+        let want = bagcq_homcount::CountRequest::new(&q, &d).count();
         assert_eq!(
             engine.submit(Job::count_with(Engine::Naive, q, Arc::clone(&d))).wait().as_count(),
             Some(&want)
@@ -207,7 +208,8 @@ fn kills_mixed_with_chaos_keep_outcomes_clean() {
         std::env::var("BAGCQ_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
     let (schema, d) = digraph(5, seed);
     let queries: Vec<Query> = (1..=3).map(|k| path_query(&schema, "E", k)).collect();
-    let want: Vec<_> = queries.iter().map(|q| bagcq_homcount::count(q, &d)).collect();
+    let want: Vec<_> =
+        queries.iter().map(|q| bagcq_homcount::CountRequest::new(q, &d).count()).collect();
 
     let plan = FaultPlan::seeded(seed)
         .with_kinds(&[

@@ -213,6 +213,19 @@ impl EvalControl {
         self
     }
 
+    /// Sets the step budget (`0` = unlimited) on these controls (builder
+    /// style).
+    pub fn with_step_budget(mut self, step_budget: u64) -> Self {
+        self.step_budget = step_budget;
+        self
+    }
+
+    /// Installs a cancellation token on these controls (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// True iff no budget, token, hook, or gauge is set (the fast path
     /// can skip all bookkeeping).
     pub fn is_unlimited(&self) -> bool {

@@ -1,21 +1,31 @@
 //! Evaluation of symbolic [`PowerQuery`]s into certified [`Magnitude`]s.
 //!
 //! `Φ = ∏ θᵢ↑eᵢ` evaluates as `Φ(D) = ∏ θᵢ(D)^{eᵢ}` (Lemma 1 +
-//! Definition 2). Each base is counted exactly once by a counting engine;
-//! the powers and products are assembled in [`Magnitude`] arithmetic so the
-//! result stays exact while it fits a bit budget and degrades to a
-//! certified enclosure beyond that — which is how `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b`
-//! with its astronomical exponent `C` is evaluated at all.
+//! Definition 2). Each base is counted exactly once through the
+//! [`CountRequest`] API; the powers and products are assembled in
+//! [`Magnitude`] arithmetic so the result stays exact while it fits a bit
+//! budget and degrades to a certified enclosure beyond that — which is how
+//! `φ_b = π_b ∧̄ ζ_b ∧̄ δ_b` with its astronomical exponent `C` is
+//! evaluated at all.
+//!
+//! The free-function counting entry points that used to live here
+//! (`count`, `count_with`, `try_count_with`) are deprecated shims over
+//! [`CountRequest::run`] — see [`crate::backend`] for the current surface.
 
+use crate::backend::{BackendChoice, CountError, CountRequest};
 use crate::cancel::{CancelToken, Cancelled, EvalControl};
 use crate::common::nat_bytes;
-use crate::naive::NaiveCounter;
-use crate::tw::TreewidthCounter;
 use bagcq_arith::{Magnitude, Nat, DEFAULT_EXACT_BITS};
 use bagcq_query::{PowerQuery, Query};
 use bagcq_structure::Structure;
 
-/// Which counting engine evaluates base queries.
+/// The two original counting algorithms (legacy selector).
+///
+/// Kept for call sites predating [`BackendChoice`]; `Engine` values
+/// convert into the `Nat` reference kernels via
+/// `BackendChoice::from(engine)`, and [`BackendChoice::family`] maps every
+/// backend (fast variants included) back onto its `Engine` family for
+/// cross-validation pairing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Engine {
     /// Reference backtracking engine.
@@ -28,8 +38,8 @@ pub enum Engine {
 /// Evaluation options.
 #[derive(Clone, Debug)]
 pub struct EvalOptions {
-    /// Engine choice.
-    pub engine: Engine,
+    /// Backend preference for counting base queries.
+    pub backend: BackendChoice,
     /// Bit budget below which magnitudes stay exact.
     pub exact_bits: u64,
     /// Step budget for the counting loops (`0` = unlimited). Only the
@@ -51,7 +61,7 @@ impl EvalOptions {
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
-            engine: Engine::Treewidth,
+            backend: BackendChoice::Auto,
             exact_bits: DEFAULT_EXACT_BITS,
             step_budget: 0,
             cancel: None,
@@ -60,33 +70,34 @@ impl Default for EvalOptions {
 }
 
 /// Counts `|Hom(q, d)|` with the chosen engine.
+#[deprecated(since = "0.5.0", note = "use CountRequest::new(q, d).backend(engine).count()")]
 pub fn count_with(engine: Engine, q: &Query, d: &Structure) -> Nat {
-    match engine {
-        Engine::Naive => NaiveCounter.count(q, d),
-        Engine::Treewidth => TreewidthCounter.count(q, d),
-    }
+    CountRequest::new(q, d).backend(engine).count()
 }
 
 /// Counts `|Hom(q, d)|` with the chosen engine under cancellation
 /// controls.
+#[deprecated(
+    since = "0.5.0",
+    note = "use CountRequest::new(q, d).backend(engine).control(...).run()"
+)]
 pub fn try_count_with(
     engine: Engine,
     q: &Query,
     d: &Structure,
     ctl: &EvalControl,
 ) -> Result<Nat, Cancelled> {
-    // Entry checkpoint: small queries may never reach a ticker poll
-    // boundary, so fault-injection hooks get at least one shot per count.
-    ctl.checkpoint("homcount/count")?;
-    match engine {
-        Engine::Naive => NaiveCounter.try_count(q, d, ctl),
-        Engine::Treewidth => TreewidthCounter.try_count(q, d, ctl),
+    match CountRequest::new(q, d).backend(engine).control(ctl.clone()).run() {
+        Ok(n) => Ok(n),
+        Err(CountError::Cancelled(c)) => Err(c),
+        Err(e) => unreachable!("reference backends only fail by cancellation: {e}"),
     }
 }
 
-/// Counts `|Hom(q, d)|` with the default engine.
+/// Counts `|Hom(q, d)|` with the default backend.
+#[deprecated(since = "0.5.0", note = "use CountRequest::new(q, d).count()")]
 pub fn count(q: &Query, d: &Structure) -> Nat {
-    count_with(Engine::default(), q, d)
+    CountRequest::new(q, d).count()
 }
 
 /// Evaluates a symbolic power query on a database.
@@ -97,7 +108,7 @@ pub fn eval_power_query(pq: &PowerQuery, d: &Structure, opts: &EvalOptions) -> M
     let _span = bagcq_obs::span("homcount.power", "eval");
     let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
     for f in pq.factors() {
-        let base = count_with(opts.engine, &f.base, d);
+        let base = CountRequest::new(&f.base, d).backend(opts.backend).count();
         let m = Magnitude::exact_with_budget(base, opts.exact_bits).pow(&f.exponent);
         acc = acc.mul(&m);
     }
@@ -117,7 +128,12 @@ pub fn try_eval_power_query(
     let mut acc = Magnitude::exact_with_budget(Nat::one(), opts.exact_bits);
     for f in pq.factors() {
         ctl.checkpoint("homcount/power-factor")?;
-        let base = try_count_with(opts.engine, &f.base, d, &ctl)?;
+        let base =
+            match CountRequest::new(&f.base, d).backend(opts.backend).control(ctl.clone()).run() {
+                Ok(n) => n,
+                Err(CountError::Cancelled(c)) => return Err(c),
+                Err(e) => unreachable!("plain kernels only fail by cancellation: {e}"),
+            };
         let m = Magnitude::exact_with_budget(base, opts.exact_bits).pow(&f.exponent);
         // Exact magnitudes carry their Nat on the heap; intervals are a
         // couple of machine words. Charge before accumulating.
@@ -128,6 +144,7 @@ pub fn try_eval_power_query(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims' own correctness tests exercise them directly
 mod tests {
     use super::*;
     use bagcq_arith::CertOrd;
@@ -192,6 +209,26 @@ mod tests {
         let (s, d) = complete(3);
         let q = path_query(&s, "E", 3);
         assert_eq!(count_with(Engine::Naive, &q, &d), count_with(Engine::Treewidth, &q, &d));
+    }
+
+    #[test]
+    fn power_eval_respects_backend_choice() {
+        let (s, d) = complete(3);
+        let q = path_query(&s, "E", 2);
+        let pq = PowerQuery::power(q, Nat::from_u64(3));
+        let reference = eval_power_query(
+            &pq,
+            &d,
+            &EvalOptions { backend: BackendChoice::Naive, ..EvalOptions::default() },
+        );
+        for choice in BackendChoice::ALL {
+            let m = eval_power_query(
+                &pq,
+                &d,
+                &EvalOptions { backend: choice, ..EvalOptions::default() },
+            );
+            assert_eq!(m.as_exact(), reference.as_exact(), "backend {choice}");
+        }
     }
 
     #[test]

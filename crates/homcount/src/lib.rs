@@ -3,14 +3,23 @@
 //! Bag-semantics evaluation of boolean conjunctive queries:
 //! `ψ(D) = |Hom(ψ, D)|` (Section 2.1 of Marcinkowski & Orda, PODS 2024).
 //!
-//! Two independent engines cross-validate each other:
+//! Every count goes through one API — a [`CountRequest`] naming the
+//! query, the structure, a [`BackendChoice`], and optional cancellation
+//! controls — behind which four [`CountBackend`] kernels register:
 //!
 //! * [`NaiveCounter`] — indexed backtracking enumeration with component
 //!   factorization (the reference / baseline engine);
 //! * [`TreewidthCounter`] — the textbook `#Hom` dynamic program over a
 //!   min-fill tree decomposition of the query's primal graph
 //!   ([`TreeDecomposition`]), exponential in width instead of variable
-//!   count.
+//!   count;
+//! * [`FastNaiveCounter`] / [`FastTreewidthCounter`] — the same kernels
+//!   over widening `u64 → u128 → Nat` accumulators
+//!   ([`bagcq_arith::Acc`]): machine-word speed while counts fit,
+//!   checked promotion on overflow, bit-identical results always.
+//!
+//! `BackendChoice::Auto` (the default) picks a fast kernel by
+//! decomposition width and a per-component count upper bound.
 //!
 //! On top of raw counting:
 //!
@@ -23,13 +32,12 @@
 //! * [`for_each_hom_limited`] exhaustively enumerates homomorphisms (the
 //!   primitive behind existence checks and certificate searches);
 //! * [`CancelToken`] / [`EvalControl`] give every counting loop
-//!   cooperative cancellation: deadlines and step budgets for the
-//!   evaluation engine's `try_*` entry points
-//!   ([`NaiveCounter::try_count`], [`TreewidthCounter::try_count`],
-//!   [`try_for_each_hom_limited`], [`try_eval_power_query`]).
+//!   cooperative cancellation: deadlines, step budgets, and memory
+//!   gauges, carried on the request and reported through the unified
+//!   [`CountError`].
 //!
 //! ```
-//! use bagcq_homcount::count;
+//! use bagcq_homcount::CountRequest;
 //! use bagcq_query::{path_query, Query};
 //! use bagcq_structure::{Schema, Structure, Vertex};
 //! use bagcq_arith::Nat;
@@ -44,16 +52,18 @@
 //!
 //! // ψ(D) = |Hom(ψ, D)| — bag semantics (Section 2.1 of the paper):
 //! let two_walks = path_query(&schema, "E", 2);
-//! assert_eq!(count(&two_walks, &d), Nat::one());
+//! assert_eq!(CountRequest::new(&two_walks, &d).count(), Nat::one());
 //!
 //! // Lemma 1: disjoint conjunction multiplies counts.
 //! let edges = path_query(&schema, "E", 1);
-//! assert_eq!(count(&edges.disjoint_conj(&two_walks), &d), Nat::from_u64(2));
+//! let conj = edges.disjoint_conj(&two_walks);
+//! assert_eq!(CountRequest::new(&conj, &d).count(), Nat::from_u64(2));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cancel;
 mod common;
 mod eval;
@@ -63,13 +73,17 @@ mod output_eval;
 mod treedec;
 mod tw;
 
+pub use backend::{
+    backend_for, registered_backends, BackendChoice, CountBackend, CountError, CountRequest,
+    FastNaiveCounter, FastTreewidthCounter,
+};
 pub use cancel::{
     CancelReason, CancelToken, Cancelled, CheckpointHook, EvalControl, MemoryGauge, Ticker,
     CHECK_INTERVAL,
 };
-pub use eval::{
-    count, count_with, eval_power_query, try_count_with, try_eval_power_query, Engine, EvalOptions,
-};
+#[allow(deprecated)]
+pub use eval::{count, count_with, try_count_with};
+pub use eval::{eval_power_query, try_eval_power_query, Engine, EvalOptions};
 pub use naive::{for_each_hom_limited, try_for_each_hom_limited, NaiveCounter};
 pub use onto::{find_onto_hom, verify_onto_hom, OntoHom};
 pub use output_eval::{answer_bag, answer_bag_contained, output_contained_on, AnswerBag};

@@ -83,7 +83,7 @@ pub fn verify_onto_hom(big: &Query, small: &Query, h: &OntoHom) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::NaiveCounter;
+    use crate::backend::{BackendChoice, CountRequest};
     use bagcq_query::path_query;
     use bagcq_structure::{SchemaBuilder, StructureGen};
     use std::sync::Arc;
@@ -140,8 +140,8 @@ mod tests {
         let sg = StructureGen::default();
         for seed in 0..10 {
             let d = sg.sample(&s, seed);
-            let cs = NaiveCounter.count(&small, &d);
-            let cb = NaiveCounter.count(&big, &d);
+            let cs = CountRequest::new(&small, &d).backend(BackendChoice::Naive).count();
+            let cb = CountRequest::new(&big, &d).backend(BackendChoice::Naive).count();
             assert!(cs <= cb, "seed {seed}: {cs} > {cb}");
         }
     }

@@ -51,7 +51,7 @@ pub fn output_contained_on(s: &OutputQuery, b: &OutputQuery, d: &Structure) -> b
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::NaiveCounter;
+    use crate::backend::{BackendChoice, CountRequest};
     use bagcq_query::{free_constants, OutputQuery, Query};
     use bagcq_structure::{SchemaBuilder, StructureGen, Vertex};
     use std::sync::Arc;
@@ -100,7 +100,7 @@ mod tests {
         let q = qb.build();
         let oq = OutputQuery::boolean(q.clone());
         let bag = answer_bag(&oq, &d);
-        let total = NaiveCounter.count(&q, &d);
+        let total = CountRequest::new(&q, &d).backend(BackendChoice::Naive).count();
         if total.is_zero() {
             assert!(bag.is_empty());
         } else {
@@ -130,7 +130,8 @@ mod tests {
             for v in 0..d.vertex_count() {
                 let mut dv = d.clone();
                 dv.set_constant_vertex(ca, Vertex(v));
-                let boolean_count = NaiveCounter.count(&boolean_q, &dv);
+                let boolean_count =
+                    CountRequest::new(&boolean_q, &dv).backend(BackendChoice::Naive).count();
                 let mult = bag.get(&vec![v]).cloned().unwrap_or_else(Nat::zero);
                 assert_eq!(boolean_count, mult, "seed {seed}, v {v}");
             }
@@ -167,7 +168,8 @@ mod tests {
             let boolean_all = (0..d.vertex_count()).all(|v| {
                 let mut dv = d.clone();
                 dv.set_constant_vertex(ca, Vertex(v));
-                NaiveCounter.count(&phi_s, &dv) <= NaiveCounter.count(&phi_b, &dv)
+                CountRequest::new(&phi_s, &dv).backend(BackendChoice::Naive).count()
+                    <= CountRequest::new(&phi_b, &dv).backend(BackendChoice::Naive).count()
             });
             // Non-boolean side: answer-bag inclusion on d... with empty
             // s-multiplicities allowed (0 ≤ anything): adapt inclusion to

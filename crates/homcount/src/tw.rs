@@ -7,10 +7,11 @@
 //! [`crate::NaiveCounter`] on low-width query families (paths, cycles,
 //! stars, grids; experiment E-PERF1).
 
+use crate::backend::{BackendChoice, CountError, CountRequest};
 use crate::cancel::{Cancelled, EvalControl, Ticker};
-use crate::common::{components, free_var_factor, inequality_ok, nat_bytes, resolve, UNASSIGNED};
+use crate::common::{components, free_var_factor, inequality_ok, resolve, UNASSIGNED};
 use crate::treedec::{decompose_min_fill, TreeDecomposition};
-use bagcq_arith::Nat;
+use bagcq_arith::{Accumulator, Nat};
 use bagcq_query::{Query, Term};
 use bagcq_structure::Structure;
 use std::collections::{HashMap, HashSet};
@@ -21,48 +22,27 @@ pub struct TreewidthCounter;
 
 impl TreewidthCounter {
     /// Counts `|Hom(q, d)|`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use CountRequest::new(q, d).backend(BackendChoice::Treewidth).count()"
+    )]
     pub fn count(&self, q: &Query, d: &Structure) -> Nat {
-        self.try_count(q, d, &EvalControl::unlimited())
-            .expect("unlimited evaluation cannot be cancelled")
+        CountRequest::new(q, d).backend(BackendChoice::Treewidth).count()
     }
 
     /// Counts `|Hom(q, d)|` under cooperative cancellation controls:
     /// returns [`Cancelled`] once the step budget runs out or the token
     /// trips (polled during bag enumeration, the DP's inner loop).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use CountRequest::new(q, d).backend(BackendChoice::Treewidth).control(...).run()"
+    )]
     pub fn try_count(&self, q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
-        let comps = components(q);
-
-        // Ground gates, as in the naive engine.
-        let empty: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
-        for &i in &comps.ground_atoms {
-            let a = &q.atoms()[i];
-            let args: Vec<_> =
-                a.args.iter().map(|t| bagcq_structure::Vertex(resolve(t, &empty, d))).collect();
-            if !d.contains_atom(a.rel, &args) {
-                return Ok(Nat::zero());
-            }
+        match CountRequest::new(q, d).backend(BackendChoice::Treewidth).control(ctl.clone()).run() {
+            Ok(n) => Ok(n),
+            Err(CountError::Cancelled(c)) => Err(c),
+            Err(e) => unreachable!("treewidth backend only fails by cancellation: {e}"),
         }
-        for &i in &comps.ground_inequalities {
-            let ineq = &q.inequalities()[i];
-            if resolve(&ineq.lhs, &empty, d) == resolve(&ineq.rhs, &empty, d) {
-                return Ok(Nat::zero());
-            }
-        }
-
-        let mut ticker = ctl.ticker();
-        let mut total = Nat::one();
-        for (atom_idx, ineq_idx, vars) in &comps.comps {
-            let c = count_component(q, d, atom_idx, ineq_idx, vars, &mut ticker)?;
-            if c.is_zero() {
-                return Ok(Nat::zero());
-            }
-            ctl.charge(nat_bytes(&c))?;
-            total *= &c;
-        }
-        if comps.free_vars > 0 {
-            total *= &free_var_factor(d.vertex_count() as u64, comps.free_vars as u64, ctl)?;
-        }
-        Ok(total)
     }
 
     /// The width min-fill found for this query's primal graph (diagnostics
@@ -81,10 +61,56 @@ impl TreewidthCounter {
     }
 }
 
+/// The DP kernel, generic over the accumulator — see
+/// [`crate::naive::try_count_generic`] for the `Nat`/`Acc` contract.
+pub(crate) fn try_count_generic<A: Accumulator>(
+    q: &Query,
+    d: &Structure,
+    ctl: &EvalControl,
+) -> Result<Nat, Cancelled> {
+    let comps = components(q);
+
+    // Ground gates, as in the naive engine.
+    let empty: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
+    for &i in &comps.ground_atoms {
+        let a = &q.atoms()[i];
+        let args: Vec<_> =
+            a.args.iter().map(|t| bagcq_structure::Vertex(resolve(t, &empty, d))).collect();
+        if !d.contains_atom(a.rel, &args) {
+            return Ok(Nat::zero());
+        }
+    }
+    for &i in &comps.ground_inequalities {
+        let ineq = &q.inequalities()[i];
+        if resolve(&ineq.lhs, &empty, d) == resolve(&ineq.rhs, &empty, d) {
+            return Ok(Nat::zero());
+        }
+    }
+
+    let mut ticker = ctl.ticker();
+    let mut total = A::one();
+    for (atom_idx, ineq_idx, vars) in &comps.comps {
+        let c = count_component::<A>(q, d, atom_idx, ineq_idx, vars, &mut ticker)?;
+        if c.is_zero() {
+            return Ok(Nat::zero());
+        }
+        ctl.charge(c.heap_bytes())?;
+        total.mul_assign_acc(&c);
+    }
+    if comps.free_vars > 0 {
+        total.mul_assign_nat(&free_var_factor(
+            d.vertex_count() as u64,
+            comps.free_vars as u64,
+            ctl,
+        )?);
+    }
+    Ok(total.into_nat())
+}
+
 /// Builds the local primal graph and its decomposition for one component.
 /// Returns the TD (over *local* variable indexes) and the local index of
 /// each global variable.
-fn decompose_component(
+pub(crate) fn decompose_component(
     q: &Query,
     atom_idx: &[usize],
     ineq_idx: &[usize],
@@ -129,14 +155,14 @@ fn decompose_component(
     (decompose_min_fill(n, &adj), local)
 }
 
-fn count_component(
+fn count_component<A: Accumulator>(
     q: &Query,
     d: &Structure,
     atom_idx: &[usize],
     ineq_idx: &[usize],
     vars: &[u32],
     ticker: &mut Ticker<'_>,
-) -> Result<Nat, Cancelled> {
+) -> Result<A, Cancelled> {
     let _span = bagcq_obs::span("homcount.bagsweep", "dp");
     let (td, local) = decompose_component(q, atom_idx, ineq_idx, vars);
     let global: Vec<u32> = vars.to_vec(); // local index -> global var id
@@ -206,31 +232,31 @@ fn count_component(
     let order = postorder(&td);
     // table[bag]: assignment of bag variables (in bag order) -> count of
     // extensions over the subtree below.
-    let mut tables: Vec<Option<HashMap<Vec<u32>, Nat>>> = vec![None; td.bags.len()];
+    let mut tables: Vec<Option<HashMap<Vec<u32>, A>>> = vec![None; td.bags.len()];
 
     for &b in &order {
         let bag = &td.bags[b];
         // Child aggregates keyed by the separator assignment.
-        type ChildAgg = (Vec<u32>, HashMap<Vec<u32>, Nat>);
-        let child_aggs: Vec<ChildAgg> = td.children[b]
+        type ChildAgg<A> = (Vec<u32>, HashMap<Vec<u32>, A>);
+        let child_aggs: Vec<ChildAgg<A>> = td.children[b]
             .iter()
             .map(|&c| {
                 let sep: Vec<u32> =
                     td.bags[c].iter().copied().filter(|&lv| bag_has(bag, lv)).collect();
-                let mut agg: HashMap<Vec<u32>, Nat> = HashMap::new();
+                let mut agg: HashMap<Vec<u32>, A> = HashMap::new();
                 let child_bag = &td.bags[c];
                 let sep_pos: Vec<usize> =
                     sep.iter().map(|lv| child_bag.binary_search(lv).unwrap()).collect();
                 for (a, cnt) in tables[c].take().expect("child computed") {
                     let key: Vec<u32> = sep_pos.iter().map(|&i| a[i]).collect();
-                    agg.entry(key).and_modify(|acc| acc.add_assign_ref(&cnt)).or_insert(cnt);
+                    agg.entry(key).and_modify(|acc| acc.add_assign_acc(&cnt)).or_insert(cnt);
                 }
                 (sep, agg)
             })
             .collect();
 
         // Enumerate satisfying assignments of the bag.
-        let mut table: HashMap<Vec<u32>, Nat> = HashMap::new();
+        let mut table: HashMap<Vec<u32>, A> = HashMap::new();
         let mut assign_global: Vec<u32> = vec![UNASSIGNED; q.var_count() as usize];
         let mut current: Vec<u32> = vec![0; bag.len()];
         enumerate_bag(
@@ -248,18 +274,18 @@ fn count_component(
             ticker,
             &mut |bag_assign: &[u32]| {
                 // Multiply in child aggregates.
-                let mut weight = Nat::one();
+                let mut weight = A::one();
                 for (sep, agg) in &child_aggs {
                     let key: Vec<u32> =
                         sep.iter().map(|lv| bag_assign[bag.binary_search(lv).unwrap()]).collect();
                     match agg.get(&key) {
-                        Some(w) => weight *= w,
+                        Some(w) => weight.mul_assign_acc(w),
                         None => return, // no extension below
                     }
                 }
                 table
                     .entry(bag_assign.to_vec())
-                    .and_modify(|acc| acc.add_assign_ref(&weight))
+                    .and_modify(|acc| acc.add_assign_acc(&weight))
                     .or_insert(weight);
             },
         )?;
@@ -267,9 +293,9 @@ fn count_component(
     }
 
     let root_table = tables[td.root].take().expect("root computed");
-    let mut total = Nat::zero();
+    let mut total = A::zero();
     for (_, w) in root_table {
-        total.add_assign_ref(&w);
+        total.add_assign_acc(&w);
     }
     Ok(total)
 }
@@ -370,6 +396,7 @@ fn enumerate_bag(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims' own correctness tests exercise them directly
 mod tests {
     use super::*;
     use crate::naive::NaiveCounter;

@@ -26,8 +26,9 @@
 //! ray of `c−1` edges, so Lemma 15 holds exactly (and the test suite
 //! verifies it digit-for-digit).
 
+use crate::counting::naive_count;
 use bagcq_arith::{CertOrd, Magnitude, Nat};
-use bagcq_homcount::{eval_power_query, EvalOptions, NaiveCounter, OntoHom};
+use bagcq_homcount::{eval_power_query, EvalOptions, OntoHom};
 use bagcq_polynomial::Lemma11Instance;
 use bagcq_query::{cycle_query, PowerQuery, Query, Term};
 use bagcq_structure::{ConstId, RelId, Schema, Structure, MARS, VENUS};
@@ -263,7 +264,7 @@ impl Theorem1Reduction {
     /// Definition 13 classifier.
     pub fn classify(&self, d: &Structure) -> Correctness {
         // D ⊨ Arena? (Arena is ground: count is 0 or 1.)
-        if NaiveCounter.count(&self.arena, d).is_zero() {
+        if naive_count(&self.arena, d).is_zero() {
             return Correctness::NotArena;
         }
         // Injectivity of the constant interpretation.
@@ -441,7 +442,7 @@ mod tests {
     fn arena_is_ground_and_holds_on_d_arena() {
         let r = toy_reduction();
         assert_eq!(r.arena.var_count(), 0);
-        assert_eq!(NaiveCounter.count(&r.arena, &r.d_arena), Nat::one());
+        assert_eq!(naive_count(&r.arena, &r.d_arena), Nat::one());
     }
 
     /// Lemma 15: on correct databases, `π_s(D) = P_s(Ξ_D)` and
@@ -452,11 +453,11 @@ mod tests {
         for val in [[0u64, 0], [1, 0], [1, 1], [2, 3], [3, 1], [0, 5]] {
             let d = r.correct_database(&val);
             let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
-            let pi_s_count = NaiveCounter.count(&r.pi_s, &d);
+            let pi_s_count = naive_count(&r.pi_s, &d);
             let expect_s = r.instance.p_s().eval_nat(&nat_val);
             assert_eq!(pi_s_count, expect_s, "π_s at {val:?}");
 
-            let pi_b_count = NaiveCounter.count(&r.pi_b, &d);
+            let pi_b_count = naive_count(&r.pi_b, &d);
             let x1d = nat_val[0].pow_u64(r.instance.degree as u64);
             let expect_b = x1d.mul_ref(&r.instance.p_b().eval_nat(&nat_val));
             assert_eq!(pi_b_count, expect_b, "π_b at {val:?}");
@@ -506,8 +507,8 @@ mod tests {
         assert!(verify_onto_hom(&r.pi_b, &r.pi_s, &h), "Lemma 12 witness invalid");
         for val in [[1u64, 1], [2, 0], [3, 2]] {
             let d = r.correct_database(&val);
-            let s = NaiveCounter.count(&r.pi_s, &d);
-            let b = NaiveCounter.count(&r.pi_b, &d);
+            let s = naive_count(&r.pi_s, &d);
+            let b = naive_count(&r.pi_b, &d);
             assert!(s <= b, "π_s > π_b at {val:?}");
         }
     }

@@ -87,7 +87,7 @@ impl Theorem4Statement {
 mod tests {
     use super::*;
     use crate::arena::{toy_instance, Theorem1Reduction};
-    use bagcq_homcount::count;
+    use bagcq_homcount::CountRequest;
     use bagcq_structure::Structure;
     use std::sync::Arc;
 
@@ -99,9 +99,9 @@ mod tests {
         let red = Theorem1Reduction::new(toy_instance(2, vec![1, 1], vec![2, 2]));
         let well = Structure::well_of_positivity(Arc::clone(&red.schema));
         // Every pure factor counts 1 on the well...
-        assert_eq!(count(&red.arena, &well), Nat::one());
-        assert_eq!(count(&red.pi_s, &well), Nat::one());
-        assert_eq!(count(&red.pi_b, &well), Nat::one());
+        assert_eq!(CountRequest::new(&red.arena, &well).count(), Nat::one());
+        assert_eq!(CountRequest::new(&red.pi_s, &well).count(), Nat::one());
+        assert_eq!(CountRequest::new(&red.pi_b, &well).count(), Nat::one());
         // ...so ℂ·φ_s(well) = ℂ > φ_b(well).
         let opts = EvalOptions::default();
         assert_eq!(red.holds_on(&well, &opts), Some(false));
@@ -154,8 +154,8 @@ mod tests {
         let opts = EvalOptions::default();
         let well = Structure::well_of_positivity(Arc::clone(g.q_s.schema()));
         // ρ_b has an inequality: 0 homs on the 1-vertex well; ρ_s = 1.
-        assert_eq!(count(&g.q_b, &well), Nat::zero());
-        assert_eq!(count(&g.q_s, &well), Nat::one());
+        assert_eq!(CountRequest::new(&g.q_b, &well).count(), Nat::zero());
+        assert_eq!(CountRequest::new(&g.q_s, &well).count(), Nat::one());
         // Plain containment fails on the well; the max-form holds.
         assert_eq!(stmt.holds_on(&well, &opts), Some(true));
     }

@@ -99,7 +99,7 @@ pub fn classify(tuple: &[u32]) -> CycliqueKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bagcq_homcount::NaiveCounter;
+    use crate::counting::naive_count;
     use bagcq_structure::{SchemaBuilder, Vertex};
     use std::sync::Arc;
 
@@ -144,7 +144,7 @@ mod tests {
             d.add_atom(r, &t.map(Vertex));
         }
         let q = cycliq_query(&s, r, "x");
-        let count = NaiveCounter.count(&q, &d);
+        let count = naive_count(&q, &d);
         assert_eq!(count, bagcq_arith::Nat::from_u64(4));
         assert_eq!(cycliques(&d, r).len(), 4);
     }

@@ -10,8 +10,8 @@
 //! structures. Lemma 4's composition (product of disjoint-schema gadgets
 //! multiplies by the product of the ratios) is [`MultiplyGadget::compose`].
 
+use crate::counting::naive_count;
 use bagcq_arith::{Nat, Rat};
-use bagcq_homcount::NaiveCounter;
 use bagcq_query::Query;
 use bagcq_structure::{ConstId, Schema, Structure, StructureGen};
 use std::sync::Arc;
@@ -61,8 +61,8 @@ impl MultiplyGadget {
         if !self.witness.is_nontrivial(self.mars, self.venus) {
             return Err("witness is trivial".into());
         }
-        let s = NaiveCounter.count(&self.q_s, &self.witness);
-        let b = NaiveCounter.count(&self.q_b, &self.witness);
+        let s = naive_count(&self.q_s, &self.witness);
+        let b = naive_count(&self.q_b, &self.witness);
         if s.is_zero() {
             return Err("witness gives ϱ_s = 0".into());
         }
@@ -80,8 +80,8 @@ impl MultiplyGadget {
         if !d.is_nontrivial(self.mars, self.venus) {
             return LeCheck::Trivial;
         }
-        let s = NaiveCounter.count(&self.q_s, d);
-        let b = NaiveCounter.count(&self.q_b, d);
+        let s = naive_count(&self.q_s, d);
+        let b = naive_count(&self.q_b, d);
         if self.ratio.le_scaled(&s, &b) {
             LeCheck::Holds { s, b }
         } else {

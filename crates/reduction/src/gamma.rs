@@ -117,8 +117,8 @@ fn gamma_witness(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counting::naive_count;
     use bagcq_arith::Nat;
-    use bagcq_homcount::NaiveCounter;
     use bagcq_structure::StructureGen;
 
     #[test]
@@ -161,7 +161,7 @@ mod tests {
         // the variable part.
         let m = 5;
         let g = gamma_gadget(m, "G");
-        let count = NaiveCounter.count(&g.q_s, &g.witness);
+        let count = naive_count(&g.q_s, &g.witness);
         assert_eq!(count, Nat::from_u64((m - 1) as u64));
     }
 

@@ -108,7 +108,7 @@ impl IoannidisEncoding {
 pub fn eval_union(u: &UnionQuery, d: &Structure) -> Nat {
     let mut total = Nat::zero();
     for q in u.disjuncts() {
-        total += &bagcq_homcount::count(q, d);
+        total += &bagcq_homcount::CountRequest::new(q, d).count();
     }
     total
 }

@@ -26,6 +26,7 @@ mod alpha;
 mod arena;
 mod beta;
 mod conjectures;
+mod counting;
 pub mod cyclique;
 mod gadget;
 mod gamma;

@@ -18,8 +18,8 @@
 //! and Theorem 5 follows: `QCP^bag` with inequalities only in the s-query
 //! is decidable iff `QCP^bag_CQ` is.
 
+use crate::counting::naive_count;
 use bagcq_arith::Nat;
-use bagcq_homcount::NaiveCounter;
 use bagcq_query::Query;
 use bagcq_structure::Structure;
 
@@ -71,8 +71,8 @@ pub fn eliminate_inequalities(
         return Err(EliminationError::NothingToEliminate);
     }
     let psi_s_pure = psi_s.strip_inequalities();
-    let s0 = NaiveCounter.count(&psi_s_pure, d0);
-    let b0 = NaiveCounter.count(psi_b, d0);
+    let s0 = naive_count(&psi_s_pure, d0);
+    let b0 = naive_count(psi_b, d0);
     if s0 <= b0 {
         return Err(EliminationError::SeedNotStrict);
     }
@@ -95,8 +95,8 @@ pub fn eliminate_inequalities(
     }
 
     let witness = d0.power(k).blowup(kappa);
-    let count_s = NaiveCounter.count(psi_s, &witness);
-    let count_b = NaiveCounter.count(psi_b, &witness);
+    let count_s = naive_count(psi_s, &witness);
+    let count_b = naive_count(psi_b, &witness);
     assert!(
         count_s > count_b,
         "Lemma 23 construction failed: ψ_s = {count_s}, ψ_b = {count_b} (k = {k}, κ = {kappa})"

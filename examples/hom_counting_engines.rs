@@ -1,8 +1,10 @@
-//! Engine comparison: naive backtracking vs tree-decomposition DP.
+//! Backend comparison: the four registered counting kernels.
 //!
 //! Counts homomorphisms of the classic query families (paths, cycles,
-//! stars, grids) into growing random structures with both engines,
-//! reporting counts, decomposition widths and wall-clock times.
+//! stars, grids) into a random structure with every registered
+//! [`CountBackend`] — naive backtracking and tree-decomposition DP,
+//! each in its `Nat` reference form and its machine-word fast-path
+//! form — reporting counts, decomposition widths and wall-clock times.
 //!
 //! Run with `cargo run --release --example hom_counting_engines`.
 
@@ -27,10 +29,11 @@ fn main() {
         d.atom_count(schema.relation_by_name("E").unwrap())
     );
     println!();
-    println!(
-        "{:<14} {:>5} {:>6} {:>22} {:>12} {:>12}",
-        "query", "vars", "width", "count", "naive", "treewidth"
-    );
+    print!("{:<14} {:>5} {:>6} {:>22}", "query", "vars", "width", "count");
+    for (kernel, _) in registered_backends() {
+        print!(" {:>14}", kernel.name());
+    }
+    println!();
 
     let queries = vec![
         ("path-4", path_query(&schema, "E", 4)),
@@ -45,34 +48,37 @@ fn main() {
     for (name, q) in queries {
         let width = TreewidthCounter.decomposition_width(&q);
 
-        let t0 = Instant::now();
-        let naive = NaiveCounter.count(&q, &d);
-        let t_naive = t0.elapsed();
-
-        let t0 = Instant::now();
-        let tw = TreewidthCounter.count(&q, &d);
-        let t_tw = t0.elapsed();
-
-        assert_eq!(naive, tw, "engines disagree on {name}");
-        let shown = naive.to_string();
+        let mut agreed: Option<Nat> = None;
+        let mut times = Vec::new();
+        for (kernel, choice) in registered_backends() {
+            let t0 = Instant::now();
+            let n = CountRequest::new(&q, &d).backend(choice).count();
+            times.push(t0.elapsed());
+            match &agreed {
+                None => agreed = Some(n),
+                Some(prev) => assert_eq!(prev, &n, "{} disagrees on {name}", kernel.name()),
+            }
+        }
+        let shown = agreed.unwrap().to_string();
         let shown = if shown.len() > 22 { format!("~10^{}", shown.len() - 1) } else { shown };
-        println!(
-            "{:<14} {:>5} {:>6} {:>22} {:>10.2?} {:>10.2?}",
-            name,
-            q.var_count(),
-            width,
-            shown,
-            t_naive,
-            t_tw
-        );
+        print!("{:<14} {:>5} {:>6} {:>22}", name, q.var_count(), width, shown);
+        for t in times {
+            print!(" {:>12.2?}", t);
+        }
+        println!();
     }
 
     println!();
     println!("Power queries stay cheap through component factorization (Lemma 1):");
     let q = path_query(&schema, "E", 2);
+    let before = acc_promotions();
     for k in [1u32, 4, 16, 64] {
         let t0 = Instant::now();
-        let c = TreewidthCounter.count(&q.power(k), &d);
+        let c = CountRequest::new(&q.power(k), &d).backend(BackendChoice::FastTreewidth).count();
         println!("  (2-walks)↑{k:<3} = value with {:>6} bits   in {:.2?}", c.bits(), t0.elapsed());
     }
+    println!(
+        "  fast path promoted to Nat {} time(s) — large powers overflow u128 and widen.",
+        acc_promotions() - before
+    );
 }

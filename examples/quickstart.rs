@@ -20,24 +20,36 @@ fn main() {
     println!("database: 4 vertices, {} edges", d.atom_count(e));
 
     // ---- 2. Queries and bag-semantics answers -------------------------
-    // Under bag semantics a boolean CQ returns |Hom(ψ, D)|.
+    // Under bag semantics a boolean CQ returns |Hom(ψ, D)|. The entry
+    // point is the `CountRequest` builder; by default it auto-selects a
+    // counting backend (machine-word fast path where safe, arbitrary
+    // precision where not — the result is identical either way).
     let edges = path_query(&schema, "E", 1);
     let walks2 = path_query(&schema, "E", 2);
     let tri = cycle_query(&schema, "E", 3);
-    println!("edges(D)   = {}", count(&edges, &d));
-    println!("2-walks(D) = {}", count(&walks2, &d));
-    println!("3-cycles(D)= {}", count(&tri, &d));
+    println!("edges(D)   = {}", CountRequest::new(&edges, &d).count());
+    println!("2-walks(D) = {}", CountRequest::new(&walks2, &d).count());
+    println!("3-cycles(D)= {}", CountRequest::new(&tri, &d).count());
 
-    // The two engines agree (they are independent implementations).
-    assert_eq!(count_with(Engine::Naive, &walks2, &d), count_with(Engine::Treewidth, &walks2, &d));
+    // Backends can be pinned, and they all agree (the naive backtracker
+    // and the treewidth DP are independent implementations; the fast
+    // variants are the same algorithms on machine-word accumulators).
+    let reference = CountRequest::new(&walks2, &d).backend(BackendChoice::Naive).count();
+    for choice in BackendChoice::REGISTERED {
+        assert_eq!(CountRequest::new(&walks2, &d).backend(choice).count(), reference);
+    }
 
     // ---- 3. The paper's query algebra ----------------------------------
     // Disjoint conjunction multiplies counts (Lemma 1) and powers
     // exponentiate them (Definition 2).
+    let n_edges = CountRequest::new(&edges, &d).count();
     let pair = edges.disjoint_conj(&tri);
-    assert_eq!(count(&pair, &d), count(&edges, &d).mul_ref(&count(&tri, &d)));
+    assert_eq!(
+        CountRequest::new(&pair, &d).count(),
+        n_edges.mul_ref(&CountRequest::new(&tri, &d).count())
+    );
     let cubed = edges.power(3);
-    assert_eq!(count(&cubed, &d), count(&edges, &d).pow_u64(3));
+    assert_eq!(CountRequest::new(&cubed, &d).count(), n_edges.pow_u64(3));
     println!("Lemma 1 and Definition 2 verified on this database.");
 
     // ---- 4. Containment questions --------------------------------------

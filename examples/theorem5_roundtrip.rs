@@ -42,8 +42,8 @@ fn main() {
         d0.add_atom(e, &[Vertex(a), Vertex(b)]);
     }
     let psi_s_pure = psi_s.strip_inequalities();
-    let s0 = count(&psi_s_pure, &d0);
-    let b0 = count(&psi_b, &d0);
+    let s0 = CountRequest::new(&psi_s_pure, &d0).count();
+    let b0 = CountRequest::new(&psi_b, &d0).count();
     println!("seed D₀ ({} vertices): ψ′_s(D₀) = {s0}, ψ_b(D₀) = {b0}", d0.vertex_count());
     assert!(s0 > b0, "the seed must separate the stripped queries");
 
@@ -51,8 +51,8 @@ fn main() {
     // violate x ≠ z):
     println!(
         "on D₀ directly:    ψ_s(D₀) = {}, ψ_b(D₀) = {}",
-        count(&psi_s, &d0),
-        count(&psi_b, &d0)
+        CountRequest::new(&psi_s, &d0).count(),
+        CountRequest::new(&psi_b, &d0).count()
     );
 
     // Lemma 23: power then blow up.

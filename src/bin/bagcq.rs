@@ -45,6 +45,8 @@ fn print_usage() {
 
 USAGE:
   bagcq count -q <query> -d <database>     count |Hom(ψ, D)|
+              [--backend <name>]           auto (default), naive, treewidth,
+                                           fast-naive, fast-treewidth
   bagcq check -s <small> -b <big>          check ϱ_s(D) ≤ ϱ_b(D) for all D
   bagcq reduce <instance>                  run the PODS'24 reduction on a
                                            Hilbert-10 corpus instance
@@ -101,13 +103,19 @@ fn merged_schema(query_srcs: &[&str], db_srcs: &[&str]) -> Result<Arc<Schema>, S
 fn cmd_count(args: &[String]) -> Result<(), String> {
     let q_src = load(flag_value(args, "-q").ok_or("count needs -q <query>")?)?;
     let d_src = load(flag_value(args, "-d").ok_or("count needs -d <database>")?)?;
+    let backend: BackendChoice = match flag_value(args, "--backend") {
+        Some(name) => name.parse()?,
+        None => BackendChoice::Auto,
+    };
     let schema = merged_schema(&[&q_src], &[&d_src])?;
     let q = parse_query(&schema, &q_src).map_err(|e| e.to_string())?;
     let d = parse_structure(&schema, &d_src).map_err(|e| e.to_string())?;
-    let naive = count_with(Engine::Naive, &q, &d);
-    let tw = count_with(Engine::Treewidth, &q, &d);
-    debug_assert_eq!(naive, tw);
+    let request = CountRequest::new(&q, &d).backend(backend);
+    let resolved = request.resolved_backend();
+    let n = request.count();
+    debug_assert_eq!(n, CountRequest::new(&q, &d).backend(BackendChoice::Naive).count());
     println!("ψ   = {q}");
+    println!("backend = {resolved}");
     println!("|D| = {} vertices, {} atoms", d.vertex_count(), {
         let mut n = 0;
         for r in schema.relations() {
@@ -115,7 +123,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         }
         n
     });
-    println!("ψ(D) = {tw}");
+    println!("ψ(D) = {n}");
     Ok(())
 }
 

@@ -49,13 +49,25 @@ fn lemma15_via_both_engines() {
         let d = red.correct_database(&val);
         let nat_val: Vec<Nat> = val.iter().map(|&v| Nat::from_u64(v)).collect();
         let expect_s = red.instance.p_s().eval_nat(&nat_val);
-        assert_eq!(count_with(Engine::Naive, &red.pi_s, &d), expect_s);
-        assert_eq!(count_with(Engine::Treewidth, &red.pi_s, &d), expect_s);
+        assert_eq!(
+            CountRequest::new(&red.pi_s, &d).backend(BackendChoice::Naive).count(),
+            expect_s
+        );
+        assert_eq!(
+            CountRequest::new(&red.pi_s, &d).backend(BackendChoice::Treewidth).count(),
+            expect_s
+        );
         let expect_b = nat_val[0]
             .pow_u64(red.instance.degree as u64)
             .mul_ref(&red.instance.p_b().eval_nat(&nat_val));
-        assert_eq!(count_with(Engine::Naive, &red.pi_b, &d), expect_b);
-        assert_eq!(count_with(Engine::Treewidth, &red.pi_b, &d), expect_b);
+        assert_eq!(
+            CountRequest::new(&red.pi_b, &d).backend(BackendChoice::Naive).count(),
+            expect_b
+        );
+        assert_eq!(
+            CountRequest::new(&red.pi_b, &d).backend(BackendChoice::Treewidth).count(),
+            expect_b
+        );
     }
 }
 
@@ -108,8 +120,8 @@ fn harness_refutes_unscaled_gadget() {
     let alpha = alpha_gadget(2, "IH2");
     // Hand the witness directly (the harness's random search rarely
     // builds cyclique-rich structures).
-    let s = count(&alpha.q_s, &alpha.witness);
-    let b = count(&alpha.q_b, &alpha.witness);
+    let s = CountRequest::new(&alpha.q_s, &alpha.witness).count();
+    let b = CountRequest::new(&alpha.q_b, &alpha.witness).count();
     assert!(s > b, "witness separates: {s} vs {b}");
 }
 
@@ -134,7 +146,7 @@ fn phi_s_symbolic_vs_flat() {
     let opts = EvalOptions::default();
     let symbolic = eval_power_query(&red.phi_s, &d, &opts);
     let flat = red.phi_s.expand(100).expect("φ_s is small");
-    let direct = count(&flat, &d);
+    let direct = CountRequest::new(&flat, &d).count();
     assert_eq!(symbolic.as_exact(), Some(&direct));
 }
 

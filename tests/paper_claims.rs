@@ -2,22 +2,27 @@
 //!
 //! Each test pins one quantitative claim of Marcinkowski & Orda (PODS
 //! 2024) to exact rational arithmetic, with every homomorphism count
-//! recomputed by BOTH engines (naive backtracking and the
-//! tree-decomposition DP) so a bug in either engine — or a drift in a
-//! gadget construction — fails the suite rather than silently bending a
-//! lemma.
+//! recomputed by EVERY registered counting backend (naive backtracking,
+//! the tree-decomposition DP, and both machine-word fast paths) so a bug
+//! in any kernel — or a drift in a gadget construction — fails the suite
+//! rather than silently bending a lemma.
 
 use bagcq_core::prelude::*;
 
-/// Counts `q` on `d` with both engines and insists they agree before
-/// returning the count. The whole point of the suite is that a paper
-/// claim is only "confirmed" when two independent algorithms produce the
-/// same number.
+/// Counts `q` on `d` with every registered backend and insists they all
+/// agree before returning the count. The whole point of the suite is that
+/// a paper claim is only "confirmed" when independent kernels produce the
+/// same number — bit-identical, fast paths included.
 fn count_both(q: &Query, d: &Structure) -> Nat {
-    let naive = count_with(Engine::Naive, q, d);
-    let tw = count_with(Engine::Treewidth, q, d);
-    assert_eq!(naive, tw, "engines disagree on {q}");
-    naive
+    let mut agreed: Option<Nat> = None;
+    for (kernel, choice) in registered_backends() {
+        let n = CountRequest::new(q, d).backend(choice).count();
+        match &agreed {
+            None => agreed = Some(n),
+            Some(prev) => assert_eq!(prev, &n, "backend {} disagrees on {q}", kernel.name()),
+        }
+    }
+    agreed.expect("at least one backend is registered")
 }
 
 /// Checks a multiplication gadget's condition (=) from scratch: recount
@@ -102,10 +107,10 @@ fn alpha_fine_tuning_identity() {
 /// re-verified by recounting.
 #[test]
 fn alpha_multiplies_by_natural_constant() {
-    // Dual-engine recounts stop at c = 3: the composed gadget's treewidth
+    // All-backend recounts stop at c = 3: the composed gadget's treewidth
     // grows like 2c, so the DP's n^(w+1) table is ~30 s at c = 4 and
     // hopeless beyond — larger c fall back to the (output-sensitive)
-    // naive engine, which stays instant because the witness counts do.
+    // naive kernel, which stays instant because the witness counts do.
     for c in 2u64..=5 {
         let g = alpha_gadget(c, "");
         assert_eq!(g.ratio, Rat::from_u64s(c, 1), "α ratio at c = {c}");
@@ -145,7 +150,7 @@ fn definition3_le_holds_on_sampled_structures() {
 /// Lemma 12: the explicit homomorphism `h : π_b → π_s` is onto, which by
 /// the paper's Lemma 4 forces `π_s(D) ≤ π_b(D)` on every database. Both
 /// halves are checked: the certificate verifies structurally, and the
-/// implied inequality holds (with both engines) on the arena database and
+/// implied inequality holds (with every backend) on the arena database and
 /// on correct databases of the reduction.
 #[test]
 fn lemma12_onto_hom_certificate_and_inequality() {

@@ -41,9 +41,9 @@ proptest! {
         let q = rand_query(qseed, 3, 3);
         let d = rand_structure(dseed);
         let j = q.var_count() as u64;
-        let base = count(&q, &d);
+        let base = CountRequest::new(&q, &d).count();
         // blowup then product.
-        let bp = count(&q, &d.blowup(k).product(&d.blowup(k)));
+        let bp = CountRequest::new(&q, &d.blowup(k).product(&d.blowup(k))).count();
         // Lemma 22 i and ii composed: (k^j·φ(D))² = k^{2j}·φ(D)².
         let expect = Nat::from_u64(k as u64).pow_u64(2 * j).mul_ref(&base.mul_ref(&base));
         prop_assert_eq!(bp, expect);
@@ -58,8 +58,8 @@ proptest! {
         let s = schema();
         let q = path_query(&s, "E", len);
         let d = rand_structure(dseed);
-        let c1 = count(&q, &d);
-        let cu = count(&q, &d.union(&d));
+        let c1 = CountRequest::new(&q, &d).count();
+        let cu = CountRequest::new(&q, &d.union(&d)).count();
         prop_assert!(cu >= c1.mul_ref(&Nat::from_u64(2)) || c1.is_zero());
     }
 
@@ -72,8 +72,8 @@ proptest! {
         if let Some(h) = find_onto_hom(&big, &small) {
             prop_assert!(verify_onto_hom(&big, &small, &h));
             let d = rand_structure(dseed);
-            let cs = count(&small, &d);
-            let cb = count(&big, &d);
+            let cs = CountRequest::new(&small, &d).count();
+            let cb = CountRequest::new(&big, &d).count();
             prop_assert!(cs <= cb, "certificate unsound: {} > {}", cs, cb);
         }
     }
@@ -101,8 +101,8 @@ proptest! {
         checker.budget.random_rounds = 3;
         if checker.check(&q_s, &q_b).is_proved() {
             let d = rand_structure(dseed);
-            let cs = count(&q_s, &d);
-            let cb = count(&q_b, &d);
+            let cs = CountRequest::new(&q_s, &d).count();
+            let cb = CountRequest::new(&q_b, &d).count();
             prop_assert!(cs <= cb);
         }
     }
@@ -117,7 +117,7 @@ proptest! {
         bagcq_core::obs::enable();
         let q = rand_query(qseed, 3, 3);
         let d = Arc::new(rand_structure(dseed));
-        let direct = count_with(Engine::Naive, &q, &d);
+        let direct = CountRequest::new(&q, &d).backend(BackendChoice::Naive).count();
         let engine = EvalEngine::new(EngineConfig {
             cross_validate: true,
             ..EngineConfig::default()
@@ -144,8 +144,8 @@ proptest! {
         checker.budget.random_rounds = 3;
         if let Verdict::Refuted(ce) = checker.check(&q_s, &q_b) {
             // Recount independently with the other engine.
-            let cs = count_with(Engine::Naive, &q_s, &ce.database);
-            let cb = count_with(Engine::Naive, &q_b, &ce.database);
+            let cs = CountRequest::new(&q_s, &ce.database).backend(BackendChoice::Naive).count();
+            let cb = CountRequest::new(&q_b, &ce.database).backend(BackendChoice::Naive).count();
             prop_assert_eq!(&cs, &ce.count_s);
             prop_assert_eq!(&cb, &ce.count_b);
             prop_assert!(ce.count_s > ce.count_b);

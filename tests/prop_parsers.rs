@@ -33,7 +33,7 @@ proptest! {
         prop_assert_eq!(&d, &back, "text:\n{}", text);
         // And counts agree for a fixed query (semantic round-trip).
         let q = path_query(&s, "E", 2);
-        prop_assert_eq!(count(&q, &d), count(&q, &back));
+        prop_assert_eq!(CountRequest::new(&q, &d).count(), CountRequest::new(&q, &back).count());
     }
 
     /// Queries can be displayed and re-parsed after normalizing the
@@ -67,7 +67,7 @@ proptest! {
         prop_assert_eq!(q.var_count(), back.var_count());
         // Semantics preserved on sampled databases.
         let d = StructureGen::default().sample(&s, seed ^ 0xABCD);
-        prop_assert_eq!(count(&q, &d), count(&back, &d));
+        prop_assert_eq!(CountRequest::new(&q, &d).count(), CountRequest::new(&back, &d).count());
     }
 
     /// The parser never panics on random ASCII noise — it returns errors.
