@@ -84,8 +84,6 @@ pub mod prelude {
         CountBackend, CountRequest, Engine, EvalOptions, FastNaiveCounter, FastTreewidthCounter,
         NaiveCounter, TreewidthCounter,
     };
-    #[allow(deprecated)] // legacy free-function entry points, kept for one release
-    pub use bagcq_homcount::{count, count_with};
     pub use bagcq_obs::StageStats;
     pub use bagcq_polynomial::{Lemma11Instance, Monomial, Polynomial};
     pub use bagcq_query::{

@@ -22,10 +22,23 @@
 //! A refused job is never silently dropped: the engine publishes a typed
 //! [`crate::Outcome::Shed`] on its handle, so every submitted job still
 //! resolves to exactly one outcome.
+//!
+//! ## Tenants
+//!
+//! The serving layer (`bagcq-serve`) composes a second admission stage in
+//! *front* of the queue: a [`TenantGate`] maps per-request API keys to
+//! [`TenantSpec`]s and enforces each tenant's [`TenantQuota`] — a
+//! token-bucket rate limit plus a max-in-flight concurrency cap. An
+//! admitted request holds a [`TenantPermit`] (RAII: dropping it releases
+//! the in-flight slot); a refused one becomes a typed
+//! [`ShedReason::QuotaExceeded`] / [`ShedReason::InFlightLimit`] shed
+//! (HTTP 429 on the wire), and an unknown key is an authentication
+//! failure ([`TenantRefusal::UnknownKey`], HTTP 401), not a shed.
 
 use crate::job::ShedReason;
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// What happens when a job arrives and the bounded queue is full.
@@ -215,10 +228,278 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tenants
+// ---------------------------------------------------------------------------
+
+/// Per-tenant admission limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Token-bucket refill rate, in requests per second. `0` disables the
+    /// rate limit.
+    pub rate_per_sec: u64,
+    /// Token-bucket capacity: how many requests may burst above the
+    /// steady rate. Clamped up to at least 1 when the rate limit is on.
+    pub burst: u64,
+    /// Maximum concurrently admitted requests (outstanding
+    /// [`TenantPermit`]s). `0` disables the concurrency cap.
+    pub max_in_flight: u64,
+}
+
+impl TenantQuota {
+    /// No limits at all (useful for trusted internal tenants and tests).
+    pub fn unlimited() -> Self {
+        TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 0 }
+    }
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota { rate_per_sec: 500, burst: 1000, max_in_flight: 256 }
+    }
+}
+
+/// One tenant: a display name, the API key that authenticates it, and
+/// its quota.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Display name (metrics, logs); unique per gate.
+    pub name: String,
+    /// The API key presented on the wire (`Authorization` header / `key`
+    /// field); unique per gate.
+    pub api_key: String,
+    /// Admission limits.
+    pub quota: TenantQuota,
+}
+
+impl TenantSpec {
+    /// A tenant with the default quota.
+    pub fn new(name: impl Into<String>, api_key: impl Into<String>) -> Self {
+        TenantSpec { name: name.into(), api_key: api_key.into(), quota: TenantQuota::default() }
+    }
+
+    /// Replaces the quota.
+    pub fn with_quota(mut self, quota: TenantQuota) -> Self {
+        self.quota = quota;
+        self
+    }
+}
+
+/// Why a [`TenantGate`] refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantRefusal {
+    /// No tenant owns the presented API key: an authentication failure
+    /// (HTTP 401), **not** a shed — it never reaches the engine.
+    UnknownKey,
+    /// The tenant's token bucket is empty (HTTP 429).
+    QuotaExceeded,
+    /// The tenant is at its max-in-flight cap (HTTP 429).
+    InFlightLimit,
+}
+
+impl TenantRefusal {
+    /// The [`ShedReason`] this refusal publishes, if it is a shed
+    /// (unknown keys are not).
+    pub fn shed_reason(self) -> Option<ShedReason> {
+        match self {
+            TenantRefusal::UnknownKey => None,
+            TenantRefusal::QuotaExceeded => Some(ShedReason::QuotaExceeded),
+            TenantRefusal::InFlightLimit => Some(ShedReason::InFlightLimit),
+        }
+    }
+}
+
+/// A point-in-time copy of one tenant's admission counters, surfaced in
+/// [`crate::MetricsSnapshot::tenants`] and the `/metrics` endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests admitted (permits issued).
+    pub admitted: u64,
+    /// Requests refused because the token bucket was empty.
+    pub quota_rejections: u64,
+    /// Requests refused at the max-in-flight cap.
+    pub in_flight_rejections: u64,
+    /// Permits outstanding at snapshot time.
+    pub in_flight: u64,
+}
+
+/// Integer token bucket: tokens are stored ×10⁶ ("micro-tokens") so
+/// refill needs no floating point. One request costs 10⁶ micro-tokens.
+struct TokenBucket {
+    micro: u64,
+    last: Instant,
+}
+
+const MICRO: u64 = 1_000_000;
+
+impl TokenBucket {
+    fn full(burst: u64, now: Instant) -> Self {
+        TokenBucket { micro: burst.saturating_mul(MICRO), last: now }
+    }
+
+    /// Refills for the elapsed time, then tries to take one token.
+    fn try_take(&mut self, rate_per_sec: u64, burst: u64, now: Instant) -> bool {
+        let elapsed_us =
+            now.saturating_duration_since(self.last).as_micros().min(u128::from(u64::MAX)) as u64;
+        self.last = now;
+        // rate tokens/s == rate micro-tokens/µs.
+        let refill = elapsed_us.saturating_mul(rate_per_sec);
+        self.micro = self.micro.saturating_add(refill).min(burst.max(1).saturating_mul(MICRO));
+        if self.micro >= MICRO {
+            self.micro -= MICRO;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    bucket: Mutex<TokenBucket>,
+    in_flight: AtomicU64,
+    admitted: AtomicU64,
+    quota_rejections: AtomicU64,
+    in_flight_rejections: AtomicU64,
+}
+
+/// The tenant admission stage: API key → tenant lookup, then quota
+/// enforcement. Sits in front of the engine's [`BoundedQueue`], so a
+/// request must pass *both* its tenant's limits and the engine-wide
+/// admission policy before a worker sees it.
+pub struct TenantGate {
+    by_key: HashMap<String, Arc<TenantState>>,
+    order: Vec<Arc<TenantState>>,
+}
+
+impl TenantGate {
+    /// Builds a gate from tenant specs. Duplicate names or API keys are a
+    /// configuration error and panic.
+    pub fn new(specs: impl IntoIterator<Item = TenantSpec>) -> Self {
+        let now = Instant::now();
+        let mut by_key = HashMap::new();
+        let mut order = Vec::new();
+        let mut names = std::collections::HashSet::new();
+        for spec in specs {
+            assert!(names.insert(spec.name.clone()), "duplicate tenant name {:?}", spec.name);
+            let state = Arc::new(TenantState {
+                bucket: Mutex::new(TokenBucket::full(spec.quota.burst, now)),
+                in_flight: AtomicU64::new(0),
+                admitted: AtomicU64::new(0),
+                quota_rejections: AtomicU64::new(0),
+                in_flight_rejections: AtomicU64::new(0),
+                spec,
+            });
+            let prev = by_key.insert(state.spec.api_key.clone(), Arc::clone(&state));
+            assert!(prev.is_none(), "duplicate tenant api key");
+            order.push(state);
+        }
+        TenantGate { by_key, order }
+    }
+
+    /// Number of configured tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Looks up the tenant owning `api_key` and admits one request under
+    /// its quota. The returned permit releases the in-flight slot on
+    /// drop.
+    pub fn admit(&self, api_key: &str) -> Result<TenantPermit, TenantRefusal> {
+        self.admit_at(api_key, Instant::now())
+    }
+
+    /// [`TenantGate::admit`] with an explicit clock (deterministic tests).
+    pub fn admit_at(&self, api_key: &str, now: Instant) -> Result<TenantPermit, TenantRefusal> {
+        let Some(state) = self.by_key.get(api_key) else {
+            return Err(TenantRefusal::UnknownKey);
+        };
+        let quota = state.spec.quota;
+        // Concurrency cap first (it is the cheaper check and does not
+        // consume a token on refusal).
+        if quota.max_in_flight != 0 {
+            let mut cur = state.in_flight.load(Ordering::Relaxed);
+            loop {
+                if cur >= quota.max_in_flight {
+                    state.in_flight_rejections.fetch_add(1, Ordering::Relaxed);
+                    bagcq_obs::instant("engine.admission", ShedReason::InFlightLimit.label());
+                    return Err(TenantRefusal::InFlightLimit);
+                }
+                match state.in_flight.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        } else {
+            state.in_flight.fetch_add(1, Ordering::AcqRel);
+        }
+        if quota.rate_per_sec != 0 {
+            let took = {
+                let mut bucket = state.bucket.lock().unwrap_or_else(|p| p.into_inner());
+                bucket.try_take(quota.rate_per_sec, quota.burst, now)
+            };
+            if !took {
+                state.in_flight.fetch_sub(1, Ordering::AcqRel);
+                state.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                bagcq_obs::instant("engine.admission", ShedReason::QuotaExceeded.label());
+                return Err(TenantRefusal::QuotaExceeded);
+            }
+        }
+        state.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(TenantPermit { state: Arc::clone(state) })
+    }
+
+    /// Point-in-time counters for every tenant, in configuration order.
+    pub fn snapshot(&self) -> Vec<TenantCounters> {
+        self.order
+            .iter()
+            .map(|s| TenantCounters {
+                name: s.spec.name.clone(),
+                admitted: s.admitted.load(Ordering::Relaxed),
+                quota_rejections: s.quota_rejections.load(Ordering::Relaxed),
+                in_flight_rejections: s.in_flight_rejections.load(Ordering::Relaxed),
+                in_flight: s.in_flight.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// RAII proof that a request passed its tenant's quota; dropping it
+/// releases the tenant's in-flight slot. Hold it for the request's whole
+/// lifetime (parse → count → respond), not just the engine hop.
+pub struct TenantPermit {
+    state: Arc<TenantState>,
+}
+
+impl std::fmt::Debug for TenantPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantPermit").field("tenant", &self.state.spec.name).finish()
+    }
+}
+
+impl TenantPermit {
+    /// The owning tenant's display name.
+    pub fn tenant_name(&self) -> &str {
+        &self.state.spec.name
+    }
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::thread;
 
     #[test]
@@ -312,5 +593,141 @@ mod tests {
         assert_eq!(q.len(), 0);
         q.close();
         assert_eq!(q.pop(), None);
+    }
+
+    // --- tenants -----------------------------------------------------------
+
+    fn gate(quota: TenantQuota) -> TenantGate {
+        TenantGate::new([TenantSpec::new("acme", "k-acme").with_quota(quota)])
+    }
+
+    #[test]
+    fn unknown_key_is_auth_not_shed() {
+        let g = gate(TenantQuota::unlimited());
+        let e = g.admit("nope").unwrap_err();
+        assert_eq!(e, TenantRefusal::UnknownKey);
+        assert_eq!(e.shed_reason(), None);
+        // Nothing was counted against the tenant.
+        assert_eq!(g.snapshot()[0].admitted, 0);
+    }
+
+    #[test]
+    fn token_bucket_limits_burst_then_refills() {
+        let g = gate(TenantQuota { rate_per_sec: 10, burst: 3, max_in_flight: 0 });
+        let t0 = Instant::now();
+        // The bucket starts full: exactly `burst` immediate admissions.
+        for _ in 0..3 {
+            assert!(g.admit_at("k-acme", t0).is_ok());
+        }
+        let e = g.admit_at("k-acme", t0).unwrap_err();
+        assert_eq!(e, TenantRefusal::QuotaExceeded);
+        assert_eq!(e.shed_reason(), Some(ShedReason::QuotaExceeded));
+        // 100ms at 10 req/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(g.admit_at("k-acme", t1).is_ok());
+        assert_eq!(g.admit_at("k-acme", t1).unwrap_err(), TenantRefusal::QuotaExceeded);
+        // Refill never exceeds the burst capacity.
+        let t2 = t1 + Duration::from_secs(3600);
+        for _ in 0..3 {
+            assert!(g.admit_at("k-acme", t2).is_ok());
+        }
+        assert!(g.admit_at("k-acme", t2).is_err());
+        let c = &g.snapshot()[0];
+        assert_eq!(c.admitted, 7);
+        assert_eq!(c.quota_rejections, 3);
+    }
+
+    #[test]
+    fn in_flight_cap_is_released_by_permit_drop() {
+        let g = gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 2 });
+        let p1 = g.admit("k-acme").unwrap();
+        let p2 = g.admit("k-acme").unwrap();
+        assert_eq!(p1.tenant_name(), "acme");
+        let e = g.admit("k-acme").unwrap_err();
+        assert_eq!(e, TenantRefusal::InFlightLimit);
+        assert_eq!(e.shed_reason(), Some(ShedReason::InFlightLimit));
+        assert_eq!(g.snapshot()[0].in_flight, 2);
+        drop(p1);
+        let _p3 = g.admit("k-acme").expect("slot released");
+        drop(p2);
+        let c = &g.snapshot()[0];
+        assert_eq!(c.in_flight, 1);
+        assert_eq!(c.admitted, 3);
+        assert_eq!(c.in_flight_rejections, 1);
+    }
+
+    #[test]
+    fn in_flight_refusal_consumes_no_token() {
+        let g = gate(TenantQuota { rate_per_sec: 1, burst: 2, max_in_flight: 1 });
+        let t0 = Instant::now();
+        let p = g.admit_at("k-acme", t0).unwrap();
+        assert_eq!(g.admit_at("k-acme", t0).unwrap_err(), TenantRefusal::InFlightLimit);
+        drop(p);
+        // The bucket still has its second token.
+        assert!(g.admit_at("k-acme", t0).is_ok());
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let g = TenantGate::new([
+            TenantSpec::new("a", "ka").with_quota(TenantQuota {
+                rate_per_sec: 1,
+                burst: 1,
+                max_in_flight: 0,
+            }),
+            TenantSpec::new("b", "kb").with_quota(TenantQuota {
+                rate_per_sec: 1,
+                burst: 1,
+                max_in_flight: 0,
+            }),
+        ]);
+        assert_eq!(g.tenant_count(), 2);
+        let t0 = Instant::now();
+        assert!(g.admit_at("ka", t0).is_ok());
+        assert!(g.admit_at("ka", t0).is_err(), "a is exhausted");
+        assert!(g.admit_at("kb", t0).is_ok(), "b is unaffected");
+        let snap = g.snapshot();
+        assert_eq!((snap[0].admitted, snap[0].quota_rejections), (1, 1));
+        assert_eq!((snap[1].admitted, snap[1].quota_rejections), (1, 0));
+    }
+
+    #[test]
+    fn concurrent_admissions_never_exceed_the_cap() {
+        let g = Arc::new(gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 4 }));
+        let peak = Arc::new(AtomicU64::new(0));
+        let live = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (g, peak, live) = (Arc::clone(&g), Arc::clone(&peak), Arc::clone(&live));
+                thread::spawn(move || {
+                    let mut admitted = 0u64;
+                    for _ in 0..200 {
+                        if let Ok(permit) = g.admit("k-acme") {
+                            let now = live.fetch_add(1, Ordering::AcqRel) + 1;
+                            peak.fetch_max(now, Ordering::AcqRel);
+                            std::thread::yield_now();
+                            live.fetch_sub(1, Ordering::AcqRel);
+                            drop(permit);
+                            admitted += 1;
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert!(
+            peak.load(Ordering::Acquire) <= 4,
+            "cap breached: {}",
+            peak.load(Ordering::Acquire)
+        );
+        assert_eq!(g.snapshot()[0].in_flight, 0, "all permits released");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant")]
+    fn duplicate_keys_panic() {
+        let _ = TenantGate::new([TenantSpec::new("a", "k"), TenantSpec::new("b", "k")]);
     }
 }

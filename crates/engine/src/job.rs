@@ -263,6 +263,12 @@ pub enum ShedReason {
     /// and this job was either refused at submit or flushed out of the
     /// queue by the drain deadline.
     Draining,
+    /// The tenant's token-bucket quota was exhausted
+    /// ([`crate::TenantGate`]); the serving layer maps this to HTTP 429.
+    QuotaExceeded,
+    /// The tenant hit its max-in-flight concurrency limit
+    /// ([`crate::TenantGate`]); the serving layer maps this to HTTP 429.
+    InFlightLimit,
 }
 
 impl ShedReason {
@@ -273,6 +279,8 @@ impl ShedReason {
             ShedReason::AdmissionTimeout => "admission_timeout",
             ShedReason::ExpiredAtDequeue => "expired_at_dequeue",
             ShedReason::Draining => "draining",
+            ShedReason::QuotaExceeded => "quota_exceeded",
+            ShedReason::InFlightLimit => "in_flight_limit",
         }
     }
 }
@@ -523,6 +531,8 @@ mod tests {
         assert_eq!(ShedReason::AdmissionTimeout.label(), "admission_timeout");
         assert_eq!(ShedReason::ExpiredAtDequeue.label(), "expired_at_dequeue");
         assert_eq!(ShedReason::Draining.label(), "draining");
+        assert_eq!(ShedReason::QuotaExceeded.label(), "quota_exceeded");
+        assert_eq!(ShedReason::InFlightLimit.label(), "in_flight_limit");
     }
 
     #[test]

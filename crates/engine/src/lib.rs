@@ -93,7 +93,10 @@ pub mod trace;
 /// dependency edge).
 pub use bagcq_obs as obs;
 
-pub use admission::{AdmissionConfig, AdmissionPolicy};
+pub use admission::{
+    AdmissionConfig, AdmissionPolicy, TenantCounters, TenantGate, TenantPermit, TenantQuota,
+    TenantRefusal, TenantSpec,
+};
 /// The unified counting surface, re-exported from `bagcq-homcount` so
 /// engine users name backends and counting errors without a separate
 /// dependency edge: [`BackendChoice`] selects a kernel,

@@ -9,6 +9,7 @@
 //!
 //! [`render`]: MetricsSnapshot::render
 
+use crate::admission::TenantCounters;
 use crate::job::ShedReason;
 use crate::supervisor::{EngineHealth, HealthCell};
 use bagcq_obs::StageStats;
@@ -207,6 +208,9 @@ impl Metrics {
             mem_denials: 0,
             latency_us,
             stages: bagcq_obs::stage_snapshot(),
+            // Tenant counters live in the serving layer's `TenantGate`;
+            // `bagcq-serve` fills them in before rendering `/metrics`.
+            tenants: Vec::new(),
         }
     }
 }
@@ -289,6 +293,10 @@ pub struct MetricsSnapshot {
     /// process-wide, so these aggregate *all* instrumented activity, not
     /// just this engine's.
     pub stages: Vec<StageStats>,
+    /// Per-tenant admission counters from the serving layer's
+    /// [`crate::TenantGate`]. Empty unless a serving front end filled
+    /// them in (the engine itself is tenant-agnostic).
+    pub tenants: Vec<TenantCounters>,
 }
 
 impl MetricsSnapshot {
@@ -374,6 +382,16 @@ impl fmt::Display for MetricsSnapshot {
                 writeln!(f, "    >= {lo}us: {n}")?;
             } else {
                 writeln!(f, "    [{lo}us, {}us): {n}", 1u64 << i)?;
+            }
+        }
+        if !self.tenants.is_empty() {
+            writeln!(f, "  tenants")?;
+            for t in &self.tenants {
+                writeln!(
+                    f,
+                    "    {:<16} admitted={} quota_rejections={} in_flight_rejections={} in_flight={}",
+                    t.name, t.admitted, t.quota_rejections, t.in_flight_rejections, t.in_flight
+                )?;
             }
         }
         if !self.stages.is_empty() {

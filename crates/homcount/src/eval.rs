@@ -9,14 +9,14 @@
 //! evaluated at all.
 //!
 //! The free-function counting entry points that used to live here
-//! (`count`, `count_with`, `try_count_with`) are deprecated shims over
-//! [`CountRequest::run`] — see [`crate::backend`] for the current surface.
+//! (`count`, `count_with`, `try_count_with`) are gone: [`CountRequest`]
+//! is the single counting surface — see [`crate::backend`].
 
 use crate::backend::{BackendChoice, CountError, CountRequest};
 use crate::cancel::{CancelToken, Cancelled, EvalControl};
 use crate::common::nat_bytes;
 use bagcq_arith::{Magnitude, Nat, DEFAULT_EXACT_BITS};
-use bagcq_query::{PowerQuery, Query};
+use bagcq_query::PowerQuery;
 use bagcq_structure::Structure;
 
 /// The two original counting algorithms (legacy selector).
@@ -69,37 +69,6 @@ impl Default for EvalOptions {
     }
 }
 
-/// Counts `|Hom(q, d)|` with the chosen engine.
-#[deprecated(since = "0.5.0", note = "use CountRequest::new(q, d).backend(engine).count()")]
-pub fn count_with(engine: Engine, q: &Query, d: &Structure) -> Nat {
-    CountRequest::new(q, d).backend(engine).count()
-}
-
-/// Counts `|Hom(q, d)|` with the chosen engine under cancellation
-/// controls.
-#[deprecated(
-    since = "0.5.0",
-    note = "use CountRequest::new(q, d).backend(engine).control(...).run()"
-)]
-pub fn try_count_with(
-    engine: Engine,
-    q: &Query,
-    d: &Structure,
-    ctl: &EvalControl,
-) -> Result<Nat, Cancelled> {
-    match CountRequest::new(q, d).backend(engine).control(ctl.clone()).run() {
-        Ok(n) => Ok(n),
-        Err(CountError::Cancelled(c)) => Err(c),
-        Err(e) => unreachable!("reference backends only fail by cancellation: {e}"),
-    }
-}
-
-/// Counts `|Hom(q, d)|` with the default backend.
-#[deprecated(since = "0.5.0", note = "use CountRequest::new(q, d).count()")]
-pub fn count(q: &Query, d: &Structure) -> Nat {
-    CountRequest::new(q, d).count()
-}
-
 /// Evaluates a symbolic power query on a database.
 ///
 /// Ignores any budget/token in `opts` (it cannot report cancellation);
@@ -144,7 +113,6 @@ pub fn try_eval_power_query(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims' own correctness tests exercise them directly
 mod tests {
     use super::*;
     use bagcq_arith::CertOrd;
@@ -173,7 +141,7 @@ mod tests {
         let pq = PowerQuery::power(q.clone(), Nat::from_u64(4));
         let symbolic = eval_power_query(&pq, &d, &EvalOptions::default());
         let flat = pq.expand(100).unwrap();
-        let direct = count(&flat, &d);
+        let direct = CountRequest::new(&flat, &d).count();
         assert_eq!(symbolic.as_exact(), Some(&direct));
         assert_eq!(direct, Nat::from_u64(9).pow_u64(4));
     }
@@ -208,7 +176,10 @@ mod tests {
     fn engines_agree() {
         let (s, d) = complete(3);
         let q = path_query(&s, "E", 3);
-        assert_eq!(count_with(Engine::Naive, &q, &d), count_with(Engine::Treewidth, &q, &d));
+        assert_eq!(
+            CountRequest::new(&q, &d).backend(Engine::Naive).count(),
+            CountRequest::new(&q, &d).backend(Engine::Treewidth).count()
+        );
     }
 
     #[test]

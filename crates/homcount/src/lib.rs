@@ -81,8 +81,6 @@ pub use cancel::{
     CancelReason, CancelToken, Cancelled, CheckpointHook, EvalControl, MemoryGauge, Ticker,
     CHECK_INTERVAL,
 };
-#[allow(deprecated)]
-pub use eval::{count, count_with, try_count_with};
 pub use eval::{eval_power_query, try_eval_power_query, Engine, EvalOptions};
 pub use naive::{for_each_hom_limited, try_for_each_hom_limited, NaiveCounter};
 pub use onto::{find_onto_hom, verify_onto_hom, OntoHom};

@@ -15,7 +15,6 @@
 //! the tree-decomposition engine (and everything built on top) is
 //! cross-validated against.
 
-use crate::backend::{BackendChoice, CountError, CountRequest};
 use crate::cancel::{Cancelled, EvalControl, Ticker};
 use crate::common::{components, free_var_factor, inequality_ok, resolve, IndexCache, UNASSIGNED};
 use bagcq_arith::{Accumulator, Nat};
@@ -27,30 +26,6 @@ use bagcq_structure::Structure;
 pub struct NaiveCounter;
 
 impl NaiveCounter {
-    /// Counts `|Hom(q, d)|`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use CountRequest::new(q, d).backend(BackendChoice::Naive).count()"
-    )]
-    pub fn count(&self, q: &Query, d: &Structure) -> Nat {
-        CountRequest::new(q, d).backend(BackendChoice::Naive).count()
-    }
-
-    /// Counts `|Hom(q, d)|` under cooperative cancellation controls:
-    /// returns [`Cancelled`] once the step budget runs out or the token
-    /// trips (polled every ~1024 backtracking steps).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use CountRequest::new(q, d).backend(BackendChoice::Naive).control(...).run()"
-    )]
-    pub fn try_count(&self, q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
-        match CountRequest::new(q, d).backend(BackendChoice::Naive).control(ctl.clone()).run() {
-            Ok(n) => Ok(n),
-            Err(CountError::Cancelled(c)) => Err(c),
-            Err(e) => unreachable!("naive backend only fails by cancellation: {e}"),
-        }
-    }
-
     /// Ablation baseline: counts by enumerating every homomorphism one at
     /// a time, with no component factorization and no free-variable
     /// shortcut. Exponentially slower on disjoint conjunctions (`θ↑k`
@@ -524,12 +499,24 @@ fn full_enumerate(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims' own correctness tests exercise them directly
 mod tests {
     use super::*;
+    use crate::backend::{BackendChoice, CountError, CountRequest};
     use bagcq_query::{cycle_query, path_query, star_query};
     use bagcq_structure::{SchemaBuilder, Vertex};
     use std::sync::Arc;
+
+    fn naive_count(q: &Query, d: &Structure) -> Nat {
+        CountRequest::new(q, d).backend(BackendChoice::Naive).count()
+    }
+
+    fn naive_try_count(q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
+        match CountRequest::new(q, d).backend(BackendChoice::Naive).control(ctl.clone()).run() {
+            Ok(n) => Ok(n),
+            Err(CountError::Cancelled(c)) => Err(c),
+            Err(e) => panic!("naive backend only fails by cancellation: {e}"),
+        }
+    }
 
     fn digraph() -> Arc<bagcq_structure::Schema> {
         let mut b = SchemaBuilder::default();
@@ -567,7 +554,7 @@ mod tests {
         let d = cycle_struct(&s, 5);
         let q = path_query(&s, "E", 1);
         // Every edge is a hom: 5.
-        assert_eq!(NaiveCounter.count(&q, &d), Nat::from_u64(5));
+        assert_eq!(naive_count(&q, &d), Nat::from_u64(5));
     }
 
     #[test]
@@ -577,11 +564,7 @@ mod tests {
         // A path with k edges has k+1 vertices: 4^(k+1) homs.
         for k in 1..5 {
             let q = path_query(&s, "E", k);
-            assert_eq!(
-                NaiveCounter.count(&q, &d),
-                Nat::from_u64(4u64.pow(k + 1)),
-                "path length {k}"
-            );
+            assert_eq!(naive_count(&q, &d), Nat::from_u64(4u64.pow(k + 1)), "path length {k}");
         }
     }
 
@@ -591,9 +574,9 @@ mod tests {
         // Homs C_k → C_n: k-cycle maps onto n-cycle iff n | k, and there
         // are n of them (choice of start).
         let d = cycle_struct(&s, 3);
-        assert_eq!(NaiveCounter.count(&cycle_query(&s, "E", 3), &d), Nat::from_u64(3));
-        assert_eq!(NaiveCounter.count(&cycle_query(&s, "E", 6), &d), Nat::from_u64(3));
-        assert_eq!(NaiveCounter.count(&cycle_query(&s, "E", 4), &d), Nat::zero());
+        assert_eq!(naive_count(&cycle_query(&s, "E", 3), &d), Nat::from_u64(3));
+        assert_eq!(naive_count(&cycle_query(&s, "E", 6), &d), Nat::from_u64(3));
+        assert_eq!(naive_count(&cycle_query(&s, "E", 4), &d), Nat::zero());
     }
 
     #[test]
@@ -608,7 +591,7 @@ mod tests {
         }
         // Star with 2 leaves from the center: 3² choices of leaves.
         let q = star_query(&s, "E", 2);
-        assert_eq!(NaiveCounter.count(&q, &d), Nat::from_u64(9));
+        assert_eq!(naive_count(&q, &d), Nat::from_u64(9));
     }
 
     #[test]
@@ -619,9 +602,9 @@ mod tests {
         let p1 = path_query(&s, "E", 1);
         let p2 = path_query(&s, "E", 2);
         let conj = p1.disjoint_conj(&p2);
-        let c1 = NaiveCounter.count(&p1, &d);
-        let c2 = NaiveCounter.count(&p2, &d);
-        assert_eq!(NaiveCounter.count(&conj, &d), c1.mul_ref(&c2));
+        let c1 = naive_count(&p1, &d);
+        let c2 = naive_count(&p2, &d);
+        assert_eq!(naive_count(&conj, &d), c1.mul_ref(&c2));
     }
 
     #[test]
@@ -629,9 +612,9 @@ mod tests {
         let s = digraph();
         let d = complete_struct(&s, 3);
         let q = path_query(&s, "E", 1);
-        let c = NaiveCounter.count(&q, &d);
+        let c = naive_count(&q, &d);
         for k in 0..4 {
-            assert_eq!(NaiveCounter.count(&q.power(k), &d), c.pow_u64(k as u64), "power {k}");
+            assert_eq!(naive_count(&q.power(k), &d), c.pow_u64(k as u64), "power {k}");
         }
     }
 
@@ -644,7 +627,7 @@ mod tests {
         let x = qb.var("x");
         let y = qb.var("y");
         qb.atom_named("E", &[x, y]).neq(x, y);
-        assert_eq!(NaiveCounter.count(&qb.build(), &d), Nat::from_u64(6));
+        assert_eq!(naive_count(&qb.build(), &d), Nat::from_u64(6));
     }
 
     #[test]
@@ -656,7 +639,7 @@ mod tests {
         let x = qb.var("x");
         let y = qb.var("y");
         qb.neq(x, y);
-        assert_eq!(NaiveCounter.count(&qb.build(), &d), Nat::from_u64(12));
+        assert_eq!(naive_count(&qb.build(), &d), Nat::from_u64(12));
     }
 
     #[test]
@@ -669,7 +652,7 @@ mod tests {
         let _free = qb.var("free");
         qb.atom_named("E", &[x, y]);
         // 25 edge homs × 5 for the free variable.
-        assert_eq!(NaiveCounter.count(&qb.build(), &d), Nat::from_u64(125));
+        assert_eq!(naive_count(&qb.build(), &d), Nat::from_u64(125));
     }
 
     #[test]
@@ -677,7 +660,7 @@ mod tests {
         let s = digraph();
         let d = cycle_struct(&s, 3);
         let q = bagcq_query::Query::empty(Arc::clone(&s));
-        assert_eq!(NaiveCounter.count(&q, &d), Nat::one());
+        assert_eq!(naive_count(&q, &d), Nat::one());
     }
 
     #[test]
@@ -693,10 +676,10 @@ mod tests {
         let q = qb.build();
 
         let mut d = Structure::new(Arc::clone(&s));
-        assert_eq!(NaiveCounter.count(&q, &d), Nat::zero());
+        assert_eq!(naive_count(&q, &d), Nat::zero());
         let av = d.constant_vertex(s.constant_by_name("a").unwrap());
         d.add_atom(e, &[av, av]);
-        assert_eq!(NaiveCounter.count(&q, &d), Nat::one());
+        assert_eq!(naive_count(&q, &d), Nat::one());
     }
 
     #[test]
@@ -709,7 +692,7 @@ mod tests {
         d.add_atom(e, &[Vertex(0), Vertex(1)]);
         // E(x,x) matches only the loop.
         let q = cycle_query(&s, "E", 1);
-        assert_eq!(NaiveCounter.count(&q, &d), Nat::one());
+        assert_eq!(naive_count(&q, &d), Nat::one());
     }
 
     #[test]
@@ -759,12 +742,9 @@ mod tests {
         let q = path_query(&s, "E", 5);
         // A tiny budget must trip; a generous one must agree with count().
         let tiny = EvalControl::new(3, None);
-        assert_eq!(
-            NaiveCounter.try_count(&q, &d, &tiny),
-            Err(Cancelled(CancelReason::BudgetExhausted))
-        );
+        assert_eq!(naive_try_count(&q, &d, &tiny), Err(Cancelled(CancelReason::BudgetExhausted)));
         let roomy = EvalControl::new(100_000_000, None);
-        assert_eq!(NaiveCounter.try_count(&q, &d, &roomy), Ok(NaiveCounter.count(&q, &d)));
+        assert_eq!(naive_try_count(&q, &d, &roomy), Ok(naive_count(&q, &d)));
     }
 
     #[test]
@@ -799,20 +779,21 @@ mod tests {
         qb.neq(x, y);
         let q = qb.build();
         let tiny = EvalControl::new(10, None);
-        assert_eq!(
-            NaiveCounter.try_count(&q, &d, &tiny),
-            Err(Cancelled(CancelReason::BudgetExhausted))
-        );
+        assert_eq!(naive_try_count(&q, &d, &tiny), Err(Cancelled(CancelReason::BudgetExhausted)));
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod ablation_tests {
     use super::*;
+    use crate::backend::{BackendChoice, CountRequest};
     use bagcq_query::{path_query, QueryGen};
     use bagcq_structure::{SchemaBuilder, StructureGen};
     use std::sync::Arc;
+
+    fn naive_count(q: &Query, d: &Structure) -> Nat {
+        CountRequest::new(q, d).backend(BackendChoice::Naive).count()
+    }
 
     #[test]
     fn enumerative_agrees_with_factored() {
@@ -825,11 +806,7 @@ mod ablation_tests {
         for seed in 0..15u64 {
             let q = qg.sample(&s, seed);
             let d = sg.sample(&s, seed + 1000);
-            assert_eq!(
-                NaiveCounter.count_enumerative(&q, &d),
-                NaiveCounter.count(&q, &d),
-                "seed {seed}"
-            );
+            assert_eq!(NaiveCounter.count_enumerative(&q, &d), naive_count(&q, &d), "seed {seed}");
         }
     }
 
@@ -841,7 +818,7 @@ mod ablation_tests {
         let d =
             StructureGen { extra_vertices: 3, density: 0.5, ..Default::default() }.sample(&s, 3);
         let q = path_query(&s, "E", 1).power(2);
-        assert_eq!(NaiveCounter.count_enumerative(&q, &d), NaiveCounter.count(&q, &d));
+        assert_eq!(NaiveCounter.count_enumerative(&q, &d), naive_count(&q, &d));
         let _ = Arc::strong_count(&s);
     }
 }

@@ -7,7 +7,6 @@
 //! [`crate::NaiveCounter`] on low-width query families (paths, cycles,
 //! stars, grids; experiment E-PERF1).
 
-use crate::backend::{BackendChoice, CountError, CountRequest};
 use crate::cancel::{Cancelled, EvalControl, Ticker};
 use crate::common::{components, free_var_factor, inequality_ok, resolve, UNASSIGNED};
 use crate::treedec::{decompose_min_fill, TreeDecomposition};
@@ -21,30 +20,6 @@ use std::collections::{HashMap, HashSet};
 pub struct TreewidthCounter;
 
 impl TreewidthCounter {
-    /// Counts `|Hom(q, d)|`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use CountRequest::new(q, d).backend(BackendChoice::Treewidth).count()"
-    )]
-    pub fn count(&self, q: &Query, d: &Structure) -> Nat {
-        CountRequest::new(q, d).backend(BackendChoice::Treewidth).count()
-    }
-
-    /// Counts `|Hom(q, d)|` under cooperative cancellation controls:
-    /// returns [`Cancelled`] once the step budget runs out or the token
-    /// trips (polled during bag enumeration, the DP's inner loop).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use CountRequest::new(q, d).backend(BackendChoice::Treewidth).control(...).run()"
-    )]
-    pub fn try_count(&self, q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
-        match CountRequest::new(q, d).backend(BackendChoice::Treewidth).control(ctl.clone()).run() {
-            Ok(n) => Ok(n),
-            Err(CountError::Cancelled(c)) => Err(c),
-            Err(e) => unreachable!("treewidth backend only fails by cancellation: {e}"),
-        }
-    }
-
     /// The width min-fill found for this query's primal graph (diagnostics
     /// and bench labeling).
     pub fn decomposition_width(&self, q: &Query) -> usize {
@@ -396,13 +371,28 @@ fn enumerate_bag(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims' own correctness tests exercise them directly
 mod tests {
     use super::*;
-    use crate::naive::NaiveCounter;
+    use crate::backend::{BackendChoice, CountError, CountRequest};
     use bagcq_query::{cycle_query, grid_query, path_query, star_query, QueryGen};
     use bagcq_structure::{SchemaBuilder, StructureGen, Vertex};
     use std::sync::Arc;
+
+    fn naive_count(q: &Query, d: &Structure) -> Nat {
+        CountRequest::new(q, d).backend(BackendChoice::Naive).count()
+    }
+
+    fn tw_count(q: &Query, d: &Structure) -> Nat {
+        CountRequest::new(q, d).backend(BackendChoice::Treewidth).count()
+    }
+
+    fn tw_try_count(q: &Query, d: &Structure, ctl: &EvalControl) -> Result<Nat, Cancelled> {
+        match CountRequest::new(q, d).backend(BackendChoice::Treewidth).control(ctl.clone()).run() {
+            Ok(n) => Ok(n),
+            Err(CountError::Cancelled(c)) => Err(c),
+            Err(e) => panic!("treewidth backend only fails by cancellation: {e}"),
+        }
+    }
 
     fn digraph() -> Arc<bagcq_structure::Schema> {
         let mut b = SchemaBuilder::default();
@@ -435,7 +425,7 @@ mod tests {
             grid_query(&s, "E", 3, 2),
         ] {
             for dd in [&d, &d2] {
-                assert_eq!(TreewidthCounter.count(&q, dd), NaiveCounter.count(&q, dd), "query {q}");
+                assert_eq!(tw_count(&q, dd), naive_count(&q, dd), "query {q}");
             }
         }
     }
@@ -452,11 +442,7 @@ mod tests {
         for seed in 0..30u64 {
             let q = qg.sample(&s, seed);
             let d = sg.sample(&s, seed.wrapping_mul(31) + 7);
-            assert_eq!(
-                TreewidthCounter.count(&q, &d),
-                NaiveCounter.count(&q, &d),
-                "seed {seed}, query {q}"
-            );
+            assert_eq!(tw_count(&q, &d), naive_count(&q, &d), "seed {seed}, query {q}");
         }
     }
 
@@ -477,8 +463,8 @@ mod tests {
         let s = digraph();
         let d = cycle_struct(&s, 6);
         let q = path_query(&s, "E", 2).power(6);
-        let single = TreewidthCounter.count(&path_query(&s, "E", 2), &d);
-        assert_eq!(TreewidthCounter.count(&q, &d), single.pow_u64(6));
+        let single = tw_count(&path_query(&s, "E", 2), &d);
+        assert_eq!(tw_count(&q, &d), single.pow_u64(6));
     }
 
     #[test]
@@ -491,7 +477,7 @@ mod tests {
         let z = qb.var("z");
         qb.atom_named("E", &[x, y]).atom_named("E", &[y, z]).neq(x, z);
         let q = qb.build();
-        assert_eq!(TreewidthCounter.count(&q, &d), NaiveCounter.count(&q, &d));
+        assert_eq!(tw_count(&q, &d), naive_count(&q, &d));
     }
 
     #[test]
@@ -501,12 +487,9 @@ mod tests {
         let d = cycle_struct(&s, 40);
         let q = grid_query(&s, "E", 4, 4);
         let tiny = EvalControl::new(5, None);
-        assert_eq!(
-            TreewidthCounter.try_count(&q, &d, &tiny),
-            Err(Cancelled(CancelReason::BudgetExhausted))
-        );
+        assert_eq!(tw_try_count(&q, &d, &tiny), Err(Cancelled(CancelReason::BudgetExhausted)));
         let roomy = EvalControl::new(500_000_000, None);
-        assert_eq!(TreewidthCounter.try_count(&q, &d, &roomy), Ok(TreewidthCounter.count(&q, &d)));
+        assert_eq!(tw_try_count(&q, &d, &roomy), Ok(tw_count(&q, &d)));
     }
 
     #[test]
@@ -518,15 +501,15 @@ mod tests {
         let e = s.relation_by_name("E").unwrap();
         let q_empty = bagcq_query::Query::empty(Arc::clone(&s));
         let mut d = Structure::new(Arc::clone(&s));
-        assert_eq!(TreewidthCounter.count(&q_empty, &d), Nat::one());
+        assert_eq!(tw_count(&q_empty, &d), Nat::one());
 
         let mut qb = bagcq_query::Query::builder(Arc::clone(&s));
         let a = qb.constant("a");
         qb.atom_named("E", &[a, a]);
         let q_ground = qb.build();
-        assert_eq!(TreewidthCounter.count(&q_ground, &d), Nat::zero());
+        assert_eq!(tw_count(&q_ground, &d), Nat::zero());
         let av = d.constant_vertex(s.constant_by_name("a").unwrap());
         d.add_atom(e, &[av, av]);
-        assert_eq!(TreewidthCounter.count(&q_ground, &d), Nat::one());
+        assert_eq!(tw_count(&q_ground, &d), Nat::one());
     }
 }

@@ -149,22 +149,19 @@ proptest! {
         prop_assert!(c1 <= c2, "{c1} > {c2}");
     }
 
-    /// The deprecated free-function shims still return exactly what the
-    /// `CountRequest` API returns (they are wrappers, kept one release).
+    /// The legacy `Engine` selector routes through `CountRequest` to the
+    /// same answers as the default `Auto` choice on every family.
     #[test]
-    fn deprecated_shims_agree_with_requests(qseed in 0u64..10_000, dseed in 0u64..10_000) {
+    fn engine_selector_agrees_with_requests(qseed in 0u64..10_000, dseed in 0u64..10_000) {
         let q = small_query(qseed, 3, 4, 1);
         let d = small_structure(dseed, 3, 0.35);
-        #[allow(deprecated)]
-        let via_shims = (
-            bagcq_homcount::count(&q, &d),
-            bagcq_homcount::count_with(bagcq_homcount::Engine::Naive, &q, &d),
-            bagcq_homcount::count_with(bagcq_homcount::Engine::Treewidth, &q, &d),
+        let via_engines = (
+            CountRequest::new(&q, &d).backend(bagcq_homcount::Engine::Naive).count(),
+            CountRequest::new(&q, &d).backend(bagcq_homcount::Engine::Treewidth).count(),
         );
         let want = CountRequest::new(&q, &d).count();
-        prop_assert_eq!(&via_shims.0, &want);
-        prop_assert_eq!(&via_shims.1, &want);
-        prop_assert_eq!(&via_shims.2, &want);
+        prop_assert_eq!(&via_engines.0, &want);
+        prop_assert_eq!(&via_engines.1, &want);
     }
 }
 

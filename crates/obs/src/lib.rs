@@ -44,6 +44,14 @@ pub mod stages {
     pub const ENGINE_SUPERVISOR: &str = "engine.supervisor";
     /// Memory-budget events: `denial`.
     pub const ENGINE_BUDGET: &str = "engine.budget";
+    /// Serving layer: request parsing (wire frame → query/instance).
+    pub const SERVE_PARSE: &str = "serve.parse";
+    /// Serving layer: tenant authentication + quota admission.
+    pub const SERVE_ADMIT: &str = "serve.admit";
+    /// Serving layer: the engine hop (submit + wait).
+    pub const SERVE_COUNT: &str = "serve.count";
+    /// Serving layer: response serialization + socket write.
+    pub const SERVE_RESPOND: &str = "serve.respond";
 }
 
 use std::cell::RefCell;

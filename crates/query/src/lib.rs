@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dlgp;
 mod gen;
 mod output;
 mod parse;
@@ -38,6 +39,10 @@ mod power_query;
 mod query;
 mod ucq;
 
+pub use dlgp::{
+    parse_bag_instance, parse_bag_instance_infer, parse_dlgp_query, parse_dlgp_query_infer,
+    query_to_dlgp, BagFact, BagInstance,
+};
 pub use gen::{cycle_query, grid_query, path_query, star_query, QueryGen};
 pub use output::{free_constants, OutputQuery};
 pub use parse::{parse_query, parse_query_infer, ParseQueryError};

@@ -13,40 +13,204 @@
 //! (relations and constants must exist, arities must match), and
 //! [`parse_query_infer`] additionally *builds* the schema from what it
 //! sees — convenient for CLI use and tests.
+//!
+//! Errors carry the **line/column** of the offending token and can render
+//! a caret-style snippet ([`ParseQueryError::render`]) — the serving
+//! layer returns these verbatim in `400` responses, so a client sees
+//! exactly where its frame went wrong.
 
 use crate::query::{Query, QueryBuilder, Term};
 use bagcq_structure::{Schema, SchemaBuilder};
 use std::fmt;
 use std::sync::Arc;
 
-/// Error from the query parser.
+/// Error from the query parser (also used by the DLGP wire syntax in
+/// [`crate::dlgp`]): a message plus the 1-based line/column it points at
+/// and the offending source line, so callers can render a caret snippet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseQueryError {
-    /// Human-readable message with position information.
+    /// Human-readable description of what went wrong.
     pub message: String,
+    /// 1-based line of the offending position.
+    pub line: u32,
+    /// 1-based column (in characters) of the offending position.
+    pub col: u32,
+    /// The full source line the error points into (caret rendering).
+    pub src_line: String,
+}
+
+impl ParseQueryError {
+    /// Builds an error pointing at byte `offset` of `src`.
+    pub(crate) fn at(src: &str, offset: usize, message: impl Into<String>) -> Self {
+        let offset = offset.min(src.len());
+        let before = &src[..offset];
+        let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+        let line = before.matches('\n').count() as u32 + 1;
+        let col = src[line_start..offset].chars().count() as u32 + 1;
+        let src_line = src[line_start..].lines().next().unwrap_or("").to_string();
+        ParseQueryError { message: message.into(), line, col, src_line }
+    }
+
+    /// A two-line caret snippet pointing at the error column:
+    ///
+    /// ```text
+    ///   |  E(x y)
+    ///   |      ^
+    /// ```
+    pub fn caret_snippet(&self) -> String {
+        let pad: String =
+            self.src_line.chars().take(self.col.saturating_sub(1) as usize).map(|_| ' ').collect();
+        format!("  |  {}\n  |  {pad}^", self.src_line)
+    }
+
+    /// The full multi-line rendering: position, message, caret snippet.
+    pub fn render(&self) -> String {
+        format!(
+            "query parse error at line {}, column {}: {}\n{}",
+            self.line,
+            self.col,
+            self.message,
+            self.caret_snippet()
+        )
+    }
 }
 
 impl fmt::Display for ParseQueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error: {}", self.message)
+        write!(f, "query parse error at line {}, column {}: {}", self.line, self.col, self.message)
     }
 }
 
 impl std::error::Error for ParseQueryError {}
 
-fn err<T>(message: impl Into<String>) -> Result<T, ParseQueryError> {
-    Err(ParseQueryError { message: message.into() })
+/// A shared scanning cursor over the source text, tracking the byte
+/// offset so every error carries an exact position. Used by this module
+/// and the DLGP wire syntax ([`crate::dlgp`]).
+pub(crate) struct Cursor<'a> {
+    pub(crate) src: &'a str,
+    pub(crate) pos: usize,
 }
 
-/// A parsed conjunct before schema resolution.
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    pub(crate) fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// Skips whitespace (and, when `comments` is set, `%`/`#` line
+    /// comments — the DLGP syntax allows them, the inline query syntax
+    /// has no use for them but tolerates them harmlessly).
+    pub(crate) fn skip_trivia(&mut self, comments: bool) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if comments && (trimmed.starts_with('%') || trimmed.starts_with('#')) {
+                match trimmed.find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.src.len(),
+                }
+                continue;
+            }
+            return;
+        }
+    }
+
+    pub(crate) fn eat(&mut self, ch: char) -> bool {
+        if self.rest().starts_with(ch) {
+            self.pos += ch.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn eat_str(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scans an identifier `[A-Za-z_][A-Za-z0-9_]*`; `None` (without
+    /// advancing) when the cursor is not at one.
+    pub(crate) fn ident(&mut self) -> Option<&'a str> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, ch) in rest.char_indices() {
+            let ok = if i == 0 {
+                ch.is_ascii_alphabetic() || ch == '_'
+            } else {
+                ch.is_ascii_alphanumeric() || ch == '_'
+            };
+            if !ok {
+                break;
+            }
+            end = i + ch.len_utf8();
+        }
+        if end == 0 {
+            None
+        } else {
+            let name = &rest[..end];
+            self.pos += end;
+            Some(name)
+        }
+    }
+
+    pub(crate) fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseQueryError> {
+        Err(ParseQueryError::at(self.src, self.pos, message))
+    }
+
+    pub(crate) fn error_at<T>(
+        &self,
+        offset: usize,
+        message: impl Into<String>,
+    ) -> Result<T, ParseQueryError> {
+        Err(ParseQueryError::at(self.src, offset, message))
+    }
+
+    /// A short preview of the unparsed input, for error messages.
+    pub(crate) fn preview(&self) -> String {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .take_while(|&(i, c)| i < 24 && c != '\n')
+            .last()
+            .map_or(0, |(i, c)| i + c.len_utf8());
+        if end < rest.trim_end().len() {
+            format!("{}…", &rest[..end])
+        } else {
+            rest[..end].to_string()
+        }
+    }
+}
+
+/// A parsed conjunct before schema resolution. Offsets point into the
+/// source so resolution errors (unknown relation, arity mismatch) carry
+/// positions too.
 #[derive(Debug, Clone)]
-enum RawConjunct {
-    Atom { rel: String, args: Vec<RawTerm> },
+pub(crate) enum RawConjunct {
+    Atom { rel: String, rel_pos: usize, args: Vec<RawTerm> },
     Neq(RawTerm, RawTerm),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum RawTerm {
+pub(crate) struct RawTerm {
+    pub(crate) kind: RawTermKind,
+    pub(crate) pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RawTermKind {
     Var(String),
     Const(String),
 }
@@ -54,126 +218,119 @@ enum RawTerm {
 /// Tokenizes and parses the surface syntax into raw conjuncts.
 fn parse_raw(src: &str) -> Result<Vec<RawConjunct>, ParseQueryError> {
     let mut out = Vec::new();
-    let mut rest = src.trim();
-    if rest.is_empty() {
+    let mut cur = Cursor::new(src);
+    cur.skip_trivia(false);
+    if cur.is_empty() {
         return Ok(out);
     }
     loop {
-        let (conjunct, tail) = parse_conjunct(rest)?;
-        out.push(conjunct);
-        rest = tail.trim_start();
-        if rest.is_empty() {
+        out.push(parse_conjunct(&mut cur)?);
+        cur.skip_trivia(false);
+        if cur.is_empty() {
             return Ok(out);
         }
         // Separator.
-        if let Some(t) = rest
-            .strip_prefix(',')
-            .or_else(|| rest.strip_prefix('&'))
-            .or_else(|| rest.strip_prefix('∧'))
-        {
-            rest = t.trim_start();
-            if rest.is_empty() {
-                return err("trailing separator");
+        if cur.eat(',') || cur.eat('&') || cur.eat('∧') {
+            cur.skip_trivia(false);
+            if cur.is_empty() {
+                return cur.error("trailing separator");
             }
         } else {
-            return err(format!("expected ',' before {rest:?}"));
+            return cur.error(format!("expected ',' before {:?}", cur.preview()));
         }
     }
 }
 
-fn ident(src: &str) -> Option<(&str, &str)> {
-    let mut end = 0;
-    for (i, ch) in src.char_indices() {
-        let ok = if i == 0 {
-            ch.is_ascii_alphabetic() || ch == '_'
-        } else {
-            ch.is_ascii_alphanumeric() || ch == '_'
+fn parse_term(cur: &mut Cursor<'_>) -> Result<RawTerm, ParseQueryError> {
+    cur.skip_trivia(false);
+    let pos = cur.pos;
+    if cur.eat('\'') {
+        let rest = cur.rest();
+        let Some(close) = rest.find('\'') else {
+            return cur.error_at(pos, "unterminated constant quote");
         };
-        if !ok {
-            break;
-        }
-        end = i + ch.len_utf8();
-    }
-    if end == 0 {
-        None
-    } else {
-        Some((&src[..end], &src[end..]))
-    }
-}
-
-fn parse_term(src: &str) -> Result<(RawTerm, &str), ParseQueryError> {
-    let src = src.trim_start();
-    if let Some(tail) = src.strip_prefix('\'') {
-        let Some(close) = tail.find('\'') else {
-            return err("unterminated constant quote");
-        };
-        let name = &tail[..close];
+        let name = &rest[..close];
         if name.is_empty() {
-            return err("empty constant name");
+            return cur.error_at(pos, "empty constant name");
         }
-        return Ok((RawTerm::Const(name.to_string()), &tail[close + 1..]));
+        cur.pos += close + 1;
+        return Ok(RawTerm { kind: RawTermKind::Const(name.to_string()), pos });
     }
-    match ident(src) {
-        Some((name, tail)) => Ok((RawTerm::Var(name.to_string()), tail)),
-        None => err(format!("expected a term at {src:?}")),
+    match cur.ident() {
+        Some(name) => Ok(RawTerm { kind: RawTermKind::Var(name.to_string()), pos }),
+        None => cur.error(format!("expected a term at {:?}", cur.preview())),
     }
 }
 
-fn parse_conjunct(src: &str) -> Result<(RawConjunct, &str), ParseQueryError> {
-    let src = src.trim_start();
+fn parse_conjunct(cur: &mut Cursor<'_>) -> Result<RawConjunct, ParseQueryError> {
+    cur.skip_trivia(false);
     // Try an atom first: identifier followed by '('.
-    if let Some((name, tail)) = ident(src) {
-        let t = tail.trim_start();
-        if let Some(mut t) = t.strip_prefix('(') {
+    let start = cur.pos;
+    if let Some(name) = cur.ident() {
+        let rel_pos = start;
+        cur.skip_trivia(false);
+        if cur.eat('(') {
             let mut args = Vec::new();
             loop {
-                let (term, rest) = parse_term(t)?;
-                args.push(term);
-                let rest = rest.trim_start();
-                if let Some(r) = rest.strip_prefix(',') {
-                    t = r;
+                args.push(parse_term(cur)?);
+                cur.skip_trivia(false);
+                if cur.eat(',') {
                     continue;
                 }
-                if let Some(r) = rest.strip_prefix(')') {
-                    return Ok((RawConjunct::Atom { rel: name.to_string(), args }, r));
+                if cur.eat(')') {
+                    return Ok(RawConjunct::Atom { rel: name.to_string(), rel_pos, args });
                 }
-                return err(format!("expected ',' or ')' in atom {name} at {rest:?}"));
+                return cur
+                    .error(format!("expected ',' or ')' in atom {name} at {:?}", cur.preview()));
             }
         }
+        // Not an atom: rewind and fall through to the inequality form.
+        cur.pos = start;
     }
     // Otherwise an inequality `t != t'` (or `t ≠ t'`).
-    let (lhs, rest) = parse_term(src)?;
-    let rest = rest.trim_start();
-    let rest = rest
-        .strip_prefix("!=")
-        .or_else(|| rest.strip_prefix('≠'))
-        .ok_or_else(|| ParseQueryError { message: format!("expected '!=' at {rest:?}") })?;
-    let (rhs, rest) = parse_term(rest)?;
-    Ok((RawConjunct::Neq(lhs, rhs), rest))
+    let lhs = parse_term(cur)?;
+    cur.skip_trivia(false);
+    if !(cur.eat_str("!=") || cur.eat('≠')) {
+        return cur.error(format!("expected '!=' at {:?}", cur.preview()));
+    }
+    let rhs = parse_term(cur)?;
+    Ok(RawConjunct::Neq(lhs, rhs))
 }
 
-fn resolve(raw: Vec<RawConjunct>, schema: Arc<Schema>) -> Result<Query, ParseQueryError> {
+fn resolve(
+    src: &str,
+    raw: Vec<RawConjunct>,
+    schema: Arc<Schema>,
+) -> Result<Query, ParseQueryError> {
     let mut qb = Query::builder(Arc::clone(&schema));
     let term = |qb: &mut QueryBuilder, t: &RawTerm| -> Result<Term, ParseQueryError> {
-        match t {
-            RawTerm::Var(name) => Ok(qb.var(name)),
-            RawTerm::Const(name) => match schema.constant_by_name(name) {
+        match &t.kind {
+            RawTermKind::Var(name) => Ok(qb.var(name)),
+            RawTermKind::Const(name) => match schema.constant_by_name(name) {
                 Some(c) => Ok(Term::Const(c)),
-                None => err(format!("unknown constant '{name}'")),
+                None => Err(ParseQueryError::at(src, t.pos, format!("unknown constant '{name}'"))),
             },
         }
     };
     for c in raw {
         match c {
-            RawConjunct::Atom { rel, args } => {
+            RawConjunct::Atom { rel, rel_pos, args } => {
                 let Some(r) = schema.relation_by_name(&rel) else {
-                    return err(format!("unknown relation {rel}"));
+                    return Err(ParseQueryError::at(
+                        src,
+                        rel_pos,
+                        format!("unknown relation {rel}"),
+                    ));
                 };
                 if schema.arity(r) != args.len() {
-                    return err(format!(
-                        "relation {rel} has arity {}, got {} arguments",
-                        schema.arity(r),
-                        args.len()
+                    return Err(ParseQueryError::at(
+                        src,
+                        rel_pos,
+                        format!(
+                            "relation {rel} has arity {}, got {} arguments",
+                            schema.arity(r),
+                            args.len()
+                        ),
                     ));
                 }
                 let mut terms = Vec::with_capacity(args.len());
@@ -194,7 +351,7 @@ fn resolve(raw: Vec<RawConjunct>, schema: Arc<Schema>) -> Result<Query, ParseQue
 
 /// Parses a query against an existing schema.
 pub fn parse_query(schema: &Arc<Schema>, src: &str) -> Result<Query, ParseQueryError> {
-    resolve(parse_raw(src)?, Arc::clone(schema))
+    resolve(src, parse_raw(src)?, Arc::clone(schema))
 }
 
 /// Parses a query, inferring the schema (relations with their observed
@@ -206,28 +363,29 @@ pub fn parse_query_infer(src: &str) -> Result<(Query, Arc<Schema>), ParseQueryEr
     let mut arities: std::collections::HashMap<&str, usize> = Default::default();
     for c in &raw {
         match c {
-            RawConjunct::Atom { rel, args } => {
+            RawConjunct::Atom { rel, rel_pos, args } => {
                 // SchemaBuilder panics on arity conflicts; pre-check to
                 // return a proper error instead.
                 if let Some(&prev) = arities.get(rel.as_str()) {
                     if prev != args.len() {
-                        return err(format!(
-                            "relation {rel} used with arities {prev} and {}",
-                            args.len()
+                        return Err(ParseQueryError::at(
+                            src,
+                            *rel_pos,
+                            format!("relation {rel} used with arities {prev} and {}", args.len()),
                         ));
                     }
                 }
                 arities.insert(rel, args.len());
                 sb.relation(rel, args.len());
                 for a in args {
-                    if let RawTerm::Const(name) = a {
+                    if let RawTermKind::Const(name) = &a.kind {
                         sb.constant(name);
                     }
                 }
             }
             RawConjunct::Neq(l, r) => {
                 for t in [l, r] {
-                    if let RawTerm::Const(name) = t {
+                    if let RawTermKind::Const(name) = &t.kind {
                         sb.constant(name);
                     }
                 }
@@ -235,7 +393,7 @@ pub fn parse_query_infer(src: &str) -> Result<(Query, Arc<Schema>), ParseQueryEr
         }
     }
     let schema = sb.build();
-    let q = resolve(raw, Arc::clone(&schema))?;
+    let q = resolve(src, raw, Arc::clone(&schema))?;
     Ok((q, schema))
 }
 
@@ -290,6 +448,42 @@ mod tests {
         assert!(parse_query(&s, "E(x,y) E(y,z)").is_err()); // missing separator
         assert!(parse_query(&s, "x == y").is_err()); // not a conjunct
         assert!(parse_query(&s, "E(x,'unclosed)").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let s = schema();
+        // The unknown relation starts at line 2, column 9.
+        let e = parse_query(&s, "E(x,y),\n        F(y,z)").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 9), "{e}");
+        assert_eq!(e.src_line, "        F(y,z)");
+        assert!(e.to_string().contains("line 2, column 9"), "{e}");
+
+        // The bad arity points at the relation name.
+        let e = parse_query(&s, "E(x,y,z)").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1), "{e}");
+
+        // The unknown constant points at the term, not the atom.
+        let e = parse_query(&s, "E(x, 'zzz')").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 6), "{e}");
+
+        // A missing separator points at the second atom.
+        let e = parse_query(&s, "E(x,y) E(y,z)").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 8), "{e}");
+    }
+
+    #[test]
+    fn caret_snippet_points_at_the_column() {
+        let e = parse_query(&schema(), "E(x, 'zzz')").unwrap_err();
+        let rendered = e.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "{rendered}");
+        assert!(lines[0].starts_with("query parse error at line 1, column 6:"), "{rendered}");
+        assert_eq!(lines[1], "  |  E(x, 'zzz')");
+        assert_eq!(lines[2], "  |       ^");
+        // The caret column in the snippet matches `col` (5 spaces + '^').
+        let caret_col = lines[2].trim_start_matches("  |  ").len();
+        assert_eq!(caret_col as u32, e.col);
     }
 
     #[test]

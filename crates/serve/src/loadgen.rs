@@ -1,0 +1,566 @@
+//! Seeded closed-loop load generator for the serve front door.
+//!
+//! Replays a deterministic mixed workload — count and containment
+//! requests, valid and deliberately malformed frames, hot (repeated)
+//! and cold (fresh) cache keys — over `connections` keep-alive HTTP
+//! connections, then reports throughput, a log₂ latency histogram, and
+//! exact shed/error tallies.
+//!
+//! Every valid count request's expected answer is precomputed
+//! **in-process** through the same counting path the server uses, so a
+//! run verifies bit-identical results end to end: any divergence between
+//! the wire answer and the in-process answer is counted as a
+//! `mismatch` and fails the run. Malformed frames must come back as
+//! typed 400s; overload sheds must come back as typed 429/503 frames —
+//! anything else (connection reset, unparsable response, wrong status)
+//! is a `protocol_error`.
+//!
+//! Randomness is a seeded [splitmix64](https://prng.di.unimi.it/splitmix64.c)
+//! stream — same seed, same workload, byte for byte. No system clock or
+//! OS entropy is consulted for workload decisions.
+
+use crate::http::{read_response, write_request, HttpLimits, HttpResponse};
+use crate::wire::{parse_response, WireResponse};
+use bagcq_arith::Nat;
+use bagcq_homcount::{BackendChoice, CountRequest};
+use bagcq_query::{parse_bag_instance_infer, parse_dlgp_query};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What fraction of a mixed workload each request class gets, in
+/// per-1024 weights (the remainder after the listed classes is cold
+/// count requests).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMix {
+    /// Hot count requests (drawn from a small pool → cache hits).
+    pub hot_count_per_1024: u32,
+    /// Containment checks.
+    pub check_per_1024: u32,
+    /// Deliberately malformed frames (must answer typed 400s).
+    pub malformed_per_1024: u32,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        // ~82% hot counts, ~10% checks, ~4% malformed, ~4% cold counts.
+        // Cold counts are full engine evaluations (no cache on either
+        // side), so they are deliberately the rare class: they pin
+        // correctness off the hot path without dominating wall-clock.
+        WorkloadMix { hot_count_per_1024: 840, check_per_1024: 100, malformed_per_1024: 44 }
+    }
+}
+
+/// Configuration for [`run`].
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4017`.
+    pub addr: String,
+    /// Tenant API key sent with every request.
+    pub api_key: String,
+    /// RNG seed; the workload is a pure function of it.
+    pub seed: u64,
+    /// Total requests across all connections.
+    pub requests: u64,
+    /// Concurrent keep-alive connections (closed-loop workers).
+    pub connections: usize,
+    /// Request class weights.
+    pub mix: WorkloadMix,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:4017".into(),
+            api_key: "dev-key".into(),
+            seed: 42,
+            requests: 20_000,
+            connections: 8,
+            mix: WorkloadMix::default(),
+        }
+    }
+}
+
+/// What a load run observed. `protocol_errors` and `mismatches` must be
+/// zero for a healthy run; sheds are expected (and typed) under
+/// overload.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// 200s with the expected payload.
+    pub ok: u64,
+    /// Typed 429/503/504 shed frames.
+    pub sheds: u64,
+    /// Malformed frames that came back as typed 400s (expected).
+    pub rejected_malformed: u64,
+    /// Anything off-protocol: resets, unparsable frames, wrong status
+    /// for the payload, untyped errors.
+    pub protocol_errors: u64,
+    /// Wire answers that disagreed with the in-process count.
+    pub mismatches: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// log₂ latency histogram: bucket `i` counts requests that took
+    /// `[2^i, 2^{i+1})` microseconds.
+    pub latency_log2_us: [u64; 32],
+    /// Shed tallies by `reason:` label.
+    pub shed_reasons: HashMap<String, u64>,
+}
+
+impl LoadgenReport {
+    /// Requests per second over the run.
+    pub fn req_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// `true` when the run saw no protocol errors and no mismatches.
+    pub fn clean(&self) -> bool {
+        self.protocol_errors == 0 && self.mismatches == 0
+    }
+
+    /// Approximate latency percentile (microseconds) from the log₂
+    /// histogram — bucket upper bounds, so an overestimate.
+    pub fn latency_percentile_us(&self, pct: f64) -> u64 {
+        let total: u64 = self.latency_log2_us.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * pct.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.latency_log2_us.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Human-readable run report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("loadgen report\n");
+        out.push_str(&format!("  requests        {}\n", self.requests));
+        out.push_str(&format!("  elapsed         {:.3}s\n", self.elapsed.as_secs_f64()));
+        out.push_str(&format!("  throughput      {:.0} req/s\n", self.req_per_sec()));
+        out.push_str(&format!("  ok              {}\n", self.ok));
+        out.push_str(&format!("  sheds           {}\n", self.sheds));
+        let mut reasons: Vec<_> = self.shed_reasons.iter().collect();
+        reasons.sort();
+        for (reason, n) in reasons {
+            out.push_str(&format!("    {reason:<22} {n}\n"));
+        }
+        out.push_str(&format!("  rejected 400s   {}\n", self.rejected_malformed));
+        out.push_str(&format!("  protocol errors {}\n", self.protocol_errors));
+        out.push_str(&format!("  mismatches      {}\n", self.mismatches));
+        out.push_str(&format!(
+            "  latency p50/p99 ≤{}µs / ≤{}µs\n",
+            self.latency_percentile_us(0.50),
+            self.latency_percentile_us(0.99)
+        ));
+        out
+    }
+}
+
+/// Deterministic splitmix64 stream (std-only; no `rand` dependency so
+/// the serve crate stays dependency-free for release builds).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// One precomputed request: the frame to send and what a correct server
+/// must answer.
+#[derive(Clone, Debug)]
+struct Plan {
+    path: &'static str,
+    body: String,
+    expect: Expect,
+}
+
+#[derive(Clone, Debug)]
+enum Expect {
+    /// 200 count frame with exactly this value.
+    Count(Nat),
+    /// 200 check frame (any verdict — the checker's budget decides).
+    Check,
+    /// 400 with a typed parse/frame error.
+    Malformed,
+}
+
+/// DLGP source of a length-`len` path query over relation `e`.
+fn path_query_source(len: usize) -> String {
+    let mut src = String::from("?- ");
+    for i in 0..len {
+        if i > 0 {
+            src.push_str(", ");
+        }
+        src.push_str(&format!("e(X{i}, X{})", i + 1));
+    }
+    src.push('.');
+    src
+}
+
+/// DLGP source of a seeded edge instance: `u -> v` pairs become
+/// `e(nu, nv).` facts.
+fn edges_source(edges: &[(u64, u64)]) -> String {
+    let mut src = String::new();
+    for &(u, v) in edges {
+        src.push_str(&format!("e(n{u}, n{v}).\n"));
+    }
+    src
+}
+
+/// Assembles a `/v1/count` frame from the two sources.
+fn count_frame(query_src: &str, data_src: &str) -> String {
+    let mut body = String::from("backend: auto\nquery:\n  ");
+    body.push_str(query_src);
+    body.push_str("\ndata:\n");
+    for line in data_src.lines() {
+        body.push_str("  ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body
+}
+
+fn check_frame(small_len: usize, big_len: usize) -> String {
+    let mut body = String::from("small:\n  ?- ");
+    for i in 0..small_len {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("e(X{i}, X{})", i + 1));
+    }
+    body.push_str(".\nbig:\n  ?- ");
+    for i in 0..big_len {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("e(Y{i}, Y{})", i + 1));
+    }
+    body.push_str(".\n");
+    body
+}
+
+const MALFORMED_BODIES: &[&str] = &[
+    // Unterminated atom.
+    "query:\n  ?- e(X, Y\ndata:\n  e(a, b).\n",
+    // Unknown section header.
+    "qurey:\n  ?- e(X, Y).\n",
+    // Zero multiplicity.
+    "query:\n  ?- e(X, Y).\ndata:\n  e(a, b)@0.\n",
+    // Non-ground fact.
+    "query:\n  ?- e(X, Y).\ndata:\n  e(a, Z).\n",
+    // Arity conflict between query and data.
+    "query:\n  ?- e(X, Y, Z).\ndata:\n  e(a, b).\n",
+    // Missing query section entirely.
+    "data:\n  e(a, b).\n",
+];
+
+/// Seeded random edge list over `nodes` vertices.
+fn random_edges(rng: &mut SplitMix64, nodes: u64, count: usize) -> Vec<(u64, u64)> {
+    (0..count).map(|_| (rng.below(nodes), rng.below(nodes))).collect()
+}
+
+/// Computes the expected count for a (query, data) pair **in-process**,
+/// through the same `CountRequest` path the engine uses — the oracle
+/// for the bit-identity check.
+fn expected_count(query_src: &str, data_src: &str) -> Nat {
+    let (_bag, support, schema) =
+        parse_bag_instance_infer(data_src).expect("planner data is valid");
+    let query = parse_dlgp_query(&schema, query_src).expect("planner queries are valid");
+    CountRequest::new(&query, &support)
+        .backend(BackendChoice::Auto)
+        .run()
+        .expect("planner workload counts succeed")
+}
+
+/// Builds the deterministic request plan for a seed: a hot pool of
+/// repeated frames plus cold one-off frames, interleaved per the mix.
+fn build_plan(config: &LoadgenConfig) -> Vec<Plan> {
+    let mut rng = SplitMix64::new(config.seed);
+    // A small hot pool: identical frames → engine cache hits.
+    let hot_pool: Vec<Plan> = (0..8)
+        .map(|i| {
+            let query_src = path_query_source(2 + (i % 3));
+            let data_src = edges_source(&random_edges(&mut rng, 6, 12));
+            let expect = Expect::Count(expected_count(&query_src, &data_src));
+            Plan { path: "/v1/count", body: count_frame(&query_src, &data_src), expect }
+        })
+        .collect();
+    let mix = config.mix;
+    let mut plan = Vec::with_capacity(config.requests as usize);
+    for _ in 0..config.requests {
+        let roll = rng.below(1024) as u32;
+        if roll < mix.hot_count_per_1024 {
+            let pick = rng.below(hot_pool.len() as u64) as usize;
+            plan.push(hot_pool[pick].clone());
+        } else if roll < mix.hot_count_per_1024 + mix.check_per_1024 {
+            let small = 2 + rng.below(2) as usize;
+            let big = 2 + rng.below(3) as usize;
+            plan.push(Plan {
+                path: "/v1/check",
+                body: check_frame(small, big),
+                expect: Expect::Check,
+            });
+        } else if roll < mix.hot_count_per_1024 + mix.check_per_1024 + mix.malformed_per_1024 {
+            let pick = rng.below(MALFORMED_BODIES.len() as u64) as usize;
+            plan.push(Plan {
+                path: "/v1/count",
+                body: MALFORMED_BODIES[pick].to_string(),
+                expect: Expect::Malformed,
+            });
+        } else {
+            // Cold: a fresh random instance each time (cache misses).
+            let query_src = path_query_source(2 + rng.below(2) as usize);
+            let edge_count = 10 + rng.below(6) as usize;
+            let data_src = edges_source(&random_edges(&mut rng, 8, edge_count));
+            let expect = Expect::Count(expected_count(&query_src, &data_src));
+            plan.push(Plan { path: "/v1/count", body: count_frame(&query_src, &data_src), expect });
+        }
+    }
+    plan
+}
+
+struct Tally {
+    ok: AtomicU64,
+    sheds: AtomicU64,
+    rejected_malformed: AtomicU64,
+    protocol_errors: AtomicU64,
+    mismatches: AtomicU64,
+    latency_log2_us: [AtomicU64; 32],
+    shed_reasons: std::sync::Mutex<HashMap<String, u64>>,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Tally {
+            ok: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            rejected_malformed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            latency_log2_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            shed_reasons: std::sync::Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn record_latency(&self, took: Duration) {
+        let us = took.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(31);
+        self.latency_log2_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_shed(&self, reason: &str) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.shed_reasons.lock().unwrap_or_else(|p| p.into_inner());
+        *map.entry(reason.to_string()).or_insert(0) += 1;
+    }
+}
+
+/// Scores one response against its plan.
+fn score(plan: &Plan, status: u16, response: &WireResponse, tally: &Tally) {
+    match response {
+        WireResponse::Count { count, .. } => {
+            if status != 200 {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            match &plan.expect {
+                Expect::Count(expected) if expected == count => {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Expect::Count(_) => {
+                    tally.mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        WireResponse::Check { .. } => {
+            if status == 200 && matches!(plan.expect, Expect::Check) {
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        WireResponse::Error { kind, reason, .. } => match kind.as_str() {
+            "parse" | "frame" if status == 400 && matches!(plan.expect, Expect::Malformed) => {
+                tally.rejected_malformed.fetch_add(1, Ordering::Relaxed);
+            }
+            "shed" if matches!(status, 429 | 503 | 504) => {
+                tally.record_shed(if reason.is_empty() { "unlabelled" } else { reason });
+            }
+            "timeout" if status == 504 => {
+                tally.record_shed("timeout");
+            }
+            "failed_fast" if status == 503 => {
+                tally.record_shed(if reason.is_empty() { "failed_fast" } else { reason });
+            }
+            _ => {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+    }
+}
+
+fn worker(addr: &str, api_key: &str, plan: &[Plan], tally: &Tally) -> Result<(), std::io::Error> {
+    let limits = HttpLimits::default();
+    let mut stream: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    for item in plan {
+        if stream.is_none() {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true).ok();
+            let w = s.try_clone()?;
+            stream = Some((BufReader::new(s), w));
+        }
+        let (reader, writer) = stream.as_mut().expect("connection is live");
+        let started = Instant::now();
+        let response: Option<HttpResponse> =
+            match write_request(writer, "POST", item.path, api_key, item.body.as_bytes()) {
+                Ok(()) => read_response(reader, &limits).ok().flatten(),
+                Err(_) => None,
+            };
+        tally.record_latency(started.elapsed());
+        match response {
+            Some(http) => {
+                if !http.keep_alive() {
+                    stream = None;
+                }
+                match http.utf8_body().ok().and_then(|t| parse_response(t).ok()) {
+                    Some(wire) => score(item, http.status, &wire, tally),
+                    None => {
+                        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            None => {
+                // Connection died mid-exchange (or the server answered
+                // off-protocol): count it and reconnect.
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                stream = None;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the load: builds the seeded plan, fans it out over
+/// `config.connections` closed-loop workers, and returns the merged
+/// report.
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let plan = build_plan(config);
+    let tally = Arc::new(Tally::new());
+    let connections = config.connections.max(1);
+    let chunk = plan.len().div_ceil(connections);
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for shard in plan.chunks(chunk.max(1)) {
+            let tally = Arc::clone(&tally);
+            let addr = config.addr.clone();
+            let api_key = config.api_key.clone();
+            scope.spawn(move || {
+                if worker(&addr, &api_key, shard, &tally).is_err() {
+                    // Could not even connect: every request in the shard
+                    // is a protocol error.
+                    tally.protocol_errors.fetch_add(shard.len() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut report = LoadgenReport {
+        requests: plan.len() as u64,
+        ok: tally.ok.load(Ordering::Relaxed),
+        sheds: tally.sheds.load(Ordering::Relaxed),
+        rejected_malformed: tally.rejected_malformed.load(Ordering::Relaxed),
+        protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
+        mismatches: tally.mismatches.load(Ordering::Relaxed),
+        elapsed,
+        latency_log2_us: [0; 32],
+        shed_reasons: tally.shed_reasons.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+    };
+    for (i, bucket) in tally.latency_log2_us.iter().enumerate() {
+        report.latency_log2_us[i] = bucket.load(Ordering::Relaxed);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let config = LoadgenConfig { requests: 64, ..LoadgenConfig::default() };
+        let p1 = build_plan(&config);
+        let p2 = build_plan(&config);
+        assert_eq!(p1.len(), 64);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a.body, b.body);
+            assert_eq!(a.path, b.path);
+        }
+    }
+
+    #[test]
+    fn plans_mix_all_request_classes() {
+        let config = LoadgenConfig { requests: 512, seed: 1, ..LoadgenConfig::default() };
+        let plan = build_plan(&config);
+        let counts = plan.iter().filter(|p| matches!(p.expect, Expect::Count(_))).count();
+        let checks = plan.iter().filter(|p| matches!(p.expect, Expect::Check)).count();
+        let bad = plan.iter().filter(|p| matches!(p.expect, Expect::Malformed)).count();
+        assert!(counts > 0 && checks > 0 && bad > 0, "{counts}/{checks}/{bad}");
+    }
+
+    #[test]
+    fn latency_percentiles_come_from_the_histogram() {
+        let mut report = LoadgenReport::default();
+        report.latency_log2_us[3] = 50; // [8, 16) µs
+        report.latency_log2_us[10] = 50; // [1024, 2048) µs
+        assert_eq!(report.latency_percentile_us(0.5), 16);
+        assert_eq!(report.latency_percentile_us(0.99), 2048);
+    }
+}

@@ -1,0 +1,565 @@
+//! The threaded TCP front door.
+//!
+//! [`Server::start`] binds a listener, spawns acceptor threads, and
+//! serves each connection on its own thread (keep-alive, bounded by
+//! [`ServerConfig::max_connections`]). Requests route through the
+//! existing [`EvalEngine`]; every `/v1/*` request runs the four traced
+//! stages `serve.parse → serve.admit → serve.count → serve.respond`
+//! (see [`bagcq_obs::stages`]).
+//!
+//! ## Endpoints
+//!
+//! | method+path      | body                   | answers |
+//! |------------------|------------------------|---------|
+//! | `POST /v1/count` | count frame            | 200 count frame; 400/401/429/5xx typed errors |
+//! | `POST /v1/check` | check frame            | 200 check frame; same errors |
+//! | `GET /metrics`   | —                      | 200 engine metrics text (with per-tenant counters) |
+//! | `GET /healthz`   | —                      | 200 `ok: healthy` |
+//! | `POST /admin/drain` | —                   | 200 drain report (requires the admin key) |
+//!
+//! ## Status mapping
+//!
+//! Every engine outcome maps to exactly one status: counts/verdicts →
+//! 200; [`ShedReason::QuotaExceeded`]/[`ShedReason::InFlightLimit`] →
+//! 429; [`ShedReason::QueueFull`]/[`ShedReason::AdmissionTimeout`]/
+//! [`ShedReason::Draining`] and [`Outcome::FailedFast`] → 503;
+//! [`ShedReason::ExpiredAtDequeue`] and [`Outcome::TimedOut`] → 504;
+//! [`Outcome::Panicked`] → 500. Parse/frame errors → 400 with the caret
+//! snippet verbatim; unknown API keys → 401; unknown paths → 404;
+//! oversized frames → 413.
+//!
+//! `POST /admin/drain` is the SIGTERM-equivalent shutdown: it drains the
+//! engine (every in-flight job resolves; queued work is shed as
+//! [`ShedReason::Draining`]), flips the server into a draining state
+//! where `/v1/*` answers 503, and requests process shutdown — the
+//! `bagcq serve` run loop then exits cleanly.
+
+use crate::http::{read_request, write_response, HttpLimits, HttpRequest};
+use crate::wire::{parse_check_request, parse_count_request, WireResponse};
+use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_engine::{
+    DrainReport, EngineConfig, EvalEngine, Job, Outcome, ShedReason, TenantGate, TenantRefusal,
+    TenantSpec,
+};
+use bagcq_obs::stages;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Configuration for [`Server::start`].
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Acceptor threads sharing the listener.
+    pub acceptors: usize,
+    /// Maximum live connections; excess accepts get an immediate 503.
+    pub max_connections: usize,
+    /// The tenant roster (API keys + quotas).
+    pub tenants: Vec<TenantSpec>,
+    /// Admin API key for `POST /admin/drain`. `None` disables the
+    /// endpoint (404).
+    pub admin_key: Option<String>,
+    /// Engine configuration (worker pool, admission, cache, …).
+    pub engine: EngineConfig,
+    /// HTTP frame limits.
+    pub limits: HttpLimits,
+    /// Per-job wall-clock deadline applied to every wire job.
+    pub job_timeout: Duration,
+    /// Socket read timeout for idle keep-alive connections.
+    pub idle_timeout: Duration,
+    /// Engine drain deadline used by `POST /admin/drain`.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            acceptors: 2,
+            max_connections: 256,
+            tenants: vec![TenantSpec::new("default", "dev-key")],
+            admin_key: Some("admin-key".into()),
+            engine: EngineConfig::default(),
+            limits: HttpLimits::default(),
+            job_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Shared {
+    engine: EvalEngine,
+    gate: TenantGate,
+    admin_key: Option<String>,
+    limits: HttpLimits,
+    job_timeout: Duration,
+    idle_timeout: Duration,
+    drain_timeout: Duration,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    live_connections: AtomicUsize,
+    max_connections: usize,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    drain_lock: Mutex<Option<DrainReport>>,
+    /// Whole-response memo for `/v1/*`: count frames, check frames, and
+    /// parse/frame 400s are pure functions of the request body (the
+    /// engine's answers are bit-identical by construction), so repeated
+    /// bodies skip parse + engine entirely. Admission is still charged
+    /// per request; sheds/timeouts/auth are never cached.
+    response_cache: Mutex<HashMap<String, CachedResponse>>,
+}
+
+/// A memoized rendered response: `(status, status text, body)`.
+type CachedResponse = Arc<(u16, &'static str, String)>;
+
+/// Response-cache entry cap; the map is cleared when it fills (hot
+/// entries repopulate immediately, cold ones were one-shot anyway).
+const RESPONSE_CACHE_CAP: usize = 4096;
+/// Bodies past this size are not worth memoizing.
+const RESPONSE_CACHE_MAX_BODY: usize = 64 * 1024;
+
+/// A running server. Dropping it shuts it down.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptors: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: EvalEngine::new(config.engine),
+            gate: TenantGate::new(config.tenants),
+            admin_key: config.admin_key,
+            limits: config.limits,
+            job_timeout: config.job_timeout,
+            idle_timeout: config.idle_timeout,
+            drain_timeout: config.drain_timeout,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            live_connections: AtomicUsize::new(0),
+            max_connections: config.max_connections.max(1),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            drain_lock: Mutex::new(None),
+            response_cache: Mutex::new(HashMap::new()),
+        });
+        let mut acceptors = Vec::new();
+        for i in 0..config.acceptors.max(1) {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            acceptors.push(
+                thread::Builder::new()
+                    .name(format!("bagcq-serve-accept-{i}"))
+                    .spawn(move || accept_loop(listener, shared))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(Server { shared, local_addr, acceptors })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Engine metrics with the per-tenant counters filled in — the same
+    /// snapshot `/metrics` serves.
+    pub fn metrics(&self) -> bagcq_engine::MetricsSnapshot {
+        let mut snap = self.shared.engine.metrics();
+        snap.tenants = self.shared.gate.snapshot();
+        snap
+    }
+
+    /// Drains the engine in-process (same as `POST /admin/drain`, minus
+    /// the HTTP hop). Idempotent: later calls return the first report.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        drain_once(&self.shared, timeout)
+    }
+
+    /// `true` once a drain has run (via HTTP or [`Server::drain`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until an admin drain requests shutdown, or the timeout
+    /// expires. Returns `true` when shutdown was requested.
+    pub fn wait_shutdown_requested(&self, timeout: Duration) -> bool {
+        let guard = self.shared.shutdown_requested.lock().unwrap_or_else(|p| p.into_inner());
+        let (guard, _) = self
+            .shared
+            .shutdown_cv
+            .wait_timeout_while(guard, timeout, |requested| !*requested)
+            .unwrap_or_else(|p| p.into_inner());
+        *guard
+    }
+
+    /// Stops accepting, wakes the acceptors, and joins them. In-flight
+    /// connections finish their current request and close.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_accepting(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake each acceptor blocked in accept() with a no-op connection.
+        for _ in 0..self.acceptors.len().max(1) {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let live = shared.live_connections.fetch_add(1, Ordering::AcqRel) + 1;
+        if live > shared.max_connections {
+            let mut stream = stream;
+            let body = WireResponse::error_with_reason(
+                "shed",
+                "connection_limit",
+                "server connection limit reached",
+            )
+            .render();
+            let _ = write_response(&mut stream, 503, "Service Unavailable", &body, false);
+            shared.live_connections.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        let shared = Arc::clone(&shared);
+        let _ = thread::Builder::new().name("bagcq-serve-conn".into()).spawn(move || {
+            serve_connection(stream, &shared);
+            shared.live_connections.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, &shared.limits) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive && !shared.stop.load(Ordering::Relaxed);
+                let (status, reason, body) = route(&request, shared);
+                if write_response(&mut writer, status, reason, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Malformed/oversized: answer with the typed error, then
+                // close (the framing is unreliable past this point). Dead
+                // sockets just close.
+                if let Some((status, reason)) = e.status() {
+                    let kind = if status == 413 { "too_large" } else { "bad_request" };
+                    let body = WireResponse::error(kind, e.detail()).render();
+                    let _ = write_response(&mut writer, status, reason, &body, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn route(request: &HttpRequest, shared: &Shared) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "OK", "ok: healthy\n".into()),
+        ("GET", "/metrics") => {
+            let mut snap = shared.engine.metrics();
+            snap.tenants = shared.gate.snapshot();
+            (200, "OK", snap.render())
+        }
+        ("POST", "/admin/drain") => admin_drain(request, shared),
+        ("POST", "/v1/count") => serve_job(request, shared, JobKind::Count),
+        ("POST", "/v1/check") => serve_job(request, shared, JobKind::Check),
+        _ => (
+            404,
+            "Not Found",
+            WireResponse::error(
+                "not_found",
+                format!("no route {} {}", request.method, request.path),
+            )
+            .render(),
+        ),
+    }
+}
+
+fn admin_drain(request: &HttpRequest, shared: &Shared) -> (u16, &'static str, String) {
+    let Some(expected) = shared.admin_key.as_deref() else {
+        return (404, "Not Found", WireResponse::error("not_found", "admin api disabled").render());
+    };
+    if api_key(request) != Some(expected) {
+        return (401, "Unauthorized", WireResponse::error("auth", "bad admin key").render());
+    }
+    let report = drain_once(shared, shared.drain_timeout);
+    // Request process shutdown: the `bagcq serve` run loop exits once
+    // this response is on the wire.
+    {
+        let mut requested = shared.shutdown_requested.lock().unwrap_or_else(|p| p.into_inner());
+        *requested = true;
+    }
+    shared.shutdown_cv.notify_all();
+    let body = format!(
+        "ok: drained\ncompleted: {}\nshed: {}\nstragglers: {}\nmet-deadline: {}\n",
+        report.completed, report.shed, report.stragglers, report.met_deadline
+    );
+    (200, "OK", body)
+}
+
+fn drain_once(shared: &Shared, timeout: Duration) -> DrainReport {
+    let mut slot = shared.drain_lock.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(report) = *slot {
+        return report;
+    }
+    shared.draining.store(true, Ordering::Relaxed);
+    let report = shared.engine.drain(timeout);
+    *slot = Some(report);
+    report
+}
+
+enum JobKind {
+    Count,
+    Check,
+}
+
+fn api_key(request: &HttpRequest) -> Option<&str> {
+    if let Some(v) = request.header("x-api-key") {
+        return Some(v);
+    }
+    request.header("authorization").and_then(|v| v.strip_prefix("Bearer ")).map(str::trim)
+}
+
+fn serve_job(request: &HttpRequest, shared: &Shared, kind: JobKind) -> (u16, &'static str, String) {
+    let Ok(body) = request.utf8_body() else {
+        return (
+            400,
+            "Bad Request",
+            WireResponse::error("bad_request", "request body is not valid UTF-8").render(),
+        );
+    };
+    // Response-memo probe: a repeated body can skip parse + engine, but
+    // never admission — quotas charge every request. The body alone is a
+    // sound key because only 200s are memoized and no body can produce a
+    // 200 on both endpoints (each parser rejects the other's sections).
+    let cacheable = body.len() <= RESPONSE_CACHE_MAX_BODY;
+    let cached = cacheable
+        .then(|| shared.response_cache.lock().unwrap_or_else(|p| p.into_inner()).get(body).cloned())
+        .flatten();
+
+    // Stage 1: parse (frame + DLGP payloads + schema merge); a memo hit
+    // already parsed this exact body once.
+    let parsed = if cached.is_some() {
+        None
+    } else {
+        let parse_span = bagcq_obs::span(
+            stages::SERVE_PARSE,
+            match kind {
+                JobKind::Count => "count",
+                JobKind::Check => "check",
+            },
+        );
+        let parsed = match kind {
+            JobKind::Count => parse_count_request(body).map(Parsed::Count),
+            JobKind::Check => parse_check_request(body).map(Parsed::Check),
+        };
+        drop(parse_span);
+        match parsed {
+            Ok(p) => Some(p),
+            Err(e) => return (400, "Bad Request", e.to_response().render()),
+        }
+    };
+
+    // Stage 2: admit (tenant auth + quota; engine drain state).
+    let admit_span = bagcq_obs::span(stages::SERVE_ADMIT, "tenant");
+    let key = api_key(request).unwrap_or("");
+    let permit = match shared.gate.admit(key) {
+        Ok(permit) => permit,
+        Err(TenantRefusal::UnknownKey) => {
+            drop(admit_span);
+            return (
+                401,
+                "Unauthorized",
+                WireResponse::error("auth", "unknown api key (use X-Api-Key or Bearer auth)")
+                    .render(),
+            );
+        }
+        Err(refusal) => {
+            drop(admit_span);
+            let reason = refusal.shed_reason().expect("quota refusals are sheds");
+            return shed_response(reason);
+        }
+    };
+    if shared.draining.load(Ordering::Relaxed) {
+        drop(admit_span);
+        drop(permit);
+        return shed_response(ShedReason::Draining);
+    }
+    drop(admit_span);
+
+    if let Some(entry) = cached {
+        bagcq_obs::instant(stages::SERVE_RESPOND, "memo_hit");
+        drop(permit);
+        return (entry.0, entry.1, entry.2.clone());
+    }
+    let parsed = parsed.expect("memo miss always parses");
+
+    // Stage 3: count (the engine hop; the permit covers the whole hop so
+    // max-in-flight really bounds concurrent engine work per tenant).
+    let count_span = bagcq_obs::span(stages::SERVE_COUNT, "engine");
+    let (outcome, responder) = match parsed {
+        Parsed::Count(job) => {
+            let bag_total = job.bag.total_multiplicity();
+            let support_atoms = job.support.total_atoms() as u64;
+            let backend = job.backend;
+            let handle = shared.engine.submit(
+                Job::count_with(backend, job.query, Arc::clone(&job.support))
+                    .with_timeout(shared.job_timeout),
+            );
+            (handle.wait(), Responder::Count { backend, bag_total, support_atoms })
+        }
+        Parsed::Check(job) => {
+            let handle = shared.engine.submit(
+                Job::containment(ContainmentChecker::new(), job.q_small, job.q_big)
+                    .with_timeout(shared.job_timeout),
+            );
+            (handle.wait(), Responder::Check)
+        }
+    };
+    drop(count_span);
+    drop(permit);
+
+    // Stage 4: respond (outcome → frame + status).
+    let respond_span = bagcq_obs::span(stages::SERVE_RESPOND, "render");
+    let result = respond(outcome, responder);
+    drop(respond_span);
+    // Memoize value answers only (sheds/timeouts/panics must re-run;
+    // 400s stay uncached so malformed bodies are never quota-charged on
+    // one path and free on the other).
+    if result.0 == 200 && cacheable {
+        let mut cache = shared.response_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if cache.len() >= RESPONSE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(body.to_string(), Arc::new(result.clone()));
+    }
+    result
+}
+
+enum Parsed {
+    Count(crate::wire::CountJob),
+    Check(crate::wire::CheckJob),
+}
+
+enum Responder {
+    Count { backend: bagcq_homcount::BackendChoice, bag_total: u64, support_atoms: u64 },
+    Check,
+}
+
+fn shed_response(reason: ShedReason) -> (u16, &'static str, String) {
+    let (status, text) = match reason {
+        ShedReason::QuotaExceeded | ShedReason::InFlightLimit => (429, "Too Many Requests"),
+        ShedReason::QueueFull | ShedReason::AdmissionTimeout | ShedReason::Draining => {
+            (503, "Service Unavailable")
+        }
+        ShedReason::ExpiredAtDequeue => (504, "Gateway Timeout"),
+    };
+    let body =
+        WireResponse::error_with_reason("shed", reason.label(), format!("job shed: {reason}"))
+            .render();
+    (status, text, body)
+}
+
+fn verdict_label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Proved(_) => "proved",
+        Verdict::Refuted(_) => "refuted",
+        Verdict::Unknown { .. } => "unknown",
+    }
+}
+
+fn respond(outcome: Outcome, responder: Responder) -> (u16, &'static str, String) {
+    match outcome {
+        Outcome::Count(count) => match responder {
+            Responder::Count { backend, bag_total, support_atoms } => (
+                200,
+                "OK",
+                WireResponse::Count { backend, bag_total, support_atoms, count }.render(),
+            ),
+            Responder::Check => (
+                500,
+                "Internal Server Error",
+                WireResponse::error("panic", "count outcome for a check job").render(),
+            ),
+        },
+        Outcome::Verdict(v) => (
+            200,
+            "OK",
+            WireResponse::Check {
+                verdict: verdict_label(&v).into(),
+                detail: v.to_string().replace('\n', " "),
+            }
+            .render(),
+        ),
+        Outcome::Power(_) => (
+            500,
+            "Internal Server Error",
+            WireResponse::error("panic", "unexpected power outcome").render(),
+        ),
+        Outcome::TimedOut => (
+            504,
+            "Gateway Timeout",
+            WireResponse::error("timeout", "job hit its wall-clock deadline").render(),
+        ),
+        Outcome::Panicked(msg) => {
+            (500, "Internal Server Error", WireResponse::error("panic", msg).render())
+        }
+        Outcome::FailedFast(ff) => (
+            503,
+            "Service Unavailable",
+            WireResponse::error_with_reason("failed_fast", ff.job_kind, "circuit breaker open")
+                .render(),
+        ),
+        Outcome::Shed(reason) => shed_response(reason),
+    }
+}

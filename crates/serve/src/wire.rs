@@ -1,0 +1,541 @@
+//! The request/response frames of the serve protocol.
+//!
+//! Request bodies are newline-delimited text with section headers; the
+//! payload sections are DLGP (see [`bagcq_query::parse_dlgp_query`] and
+//! [`bagcq_query::parse_bag_instance`]):
+//!
+//! ```text
+//! backend: auto
+//! query:
+//! ?- e(X, Y).
+//! data:
+//! e(a, b)@2.
+//! e(b, c).
+//! ```
+//!
+//! A containment check frame uses `small:` / `big:` sections instead.
+//! Responses are newline-delimited `key: value` text whose first line is
+//! `ok: <kind>` or `error: <kind>`:
+//!
+//! ```text
+//! ok: count
+//! backend: auto
+//! bag-total: 3
+//! support-atoms: 2
+//! count: 4
+//! ```
+//!
+//! Every frame type round-trips: [`WireResponse::render`] ∘
+//! [`parse_response`] is the identity (the proptest suite pins this),
+//! and the DLGP payload sections round-trip through
+//! [`bagcq_query::query_to_dlgp`] / [`BagInstance::to_dlgp`].
+
+use bagcq_arith::Nat;
+use bagcq_homcount::BackendChoice;
+use bagcq_query::{
+    parse_bag_instance, parse_bag_instance_infer, parse_dlgp_query, parse_dlgp_query_infer,
+    BagInstance, ParseQueryError, Query,
+};
+use bagcq_structure::{Schema, Structure};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a request frame was rejected (both map to HTTP 400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame structure is wrong: missing/duplicate/unknown section,
+    /// bad backend name.
+    Frame(String),
+    /// A DLGP payload failed to parse; carries the positioned error,
+    /// rendered **verbatim** (caret snippet included) into the 400 body.
+    Parse(ParseQueryError),
+}
+
+impl WireError {
+    /// The response body for this error.
+    pub fn to_response(&self) -> WireResponse {
+        match self {
+            WireError::Frame(m) => WireResponse::error("frame", m.clone()),
+            WireError::Parse(e) => WireResponse::error("parse", e.render()),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Frame(m) => write!(f, "frame error: {m}"),
+            WireError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ParseQueryError> for WireError {
+    fn from(e: ParseQueryError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request frames
+// ---------------------------------------------------------------------------
+
+const SECTIONS: &[&str] = &["backend", "query", "data", "small", "big"];
+
+/// One extracted section, with enough positioning to map payload parse
+/// errors back to the **request body's** lines and columns.
+struct Section {
+    name: String,
+    content: String,
+    /// Whether any content line has been appended yet.
+    started: bool,
+    /// 1-based body line holding content line 1.
+    start_line: u32,
+    /// Character-column offset of content line 1 within its body line
+    /// (nonzero only for inline `name: content` sections).
+    inline_col: u32,
+    /// The full body line holding content line 1 (caret re-alignment
+    /// for inline sections).
+    first_line: String,
+}
+
+/// Splits a request body into its sections. A section starts at a line
+/// `name:` (optionally with inline content after the colon) where `name`
+/// is one of the known section keywords; its content runs to the next
+/// section header.
+fn split_sections(body: &str) -> Result<Vec<Section>, WireError> {
+    let mut out: Vec<Section> = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let header = line.split_once(':').and_then(|(name, rest)| {
+            let name = name.trim();
+            SECTIONS.contains(&name).then_some((name.to_string(), rest))
+        });
+        match header {
+            Some((name, rest)) => {
+                if out.iter().any(|s| s.name == name) {
+                    return Err(WireError::Frame(format!("duplicate section {name:?}")));
+                }
+                let inline = rest.trim();
+                if inline.is_empty() {
+                    out.push(Section {
+                        name,
+                        content: String::new(),
+                        started: false,
+                        start_line: lineno + 1,
+                        inline_col: 0,
+                        first_line: String::new(),
+                    });
+                } else {
+                    let byte_off = line.len() - rest.len() + (rest.len() - rest.trim_start().len());
+                    out.push(Section {
+                        name,
+                        content: inline.to_string(),
+                        started: true,
+                        start_line: lineno,
+                        inline_col: line[..byte_off].chars().count() as u32,
+                        first_line: line.to_string(),
+                    });
+                }
+            }
+            None => match out.last_mut() {
+                Some(section) => {
+                    if section.started {
+                        section.content.push('\n');
+                        section.content.push_str(line);
+                    } else {
+                        section.started = true;
+                        section.start_line = lineno;
+                        section.content.push_str(line);
+                    }
+                }
+                None => {
+                    if !line.trim().is_empty() {
+                        return Err(WireError::Frame(format!(
+                            "expected a section header ({}), got {line:?}",
+                            SECTIONS.join("/")
+                        )));
+                    }
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+fn take_section<'a>(sections: &'a [Section], name: &str) -> Option<&'a Section> {
+    sections.iter().find(|s| s.name == name)
+}
+
+/// Maps a section-relative parse error to body coordinates, so the 400
+/// body's `line N, column C` (and caret) point into the request the
+/// client actually sent.
+fn reposition(mut e: ParseQueryError, section: &Section) -> WireError {
+    if e.line == 1 && section.inline_col > 0 {
+        e.col += section.inline_col;
+        e.src_line = section.first_line.clone();
+    }
+    e.line += section.start_line.saturating_sub(1);
+    WireError::Parse(e)
+}
+
+/// A parsed, schema-resolved count request, ready to submit.
+#[derive(Debug)]
+pub struct CountJob {
+    /// The query, resolved against [`CountJob::schema`].
+    pub query: Query,
+    /// The bag view of the database (faithful multiplicities).
+    pub bag: BagInstance,
+    /// The set support the count runs on.
+    pub support: Arc<Structure>,
+    /// Requested backend.
+    pub backend: BackendChoice,
+    /// The schema merged from the query's and the instance's vocabulary.
+    pub schema: Arc<Schema>,
+}
+
+/// A parsed, schema-resolved containment-check request.
+#[derive(Debug)]
+pub struct CheckJob {
+    /// The smaller side `ϱ_s`.
+    pub q_small: Query,
+    /// The bigger side `ϱ_b`.
+    pub q_big: Query,
+    /// The merged schema both queries are resolved against.
+    pub schema: Arc<Schema>,
+}
+
+/// Merges inferred schemas: relations (first arity wins — a conflicting
+/// re-parse then yields a *positioned* arity error) and constants.
+fn merge_into(
+    sb: &mut bagcq_structure::SchemaBuilder,
+    seen: &mut Vec<(String, usize)>,
+    s: &Schema,
+) {
+    for r in s.relations() {
+        let name = &s.relation(r).name;
+        match seen.iter().find(|(n, _)| n == name) {
+            Some(_) => {} // first arity wins; re-parse reports the conflict
+            None => {
+                seen.push((name.clone(), s.arity(r)));
+                sb.relation(name, s.arity(r));
+            }
+        }
+    }
+    for c in s.constants() {
+        sb.constant(s.constant_name(c));
+    }
+}
+
+/// Parses a `/v1/count` body: `backend:` (optional), `query:`, `data:`.
+pub fn parse_count_request(body: &str) -> Result<CountJob, WireError> {
+    let sections = split_sections(body)?;
+    for s in &sections {
+        if s.name == "small" || s.name == "big" {
+            return Err(WireError::Frame(format!(
+                "section {:?} is not valid in a count frame",
+                s.name
+            )));
+        }
+    }
+    let backend = match take_section(&sections, "backend") {
+        None => BackendChoice::Auto,
+        Some(s) => s.content.trim().parse::<BackendChoice>().map_err(WireError::Frame)?,
+    };
+    let query_sec = take_section(&sections, "query")
+        .ok_or(WireError::Frame("missing section query:".into()))?;
+    let data_sec =
+        take_section(&sections, "data").ok_or(WireError::Frame("missing section data:".into()))?;
+    // Infer both vocabularies (this surfaces payload syntax errors with
+    // their positions), merge, then re-resolve both against the merged
+    // schema so query variables can range over the instance's constants.
+    let (_, query_schema) =
+        parse_dlgp_query_infer(&query_sec.content).map_err(|e| reposition(e, query_sec))?;
+    let (_, _, data_schema) =
+        parse_bag_instance_infer(&data_sec.content).map_err(|e| reposition(e, data_sec))?;
+    let mut sb = Schema::builder();
+    let mut seen = Vec::new();
+    merge_into(&mut sb, &mut seen, &data_schema);
+    merge_into(&mut sb, &mut seen, &query_schema);
+    let schema = sb.build();
+    let query =
+        parse_dlgp_query(&schema, &query_sec.content).map_err(|e| reposition(e, query_sec))?;
+    let (bag, support) =
+        parse_bag_instance(&schema, &data_sec.content).map_err(|e| reposition(e, data_sec))?;
+    Ok(CountJob { query, bag, support: Arc::new(support), backend, schema })
+}
+
+/// Parses a `/v1/check` body: `small:` and `big:` DLGP queries.
+pub fn parse_check_request(body: &str) -> Result<CheckJob, WireError> {
+    let sections = split_sections(body)?;
+    for s in &sections {
+        if s.name == "query" || s.name == "data" || s.name == "backend" {
+            return Err(WireError::Frame(format!(
+                "section {:?} is not valid in a check frame",
+                s.name
+            )));
+        }
+    }
+    let small_sec = take_section(&sections, "small")
+        .ok_or(WireError::Frame("missing section small:".into()))?;
+    let big_sec =
+        take_section(&sections, "big").ok_or(WireError::Frame("missing section big:".into()))?;
+    let (_, s_small) =
+        parse_dlgp_query_infer(&small_sec.content).map_err(|e| reposition(e, small_sec))?;
+    let (_, s_big) =
+        parse_dlgp_query_infer(&big_sec.content).map_err(|e| reposition(e, big_sec))?;
+    let mut sb = Schema::builder();
+    let mut seen = Vec::new();
+    merge_into(&mut sb, &mut seen, &s_small);
+    merge_into(&mut sb, &mut seen, &s_big);
+    let schema = sb.build();
+    let q_small =
+        parse_dlgp_query(&schema, &small_sec.content).map_err(|e| reposition(e, small_sec))?;
+    let q_big = parse_dlgp_query(&schema, &big_sec.content).map_err(|e| reposition(e, big_sec))?;
+    Ok(CheckJob { q_small, q_big, schema })
+}
+
+// ---------------------------------------------------------------------------
+// Response frames
+// ---------------------------------------------------------------------------
+
+/// A serve response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// A successful count: `ψ(D) = |Hom(ψ, supp(D))|`.
+    Count {
+        /// Backend the request asked for.
+        backend: BackendChoice,
+        /// Bag cardinality of the submitted instance (Σ multiplicities).
+        bag_total: u64,
+        /// Distinct atoms in the evaluated support.
+        support_atoms: u64,
+        /// The count.
+        count: Nat,
+    },
+    /// A containment verdict.
+    Check {
+        /// Machine label: `proved`, `refuted`, or `unknown`.
+        verdict: String,
+        /// The full human-readable verdict line(s).
+        detail: String,
+    },
+    /// A typed error. `kind` is a stable machine label; `detail` is the
+    /// human-readable payload (for `parse` errors: the caret-snippet
+    /// rendering, verbatim).
+    Error {
+        /// Stable machine label (`parse`, `frame`, `auth`, `shed`,
+        /// `timeout`, `panic`, `failed_fast`, `not_found`, …).
+        kind: String,
+        /// Optional machine detail (e.g. the [`ShedReason`] label for
+        /// `shed`). Empty when unused.
+        ///
+        /// [`ShedReason`]: bagcq_engine::ShedReason
+        reason: String,
+        /// Human-readable detail, possibly multi-line.
+        detail: String,
+    },
+}
+
+impl WireResponse {
+    /// A typed error with no machine reason.
+    pub fn error(kind: impl Into<String>, detail: impl Into<String>) -> Self {
+        WireResponse::Error { kind: kind.into(), reason: String::new(), detail: detail.into() }
+    }
+
+    /// A typed error with a machine reason (e.g. a shed label).
+    pub fn error_with_reason(
+        kind: impl Into<String>,
+        reason: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        WireResponse::Error { kind: kind.into(), reason: reason.into(), detail: detail.into() }
+    }
+
+    /// Serializes the frame ([`parse_response`] inverts this exactly).
+    pub fn render(&self) -> String {
+        match self {
+            WireResponse::Count { backend, bag_total, support_atoms, count } => format!(
+                "ok: count\nbackend: {backend}\nbag-total: {bag_total}\nsupport-atoms: {support_atoms}\ncount: {count}\n"
+            ),
+            WireResponse::Check { verdict, detail } => {
+                format!("ok: check\nverdict: {verdict}\ndetail: {detail}\n")
+            }
+            WireResponse::Error { kind, reason, detail } => {
+                let mut out = format!("error: {kind}\n");
+                if !reason.is_empty() {
+                    out.push_str(&format!("reason: {reason}\n"));
+                }
+                out.push_str(&format!("detail: {detail}\n"));
+                out
+            }
+        }
+    }
+
+    /// `true` for [`WireResponse::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, WireResponse::Error { .. })
+    }
+}
+
+fn field<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let prefix = format!("{key}: ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .ok_or_else(|| format!("response is missing field {key:?}"))
+}
+
+/// Everything after the first `detail: ` marker, minus the trailing
+/// newline — `detail` is always the last field, so multi-line payloads
+/// (caret snippets, verdict counterexamples) survive.
+fn detail_field(text: &str) -> Result<String, String> {
+    let marker = "\ndetail: ";
+    let start = match text.find(marker) {
+        Some(i) => i + marker.len(),
+        None => return Err("response is missing field \"detail\"".into()),
+    };
+    let mut detail = &text[start..];
+    if let Some(stripped) = detail.strip_suffix('\n') {
+        detail = stripped;
+    }
+    Ok(detail.to_string())
+}
+
+/// Parses a response frame (the load generator's validation path).
+pub fn parse_response(text: &str) -> Result<WireResponse, String> {
+    let first = text.lines().next().unwrap_or("");
+    match first.split_once(": ") {
+        Some(("ok", "count")) => {
+            let backend = field(text, "backend")?.parse::<BackendChoice>()?;
+            let bag_total =
+                field(text, "bag-total")?.parse::<u64>().map_err(|e| format!("bag-total: {e}"))?;
+            let support_atoms = field(text, "support-atoms")?
+                .parse::<u64>()
+                .map_err(|e| format!("support-atoms: {e}"))?;
+            let count = field(text, "count")?
+                .parse::<Nat>()
+                .map_err(|_| "count is not a decimal natural".to_string())?;
+            Ok(WireResponse::Count { backend, bag_total, support_atoms, count })
+        }
+        Some(("ok", "check")) => Ok(WireResponse::Check {
+            verdict: field(text, "verdict")?.to_string(),
+            detail: detail_field(text)?,
+        }),
+        Some(("error", kind)) => Ok(WireResponse::Error {
+            kind: kind.to_string(),
+            reason: field(text, "reason").map(str::to_string).unwrap_or_default(),
+            detail: detail_field(text)?,
+        }),
+        _ => Err(format!("bad response first line {first:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcq_homcount::CountRequest;
+
+    const COUNT_BODY: &str = "backend: naive\nquery:\n?- e(X, Y).\ndata:\ne(a, b)@2.\ne(b, c).\n";
+
+    #[test]
+    fn count_frame_parses_and_counts() {
+        let job = parse_count_request(COUNT_BODY).unwrap();
+        assert_eq!(job.backend, BackendChoice::Naive);
+        assert_eq!(job.bag.total_multiplicity(), 3);
+        assert_eq!(job.query.var_count(), 2);
+        let n = CountRequest::new(&job.query, &job.support).backend(job.backend).count();
+        assert_eq!(n, Nat::from_u64(2), "two distinct e-edges in the support");
+    }
+
+    #[test]
+    fn inline_sections_work() {
+        let job = parse_count_request("query: ?- e(X, Y).\ndata: e(a, b).").unwrap();
+        assert_eq!(job.bag.facts.len(), 1);
+        assert_eq!(job.backend, BackendChoice::Auto, "backend defaults to auto");
+    }
+
+    #[test]
+    fn query_constants_join_the_instance_vocabulary() {
+        // `b` appears only in the query; `a` only in the data. The merged
+        // schema resolves both.
+        let job = parse_count_request("query: ?- e(X, b).\ndata: e(a, b).").unwrap();
+        assert_eq!(job.schema.constant_count(), 2);
+        let n = CountRequest::new(&job.query, &job.support).count();
+        assert_eq!(n, Nat::one());
+    }
+
+    #[test]
+    fn frame_errors_are_typed() {
+        for (body, needle) in [
+            ("data: e(a).", "missing section query:"),
+            ("query: ?- e(X, Y).", "missing section data:"),
+            ("query: a\nquery: b\ndata: c", "duplicate section"),
+            ("hello world", "expected a section header"),
+            ("backend: warp\nquery: ?- .\ndata: e(a).", "unknown backend"),
+            ("small: ?- .\nquery: ?- .\ndata: e(a).", "not valid in a count frame"),
+        ] {
+            match parse_count_request(body) {
+                Err(WireError::Frame(m)) => assert!(m.contains(needle), "{m:?} vs {needle:?}"),
+                other => {
+                    panic!("expected frame error {needle:?}, got {other:?}", other = other.err())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_errors_carry_carets() {
+        let e = parse_count_request("query:\n?- e(X Y).\ndata:\ne(a, b).\n").unwrap_err();
+        let WireError::Parse(pe) = e else { panic!("expected a parse error, got {e:?}") };
+        let rendered = pe.render();
+        assert!(rendered.contains('^'), "{rendered}");
+        assert!(rendered.contains("line 2"), "{rendered}");
+    }
+
+    #[test]
+    fn arity_conflict_between_query_and_data_is_positioned() {
+        let e = parse_count_request("query:\n?- e(X).\ndata:\ne(a, b).\n").unwrap_err();
+        let WireError::Parse(pe) = e else { panic!("expected a parse error, got {e:?}") };
+        assert!(pe.message.contains("arity"), "{pe}");
+    }
+
+    #[test]
+    fn check_frame_parses() {
+        let job = parse_check_request("small:\n?- e(X, Y).\nbig:\n?- e(X, Y), e(Y, Z).\n").unwrap();
+        assert_eq!(job.q_small.atoms().len(), 1);
+        assert_eq!(job.q_big.atoms().len(), 2);
+        assert!(Arc::ptr_eq(job.q_small.schema(), job.q_big.schema()));
+        assert!(parse_check_request("small: ?- .").is_err());
+        assert!(parse_check_request("small: ?- .\nbig: ?- .\ndata: e(a).").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let frames = [
+            WireResponse::Count {
+                backend: BackendChoice::FastTreewidth,
+                bag_total: 7,
+                support_atoms: 3,
+                count: "340282366920938463463374607431768211456".parse().unwrap(),
+            },
+            WireResponse::Check {
+                verdict: "refuted".into(),
+                detail: "REFUTED (…)\nwith a second line".into(),
+            },
+            WireResponse::error("parse", "query parse error …\n  |  e(\n  |    ^"),
+            WireResponse::error_with_reason("shed", "quota_exceeded", "tenant over quota"),
+        ];
+        for frame in frames {
+            let text = frame.render();
+            let back = parse_response(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(frame, back, "text:\n{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_responses_are_errors() {
+        for text in ["", "ok: nope\n", "ok: count\nbackend: auto\n", "hello"] {
+            assert!(parse_response(text).is_err(), "{text:?}");
+        }
+    }
+}

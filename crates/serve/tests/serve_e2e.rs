@@ -1,0 +1,150 @@
+//! End-to-end tests: a real `Server` on a loopback port driven by the
+//! real load generator — the same pairing the CI `serve` job runs, here
+//! at a smaller request count. Covers the clean path (zero protocol
+//! errors, bit-identical counts), overload (only *typed* sheds), and
+//! drain (post-drain requests answer `503 shed/draining`).
+
+use bagcq_serve::http::{read_response, write_request};
+use bagcq_serve::{
+    parse_response, HttpLimits, LoadgenConfig, Server, ServerConfig, TenantQuota, TenantSpec,
+    WireResponse, WorkloadMix,
+};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// An effectively-unlimited tenant so the smoke run measures the
+/// protocol, not the quota.
+fn open_tenant() -> TenantSpec {
+    TenantSpec::new("default", "dev-key").with_quota(TenantQuota {
+        rate_per_sec: 0,
+        burst: 0,
+        max_in_flight: 0,
+    })
+}
+
+fn post(addr: &str, path: &str, key: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    write_request(&mut writer, "POST", path, key, body.as_bytes()).expect("write");
+    let resp = read_response(&mut reader, &HttpLimits::default())
+        .expect("read")
+        .expect("server closed without answering");
+    (resp.status, resp.utf8_body().expect("utf-8 body").to_string())
+}
+
+#[test]
+fn loadgen_smoke_is_clean_and_bit_identical() {
+    let server = Server::start(ServerConfig { tenants: vec![open_tenant()], ..Default::default() })
+        .expect("server starts");
+    let report = bagcq_serve::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: 1500,
+        connections: 2,
+        seed: 42,
+        ..Default::default()
+    });
+    assert_eq!(report.requests, 1500);
+    assert_eq!(report.protocol_errors, 0, "protocol errors:\n{}", report.render());
+    assert_eq!(report.mismatches, 0, "server counts diverged from CountRequest oracle");
+    assert!(report.clean());
+    assert!(report.ok > 0, "no successful requests:\n{}", report.render());
+    assert!(
+        report.rejected_malformed > 0,
+        "mix includes malformed frames; all must 400 with typed errors"
+    );
+    assert_eq!(report.sheds, 0, "unlimited tenant must never shed:\n{}", report.render());
+
+    // The per-tenant counters saw the traffic.
+    let snap = server.metrics();
+    let tenant = snap.tenants.iter().find(|t| t.name == "default").expect("tenant counters");
+    assert!(tenant.admitted > 0);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_are_typed_and_nothing_else_breaks() {
+    // A starvation-tier quota: 5 req/s sustained against a loadgen
+    // firing hundreds — most requests must shed, every shed typed.
+    let tight = TenantSpec::new("default", "dev-key").with_quota(TenantQuota {
+        rate_per_sec: 5,
+        burst: 5,
+        max_in_flight: 2,
+    });
+    let server = Server::start(ServerConfig { tenants: vec![tight], ..Default::default() })
+        .expect("server starts");
+    let report = bagcq_serve::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: 600,
+        connections: 2,
+        seed: 7,
+        // No malformed traffic: isolate the quota path.
+        mix: WorkloadMix { hot_count_per_1024: 924, check_per_1024: 100, malformed_per_1024: 0 },
+        ..Default::default()
+    });
+    assert_eq!(report.protocol_errors, 0, "overload must degrade via typed sheds, not breakage");
+    assert_eq!(report.mismatches, 0);
+    assert!(report.sheds > 0, "tight quota produced no sheds:\n{}", report.render());
+    assert!(
+        report.shed_reasons.keys().all(|r| r == "quota_exceeded" || r == "in_flight_limit"),
+        "unexpected shed reasons: {:?}",
+        report.shed_reasons
+    );
+    server.shutdown();
+}
+
+#[test]
+fn drain_refuses_new_work_with_typed_sheds() {
+    let server = Server::start(ServerConfig { tenants: vec![open_tenant()], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let body = "query: ?- e(X, Y).\ndata: e(a, b)@2.\n";
+
+    let (status, text) = post(&addr, "/v1/count", "dev-key", body);
+    assert_eq!(status, 200, "pre-drain count failed: {text}");
+    match parse_response(&text).expect("well-formed response") {
+        WireResponse::Count { count, .. } => assert_eq!(count.to_string(), "1"),
+        other => panic!("expected a count frame, got {other:?}"),
+    }
+
+    let report = server.drain(Duration::from_secs(5));
+    assert!(server.is_draining());
+    assert!(report.met_deadline, "drain missed its deadline: {report:?}");
+
+    let (status, text) = post(&addr, "/v1/count", "dev-key", body);
+    assert_eq!(status, 503, "post-drain requests must shed: {text}");
+    match parse_response(&text).expect("well-formed shed frame") {
+        WireResponse::Error { kind, reason, .. } => {
+            assert_eq!(kind, "shed");
+            assert_eq!(reason, "draining");
+        }
+        other => panic!("expected a typed shed, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn admin_drain_over_http_requires_the_admin_key() {
+    let server = Server::start(ServerConfig {
+        tenants: vec![open_tenant()],
+        admin_key: Some("secret".into()),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let (status, _) = post(&addr, "/admin/drain", "wrong-key", "");
+    assert_eq!(status, 401);
+    assert!(!server.is_draining(), "unauthorized drain must not drain");
+
+    let (status, text) = post(&addr, "/admin/drain", "secret", "");
+    assert_eq!(status, 200, "authorized drain failed: {text}");
+    assert!(text.starts_with("ok: drained\n"), "unexpected drain body: {text}");
+    assert!(server.is_draining());
+    assert!(
+        server.wait_shutdown_requested(Duration::from_secs(5)),
+        "HTTP drain must request process shutdown"
+    );
+    server.shutdown();
+}

@@ -24,6 +24,7 @@ fn main() -> ExitCode {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("instances") => cmd_instances(),
         Some("hde") => cmd_hde(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -53,6 +54,10 @@ USAGE:
   bagcq instances                          list the corpus
   bagcq hde -f <query> -g <query>          estimate the homomorphism
                                            domination exponent hde(F, G)
+  bagcq serve [--addr HOST:PORT]           run the network front door
+              [--api-key K] [--admin-key K]  (POST /v1/count, /v1/check,
+              [--rate N] [--burst N]          GET /metrics; drain with
+              [--max-in-flight N]             POST /admin/drain)
 
 ARGS:
   <query>     inline text like \"E(x,y), x != y\" or @file.txt
@@ -211,6 +216,42 @@ fn cmd_hde(args: &[String]) -> Result<(), String> {
         }
         None => println!("no informative sample (hom(G, D) ≤ 1 everywhere tried)"),
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use bagcq_serve::{Server, ServerConfig, TenantQuota, TenantSpec};
+    let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} needs a number, got {v:?}")),
+        }
+    };
+    let quota = TenantQuota {
+        rate_per_sec: parse_u64("--rate", TenantQuota::default().rate_per_sec)?,
+        burst: parse_u64("--burst", TenantQuota::default().burst)?,
+        max_in_flight: parse_u64("--max-in-flight", TenantQuota::default().max_in_flight)?,
+    };
+    let api_key = flag_value(args, "--api-key").unwrap_or("dev-key").to_string();
+    let admin_key = flag_value(args, "--admin-key").unwrap_or("admin-key").to_string();
+    let config = ServerConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:4017").to_string(),
+        tenants: vec![TenantSpec::new("default", &api_key).with_quota(quota)],
+        admin_key: Some(admin_key.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).map_err(|e| format!("binding the server: {e}"))?;
+    let addr = server.local_addr();
+    println!("bagcq-serve listening on {addr}");
+    println!("  try: curl -s http://{addr}/healthz");
+    println!("  try: printf 'query:\\n  ?- e(X, Y).\\ndata:\\n  e(a, b)@2.\\n  e(b, c).\\n' | \\");
+    println!("       curl -s -H 'X-Api-Key: {api_key}' --data-binary @- http://{addr}/v1/count");
+    println!("  stop: curl -s -X POST -H 'X-Api-Key: {admin_key}' http://{addr}/admin/drain");
+    // Block until an admin drain asks for shutdown.
+    while !server.wait_shutdown_requested(std::time::Duration::from_secs(1)) {}
+    println!("drain requested; shutting down");
+    print!("{}", server.metrics().render());
+    server.shutdown();
     Ok(())
 }
 
