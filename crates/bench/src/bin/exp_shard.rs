@@ -1,0 +1,137 @@
+//! Experiment E-SHARD — persistent memo store + sharded sweep coordinator
+//! benchmark. Emits a machine-readable `BENCH_store.json`:
+//!
+//! * warm vs cold wall-clock through the store (a restarted sweep resumes
+//!   every point from disk and recomputes nothing);
+//! * store hit rates for the warm leg;
+//! * worker-scaling wall-clock for N = 1/2/4/8.
+//!
+//! The box this repo grows on has a single core, so raw compute cannot
+//! scale; the scaling leg therefore runs **delay-bound** points
+//! (`--point-delay-ms`, default 150) — each point sleeps in its worker,
+//! modelling the I/O- or compute-heavy points of a real sweep, and N
+//! workers overlap those delays. The cold/warm leg runs undelayed.
+//!
+//! Flags: `--out PATH` (default `BENCH_store.json`), `--point-delay-ms MS`,
+//! `--bound B` (default 3 → 16 points on the 2-variable toy instance).
+
+use bagcq_coord::{run_coordinator, CoordConfig, CoordReport, InstanceSpec, SweepSpec};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The toy instance: compute per point is trivial, so the cold/warm gap
+/// measures store + process machinery and the scaling leg measures
+/// scheduling, not arithmetic.
+const TOY: &str = "toy:2:1,1:2,2";
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn flag_u64(flag: &str, default: u64) -> u64 {
+    flag_value(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn spec(bound: u64) -> SweepSpec {
+    SweepSpec { instance: InstanceSpec::parse(TOY).expect("toy spec"), bound }
+}
+
+fn run(dir: &Path, bound: u64, workers: usize, delay_ms: u64) -> (CoordReport, f64) {
+    let mut config = CoordConfig::new(spec(bound), dir);
+    config.workers = workers;
+    config.report_path = dir.join("report.txt");
+    config.point_delay_ms = delay_ms;
+    let started = Instant::now();
+    let report = run_coordinator(&config).unwrap_or_else(|e| panic!("coordinator: {e}"));
+    (report, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    // Hidden re-exec mode: the coordinator spawns `<current_exe>
+    // sweep-worker ...` as its worker processes.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep-worker") {
+        if let Err(e) = bagcq_coord::worker_main(&argv[1..]) {
+            eprintln!("sweep-worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let out = PathBuf::from(flag_value("--out").unwrap_or_else(|| "BENCH_store.json".into()));
+    let delay_ms = flag_u64("--point-delay-ms", 150);
+    let bound = flag_u64("--bound", 3);
+    let scratch = std::env::temp_dir().join(format!("bagcq-exp-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!("## E-SHARD — persistent store + sharded coordinator ({TOY}, bound {bound})");
+
+    // --- Leg 1: cold vs warm (undelayed, one worker) --------------------
+    let dir = scratch.join("warmcold");
+    let (cold, cold_ms) = run(&dir, bound, 1, 0);
+    let (warm, warm_ms) = run(&dir, bound, 1, 0);
+    assert_eq!(cold.points_computed, cold.points_total, "first run is cold");
+    assert_eq!(warm.points_computed, 0, "warm restart must recompute nothing");
+    assert_eq!(warm.points_resumed, warm.points_total);
+    let points = cold.points_total;
+    println!(
+        "cold: {points} points computed in {cold_ms:.1} ms; \
+         warm: {} resumed in {warm_ms:.1} ms ({:.1}x)",
+        warm.points_resumed,
+        cold_ms / warm_ms.max(0.001),
+    );
+
+    // --- Leg 2: worker scaling (delay-bound points) ---------------------
+    let mut scaling: Vec<(usize, f64, CoordReport)> = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let dir = scratch.join(format!("scale-{n}"));
+        let (report, ms) = run(&dir, bound, n, delay_ms);
+        assert_eq!(report.points_computed, points, "each scaling run starts cold");
+        println!("workers={n}: {ms:.1} ms (deaths={})", report.worker_deaths);
+        scaling.push((n, ms, report));
+    }
+    let base_ms = scaling[0].1;
+    let n8_speedup = base_ms / scaling.last().unwrap().1.max(0.001);
+    println!("N=8 speedup over N=1: {n8_speedup:.2}x (delay-bound points, {delay_ms} ms each)");
+
+    // --- Emit machine-readable JSON -------------------------------------
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(n, ms, r)| {
+            format!(
+                "    {{\"workers\": {n}, \"wall_ms\": {ms:.2}, \"speedup_vs_1\": {:.3}, \
+                 \"leases_issued\": {}, \"worker_deaths\": {}}}",
+                base_ms / ms.max(0.001),
+                r.leases_issued,
+                r.worker_deaths
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"instance\": \"{TOY}\",\n  \"bound\": {bound},\n  \
+         \"points\": {points},\n  \"warm_vs_cold\": {{\n    \"cold_ms\": {cold_ms:.2},\n    \
+         \"warm_ms\": {warm_ms:.2},\n    \"cold_computed\": {},\n    \"warm_resumed\": {},\n    \
+         \"warm_computed\": {},\n    \"warm_hit_rate\": {:.3}\n  }},\n  \
+         \"point_delay_ms\": {delay_ms},\n  \"scaling\": [\n{}\n  ],\n  \
+         \"n8_speedup_vs_n1\": {n8_speedup:.3},\n  \
+         \"note\": \"scaling leg is delay-bound (single-core box): each point sleeps \
+         point_delay_ms in its worker, so N workers overlap delays; cold/warm leg is undelayed\"\n}}\n",
+        cold.points_computed,
+        warm.points_resumed,
+        warm.points_computed,
+        warm.points_resumed as f64 / points.max(1) as f64,
+        scaling_json.join(",\n"),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("{}: {e}", out.display()));
+    println!("wrote {}", out.display());
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -17,6 +17,58 @@ fn journal_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/sweep-journals"))
 }
 
+/// Value of `--flag v` / `--flag=v` from the command line, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Opt-in (`--store DIR [--workers N]`): route the backward sweeps
+/// through the persistent memo store and the sharded coordinator, then
+/// run them again to show the warm restart recomputes nothing. Strictly
+/// additive — without `--store` the output is byte-identical to before
+/// (the golden snapshot runs without it).
+fn store_backed_sweeps(store_root: &str, workers: usize) {
+    use bagcq_coord::{run_coordinator, CoordConfig, InstanceSpec, SweepSpec};
+    println!();
+    println!("## Store-backed sharded sweeps (opt-in: --store {store_root} --workers {workers})");
+    row(&[
+        "instance".into(),
+        "points".into(),
+        "this run resumed/computed".into(),
+        "warm rerun resumed/computed".into(),
+    ]);
+    sep(4);
+    for name in ["parity", "shifted-positive"] {
+        let spec = SweepSpec { instance: InstanceSpec::Hilbert(name.to_string()), bound: 1 };
+        let dir = PathBuf::from(store_root).join(name);
+        let mut config = CoordConfig::new(spec.clone(), &dir);
+        config.workers = workers;
+        config.report_path = dir.join("report.txt");
+        let first = run_coordinator(&config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let warm = run_coordinator(&config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            warm.points_computed, 0,
+            "{name}: a warm restart over the store must recompute nothing"
+        );
+        assert_eq!(warm.points_resumed, warm.points_total);
+        row(&[
+            name.into(),
+            first.points_total.to_string(),
+            format!("{}/{}", first.points_resumed, first.points_computed),
+            format!("{}/{}", warm.points_resumed, warm.points_computed),
+        ]);
+    }
+}
+
 /// Re-verifies `ℂ·φ_s(D) ≤ φ_b(D)` decisions through the `bagcq-engine`
 /// service: all φ-evaluations for a box of correct databases go in as one
 /// batch (each submitted twice, so the single-flight cache proves itself),
@@ -88,6 +140,18 @@ fn engine_sweep(red: &Theorem1Reduction, bound: u64, opts: &EvalOptions) -> (usi
 }
 
 fn main() {
+    // Hidden re-exec mode: the sharded coordinator spawns workers as
+    // `<current_exe> sweep-worker ...`, so this binary doubles as its
+    // own worker when the opt-in `--store` sweep runs.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep-worker") {
+        if let Err(e) = bagcq_coord::worker_main(&argv[1..]) {
+            eprintln!("sweep-worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let trace = start_trace_from_args();
     println!("## E-B / E-T1 — Hilbert corpus through Appendix B + Theorem 1");
     row(&[
@@ -196,6 +260,11 @@ fn main() {
         let demo = matches!(doomed.wait(), Outcome::TimedOut) && fine.wait().as_power().is_some();
         assert!(demo, "deadline must isolate the doomed job only");
         row(&[name.into(), agreements.to_string(), hits.to_string(), "ok".into()]);
+    }
+
+    if let Some(store_root) = flag_value("--store") {
+        let workers = flag_value("--workers").and_then(|v| v.parse().ok()).unwrap_or(1);
+        store_backed_sweeps(&store_root, workers);
     }
 
     println!();

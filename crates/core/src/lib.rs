@@ -74,8 +74,9 @@ pub mod prelude {
     pub use bagcq_engine::{
         AdmissionConfig, AdmissionPolicy, BreakerConfig, CachedCounter, CountError, DrainReport,
         EngineConfig, EngineHealth, EvalEngine, FailFast, FaultInjector, FaultKind, FaultPlan, Job,
-        JobHandle, JobSpec, MetricsSnapshot, Outcome, RetryPolicy, ShedReason, SupervisorConfig,
-        SweepJournal, TraceReport, TraceSession,
+        JobHandle, JobSpec, MemoStore, MetricsSnapshot, Outcome, RecoveryReport, RetryPolicy,
+        ShedReason, StoreError, StoreOptions, StoreStats, SupervisorConfig, SweepJournal,
+        TraceReport, TraceSession,
     };
     pub use bagcq_hilbert::{by_name as hilbert_instance, library as hilbert_library, reduce};
     pub use bagcq_homcount::{

@@ -20,9 +20,18 @@
 //! 3. A **joiner** blocks on [`Flight::wait`] bounded by its *own*
 //!    deadline: a joiner with a tight deadline can time out while the
 //!    leader (and more patient joiners) keep going.
+//!
+//! When a persistent [`MemoStore`] tier is attached
+//! ([`MemoCache::with_store`]), a miss first **reads through** to disk —
+//! a persisted outcome is promoted to a `Ready` slot and returned as a
+//! hit — and a successful completion is **written behind** to the store
+//! after the shard lock is released (store latency and store errors
+//! never sit inside the shard critical section, and a store failure
+//! never fails the job that produced the outcome).
 
 use crate::job::Outcome;
 use crate::metrics::Metrics;
+use crate::store::MemoStore;
 use bagcq_structure::Fingerprint;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -127,6 +136,7 @@ impl Drop for LeadToken {
 pub(crate) struct MemoCache {
     shards: Vec<Arc<Shard>>,
     metrics: Arc<Metrics>,
+    store: Option<Arc<MemoStore>>,
 }
 
 impl MemoCache {
@@ -135,7 +145,14 @@ impl MemoCache {
         MemoCache {
             shards: (0..shards).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect(),
             metrics,
+            store: None,
         }
+    }
+
+    /// Attaches a persistent read-through/write-behind tier.
+    pub(crate) fn with_store(mut self, store: Option<Arc<MemoStore>>) -> Self {
+        self.store = store;
+        self
     }
 
     fn shard(&self, key: &Fingerprint) -> &Arc<Shard> {
@@ -155,6 +172,14 @@ impl MemoCache {
                 Lookup::Join(Arc::clone(flight))
             }
             None => {
+                // Read through to the persistent tier before taking the
+                // lead: a warm restart answers from disk and promotes the
+                // outcome to a Ready slot.
+                if let Some(outcome) = self.store.as_ref().and_then(|s| s.get(&key)) {
+                    self.metrics.store_hit();
+                    shard.insert(key, Slot::Ready(outcome.clone()));
+                    return Lookup::Hit(outcome);
+                }
                 self.metrics.cache_miss();
                 let flight = Arc::new(Flight::default());
                 shard.insert(key, Slot::InFlight(Arc::clone(&flight)));
@@ -179,6 +204,16 @@ impl MemoCache {
                 shard.remove(&token.key);
             } else {
                 shard.insert(token.key, Slot::Ready(outcome.clone()));
+            }
+        }
+        // Write behind outside the shard lock. A store error must not
+        // fail the job — the outcome is correct, only its persistence is
+        // lost — so it is logged as an instant and otherwise swallowed.
+        if !outcome.is_failure() {
+            if let Some(store) = &self.store {
+                if store.put(token.key, &outcome).is_err() {
+                    bagcq_obs::instant("engine.store", "put_error");
+                }
             }
         }
         token.flight.publish(outcome);
@@ -279,6 +314,41 @@ mod tests {
         assert_eq!(c.ready_len(), 0);
         // And the key is free for a retry to lead.
         assert!(matches!(c.begin(key(9)), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn store_tier_reads_through_and_writes_behind() {
+        let dir = std::env::temp_dir().join(format!("bagcq-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(MemoStore::open(&dir).unwrap());
+        let metrics = Arc::new(Metrics::new());
+        {
+            let c = MemoCache::new(4, Arc::clone(&metrics)).with_store(Some(Arc::clone(&store)));
+            let token = match c.begin(key(7)) {
+                Lookup::Lead(t) => t,
+                _ => panic!("must lead"),
+            };
+            // Write-behind: completion lands in the store...
+            c.complete(token, Outcome::Count(Nat::from_u64(77)));
+            assert_eq!(store.get(&key(7)).unwrap().as_count(), Some(&Nat::from_u64(77)));
+            // ...but failures never do.
+            let token = match c.begin(key(8)) {
+                Lookup::Lead(t) => t,
+                _ => panic!("must lead"),
+            };
+            c.complete(token, Outcome::TimedOut);
+            assert!(store.get(&key(8)).is_none());
+        }
+        // A fresh cache over the same store: the miss reads through.
+        let c = MemoCache::new(4, Arc::clone(&metrics)).with_store(Some(store));
+        match c.begin(key(7)) {
+            Lookup::Hit(Outcome::Count(n)) => assert_eq!(n, Nat::from_u64(77)),
+            _ => panic!("store-backed lookup must hit"),
+        }
+        assert_eq!(metrics.snapshot().store_hits, 1);
+        // The read-through promoted the entry to a Ready slot.
+        assert_eq!(c.ready_len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub struct EngineConfig {
     /// that would exceed it fails with a typed error instead of aborting
     /// the process.
     pub memory_budget_bytes: u64,
+    /// Persistent memo store under the in-memory cache
+    /// ([`crate::MemoStore`]): misses read through to disk, successful
+    /// counts are written behind, and [`EvalEngine::drain`] flushes the
+    /// write-behind buffer. `None` (the default) keeps the cache purely
+    /// in-memory.
+    pub store: Option<Arc<crate::MemoStore>>,
 }
 
 impl Default for EngineConfig {
@@ -150,6 +156,7 @@ impl Default for EngineConfig {
             admission: AdmissionConfig::default(),
             supervisor: SupervisorConfig::default(),
             memory_budget_bytes: 0,
+            store: None,
         }
     }
 }
@@ -834,7 +841,8 @@ impl EvalEngine {
             (config.memory_budget_bytes > 0).then(|| MemoryBudget::new(config.memory_budget_bytes));
         let queue = BoundedQueue::new(config.admission.capacity);
         let shared = Arc::new(Shared {
-            cache: MemoCache::new(config.cache_shards, Arc::clone(&metrics)),
+            cache: MemoCache::new(config.cache_shards, Arc::clone(&metrics))
+                .with_store(config.store.clone()),
             metrics,
             config,
             breakers,
@@ -986,6 +994,13 @@ impl EvalEngine {
                 let _ = catch_unwind(AssertUnwindSafe(hook));
             }
         }
+        // The persistent store's write-behind buffer is a flush hook in
+        // spirit: a drain must leave every completed count on disk.
+        if let Some(store) = &self.shared.config.store {
+            if store.flush().is_err() {
+                obs::instant("engine.store", "flush_error");
+            }
+        }
         obs::instant("engine.drain", "end");
         let elapsed = started.elapsed();
         DrainReport {
@@ -1007,6 +1022,9 @@ impl EvalEngine {
             snap.mem_used_bytes = budget.used();
             snap.mem_high_water_bytes = budget.high_water();
             snap.mem_denials = budget.denials();
+        }
+        if let Some(store) = &self.shared.config.store {
+            snap.store = Some(store.stats());
         }
         snap
     }

@@ -43,12 +43,23 @@ impl SweepJournal {
     /// Fails if the file exists but belongs to a different sweep or is
     /// not a journal — resuming against the wrong state silently corrupts
     /// a sweep, so that is a hard error, not a fresh start.
+    ///
+    /// A sibling `*.tmp` left by a crash between write and rename is
+    /// removed here: its contents are by definition uncommitted (the
+    /// rename is the commit point), and leaving it around would make the
+    /// next commit's `File::create` clobber an unexplained file.
     pub fn open(path: impl Into<PathBuf>, name: &str) -> Result<Self, String> {
         assert!(
             !name.contains('\n') && !name.contains('\t'),
             "journal names must not contain tabs or newlines"
         );
         let path = path.into();
+        let orphan = path.with_extension("tmp");
+        match fs::remove_file(&orphan) {
+            Ok(()) => bagcq_obs::instant("journal.open", "removed_orphan_tmp"),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("{}: removing orphaned tmp: {e}", orphan.display())),
+        }
         let mut entries = BTreeMap::new();
         let mut resumed = 0;
         match fs::read_to_string(&path) {
@@ -226,11 +237,26 @@ mod tests {
         j.record("committed", "yes").unwrap();
         drop(j);
         // Simulate a crash mid-write: a half-written tmp file next to the
-        // journal must not affect recovery.
+        // journal must not affect recovery, and open() must clean it up
+        // (uncommitted by definition — the rename is the commit point).
         fs::write(path.with_extension("tmp"), "# bagcq-sweep-journal v1 s\ncommitted\tno").unwrap();
         let j = SweepJournal::open(&path, "s").unwrap();
         assert_eq!(j.get("committed"), Some("yes"));
-        let _ = fs::remove_file(path.with_extension("tmp"));
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "open() must remove the orphaned tmp sibling"
+        );
+        j.finish().unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_without_journal_is_removed_and_sweep_starts_fresh() {
+        let path = temp_path("orphan-only");
+        // Crash before the *first* commit's rename: only the tmp exists.
+        fs::write(path.with_extension("tmp"), "# bagcq-sweep-journal v1 s\np\tok:1\n").unwrap();
+        let j = SweepJournal::open(&path, "s").unwrap();
+        assert!(j.is_empty(), "uncommitted tmp state must not be resumed");
+        assert!(!path.with_extension("tmp").exists());
         j.finish().unwrap();
     }
 }

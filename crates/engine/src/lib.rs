@@ -61,6 +61,13 @@
 //! * **Crash-safe sweeps** ([`SweepJournal`]): experiment drivers commit
 //!   each completed sweep point with an atomic write-temp-then-rename, so
 //!   a killed sweep resumes where it stopped.
+//! * **Persistent memo store** ([`MemoStore`],
+//!   [`EngineConfig::store`]): completed counts are appended to
+//!   disk-backed, CRC-framed segment files keyed by the same 128-bit
+//!   fingerprints, and the memo cache reads through to them — a warm
+//!   restart (or a sibling worker process sharing the directory) skips
+//!   recomputation entirely. Recovery truncates torn tails, quarantines
+//!   corrupt records ([`RecoveryReport`]), and compacts dead bytes.
 //! * **Metrics**: atomic job/cache/resilience counters plus a log₂
 //!   latency histogram, snapshot-able as text
 //!   ([`MetricsSnapshot::render`]).
@@ -85,6 +92,7 @@ mod job;
 mod journal;
 mod metrics;
 mod retry;
+mod store;
 mod supervisor;
 pub mod trace;
 
@@ -111,5 +119,6 @@ pub use job::{Job, JobHandle, JobSpec, Outcome, ShedReason};
 pub use journal::SweepJournal;
 pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};
 pub use retry::RetryPolicy;
+pub use store::{MemoStore, RecoveryReport, StoreError, StoreOptions, StoreStats};
 pub use supervisor::{EngineHealth, SupervisorConfig};
 pub use trace::{TraceReport, TraceSession};

@@ -11,6 +11,7 @@
 
 use crate::admission::TenantCounters;
 use crate::job::ShedReason;
+use crate::store::StoreStats;
 use crate::supervisor::{EngineHealth, HealthCell};
 use bagcq_obs::StageStats;
 use std::fmt;
@@ -33,6 +34,7 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     single_flight_joins: AtomicU64,
+    store_hits: AtomicU64,
     cross_validations: AtomicU64,
     retries: AtomicU64,
     fallbacks_taken: AtomicU64,
@@ -80,6 +82,11 @@ impl Metrics {
 
     pub(crate) fn single_flight_join(&self) {
         self.single_flight_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn store_hit(&self) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        bagcq_obs::instant("engine.store", "hit");
     }
 
     pub(crate) fn cross_validation(&self) {
@@ -187,6 +194,7 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             single_flight_joins: self.single_flight_joins.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
             cross_validations: self.cross_validations.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             fallbacks_taken: self.fallbacks_taken.load(Ordering::Relaxed),
@@ -207,6 +215,9 @@ impl Metrics {
             mem_high_water_bytes: 0,
             mem_denials: 0,
             latency_us,
+            // The persistent store lives outside the registry; the
+            // engine fills its stats in (`EvalEngine::metrics`).
+            store: None,
             stages: bagcq_obs::stage_snapshot(),
             // Tenant counters live in the serving layer's `TenantGate`;
             // `bagcq-serve` fills them in before rendering `/metrics`.
@@ -246,6 +257,9 @@ pub struct MetricsSnapshot {
     /// Lookups that joined an in-flight computation instead of
     /// duplicating it (single-flight deduplication).
     pub single_flight_joins: u64,
+    /// Memo-cache misses answered from the persistent [`crate::MemoStore`]
+    /// tier (read-through hits; the work was skipped entirely).
+    pub store_hits: u64,
     /// Counts that were computed by both engines and compared.
     pub cross_validations: u64,
     /// Transient-failure retries performed (backoff sleeps taken).
@@ -288,6 +302,9 @@ pub struct MetricsSnapshot {
     /// Log₂ latency histogram: bucket `i` counts jobs that took
     /// `[2^(i-1), 2^i)` microseconds end to end.
     pub latency_us: [u64; LATENCY_BUCKETS],
+    /// Persistent-store counters, when the engine has a
+    /// [`crate::MemoStore`] tier configured ([`crate::EngineConfig::store`]).
+    pub store: Option<StoreStats>,
     /// Per-stage span latency histograms from the process-global tracer
     /// ([`bagcq_obs`]). Empty unless tracing was enabled — the tracer is
     /// process-wide, so these aggregate *all* instrumented activity, not
@@ -340,6 +357,9 @@ impl fmt::Display for MetricsSnapshot {
             "  cache    hits={} misses={} joins={}",
             self.cache_hits, self.cache_misses, self.single_flight_joins
         )?;
+        if self.store_hits != 0 || self.store.is_some() {
+            write!(f, " store_hits={}", self.store_hits)?;
+        }
         match self.hit_rate() {
             Some(r) => writeln!(f, " hit_rate={:.1}%", 100.0 * r)?,
             None => writeln!(f)?,
@@ -365,6 +385,20 @@ impl fmt::Display for MetricsSnapshot {
             self.queue_high_water
         )?;
         writeln!(f, "  workers  deaths={} restarts={}", self.worker_deaths, self.worker_restarts)?;
+        if let Some(store) = &self.store {
+            writeln!(
+                f,
+                "  store    records={} segments={} appends={} hits={} compactions={} \
+                 quarantined_records={} quarantined_bytes={}",
+                store.records,
+                store.segments,
+                store.appends,
+                store.lookups_hit,
+                store.compactions,
+                store.quarantined_records,
+                store.quarantined_bytes
+            )?;
+        }
         if self.mem_used_bytes != 0 || self.mem_high_water_bytes != 0 || self.mem_denials != 0 {
             writeln!(
                 f,

@@ -25,6 +25,10 @@ fn main() -> ExitCode {
         Some("instances") => cmd_instances(),
         Some("hde") => cmd_hde(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("sweep-coord") => cmd_sweep_coord(&args[1..]),
+        // Hidden protocol mode: what `sweep-coord` spawns as children.
+        Some("sweep-worker") => bagcq_coord::worker_main(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -58,6 +62,19 @@ USAGE:
               [--api-key K] [--admin-key K]  (POST /v1/count, /v1/check,
               [--rate N] [--burst N]          GET /metrics; drain with
               [--max-in-flight N]             POST /admin/drain)
+  bagcq sweep-coord --instance <label>     kill-tolerant sharded Theorem-1
+              --store DIR [--bound B]        sweep over worker processes;
+              [--workers N] [--report PATH]  resumes from the persistent
+              [--lease-timeout-ms MS]        store, writes a bit-identical
+              [--point-delay-ms MS]          frontier-ordered report
+              [--chaos-kill-worker SLOT:K]   (chaos: worker SLOT kill -9s
+              [--print-computed]              itself on lease K+1)
+  bagcq store verify|stats|compact         inspect or maintain a memo
+              --store DIR [--strict]         store directory (verify
+                                             --strict fails on corruption)
+
+  <label>     a Hilbert corpus name (see `bagcq instances`) or
+              toy:C:s1,s2:b1,b2 (the synthetic Lemma-11 instance)
 
 ARGS:
   <query>     inline text like \"E(x,y), x != y\" or @file.txt
@@ -253,6 +270,80 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     print!("{}", server.metrics().render());
     server.shutdown();
     Ok(())
+}
+
+fn cmd_sweep_coord(args: &[String]) -> Result<(), String> {
+    use bagcq_coord::{run_coordinator, CoordConfig, InstanceSpec, SweepSpec};
+    let instance = InstanceSpec::parse(
+        flag_value(args, "--instance").ok_or("sweep-coord needs --instance <label>")?,
+    )?;
+    let store_dir = flag_value(args, "--store").ok_or("sweep-coord needs --store <dir>")?;
+    let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} needs a number, got {v:?}")),
+        }
+    };
+    let spec = SweepSpec { instance, bound: parse_u64("--bound", 1)? };
+    let mut config = CoordConfig::new(spec, store_dir);
+    config.workers = parse_u64("--workers", 1)? as usize;
+    config.lease_timeout =
+        std::time::Duration::from_millis(parse_u64("--lease-timeout-ms", 30_000)?);
+    config.point_delay_ms = parse_u64("--point-delay-ms", 0)?;
+    if let Some(path) = flag_value(args, "--report") {
+        config.report_path = path.into();
+    }
+    if let Some(spec) = flag_value(args, "--chaos-kill-worker") {
+        let (slot, after) = spec
+            .split_once(':')
+            .and_then(|(s, k)| Some((s.parse().ok()?, k.parse().ok()?)))
+            .ok_or_else(|| format!("--chaos-kill-worker needs SLOT:K, got {spec:?}"))?;
+        config.chaos_kill_worker = Some((slot, after));
+    }
+    let report = run_coordinator(&config)?;
+    if args.iter().any(|a| a == "--print-computed") {
+        for key in &report.computed_keys {
+            println!("computed {key}");
+        }
+    }
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    use bagcq_core::engine::MemoStore;
+    let action = args.first().map(String::as_str);
+    let dir = flag_value(args, "--store").ok_or("store needs --store <dir>")?;
+    match action {
+        Some("verify") => {
+            let report = MemoStore::verify(dir).map_err(|e| e.to_string())?;
+            println!("store {dir}: {report}");
+            if args.iter().any(|a| a == "--strict") && !report.is_clean() {
+                return Err("store verification found corruption (--strict)".to_string());
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            let store = MemoStore::open(dir).map_err(|e| e.to_string())?;
+            let stats = store.stats();
+            println!("store {dir}:");
+            println!("  records={} segments={}", stats.records, stats.segments);
+            println!("  recovery: {}", store.recovery());
+            Ok(())
+        }
+        Some("compact") => {
+            let store = MemoStore::open(dir).map_err(|e| e.to_string())?;
+            let before = store.recovery();
+            store.compact().map_err(|e| e.to_string())?;
+            println!(
+                "store {dir}: compacted {} live records into 1 segment (was {} segments)",
+                store.len(),
+                before.segments
+            );
+            Ok(())
+        }
+        _ => Err("store needs a subcommand: verify | stats | compact".to_string()),
+    }
 }
 
 fn cmd_instances() -> Result<(), String> {

@@ -74,3 +74,173 @@ fn journal_refuses_a_different_sweeps_file() {
     assert!(err.contains("sweep-a"), "error should name the owning sweep: {err}");
     std::fs::remove_file(&path).expect("cleanup");
 }
+
+// ---------------------------------------------------------------------------
+// Process-level kill -9 tolerance: the sharded coordinator + memo store
+// ---------------------------------------------------------------------------
+
+use bagcq_coord::{point_key, InstanceSpec, SweepSpec};
+use std::collections::HashSet;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The safe toy instance (2 vars); bound 2 gives a 9-point frontier.
+const TOY: &str = "toy:2:1,1:2,2";
+const BOUND: &str = "2";
+
+fn bagcq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bagcq"))
+}
+
+fn sweep_coord(store: &Path, report: &Path, extra: &[&str]) -> Command {
+    let mut cmd = bagcq();
+    cmd.args(["sweep-coord", "--instance", TOY, "--bound", BOUND, "--store"])
+        .arg(store)
+        .arg("--report")
+        .arg(report)
+        .args(extra);
+    cmd
+}
+
+fn e2e_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bagcq-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A worker killed with SIGKILL mid-sweep loses its leases; the
+/// coordinator re-issues them and the final report is byte-identical to
+/// a clean single-worker run.
+#[test]
+fn worker_kill_is_absorbed_and_report_is_bit_identical() {
+    let dir = e2e_dir("workerkill");
+    let (ref_store, ref_report) = (dir.join("ref-store"), dir.join("ref-report.txt"));
+    let (chaos_store, chaos_report) = (dir.join("chaos-store"), dir.join("chaos-report.txt"));
+
+    // Clean reference: one worker, no chaos.
+    let out = sweep_coord(&ref_store, &ref_report, &["--workers", "1"])
+        .output()
+        .expect("reference run spawns");
+    assert!(out.status.success(), "reference run: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Chaos run: three workers, slot 1 SIGKILLs itself after 1 point
+    // (and again on respawn, until its respawn budget runs out).
+    let out =
+        sweep_coord(&chaos_store, &chaos_report, &["--workers", "3", "--chaos-kill-worker", "1:1"])
+            .output()
+            .expect("chaos run spawns");
+    assert!(out.status.success(), "chaos run: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let deaths: usize = stdout
+        .split("worker_deaths=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("report missing worker_deaths: {stdout}"));
+    assert!(deaths >= 1, "the chaos worker must actually die: {stdout}");
+    assert!(stdout.contains("total=9"), "{stdout}");
+
+    let want = std::fs::read(&ref_report).expect("reference report");
+    let got = std::fs::read(&chaos_report).expect("chaos report");
+    assert_eq!(want, got, "chaos report must be byte-identical to the clean reference");
+
+    // The chaos store must verify clean despite the worker deaths.
+    let out = bagcq()
+        .args(["store", "verify", "--strict", "--store"])
+        .arg(&chaos_store)
+        .output()
+        .expect("verify runs");
+    assert!(out.status.success(), "store verify: {}", String::from_utf8_lossy(&out.stderr));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The coordinator itself is SIGKILLed mid-sweep; a rerun resumes from
+/// the persistent store, recomputes ZERO already-committed points, and
+/// produces a report byte-identical to a never-crashed run.
+#[test]
+fn killed_coordinator_resumes_from_store_without_recomputing() {
+    let dir = e2e_dir("coordkill");
+    let store = dir.join("store");
+    let report1 = dir.join("report-crashed.txt");
+    let report2 = dir.join("report-resumed.txt");
+
+    // Slow each point down so the kill lands mid-sweep.
+    let mut child = sweep_coord(&store, &report1, &["--workers", "1", "--point-delay-ms", "400"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("coordinator spawns");
+
+    // Wait until at least two points are durably committed, then SIGKILL.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(report) = bagcq_core::engine::MemoStore::verify(&store) {
+            if report.records_live >= 2 {
+                break;
+            }
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("coordinator never committed 2 points within 60s");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    child.kill().expect("SIGKILL the coordinator");
+    child.wait().expect("reap");
+    assert!(!report1.exists(), "the killed run must not have written its report");
+
+    // Snapshot what survived the crash (post-recovery, like the resumed
+    // coordinator will see it).
+    let spec = SweepSpec { instance: InstanceSpec::parse(TOY).expect("toy spec"), bound: 2 };
+    let frontier = spec.frontier(2);
+    assert_eq!(frontier.len(), 9);
+    let pre_kill: HashSet<String> = {
+        let snapshot = MemoStore::open_opts(
+            &store,
+            StoreOptions { compact_on_open: false, ..Default::default() },
+        )
+        .expect("store survives the kill");
+        frontier
+            .iter()
+            .filter(|val| snapshot.contains(&spec.point_fingerprint(val)))
+            .map(|val| point_key(val))
+            .collect()
+    };
+    assert!(pre_kill.len() >= 2, "poll saw 2 durable points: {pre_kill:?}");
+    assert!(pre_kill.len() < 9, "the kill must land mid-sweep");
+
+    // Resume: every pre-kill point comes back from the store; only the
+    // remainder is computed.
+    let out = sweep_coord(&store, &report2, &["--workers", "1", "--print-computed"])
+        .output()
+        .expect("resume run spawns");
+    assert!(out.status.success(), "resume run: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let computed: HashSet<String> =
+        stdout.lines().filter_map(|l| l.strip_prefix("computed ")).map(str::to_string).collect();
+    for key in &computed {
+        assert!(!pre_kill.contains(key), "point {key} was recomputed despite surviving the kill");
+    }
+    assert_eq!(
+        computed.len(),
+        9 - pre_kill.len(),
+        "resume must compute exactly the missing points: {stdout}"
+    );
+    assert!(stdout.contains(&format!("resumed={}", pre_kill.len())), "{stdout}");
+
+    // The resumed report is byte-identical to a never-crashed run.
+    let clean_store = dir.join("clean-store");
+    let clean_report = dir.join("report-clean.txt");
+    let out = sweep_coord(&clean_store, &clean_report, &["--workers", "1"])
+        .output()
+        .expect("clean run spawns");
+    assert!(out.status.success(), "clean run: {}", String::from_utf8_lossy(&out.stderr));
+    let want = std::fs::read(&clean_report).expect("clean report");
+    let got = std::fs::read(&report2).expect("resumed report");
+    assert_eq!(want, got, "resumed report must be byte-identical to a never-crashed run");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
