@@ -1,0 +1,645 @@
+//! The seeded adversarial corpus.
+//!
+//! A corpus is a pure function of `(seed, budget)`: a stream of *items*,
+//! each a small parameter record from one of three families —
+//!
+//! * **Gadget**: a β/γ/α/chain multiplication gadget (Definition 3) with
+//!   randomized parameters `p ≥ 3`, `m ≥ 2`, `c ≥ 2`, checked on its
+//!   named witness plus seeded random databases over its schema;
+//! * **Arena**: a Theorem 1 reduction over a toy Lemma 11 instance, with
+//!   a correct, slightly-incorrect (extra `S`-atom) or
+//!   seriously-incorrect (identified constants) database (Definition 13);
+//! * **Traffic**: random CQ/UCQ pairs over a fixed relational schema with
+//!   seeded random databases — the flipping-lemma (22–24) and bag-union
+//!   regime, and the profile streamed through the engine and the wire.
+//!
+//! Items are deliberately *parameters*, not materialized objects, so a
+//! shrunk counterexample can be described by a one-line spec (see
+//! [`Context::spec`]) and rebuilt bit-identically during fixture replay.
+
+use bagcq_query::{Query, QueryGen, UnionGen, UnionQuery};
+use bagcq_reduction::{
+    alpha_gadget, beta_gadget, gamma_gadget, toy_instance, MultiplyGadget, Theorem1Reduction,
+};
+use bagcq_structure::{Schema, SchemaBuilder, Structure, StructureGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The fixed schema traffic items live over: one binary and one ternary
+/// relation, no constants (Lemma 22 applies to constant-free pure CQs).
+pub fn traffic_schema() -> Arc<Schema> {
+    let mut b = SchemaBuilder::default();
+    b.relation("e", 2);
+    b.relation("t", 3);
+    b.build()
+}
+
+/// Which multiplication gadget an item exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GadgetKind {
+    /// `β(p)` — Lemma 5, ratio `(p+1)²/2p`.
+    Beta {
+        /// Relation arity `p ≥ 3`.
+        p: usize,
+    },
+    /// `γ(m)` — Lemma 10, ratio `(m−1)/m`.
+    Gamma {
+        /// Cyclique width `m ≥ 2`.
+        m: usize,
+    },
+    /// `α(c) = β(2c−1) ∘ γ(2c)` — ratio exactly `c`.
+    Alpha {
+        /// The integer ratio `c ≥ 2`.
+        c: u64,
+    },
+    /// A free-form `β(p) ∘ γ(m)` chain (Lemma 4 composition).
+    Chain {
+        /// β arity.
+        p: usize,
+        /// γ width.
+        m: usize,
+    },
+}
+
+impl GadgetKind {
+    /// Materializes the gadget.
+    pub fn build(&self) -> MultiplyGadget {
+        match *self {
+            GadgetKind::Beta { p } => beta_gadget(p, "F"),
+            GadgetKind::Gamma { m } => gamma_gadget(m, "F"),
+            GadgetKind::Alpha { c } => alpha_gadget(c, "F"),
+            GadgetKind::Chain { p, m } => beta_gadget(p, "Fb").compose(&gamma_gadget(m, "Fg")),
+        }
+    }
+
+    /// One-line parseable description, e.g. `gadget gamma m=2`.
+    pub fn spec(&self) -> String {
+        match *self {
+            GadgetKind::Beta { p } => format!("gadget beta p={p}"),
+            GadgetKind::Gamma { m } => format!("gadget gamma m={m}"),
+            GadgetKind::Alpha { c } => format!("gadget alpha c={c}"),
+            GadgetKind::Chain { p, m } => format!("gadget chain p={p} m={m}"),
+        }
+    }
+
+    /// Strictly smaller parameterizations to try while shrinking. A
+    /// composed gadget may also degrade to one of its components.
+    pub fn shrink_candidates(&self) -> Vec<GadgetKind> {
+        match *self {
+            GadgetKind::Beta { p } if p > 3 => vec![GadgetKind::Beta { p: p - 1 }],
+            GadgetKind::Beta { .. } => vec![],
+            GadgetKind::Gamma { m } if m > 2 => vec![GadgetKind::Gamma { m: m - 1 }],
+            GadgetKind::Gamma { .. } => vec![],
+            GadgetKind::Alpha { c } => {
+                let mut out = Vec::new();
+                if c > 2 {
+                    out.push(GadgetKind::Alpha { c: c - 1 });
+                }
+                out.push(GadgetKind::Beta { p: (2 * c - 1) as usize });
+                out.push(GadgetKind::Gamma { m: (2 * c) as usize });
+                out
+            }
+            GadgetKind::Chain { p, m } => {
+                let mut out = Vec::new();
+                if p > 3 {
+                    out.push(GadgetKind::Chain { p: p - 1, m });
+                }
+                if m > 2 {
+                    out.push(GadgetKind::Chain { p, m: m - 1 });
+                }
+                out.push(GadgetKind::Beta { p });
+                out.push(GadgetKind::Gamma { m });
+                out
+            }
+        }
+    }
+}
+
+/// How an arena database is corrupted, if at all (Definition 13's
+/// taxonomy, driven from the generator side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tamper {
+    /// Leave the database correct.
+    None,
+    /// Add one extra `S₁(a₁, b₁)` atom ⇒ slightly incorrect.
+    ExtraSAtom,
+    /// Identify the constants `a₁` and `a₂` ⇒ seriously incorrect.
+    IdentifyA,
+}
+
+impl Tamper {
+    fn spec(&self) -> &'static str {
+        match self {
+            Tamper::None => "none",
+            Tamper::ExtraSAtom => "extra-s",
+            Tamper::IdentifyA => "identify-a",
+        }
+    }
+}
+
+/// Parameters of one arena item: a toy Lemma 11 instance (two monomials
+/// in two variables), a valuation, and a tamper mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArenaParams {
+    /// The target ratio `c ≥ 2`.
+    pub c: u64,
+    /// `P_s` coefficients, one per monomial (≥ 1).
+    pub coeff_s: [u64; 2],
+    /// `P_b` coefficients; kept `≥ coeff_s` pointwise so `P_s ≤ P_b`.
+    pub coeff_b: [u64; 2],
+    /// The valuation `Ξ` the database encodes.
+    pub valuation: [u64; 2],
+    /// Corruption mode.
+    pub tamper: Tamper,
+}
+
+impl ArenaParams {
+    /// Builds the Theorem 1 reduction for this instance.
+    pub fn reduction(&self) -> Theorem1Reduction {
+        Theorem1Reduction::new(toy_instance(self.c, self.coeff_s.to_vec(), self.coeff_b.to_vec()))
+    }
+
+    /// Builds the (possibly tampered) database.
+    pub fn database(&self, red: &Theorem1Reduction) -> Structure {
+        let d = red.correct_database(&self.valuation);
+        match self.tamper {
+            Tamper::None => d,
+            Tamper::ExtraSAtom => {
+                let mut slight = d;
+                let a1 = slight.constant_vertex(red.a_m[0]);
+                let b1 = slight.constant_vertex(red.b_n[0]);
+                slight.add_atom(red.s_rels[0], &[a1, b1]);
+                slight
+            }
+            Tamper::IdentifyA => {
+                let a1v = d.constant_vertex(red.a_m[0]);
+                let a2v = d.constant_vertex(red.a_m[1]);
+                d.identify(a1v, a2v)
+            }
+        }
+    }
+
+    /// One-line parseable description.
+    pub fn spec(&self) -> String {
+        format!(
+            "arena c={} s={},{} b={},{} val={},{} tamper={}",
+            self.c,
+            self.coeff_s[0],
+            self.coeff_s[1],
+            self.coeff_b[0],
+            self.coeff_b[1],
+            self.valuation[0],
+            self.valuation[1],
+            self.tamper.spec()
+        )
+    }
+
+    /// Strictly smaller parameterizations to try while shrinking. The
+    /// tamper mode is preserved — it is part of what the oracle tests.
+    pub fn shrink_candidates(&self) -> Vec<ArenaParams> {
+        let mut out = Vec::new();
+        if self.c > 2 {
+            out.push(ArenaParams { c: self.c - 1, ..self.clone() });
+        }
+        for i in 0..2 {
+            if self.valuation[i] > 0 {
+                let mut p = self.clone();
+                p.valuation[i] -= 1;
+                out.push(p);
+            }
+            if self.coeff_b[i] > self.coeff_s[i] {
+                let mut p = self.clone();
+                p.coeff_b[i] -= 1;
+                out.push(p);
+            }
+            if self.coeff_s[i] > 1 {
+                // Keep coeff_b ≥ coeff_s by lowering both.
+                let mut p = self.clone();
+                p.coeff_s[i] -= 1;
+                p.coeff_b[i] -= 1;
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// Parameters of one traffic item: a random CQ (possibly with
+/// inequalities), a random UCQ, and a random database, all derived from
+/// recorded seeds so the item is reproducible from its spec line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficParams {
+    /// CQ sampling seed.
+    pub query_seed: u64,
+    /// Variables per CQ.
+    pub vars: u32,
+    /// Relational atoms per CQ.
+    pub atoms: usize,
+    /// Inequality atoms per CQ.
+    pub ineqs: usize,
+    /// UCQ sampling seed.
+    pub union_seed: u64,
+    /// Maximum UCQ disjuncts.
+    pub disjuncts_max: usize,
+    /// Database sampling seed.
+    pub db_seed: u64,
+    /// Non-constant vertices in the database.
+    pub db_vertices: u32,
+    /// Tuple density in percent.
+    pub db_density_pct: u8,
+}
+
+impl TrafficParams {
+    /// The sampled CQ.
+    pub fn query(&self) -> Query {
+        let qg = QueryGen {
+            variables: self.vars,
+            atoms: self.atoms,
+            constant_prob: 0.0,
+            inequalities: self.ineqs,
+        };
+        qg.sample(&traffic_schema(), self.query_seed)
+    }
+
+    /// The sampled UCQ.
+    pub fn union(&self) -> UnionQuery {
+        let ug = UnionGen {
+            disjuncts_min: 1,
+            disjuncts_max: self.disjuncts_max.max(1),
+            query: QueryGen {
+                variables: self.vars,
+                atoms: self.atoms.min(3),
+                constant_prob: 0.0,
+                inequalities: self.ineqs.min(1),
+            },
+        };
+        ug.sample(&traffic_schema(), self.union_seed)
+    }
+
+    /// The sampled database.
+    pub fn database(&self) -> Structure {
+        let gen = StructureGen {
+            extra_vertices: self.db_vertices,
+            density: f64::from(self.db_density_pct) / 100.0,
+            max_tuples_per_relation: 24,
+            diagonal_density: 0.2,
+        };
+        gen.sample(&traffic_schema(), self.db_seed)
+    }
+
+    /// One-line parseable description.
+    pub fn spec(&self) -> String {
+        format!(
+            "traffic q={} vars={} atoms={} ineqs={} u={} dmax={} db={} verts={} dens={}",
+            self.query_seed,
+            self.vars,
+            self.atoms,
+            self.ineqs,
+            self.union_seed,
+            self.disjuncts_max,
+            self.db_seed,
+            self.db_vertices,
+            self.db_density_pct
+        )
+    }
+
+    /// Strictly smaller parameterizations to try while shrinking.
+    pub fn shrink_candidates(&self) -> Vec<TrafficParams> {
+        let mut out = Vec::new();
+        if self.vars > 2 {
+            out.push(TrafficParams { vars: self.vars - 1, ..self.clone() });
+        }
+        if self.atoms > 1 {
+            out.push(TrafficParams { atoms: self.atoms - 1, ..self.clone() });
+        }
+        if self.ineqs > 0 {
+            out.push(TrafficParams { ineqs: self.ineqs - 1, ..self.clone() });
+        }
+        if self.disjuncts_max > 1 {
+            out.push(TrafficParams { disjuncts_max: self.disjuncts_max - 1, ..self.clone() });
+        }
+        if self.db_vertices > 2 {
+            out.push(TrafficParams { db_vertices: self.db_vertices - 1, ..self.clone() });
+        }
+        if self.db_density_pct > 15 {
+            out.push(TrafficParams { db_density_pct: self.db_density_pct - 10, ..self.clone() });
+        }
+        out
+    }
+}
+
+/// One corpus item: an id plus the family parameters.
+#[derive(Clone, Debug)]
+pub enum CaseParams {
+    /// A gadget with two random-database seeds (the witness is implied).
+    Gadget {
+        /// Which gadget.
+        kind: GadgetKind,
+        /// Seeds for the two sampled databases over the gadget schema.
+        db_seeds: [u64; 2],
+    },
+    /// An arena database.
+    Arena(ArenaParams),
+    /// A random CQ/UCQ/database triple.
+    Traffic(TrafficParams),
+}
+
+/// A corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusItem {
+    /// Position in the corpus (also the round-robin family selector).
+    pub id: u64,
+    /// The item parameters.
+    pub case: CaseParams,
+}
+
+/// Corpus shape: everything downstream is a pure function of this.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Number of items.
+    pub budget: u64,
+}
+
+/// Generates the corpus: families rotate per item, parameters stream
+/// from a single `StdRng` so the whole corpus is one deterministic
+/// function of the seed.
+pub fn generate_corpus(config: &CorpusConfig) -> Vec<CorpusItem> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.budget)
+        .map(|id| {
+            let case = match id % 3 {
+                0 => {
+                    let kind = match rng.gen_range(0..4) {
+                        0 => GadgetKind::Beta { p: rng.gen_range(3usize..=5) },
+                        1 => GadgetKind::Gamma { m: rng.gen_range(2usize..=4) },
+                        2 => GadgetKind::Alpha { c: 2 },
+                        _ => GadgetKind::Chain {
+                            p: rng.gen_range(3usize..=4),
+                            m: rng.gen_range(2usize..=3),
+                        },
+                    };
+                    CaseParams::Gadget { kind, db_seeds: [rng.gen(), rng.gen()] }
+                }
+                1 => {
+                    let coeff_s = [rng.gen_range(1u64..=3), rng.gen_range(1u64..=3)];
+                    let coeff_b = [
+                        coeff_s[0] + rng.gen_range(0u64..=2),
+                        coeff_s[1] + rng.gen_range(0u64..=2),
+                    ];
+                    let tamper = match (id / 3) % 3 {
+                        0 => Tamper::None,
+                        1 => Tamper::ExtraSAtom,
+                        _ => Tamper::IdentifyA,
+                    };
+                    CaseParams::Arena(ArenaParams {
+                        c: rng.gen_range(2u64..=3),
+                        coeff_s,
+                        coeff_b,
+                        valuation: [rng.gen_range(0u64..=3), rng.gen_range(0u64..=3)],
+                        tamper,
+                    })
+                }
+                _ => CaseParams::Traffic(TrafficParams {
+                    query_seed: rng.gen(),
+                    vars: rng.gen_range(2u32..=4),
+                    atoms: rng.gen_range(1usize..=4),
+                    ineqs: rng.gen_range(0usize..=2),
+                    union_seed: rng.gen(),
+                    disjuncts_max: rng.gen_range(1usize..=3),
+                    db_seed: rng.gen(),
+                    db_vertices: rng.gen_range(2u32..=4),
+                    db_density_pct: rng.gen_range(25u8..=45),
+                }),
+            };
+            CorpusItem { id, case }
+        })
+        .collect()
+}
+
+/// A materialized item context: everything an oracle needs besides the
+/// database under test. Reference-counted so shrinking can clone freely.
+#[derive(Clone)]
+pub enum Context {
+    /// A multiplication gadget.
+    Gadget {
+        /// The parameterization.
+        kind: GadgetKind,
+        /// The built gadget.
+        gadget: Arc<MultiplyGadget>,
+    },
+    /// A Theorem 1 reduction.
+    Arena {
+        /// The parameterization.
+        params: ArenaParams,
+        /// The built reduction.
+        red: Arc<Theorem1Reduction>,
+    },
+    /// A random CQ/UCQ pair.
+    Traffic {
+        /// The parameterization.
+        params: TrafficParams,
+        /// The sampled CQ.
+        cq: Query,
+        /// The sampled UCQ.
+        union: UnionQuery,
+    },
+}
+
+impl Context {
+    /// Builds the context for an item's parameters.
+    pub fn from_case(case: &CaseParams) -> Context {
+        match case {
+            CaseParams::Gadget { kind, .. } => {
+                Context::Gadget { kind: *kind, gadget: Arc::new(kind.build()) }
+            }
+            CaseParams::Arena(params) => {
+                Context::Arena { params: params.clone(), red: Arc::new(params.reduction()) }
+            }
+            CaseParams::Traffic(params) => Context::Traffic {
+                params: params.clone(),
+                cq: params.query(),
+                union: params.union(),
+            },
+        }
+    }
+
+    /// The schema databases for this context live over.
+    pub fn schema(&self) -> Arc<Schema> {
+        match self {
+            Context::Gadget { gadget, .. } => Arc::clone(gadget.q_s.schema()),
+            Context::Arena { red, .. } => Arc::clone(&red.schema),
+            Context::Traffic { .. } => traffic_schema(),
+        }
+    }
+
+    /// The one-line parseable spec (round-trips via [`Context::parse_spec`]).
+    pub fn spec(&self) -> String {
+        match self {
+            Context::Gadget { kind, .. } => kind.spec(),
+            Context::Arena { params, .. } => params.spec(),
+            Context::Traffic { params, .. } => params.spec(),
+        }
+    }
+
+    /// Parses a spec line back into a context.
+    pub fn parse_spec(spec: &str) -> Option<Context> {
+        let mut words = spec.split_whitespace();
+        let family = words.next()?;
+        let fields: std::collections::HashMap<&str, &str> =
+            words.filter_map(|w| w.split_once('=')).collect();
+        let num = |k: &str| fields.get(k)?.parse::<u64>().ok();
+        let pair = |k: &str| {
+            let (a, b) = fields.get(k)?.split_once(',')?;
+            Some([a.parse::<u64>().ok()?, b.parse::<u64>().ok()?])
+        };
+        let case = match family {
+            "gadget" => {
+                let kind = if let Some(p) = num("p") {
+                    if let Some(m) = num("m") {
+                        GadgetKind::Chain { p: p as usize, m: m as usize }
+                    } else {
+                        GadgetKind::Beta { p: p as usize }
+                    }
+                } else if let Some(m) = num("m") {
+                    GadgetKind::Gamma { m: m as usize }
+                } else {
+                    GadgetKind::Alpha { c: num("c")? }
+                };
+                CaseParams::Gadget { kind, db_seeds: [0, 0] }
+            }
+            "arena" => {
+                let tamper = match *fields.get("tamper")? {
+                    "none" => Tamper::None,
+                    "extra-s" => Tamper::ExtraSAtom,
+                    "identify-a" => Tamper::IdentifyA,
+                    _ => return None,
+                };
+                CaseParams::Arena(ArenaParams {
+                    c: num("c")?,
+                    coeff_s: pair("s")?,
+                    coeff_b: pair("b")?,
+                    valuation: pair("val")?,
+                    tamper,
+                })
+            }
+            "traffic" => CaseParams::Traffic(TrafficParams {
+                query_seed: num("q")?,
+                vars: num("vars")? as u32,
+                atoms: num("atoms")? as usize,
+                ineqs: num("ineqs")? as usize,
+                union_seed: num("u")?,
+                disjuncts_max: num("dmax")? as usize,
+                db_seed: num("db")?,
+                db_vertices: num("verts")? as u32,
+                db_density_pct: num("dens")? as u8,
+            }),
+            _ => return None,
+        };
+        Some(Context::from_case(&case))
+    }
+}
+
+/// Materializes an item: the context plus the databases to check. The
+/// first gadget database is always the named witness.
+pub fn materialize(item: &CorpusItem) -> (Context, Vec<Structure>) {
+    let ctx = Context::from_case(&item.case);
+    let dbs = match (&item.case, &ctx) {
+        (CaseParams::Gadget { kind, db_seeds }, Context::Gadget { gadget, .. }) => {
+            let max_tuples = match kind {
+                GadgetKind::Beta { .. } | GadgetKind::Gamma { .. } => 48,
+                _ => 32,
+            };
+            let gen = StructureGen {
+                extra_vertices: 2,
+                density: 0.35,
+                max_tuples_per_relation: max_tuples,
+                diagonal_density: 0.5,
+            };
+            let schema = gadget.q_s.schema();
+            let mut dbs = vec![gadget.witness.clone()];
+            dbs.extend(db_seeds.iter().map(|&s| gen.sample(schema, s)));
+            dbs
+        }
+        (CaseParams::Arena(params), Context::Arena { red, .. }) => vec![params.database(red)],
+        (CaseParams::Traffic(params), Context::Traffic { .. }) => vec![params.database()],
+        _ => unreachable!("Context::from_case preserves the family"),
+    };
+    (ctx, dbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_all_families() {
+        let config = CorpusConfig { seed: 7, budget: 12 };
+        let a = generate_corpus(&config);
+        let b = generate_corpus(&config);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{:?}", x.case), format!("{:?}", y.case));
+        }
+        assert!(a.iter().any(|i| matches!(i.case, CaseParams::Gadget { .. })));
+        assert!(a.iter().any(|i| matches!(i.case, CaseParams::Arena(_))));
+        assert!(a.iter().any(|i| matches!(i.case, CaseParams::Traffic(_))));
+        // All three tamper modes appear across arena items.
+        let tampers: std::collections::HashSet<_> = a
+            .iter()
+            .filter_map(|i| match &i.case {
+                CaseParams::Arena(p) => Some(p.tamper),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tampers.len(), 3, "{tampers:?}");
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for item in generate_corpus(&CorpusConfig { seed: 3, budget: 9 }) {
+            let (ctx, _) = materialize(&item);
+            let spec = ctx.spec();
+            let back = Context::parse_spec(&spec).expect("spec parses");
+            assert_eq!(back.spec(), spec, "spec round-trip");
+        }
+        assert!(Context::parse_spec("nonsense x=1").is_none());
+    }
+
+    #[test]
+    fn tampered_arena_databases_classify_as_designed() {
+        use bagcq_reduction::Correctness;
+        let base = ArenaParams {
+            c: 2,
+            coeff_s: [1, 2],
+            coeff_b: [2, 3],
+            valuation: [1, 2],
+            tamper: Tamper::None,
+        };
+        let red = base.reduction();
+        assert_eq!(red.classify(&base.database(&red)), Correctness::Correct);
+        let slight = ArenaParams { tamper: Tamper::ExtraSAtom, ..base.clone() };
+        assert_eq!(red.classify(&slight.database(&red)), Correctness::SlightlyIncorrect);
+        let serious = ArenaParams { tamper: Tamper::IdentifyA, ..base };
+        assert_eq!(red.classify(&serious.database(&red)), Correctness::SeriouslyIncorrect);
+    }
+
+    #[test]
+    fn gadget_shrink_candidates_stay_legal() {
+        let kinds = [
+            GadgetKind::Beta { p: 5 },
+            GadgetKind::Gamma { m: 4 },
+            GadgetKind::Alpha { c: 3 },
+            GadgetKind::Chain { p: 4, m: 3 },
+        ];
+        for kind in kinds {
+            for cand in kind.shrink_candidates() {
+                // Must build without panicking (p ≥ 3, m ≥ 2, c ≥ 2).
+                let g = cand.build();
+                assert!(g.check_witness().is_ok(), "{cand:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! DLGP regression fixtures for minimized counterexamples.
+//!
+//! A fixture is a small text file under `tests/fixtures/falsify/`:
+//!
+//! ```text
+//! # bagcq-falsify regression fixture
+//! lemma: lemma10
+//! context: gadget gamma m=2
+//! identify: a1 = a2
+//! database:
+//! FP(mars, venus).
+//! FA(mars).
+//! ```
+//!
+//! `lemma:` names the oracle to replay, `context:` is a
+//! [`Context::parse_spec`] line, optional `identify:` lines record
+//! constants the database interprets as the same element (how
+//! "seriously incorrect" arena databases survive serialization), and
+//! the `database:` section lists the ground atoms in DLGP fact syntax.
+//! Constant vertices print under their schema names; anonymous vertices
+//! print as `v0, v1, …` and are re-created fresh on parse.
+//!
+//! `paper_claims.rs` replays every committed fixture against the healthy
+//! oracle battery forever after — a counterexample, once found, never
+//! regresses silently.
+
+use crate::corpus::Context;
+use crate::oracle::{LemmaOracle, Verdict};
+use bagcq_structure::{Schema, Structure, Vertex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A parsed (or about-to-be-rendered) fixture file.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Oracle name to replay.
+    pub lemma: String,
+    /// Context spec line.
+    pub context_spec: String,
+    /// Pairs of constant names interpreted as one element.
+    pub identify: Vec<(String, String)>,
+    /// Ground atoms: relation name + argument names.
+    pub facts: Vec<(String, Vec<String>)>,
+}
+
+/// Names every vertex of `db`: schema-constant names where available,
+/// `v{n}` otherwise.
+fn vertex_names(db: &Structure) -> Vec<String> {
+    let schema = db.schema();
+    let mut names: Vec<Option<String>> = vec![None; db.vertex_count() as usize];
+    for c in schema.constants() {
+        let v = db.constant_vertex(c).0 as usize;
+        if names[v].is_none() {
+            names[v] = Some(schema.constant_name(c).to_string());
+        }
+    }
+    names.into_iter().enumerate().map(|(i, n)| n.unwrap_or_else(|| format!("v{i}"))).collect()
+}
+
+/// Renders a minimized counterexample as fixture text.
+pub fn render(lemma: &str, ctx: &Context, db: &Structure) -> String {
+    let schema = db.schema();
+    let names = vertex_names(db);
+    let mut out = String::new();
+    out.push_str("# bagcq-falsify regression fixture (minimized counterexample)\n");
+    out.push_str(&format!("lemma: {lemma}\n"));
+    out.push_str(&format!("context: {}\n", ctx.spec()));
+    // Record identified constants: every later constant sharing a vertex
+    // with an earlier one gets one identify line against the name owner.
+    for c in schema.constants() {
+        let name = schema.constant_name(c);
+        let owner = &names[db.constant_vertex(c).0 as usize];
+        if owner != name {
+            out.push_str(&format!("identify: {owner} = {name}\n"));
+        }
+    }
+    out.push_str("database:\n");
+    out.push_str(&structure_to_dlgp(db));
+    out
+}
+
+/// Renders a structure's atoms as DLGP facts, one per line — the
+/// database section of a fixture, and the `data:` payload of the wire
+/// frames the fleet streams through `bagcq-serve`.
+pub fn structure_to_dlgp(db: &Structure) -> String {
+    let schema = db.schema();
+    let names = vertex_names(db);
+    let mut out = String::new();
+    for r in schema.relations() {
+        let rel_name = &schema.relation(r).name;
+        for t in db.tuples(r) {
+            let args: Vec<&str> = t.iter().map(|&v| names[v as usize].as_str()).collect();
+            out.push_str(&format!("{rel_name}({}).\n", args.join(", ")));
+        }
+    }
+    out
+}
+
+/// Parses fixture text.
+pub fn parse(text: &str) -> Result<Fixture, String> {
+    let mut lemma = None;
+    let mut context_spec = None;
+    let mut identify = Vec::new();
+    let mut facts = Vec::new();
+    let mut in_database = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("fixture line {}: {msg}: {line}", lineno + 1);
+        if in_database {
+            let fact = line.strip_suffix('.').ok_or_else(|| err("fact must end with '.'"))?;
+            let (rel, rest) =
+                fact.split_once('(').ok_or_else(|| err("fact needs an argument list"))?;
+            let args_src = rest.trim_end().strip_suffix(')').ok_or_else(|| err("missing ')'"))?;
+            if args_src.contains('@') {
+                return Err(err("fixtures are set-structures; no @multiplicity"));
+            }
+            let args: Vec<String> = args_src.split(',').map(|a| a.trim().to_string()).collect();
+            if args.iter().any(String::is_empty) {
+                return Err(err("empty argument"));
+            }
+            facts.push((rel.trim().to_string(), args));
+        } else if let Some(v) = line.strip_prefix("lemma:") {
+            lemma = Some(v.trim().to_string());
+        } else if let Some(v) = line.strip_prefix("context:") {
+            context_spec = Some(v.trim().to_string());
+        } else if let Some(v) = line.strip_prefix("identify:") {
+            let (a, b) = v.split_once('=').ok_or_else(|| err("identify needs 'a = b'"))?;
+            identify.push((a.trim().to_string(), b.trim().to_string()));
+        } else if line == "database:" {
+            in_database = true;
+        } else {
+            return Err(err("unrecognized line"));
+        }
+    }
+    Ok(Fixture {
+        lemma: lemma.ok_or("fixture has no lemma: line")?,
+        context_spec: context_spec.ok_or("fixture has no context: line")?,
+        identify,
+        facts,
+    })
+}
+
+/// Rebuilds the database a fixture describes over `schema`.
+pub fn database_from(
+    schema: &Arc<Schema>,
+    identify: &[(String, String)],
+    facts: &[(String, Vec<String>)],
+) -> Result<Structure, String> {
+    // Union-find over constant names (identify lines merge classes).
+    let const_ids: HashMap<&str, usize> =
+        schema.constants().map(|c| (schema.constant_name(c), c.0 as usize)).collect();
+    let n_consts = schema.constant_count();
+    let mut parent: Vec<usize> = (0..n_consts).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (a, b) in identify {
+        let &ia = const_ids.get(a.as_str()).ok_or(format!("unknown constant {a}"))?;
+        let &ib = const_ids.get(b.as_str()).ok_or(format!("unknown constant {b}"))?;
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        parent[rb.max(ra)] = rb.min(ra);
+    }
+    // Representative constants get the first vertex ids, then every fresh
+    // name in order of appearance.
+    let mut vertex_of_class: Vec<Option<u32>> = vec![None; n_consts];
+    let mut next = 0u32;
+    let mut interp = Vec::with_capacity(n_consts);
+    for c in 0..n_consts {
+        let root = find(&mut parent, c);
+        let v = *vertex_of_class[root].get_or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        });
+        interp.push(Vertex(v));
+    }
+    let mut fresh: HashMap<&str, u32> = HashMap::new();
+    let mut resolved: Vec<(bagcq_structure::RelId, Vec<Vertex>)> = Vec::new();
+    for (rel_name, args) in facts {
+        let rel =
+            schema.relation_by_name(rel_name).ok_or(format!("unknown relation {rel_name}"))?;
+        if schema.arity(rel) != args.len() {
+            return Err(format!("arity mismatch for {rel_name}"));
+        }
+        let mut vs = Vec::with_capacity(args.len());
+        for a in args {
+            let v = if let Some(&c) = const_ids.get(a.as_str()) {
+                interp[c].0
+            } else {
+                *fresh.entry(a.as_str()).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            };
+            vs.push(Vertex(v));
+        }
+        resolved.push((rel, vs));
+    }
+    let mut db = Structure::with_interpretation(Arc::clone(schema), next, interp);
+    for (rel, vs) in resolved {
+        db.add_atom(rel, &vs);
+    }
+    Ok(db)
+}
+
+/// Replays a fixture: rebuilds the context and database and runs the
+/// named oracle. Errors on malformed specs or unknown oracles.
+pub fn replay(fixture: &Fixture, oracles: &[Box<dyn LemmaOracle>]) -> Result<Verdict, String> {
+    let ctx = Context::parse_spec(&fixture.context_spec)
+        .ok_or(format!("bad context spec: {}", fixture.context_spec))?;
+    let schema = ctx.schema();
+    let db = database_from(&schema, &fixture.identify, &fixture.facts)?;
+    let oracle = oracles
+        .iter()
+        .find(|o| o.name() == fixture.lemma)
+        .ok_or(format!("unknown oracle {}", fixture.lemma))?;
+    Ok(oracle.check(&ctx, &db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{ArenaParams, Context, GadgetKind, Tamper};
+    use crate::oracle::oracle_set;
+
+    #[test]
+    fn render_parse_round_trip_preserves_the_database() {
+        let kind = GadgetKind::Gamma { m: 3 };
+        let ctx = Context::from_case(&crate::corpus::CaseParams::Gadget { kind, db_seeds: [0, 0] });
+        let witness = match &ctx {
+            Context::Gadget { gadget, .. } => gadget.witness.clone(),
+            _ => unreachable!(),
+        };
+        let text = render("lemma10", &ctx, &witness);
+        let fixture = parse(&text).expect("fixture parses");
+        assert_eq!(fixture.lemma, "lemma10");
+        let schema = ctx.schema();
+        let rebuilt = database_from(&schema, &fixture.identify, &fixture.facts).unwrap();
+        assert!(
+            bagcq_structure::isomorphic(&rebuilt, &witness),
+            "round-trip changed the db:\n{text}"
+        );
+    }
+
+    #[test]
+    fn identify_lines_survive_serialization() {
+        let params = ArenaParams {
+            c: 2,
+            coeff_s: [1, 1],
+            coeff_b: [1, 1],
+            valuation: [1, 1],
+            tamper: Tamper::IdentifyA,
+        };
+        let red = params.reduction();
+        let db = params.database(&red);
+        let ctx = Context::Arena { params: params.clone(), red: Arc::new(red) };
+        let text = render("lemma21", &ctx, &db);
+        assert!(text.contains("identify: "), "tampered db must record the merge:\n{text}");
+        let fixture = parse(&text).expect("parses");
+        let rebuilt = database_from(&ctx.schema(), &fixture.identify, &fixture.facts).unwrap();
+        assert!(bagcq_structure::isomorphic(&rebuilt, &db));
+    }
+
+    #[test]
+    fn replay_runs_the_named_oracle() {
+        let kind = GadgetKind::Gamma { m: 2 };
+        let ctx = Context::from_case(&crate::corpus::CaseParams::Gadget { kind, db_seeds: [0, 0] });
+        let witness = match &ctx {
+            Context::Gadget { gadget, .. } => gadget.witness.clone(),
+            _ => unreachable!(),
+        };
+        let text = render("lemma10", &ctx, &witness);
+        let fixture = parse(&text).expect("parses");
+        let healthy = oracle_set(None);
+        let verdict = replay(&fixture, &healthy).expect("replays");
+        assert!(!verdict.is_violation(), "healthy oracle on the named witness: {verdict:?}");
+        let broken = oracle_set(Some("lemma10"));
+        let verdict = replay(&fixture, &broken).expect("replays");
+        assert!(verdict.is_violation(), "broken oracle must keep firing on the fixture");
+    }
+
+    #[test]
+    fn malformed_fixtures_are_rejected() {
+        assert!(parse("database:\nFP(a).\n").is_err(), "missing lemma/context");
+        assert!(parse("lemma: x\ncontext: gadget gamma m=2\ndatabase:\nFP(a\n").is_err());
+        assert!(
+            parse("lemma: x\ncontext: gadget gamma m=2\ndatabase:\nFP(a)@2.\n").is_err(),
+            "multiplicities are not part of fixture structures"
+        );
+    }
+}

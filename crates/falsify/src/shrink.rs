@@ -1,0 +1,257 @@
+//! Delta-debugging shrinker for oracle violations.
+//!
+//! Given a (context, database) pair on which an oracle fires, greedily
+//! minimize in three phases, re-checking the oracle after every step so
+//! the result still violates:
+//!
+//! 1. **Parameters**: try strictly smaller gadget/arena/traffic
+//!    parameterizations (each with its canonical database) until none
+//!    still violates;
+//! 2. **Atoms and merges**: drop database tuples one at a time to a
+//!    fixpoint, then try quotienting vertex pairs (merges can join
+//!    components that atom dropping alone cannot), looping until
+//!    neither makes progress;
+//! 3. **Vertices**: discard non-constant vertices no surviving atom
+//!    mentions.
+//!
+//! Every phase strictly decreases a finite measure, so termination is
+//! structural, and each accepted step re-ran the oracle, so the final
+//! pair is a genuine minimized counterexample ready for fixture
+//! archival.
+
+use crate::corpus::Context;
+use crate::oracle::LemmaOracle;
+use bagcq_structure::{RelId, Structure, Vertex};
+use std::sync::Arc;
+
+/// A minimized counterexample.
+pub struct ShrinkResult {
+    /// The (possibly smaller) context the violation survives under.
+    pub context: Context,
+    /// The minimized database.
+    pub db: Structure,
+    /// Accepted shrink steps.
+    pub steps: u32,
+}
+
+fn violates(oracle: &dyn LemmaOracle, ctx: &Context, db: &Structure) -> bool {
+    oracle.check(ctx, db).is_violation()
+}
+
+/// Candidate strictly-smaller contexts, each with its canonical database.
+fn context_candidates(ctx: &Context) -> Vec<(Context, Structure)> {
+    match ctx {
+        Context::Gadget { kind, .. } => kind
+            .shrink_candidates()
+            .into_iter()
+            .map(|k| {
+                let gadget = Arc::new(k.build());
+                let witness = gadget.witness.clone();
+                (Context::Gadget { kind: k, gadget }, witness)
+            })
+            .collect(),
+        Context::Arena { params, .. } => params
+            .shrink_candidates()
+            .into_iter()
+            .map(|p| {
+                let red = Arc::new(p.reduction());
+                let db = p.database(&red);
+                (Context::Arena { params: p, red }, db)
+            })
+            .collect(),
+        Context::Traffic { params, .. } => params
+            .shrink_candidates()
+            .into_iter()
+            .map(|p| {
+                let db = p.database();
+                let ctx = Context::Traffic { cq: p.query(), union: p.union(), params: p };
+                (ctx, db)
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds `db` without the `skip_idx`-th tuple of `rel`.
+fn without_tuple(db: &Structure, rel: RelId, skip_idx: usize) -> Structure {
+    let schema = Arc::clone(db.schema());
+    let interp: Vec<Vertex> = schema.constants().map(|c| db.constant_vertex(c)).collect();
+    let mut out = Structure::with_interpretation(Arc::clone(&schema), db.vertex_count(), interp);
+    for r in schema.relations() {
+        for (i, t) in db.tuples(r).enumerate() {
+            if r == rel && i == skip_idx {
+                continue;
+            }
+            let args: Vec<Vertex> = t.iter().map(|&v| Vertex(v)).collect();
+            out.add_atom(r, &args);
+        }
+    }
+    out
+}
+
+/// Drops vertices that are neither a constant interpretation nor
+/// mentioned by any atom; `None` when nothing can go.
+fn without_isolated_vertices(db: &Structure) -> Option<Structure> {
+    let schema = Arc::clone(db.schema());
+    let mut used = vec![false; db.vertex_count() as usize];
+    for c in schema.constants() {
+        used[db.constant_vertex(c).0 as usize] = true;
+    }
+    for r in schema.relations() {
+        for t in db.tuples(r) {
+            for &v in t {
+                used[v as usize] = true;
+            }
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return None;
+    }
+    let mut remap = vec![0u32; db.vertex_count() as usize];
+    let mut next = 0u32;
+    for (v, &u) in used.iter().enumerate() {
+        if u {
+            remap[v] = next;
+            next += 1;
+        }
+    }
+    let interp: Vec<Vertex> =
+        schema.constants().map(|c| Vertex(remap[db.constant_vertex(c).0 as usize])).collect();
+    let mut out = Structure::with_interpretation(Arc::clone(&schema), next, interp);
+    for r in schema.relations() {
+        for t in db.tuples(r) {
+            let args: Vec<Vertex> = t.iter().map(|&v| Vertex(remap[v as usize])).collect();
+            out.add_atom(r, &args);
+        }
+    }
+    Some(out)
+}
+
+/// Minimizes a violating (context, database) pair. The caller guarantees
+/// `oracle.check(ctx, db)` is a violation; the result still is.
+pub fn shrink(oracle: &dyn LemmaOracle, ctx: &Context, db: &Structure) -> ShrinkResult {
+    let mut cur_ctx = ctx.clone();
+    let mut cur_db = db.clone();
+    let mut steps = 0u32;
+
+    // Phase 1: parameter shrinking. Each acceptance strictly reduces the
+    // parameter vector, so this terminates.
+    loop {
+        let mut progressed = false;
+        for (cand_ctx, cand_db) in context_candidates(&cur_ctx) {
+            if violates(oracle, &cand_ctx, &cand_db) {
+                cur_ctx = cand_ctx;
+                cur_db = cand_db;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Phase 2: atom dropping to a fixpoint, interleaved with vertex
+    // merging. Dropping alone cannot join disconnected components (each
+    // needs its own copy of the query's atoms), so once drops dry up we
+    // try quotienting a vertex pair; an accepted merge re-opens
+    // dropping. The measure (vertex count, atom count) decreases
+    // lexicographically at every accepted step, so this terminates.
+    loop {
+        loop {
+            let mut progressed = false;
+            let schema = Arc::clone(cur_db.schema());
+            'rels: for rel in schema.relations() {
+                for idx in 0..cur_db.atom_count(rel) {
+                    let cand = without_tuple(&cur_db, rel, idx);
+                    if violates(oracle, &cur_ctx, &cand) {
+                        cur_db = cand;
+                        steps += 1;
+                        progressed = true;
+                        break 'rels;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let mut merged = false;
+        let n = cur_db.vertex_count();
+        'merge: for keep in 0..n {
+            for drop in 0..n {
+                if keep == drop {
+                    continue;
+                }
+                let cand = cur_db.identify(Vertex(keep), Vertex(drop));
+                if violates(oracle, &cur_ctx, &cand) {
+                    cur_db = cand;
+                    steps += 1;
+                    merged = true;
+                    break 'merge;
+                }
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    // Phase 3: prune unused vertices (a single renumbering pass).
+    if let Some(cand) = without_isolated_vertices(&cur_db) {
+        if violates(oracle, &cur_ctx, &cand) {
+            cur_db = cand;
+            steps += 1;
+        }
+    }
+
+    ShrinkResult { context: cur_ctx, db: cur_db, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::GadgetKind;
+    use crate::oracle::oracle_set;
+
+    /// The acceptance-criteria scenario: the deliberately broken Lemma 10
+    /// oracle (ratio off by one) fires on γ(4)'s witness and must shrink
+    /// to a fixture of at most 8 atoms.
+    #[test]
+    fn broken_lemma10_shrinks_to_a_tiny_core() {
+        let oracles = oracle_set(Some("lemma10"));
+        let lemma10 = oracles.iter().find(|o| o.name() == "lemma10").unwrap();
+        let kind = GadgetKind::Gamma { m: 4 };
+        let ctx = Context::Gadget { kind, gadget: Arc::new(kind.build()) };
+        let witness = match &ctx {
+            Context::Gadget { gadget, .. } => gadget.witness.clone(),
+            _ => unreachable!(),
+        };
+        assert!(violates(lemma10.as_ref(), &ctx, &witness), "broken oracle must fire");
+        let shrunk = shrink(lemma10.as_ref(), &ctx, &witness);
+        assert!(violates(lemma10.as_ref(), &shrunk.context, &shrunk.db));
+        assert!(shrunk.steps > 0, "no shrinking happened");
+        // Parameter phase must reach the minimal width m = 2.
+        match &shrunk.context {
+            Context::Gadget { kind: GadgetKind::Gamma { m }, .. } => assert_eq!(*m, 2),
+            other => panic!("family changed: {}", other.spec()),
+        }
+        assert!(
+            shrunk.db.total_atoms() <= 8,
+            "shrunk fixture has {} atoms, want ≤ 8",
+            shrunk.db.total_atoms()
+        );
+    }
+
+    #[test]
+    fn vertex_pruning_renumbers_consistently() {
+        let kind = GadgetKind::Gamma { m: 2 };
+        let gadget = kind.build();
+        let mut db = gadget.witness.clone();
+        db.add_vertex(); // isolated — must be pruned
+        let pruned = without_isolated_vertices(&db).expect("has an isolated vertex");
+        assert_eq!(pruned.vertex_count(), db.vertex_count() - 1);
+        assert_eq!(pruned.total_atoms(), db.total_atoms());
+        assert_eq!(pruned.fingerprint(), gadget.witness.fingerprint());
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end acceptance tests for the falsification fleet.
+//!
+//! The headline scenario is the one the issue demands: deliberately
+//! break the Lemma 10 oracle (ratio off by one, via the hidden test
+//! hook), run the fleet, and verify the planted bug is caught, shrunk
+//! to a tiny core, archived as a DLGP fixture, and that the fixture
+//! replays.
+
+use bagcq_falsify::{oracle_set, run_fleet, FleetConfig};
+use std::path::PathBuf;
+
+fn temp_fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bagcq-falsify-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale fixture dir removed");
+    }
+    dir
+}
+
+#[test]
+fn broken_lemma10_is_caught_shrunk_and_archived() {
+    let dir = temp_fixture_dir("broken-l10");
+    let config = FleetConfig {
+        seed: 1,
+        budget: 9,
+        serve: false,
+        fixtures_dir: Some(dir.clone()),
+        break_lemma: Some("lemma10".to_string()),
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&config);
+    assert!(!report.clean(), "the planted Lemma 10 bug went undetected:\n{}", report.render());
+    let l10: Vec<_> = report.violations.iter().filter(|v| v.lemma.starts_with("lemma10")).collect();
+    assert!(!l10.is_empty(), "violations found, but none blamed lemma10:\n{}", report.render());
+
+    // Every minimized lemma10 core must fit the ≤ 8 atom budget.
+    for v in &l10 {
+        assert!(
+            v.shrunk_atoms <= 8,
+            "violation at item {} shrunk to {} atoms, want ≤ 8",
+            v.item,
+            v.shrunk_atoms
+        );
+        let path = v.fixture_path.as_ref().expect("violation archived");
+        let text = std::fs::read_to_string(path).expect("fixture readable");
+
+        // The archived fixture replays: still fires under the broken
+        // oracle, passes under the healthy battery.
+        let fixture = bagcq_falsify::fixture::parse(&text).expect("fixture parses");
+        let broken = oracle_set(Some("lemma10"));
+        let verdict = bagcq_falsify::fixture::replay(&fixture, &broken).expect("replays");
+        assert!(verdict.is_violation(), "fixture no longer reproduces: {path:?}");
+        let healthy = oracle_set(None);
+        let verdict = bagcq_falsify::fixture::replay(&fixture, &healthy).expect("replays");
+        assert!(!verdict.is_violation(), "healthy oracle fires on archived fixture: {path:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn healthy_fleet_is_clean_and_seed_deterministic() {
+    let config = FleetConfig { seed: 7, budget: 9, serve: false, ..FleetConfig::default() };
+    let a = run_fleet(&config);
+    assert!(a.clean(), "healthy fleet found a violation:\n{}", a.render());
+    assert_eq!(a.items, 9);
+    // Same seed, same report — the fleet is a pure function of its config.
+    let b = run_fleet(&config);
+    assert_eq!(a.render(), b.render());
+    // Different seed, different corpus (render includes only stable
+    // tallies, so compare the header line).
+    let c = run_fleet(&FleetConfig { seed: 8, budget: 9, serve: false, ..FleetConfig::default() });
+    assert!(c.clean());
+    assert_eq!(c.items, 9);
+}

@@ -33,6 +33,7 @@
 
 use crate::parse::{Cursor, ParseQueryError, RawConjunct, RawTerm, RawTermKind};
 use crate::query::{Query, QueryBuilder, Term};
+use crate::ucq::UnionQuery;
 use bagcq_structure::{Schema, SchemaBuilder, Structure, Vertex};
 use std::collections::HashMap;
 use std::fmt;
@@ -323,6 +324,116 @@ pub fn query_to_dlgp(q: &Query) -> String {
     } else {
         format!("?- {}.", parts.join(", "))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Unions of queries
+// ---------------------------------------------------------------------------
+
+/// Scans a union source into one raw conjunct list per rule. Each rule
+/// optionally starts with `?-`; a period ends a rule (the last rule's
+/// period is optional at end of input), so a UCQ is simply a sequence of
+/// DLGP query rules, one disjunct each.
+fn dlgp_union_raw(src: &str) -> Result<Vec<Vec<RawConjunct>>, ParseQueryError> {
+    let mut cur = Cursor::new(src);
+    let mut rules = Vec::new();
+    loop {
+        cur.skip_trivia(true);
+        if cur.is_empty() {
+            return Ok(rules);
+        }
+        cur.eat_str("?-");
+        cur.skip_trivia(true);
+        // `?- .` is the empty (always-true) disjunct.
+        if cur.eat('.') {
+            rules.push(Vec::new());
+            continue;
+        }
+        let mut conjs = Vec::new();
+        loop {
+            conjs.push(dlgp_conjunct(&mut cur)?);
+            cur.skip_trivia(true);
+            if cur.eat('.') || cur.is_empty() {
+                break;
+            }
+            if cur.eat(',') || cur.eat('&') || cur.eat('∧') {
+                cur.skip_trivia(true);
+                if cur.is_empty() {
+                    return cur.error("trailing separator");
+                }
+                continue;
+            }
+            return cur.error(format!("expected ',' or '.' before {:?}", cur.preview()));
+        }
+        rules.push(conjs);
+    }
+}
+
+/// Parses a DLGP union of queries against an existing schema: one
+/// period-terminated rule per disjunct. The empty source is the empty
+/// union (evaluates to 0 everywhere).
+pub fn parse_dlgp_union(schema: &Arc<Schema>, src: &str) -> Result<UnionQuery, ParseQueryError> {
+    let rules = dlgp_union_raw(src)?;
+    let mut disjuncts = Vec::with_capacity(rules.len());
+    for raw in rules {
+        disjuncts.push(resolve_query(src, raw, Arc::clone(schema))?);
+    }
+    Ok(UnionQuery::new(disjuncts))
+}
+
+/// Parses a DLGP union of queries, inferring one shared schema across
+/// all disjuncts (relations with their arities, constants).
+pub fn parse_dlgp_union_infer(src: &str) -> Result<(UnionQuery, Arc<Schema>), ParseQueryError> {
+    let rules = dlgp_union_raw(src)?;
+    let mut sb = SchemaBuilder::default();
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for c in rules.iter().flatten() {
+        match c {
+            RawConjunct::Atom { rel, rel_pos, args } => {
+                if let Some(&prev) = arities.get(rel.as_str()) {
+                    if prev != args.len() {
+                        return Err(ParseQueryError::at(
+                            src,
+                            *rel_pos,
+                            format!("relation {rel} used with arities {prev} and {}", args.len()),
+                        ));
+                    }
+                }
+                arities.insert(rel, args.len());
+                sb.relation(rel, args.len());
+                for a in args {
+                    if let RawTermKind::Const(name) = &a.kind {
+                        sb.constant(name);
+                    }
+                }
+            }
+            RawConjunct::Neq(l, r) => {
+                for t in [l, r] {
+                    if let RawTermKind::Const(name) = &t.kind {
+                        sb.constant(name);
+                    }
+                }
+            }
+        }
+    }
+    let schema = sb.build();
+    let mut disjuncts = Vec::with_capacity(rules.len());
+    for raw in rules {
+        disjuncts.push(resolve_query(src, raw, Arc::clone(&schema))?);
+    }
+    Ok((UnionQuery::new(disjuncts), schema))
+}
+
+/// Serializes a union into DLGP syntax, one rule line per disjunct,
+/// round-trippable through [`parse_dlgp_union`]. The empty union
+/// serializes to the empty string.
+pub fn union_to_dlgp(u: &UnionQuery) -> String {
+    let mut out = String::new();
+    for q in u.disjuncts() {
+        out.push_str(&query_to_dlgp(q));
+        out.push('\n');
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -647,6 +758,46 @@ mod tests {
         assert_eq!(q.atoms(), back.atoms());
         assert_eq!(q.inequalities().len(), back.inequalities().len());
         assert_eq!(q.var_count(), back.var_count());
+    }
+
+    #[test]
+    fn union_round_trips_preserving_disjunct_count() {
+        let src = "?- p(X, Y), q(Y, a).\n?- p(X, X).\n?- q(X, Y), X != Y.\n";
+        let (u, s) = parse_dlgp_union_infer(src).unwrap();
+        assert_eq!(u.len(), 3);
+        let text = union_to_dlgp(&u);
+        let back = parse_dlgp_union(&s, &text).unwrap();
+        assert_eq!(back.len(), u.len());
+        for (a, b) in u.disjuncts().iter().zip(back.disjuncts()) {
+            assert_eq!(a, b, "text:\n{text}");
+        }
+        assert_eq!(text, src);
+    }
+
+    #[test]
+    fn union_empty_and_single_forms() {
+        // Empty source ↔ empty union.
+        let (u, _) = parse_dlgp_union_infer("").unwrap();
+        assert!(u.is_empty());
+        assert_eq!(union_to_dlgp(&u), "");
+        // An empty disjunct is preserved.
+        let (u, _) = parse_dlgp_union_infer("?- .\n?- p(X).").unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.disjuncts()[0].atoms().len(), 0);
+        // A single rule parses as a one-disjunct union, final period
+        // optional.
+        let (u, _) = parse_dlgp_union_infer("?- p(X, Y)").unwrap();
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn union_shares_one_schema_and_rejects_arity_conflicts() {
+        let (u, s) = parse_dlgp_union_infer("?- p(X, b).\n?- p(Y, c).").unwrap();
+        assert_eq!(s.constant_count(), 2);
+        for q in u.disjuncts() {
+            assert!(Arc::ptr_eq(q.schema(), &s));
+        }
+        assert!(parse_dlgp_union_infer("?- p(X).\n?- p(X, Y).").is_err());
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Random conjunctive-query generation for property tests and benchmark
-//! workloads, plus the classic structured query families (paths, cycles,
-//! stars, grids) used by the engine-comparison experiments (E-PERF1).
+//! Random conjunctive-query generation for property tests, the
+//! adversarial falsification corpus, and benchmark workloads, plus the
+//! classic structured query families (paths, cycles, stars, grids) used
+//! by the engine-comparison experiments (E-PERF1).
 
 use crate::query::{Query, Term};
+use crate::ucq::UnionQuery;
 use bagcq_structure::Schema;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +45,7 @@ impl QueryGen {
         let n_consts = schema.constant_count();
         let rels: Vec<_> = schema.relations().collect();
         assert!(!rels.is_empty(), "schema has no relations");
+        let mut atom_args: Vec<Term> = Vec::new();
         for _ in 0..self.atoms {
             let rel = rels[rng.gen_range(0..rels.len())];
             let arity = schema.arity(rel);
@@ -55,14 +58,64 @@ impl QueryGen {
                     }
                 })
                 .collect();
+            atom_args.extend(args.iter().copied().filter(|t| matches!(t, Term::Var(_))));
             qb.atom(rel, &args);
         }
-        for _ in 0..self.inequalities {
-            let a = vars[rng.gen_range(0..vars.len())];
-            let b = vars[rng.gen_range(0..vars.len())];
-            qb.neq(a, b);
+        // Inequality atoms go between *distinct* variables that occur in
+        // some relational atom — `x ≠ x` is trivially false and a variable
+        // never bound by an atom would make the query ill-formed for the
+        // counting kernels' purposes. With fewer than two bound variables
+        // no inequality can be placed and the knob degrades to zero.
+        if self.inequalities > 0 {
+            let bound: Vec<Term> = vars.iter().copied().filter(|v| atom_args.contains(v)).collect();
+            if bound.len() >= 2 {
+                for _ in 0..self.inequalities {
+                    let i = rng.gen_range(0..bound.len());
+                    let mut j = rng.gen_range(0..bound.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    qb.neq(bound[i], bound[j]);
+                }
+            }
         }
         qb.build()
+    }
+}
+
+/// Parameters for random UCQ sampling: a number of disjuncts, each drawn
+/// independently from the inner [`QueryGen`]. Used by the falsification
+/// corpus (`bagcq-falsify`) to exercise the bag-union law
+/// `(φ₁ ∨ … ∨ φ_r)(D) = φ₁(D) + … + φ_r(D)`.
+#[derive(Clone, Debug)]
+pub struct UnionGen {
+    /// Minimum number of disjuncts (≥ 1).
+    pub disjuncts_min: usize,
+    /// Maximum number of disjuncts (inclusive).
+    pub disjuncts_max: usize,
+    /// Per-disjunct CQ parameters.
+    pub query: QueryGen,
+}
+
+impl Default for UnionGen {
+    fn default() -> Self {
+        UnionGen { disjuncts_min: 1, disjuncts_max: 3, query: QueryGen::default() }
+    }
+}
+
+impl UnionGen {
+    /// Samples a UCQ over `schema` with a deterministic seed.
+    pub fn sample(&self, schema: &Arc<Schema>, seed: u64) -> UnionQuery {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample_with(schema, &mut rng)
+    }
+
+    /// Samples a UCQ using a caller-provided RNG.
+    pub fn sample_with(&self, schema: &Arc<Schema>, rng: &mut StdRng) -> UnionQuery {
+        assert!(self.disjuncts_min >= 1, "a UCQ needs at least one disjunct");
+        assert!(self.disjuncts_min <= self.disjuncts_max, "empty disjunct range");
+        let r = rng.gen_range(self.disjuncts_min..=self.disjuncts_max);
+        UnionQuery::new((0..r).map(|_| self.query.sample_with(schema, rng)).collect())
     }
 }
 
@@ -164,6 +217,32 @@ mod tests {
         let g = QueryGen { inequalities: 3, ..Default::default() };
         let q = g.sample(&s, 1);
         assert_eq!(q.inequalities().len(), 3);
+        for ineq in q.inequalities() {
+            assert_ne!(ineq.lhs, ineq.rhs, "inequality between identical terms");
+        }
+    }
+
+    #[test]
+    fn single_variable_queries_get_no_inequalities() {
+        // With one variable there is no distinct pair to separate; the
+        // knob degrades to zero instead of emitting the trivially false
+        // `x ≠ x`.
+        let s = digraph();
+        let g = QueryGen { variables: 1, atoms: 2, inequalities: 4, ..Default::default() };
+        let q = g.sample(&s, 3);
+        assert_eq!(q.inequalities().len(), 0);
+    }
+
+    #[test]
+    fn union_gen_is_deterministic_and_in_range() {
+        let s = digraph();
+        let ug = UnionGen { disjuncts_min: 2, disjuncts_max: 4, ..Default::default() };
+        for seed in 0..8 {
+            let u1 = ug.sample(&s, seed);
+            let u2 = ug.sample(&s, seed);
+            assert!((2..=4).contains(&u1.len()), "seed {seed}");
+            assert_eq!(u1.to_string(), u2.to_string(), "seed {seed}");
+        }
     }
 
     #[test]

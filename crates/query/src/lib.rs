@@ -41,9 +41,9 @@ mod ucq;
 
 pub use dlgp::{
     parse_bag_instance, parse_bag_instance_infer, parse_dlgp_query, parse_dlgp_query_infer,
-    query_to_dlgp, BagFact, BagInstance,
+    parse_dlgp_union, parse_dlgp_union_infer, query_to_dlgp, union_to_dlgp, BagFact, BagInstance,
 };
-pub use gen::{cycle_query, grid_query, path_query, star_query, QueryGen};
+pub use gen::{cycle_query, grid_query, path_query, star_query, QueryGen, UnionGen};
 pub use output::{free_constants, OutputQuery};
 pub use parse::{parse_query, parse_query_infer, ParseQueryError};
 pub use power_query::{PowerFactor, PowerQuery};

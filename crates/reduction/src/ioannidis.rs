@@ -130,6 +130,44 @@ mod tests {
         )
     }
 
+    /// Bag-union semantics on its own terms (Definition: `U(D)` is the
+    /// *sum*, not the max or the set-union, of the disjunct counts):
+    /// duplicate disjuncts multiply the count, the empty UCQ counts 0,
+    /// and a mixed union counts exactly the sum of its parts on a
+    /// concrete database -- cross-checked against per-disjunct
+    /// `CountRequest` answers.
+    #[test]
+    fn union_counts_are_sums_of_disjunct_counts() {
+        use bagcq_query::UnionQuery;
+        let mut b = bagcq_structure::SchemaBuilder::default();
+        let e = b.relation("E", 2);
+        let s = b.build();
+        // D = a 3-cycle on {0, 1, 2}.
+        let mut d = Structure::new(std::sync::Arc::clone(&s));
+        d.add_vertices(3);
+        for i in 0..3u32 {
+            d.add_atom(e, &[bagcq_structure::Vertex(i), bagcq_structure::Vertex((i + 1) % 3)]);
+        }
+        let edge = bagcq_query::path_query(&s, "E", 1); // E(x,y): 3 homs
+        let path2 = bagcq_query::path_query(&s, "E", 2); // E(x,y),E(y,z): 3 homs
+        assert_eq!(eval_union(&UnionQuery::empty(), &d), Nat::zero());
+        let single = UnionQuery::from_query(edge.clone());
+        assert_eq!(eval_union(&single, &d), Nat::from_u64(3));
+        // 4 copies of the edge query: bag union multiplies, 4 * 3 = 12.
+        let mut copies = UnionQuery::from_query(edge.clone());
+        copies.push_copies(&edge, 3);
+        assert_eq!(eval_union(&copies, &d), Nat::from_u64(12));
+        // Mixed disjuncts: |edge| + |path2| = 3 + 3, and in general the
+        // sum of the per-disjunct backend counts.
+        let mixed = UnionQuery::new(vec![edge.clone(), path2.clone()]);
+        let mut expected = Nat::zero();
+        for q in mixed.disjuncts() {
+            expected += &bagcq_homcount::CountRequest::new(q, &d).count();
+        }
+        assert_eq!(eval_union(&mixed, &d), expected);
+        assert_eq!(eval_union(&mixed, &d), Nat::from_u64(6));
+    }
+
     /// The core identity: `U(D) = P(Ξ_D)` on valuation databases.
     #[test]
     fn encoding_evaluates_polynomials() {

@@ -59,7 +59,9 @@ pub mod wire;
 
 pub use bagcq_engine::{DrainReport, TenantQuota, TenantSpec};
 pub use http::{HttpError, HttpLimits, HttpRequest, HttpResponse};
-pub use loadgen::{LoadgenConfig, LoadgenReport, SplitMix64, WorkloadMix};
+pub use loadgen::{
+    plan_requests, LoadgenConfig, LoadgenReport, PlannedRequest, SplitMix64, WorkloadMix,
+};
 pub use server::{Server, ServerConfig};
 pub use wire::{
     parse_check_request, parse_count_request, parse_response, CheckJob, CountJob, WireError,

@@ -353,6 +353,41 @@ fn build_plan(config: &LoadgenConfig) -> Vec<Plan> {
     plan
 }
 
+/// One planned request, exposed for differential replay: the HTTP path,
+/// the frame body, and what a correct server must answer. Used by the
+/// cross-backend differential test in `serve_e2e.rs` and by the
+/// falsification fleet (`bagcq-falsify`) to drive the wire path with a
+/// known-good oracle.
+#[derive(Clone, Debug)]
+pub struct PlannedRequest {
+    /// Request path (`/v1/count` or `/v1/check`).
+    pub path: &'static str,
+    /// Frame body, exactly as sent.
+    pub body: String,
+    /// Expected count for valid count frames; `None` for checks and
+    /// malformed frames.
+    pub expected_count: Option<Nat>,
+    /// `true` when the frame is deliberately malformed (must 400).
+    pub malformed: bool,
+}
+
+/// Builds the seeded request plan without running it, so tests can
+/// replay the identical corpus through arbitrary transports or backends.
+pub fn plan_requests(config: &LoadgenConfig) -> Vec<PlannedRequest> {
+    build_plan(config)
+        .into_iter()
+        .map(|p| PlannedRequest {
+            path: p.path,
+            expected_count: match &p.expect {
+                Expect::Count(n) => Some(n.clone()),
+                _ => None,
+            },
+            malformed: matches!(p.expect, Expect::Malformed),
+            body: p.body,
+        })
+        .collect()
+}
+
 struct Tally {
     ok: AtomicU64,
     sheds: AtomicU64,

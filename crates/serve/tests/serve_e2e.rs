@@ -148,3 +148,74 @@ fn admin_drain_over_http_requires_the_admin_key() {
     );
     server.shutdown();
 }
+
+/// Satellite differential check: one seeded loadgen corpus, replayed
+/// once per registered counting backend, must produce **byte-identical**
+/// response frames (modulo the `backend:` echo line) — the wire path may
+/// never leak which kernel answered.
+#[test]
+fn every_backend_answers_the_same_corpus_byte_identically() {
+    use bagcq_homcount::BackendChoice;
+    use bagcq_serve::plan_requests;
+
+    let server = Server::start(ServerConfig { tenants: vec![open_tenant()], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    // The same deterministic corpus the loadgen smoke run replays, at a
+    // differential-friendly size; keep only well-formed count frames
+    // (those carry the `backend: auto` header we re-pin per kernel).
+    let plan = plan_requests(&LoadgenConfig {
+        addr: addr.clone(),
+        requests: 60,
+        seed: 42,
+        mix: WorkloadMix::default(),
+        ..Default::default()
+    });
+    let counts: Vec<_> = plan
+        .iter()
+        .filter(|p| {
+            !p.malformed && p.expected_count.is_some() && p.body.starts_with("backend: auto\n")
+        })
+        .collect();
+    assert!(counts.len() >= 8, "corpus too small to be a differential test: {}", counts.len());
+
+    // Response frames with the backend echo normalized out; one vector
+    // per registered kernel, compared pairwise afterwards.
+    let mut per_backend: Vec<(String, Vec<String>)> = Vec::new();
+    for choice in BackendChoice::REGISTERED {
+        let label = choice.label();
+        let mut frames = Vec::with_capacity(counts.len());
+        for planned in &counts {
+            let body = planned.body.replacen("backend: auto\n", &format!("backend: {label}\n"), 1);
+            let (status, text) = post(&addr, planned.path, "dev-key", &body);
+            assert_eq!(status, 200, "[{label}] request failed: {text}");
+            match parse_response(&text).expect("well-formed count frame") {
+                WireResponse::Count { count, .. } => {
+                    assert_eq!(
+                        Some(&count),
+                        planned.expected_count.as_ref(),
+                        "[{label}] wire count diverged from the in-process oracle"
+                    );
+                }
+                other => panic!("[{label}] expected a count frame, got {other:?}"),
+            }
+            let normalized: String = text
+                .lines()
+                .filter(|l| !l.starts_with("backend: "))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            assert_ne!(normalized, text, "response did not echo its backend: {text}");
+            frames.push(normalized);
+        }
+        per_backend.push((label.to_string(), frames));
+    }
+    let (base_label, base) = &per_backend[0];
+    for (label, frames) in &per_backend[1..] {
+        assert_eq!(
+            base, frames,
+            "backends {base_label} and {label} answered the same corpus differently"
+        );
+    }
+    server.shutdown();
+}

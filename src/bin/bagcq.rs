@@ -29,6 +29,10 @@ fn main() -> ExitCode {
         // Hidden protocol mode: what `sweep-coord` spawns as children.
         Some("sweep-worker") => bagcq_coord::worker_main(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
+        Some("falsify") => match cmd_falsify(&args[1..]) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -72,6 +76,13 @@ USAGE:
   bagcq store verify|stats|compact         inspect or maintain a memo
               --store DIR [--strict]         store directory (verify
                                              --strict fails on corruption)
+  bagcq falsify [--seed S] [--budget N]    run the lemma-falsification
+              [--workers W] [--no-serve]     fleet: seeded adversarial
+              [--fixtures-dir DIR]           corpus vs. every quantitative
+                                             lemma oracle, plus engine and
+                                             wire parity; violations are
+                                             shrunk, archived under DIR,
+                                             and exit with status 2
 
   <label>     a Hilbert corpus name (see `bagcq instances`) or
               toy:C:s1,s2:b1,b2 (the synthetic Lemma-11 instance)
@@ -343,6 +354,38 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         _ => Err("store needs a subcommand: verify | stats | compact".to_string()),
+    }
+}
+
+fn cmd_falsify(args: &[String]) -> Result<ExitCode, String> {
+    use bagcq_falsify::{run_fleet, FleetConfig};
+    let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} needs a number, got {v:?}")),
+        }
+    };
+    let defaults = FleetConfig::default();
+    let config = FleetConfig {
+        seed: parse_u64("--seed", defaults.seed)?,
+        budget: parse_u64("--budget", defaults.budget)?,
+        workers: parse_u64("--workers", defaults.workers as u64)? as usize,
+        serve: !args.iter().any(|a| a == "--no-serve"),
+        fixtures_dir: flag_value(args, "--fixtures-dir").map(Into::into),
+        // Hidden hook: deliberately break a named oracle so CI can prove
+        // the fleet catches (and shrinks) a planted bug.
+        break_lemma: std::env::var("BAGCQ_FALSIFY_BREAK").ok().filter(|s| !s.is_empty()),
+    };
+    if let Some(lemma) = &config.break_lemma {
+        println!("note: BAGCQ_FALSIFY_BREAK={lemma} — the {lemma} oracle is deliberately wrong");
+    }
+    let report = run_fleet(&config);
+    print!("{}", report.render());
+    println!("  {}", report.perf_line());
+    if report.clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(2))
     }
 }
 

@@ -180,3 +180,35 @@ fn correct_databases_classify_as_correct() {
         assert_eq!(red.classify(&red.correct_database(&val)), Correctness::Correct, "{val:?}");
     }
 }
+
+/// Every minimized counterexample the falsification fleet ever archived
+/// under `tests/fixtures/falsify/` replays forever: the healthy oracle
+/// battery must accept it (the bug that produced it is fixed, and the
+/// lemma genuinely holds on the minimized structure). A fixture that no
+/// longer parses, or that a healthy oracle rejects, is a regression.
+#[test]
+fn archived_falsify_fixtures_replay_clean() {
+    use bagcq_falsify::{fixture, oracle_set};
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/falsify");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dlgp"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no committed fixtures under {dir}");
+    let healthy = oracle_set(None);
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let fx = fixture::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed fixture: {e}", path.display()));
+        let verdict = fixture::replay(&fx, &healthy)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", path.display()));
+        assert!(
+            !verdict.is_violation(),
+            "{}: healthy {} oracle rejects the archived fixture: {verdict:?}",
+            path.display(),
+            fx.lemma
+        );
+    }
+}

@@ -14,6 +14,78 @@ fn schema() -> Arc<Schema> {
     b.build()
 }
 
+/// The display/reparse check at one concrete parameter point — shared
+/// between the random property below and the regression-archive replay.
+/// Returns `false` when the case is rejected by the property's
+/// assumption (a never-used variable, invisible to `Display` by design).
+fn query_display_reparse_case(seed: u64, vars: u32, atoms: usize) -> bool {
+    let s = schema();
+    let qg = QueryGen { variables: vars, atoms, constant_prob: 0.2, inequalities: 1 };
+    let q = qg.sample(&s, seed);
+    let used: std::collections::HashSet<u32> = q
+        .atoms()
+        .iter()
+        .flat_map(|a| a.args.iter())
+        .chain(q.inequalities().iter().flat_map(|i| [&i.lhs, &i.rhs]))
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(v.0),
+            Term::Const(_) => None,
+        })
+        .collect();
+    if used.len() != q.var_count() as usize {
+        return false;
+    }
+    let text = q.to_string().replace('∧', "&").replace('≠', "!=");
+    let back = parse_query(&s, &text).unwrap();
+    assert_eq!(q.atoms().len(), back.atoms().len());
+    assert_eq!(q.inequalities().len(), back.inequalities().len());
+    assert_eq!(q.var_count(), back.var_count());
+    // Semantics preserved on sampled databases.
+    let d = StructureGen::default().sample(&s, seed ^ 0xABCD);
+    assert_eq!(CountRequest::new(&q, &d).count(), CountRequest::new(&back, &d).count());
+    true
+}
+
+/// The vendored proptest does **not** read `.proptest-regressions`
+/// archives, so replay them explicitly: every `cc` entry re-runs the
+/// shrunk parameters recorded in its trailing comment through the same
+/// check the live property uses. An entry whose comment no longer
+/// parses back to parameters is stale and fails here — prune it from
+/// the archive rather than letting it rot as dead weight.
+#[test]
+fn archived_regressions_replay() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/prop_parsers.proptest-regressions");
+    let text = std::fs::read_to_string(path).expect("regression archive is readable");
+    let mut replayed = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(line.starts_with("cc "), "unrecognized archive line: {line}");
+        let comment = line.split_once('#').map(|(_, c)| c.trim()).unwrap_or("");
+        let params = comment.strip_prefix("shrinks to").unwrap_or(comment);
+        let (mut seed, mut vars, mut atoms) = (None, None, None);
+        for field in params.split(',') {
+            if let Some((k, v)) = field.split_once('=') {
+                match k.trim() {
+                    "seed" => seed = v.trim().parse::<u64>().ok(),
+                    "vars" => vars = v.trim().parse::<u32>().ok(),
+                    "atoms" => atoms = v.trim().parse::<usize>().ok(),
+                    _ => {}
+                }
+            }
+        }
+        let (seed, vars, atoms) = match (seed, vars, atoms) {
+            (Some(s), Some(v), Some(a)) => (s, v, a),
+            _ => panic!("stale archive entry (prune it): {line}"),
+        };
+        query_display_reparse_case(seed, vars, atoms);
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "archive exists but nothing was replayed");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -44,30 +116,7 @@ proptest! {
     /// queries whose variables all occur.
     #[test]
     fn query_display_reparse(seed in 0u64..1_000_000, vars in 1u32..5, atoms in 1usize..6) {
-        let s = schema();
-        let qg = QueryGen { variables: vars, atoms, constant_prob: 0.2, inequalities: 1 };
-        let q = qg.sample(&s, seed);
-        // Restrict to queries with no never-used variables (those are
-        // invisible to Display by design).
-        let used: std::collections::HashSet<u32> = q
-            .atoms()
-            .iter()
-            .flat_map(|a| a.args.iter())
-            .chain(q.inequalities().iter().flat_map(|i| [&i.lhs, &i.rhs]))
-            .filter_map(|t| match t {
-                Term::Var(v) => Some(v.0),
-                Term::Const(_) => None,
-            })
-            .collect();
-        prop_assume!(used.len() == q.var_count() as usize);
-        let text = q.to_string().replace('∧', "&").replace('≠', "!=");
-        let back = parse_query(&s, &text).unwrap();
-        prop_assert_eq!(q.atoms().len(), back.atoms().len());
-        prop_assert_eq!(q.inequalities().len(), back.inequalities().len());
-        prop_assert_eq!(q.var_count(), back.var_count());
-        // Semantics preserved on sampled databases.
-        let d = StructureGen::default().sample(&s, seed ^ 0xABCD);
-        prop_assert_eq!(CountRequest::new(&q, &d).count(), CountRequest::new(&back, &d).count());
+        query_display_reparse_case(seed, vars, atoms);
     }
 
     /// The parser never panics on random ASCII noise — it returns errors.
