@@ -244,18 +244,31 @@ pub struct TenantQuota {
     /// Maximum concurrently admitted requests (outstanding
     /// [`TenantPermit`]s). `0` disables the concurrency cap.
     pub max_in_flight: u64,
+    /// Maximum concurrently *open connections* (outstanding
+    /// [`TenantConnection`]s). `0` disables the cap. Distinct from
+    /// `max_in_flight`: a keep-alive connection holds a connection slot
+    /// for its whole lifetime but an in-flight slot only while a request
+    /// is being served, so slow-loris clients are bounded even when they
+    /// never complete a request.
+    pub max_connections: u64,
 }
 
 impl TenantQuota {
     /// No limits at all (useful for trusted internal tenants and tests).
     pub fn unlimited() -> Self {
-        TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 0 }
+        TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 0, max_connections: 0 }
+    }
+
+    /// Replaces the connection cap.
+    pub fn with_max_connections(mut self, max_connections: u64) -> Self {
+        self.max_connections = max_connections;
+        self
     }
 }
 
 impl Default for TenantQuota {
     fn default() -> Self {
-        TenantQuota { rate_per_sec: 500, burst: 1000, max_in_flight: 256 }
+        TenantQuota { rate_per_sec: 500, burst: 1000, max_in_flight: 256, max_connections: 0 }
     }
 }
 
@@ -295,6 +308,9 @@ pub enum TenantRefusal {
     QuotaExceeded,
     /// The tenant is at its max-in-flight cap (HTTP 429).
     InFlightLimit,
+    /// The tenant is at its open-connection cap (HTTP 429; the serving
+    /// layer also closes the refused connection).
+    ConnectionLimit,
 }
 
 impl TenantRefusal {
@@ -305,6 +321,7 @@ impl TenantRefusal {
             TenantRefusal::UnknownKey => None,
             TenantRefusal::QuotaExceeded => Some(ShedReason::QuotaExceeded),
             TenantRefusal::InFlightLimit => Some(ShedReason::InFlightLimit),
+            TenantRefusal::ConnectionLimit => Some(ShedReason::ConnectionLimit),
         }
     }
 }
@@ -321,8 +338,18 @@ pub struct TenantCounters {
     pub quota_rejections: u64,
     /// Requests refused at the max-in-flight cap.
     pub in_flight_rejections: u64,
+    /// Connections refused at the per-tenant connection cap.
+    pub connection_rejections: u64,
     /// Permits outstanding at snapshot time.
     pub in_flight: u64,
+    /// Connections outstanding at snapshot time.
+    pub open_connections: u64,
+    /// Requests answered from the idempotency cache *without* charging
+    /// admission again. `admitted` counts each idempotency key at most
+    /// once; this counter proves retried deliveries were deduplicated
+    /// (exactly-once charging: `admitted + idempotent_replays` equals
+    /// total answered requests).
+    pub idempotent_replays: u64,
 }
 
 /// Integer token bucket: tokens are stored ×10⁶ ("micro-tokens") so
@@ -360,9 +387,12 @@ struct TenantState {
     spec: TenantSpec,
     bucket: Mutex<TokenBucket>,
     in_flight: AtomicU64,
+    connections: AtomicU64,
     admitted: AtomicU64,
     quota_rejections: AtomicU64,
     in_flight_rejections: AtomicU64,
+    connection_rejections: AtomicU64,
+    idempotent_replays: AtomicU64,
 }
 
 /// The tenant admission stage: API key → tenant lookup, then quota
@@ -387,9 +417,12 @@ impl TenantGate {
             let state = Arc::new(TenantState {
                 bucket: Mutex::new(TokenBucket::full(spec.quota.burst, now)),
                 in_flight: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
                 admitted: AtomicU64::new(0),
                 quota_rejections: AtomicU64::new(0),
                 in_flight_rejections: AtomicU64::new(0),
+                connection_rejections: AtomicU64::new(0),
+                idempotent_replays: AtomicU64::new(0),
                 spec,
             });
             let prev = by_key.insert(state.spec.api_key.clone(), Arc::clone(&state));
@@ -402,6 +435,57 @@ impl TenantGate {
     /// Number of configured tenants.
     pub fn tenant_count(&self) -> usize {
         self.order.len()
+    }
+
+    /// Whether some tenant owns `api_key`, without charging anything.
+    /// The serving layer uses this to authenticate an idempotent replay
+    /// before answering it from cache (401s must not become replays).
+    pub fn recognizes(&self, api_key: &str) -> bool {
+        self.by_key.contains_key(api_key)
+    }
+
+    /// Registers one open connection against the tenant owning
+    /// `api_key`, enforcing [`TenantQuota::max_connections`]. The
+    /// returned guard releases the slot on drop. Distinct from
+    /// [`TenantGate::admit`]: a keep-alive connection holds its slot
+    /// across many requests (and across idle gaps), so trickling or
+    /// parked clients are bounded per tenant.
+    pub fn acquire_connection(&self, api_key: &str) -> Result<TenantConnection, TenantRefusal> {
+        let Some(state) = self.by_key.get(api_key) else {
+            return Err(TenantRefusal::UnknownKey);
+        };
+        let cap = state.spec.quota.max_connections;
+        if cap != 0 {
+            let mut cur = state.connections.load(Ordering::Relaxed);
+            loop {
+                if cur >= cap {
+                    state.connection_rejections.fetch_add(1, Ordering::Relaxed);
+                    bagcq_obs::instant("engine.admission", ShedReason::ConnectionLimit.label());
+                    return Err(TenantRefusal::ConnectionLimit);
+                }
+                match state.connections.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        } else {
+            state.connections.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(TenantConnection { state: Arc::clone(state) })
+    }
+
+    /// Counts one request answered from the idempotency cache without a
+    /// fresh admission charge (the key's first delivery already paid).
+    /// No-op for unknown keys.
+    pub fn record_idempotent_replay(&self, api_key: &str) {
+        if let Some(state) = self.by_key.get(api_key) {
+            state.idempotent_replays.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Looks up the tenant owning `api_key` and admits one request under
@@ -465,7 +549,10 @@ impl TenantGate {
                 admitted: s.admitted.load(Ordering::Relaxed),
                 quota_rejections: s.quota_rejections.load(Ordering::Relaxed),
                 in_flight_rejections: s.in_flight_rejections.load(Ordering::Relaxed),
+                connection_rejections: s.connection_rejections.load(Ordering::Relaxed),
                 in_flight: s.in_flight.load(Ordering::Relaxed),
+                open_connections: s.connections.load(Ordering::Relaxed),
+                idempotent_replays: s.idempotent_replays.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -494,6 +581,38 @@ impl TenantPermit {
 impl Drop for TenantPermit {
     fn drop(&mut self) {
         self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// RAII proof that a connection passed its tenant's open-connection cap;
+/// dropping it releases the slot. The serving layer holds one per
+/// keep-alive connection from the first authenticated request until the
+/// socket closes.
+pub struct TenantConnection {
+    state: Arc<TenantState>,
+}
+
+impl std::fmt::Debug for TenantConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantConnection").field("tenant", &self.state.spec.name).finish()
+    }
+}
+
+impl TenantConnection {
+    /// The owning tenant's display name.
+    pub fn tenant_name(&self) -> &str {
+        &self.state.spec.name
+    }
+
+    /// The API key this connection authenticated with.
+    pub fn api_key(&self) -> &str {
+        &self.state.spec.api_key
+    }
+}
+
+impl Drop for TenantConnection {
+    fn drop(&mut self) {
+        self.state.connections.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -613,7 +732,8 @@ mod tests {
 
     #[test]
     fn token_bucket_limits_burst_then_refills() {
-        let g = gate(TenantQuota { rate_per_sec: 10, burst: 3, max_in_flight: 0 });
+        let g =
+            gate(TenantQuota { rate_per_sec: 10, burst: 3, max_in_flight: 0, max_connections: 0 });
         let t0 = Instant::now();
         // The bucket starts full: exactly `burst` immediate admissions.
         for _ in 0..3 {
@@ -639,7 +759,8 @@ mod tests {
 
     #[test]
     fn in_flight_cap_is_released_by_permit_drop() {
-        let g = gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 2 });
+        let g =
+            gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 2, max_connections: 0 });
         let p1 = g.admit("k-acme").unwrap();
         let p2 = g.admit("k-acme").unwrap();
         assert_eq!(p1.tenant_name(), "acme");
@@ -658,7 +779,8 @@ mod tests {
 
     #[test]
     fn in_flight_refusal_consumes_no_token() {
-        let g = gate(TenantQuota { rate_per_sec: 1, burst: 2, max_in_flight: 1 });
+        let g =
+            gate(TenantQuota { rate_per_sec: 1, burst: 2, max_in_flight: 1, max_connections: 0 });
         let t0 = Instant::now();
         let p = g.admit_at("k-acme", t0).unwrap();
         assert_eq!(g.admit_at("k-acme", t0).unwrap_err(), TenantRefusal::InFlightLimit);
@@ -674,11 +796,13 @@ mod tests {
                 rate_per_sec: 1,
                 burst: 1,
                 max_in_flight: 0,
+                max_connections: 0,
             }),
             TenantSpec::new("b", "kb").with_quota(TenantQuota {
                 rate_per_sec: 1,
                 burst: 1,
                 max_in_flight: 0,
+                max_connections: 0,
             }),
         ]);
         assert_eq!(g.tenant_count(), 2);
@@ -693,7 +817,12 @@ mod tests {
 
     #[test]
     fn concurrent_admissions_never_exceed_the_cap() {
-        let g = Arc::new(gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 4 }));
+        let g = Arc::new(gate(TenantQuota {
+            rate_per_sec: 0,
+            burst: 0,
+            max_in_flight: 4,
+            max_connections: 0,
+        }));
         let peak = Arc::new(AtomicU64::new(0));
         let live = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..8)
@@ -729,5 +858,125 @@ mod tests {
     #[should_panic(expected = "duplicate tenant")]
     fn duplicate_keys_panic() {
         let _ = TenantGate::new([TenantSpec::new("a", "k"), TenantSpec::new("b", "k")]);
+    }
+
+    // --- token-bucket boundary cases ---------------------------------------
+
+    /// A refill gap measured in centuries must saturate at the burst
+    /// capacity, not overflow the micro-token arithmetic into a bucket
+    /// that admits unboundedly.
+    #[test]
+    fn token_bucket_survives_huge_elapsed_gaps() {
+        let g = gate(TenantQuota {
+            rate_per_sec: u64::MAX,
+            burst: 2,
+            max_in_flight: 0,
+            max_connections: 0,
+        });
+        let t0 = Instant::now();
+        assert!(g.admit_at("k-acme", t0).is_ok());
+        assert!(g.admit_at("k-acme", t0).is_ok());
+        assert!(g.admit_at("k-acme", t0).is_err(), "burst exhausted");
+        // ~3170 years of elapsed refill at u64::MAX tokens/sec: the
+        // refill product saturates, then clamps to burst * MICRO.
+        let t1 = t0 + Duration::from_secs(100_000_000_000);
+        for _ in 0..2 {
+            assert!(g.admit_at("k-acme", t1).is_ok());
+        }
+        assert_eq!(
+            g.admit_at("k-acme", t1).unwrap_err(),
+            TenantRefusal::QuotaExceeded,
+            "a huge gap must refill exactly `burst` tokens, never more"
+        );
+    }
+
+    /// `burst: 0` with a live rate limit is a zero-capacity bucket on
+    /// paper; the gate clamps capacity up to one token so the tenant
+    /// still gets its steady rate instead of being silently bricked.
+    #[test]
+    fn zero_capacity_bucket_clamps_to_one_token() {
+        let g =
+            gate(TenantQuota { rate_per_sec: 10, burst: 0, max_in_flight: 0, max_connections: 0 });
+        let t0 = Instant::now();
+        // TokenBucket::full(0, ..) starts empty: the very first request
+        // is refused until the rate refills the clamped 1-token bucket.
+        assert_eq!(g.admit_at("k-acme", t0).unwrap_err(), TenantRefusal::QuotaExceeded);
+        let t1 = t0 + Duration::from_millis(100); // 1 token at 10/s
+        assert!(g.admit_at("k-acme", t1).is_ok());
+        assert!(g.admit_at("k-acme", t1).is_err(), "clamped capacity is exactly one");
+        // A long gap still refills only the single clamped token.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(g.admit_at("k-acme", t2).is_ok());
+        assert_eq!(g.admit_at("k-acme", t2).unwrap_err(), TenantRefusal::QuotaExceeded);
+    }
+
+    /// Refill accrues across calls even when each individual gap is less
+    /// than one whole token (sub-token refill must not be rounded away).
+    #[test]
+    fn sub_token_refill_accumulates() {
+        let g =
+            gate(TenantQuota { rate_per_sec: 10, burst: 1, max_in_flight: 0, max_connections: 0 });
+        let t0 = Instant::now();
+        assert!(g.admit_at("k-acme", t0).is_ok());
+        // Four 25ms gaps = 100ms = exactly one token at 10/s.
+        let mut t = t0;
+        for _ in 0..3 {
+            t += Duration::from_millis(25);
+            assert!(g.admit_at("k-acme", t).is_err(), "token not yet whole");
+        }
+        t += Duration::from_millis(25);
+        assert!(g.admit_at("k-acme", t).is_ok(), "fractional refills must accumulate");
+    }
+
+    // --- connection caps and idempotent replays ----------------------------
+
+    #[test]
+    fn connection_cap_is_released_by_guard_drop() {
+        let g =
+            gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 0, max_connections: 2 });
+        let c1 = g.acquire_connection("k-acme").unwrap();
+        let _c2 = g.acquire_connection("k-acme").unwrap();
+        assert_eq!(c1.tenant_name(), "acme");
+        assert_eq!(c1.api_key(), "k-acme");
+        let e = g.acquire_connection("k-acme").unwrap_err();
+        assert_eq!(e, TenantRefusal::ConnectionLimit);
+        assert_eq!(e.shed_reason(), Some(ShedReason::ConnectionLimit));
+        let snap = &g.snapshot()[0];
+        assert_eq!(snap.open_connections, 2);
+        assert_eq!(snap.connection_rejections, 1);
+        drop(c1);
+        let _c3 = g.acquire_connection("k-acme").expect("slot released on drop");
+        assert!(g.acquire_connection("nope").is_err(), "unknown keys never hold slots");
+        assert_eq!(g.snapshot()[0].open_connections, 2);
+    }
+
+    #[test]
+    fn connection_cap_is_independent_of_requests() {
+        let g =
+            gate(TenantQuota { rate_per_sec: 0, burst: 0, max_in_flight: 1, max_connections: 1 });
+        let _conn = g.acquire_connection("k-acme").unwrap();
+        // A held connection slot does not consume the in-flight budget.
+        let permit = g.admit("k-acme").unwrap();
+        assert_eq!(g.admit("k-acme").unwrap_err(), TenantRefusal::InFlightLimit);
+        drop(permit);
+        assert!(g.admit("k-acme").is_ok(), "requests recycle while the connection persists");
+    }
+
+    #[test]
+    fn idempotent_replays_are_counted_not_charged() {
+        let g =
+            gate(TenantQuota { rate_per_sec: 10, burst: 1, max_in_flight: 0, max_connections: 0 });
+        let t0 = Instant::now();
+        assert!(g.admit_at("k-acme", t0).is_ok());
+        // Replays bypass the (now empty) bucket entirely.
+        g.record_idempotent_replay("k-acme");
+        g.record_idempotent_replay("k-acme");
+        g.record_idempotent_replay("unknown-key"); // no-op, must not panic
+        let snap = &g.snapshot()[0];
+        assert_eq!(snap.admitted, 1, "the key's first delivery is the only charge");
+        assert_eq!(snap.idempotent_replays, 2);
+        assert_eq!(snap.quota_rejections, 0, "replays never touch the bucket");
+        assert!(g.recognizes("k-acme"));
+        assert!(!g.recognizes("unknown-key"));
     }
 }

@@ -269,6 +269,10 @@ pub enum ShedReason {
     /// The tenant hit its max-in-flight concurrency limit
     /// ([`crate::TenantGate`]); the serving layer maps this to HTTP 429.
     InFlightLimit,
+    /// The tenant hit its per-tenant open-connection cap
+    /// ([`crate::TenantGate::acquire_connection`]); the serving layer
+    /// maps this to HTTP 429 and closes the connection.
+    ConnectionLimit,
 }
 
 impl ShedReason {
@@ -281,6 +285,7 @@ impl ShedReason {
             ShedReason::Draining => "draining",
             ShedReason::QuotaExceeded => "quota_exceeded",
             ShedReason::InFlightLimit => "in_flight_limit",
+            ShedReason::ConnectionLimit => "connection_limit",
         }
     }
 }

@@ -102,8 +102,8 @@ pub mod trace;
 pub use bagcq_obs as obs;
 
 pub use admission::{
-    AdmissionConfig, AdmissionPolicy, TenantCounters, TenantGate, TenantPermit, TenantQuota,
-    TenantRefusal, TenantSpec,
+    AdmissionConfig, AdmissionPolicy, TenantConnection, TenantCounters, TenantGate, TenantPermit,
+    TenantQuota, TenantRefusal, TenantSpec,
 };
 /// The unified counting surface, re-exported from `bagcq-homcount` so
 /// engine users name backends and counting errors without a separate

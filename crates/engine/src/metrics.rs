@@ -423,8 +423,16 @@ impl fmt::Display for MetricsSnapshot {
             for t in &self.tenants {
                 writeln!(
                     f,
-                    "    {:<16} admitted={} quota_rejections={} in_flight_rejections={} in_flight={}",
-                    t.name, t.admitted, t.quota_rejections, t.in_flight_rejections, t.in_flight
+                    "    {:<16} admitted={} quota_rejections={} in_flight_rejections={} \
+                     connection_rejections={} in_flight={} open_connections={} idempotent_replays={}",
+                    t.name,
+                    t.admitted,
+                    t.quota_rejections,
+                    t.in_flight_rejections,
+                    t.connection_rejections,
+                    t.in_flight,
+                    t.open_connections,
+                    t.idempotent_replays
                 )?;
             }
         }

@@ -23,9 +23,10 @@ use crate::shrink::shrink;
 use bagcq_engine::{EvalEngine, Job};
 use bagcq_homcount::{BackendChoice, CountRequest};
 use bagcq_query::{parse_bag_instance_infer, parse_dlgp_query, query_to_dlgp, Query};
-use bagcq_serve::http::{read_response, write_request};
+use bagcq_serve::http::{crc32, read_response, write_request_with_headers};
 use bagcq_serve::{
-    parse_response, HttpLimits, Server, ServerConfig, TenantQuota, TenantSpec, WireResponse,
+    parse_response, HttpLimits, NetFaultPlan, Server, ServerConfig, TenantQuota, TenantSpec,
+    WireResponse,
 };
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -49,6 +50,12 @@ pub struct FleetConfig {
     /// Test hook: deliberately break the named oracle
     /// (see [`oracle_set`]).
     pub break_lemma: Option<String>,
+    /// Run the serve-parity leg under seeded wire-level chaos: the
+    /// loopback server wraps every accepted socket in the
+    /// [`bagcq_serve::chaos`] transport with this seed, and the wire
+    /// client retries transient faults — parity must still hold
+    /// bit-for-bit.
+    pub chaos_net: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -60,6 +67,7 @@ impl Default for FleetConfig {
             serve: true,
             fixtures_dir: None,
             break_lemma: None,
+            chaos_net: None,
         }
     }
 }
@@ -171,7 +179,12 @@ impl FleetReport {
     }
 }
 
-/// A minimal keep-alive HTTP client for the loopback server.
+/// A minimal keep-alive HTTP client for the loopback server, hardened
+/// for the chaos leg: bounded socket timeouts (no hangs), an
+/// `X-Body-Crc` on every request, CRC verification of every response,
+/// and bounded retries of transient faults — transport errors,
+/// corrupted frames, 408 slow-client evictions, and corruption-induced
+/// 400s (the fleet only posts frames it knows are well-formed).
 struct WireClient {
     addr: String,
     key: String,
@@ -179,33 +192,71 @@ struct WireClient {
     conn: Option<(BufReader<TcpStream>, TcpStream)>,
 }
 
+/// Retry budget per request; chaos faults are capped per plan, so a
+/// handful of re-deliveries always reaches a clean exchange.
+const WIRE_CLIENT_ATTEMPTS: usize = 8;
+/// Socket timeout — generous against trickle faults, but finite.
+const WIRE_CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
 impl WireClient {
     fn new(addr: String, key: String) -> Self {
         WireClient { addr, key, limits: HttpLimits::default(), conn: None }
     }
 
     fn post(&mut self, path: &str, body: &str) -> Option<(u16, String)> {
-        for _attempt in 0..2 {
+        let body_crc = crc32(body.as_bytes());
+        for _attempt in 0..WIRE_CLIENT_ATTEMPTS {
             if self.conn.is_none() {
                 let stream = TcpStream::connect(&self.addr).ok()?;
                 stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(WIRE_CLIENT_IO_TIMEOUT)).ok();
+                stream.set_write_timeout(Some(WIRE_CLIENT_IO_TIMEOUT)).ok();
                 let writer = stream.try_clone().ok()?;
                 self.conn = Some((BufReader::new(stream), writer));
             }
             let (reader, writer) = self.conn.as_mut().expect("connection is live");
-            let sent = write_request(writer, "POST", path, &self.key, body.as_bytes()).is_ok();
+            let extra = [
+                ("X-Body-Crc", format!("{body_crc:08x}")),
+                ("Idempotency-Key", format!("falsify-{body_crc:08x}-{len}", len = body.len())),
+            ];
+            let sent = write_request_with_headers(
+                writer,
+                "POST",
+                path,
+                &self.key,
+                body.as_bytes(),
+                &extra,
+            )
+            .is_ok();
             let response =
                 if sent { read_response(reader, &self.limits).ok().flatten() } else { None };
             match response {
                 Some(http) => {
+                    // Wire integrity: a response failing its own CRC was
+                    // corrupted in transit; drop the connection & retry.
+                    if let Some(declared) = http.header("x-body-crc") {
+                        if u32::from_str_radix(declared.trim(), 16) != Ok(crc32(&http.body)) {
+                            self.conn = None;
+                            continue;
+                        }
+                    }
                     if !http.keep_alive() {
                         self.conn = None;
                     }
                     let text = http.utf8_body().ok()?.to_string();
+                    // Transient server-side verdicts: the server evicted
+                    // us (408) or caught corrupted request bytes (typed
+                    // `corrupt` 400, or any 400 — this client only posts
+                    // well-formed frames). Re-deliver.
+                    if http.status == 408 || http.status == 400 {
+                        self.conn = None;
+                        continue;
+                    }
                     return Some((http.status, text));
                 }
                 None => {
-                    // Dead or half-closed connection: reconnect once.
+                    // Dead, half-closed, or corrupted-beyond-framing
+                    // connection: reconnect and retry.
                     self.conn = None;
                 }
             }
@@ -258,7 +309,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
                 rate_per_sec: 0,
                 burst: 0,
                 max_in_flight: 0,
+                max_connections: 0,
             })],
+            chaos: config.chaos_net.map(NetFaultPlan::seeded),
             ..Default::default()
         })
         .ok()
@@ -393,6 +446,19 @@ mod tests {
         let config = FleetConfig { seed: 9, budget: 3, ..FleetConfig::default() };
         let report = run_fleet(&config);
         assert!(report.clean(), "{}", report.render());
+        assert!(report.serve_requests > 0, "no frames reached the server:\n{}", report.render());
+        assert_eq!(report.serve_mismatches, 0);
+    }
+
+    /// The wire-parity leg under seeded network chaos: every accepted
+    /// connection may draw a fault, the client retries transient
+    /// failures, and parity must still hold bit-for-bit.
+    #[test]
+    fn fleet_wire_parity_survives_network_chaos() {
+        let config =
+            FleetConfig { seed: 9, budget: 3, chaos_net: Some(7), ..FleetConfig::default() };
+        let report = run_fleet(&config);
+        assert!(report.clean(), "chaos broke wire parity:\n{}", report.render());
         assert!(report.serve_requests > 0, "no frames reached the server:\n{}", report.render());
         assert_eq!(report.serve_mismatches, 0);
     }

@@ -67,6 +67,11 @@ pub enum HttpError {
     Malformed(String),
     /// Head or body over the configured limit → 413.
     TooLarge(String),
+    /// The peer closed (or the stream was cut) after a complete head but
+    /// before `Content-Length` bytes of body arrived. The frame is dead
+    /// but the *failure mode* is known-transient: a retrying client may
+    /// safely reissue the request on a fresh connection.
+    Truncated(String),
     /// The socket died mid-request (timeout, reset, truncated frame).
     /// Nothing can be answered; the connection just closes.
     Io(io::Error),
@@ -79,14 +84,23 @@ impl HttpError {
         match self {
             HttpError::Malformed(_) => Some((400, "Bad Request")),
             HttpError::TooLarge(_) => Some((413, "Payload Too Large")),
-            HttpError::Io(_) => None,
+            HttpError::Truncated(_) | HttpError::Io(_) => None,
         }
+    }
+
+    /// Whether a client that hit this error may safely retry the request
+    /// on a fresh connection: the frame never completed, so the peer
+    /// cannot have acted on it more than once (and with an
+    /// `Idempotency-Key`, not more than once *in total*). `Malformed` /
+    /// `TooLarge` responses are deterministic verdicts, not faults.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HttpError::Truncated(_) | HttpError::Io(_))
     }
 
     /// Human-readable detail for the error body.
     pub fn detail(&self) -> String {
         match self {
-            HttpError::Malformed(m) | HttpError::TooLarge(m) => m.clone(),
+            HttpError::Malformed(m) | HttpError::TooLarge(m) | HttpError::Truncated(m) => m.clone(),
             HttpError::Io(e) => e.to_string(),
         }
     }
@@ -186,7 +200,7 @@ pub fn read_request(
         )));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    reader.read_exact(&mut body).map_err(|e| truncated_body(e, "request", content_length))?;
     let keep_alive = {
         let conn =
             headers.iter().find(|(n, _)| n == "connection").map(|(_, v)| v.to_ascii_lowercase());
@@ -207,12 +221,30 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with_headers(writer, status, reason, body, keep_alive, &[])
+}
+
+/// [`write_response`] with extra headers (`Retry-After`, `X-Body-Crc`,
+/// …) between the fixed trio and the body. Header names/values must
+/// already be wire-safe; this does no escaping.
+pub fn write_response_with_headers(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
     writer.flush()
 }
 
@@ -228,6 +260,11 @@ pub struct HttpResponse {
 }
 
 impl HttpResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
     /// The body as UTF-8 (lossy conversions are protocol errors for the
     /// load generator, so this is strict).
     pub fn utf8_body(&self) -> Result<&str, HttpError> {
@@ -255,11 +292,28 @@ pub fn write_request(
     api_key: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_request_with_headers(writer, method, path, api_key, body, &[])
+}
+
+/// [`write_request`] with extra headers (`Idempotency-Key`,
+/// `X-Body-Crc`, …). Header names/values must already be wire-safe.
+pub fn write_request_with_headers(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    api_key: &str,
+    body: &[u8],
+    extra: &[(&str, String)],
+) -> io::Result<()> {
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nX-Api-Key: {api_key}\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nX-Api-Key: {api_key}\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -305,8 +359,34 @@ pub fn read_response(
         return Err(HttpError::TooLarge("response body exceeds the limit".into()));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    reader.read_exact(&mut body).map_err(|e| truncated_body(e, "response", content_length))?;
     Ok(Some(HttpResponse { status, headers, body }))
+}
+
+/// Classifies a body-read failure: EOF after a complete head is a
+/// [`HttpError::Truncated`] frame (retry-safe), anything else stays io.
+fn truncated_body(e: io::Error, what: &str, expected: usize) -> HttpError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        HttpError::Truncated(format!("{what} body truncated before {expected} bytes arrived"))
+    } else {
+        HttpError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE, reflected) over `bytes` — the integrity check carried in
+/// the `X-Body-Crc` header on both requests and responses, so a single
+/// flipped bit anywhere in a body is detected before the frame is acted
+/// on (chaos-transport corruption shows up as a typed refusal/retry, not
+/// a silently wrong count).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (0u32.wrapping_sub(crc & 1)));
+        }
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -414,6 +494,75 @@ mod tests {
         assert_eq!(req.path, "/v1/count");
         assert_eq!(req.header("x-api-key"), Some("k1"));
         assert_eq!(req.utf8_body().unwrap(), "query:\n  ?- e(X, Y).\n");
+    }
+
+    #[test]
+    fn truncated_response_body_is_typed_and_transient() {
+        // A complete head promising 10 body bytes, then EOF after 5: the
+        // loadgen retry path must see a typed `Truncated` (transient),
+        // not a bare io error it cannot classify.
+        let bytes = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort".as_slice();
+        let e = read_response(&mut BufReader::new(bytes), &HttpLimits::default()).unwrap_err();
+        assert!(matches!(e, HttpError::Truncated(_)), "{e:?}");
+        assert!(e.is_transient());
+        assert!(e.status().is_none(), "nothing can be answered on a dead frame");
+        assert!(e.detail().contains("truncated"), "{e:?}");
+        // Deterministic verdicts are NOT transient: retrying them loops.
+        assert!(!HttpError::Malformed("x".into()).is_transient());
+        assert!(!HttpError::TooLarge("x".into()).is_transient());
+        assert!(HttpError::Io(io::ErrorKind::ConnectionReset.into()).is_transient());
+    }
+
+    #[test]
+    fn extra_headers_round_trip() {
+        let mut buf = Vec::new();
+        write_response_with_headers(
+            &mut buf,
+            429,
+            "Too Many Requests",
+            "error: shed\n",
+            false,
+            &[("Retry-After", "1".to_string()), ("X-Body-Crc", format!("{:08x}", 7))],
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(buf.as_slice()), &HttpLimits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.header("x-body-crc"), Some("00000007"));
+        assert!(!resp.keep_alive());
+
+        let mut buf = Vec::new();
+        write_request_with_headers(
+            &mut buf,
+            "POST",
+            "/v1/count",
+            "k1",
+            b"body",
+            &[("Idempotency-Key", "req-0042".to_string())],
+        )
+        .unwrap();
+        let req = parse(&buf).unwrap().unwrap();
+        assert_eq!(req.header("idempotency-key"), Some("req-0042"));
+        assert_eq!(req.header("x-api-key"), Some("k1"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        // Any single flipped bit must change the checksum.
+        let body = b"ok: count\ncount: 17\n";
+        let base = crc32(body);
+        for i in 0..body.len() {
+            let mut corrupt = body.to_vec();
+            corrupt[i] ^= 0x20;
+            assert_ne!(crc32(&corrupt), base, "flip at byte {i} went undetected");
+        }
     }
 
     #[test]

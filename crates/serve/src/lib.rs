@@ -52,12 +52,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod http;
 pub mod loadgen;
 pub mod server;
 pub mod wire;
 
-pub use bagcq_engine::{DrainReport, TenantQuota, TenantSpec};
+pub use bagcq_engine::{DrainReport, RetryPolicy, TenantQuota, TenantSpec};
+pub use chaos::{ChaosTransport, Conn, ConnFault, NetFaultInjector, NetFaultKind, NetFaultPlan};
 pub use http::{HttpError, HttpLimits, HttpRequest, HttpResponse};
 pub use loadgen::{
     plan_requests, LoadgenConfig, LoadgenReport, PlannedRequest, SplitMix64, WorkloadMix,

@@ -18,10 +18,32 @@
 //! Randomness is a seeded [splitmix64](https://prng.di.unimi.it/splitmix64.c)
 //! stream — same seed, same workload, byte for byte. No system clock or
 //! OS entropy is consulted for workload decisions.
+//!
+//! ## Self-healing client
+//!
+//! With a [`RetryPolicy`] configured ([`LoadgenConfig::retry`]), the
+//! client retries *transient* failures — transport errors, truncated
+//! responses, `X-Body-Crc` mismatches, 408 slow-client evictions, and
+//! corruption-induced 400s on frames known to be well-formed — under
+//! bounded, deterministically-jittered backoff. Every request carries a
+//! deterministic `Idempotency-Key`, so a retried delivery is replayed
+//! bit-identically by the server *without* a second admission charge;
+//! the report's `retries`/`hedges` tallies plus the server's per-tenant
+//! `idempotent_replays` counter let a test assert exactly-once count
+//! semantics end to end. Typed overload sheds (429/503/504) are **not**
+//! retried — shedding is the server's contract, not a fault.
+//!
+//! [`LoadgenConfig::chaos_net`] additionally wraps the client's own
+//! sockets in the seeded [`crate::chaos`] transport, so a single
+//! process can rehearse faults on both sides of the wire.
 
-use crate::http::{read_response, write_request, HttpLimits, HttpResponse};
+use crate::chaos::{Conn, NetFaultInjector, NetFaultPlan};
+use crate::http::{
+    crc32, read_response, write_request_with_headers, HttpError, HttpLimits, HttpResponse,
+};
 use crate::wire::{parse_response, WireResponse};
 use bagcq_arith::Nat;
+use bagcq_engine::RetryPolicy;
 use bagcq_homcount::{BackendChoice, CountRequest};
 use bagcq_query::{parse_bag_instance_infer, parse_dlgp_query};
 use std::collections::HashMap;
@@ -70,6 +92,22 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// Request class weights.
     pub mix: WorkloadMix,
+    /// Transient-failure retry policy. `None` (the default) fails fast:
+    /// any transport hiccup is a `protocol_error`, exactly as before.
+    pub retry: Option<RetryPolicy>,
+    /// Hedged requests: when set, the *first* delivery of each request
+    /// gets this much time to answer; if it times out, the client
+    /// immediately re-issues under the same `Idempotency-Key` (counted
+    /// as a `hedge`, not a retry). The server's idempotency memo makes
+    /// the speculative duplicate safe.
+    pub hedge_after: Option<Duration>,
+    /// Wrap the client's own sockets in the seeded chaos transport
+    /// (connect side) — faults on the way *to* the server and on the
+    /// way back.
+    pub chaos_net: Option<u64>,
+    /// Per-socket read/write timeout; no client thread ever hangs on a
+    /// dead server longer than this.
+    pub io_timeout: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -81,6 +119,10 @@ impl Default for LoadgenConfig {
             requests: 20_000,
             connections: 8,
             mix: WorkloadMix::default(),
+            retry: None,
+            hedge_after: None,
+            chaos_net: None,
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -101,8 +143,16 @@ pub struct LoadgenReport {
     /// Anything off-protocol: resets, unparsable frames, wrong status
     /// for the payload, untyped errors.
     pub protocol_errors: u64,
-    /// Wire answers that disagreed with the in-process count.
+    /// Wire answers that disagreed with the in-process count, or 200
+    /// bodies that were not bit-identical across deliveries of the same
+    /// frame.
     pub mismatches: u64,
+    /// Transient failures that were retried (transport errors, CRC
+    /// mismatches, 408s, corruption-induced 400s).
+    pub retries: u64,
+    /// Speculative re-issues after a first delivery outlived
+    /// [`LoadgenConfig::hedge_after`].
+    pub hedges: u64,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
     /// log₂ latency histogram: bucket `i` counts requests that took
@@ -160,6 +210,8 @@ impl LoadgenReport {
             out.push_str(&format!("    {reason:<22} {n}\n"));
         }
         out.push_str(&format!("  rejected 400s   {}\n", self.rejected_malformed));
+        out.push_str(&format!("  retries         {}\n", self.retries));
+        out.push_str(&format!("  hedges          {}\n", self.hedges));
         out.push_str(&format!("  protocol errors {}\n", self.protocol_errors));
         out.push_str(&format!("  mismatches      {}\n", self.mismatches));
         out.push_str(&format!(
@@ -394,6 +446,8 @@ struct Tally {
     rejected_malformed: AtomicU64,
     protocol_errors: AtomicU64,
     mismatches: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
     latency_log2_us: [AtomicU64; 32],
     shed_reasons: std::sync::Mutex<HashMap<String, u64>>,
 }
@@ -406,6 +460,8 @@ impl Tally {
             rejected_malformed: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             mismatches: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
             latency_log2_us: std::array::from_fn(|_| AtomicU64::new(0)),
             shed_reasons: std::sync::Mutex::new(HashMap::new()),
         }
@@ -461,6 +517,12 @@ fn score(plan: &Plan, status: u16, response: &WireResponse, tally: &Tally) {
             "timeout" if status == 504 => {
                 tally.record_shed("timeout");
             }
+            // A slow-client eviction that survived the retry budget: the
+            // server held its deadline contract, so count it as a typed
+            // shed rather than breakage.
+            "slow_client" if status == 408 => {
+                tally.record_shed("slow_client");
+            }
             "failed_fast" if status == 503 => {
                 tally.record_shed(if reason.is_empty() { "failed_fast" } else { reason });
             }
@@ -471,28 +533,216 @@ fn score(plan: &Plan, status: u16, response: &WireResponse, tally: &Tally) {
     }
 }
 
-fn worker(addr: &str, api_key: &str, plan: &[Plan], tally: &Tally) -> Result<(), std::io::Error> {
-    let limits = HttpLimits::default();
-    let mut stream: Option<(BufReader<TcpStream>, TcpStream)> = None;
-    for item in plan {
-        if stream.is_none() {
-            let s = TcpStream::connect(addr)?;
-            s.set_nodelay(true).ok();
-            let w = s.try_clone()?;
-            stream = Some((BufReader::new(s), w));
+/// Shared, immutable client-side context for the closed-loop workers.
+struct ClientCtx {
+    addr: String,
+    api_key: String,
+    limits: HttpLimits,
+    injector: Option<Arc<NetFaultInjector>>,
+    retry: Option<RetryPolicy>,
+    hedge_after: Option<Duration>,
+    io_timeout: Duration,
+    seed: u64,
+}
+
+type ClientConn = (BufReader<Conn>, Conn);
+
+fn connect(ctx: &ClientCtx) -> Result<ClientConn, std::io::Error> {
+    let s = TcpStream::connect(&ctx.addr)?;
+    s.set_nodelay(true).ok();
+    let conn = Conn::from_stream(s, ctx.injector.as_deref(), "connect");
+    conn.set_write_timeout(Some(ctx.io_timeout))?;
+    let writer = conn.try_clone()?;
+    Ok((BufReader::new(conn), writer))
+}
+
+/// One wire exchange.
+enum Attempt {
+    /// A parseable HTTP response whose `X-Body-Crc` (if present)
+    /// verified.
+    Response(HttpResponse),
+    /// Transport-level failure — connect/write/read error, truncation,
+    /// or a response that failed its own integrity checksum.
+    /// `timed_out` marks read timeouts (the hedge trigger).
+    Transport { timed_out: bool },
+}
+
+fn attempt(
+    slot: &mut Option<ClientConn>,
+    ctx: &ClientCtx,
+    item: &Plan,
+    idem_key: &str,
+    read_timeout: Duration,
+) -> Attempt {
+    if slot.is_none() {
+        match connect(ctx) {
+            Ok(c) => *slot = Some(c),
+            Err(_) => return Attempt::Transport { timed_out: false },
         }
-        let (reader, writer) = stream.as_mut().expect("connection is live");
+    }
+    let (reader, writer) = slot.as_mut().expect("connection is live");
+    let _ = reader.get_ref().set_read_timeout(Some(read_timeout));
+    let extra = [
+        ("Idempotency-Key", idem_key.to_string()),
+        ("X-Body-Crc", format!("{:08x}", crc32(item.body.as_bytes()))),
+    ];
+    if write_request_with_headers(
+        writer,
+        "POST",
+        item.path,
+        &ctx.api_key,
+        item.body.as_bytes(),
+        &extra,
+    )
+    .is_err()
+    {
+        *slot = None;
+        return Attempt::Transport { timed_out: false };
+    }
+    match read_response(reader, &ctx.limits) {
+        Ok(Some(http)) => {
+            // Transport integrity: a response failing its own checksum
+            // was corrupted on the wire — drop the connection (its byte
+            // stream is untrustworthy) and treat it as transport loss.
+            if let Some(declared) = http.header("x-body-crc") {
+                if u32::from_str_radix(declared.trim(), 16) != Ok(crc32(&http.body)) {
+                    *slot = None;
+                    return Attempt::Transport { timed_out: false };
+                }
+            }
+            if !http.keep_alive() {
+                *slot = None;
+            }
+            Attempt::Response(http)
+        }
+        Ok(None) => {
+            *slot = None;
+            Attempt::Transport { timed_out: false }
+        }
+        Err(e) => {
+            let timed_out = matches!(
+                &e,
+                HttpError::Io(io)
+                    if matches!(io.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+            );
+            *slot = None;
+            Attempt::Transport { timed_out }
+        }
+    }
+}
+
+/// `true` when a *parsed* response is a transient failure worth
+/// retrying: a 408 slow-client eviction, a typed `corrupt` rejection
+/// (the server caught mangled bytes via `X-Body-Crc`), or any 400 on a
+/// frame the plan knows is well-formed (corruption the checksum did not
+/// cover, e.g. mangled request headers). Typed sheds (429/503/504) are
+/// deliberately *not* transient — backoff contracts, not faults.
+fn transient_response(item: &Plan, status: u16, wire: &WireResponse) -> bool {
+    match wire {
+        WireResponse::Error { kind, .. } => {
+            status == 408
+                || kind == "corrupt"
+                || (status == 400 && !matches!(item.expect, Expect::Malformed))
+        }
+        _ => false,
+    }
+}
+
+/// Cap on the per-worker first-delivery body map (bit-identity oracle);
+/// the hot pool lands in it immediately, cold one-shot frames past the
+/// cap are simply not cross-checked.
+const FIRST_BODY_CAP: usize = 1024;
+
+fn worker(ctx: &ClientCtx, plan: &[Plan], base_index: u64, tally: &Tally) {
+    let mut slot: Option<ClientConn> = None;
+    // First 200 body observed per request frame: every later delivery
+    // of the same frame must be bit-identical (the server's answers are
+    // pure functions of the body).
+    let mut first_bodies: HashMap<&str, String> = HashMap::new();
+    let max_retries = ctx.retry.as_ref().map_or(0, |r| r.max_retries);
+    for (i, item) in plan.iter().enumerate() {
+        let global = base_index + i as u64;
+        // Deterministic per-request identity: retries and hedges of this
+        // request all carry the same key, distinct from every other
+        // request in the run.
+        let idem_key = format!("lg-{:016x}-{global}", ctx.seed);
+        let salt = ctx.seed ^ global.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut retries_used = 0u32;
+        let mut hedge_armed = ctx.hedge_after.is_some();
         let started = Instant::now();
-        let response: Option<HttpResponse> =
-            match write_request(writer, "POST", item.path, api_key, item.body.as_bytes()) {
-                Ok(()) => read_response(reader, &limits).ok().flatten(),
-                Err(_) => None,
+        let outcome: Option<HttpResponse> = loop {
+            let read_timeout = match (hedge_armed, ctx.hedge_after) {
+                (true, Some(h)) => h.min(ctx.io_timeout),
+                _ => ctx.io_timeout,
             };
+            let mut transient = |tally: &Tally| -> bool {
+                if retries_used < max_retries {
+                    retries_used += 1;
+                    tally.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(policy) = &ctx.retry {
+                        thread::sleep(policy.backoff(retries_used - 1, salt));
+                    }
+                    true
+                } else {
+                    false
+                }
+            };
+            match attempt(&mut slot, ctx, item, &idem_key, read_timeout) {
+                Attempt::Response(http) => {
+                    let parsed = http.utf8_body().ok().and_then(|t| parse_response(t).ok());
+                    match parsed {
+                        Some(wire) => {
+                            if transient_response(item, http.status, &wire) && transient(tally) {
+                                continue;
+                            }
+                            break Some(http);
+                        }
+                        None => {
+                            // Unparsable body that still passed framing:
+                            // transport-grade garbage.
+                            slot = None;
+                            if transient(tally) {
+                                continue;
+                            }
+                            break None;
+                        }
+                    }
+                }
+                Attempt::Transport { timed_out } => {
+                    if timed_out && hedge_armed {
+                        // Hedge: the first delivery outlived its budget;
+                        // re-issue immediately under the same key (the
+                        // idempotency memo absorbs the duplicate).
+                        hedge_armed = false;
+                        tally.hedges.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    hedge_armed = false;
+                    if transient(tally) {
+                        continue;
+                    }
+                    break None;
+                }
+            }
+        };
         tally.record_latency(started.elapsed());
-        match response {
+        match outcome {
             Some(http) => {
-                if !http.keep_alive() {
-                    stream = None;
+                // Delivery bit-identity: two 200s for the same frame
+                // must match byte for byte.
+                if http.status == 200 {
+                    if let Ok(body) = http.utf8_body() {
+                        match first_bodies.get(item.body.as_str()) {
+                            Some(first) if first != body => {
+                                tally.mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(_) => {}
+                            None if first_bodies.len() < FIRST_BODY_CAP => {
+                                first_bodies.insert(item.body.as_str(), body.to_string());
+                            }
+                            None => {}
+                        }
+                    }
                 }
                 match http.utf8_body().ok().and_then(|t| parse_response(t).ok()) {
                     Some(wire) => score(item, http.status, &wire, tally),
@@ -502,14 +752,12 @@ fn worker(addr: &str, api_key: &str, plan: &[Plan], tally: &Tally) -> Result<(),
                 }
             }
             None => {
-                // Connection died mid-exchange (or the server answered
-                // off-protocol): count it and reconnect.
+                // Transport failure that survived the retry budget (or
+                // fail-fast mode without one): off-protocol.
                 tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                stream = None;
             }
         }
     }
-    Ok(())
 }
 
 /// Runs the load: builds the seeded plan, fans it out over
@@ -519,20 +767,24 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let plan = build_plan(config);
     let tally = Arc::new(Tally::new());
     let connections = config.connections.max(1);
-    let chunk = plan.len().div_ceil(connections);
+    let chunk = plan.len().div_ceil(connections).max(1);
+    let ctx = Arc::new(ClientCtx {
+        addr: config.addr.clone(),
+        api_key: config.api_key.clone(),
+        limits: HttpLimits::default(),
+        injector: config.chaos_net.map(|seed| NetFaultInjector::new(NetFaultPlan::seeded(seed))),
+        retry: config.retry.clone(),
+        hedge_after: config.hedge_after,
+        io_timeout: config.io_timeout,
+        seed: config.seed,
+    });
     let started = Instant::now();
     thread::scope(|scope| {
-        for shard in plan.chunks(chunk.max(1)) {
+        for (shard_idx, shard) in plan.chunks(chunk).enumerate() {
             let tally = Arc::clone(&tally);
-            let addr = config.addr.clone();
-            let api_key = config.api_key.clone();
-            scope.spawn(move || {
-                if worker(&addr, &api_key, shard, &tally).is_err() {
-                    // Could not even connect: every request in the shard
-                    // is a protocol error.
-                    tally.protocol_errors.fetch_add(shard.len() as u64, Ordering::Relaxed);
-                }
-            });
+            let ctx = Arc::clone(&ctx);
+            let base_index = (shard_idx * chunk) as u64;
+            scope.spawn(move || worker(&ctx, shard, base_index, &tally));
         }
     });
     let elapsed = started.elapsed();
@@ -543,6 +795,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         rejected_malformed: tally.rejected_malformed.load(Ordering::Relaxed),
         protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
         mismatches: tally.mismatches.load(Ordering::Relaxed),
+        retries: tally.retries.load(Ordering::Relaxed),
+        hedges: tally.hedges.load(Ordering::Relaxed),
         elapsed,
         latency_log2_us: [0; 32],
         shed_reasons: tally.shed_reasons.lock().unwrap_or_else(|p| p.into_inner()).clone(),

@@ -1,0 +1,347 @@
+//! Wire-level chaos end-to-end suite: a real `Server` wrapped in the
+//! seeded fault transport, driven by the self-healing load generator.
+//!
+//! The contract under test, for any fault schedule the plan can draw:
+//!
+//! * every answer the client accepts is **bit-identical** to the
+//!   in-process oracle (and to every other delivery of the same frame);
+//! * no request hangs past its deadlines — slow clients are evicted
+//!   with a typed 408, slow servers are abandoned by client timeouts;
+//! * retries and hedges never double-charge admission: per tenant,
+//!   `admitted` counts each `Idempotency-Key` at most once and
+//!   `idempotent_replays` accounts for every replayed delivery;
+//! * the planted `corrupt-pass` bug (a server that corrupts count
+//!   frames *before* checksumming them) is caught by the client's
+//!   end-to-end oracle — proof the oracle is not vacuous.
+
+use bagcq_serve::http::{crc32, read_response, write_request_with_headers, HttpLimits};
+use bagcq_serve::{
+    parse_response, LoadgenConfig, NetFaultPlan, RetryPolicy, Server, ServerConfig, TenantQuota,
+    TenantSpec, WireResponse, WorkloadMix,
+};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn open_tenant() -> TenantSpec {
+    TenantSpec::new("default", "dev-key").with_quota(TenantQuota {
+        rate_per_sec: 0,
+        burst: 0,
+        max_in_flight: 0,
+        max_connections: 0,
+    })
+}
+
+/// POST with extra headers over a fresh connection; returns the full
+/// response.
+fn post_with_headers(
+    addr: &str,
+    path: &str,
+    key: &str,
+    body: &str,
+    extra: &[(&str, String)],
+) -> bagcq_serve::HttpResponse {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    write_request_with_headers(&mut writer, "POST", path, key, body.as_bytes(), extra)
+        .expect("write");
+    read_response(&mut reader, &HttpLimits::default())
+        .expect("read")
+        .expect("server closed without answering")
+}
+
+/// Plain GET over a fresh connection; returns `(status, body)`.
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("write");
+    let mut reader = BufReader::new(stream);
+    let resp = read_response(&mut reader, &HttpLimits::default())
+        .expect("read")
+        .expect("server closed without answering");
+    (resp.status, resp.utf8_body().expect("utf-8").to_string())
+}
+
+/// The tentpole property: a chaos-wrapped server (faults on every
+/// accepted connection per the seeded plan) driven by a retrying,
+/// chaos-wrapped client still produces a **clean** run — zero protocol
+/// errors, zero mismatches — and admission is never double-charged.
+#[test]
+fn chaos_loadgen_with_retries_is_clean_and_never_double_charges() {
+    let server = Server::start(ServerConfig {
+        tenants: vec![open_tenant()],
+        chaos: Some(NetFaultPlan::seeded(7)),
+        ..Default::default()
+    })
+    .expect("server starts");
+
+    let config = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: 400,
+        connections: 4,
+        seed: 7,
+        retry: Some(RetryPolicy { max_retries: 8, ..RetryPolicy::default() }),
+        chaos_net: Some(99), // faults on the client's own sockets too
+        io_timeout: Duration::from_secs(5),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let report = bagcq_serve::loadgen::run(&config);
+    // No-hang bound: deadlines and capped faults, not wall-clock
+    // patience, decide every exchange.
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "chaos run exceeded its completion bound: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(report.protocol_errors, 0, "chaos must be healed:\n{}", report.render());
+    assert_eq!(report.mismatches, 0, "answers diverged under chaos:\n{}", report.render());
+    assert!(report.clean());
+    assert!(report.ok > 0, "no successful requests:\n{}", report.render());
+
+    // Exactly-once accounting: each planned well-formed request carries
+    // one Idempotency-Key and is charged admission at most once, no
+    // matter how many times chaos forced a re-delivery.
+    let wellformed = bagcq_serve::plan_requests(&config).iter().filter(|p| !p.malformed).count();
+    let snap = server.metrics();
+    let tenant = snap.tenants.iter().find(|t| t.name == "default").expect("tenant counters");
+    assert!(
+        tenant.admitted <= wellformed as u64,
+        "admission double-charged: {} admitted for {wellformed} well-formed requests (retries {}, \
+         replays {})",
+        tenant.admitted,
+        report.retries,
+        tenant.idempotent_replays
+    );
+    // Every client-accepted 200 was either a charged first delivery or
+    // an uncharged idempotent replay.
+    assert!(
+        tenant.admitted + tenant.idempotent_replays >= report.ok,
+        "unaccounted 200s: admitted {} + replays {} < ok {}",
+        tenant.admitted,
+        tenant.idempotent_replays,
+        report.ok
+    );
+    server.shutdown();
+}
+
+/// Hedged requests are speculative duplicates by design; the run must
+/// still be clean (the idempotency memo absorbs the duplicates).
+#[test]
+fn hedged_chaos_run_stays_clean() {
+    let server = Server::start(ServerConfig {
+        tenants: vec![open_tenant()],
+        chaos: Some(NetFaultPlan::seeded(42).with_stall(Duration::from_millis(40))),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let report = bagcq_serve::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: 200,
+        connections: 2,
+        seed: 42,
+        retry: Some(RetryPolicy { max_retries: 8, ..RetryPolicy::default() }),
+        hedge_after: Some(Duration::from_millis(250)),
+        io_timeout: Duration::from_secs(5),
+        // No malformed frames: isolate the hedge/retry path.
+        mix: WorkloadMix { hot_count_per_1024: 924, check_per_1024: 100, malformed_per_1024: 0 },
+        ..Default::default()
+    });
+    assert!(report.clean(), "hedged chaos run was not clean:\n{}", report.render());
+    assert!(report.ok > 0);
+    server.shutdown();
+}
+
+/// An explicit exactly-once probe: the same frame delivered twice under
+/// one `Idempotency-Key` answers bit-identically, charges admission
+/// once, and counts one replay.
+#[test]
+fn idempotent_retry_is_replayed_bit_identically_and_charged_once() {
+    let server = Server::start(ServerConfig { tenants: vec![open_tenant()], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let body = "query: ?- e(X, Y).\ndata: e(a, b)@2.\n";
+    let headers = [
+        ("Idempotency-Key", "probe-1".to_string()),
+        ("X-Body-Crc", format!("{:08x}", crc32(body.as_bytes()))),
+    ];
+
+    let first = post_with_headers(&addr, "/v1/count", "dev-key", body, &headers);
+    assert_eq!(first.status, 200, "first delivery failed");
+    let second = post_with_headers(&addr, "/v1/count", "dev-key", body, &headers);
+    assert_eq!(second.status, 200, "replayed delivery failed");
+    assert_eq!(first.body, second.body, "replay must be bit-identical to the first delivery");
+
+    let snap = server.metrics();
+    let tenant = snap.tenants.iter().find(|t| t.name == "default").expect("tenant counters");
+    assert_eq!(tenant.admitted, 1, "the retry must not be charged a second admission");
+    assert_eq!(tenant.idempotent_replays, 1, "the second delivery must count as a replay");
+    server.shutdown();
+}
+
+/// A client that starts a request and then trickles nothing is evicted
+/// with a typed, `Retry-After`-carrying 408 — within the read deadline,
+/// not the (longer) idle timeout.
+#[test]
+fn slow_loris_clients_are_evicted_with_a_typed_408() {
+    let server = Server::start(ServerConfig {
+        tenants: vec![open_tenant()],
+        read_deadline: Duration::from_millis(300),
+        idle_timeout: Duration::from_secs(30),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // Head + a declared-but-never-sent body: the request has started,
+    // so the read deadline (not the idle timeout) governs.
+    write!(
+        stream,
+        "POST /v1/count HTTP/1.1\r\nHost: t\r\nX-Api-Key: dev-key\r\nContent-Length: 400\r\n\r\nquery:"
+    )
+    .expect("write");
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let resp = read_response(&mut reader, &HttpLimits::default())
+        .expect("read")
+        .expect("server closed without answering the slow client");
+    let waited = started.elapsed();
+    assert_eq!(resp.status, 408, "slow clients must get a typed 408");
+    assert_eq!(resp.header("retry-after"), Some("1"), "408s must carry Retry-After");
+    match parse_response(resp.utf8_body().expect("utf-8")).expect("typed frame") {
+        WireResponse::Error { kind, reason, .. } => {
+            assert_eq!(kind, "slow_client");
+            assert_eq!(reason, "read_deadline");
+        }
+        other => panic!("expected a typed slow_client error, got {other:?}"),
+    }
+    assert!(
+        waited < Duration::from_secs(10),
+        "eviction took {waited:?}; the idle timeout leaked into the request phase"
+    );
+    // The connection is closed after eviction.
+    let mut rest = Vec::new();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut tail = reader;
+    let _ = tail.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "server kept talking after evicting: {rest:?}");
+    server.shutdown();
+}
+
+/// The per-tenant connection cap: a second concurrent socket for the
+/// same tenant sheds with a typed `connection_limit` 429 and closes;
+/// releasing the first slot readmits.
+#[test]
+fn per_tenant_connection_cap_sheds_and_releases() {
+    let capped = TenantSpec::new("default", "dev-key").with_quota(TenantQuota {
+        rate_per_sec: 0,
+        burst: 0,
+        max_in_flight: 0,
+        max_connections: 1,
+    });
+    let server = Server::start(ServerConfig { tenants: vec![capped], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let body = "query: ?- e(X, Y).\ndata: e(a, b).\n";
+
+    // Connection A takes the tenant's one slot and keeps it alive.
+    let a = TcpStream::connect(&addr).expect("connect");
+    a.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut a_writer = a.try_clone().expect("clone");
+    let mut a_reader = BufReader::new(a);
+    write_request_with_headers(&mut a_writer, "POST", "/v1/count", "dev-key", body.as_bytes(), &[])
+        .expect("write");
+    let first =
+        read_response(&mut a_reader, &HttpLimits::default()).expect("read").expect("server closed");
+    assert_eq!(first.status, 200, "the first connection must get the slot");
+
+    // Connection B must shed with the typed connection-limit 429.
+    let shed = post_with_headers(&addr, "/v1/count", "dev-key", body, &[]);
+    assert_eq!(shed.status, 429, "second concurrent connection must shed");
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    match parse_response(shed.utf8_body().expect("utf-8")).expect("typed frame") {
+        WireResponse::Error { kind, reason, .. } => {
+            assert_eq!(kind, "shed");
+            assert_eq!(reason, "connection_limit");
+        }
+        other => panic!("expected a typed connection_limit shed, got {other:?}"),
+    }
+
+    // Releasing A's socket frees the slot (the server notices on its
+    // side asynchronously — poll briefly).
+    drop(a_reader);
+    drop(a_writer);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let retry = post_with_headers(&addr, "/v1/count", "dev-key", body, &[]);
+        if retry.status == 200 {
+            break;
+        }
+        assert_eq!(retry.status, 429, "unexpected status while waiting for slot release");
+        assert!(Instant::now() < deadline, "connection slot never released");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let snap = server.metrics();
+    let tenant = snap.tenants.iter().find(|t| t.name == "default").expect("tenant counters");
+    assert!(tenant.connection_rejections >= 1, "the shed must be counted");
+    server.shutdown();
+}
+
+/// `/healthz` surfaces the live engine health and flips to `draining`.
+#[test]
+fn healthz_surfaces_live_health_and_draining() {
+    let server = Server::start(ServerConfig { tenants: vec![open_tenant()], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok: healthy\n", "fresh server must report healthy");
+
+    server.drain(Duration::from_secs(5));
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok: draining\n", "drained server must report draining");
+    server.shutdown();
+}
+
+/// The oracle self-test: a server that corrupts every 200 count frame
+/// *before* checksumming it defeats every transport-level integrity
+/// check — and the load generator's end-to-end count oracle must still
+/// catch it. (CI runs the binary equivalent via
+/// `BAGCQ_CHAOS_NET_BREAK=corrupt-pass` and asserts a non-zero exit.)
+#[test]
+fn corrupt_pass_break_is_caught_by_the_count_oracle_not_the_crc() {
+    let server = Server::start(ServerConfig {
+        tenants: vec![open_tenant()],
+        chaos_break_corrupt_pass: true,
+        ..Default::default()
+    })
+    .expect("server starts");
+    let report = bagcq_serve::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: 120,
+        connections: 2,
+        seed: 7,
+        retry: Some(RetryPolicy { max_retries: 2, ..RetryPolicy::default() }),
+        io_timeout: Duration::from_secs(5),
+        ..Default::default()
+    });
+    assert!(
+        report.mismatches > 0,
+        "the planted corruption must be caught by the count oracle:\n{}",
+        report.render()
+    );
+    assert!(!report.clean(), "a corrupting server must fail the run");
+    assert_eq!(
+        report.protocol_errors,
+        0,
+        "corrupt-pass is invisible to transport checks by construction:\n{}",
+        report.render()
+    );
+    server.shutdown();
+}

@@ -20,7 +20,20 @@ fn open_tenant() -> TenantSpec {
         rate_per_sec: 0,
         burst: 0,
         max_in_flight: 0,
+        max_connections: 0,
     })
+}
+
+/// Like [`post`] but returns the whole parsed response, headers
+/// included — for the `Retry-After` / `X-Body-Crc` contract assertions.
+fn post_full(addr: &str, path: &str, key: &str, body: &str) -> bagcq_serve::HttpResponse {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    write_request(&mut writer, "POST", path, key, body.as_bytes()).expect("write");
+    read_response(&mut reader, &HttpLimits::default())
+        .expect("read")
+        .expect("server closed without answering")
 }
 
 fn post(addr: &str, path: &str, key: &str, body: &str) -> (u16, String) {
@@ -71,6 +84,7 @@ fn overload_sheds_are_typed_and_nothing_else_breaks() {
         rate_per_sec: 5,
         burst: 5,
         max_in_flight: 2,
+        max_connections: 0,
     });
     let server = Server::start(ServerConfig { tenants: vec![tight], ..Default::default() })
         .expect("server starts");
@@ -146,6 +160,56 @@ fn admin_drain_over_http_requires_the_admin_key() {
         server.wait_shutdown_requested(Duration::from_secs(5)),
         "HTTP drain must request process shutdown"
     );
+    server.shutdown();
+}
+
+/// Retry contract: every shed (429 quota, 503 draining) carries a
+/// `Retry-After` header, and every response body carries a verifiable
+/// `X-Body-Crc` checksum.
+#[test]
+fn sheds_carry_retry_after_and_every_response_carries_a_crc() {
+    use bagcq_serve::http::crc32;
+
+    let tight = TenantSpec::new("default", "dev-key").with_quota(TenantQuota {
+        rate_per_sec: 1,
+        burst: 1,
+        max_in_flight: 0,
+        max_connections: 0,
+    });
+    // A second, unlimited tenant so the draining 503 is observable
+    // without the quota 429 masking it.
+    let open = TenantSpec::new("open", "open-key").with_quota(TenantQuota {
+        rate_per_sec: 0,
+        burst: 0,
+        max_in_flight: 0,
+        max_connections: 0,
+    });
+    let server = Server::start(ServerConfig { tenants: vec![tight, open], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let body = "query: ?- e(X, Y).\ndata: e(a, b).\n";
+
+    // The one burst token: a clean 200, checksummed.
+    let ok = post_full(&addr, "/v1/count", "dev-key", body);
+    assert_eq!(ok.status, 200, "first request must use the burst token");
+    let declared = ok.header("x-body-crc").expect("200s carry X-Body-Crc");
+    assert_eq!(
+        u32::from_str_radix(declared, 16).expect("hex crc"),
+        crc32(&ok.body),
+        "declared response checksum must match the body"
+    );
+
+    // Quota exhausted: typed 429 with Retry-After.
+    let shed = post_full(&addr, "/v1/count", "dev-key", body);
+    assert_eq!(shed.status, 429, "second request must shed on quota");
+    assert_eq!(shed.header("retry-after"), Some("1"), "429 sheds must carry Retry-After");
+    assert!(shed.header("x-body-crc").is_some(), "sheds are checksummed too");
+
+    // Draining: typed 503 with Retry-After.
+    server.drain(Duration::from_secs(5));
+    let shed = post_full(&addr, "/v1/count", "open-key", body);
+    assert_eq!(shed.status, 503, "post-drain requests must shed");
+    assert_eq!(shed.header("retry-after"), Some("1"), "503 sheds must carry Retry-After");
     server.shutdown();
 }
 

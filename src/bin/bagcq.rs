@@ -248,7 +248,7 @@ fn cmd_hde(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use bagcq_serve::{Server, ServerConfig, TenantQuota, TenantSpec};
+    use bagcq_serve::{NetFaultPlan, Server, ServerConfig, TenantQuota, TenantSpec};
     let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
         match flag_value(args, flag) {
             None => Ok(default),
@@ -259,18 +259,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         rate_per_sec: parse_u64("--rate", TenantQuota::default().rate_per_sec)?,
         burst: parse_u64("--burst", TenantQuota::default().burst)?,
         max_in_flight: parse_u64("--max-in-flight", TenantQuota::default().max_in_flight)?,
+        max_connections: parse_u64("--max-tenant-connections", 0)?,
+    };
+    let chaos = flag_value(args, "--chaos-net")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("--chaos-net needs a seed, got {v:?}")))
+        .transpose()?
+        .map(NetFaultPlan::seeded);
+    // Planted-bug self-test (CI's oracle leg): corrupt every 200 count
+    // frame in a way transport checksums cannot see, and prove the
+    // loadgen's end-to-end oracle still catches it.
+    let break_corrupt_pass = match std::env::var("BAGCQ_CHAOS_NET_BREAK").ok().as_deref() {
+        None | Some("") => false,
+        Some("corrupt-pass") => true,
+        Some(other) => return Err(format!("unknown BAGCQ_CHAOS_NET_BREAK mode {other:?}")),
     };
     let api_key = flag_value(args, "--api-key").unwrap_or("dev-key").to_string();
     let admin_key = flag_value(args, "--admin-key").unwrap_or("admin-key").to_string();
+    let chaos_banner = chaos.as_ref().map(|p| format!("chaos-net seed {}", p.seed));
     let config = ServerConfig {
         addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:4017").to_string(),
         tenants: vec![TenantSpec::new("default", &api_key).with_quota(quota)],
         admin_key: Some(admin_key.clone()),
+        chaos,
+        chaos_break_corrupt_pass: break_corrupt_pass,
         ..ServerConfig::default()
     };
     let server = Server::start(config).map_err(|e| format!("binding the server: {e}"))?;
     let addr = server.local_addr();
     println!("bagcq-serve listening on {addr}");
+    if let Some(banner) = chaos_banner {
+        println!("  {banner}: every accepted connection rides the seeded fault transport");
+    }
+    if break_corrupt_pass {
+        println!("  BREAK MODE corrupt-pass: 200 count frames are deliberately corrupted");
+    }
     println!("  try: curl -s http://{addr}/healthz");
     println!("  try: printf 'query:\\n  ?- e(X, Y).\\ndata:\\n  e(a, b)@2.\\n  e(b, c).\\n' | \\");
     println!("       curl -s -H 'X-Api-Key: {api_key}' --data-binary @- http://{addr}/v1/count");
@@ -375,9 +397,17 @@ fn cmd_falsify(args: &[String]) -> Result<ExitCode, String> {
         // Hidden hook: deliberately break a named oracle so CI can prove
         // the fleet catches (and shrinks) a planted bug.
         break_lemma: std::env::var("BAGCQ_FALSIFY_BREAK").ok().filter(|s| !s.is_empty()),
+        chaos_net: flag_value(args, "--chaos-net")
+            .map(|v| v.parse::<u64>().map_err(|_| format!("--chaos-net needs a seed, got {v:?}")))
+            .transpose()?,
     };
     if let Some(lemma) = &config.break_lemma {
         println!("note: BAGCQ_FALSIFY_BREAK={lemma} — the {lemma} oracle is deliberately wrong");
+    }
+    if let Some(seed) = config.chaos_net {
+        println!(
+            "note: --chaos-net {seed} — the serve-parity leg rides the seeded fault transport"
+        );
     }
     let report = run_fleet(&config);
     print!("{}", report.render());

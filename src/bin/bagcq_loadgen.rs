@@ -11,9 +11,19 @@
 //! mismatch; `--require-sheds` additionally demands that the run saw
 //! typed 429/503 sheds (overload CI), and `--min-req-per-sec N` enforces
 //! a throughput floor.
+//!
+//! Chaos mode: `--retries N` turns on the self-healing client (bounded
+//! retries of transient faults under deterministic backoff, one
+//! `Idempotency-Key` per request so re-deliveries are exactly-once),
+//! `--hedge-after-ms N` speculatively re-issues slow first deliveries,
+//! and `--chaos-net SEED` injects seeded faults into the *client's* own
+//! sockets. Run against `bagcq serve --chaos-net SEED` for the full
+//! both-sides chaos rehearsal — the run must still be clean.
 
 use bagcq_serve::loadgen::{run, LoadgenConfig, WorkloadMix};
+use bagcq_serve::RetryPolicy;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -36,6 +46,7 @@ USAGE:
   bagcq_loadgen [--addr HOST:PORT] [--api-key K] [--seed N]
                 [--requests N] [--connections N]
                 [--malformed-per-1024 N]
+                [--retries N] [--hedge-after-ms N] [--chaos-net SEED]
                 [--require-sheds] [--min-req-per-sec N]
 
 Exits 0 only when the run is clean: zero protocol errors, zero count
@@ -69,6 +80,18 @@ fn try_main(args: &[String]) -> Result<ExitCode, String> {
             )?,
             ..default_mix
         },
+        retry: match parse_flag(args, "--retries", 0u32)? {
+            0 => None,
+            n => Some(RetryPolicy { max_retries: n, ..RetryPolicy::default() }),
+        },
+        hedge_after: match parse_flag(args, "--hedge-after-ms", 0u64)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        chaos_net: flag_value(args, "--chaos-net")
+            .map(|v| v.parse().map_err(|_| format!("--chaos-net needs a seed, got {v:?}")))
+            .transpose()?,
+        io_timeout: defaults.io_timeout,
     };
     let require_sheds = args.iter().any(|a| a == "--require-sheds");
     let min_req_per_sec: f64 = parse_flag(args, "--min-req-per-sec", 0.0)?;
