@@ -26,22 +26,22 @@ fn bench_verdict_paths(c: &mut Criterion) {
     let loops = qb.build();
     let edges = path_query(&s, "E", 1);
     group.bench_function("proved_onto_hom", |b| {
-        let checker = ContainmentChecker::new();
-        b.iter(|| checker.check(&loops, &edges))
+        let req = CheckRequest::new(&loops, &edges);
+        b.iter(|| req.check())
     });
 
     // Chandra–Merlin refutation path.
     let p2 = path_query(&s, "E", 2);
     let c3 = cycle_query(&s, "E", 3);
     group.bench_function("refuted_canonical", |b| {
-        let checker = ContainmentChecker::new();
-        b.iter(|| checker.check(&p2, &c3))
+        let req = CheckRequest::new(&p2, &c3);
+        b.iter(|| req.check())
     });
 
     // Bag-strict refutation (structured candidates).
     group.bench_function("refuted_bag_strict", |b| {
-        let checker = ContainmentChecker::new();
-        b.iter(|| checker.check(&edges, &p2))
+        let req = CheckRequest::new(&edges, &p2);
+        b.iter(|| req.check())
     });
 
     // Theorem 5 elimination path.
@@ -51,17 +51,17 @@ fn bench_verdict_paths(c: &mut Criterion) {
     qb.atom_named("E", &[x, y]).neq(x, y);
     let edges_neq = qb.build();
     group.bench_function("refuted_via_theorem5", |b| {
-        let checker = ContainmentChecker::new();
-        b.iter(|| checker.check(&edges_neq, &p2))
+        let req = CheckRequest::new(&edges_neq, &p2);
+        b.iter(|| req.check())
     });
 
     // Unknown path with a tiny budget (measures the full sweep cost).
     let c4 = cycle_query(&s, "E", 4);
     let c4c4 = c4.disjoint_conj(&c4);
     group.bench_function("sweep_small_budget", |b| {
-        let mut checker = ContainmentChecker::new();
-        checker.budget.random_rounds = 5;
-        b.iter(|| checker.check(&c4c4, &c4))
+        let req = CheckRequest::new(&c4c4, &c4)
+            .budget(SearchBudget { random_rounds: 5, ..SearchBudget::default() });
+        b.iter(|| req.check())
     });
 
     group.finish();

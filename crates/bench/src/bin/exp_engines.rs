@@ -205,8 +205,8 @@ fn main() {
     let counter = engine.cached_counter();
     let edges = path_query(&schema, "E", 1);
     let walks = path_query(&schema, "E", 2);
-    let verdict = ContainmentChecker::new()
-        .try_check_with_counter(&edges, &walks, &|q, db| counter.try_count(q, db))
+    let verdict = CheckRequest::new(&edges, &walks)
+        .try_check_with_counter(&|q, db| counter.try_count(q, db))
         .expect("no faults configured, counts cannot fail");
     assert!(verdict.is_refuted(), "edges ≤ 2-walks must be refuted");
     println!();

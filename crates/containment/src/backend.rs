@@ -1,0 +1,1249 @@
+//! The unified containment API: [`ContainmentBackend`] implementations
+//! behind a [`CheckRequest`] builder, mirroring the counting stack's
+//! `CountBackend`/`CountRequest` redesign.
+//!
+//! Historically the crate exposed one concrete struct
+//! ([`ContainmentChecker`]) hard-wired into every consumer, which made
+//! the bag-semantics refutation search the *only* reachable containment
+//! workload. This module opens the layer up: every check is a
+//! [`CheckRequest`] — a pair of [`UnionQuery`] sides, a [`Semantics`], a
+//! backend preference, a multiplier and a search budget — and every
+//! decision procedure sits behind the [`ContainmentBackend`] trait. Four
+//! backends register ([`ContainmentChoice`]):
+//!
+//! * `BagSearch` — the original `q·ϱ_s(D) ≤ ϱ_b(D)` harness
+//!   ([`ContainmentChecker`]): sound certificates, verified
+//!   counterexamples, honest Unknowns. CQ pairs under bag semantics.
+//! * `SetChandraMerlin` — the 1977 set-semantics criterion: `ψ_s ⊑set
+//!   ψ_b` iff `ψ_b` maps homomorphically into the canonical structure of
+//!   `ψ_s`. Decidable, so it never answers Unknown.
+//! * `SetUcq` — the Sagiv–Yannakakis all/any reduction for unions:
+//!   `U₁ ⊑set U₂` iff every disjunct of `U₁` is Chandra–Merlin-contained
+//!   in *some* disjunct of `U₂`. Exact (the canonical structure of a
+//!   failing disjunct is the witness). Decidable.
+//! * `BagUcq` — refutation search for bag-union containment
+//!   (`Σᵢ φᵢ(D) ≤ Σⱼ ψⱼ(D)`, the `QCP^bag_UCQ` problem Ioannidis–
+//!   Ramakrishnan proved undecidable): a disjunct-matching
+//!   onto-homomorphism certificate, canonical/structured/random
+//!   counterexample candidates, honest Unknowns.
+//!
+//! The `BAGCQ_CONTAINMENT` environment variable (values `auto`,
+//! `bag-search`, `set-chandra-merlin`, `set-ucq`, `bag-ucq`) overrides
+//! what `Auto` resolves to — the CI containment matrix forces each
+//! backend through every `Auto` call site this way. The override only
+//! redirects `Auto`, and only towards a backend that actually supports
+//! the request; explicitly pinned choices are never overridden, so
+//! differential tests stay meaningful under the matrix.
+
+use crate::checker::{ContainmentChecker, SearchBudget, TryCountFn};
+use crate::verdict::{Certificate, Counterexample, Provenance, Verdict};
+use bagcq_arith::{Nat, Rat};
+use bagcq_homcount::{find_onto_hom, BackendChoice, CountRequest};
+use bagcq_query::{Query, UnionQuery};
+use bagcq_structure::{Structure, StructureGen};
+use std::cell::RefCell;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Which semantics a [`CheckRequest`] decides containment under.
+///
+/// Bag semantics compares homomorphism *counts* (`ϱ_s(D) ≤ ϱ_b(D)`);
+/// set semantics compares mere *satisfaction* (`D ⊨ ϱ_s ⇒ D ⊨ ϱ_b`).
+/// Bag containment implies set containment, never the reverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Semantics {
+    /// Count-based containment — the paper's open/undecidable world.
+    #[default]
+    Bag,
+    /// Satisfaction-based containment — the decidable 1977 world.
+    Set,
+}
+
+impl Semantics {
+    /// Stable lowercase label (also the wire and CLI syntax).
+    pub fn label(self) -> &'static str {
+        match self {
+            Semantics::Bag => "bag",
+            Semantics::Set => "set",
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Semantics {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "bag" => Ok(Semantics::Bag),
+            "set" => Ok(Semantics::Set),
+            other => Err(format!("unknown semantics {other:?} (expected set|bag)")),
+        }
+    }
+}
+
+/// Which decision procedure a [`CheckRequest`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ContainmentChoice {
+    /// Pick by `(semantics, query class)` — see [`CheckSpec::natural_choice`].
+    /// The default, and the only choice `BAGCQ_CONTAINMENT` redirects.
+    #[default]
+    Auto,
+    /// The bag-semantics certificate/refutation harness for CQ pairs.
+    BagSearch,
+    /// Chandra–Merlin set containment for pure CQ pairs.
+    SetChandraMerlin,
+    /// Sagiv–Yannakakis all/any set containment for pure UCQs.
+    SetUcq,
+    /// Bag-union refutation search with matching certificates.
+    BagUcq,
+}
+
+impl ContainmentChoice {
+    /// Every choice, `Auto` included (the CI containment matrix iterates
+    /// this).
+    pub const ALL: [ContainmentChoice; 5] = [
+        ContainmentChoice::Auto,
+        ContainmentChoice::BagSearch,
+        ContainmentChoice::SetChandraMerlin,
+        ContainmentChoice::SetUcq,
+        ContainmentChoice::BagUcq,
+    ];
+
+    /// The four concrete registered backends (what `Auto` resolves into).
+    pub const REGISTERED: [ContainmentChoice; 4] = [
+        ContainmentChoice::BagSearch,
+        ContainmentChoice::SetChandraMerlin,
+        ContainmentChoice::SetUcq,
+        ContainmentChoice::BagUcq,
+    ];
+
+    /// Stable lowercase label (also the `BAGCQ_CONTAINMENT`, wire and
+    /// CLI syntax).
+    pub fn label(self) -> &'static str {
+        match self {
+            ContainmentChoice::Auto => "auto",
+            ContainmentChoice::BagSearch => "bag-search",
+            ContainmentChoice::SetChandraMerlin => "set-chandra-merlin",
+            ContainmentChoice::SetUcq => "set-ucq",
+            ContainmentChoice::BagUcq => "bag-ucq",
+        }
+    }
+
+    /// The semantics this backend decides (`None` for `Auto`, which
+    /// follows the request).
+    pub fn semantics(self) -> Option<Semantics> {
+        match self {
+            ContainmentChoice::Auto => None,
+            ContainmentChoice::BagSearch | ContainmentChoice::BagUcq => Some(Semantics::Bag),
+            ContainmentChoice::SetChandraMerlin | ContainmentChoice::SetUcq => Some(Semantics::Set),
+        }
+    }
+
+    /// Resolves `Auto` to a concrete backend for this spec; concrete
+    /// choices return themselves unchanged.
+    ///
+    /// `Auto` lands on the spec's [natural choice](CheckSpec::natural_choice)
+    /// unless `BAGCQ_CONTAINMENT` forces a backend that supports the
+    /// spec — a forced backend that *cannot* handle it (wrong semantics,
+    /// impure queries, real unions for a pair-only backend) is ignored so
+    /// matrix runs never break workloads outside a backend's fragment.
+    pub fn resolve(self, spec: &CheckSpec) -> ContainmentChoice {
+        self.resolve_with(spec, containment_override())
+    }
+
+    fn resolve_with(
+        self,
+        spec: &CheckSpec,
+        forced: Option<ContainmentChoice>,
+    ) -> ContainmentChoice {
+        if self != ContainmentChoice::Auto {
+            return self;
+        }
+        match forced {
+            Some(f)
+                if f != ContainmentChoice::Auto
+                    && containment_backend(f).supports(spec).is_ok() =>
+            {
+                f
+            }
+            _ => spec.natural_choice(),
+        }
+    }
+}
+
+impl fmt::Display for ContainmentChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ContainmentChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().replace('_', "-").as_str() {
+            "auto" => Ok(ContainmentChoice::Auto),
+            "bag-search" | "bagsearch" | "search" => Ok(ContainmentChoice::BagSearch),
+            "set-chandra-merlin" | "set-cm" | "chandra-merlin" | "cm" => {
+                Ok(ContainmentChoice::SetChandraMerlin)
+            }
+            "set-ucq" | "setucq" => Ok(ContainmentChoice::SetUcq),
+            "bag-ucq" | "bagucq" => Ok(ContainmentChoice::BagUcq),
+            other => Err(format!(
+                "unknown containment backend {other:?} \
+                 (expected auto|bag-search|set-chandra-merlin|set-ucq|bag-ucq)"
+            )),
+        }
+    }
+}
+
+/// `BAGCQ_CONTAINMENT` override for `Auto` resolution, parsed once per
+/// process.
+fn containment_override() -> Option<ContainmentChoice> {
+    static OVERRIDE: OnceLock<Option<ContainmentChoice>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("BAGCQ_CONTAINMENT") {
+        Ok(raw) => match raw.parse::<ContainmentChoice>() {
+            Ok(choice) => Some(choice),
+            Err(e) => {
+                eprintln!("warning: ignoring BAGCQ_CONTAINMENT: {e}");
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// A containment request a backend refused: the spec lies outside the
+/// backend's supported `(semantics, query class)` fragment.
+///
+/// This is a *request* error, not a search failure — the serve layer
+/// maps it to a typed 400 (`unsupported_semantics`), never a 500.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unsupported {
+    /// The backend that refused.
+    pub backend: ContainmentChoice,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend {} cannot handle this request: {}", self.backend, self.reason)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// Opaque abort marker raised through the type-erased counter: the real
+/// typed error is stashed with the caller and re-surfaced by
+/// [`CheckSpec::try_check_with_counter`].
+#[derive(Debug)]
+pub struct CounterStop(());
+
+/// Signature of the type-erased fallible counter a
+/// [`ContainmentBackend`] counts through. Must be extensionally equal to
+/// [`bagcq_homcount::CountRequest::count`] — verdicts are only as sound
+/// as the counts.
+pub type ErasedCountFn<'a> = dyn Fn(&Query, &Structure) -> Result<Nat, CounterStop> + 'a;
+
+/// Why a backend could not produce a verdict.
+#[derive(Debug)]
+pub enum BackendFailure {
+    /// The spec lies outside this backend's fragment.
+    Unsupported(Unsupported),
+    /// The injected counter aborted the search.
+    Counter(CounterStop),
+}
+
+impl From<CounterStop> for BackendFailure {
+    fn from(c: CounterStop) -> Self {
+        BackendFailure::Counter(c)
+    }
+}
+
+/// Failure of a [`CheckRequest`] run with a fallible counter.
+#[derive(Debug)]
+pub enum CheckError<E> {
+    /// The resolved backend cannot handle the request.
+    Unsupported(Unsupported),
+    /// The counter aborted the search with its own error.
+    Counter(E),
+}
+
+impl<E: fmt::Display> fmt::Display for CheckError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Unsupported(u) => u.fmt(f),
+            CheckError::Counter(e) => write!(f, "counter aborted: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for CheckError<E> {}
+
+/// A fully-specified containment question: which unions, under which
+/// semantics, decided by which backend, scaled by which multiplier,
+/// searched under which budget.
+///
+/// This is the owned, engine-friendly form — `bagcq-engine` fingerprints
+/// and caches it, `bagcq-serve` parses wire frames into it. Interactive
+/// callers usually go through the [`CheckRequest`] builder instead.
+#[derive(Clone, Debug)]
+pub struct CheckSpec {
+    /// The contained ("small") side.
+    pub q_s: UnionQuery,
+    /// The containing ("big") side.
+    pub q_b: UnionQuery,
+    /// Set or bag semantics.
+    pub semantics: Semantics,
+    /// Backend preference ([`ContainmentChoice::Auto`] picks by class).
+    pub choice: ContainmentChoice,
+    /// The multiplier `q` in `q·ϱ_s(D) ≤ ϱ_b(D)` (1 for plain
+    /// containment; must be 1 under set semantics).
+    pub multiplier: Rat,
+    /// Search budget for the refutation phases.
+    pub budget: SearchBudget,
+}
+
+impl CheckSpec {
+    /// A bag-semantics CQ-pair spec with default budget and `Auto`
+    /// backend.
+    pub fn pair(q_s: Query, q_b: Query) -> Self {
+        Self::union(UnionQuery::from_query(q_s), UnionQuery::from_query(q_b))
+    }
+
+    /// A bag-semantics UCQ spec with default budget and `Auto` backend.
+    pub fn union(q_s: UnionQuery, q_b: UnionQuery) -> Self {
+        CheckSpec {
+            q_s,
+            q_b,
+            semantics: Semantics::Bag,
+            choice: ContainmentChoice::Auto,
+            multiplier: Rat::one(),
+            budget: SearchBudget::default(),
+        }
+    }
+
+    /// `true` when both sides are single-disjunct unions (plain CQs).
+    pub fn is_cq_pair(&self) -> bool {
+        self.q_s.len() == 1 && self.q_b.len() == 1
+    }
+
+    /// The CQ pair, when both sides are single disjuncts.
+    pub fn cq_pair(&self) -> Option<(&Query, &Query)> {
+        match (self.q_s.disjuncts(), self.q_b.disjuncts()) {
+            ([s], [b]) => Some((s, b)),
+            _ => None,
+        }
+    }
+
+    /// The backend `Auto` picks absent any override: by `(semantics,
+    /// query class)` — CQ pairs go to the dedicated pair backends, real
+    /// unions to the UCQ backends.
+    pub fn natural_choice(&self) -> ContainmentChoice {
+        match (self.semantics, self.is_cq_pair()) {
+            (Semantics::Bag, true) => ContainmentChoice::BagSearch,
+            (Semantics::Bag, false) => ContainmentChoice::BagUcq,
+            (Semantics::Set, true) => ContainmentChoice::SetChandraMerlin,
+            (Semantics::Set, false) => ContainmentChoice::SetUcq,
+        }
+    }
+
+    /// The concrete backend this spec will run (resolves `Auto`,
+    /// consulting `BAGCQ_CONTAINMENT`) — diagnostics, cache keys, wire
+    /// echoes.
+    pub fn resolved_choice(&self) -> ContainmentChoice {
+        self.choice.resolve(self)
+    }
+
+    /// Resolves the backend and verifies it supports this spec — the
+    /// serve layer's typed-400 gate.
+    pub fn validate(&self) -> Result<ContainmentChoice, Unsupported> {
+        let choice = self.resolved_choice();
+        containment_backend(choice).supports(self)?;
+        Ok(choice)
+    }
+
+    /// Runs the resolved backend with an injected *fallible* counter.
+    ///
+    /// The resilient-evaluation entry point (the engine routes counts
+    /// through its memo cache and cross-validator this way): the first
+    /// `Err` the counter returns aborts the whole check and comes back
+    /// verbatim as [`CheckError::Counter`].
+    pub fn try_check_with_counter<E>(
+        &self,
+        counter: &TryCountFn<'_, E>,
+    ) -> Result<Verdict, CheckError<E>> {
+        let choice = self.validate().map_err(CheckError::Unsupported)?;
+        let backend = containment_backend(choice);
+        let _span = bagcq_obs::span("containment.backend", backend.name());
+        let stash: RefCell<Option<E>> = RefCell::new(None);
+        let erased = |q: &Query, d: &Structure| -> Result<Nat, CounterStop> {
+            counter(q, d).map_err(|e| {
+                *stash.borrow_mut() = Some(e);
+                CounterStop(())
+            })
+        };
+        match backend.check(self, &erased) {
+            Ok(v) => Ok(v),
+            Err(BackendFailure::Counter(_)) => {
+                Err(CheckError::Counter(stash.into_inner().expect("counter error stashed")))
+            }
+            Err(BackendFailure::Unsupported(u)) => Err(CheckError::Unsupported(u)),
+        }
+    }
+}
+
+/// One containment check, built up fluently: the two sides plus
+/// semantics, backend preference, multiplier and budget.
+///
+/// ```
+/// use bagcq_containment::{CheckRequest, ContainmentChoice, Semantics};
+/// use bagcq_query::{cycle_query, path_query};
+/// use bagcq_structure::SchemaBuilder;
+///
+/// let mut b = SchemaBuilder::default();
+/// b.relation("E", 2);
+/// let schema = b.build();
+/// let c3 = cycle_query(&schema, "E", 3);
+/// let p2 = path_query(&schema, "E", 2);
+/// // Set semantics: a 3-cycle has 2-paths, so C3 ⊑set P2.
+/// let v = CheckRequest::new(&c3, &p2).semantics(Semantics::Set).check().unwrap();
+/// assert!(v.is_proved());
+/// // Bag semantics: C3 has 3 closed walks but canonical C3 has 3 2-paths
+/// // too... the harness decides; pin the backend to the search.
+/// let v = CheckRequest::new(&c3, &p2)
+///     .containment(ContainmentChoice::BagSearch)
+///     .check()
+///     .unwrap();
+/// assert!(!v.is_proved() || v.is_proved()); // some verdict, soundly
+/// ```
+#[derive(Clone, Debug)]
+pub struct CheckRequest {
+    spec: CheckSpec,
+}
+
+impl CheckRequest {
+    /// A bag-semantics CQ-pair request with the default backend
+    /// ([`ContainmentChoice::Auto`]) and budget.
+    pub fn new(q_s: &Query, q_b: &Query) -> Self {
+        CheckRequest { spec: CheckSpec::pair(q_s.clone(), q_b.clone()) }
+    }
+
+    /// A request over unions of CQs (either side may be a single
+    /// disjunct).
+    pub fn union(q_s: UnionQuery, q_b: UnionQuery) -> Self {
+        CheckRequest { spec: CheckSpec::union(q_s, q_b) }
+    }
+
+    /// Sets the semantics (default [`Semantics::Bag`]).
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.spec.semantics = semantics;
+        self
+    }
+
+    /// Sets the backend preference (default [`ContainmentChoice::Auto`]).
+    pub fn containment(mut self, choice: ContainmentChoice) -> Self {
+        self.spec.choice = choice;
+        self
+    }
+
+    /// Sets the multiplier `q` in `q·ϱ_s(D) ≤ ϱ_b(D)`.
+    ///
+    /// # Panics
+    ///
+    /// On a zero multiplier.
+    pub fn multiplier(mut self, multiplier: Rat) -> Self {
+        assert!(!multiplier.is_zero(), "multiplier must be positive");
+        self.spec.multiplier = multiplier;
+        self
+    }
+
+    /// Sets the refutation search budget.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.spec.budget = budget;
+        self
+    }
+
+    /// The underlying spec (what the engine fingerprints and caches).
+    pub fn spec(&self) -> &CheckSpec {
+        &self.spec
+    }
+
+    /// Consumes the builder into its spec — how requests are handed to
+    /// `bagcq-engine` jobs.
+    pub fn into_spec(self) -> CheckSpec {
+        self.spec
+    }
+
+    /// The concrete backend this request will run (resolves `Auto`,
+    /// consulting `BAGCQ_CONTAINMENT`).
+    pub fn resolved_choice(&self) -> ContainmentChoice {
+        self.spec.resolved_choice()
+    }
+
+    /// Resolves and verifies backend support without running anything.
+    pub fn validate(&self) -> Result<ContainmentChoice, Unsupported> {
+        self.spec.validate()
+    }
+
+    /// Runs the check, counting with the default counting backend.
+    pub fn check(&self) -> Result<Verdict, Unsupported> {
+        self.check_with_backend(BackendChoice::Auto)
+    }
+
+    /// Runs the check with every count pinned to one counting
+    /// [`BackendChoice`].
+    pub fn check_with_backend(&self, backend: BackendChoice) -> Result<Verdict, Unsupported> {
+        let counter = |q: &Query, d: &Structure| -> Result<Nat, std::convert::Infallible> {
+            Ok(CountRequest::new(q, d).backend(backend).count())
+        };
+        match self.spec.try_check_with_counter(&counter) {
+            Ok(v) => Ok(v),
+            Err(CheckError::Unsupported(u)) => Err(u),
+            Err(CheckError::Counter(never)) => match never {},
+        }
+    }
+
+    /// Runs the check with an injected fallible counter (see
+    /// [`CheckSpec::try_check_with_counter`]).
+    pub fn try_check_with_counter<E>(
+        &self,
+        counter: &TryCountFn<'_, E>,
+    ) -> Result<Verdict, CheckError<E>> {
+        self.spec.try_check_with_counter(counter)
+    }
+}
+
+/// A registered containment decision procedure.
+///
+/// Implementations must be *sound* in both directions: `Proved` only
+/// with a certificate valid on all databases, `Refuted` only with a
+/// counterexample the counts confirm. Completeness is not required —
+/// `BagSearch`/`BagUcq` answer `Unknown` when the budget runs out, which
+/// for an open/undecidable problem is the honest third arm.
+pub trait ContainmentBackend: Sync {
+    /// Stable backend name (matches [`ContainmentChoice::label`]).
+    fn name(&self) -> &'static str;
+
+    /// Checks whether this backend can decide the spec's fragment.
+    fn supports(&self, spec: &CheckSpec) -> Result<(), Unsupported>;
+
+    /// Produces a verdict, counting through the type-erased `counter`.
+    fn check(
+        &self,
+        spec: &CheckSpec,
+        counter: &ErasedCountFn<'_>,
+    ) -> Result<Verdict, BackendFailure>;
+}
+
+fn unsupported(backend: ContainmentChoice, reason: impl Into<String>) -> Unsupported {
+    Unsupported { backend, reason: reason.into() }
+}
+
+/// `multiplier·s ≤ b`?
+fn scaled_le(multiplier: &Rat, s: &Nat, b: &Nat) -> bool {
+    multiplier.recip().le_scaled(s, b)
+}
+
+/// The numeric bag-containment harness for CQ pairs (the pre-redesign
+/// [`ContainmentChecker`] pipeline behind the trait).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct BagSearchBackend;
+
+impl ContainmentBackend for BagSearchBackend {
+    fn name(&self) -> &'static str {
+        "bag-search"
+    }
+
+    fn supports(&self, spec: &CheckSpec) -> Result<(), Unsupported> {
+        if spec.semantics != Semantics::Bag {
+            return Err(unsupported(
+                ContainmentChoice::BagSearch,
+                format!("decides bag semantics, request says {}", spec.semantics),
+            ));
+        }
+        if !spec.is_cq_pair() {
+            return Err(unsupported(
+                ContainmentChoice::BagSearch,
+                format!(
+                    "decides CQ pairs only; request has {}∨{} disjuncts (use bag-ucq)",
+                    spec.q_s.len(),
+                    spec.q_b.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec,
+        counter: &ErasedCountFn<'_>,
+    ) -> Result<Verdict, BackendFailure> {
+        self.supports(spec).map_err(BackendFailure::Unsupported)?;
+        let (q_s, q_b) = spec.cq_pair().expect("supports() verified the pair");
+        let checker =
+            ContainmentChecker { budget: spec.budget.clone(), multiplier: spec.multiplier.clone() };
+        Ok(checker.try_check_with_counter(q_s, q_b, counter)?)
+    }
+}
+
+/// Chandra–Merlin set containment for pure CQ pairs.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct SetChandraMerlinBackend;
+
+fn set_supports(backend: ContainmentChoice, spec: &CheckSpec) -> Result<(), Unsupported> {
+    if spec.semantics != Semantics::Set {
+        return Err(unsupported(
+            backend,
+            format!("decides set semantics, request says {}", spec.semantics),
+        ));
+    }
+    if !spec.q_s.is_pure() || !spec.q_b.is_pure() {
+        return Err(unsupported(
+            backend,
+            "Chandra-Merlin applies to pure CQs only (inequalities present)",
+        ));
+    }
+    if !spec.multiplier.is_one() {
+        return Err(unsupported(backend, "set semantics is boolean; the multiplier must be 1"));
+    }
+    Ok(())
+}
+
+impl ContainmentBackend for SetChandraMerlinBackend {
+    fn name(&self) -> &'static str {
+        "set-chandra-merlin"
+    }
+
+    fn supports(&self, spec: &CheckSpec) -> Result<(), Unsupported> {
+        set_supports(ContainmentChoice::SetChandraMerlin, spec)?;
+        if !spec.is_cq_pair() {
+            return Err(unsupported(
+                ContainmentChoice::SetChandraMerlin,
+                format!(
+                    "decides CQ pairs only; request has {}∨{} disjuncts (use set-ucq)",
+                    spec.q_s.len(),
+                    spec.q_b.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec,
+        counter: &ErasedCountFn<'_>,
+    ) -> Result<Verdict, BackendFailure> {
+        self.supports(spec).map_err(BackendFailure::Unsupported)?;
+        let (q_s, q_b) = spec.cq_pair().expect("supports() verified the pair");
+        let canonical = q_s.canonical_structure().0;
+        // ψ_s ⊑set ψ_b iff ψ_b maps into canonical(ψ_s): a count ≥ 1 is
+        // exactly homomorphism existence, and routing it through the
+        // injected counter keeps engine memo caches and cross-validation
+        // in the loop.
+        let b = counter(q_b, &canonical)?;
+        if b.is_zero() {
+            let s = counter(q_s, &canonical)?;
+            Ok(Verdict::Refuted(Counterexample {
+                database: canonical,
+                count_s: s,
+                count_b: b,
+                provenance: Provenance::CanonicalStructure,
+            }))
+        } else {
+            Ok(Verdict::Proved(Certificate::SetHomomorphism))
+        }
+    }
+}
+
+/// Sagiv–Yannakakis all/any set containment for pure UCQs.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct SetUcqBackend;
+
+impl ContainmentBackend for SetUcqBackend {
+    fn name(&self) -> &'static str {
+        "set-ucq"
+    }
+
+    fn supports(&self, spec: &CheckSpec) -> Result<(), Unsupported> {
+        set_supports(ContainmentChoice::SetUcq, spec)
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec,
+        counter: &ErasedCountFn<'_>,
+    ) -> Result<Verdict, BackendFailure> {
+        self.supports(spec).map_err(BackendFailure::Unsupported)?;
+        // U₁ ⊑set U₂ iff every p ∈ U₁ is CM-contained in some q ∈ U₂.
+        // Exact for UCQs: on canonical(p), p is satisfied, so some
+        // disjunct of U₂ must map in; conversely CM containment of every
+        // disjunct gives containment pointwise.
+        let mut pairs = Vec::with_capacity(spec.q_s.len());
+        for p in spec.q_s.disjuncts() {
+            let canonical = p.canonical_structure().0;
+            let hit = spec
+                .q_b
+                .disjuncts()
+                .iter()
+                .enumerate()
+                .find_map(|(j, q)| match counter(q, &canonical) {
+                    Ok(n) if !n.is_zero() => Some(Ok(j)),
+                    Ok(_) => None,
+                    Err(stop) => Some(Err(stop)),
+                })
+                .transpose()?;
+            match hit {
+                Some(j) => pairs.push(j),
+                None => {
+                    // canonical(p) satisfies U₁ (via p) but no disjunct
+                    // of U₂ — the witness, with union counts attached.
+                    let mut s = Nat::zero();
+                    for p2 in spec.q_s.disjuncts() {
+                        s += &counter(p2, &canonical)?;
+                    }
+                    return Ok(Verdict::Refuted(Counterexample {
+                        database: canonical,
+                        count_s: s,
+                        count_b: Nat::zero(),
+                        provenance: Provenance::CanonicalStructure,
+                    }));
+                }
+            }
+        }
+        Ok(Verdict::Proved(Certificate::SetAllAny(pairs)))
+    }
+}
+
+/// Bag-union containment: matching certificates plus refutation search.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct BagUcqBackend;
+
+impl BagUcqBackend {
+    /// Is `multiplier·ΣU₁(d) ≤ ΣU₂(d)` violated on `d`? Returns the
+    /// union counts when it is.
+    fn violates(
+        spec: &CheckSpec,
+        d: &Structure,
+        counter: &ErasedCountFn<'_>,
+    ) -> Result<Option<(Nat, Nat)>, CounterStop> {
+        let mut s = Nat::zero();
+        for p in spec.q_s.disjuncts() {
+            s += &counter(p, d)?;
+        }
+        if s.is_zero() {
+            return Ok(None); // q·0 ≤ anything
+        }
+        let mut b = Nat::zero();
+        for q in spec.q_b.disjuncts() {
+            b += &counter(q, d)?;
+        }
+        if scaled_le(&spec.multiplier, &s, &b) {
+            Ok(None)
+        } else {
+            Ok(Some((s, b)))
+        }
+    }
+
+    /// A maximum bipartite matching of s-disjuncts to *distinct*
+    /// b-disjuncts along Lemma 12 onto-homomorphisms, when one saturates
+    /// the s-side. Each onto hom `ψ_b → ψ_s` gives `ψ_s(D) ≤ ψ_b(D)` on
+    /// every `D`; summing over a matching gives
+    /// `ΣU₁(D) ≤ Σ_matched U₂(D) ≤ ΣU₂(D)`.
+    fn match_disjuncts(u_s: &[Query], u_b: &[Query]) -> Option<Vec<usize>> {
+        let adjacency: Vec<Vec<usize>> = u_s
+            .iter()
+            .map(|p| {
+                u_b.iter()
+                    .enumerate()
+                    .filter(|(_, q)| q.is_pure() && find_onto_hom(q, p).is_some())
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        fn augment(
+            i: usize,
+            adjacency: &[Vec<usize>],
+            owner: &mut [usize],
+            seen: &mut [bool],
+        ) -> bool {
+            for &j in &adjacency[i] {
+                if seen[j] {
+                    continue;
+                }
+                seen[j] = true;
+                if owner[j] == usize::MAX || augment(owner[j], adjacency, owner, seen) {
+                    owner[j] = i;
+                    return true;
+                }
+            }
+            false
+        }
+        let mut owner = vec![usize::MAX; u_b.len()];
+        for i in 0..u_s.len() {
+            let mut seen = vec![false; u_b.len()];
+            if !augment(i, &adjacency, &mut owner, &mut seen) {
+                return None;
+            }
+        }
+        let mut matching = vec![0usize; u_s.len()];
+        for (j, &i) in owner.iter().enumerate() {
+            if i != usize::MAX {
+                matching[i] = j;
+            }
+        }
+        Some(matching)
+    }
+
+    /// The Lemma 22-flavoured candidate family over all disjuncts:
+    /// canonical structures (s-side first — they realize any set-level
+    /// failure), their union, blow-ups and squares.
+    fn candidates(spec: &CheckSpec) -> (Vec<Structure>, Vec<Structure>) {
+        let canonical_s: Vec<Structure> =
+            spec.q_s.disjuncts().iter().map(|p| p.canonical_structure().0).collect();
+        let mut structured = Vec::new();
+        let canonical_b: Vec<Structure> =
+            spec.q_b.disjuncts().iter().map(|q| q.canonical_structure().0).collect();
+        let mut union_all: Option<Structure> = None;
+        for c in canonical_s.iter().chain(canonical_b.iter()) {
+            union_all = Some(match union_all {
+                Some(u) => u.union(c),
+                None => c.clone(),
+            });
+        }
+        let mut bases: Vec<Structure> = canonical_b;
+        if let Some(u) = union_all {
+            bases.push(u);
+        }
+        for base in bases {
+            for k in 2..=spec.budget.max_blowup {
+                structured.push(base.blowup(k));
+            }
+            if base.vertex_count() <= 8 {
+                structured.push(base.product(&base));
+            }
+            structured.push(base);
+        }
+        for base in &canonical_s {
+            for k in 2..=spec.budget.max_blowup {
+                structured.push(base.blowup(k));
+            }
+        }
+        (canonical_s, structured)
+    }
+}
+
+impl ContainmentBackend for BagUcqBackend {
+    fn name(&self) -> &'static str {
+        "bag-ucq"
+    }
+
+    fn supports(&self, spec: &CheckSpec) -> Result<(), Unsupported> {
+        if spec.semantics != Semantics::Bag {
+            return Err(unsupported(
+                ContainmentChoice::BagUcq,
+                format!("decides bag semantics, request says {}", spec.semantics),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check(
+        &self,
+        spec: &CheckSpec,
+        counter: &ErasedCountFn<'_>,
+    ) -> Result<Verdict, BackendFailure> {
+        self.supports(spec).map_err(BackendFailure::Unsupported)?;
+        let _span = bagcq_obs::span("containment.check", "bag-ucq");
+        let u_s = spec.q_s.disjuncts();
+        let u_b = spec.q_b.disjuncts();
+
+        // --- Certificates ---
+        if u_s.is_empty() {
+            // The empty union evaluates to 0 everywhere: q·0 ≤ anything.
+            return Ok(Verdict::Proved(Certificate::DisjunctMatching(Vec::new())));
+        }
+        let one_or_less = spec.multiplier <= Rat::one();
+        if one_or_less && u_s.len() == u_b.len() && u_s.iter().zip(u_b).all(|(p, q)| p == q) {
+            return Ok(Verdict::Proved(Certificate::Identical));
+        }
+        if one_or_less {
+            if let Some(matching) = Self::match_disjuncts(u_s, u_b) {
+                return Ok(Verdict::Proved(Certificate::DisjunctMatching(matching)));
+            }
+        }
+
+        // --- Refuters ---
+        let mut checked = 0usize;
+        let (canonical_s, structured) = Self::candidates(spec);
+        for (d, provenance) in canonical_s
+            .into_iter()
+            .map(|d| (d, Provenance::CanonicalStructure))
+            .chain(structured.into_iter().map(|d| (d, Provenance::StructuredCandidate)))
+        {
+            checked += 1;
+            if let Some((s, b)) = Self::violates(spec, &d, counter)? {
+                return Ok(Verdict::Refuted(Counterexample {
+                    database: d,
+                    count_s: s,
+                    count_b: b,
+                    provenance,
+                }));
+            }
+        }
+
+        // Random search over a few density regimes.
+        let schema = u_s[0].schema();
+        for (i, density) in [0.25f64, 0.5, 0.8].into_iter().enumerate() {
+            let gen = StructureGen {
+                extra_vertices: spec.budget.random_vertices,
+                density,
+                max_tuples_per_relation: 200,
+                diagonal_density: 0.5,
+            };
+            for round in 0..spec.budget.random_rounds {
+                let seed = spec.budget.seed.wrapping_add((i as u64) << 32).wrapping_add(round);
+                let d = gen.sample(schema, seed);
+                checked += 1;
+                if let Some((s, b)) = Self::violates(spec, &d, counter)? {
+                    return Ok(Verdict::Refuted(Counterexample {
+                        database: d,
+                        count_s: s,
+                        count_b: b,
+                        provenance: Provenance::RandomSearch,
+                    }));
+                }
+            }
+        }
+
+        Ok(Verdict::Unknown { candidates_checked: checked })
+    }
+}
+
+/// The backend registered for a concrete choice.
+///
+/// # Panics
+///
+/// On [`ContainmentChoice::Auto`], which only resolves against a spec —
+/// call [`CheckSpec::resolved_choice`] first.
+pub fn containment_backend(choice: ContainmentChoice) -> &'static dyn ContainmentBackend {
+    static BAG_SEARCH: BagSearchBackend = BagSearchBackend;
+    static SET_CM: SetChandraMerlinBackend = SetChandraMerlinBackend;
+    static SET_UCQ: SetUcqBackend = SetUcqBackend;
+    static BAG_UCQ: BagUcqBackend = BagUcqBackend;
+    match choice {
+        ContainmentChoice::BagSearch => &BAG_SEARCH,
+        ContainmentChoice::SetChandraMerlin => &SET_CM,
+        ContainmentChoice::SetUcq => &SET_UCQ,
+        ContainmentChoice::BagUcq => &BAG_UCQ,
+        ContainmentChoice::Auto => panic!("Auto must be resolved against a spec"),
+    }
+}
+
+/// Every registered backend with its choice tag — conformance suites and
+/// the CI containment matrix iterate this.
+pub fn registered_containment_backends() -> [(&'static dyn ContainmentBackend, ContainmentChoice); 4]
+{
+    ContainmentChoice::REGISTERED.map(|c| (containment_backend(c), c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chandra_merlin::set_contained;
+    use bagcq_query::{cycle_query, path_query};
+    use bagcq_structure::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn digraph() -> Arc<bagcq_structure::Schema> {
+        let mut b = SchemaBuilder::default();
+        b.relation("E", 2);
+        b.build()
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for choice in ContainmentChoice::ALL {
+            assert_eq!(choice.label().parse::<ContainmentChoice>(), Ok(choice));
+        }
+        assert!("nonsense".parse::<ContainmentChoice>().is_err());
+        assert_eq!("set-cm".parse::<ContainmentChoice>(), Ok(ContainmentChoice::SetChandraMerlin));
+        assert_eq!("bag_ucq".parse::<ContainmentChoice>(), Ok(ContainmentChoice::BagUcq));
+        for s in [Semantics::Bag, Semantics::Set] {
+            assert_eq!(s.label().parse::<Semantics>(), Ok(s));
+        }
+        assert!("multiset".parse::<Semantics>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_by_class() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let pair = CheckSpec::pair(p1.clone(), p2.clone());
+        assert_eq!(pair.natural_choice(), ContainmentChoice::BagSearch);
+        let mut set_pair = pair.clone();
+        set_pair.semantics = Semantics::Set;
+        assert_eq!(set_pair.natural_choice(), ContainmentChoice::SetChandraMerlin);
+        let union = CheckSpec::union(
+            UnionQuery::new(vec![p1.clone(), p2.clone()]),
+            UnionQuery::from_query(p2.clone()),
+        );
+        assert_eq!(union.natural_choice(), ContainmentChoice::BagUcq);
+        let mut set_union = union.clone();
+        set_union.semantics = Semantics::Set;
+        assert_eq!(set_union.natural_choice(), ContainmentChoice::SetUcq);
+    }
+
+    #[test]
+    fn override_redirects_auto_only_when_supported() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let pair = CheckSpec::pair(p1.clone(), p2.clone());
+        // A supported forced backend wins over the natural choice.
+        assert_eq!(
+            ContainmentChoice::Auto.resolve_with(&pair, Some(ContainmentChoice::BagUcq)),
+            ContainmentChoice::BagUcq
+        );
+        // A forced backend with the wrong semantics is ignored.
+        assert_eq!(
+            ContainmentChoice::Auto.resolve_with(&pair, Some(ContainmentChoice::SetUcq)),
+            ContainmentChoice::BagSearch
+        );
+        // Pinned choices are never overridden.
+        assert_eq!(
+            ContainmentChoice::BagSearch.resolve_with(&pair, Some(ContainmentChoice::BagUcq)),
+            ContainmentChoice::BagSearch
+        );
+    }
+
+    #[test]
+    fn set_chandra_merlin_decides_both_ways() {
+        let s = digraph();
+        let p3 = path_query(&s, "E", 3);
+        let p2 = path_query(&s, "E", 2);
+        // Pinned: the test is about this backend's certificates, and a
+        // BAGCQ_CONTAINMENT matrix run must not redirect it to set-ucq.
+        let v = CheckRequest::new(&p3, &p2)
+            .semantics(Semantics::Set)
+            .containment(ContainmentChoice::SetChandraMerlin)
+            .check()
+            .unwrap();
+        assert!(matches!(v, Verdict::Proved(Certificate::SetHomomorphism)), "{v}");
+        let v = CheckRequest::new(&p2, &p3)
+            .semantics(Semantics::Set)
+            .containment(ContainmentChoice::SetChandraMerlin)
+            .check()
+            .unwrap();
+        match v {
+            Verdict::Refuted(ce) => {
+                assert_eq!(ce.provenance, Provenance::CanonicalStructure);
+                assert!(ce.count_b.is_zero());
+                assert!(!ce.count_s.is_zero());
+            }
+            other => panic!("expected refutation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn set_cm_agrees_with_set_contained() {
+        let s = digraph();
+        let queries = [
+            path_query(&s, "E", 1),
+            path_query(&s, "E", 2),
+            path_query(&s, "E", 4),
+            cycle_query(&s, "E", 3),
+            cycle_query(&s, "E", 4),
+        ];
+        for a in &queries {
+            for b in &queries {
+                let v = CheckRequest::new(a, b).semantics(Semantics::Set).check().unwrap();
+                assert_eq!(v.is_proved(), set_contained(a, b), "{a} vs {b}");
+                assert!(v.is_proved() || v.is_refuted(), "set backends never answer Unknown");
+            }
+        }
+    }
+
+    #[test]
+    fn set_ucq_all_any() {
+        let s = digraph();
+        let p2 = path_query(&s, "E", 2);
+        let p3 = path_query(&s, "E", 3);
+        let c3 = cycle_query(&s, "E", 3);
+        // {P3, C3} ⊑set {P2}: both disjuncts contain a 2-path.
+        let u1 = UnionQuery::new(vec![p3.clone(), c3.clone()]);
+        let u2 = UnionQuery::from_query(p2.clone());
+        let v =
+            CheckRequest::union(u1.clone(), u2.clone()).semantics(Semantics::Set).check().unwrap();
+        match v {
+            Verdict::Proved(Certificate::SetAllAny(pairs)) => assert_eq!(pairs, vec![0, 0]),
+            other => panic!("expected all/any certificate, got {other}"),
+        }
+        // {P2} ⋢set {P3, C3}: canonical(P2) has no 3-path and no 3-cycle.
+        let v = CheckRequest::union(u2, u1).semantics(Semantics::Set).check().unwrap();
+        match v {
+            Verdict::Refuted(ce) => assert_eq!(ce.provenance, Provenance::CanonicalStructure),
+            other => panic!("expected refutation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn set_ucq_empty_unions() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        // ⊥ ⊑set anything.
+        let v = CheckRequest::union(UnionQuery::empty(), UnionQuery::from_query(p1.clone()))
+            .semantics(Semantics::Set)
+            .check()
+            .unwrap();
+        assert!(v.is_proved(), "{v}");
+        // A satisfiable union is not contained in ⊥.
+        let v = CheckRequest::union(UnionQuery::from_query(p1), UnionQuery::empty())
+            .semantics(Semantics::Set)
+            .check()
+            .unwrap();
+        assert!(v.is_refuted(), "{v}");
+    }
+
+    #[test]
+    fn bag_ucq_matching_certificate() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        // {P1, P2} ⊑bag {P1, P2, C3}: identity onto-homs match each
+        // disjunct to its twin.
+        let u1 = UnionQuery::new(vec![p1.clone(), p2.clone()]);
+        let u2 = UnionQuery::new(vec![p1.clone(), p2.clone(), cycle_query(&s, "E", 3)]);
+        let v = CheckRequest::union(u1, u2).check().unwrap();
+        match v {
+            Verdict::Proved(Certificate::DisjunctMatching(m)) => assert_eq!(m, vec![0, 1]),
+            other => panic!("expected matching certificate, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bag_ucq_matching_needs_distinct_disjuncts() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        // {P1, P1} ⋢bag {P1}: on a single edge, 2 > 1. The matching
+        // cannot reuse the lone b-disjunct, and the canonical candidate
+        // refutes.
+        let u1 = UnionQuery::new(vec![p1.clone(), p1.clone()]);
+        let u2 = UnionQuery::from_query(p1.clone());
+        let v = CheckRequest::union(u1, u2).check().unwrap();
+        match v {
+            Verdict::Refuted(ce) => {
+                assert_eq!(ce.count_s, Nat::from_u64(2));
+                assert_eq!(ce.count_b, Nat::one());
+            }
+            other => panic!("expected refutation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bag_ucq_set_failure_refutes() {
+        let s = digraph();
+        let p2 = path_query(&s, "E", 2);
+        let c3 = cycle_query(&s, "E", 3);
+        // {P2} ⋢ {C3} already under set semantics; canonical(P2) refutes.
+        let u1 = UnionQuery::from_query(p2);
+        let u2 = UnionQuery::from_query(c3);
+        let v = CheckRequest::union(u1, u2).check().unwrap();
+        match v {
+            Verdict::Refuted(ce) => assert_eq!(ce.provenance, Provenance::CanonicalStructure),
+            other => panic!("expected refutation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bag_ucq_empty_small_side_proved() {
+        let s = digraph();
+        let v = CheckRequest::union(
+            UnionQuery::empty(),
+            UnionQuery::from_query(path_query(&s, "E", 1)),
+        )
+        .check()
+        .unwrap();
+        assert!(v.is_proved(), "{v}");
+    }
+
+    #[test]
+    fn semantics_mismatch_is_typed() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let err = CheckRequest::new(&p1, &p2)
+            .containment(ContainmentChoice::SetChandraMerlin)
+            .check()
+            .unwrap_err();
+        assert_eq!(err.backend, ContainmentChoice::SetChandraMerlin);
+        assert!(err.reason.contains("set semantics"), "{err}");
+        let err = CheckRequest::new(&p1, &p2)
+            .semantics(Semantics::Set)
+            .containment(ContainmentChoice::BagSearch)
+            .check()
+            .unwrap_err();
+        assert_eq!(err.backend, ContainmentChoice::BagSearch);
+    }
+
+    #[test]
+    fn set_semantics_rejects_inequalities() {
+        let s = digraph();
+        let mut qb = Query::builder(Arc::clone(&s));
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom_named("E", &[x, y]).neq(x, y);
+        let q = qb.build();
+        let err = CheckRequest::new(&q, &q).semantics(Semantics::Set).check().unwrap_err();
+        assert!(err.reason.contains("pure"), "{err}");
+    }
+
+    #[test]
+    fn counter_error_resurfaces_typed() {
+        let s = digraph();
+        let p1 = path_query(&s, "E", 1);
+        let p2 = path_query(&s, "E", 2);
+        let err = CheckRequest::new(&p2, &p1)
+            .semantics(Semantics::Set)
+            .try_check_with_counter::<&'static str>(&|_, _| Err("counter down"))
+            .unwrap_err();
+        match err {
+            CheckError::Counter(e) => assert_eq!(e, "counter down"),
+            other => panic!("expected counter error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bag_containment_implies_set_containment_on_samples() {
+        let s = digraph();
+        let queries = [
+            path_query(&s, "E", 1),
+            path_query(&s, "E", 2),
+            path_query(&s, "E", 3),
+            cycle_query(&s, "E", 3),
+        ];
+        for a in &queries {
+            for b in &queries {
+                let bag = CheckRequest::new(a, b).check().unwrap();
+                let set = CheckRequest::new(a, b).semantics(Semantics::Set).check().unwrap();
+                if bag.is_proved() {
+                    assert!(set.is_proved(), "bag ⊑ implies set ⊑ for {a} vs {b}");
+                }
+                if set.is_refuted() {
+                    assert!(bag.is_refuted(), "set ⋢ implies bag ⋢ for {a} vs {b}");
+                }
+            }
+        }
+    }
+}

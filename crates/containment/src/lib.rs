@@ -5,8 +5,13 @@
 //! whose decidability has been open for 30 years (and whose
 //! generalizations the reproduced paper proves undecidable):
 //!
-//! * [`ContainmentChecker`] — checks `q·ϱ_s(D) ≤ ϱ_b(D)` for all `D`
-//!   with sound certificates (syntactic identity, the Lemma 12
+//! * [`CheckRequest`] — the unified entry point: a pair of
+//!   [`bagcq_query::UnionQuery`] sides plus a [`Semantics`] and a
+//!   [`ContainmentChoice`], dispatched to a registered
+//!   [`ContainmentBackend`] (`BagSearch`, `SetChandraMerlin`, `SetUcq`,
+//!   `BagUcq`) that produces one [`Verdict`] vocabulary;
+//! * [`ContainmentChecker`] — the bag-semantics CQ-pair harness behind
+//!   `BagSearch`: sound certificates (syntactic identity, the Lemma 12
 //!   onto-homomorphism), sound refutation (Chandra–Merlin canonical
 //!   failure, Lemma 22-style structured candidates, Theorem 5
 //!   inequality-elimination preprocessing, random search), and an honest
@@ -19,11 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod chandra_merlin;
 mod checker;
 mod domination;
 mod verdict;
 
+pub use backend::{
+    containment_backend, registered_containment_backends, BackendFailure, BagSearchBackend,
+    BagUcqBackend, CheckError, CheckRequest, CheckSpec, ContainmentBackend, ContainmentChoice,
+    CounterStop, ErasedCountFn, Semantics, SetChandraMerlinBackend, SetUcqBackend, Unsupported,
+};
 pub use chandra_merlin::{canonical_counterexample, set_contained};
 pub use checker::{ContainmentChecker, CountFn, SearchBudget, TryCountFn};
 pub use domination::{domination_ratio, estimate_domination_exponent, DominationSample};

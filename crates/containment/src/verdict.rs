@@ -19,6 +19,19 @@ pub enum Certificate {
     OntoHom(OntoHom),
     /// The queries are syntactically identical (multiplier must be ≤ 1).
     Identical,
+    /// Chandra–Merlin (set semantics): `ψ_b` maps homomorphically into
+    /// the canonical structure of `ψ_s`, so every database satisfying
+    /// `ψ_s` satisfies `ψ_b`.
+    SetHomomorphism,
+    /// Sagiv–Yannakakis all/any (set semantics): disjunct `i` of the
+    /// s-union is Chandra–Merlin-contained in disjunct `pairs[i]` of the
+    /// b-union, for every `i`.
+    SetAllAny(Vec<usize>),
+    /// Bag-union domination: s-disjunct `i` is dominated by the
+    /// *distinct* b-disjunct `matching[i]` via a Lemma 12 onto
+    /// homomorphism; summing the per-disjunct inequalities bounds the
+    /// union counts (multiplier must be ≤ 1).
+    DisjunctMatching(Vec<usize>),
 }
 
 /// A concrete database on which the containment fails, with both exact
@@ -86,6 +99,19 @@ impl fmt::Display for Verdict {
                 write!(f, "PROVED (onto-homomorphism certificate, Lemma 12)")
             }
             Verdict::Proved(Certificate::Identical) => write!(f, "PROVED (identical queries)"),
+            Verdict::Proved(Certificate::SetHomomorphism) => {
+                write!(f, "PROVED (Chandra-Merlin homomorphism, set semantics)")
+            }
+            Verdict::Proved(Certificate::SetAllAny(pairs)) => {
+                write!(
+                    f,
+                    "PROVED (all/any reduction over {} disjuncts, set semantics)",
+                    pairs.len()
+                )
+            }
+            Verdict::Proved(Certificate::DisjunctMatching(m)) => {
+                write!(f, "PROVED (onto-homomorphism disjunct matching over {} disjuncts)", m.len())
+            }
             Verdict::Refuted(ce) => write!(
                 f,
                 "REFUTED (database with {} vertices: s-count {}, b-count {}, via {:?})",

@@ -1,0 +1,239 @@
+//! Differential suite pitting the bag backends against the set backends
+//! on seeded random workloads.
+//!
+//! The two semantics are linked by two one-way implications (multiplier
+//! 1 throughout):
+//!
+//! * **bag-Proved ⇒ set-Proved** — `∀D: ϱ_s(D) ≤ ϱ_b(D)` forces
+//!   `ϱ_s(D) ≥ 1 ⇒ ϱ_b(D) ≥ 1`;
+//! * **set-Refuted ⇒ bag-Refuted** — a set counterexample is a database
+//!   with `ϱ_s(D) ≥ 1 > 0 = ϱ_b(D)`, and the bag sweep visits the
+//!   small side's canonical databases first, so it finds one
+//!   deterministically.
+//!
+//! Every implication is checked on CQ pairs (`bag-search` vs
+//! `set-chandra-merlin`) and UCQ pairs (`bag-ucq` vs `set-ucq`), and
+//! every verdict is additionally audited against independent homcount
+//! recounts on seeded multiplicity-1 ("set-collapsed") instances, where
+//! the two semantics talk about the same databases.
+
+use bagcq_arith::Nat;
+use bagcq_containment::{CheckRequest, ContainmentChoice, Semantics, Verdict};
+use bagcq_homcount::{BackendChoice, CountRequest};
+use bagcq_query::{Query, QueryGen, UnionGen, UnionQuery};
+use bagcq_structure::{Schema, Structure, StructureGen};
+use std::sync::Arc;
+
+/// The spread mirrors the CI containment-matrix leg.
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+fn schema() -> Arc<Schema> {
+    let mut sb = Schema::builder();
+    sb.relation("E", 2);
+    sb.relation("F", 1);
+    sb.build()
+}
+
+fn gen() -> QueryGen {
+    // Pure CQs only: the set backends are exact exactly on the
+    // inequality-free fragment.
+    QueryGen { variables: 3, atoms: 2, constant_prob: 0.0, inequalities: 0 }
+}
+
+fn count(q: &Query, db: &Structure) -> Nat {
+    CountRequest::new(q, db).backend(BackendChoice::Auto).count()
+}
+
+/// Set-semantics truth of a union: some disjunct has a homomorphism.
+fn holds(u: &UnionQuery, db: &Structure) -> bool {
+    u.disjuncts().iter().any(|q| count(q, db) > Nat::zero())
+}
+
+/// Bag-semantics answer of a union: the disjunct-count sum.
+fn union_count(u: &UnionQuery, db: &Structure) -> Nat {
+    u.disjuncts().iter().fold(Nat::zero(), |total, q| total + count(q, db))
+}
+
+fn check(
+    q_s: UnionQuery,
+    q_b: UnionQuery,
+    semantics: Semantics,
+    choice: ContainmentChoice,
+) -> Verdict {
+    CheckRequest::union(q_s, q_b)
+        .semantics(semantics)
+        .containment(choice)
+        .check()
+        .expect("pure pairs are supported by every matching backend")
+}
+
+/// Seeded CQ pairs for one master seed — both directions of each
+/// generated pair, so proofs and refutations both occur.
+fn cq_pairs(seed: u64) -> Vec<(Query, Query)> {
+    let s = schema();
+    let g = gen();
+    let mut out = Vec::new();
+    for i in 0..6u64 {
+        let a = g.sample(&s, seed * 1000 + 2 * i);
+        let b = g.sample(&s, seed * 1000 + 2 * i + 1);
+        out.push((a.clone(), b.clone()));
+        out.push((b, a));
+    }
+    out
+}
+
+fn ucq_pairs(seed: u64) -> Vec<(UnionQuery, UnionQuery)> {
+    let s = schema();
+    let ug = UnionGen { disjuncts_min: 1, disjuncts_max: 3, query: gen() };
+    let mut out = Vec::new();
+    for i in 0..4u64 {
+        let a = ug.sample(&s, seed * 1000 + 2 * i);
+        let b = ug.sample(&s, seed * 1000 + 2 * i + 1);
+        out.push((a.clone(), b.clone()));
+        out.push((b, a));
+    }
+    out
+}
+
+fn databases(seed: u64) -> Vec<Structure> {
+    let s = schema();
+    let sg = StructureGen {
+        extra_vertices: 3,
+        density: 0.4,
+        max_tuples_per_relation: 24,
+        diagonal_density: 0.3,
+    };
+    (0..3u64).map(|i| sg.sample(&s, seed * 77 + i)).collect()
+}
+
+#[test]
+fn cq_pairs_never_contradict_across_semantics() {
+    // Guard against vacuity: the corpus must produce every verdict
+    // class on both sides, or the implications below test nothing.
+    let (mut bag_proved, mut bag_refuted, mut set_proved, mut set_refuted) = (0, 0, 0, 0);
+    for seed in SEEDS {
+        for (a, b) in cq_pairs(seed) {
+            let bag = check(
+                UnionQuery::from_query(a.clone()),
+                UnionQuery::from_query(b.clone()),
+                Semantics::Bag,
+                ContainmentChoice::BagSearch,
+            );
+            let set = check(
+                UnionQuery::from_query(a.clone()),
+                UnionQuery::from_query(b.clone()),
+                Semantics::Set,
+                ContainmentChoice::SetChandraMerlin,
+            );
+            assert!(
+                !matches!(set, Verdict::Unknown { .. }),
+                "Chandra–Merlin is exact on pure CQs: seed {seed}, {a} vs {b}"
+            );
+            if bag.is_proved() {
+                bag_proved += 1;
+                assert!(
+                    set.is_proved(),
+                    "bag-Proved must imply set-Proved: seed {seed}, {a} vs {b}, set said {set}"
+                );
+            }
+            if set.is_refuted() {
+                set_refuted += 1;
+                assert!(
+                    bag.is_refuted(),
+                    "set-Refuted must imply bag-Refuted (the sweep tries the \
+                     small side's canonicals first): seed {seed}, {a} vs {b}, bag said {bag}"
+                );
+            }
+            bag_refuted += u32::from(bag.is_refuted());
+            set_proved += u32::from(set.is_proved());
+        }
+    }
+    for (label, n) in [
+        ("bag-Proved", bag_proved),
+        ("bag-Refuted", bag_refuted),
+        ("set-Proved", set_proved),
+        ("set-Refuted", set_refuted),
+    ] {
+        assert!(n > 0, "corpus never produced a {label} CQ verdict — implications are vacuous");
+    }
+}
+
+#[test]
+fn ucq_pairs_never_contradict_across_semantics() {
+    let (mut bag_proved, mut bag_refuted, mut set_proved, mut set_refuted) = (0, 0, 0, 0);
+    for seed in SEEDS {
+        for (a, b) in ucq_pairs(seed) {
+            let bag = check(a.clone(), b.clone(), Semantics::Bag, ContainmentChoice::BagUcq);
+            let set = check(a.clone(), b.clone(), Semantics::Set, ContainmentChoice::SetUcq);
+            assert!(
+                !matches!(set, Verdict::Unknown { .. }),
+                "the all/any reduction is exact on pure UCQs: seed {seed}, {a} vs {b}"
+            );
+            if bag.is_proved() {
+                bag_proved += 1;
+                assert!(
+                    set.is_proved(),
+                    "bag-Proved must imply set-Proved: seed {seed}, {a} vs {b}, set said {set}"
+                );
+            }
+            if set.is_refuted() {
+                set_refuted += 1;
+                assert!(
+                    bag.is_refuted(),
+                    "set-Refuted must imply bag-Refuted: seed {seed}, {a} vs {b}, bag said {bag}"
+                );
+            }
+            bag_refuted += u32::from(bag.is_refuted());
+            set_proved += u32::from(set.is_proved());
+        }
+    }
+    for (label, n) in [
+        ("bag-Proved", bag_proved),
+        ("bag-Refuted", bag_refuted),
+        ("set-Proved", set_proved),
+        ("set-Refuted", set_refuted),
+    ] {
+        assert!(n > 0, "corpus never produced a {label} UCQ verdict — implications are vacuous");
+    }
+}
+
+/// On multiplicity-1 instances every verdict is audited by an
+/// independent recount: set-Proved transfers truth, bag-Proved bounds
+/// counts, and a refutation's witness database actually separates the
+/// pair under its own semantics.
+#[test]
+fn verdicts_are_sound_on_set_collapsed_instances() {
+    for seed in SEEDS {
+        let dbs = databases(seed);
+        for (a, b) in ucq_pairs(seed) {
+            let bag = check(a.clone(), b.clone(), Semantics::Bag, ContainmentChoice::BagUcq);
+            let set = check(a.clone(), b.clone(), Semantics::Set, ContainmentChoice::SetUcq);
+            for db in &dbs {
+                if set.is_proved() {
+                    assert!(
+                        !holds(&a, db) || holds(&b, db),
+                        "set-Proved but truth fails to transfer: seed {seed}, {a} vs {b}"
+                    );
+                }
+                if bag.is_proved() {
+                    assert!(
+                        union_count(&a, db) <= union_count(&b, db),
+                        "bag-Proved but counts invert: seed {seed}, {a} vs {b}"
+                    );
+                }
+            }
+            if let Verdict::Refuted(ce) = &bag {
+                assert!(
+                    union_count(&a, &ce.database) > union_count(&b, &ce.database),
+                    "bag witness does not separate: seed {seed}, {a} vs {b}"
+                );
+            }
+            if let Verdict::Refuted(ce) = &set {
+                assert!(
+                    holds(&a, &ce.database) && !holds(&b, &ce.database),
+                    "set witness does not separate: seed {seed}, {a} vs {b}"
+                );
+            }
+        }
+    }
+}

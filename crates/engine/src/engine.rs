@@ -75,6 +75,7 @@ use crate::retry::RetryPolicy;
 use crate::supervisor::{EngineHealth, SupervisorConfig};
 use crate::trace::{fp_bits, outcome_label};
 use bagcq_arith::{Magnitude, Nat};
+use bagcq_containment::CheckError;
 use bagcq_homcount::{
     BackendChoice, CancelReason, CancelToken, Cancelled, CheckpointHook, CountError, CountRequest,
     Engine, EvalControl,
@@ -335,13 +336,23 @@ impl Shared {
                 }
                 Ok(Outcome::Power(acc))
             }
-            JobSpec::ContainmentCheck { checker, q_s, q_b } => {
+            JobSpec::Check { spec } => {
                 let backend = backend_override.unwrap_or(self.config.counter_backend);
                 let counter = |q: &Query, d: &Structure| -> Result<Nat, CountError> {
                     self.count_cached(backend, q, d, ctl, deadline)
                 };
-                let verdict = checker.try_check_with_counter(q_s, q_b, &counter)?;
-                Ok(Outcome::Verdict(Arc::new(verdict)))
+                match spec.try_check_with_counter(&counter) {
+                    Ok(verdict) => Ok(Outcome::Verdict(Arc::new(verdict))),
+                    Err(CheckError::Counter(e)) => Err(e),
+                    // A spec outside the resolved backend's fragment is a
+                    // request error, deterministic on retry: publish it
+                    // terminally instead of entering the retry ladder.
+                    // (The serve layer pre-validates and turns this into
+                    // a typed 400 before a job is ever submitted.)
+                    Err(CheckError::Unsupported(u)) => {
+                        Ok(Outcome::Panicked(format!("unsupported check spec: {u}")))
+                    }
+                }
             }
         }
     }
@@ -1044,7 +1055,7 @@ impl EvalEngine {
     /// A cloneable counter that routes every count through this engine's
     /// memo cache (and cross-validation, when configured) — made to be
     /// plugged into
-    /// [`ContainmentChecker::check_with_counter`](bagcq_containment::ContainmentChecker::check_with_counter).
+    /// [`CheckRequest::try_check_with_counter`](bagcq_containment::CheckRequest::try_check_with_counter).
     pub fn cached_counter(&self) -> CachedCounter {
         CachedCounter { shared: Arc::clone(&self.shared) }
     }

@@ -12,7 +12,7 @@
 
 use crate::breaker::FailFast;
 use bagcq_arith::{Magnitude, Nat};
-use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_containment::{CheckSpec, ContainmentChecker, ContainmentChoice, Semantics, Verdict};
 use bagcq_homcount::BackendChoice;
 use bagcq_query::{PowerQuery, Query};
 use bagcq_structure::{Fingerprint, FingerprintHasher, Structure};
@@ -43,16 +43,14 @@ pub enum JobSpec {
         /// Bit budget below which the magnitude stays exact.
         exact_bits: u64,
     },
-    /// A full containment check `multiplier·ϱ_s(D) ≤ ϱ_b(D)`; every count
-    /// the checker's refutation phase performs is routed through the
+    /// A containment check described by a [`CheckSpec`] — unions, set or
+    /// bag [`Semantics`](bagcq_containment::Semantics), backend
+    /// [`ContainmentChoice`], multiplier, budget. Every count the
+    /// resolved backend's refutation phase performs is routed through the
     /// engine's memo cache.
-    ContainmentCheck {
-        /// The checker configuration (budget, multiplier).
-        checker: ContainmentChecker,
-        /// The smaller side `ϱ_s`.
-        q_s: Query,
-        /// The bigger side `ϱ_b`.
-        q_b: Query,
+    Check {
+        /// The full check description.
+        spec: CheckSpec,
     },
 }
 
@@ -62,7 +60,7 @@ impl JobSpec {
         match self {
             JobSpec::Count { .. } => "count",
             JobSpec::EvalPower { .. } => "eval_power",
-            JobSpec::ContainmentCheck { .. } => "containment",
+            JobSpec::Check { .. } => "check",
         }
     }
 
@@ -88,16 +86,34 @@ impl JobSpec {
                 h.write_u64(*exact_bits);
                 h.finish()
             }
-            JobSpec::ContainmentCheck { checker, q_s, q_b } => {
-                let mut h = FingerprintHasher::new(b"bagcq/job/containment");
-                for q in [q_s, q_b] {
-                    let fp = q.fingerprint();
-                    h.write_u64(fp.hi);
-                    h.write_u64(fp.lo);
+            JobSpec::Check { spec } => {
+                let mut h = FingerprintHasher::new(b"bagcq/job/check");
+                for u in [&spec.q_s, &spec.q_b] {
+                    h.write_usize(u.len());
+                    for q in u.disjuncts() {
+                        let fp = q.fingerprint();
+                        h.write_u64(fp.hi);
+                        h.write_u64(fp.lo);
+                    }
                 }
-                write_nat(&mut h, checker.multiplier.numerator());
-                write_nat(&mut h, checker.multiplier.denominator());
-                let b = &checker.budget;
+                h.write_u32(match spec.semantics {
+                    Semantics::Bag => 0,
+                    Semantics::Set => 1,
+                });
+                // The *submitted* choice is the key: `Auto` resolution
+                // consults a process-fixed env override and the spec
+                // itself, so it is deterministic per process and safe to
+                // cache under the pre-resolution tag.
+                h.write_u32(match spec.choice {
+                    ContainmentChoice::Auto => 0,
+                    ContainmentChoice::BagSearch => 1,
+                    ContainmentChoice::SetChandraMerlin => 2,
+                    ContainmentChoice::SetUcq => 3,
+                    ContainmentChoice::BagUcq => 4,
+                });
+                write_nat(&mut h, spec.multiplier.numerator());
+                write_nat(&mut h, spec.multiplier.denominator());
+                let b = &spec.budget;
                 h.write_u64(b.random_rounds);
                 h.write_u32(b.max_blowup);
                 h.write_u32(b.max_power);
@@ -198,9 +214,26 @@ impl Job {
         })
     }
 
-    /// A containment-check job.
+    /// A containment-check job from a full [`CheckSpec`] (build one with
+    /// [`bagcq_containment::CheckRequest::into_spec`]).
+    pub fn check(spec: CheckSpec) -> Self {
+        Job::new(JobSpec::Check { spec })
+    }
+
+    /// A bag-semantics CQ-pair containment job pinned to the legacy
+    /// search pipeline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a CheckSpec (CheckRequest::into_spec) and call Job::check"
+    )]
     pub fn containment(checker: ContainmentChecker, q_s: Query, q_b: Query) -> Self {
-        Job::new(JobSpec::ContainmentCheck { checker, q_s, q_b })
+        let mut spec = CheckSpec::pair(q_s, q_b);
+        spec.multiplier = checker.multiplier;
+        spec.budget = checker.budget;
+        // Pin the pre-redesign pipeline so shimmed callers keep byte-for-
+        // byte behavior even under a BAGCQ_CONTAINMENT override.
+        spec.choice = ContainmentChoice::BagSearch;
+        Job::new(JobSpec::Check { spec })
     }
 
     /// Sets a wall-clock deadline (measured from submission).
@@ -478,15 +511,44 @@ mod tests {
             database: Arc::clone(&d),
             exact_bits: bagcq_arith::DEFAULT_EXACT_BITS,
         };
-        let cont = JobSpec::ContainmentCheck {
-            checker: ContainmentChecker::new(),
-            q_s: q.clone(),
-            q_b: q,
-        };
+        let cont = JobSpec::Check { spec: CheckSpec::pair(q.clone(), q) };
         let fps = [count.fingerprint(), power.fingerprint(), cont.fingerprint()];
         assert_ne!(fps[0], fps[1]);
         assert_ne!(fps[0], fps[2]);
         assert_ne!(fps[1], fps[2]);
+    }
+
+    #[test]
+    fn check_fingerprint_separates_semantics_and_choice() {
+        let (q, _) = setup();
+        let base = CheckSpec::pair(q.clone(), q.clone());
+        let mut set = base.clone();
+        set.semantics = Semantics::Set;
+        let mut pinned = base.clone();
+        pinned.choice = ContainmentChoice::BagUcq;
+        let fps = [
+            JobSpec::Check { spec: base }.fingerprint(),
+            JobSpec::Check { spec: set }.fingerprint(),
+            JobSpec::Check { spec: pinned }.fingerprint(),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[0], fps[2]);
+        assert_ne!(fps[1], fps[2]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn containment_shim_pins_bag_search() {
+        let (q, _) = setup();
+        let job = Job::containment(ContainmentChecker::new(), q.clone(), q);
+        match &job.spec {
+            JobSpec::Check { spec } => {
+                assert_eq!(spec.choice, ContainmentChoice::BagSearch);
+                assert_eq!(spec.semantics, Semantics::Bag);
+                assert!(spec.is_cq_pair());
+            }
+            _ => panic!("shim must build a Check spec"),
+        }
     }
 
     #[test]

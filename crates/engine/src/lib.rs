@@ -111,6 +111,7 @@ pub use admission::{
 /// [`CountRequest`]/[`CountBackend`] are the direct (engine-less) API,
 /// and [`CountError`] is the one error hierarchy the engine, the
 /// containment checker, and the kernels all speak.
+pub use bagcq_containment::{CheckRequest, CheckSpec, ContainmentChoice, Semantics, Verdict};
 pub use bagcq_homcount::{BackendChoice, CountBackend, CountError, CountRequest};
 pub use breaker::{BreakerConfig, FailFast};
 pub use engine::{CachedCounter, DrainReport, EngineConfig, EvalEngine};

@@ -14,7 +14,7 @@
 //!    and recover through a half-open probe.
 
 use bagcq_arith::Nat;
-use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_containment::{CheckRequest, Verdict};
 use bagcq_engine::{
     BreakerConfig, EngineConfig, EvalEngine, FaultInjector, FaultKind, FaultPlan, Job, Outcome,
     RetryPolicy,
@@ -49,7 +49,7 @@ fn workload(schema: &Arc<Schema>, d: &Arc<Structure>) -> Vec<Job> {
             })
             .collect();
     jobs.push(Job::eval_power(PowerQuery::power(p2.clone(), Nat::from_u64(3)), Arc::clone(d)));
-    jobs.push(Job::containment(ContainmentChecker::new(), p2, p3));
+    jobs.push(Job::check(CheckRequest::new(&p2, &p3).into_spec()));
     jobs
 }
 

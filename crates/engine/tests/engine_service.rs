@@ -4,10 +4,10 @@
 //! evaluation never poisons the pool.
 
 use bagcq_arith::Nat;
-use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_containment::{CheckRequest, Semantics, Verdict};
 use bagcq_engine::{EngineConfig, EvalEngine, Job, JobSpec, Outcome};
 use bagcq_homcount::{eval_power_query, CountRequest, Engine, EvalOptions};
-use bagcq_query::{cycle_query, path_query, star_query, PowerQuery, Query};
+use bagcq_query::{cycle_query, path_query, star_query, PowerQuery, Query, UnionQuery};
 use bagcq_structure::{Schema, Structure, StructureGen, Vertex};
 use std::sync::Arc;
 use std::time::Duration;
@@ -51,8 +51,15 @@ fn sequential(spec: &JobSpec) -> Outcome {
             let opts = EvalOptions { exact_bits: *exact_bits, ..EvalOptions::default() };
             Outcome::Power(eval_power_query(query, database, &opts))
         }
-        JobSpec::ContainmentCheck { checker, q_s, q_b } => {
-            Outcome::Verdict(Arc::new(checker.check(q_s, q_b)))
+        JobSpec::Check { spec } => {
+            let v = CheckRequest::union(spec.q_s.clone(), spec.q_b.clone())
+                .semantics(spec.semantics)
+                .containment(spec.choice)
+                .multiplier(spec.multiplier.clone())
+                .budget(spec.budget.clone())
+                .check()
+                .expect("workload specs are supported");
+            Outcome::Verdict(Arc::new(v))
         }
     }
 }
@@ -98,9 +105,17 @@ fn mixed_jobs(schema: &Arc<Schema>) -> Vec<Job> {
     }
     for (i, q_s) in qs.iter().enumerate() {
         for q_b in qs.iter().skip(i) {
-            jobs.push(Job::containment(ContainmentChecker::new(), q_s.clone(), q_b.clone()));
+            jobs.push(Job::check(CheckRequest::new(q_s, q_b).into_spec()));
+            jobs.push(Job::check(
+                CheckRequest::new(q_s, q_b).semantics(Semantics::Set).into_spec(),
+            ));
         }
     }
+    // Real unions exercise the UCQ backends through the same job path.
+    let u1 = UnionQuery::new(vec![qs[0].clone(), qs[1].clone()]);
+    let u2 = UnionQuery::new(vec![qs[0].clone(), qs[1].clone(), qs[3].clone()]);
+    jobs.push(Job::check(CheckRequest::union(u1.clone(), u2.clone()).into_spec()));
+    jobs.push(Job::check(CheckRequest::union(u1, u2).semantics(Semantics::Set).into_spec()));
     jobs
 }
 
@@ -134,7 +149,7 @@ fn repeated_submissions_hit_cache_with_equal_results() {
 
     let jobs = vec![
         Job::count(q.clone(), Arc::clone(&d)),
-        Job::containment(ContainmentChecker::new(), q.clone(), path_query(&schema, "E", 3)),
+        Job::check(CheckRequest::new(&q, &path_query(&schema, "E", 3)).into_spec()),
     ];
     let first: Vec<Outcome> = engine.submit_batch(jobs.clone()).iter().map(|h| h.wait()).collect();
     let second: Vec<Outcome> = engine.submit_batch(jobs.clone()).iter().map(|h| h.wait()).collect();

@@ -3,7 +3,7 @@
 //! `Nat`s, identical verdict shapes — across random databases, and
 //! repeated submissions are answered by the cache with equal results.
 
-use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_containment::{CheckRequest, Verdict};
 use bagcq_engine::{EvalEngine, Job, Outcome};
 use bagcq_homcount::{CountRequest, Engine};
 use bagcq_query::{cycle_query, path_query, Query};
@@ -82,7 +82,7 @@ proptest! {
         let q3 = path_query(&schema, "E", 3);
         let jobs = vec![
             Job::count(q2.clone(), Arc::clone(&d)),
-            Job::containment(ContainmentChecker::new(), q2, q3),
+            Job::check(CheckRequest::new(&q2, &q3).into_spec()),
         ];
         let first: Vec<Outcome> =
             engine.submit_batch(jobs.clone()).iter().map(|h| h.wait()).collect();

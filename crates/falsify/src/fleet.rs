@@ -20,9 +20,12 @@ use crate::corpus::{generate_corpus, materialize, Context, CorpusConfig};
 use crate::fixture;
 use crate::oracle::{oracle_set, Verdict};
 use crate::shrink::shrink;
+use bagcq_containment::{CheckRequest, ContainmentChoice, Semantics, Verdict as CheckVerdict};
 use bagcq_engine::{EvalEngine, Job};
 use bagcq_homcount::{BackendChoice, CountRequest};
-use bagcq_query::{parse_bag_instance_infer, parse_dlgp_query, query_to_dlgp, Query};
+use bagcq_query::{
+    parse_bag_instance_infer, parse_dlgp_query, query_to_dlgp, union_to_dlgp, Query, UnionQuery,
+};
 use bagcq_serve::http::{crc32, read_response, write_request_with_headers};
 use bagcq_serve::{
     parse_response, HttpLimits, NetFaultPlan, Server, ServerConfig, TenantQuota, TenantSpec,
@@ -116,6 +119,14 @@ pub struct FleetReport {
     pub serve_skipped: u64,
     /// Wire answers diverging from the in-process oracle.
     pub serve_mismatches: u64,
+    /// Set-semantics containment frames streamed through `/v1/check`.
+    pub check_requests: u64,
+    /// Traffic items whose CQ/UCQ pair was not expressible as a pure
+    /// set-semantics check frame (inequalities present).
+    pub check_skipped: u64,
+    /// Wire check verdicts diverging from the in-process
+    /// [`CheckRequest`] verdict.
+    pub check_mismatches: u64,
     /// Minimized violations, in corpus order.
     pub violations: Vec<FleetViolation>,
     /// Wall-clock (excluded from [`FleetReport::render`]).
@@ -126,7 +137,10 @@ impl FleetReport {
     /// `true` when nothing fired: no lemma violations, no parity
     /// divergence on either production path.
     pub fn clean(&self) -> bool {
-        self.violations.is_empty() && self.engine_mismatches == 0 && self.serve_mismatches == 0
+        self.violations.is_empty()
+            && self.engine_mismatches == 0
+            && self.serve_mismatches == 0
+            && self.check_mismatches == 0
     }
 
     /// Deterministic report: a pure function of the seed and config, so
@@ -149,6 +163,10 @@ impl FleetReport {
             out.push_str(&format!(
                 "  serve parity       {} requests, {} skipped, {} mismatches\n",
                 self.serve_requests, self.serve_skipped, self.serve_mismatches
+            ));
+            out.push_str(&format!(
+                "  check parity       {} requests, {} skipped, {} mismatches\n",
+                self.check_requests, self.check_skipped, self.check_mismatches
             ));
         } else {
             out.push_str("  serve parity       disabled\n");
@@ -284,6 +302,26 @@ fn frame_oracle(query_src: &str, data_src: &str) -> Option<bagcq_arith::Nat> {
     CountRequest::new(&query, &support).backend(BackendChoice::Auto).run().ok()
 }
 
+/// A set-semantics containment frame pinning the `set-ucq` backend.
+/// The Sagiv–Yannakakis reduction is deterministic (no random search),
+/// so the wire verdict must match the in-process verdict bit-for-bit
+/// even when chaos forces re-delivery.
+fn check_frame_body(small: &UnionQuery, big: &UnionQuery) -> String {
+    let mut body = String::from("semantics: set\ncontainment: set-ucq\nsmall:\n");
+    for line in union_to_dlgp(small).lines() {
+        body.push_str("  ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body.push_str("big:\n");
+    for line in union_to_dlgp(big).lines() {
+        body.push_str("  ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body
+}
+
 fn count_frame_body(query_src: &str, data_src: &str) -> String {
     let mut body = String::from("backend: auto\nquery:\n  ");
     body.push_str(query_src);
@@ -414,6 +452,53 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
                     }
                 }
             }
+
+            // Check parity: each traffic item's pure CQ ⊑set UCQ pair
+            // is posted as a `/v1/check` frame; the wire verdict must
+            // equal the in-process `CheckRequest` verdict. Checks are
+            // database-free, so one frame per item suffices.
+            if db_idx == 0 {
+                if let (Some(client), Context::Traffic { cq, union, .. }) = (wire.as_mut(), &ctx) {
+                    if !cq.is_pure() || !union.is_pure() {
+                        report.check_skipped += 1;
+                    } else {
+                        report.check_requests += 1;
+                        let single = UnionQuery::from_query(cq.clone());
+                        let expected = CheckRequest::union(single.clone(), union.clone())
+                            .semantics(Semantics::Set)
+                            .containment(ContainmentChoice::SetUcq)
+                            .check()
+                            .map(|v| match v {
+                                CheckVerdict::Proved(_) => "proved",
+                                CheckVerdict::Refuted(_) => "refuted",
+                                CheckVerdict::Unknown { .. } => "unknown",
+                            });
+                        let body = check_frame_body(&single, union);
+                        let answer = client.post("/v1/check", &body).and_then(|(status, text)| {
+                            match parse_response(&text).ok()? {
+                                WireResponse::Check { verdict, .. } if status == 200 => {
+                                    Some(verdict)
+                                }
+                                _ => None,
+                            }
+                        });
+                        if answer.as_deref() != expected.as_deref().ok() {
+                            report.check_mismatches += 1;
+                            report.violations.push(FleetViolation {
+                                item: item.id,
+                                lemma: "check-parity".into(),
+                                context: ctx.spec(),
+                                detail: format!(
+                                    "wire check verdict {answer:?}, in-process says {expected:?}"
+                                ),
+                                shrunk_atoms: db.total_atoms(),
+                                shrink_steps: 0,
+                                fixture_path: None,
+                            });
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -448,6 +533,21 @@ mod tests {
         assert!(report.clean(), "{}", report.render());
         assert!(report.serve_requests > 0, "no frames reached the server:\n{}", report.render());
         assert_eq!(report.serve_mismatches, 0);
+    }
+
+    /// The check-parity leg: pure traffic CQ/UCQ pairs must get the same
+    /// set-semantics verdict through `/v1/check` as in-process.
+    #[test]
+    fn fleet_streams_set_containment_through_the_wire() {
+        let config = FleetConfig { seed: 11, budget: 12, ..FleetConfig::default() };
+        let report = run_fleet(&config);
+        assert!(report.clean(), "{}", report.render());
+        assert!(
+            report.check_requests >= 2,
+            "no pure pairs reached /v1/check:\n{}",
+            report.render()
+        );
+        assert_eq!(report.check_mismatches, 0);
     }
 
     /// The wire-parity leg under seeded network chaos: every accepted

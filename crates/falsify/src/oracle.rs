@@ -15,8 +15,11 @@
 
 use crate::corpus::{Context, GadgetKind, Tamper};
 use bagcq_arith::{CertOrd, Magnitude, Nat, Rat};
+use bagcq_containment::{
+    set_contained, CheckRequest, ContainmentChoice, Semantics, Verdict as CheckVerdict,
+};
 use bagcq_homcount::{eval_power_query, verify_onto_hom, BackendChoice, CountRequest, EvalOptions};
-use bagcq_query::{path_query, Query};
+use bagcq_query::{path_query, Query, UnionQuery};
 use bagcq_reduction::{eval_union, Correctness, MultiplyGadget};
 use bagcq_structure::Structure;
 
@@ -74,6 +77,7 @@ pub fn oracle_set(break_lemma: Option<&str>) -> Vec<Box<dyn LemmaOracle>> {
         Box::new(Lemma22Oracle),
         Box::new(Lemma23And24Oracle),
         Box::new(BagUnionOracle),
+        Box::new(SetUcqAllAnyOracle),
     ]
 }
 
@@ -661,6 +665,129 @@ impl LemmaOracle for BagUnionOracle {
                 ctx,
                 format!("UCQ answer {total} ≠ sum of disjunct answers {sum}"),
             );
+        }
+        Verdict::Pass
+    }
+}
+
+/// The Sagiv–Yannakakis all/any reduction behind the `set-ucq` backend:
+/// `U₁ ⊑set U₂` iff every disjunct of `U₁` is Chandra–Merlin contained
+/// in some disjunct of `U₂`. On every pure traffic CQ/UCQ pair (both
+/// orientations) the first-class [`CheckRequest`] backend is run against
+/// an independent brute-force all/any recount via [`set_contained`];
+/// the verdict is then cross-checked against positivity transfer on the
+/// concrete corpus database, and a refuted verdict's witness database is
+/// recounted on two kernels (small side holds, big side does not).
+struct SetUcqAllAnyOracle;
+
+impl SetUcqAllAnyOracle {
+    /// `true` iff the union holds on `db` under set semantics (some
+    /// disjunct has a homomorphism), with every count cross-validated
+    /// on two kernels.
+    fn holds(
+        &self,
+        ctx: &Context,
+        u: &UnionQuery,
+        db: &bagcq_structure::Structure,
+    ) -> Result<bool, Verdict> {
+        for q in u.disjuncts() {
+            if count2(self.name(), ctx, q, db)? > Nat::zero() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl LemmaOracle for SetUcqAllAnyOracle {
+    fn name(&self) -> &'static str {
+        "set-ucq-all-any"
+    }
+
+    fn check(&self, ctx: &Context, db: &Structure) -> Verdict {
+        let Context::Traffic { cq, union, .. } = ctx else {
+            return Verdict::NotApplicable;
+        };
+        if !cq.is_pure() || !union.is_pure() {
+            return Verdict::NotApplicable;
+        }
+        let single = UnionQuery::from_query(cq.clone());
+        for (u_s, u_b) in [(&single, union), (union, &single)] {
+            let verdict = match CheckRequest::union((*u_s).clone(), (*u_b).clone())
+                .semantics(Semantics::Set)
+                .containment(ContainmentChoice::SetUcq)
+                .check()
+            {
+                Ok(v) => v,
+                Err(u) => {
+                    return violation(
+                        self.name(),
+                        ctx,
+                        format!("set-ucq rejected a pure union pair: {u}"),
+                    )
+                }
+            };
+            let brute =
+                u_s.disjuncts().iter().all(|p| u_b.disjuncts().iter().any(|q| set_contained(p, q)));
+            let proved = match &verdict {
+                CheckVerdict::Proved(_) => true,
+                CheckVerdict::Refuted(_) => false,
+                CheckVerdict::Unknown { .. } => {
+                    return violation(
+                        self.name(),
+                        ctx,
+                        "set-ucq answered Unknown; the all/any reduction is exact".into(),
+                    )
+                }
+            };
+            if proved != brute {
+                return violation(
+                    self.name(),
+                    ctx,
+                    format!(
+                        "backend verdict {verdict} disagrees with brute-force all/any ({})",
+                        if brute { "contained" } else { "not contained" }
+                    ),
+                );
+            }
+            // Positivity transfer on the corpus database: if `U₁ ⊑set U₂`
+            // then `U₁` holding on `db` forces `U₂` to hold on `db`.
+            let s_holds = match self.holds(ctx, u_s, db) {
+                Ok(b) => b,
+                Err(v) => return v,
+            };
+            let b_holds = match self.holds(ctx, u_b, db) {
+                Ok(b) => b,
+                Err(v) => return v,
+            };
+            if proved && s_holds && !b_holds {
+                return violation(
+                    self.name(),
+                    ctx,
+                    format!("proved containment but {u_s} holds on db while {u_b} does not"),
+                );
+            }
+            // A refuted verdict names its witness: the small side must
+            // hold there and the big side must not.
+            if let CheckVerdict::Refuted(ce) = &verdict {
+                let s_w = match self.holds(ctx, u_s, &ce.database) {
+                    Ok(b) => b,
+                    Err(v) => return v,
+                };
+                let b_w = match self.holds(ctx, u_b, &ce.database) {
+                    Ok(b) => b,
+                    Err(v) => return v,
+                };
+                if !s_w || b_w {
+                    return violation(
+                        self.name(),
+                        ctx,
+                        format!(
+                            "refutation witness does not separate: small holds={s_w}, big holds={b_w}"
+                        ),
+                    );
+                }
+            }
         }
         Verdict::Pass
     }

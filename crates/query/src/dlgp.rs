@@ -363,7 +363,18 @@ fn dlgp_union_raw(src: &str) -> Result<Vec<Vec<RawConjunct>>, ParseQueryError> {
                 }
                 continue;
             }
-            return cur.error(format!("expected ',' or '.' before {:?}", cur.preview()));
+            // `;` (or `∨`) splits disjuncts within one rule:
+            // `?- e(X, Y) ; f(X).` is a two-disjunct union. Variables
+            // are scoped per disjunct, as in every UCQ formalism.
+            if cur.eat(';') || cur.eat('∨') {
+                cur.skip_trivia(true);
+                if cur.is_empty() {
+                    return cur.error("trailing separator");
+                }
+                rules.push(std::mem::take(&mut conjs));
+                continue;
+            }
+            return cur.error(format!("expected ',', ';' or '.' before {:?}", cur.preview()));
         }
         rules.push(conjs);
     }
@@ -772,6 +783,27 @@ mod tests {
             assert_eq!(a, b, "text:\n{text}");
         }
         assert_eq!(text, src);
+    }
+
+    #[test]
+    fn semicolon_splits_disjuncts_within_a_rule() {
+        // `;` inside one rule is the inline union syntax; equivalent to
+        // one rule per disjunct. Variables are scoped per disjunct.
+        let (u, s) = parse_dlgp_union_infer("?- e(X, Y) ; f(X).").unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.disjuncts()[0].atoms().len(), 1);
+        assert_eq!(u.disjuncts()[1].atoms().len(), 1);
+        let (v, _) = parse_dlgp_union_infer("?- e(X, Y).\n?- f(X).").unwrap();
+        assert_eq!(u.disjuncts(), v.disjuncts());
+        // Mixed forms and multi-atom disjuncts compose.
+        let (w, _) = parse_dlgp_union_infer("?- e(X, Y), e(Y, Z) ; f(X).\n?- e(A, A).").unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.disjuncts()[0].atoms().len(), 2);
+        // The serializer's one-rule-per-line output still round-trips.
+        let back = parse_dlgp_union(&s, &union_to_dlgp(&u)).unwrap();
+        assert_eq!(back.disjuncts(), u.disjuncts());
+        // A trailing `;` is an error, as with every other separator.
+        assert!(parse_dlgp_union_infer("?- e(X, Y) ;").is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::query::Query;
 use std::fmt;
 
 /// A union (disjunction) of boolean conjunctive queries.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct UnionQuery {
     disjuncts: Vec<Query>,
 }

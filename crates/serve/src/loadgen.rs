@@ -306,8 +306,8 @@ fn count_frame(query_src: &str, data_src: &str) -> String {
     body
 }
 
-fn check_frame(small_len: usize, big_len: usize) -> String {
-    let mut body = String::from("small:\n  ?- ");
+fn check_frame(small_len: usize, big_len: usize, semantics: &str) -> String {
+    let mut body = format!("semantics: {semantics}\nsmall:\n  ?- ");
     for i in 0..small_len {
         if i > 0 {
             body.push_str(", ");
@@ -323,6 +323,23 @@ fn check_frame(small_len: usize, big_len: usize) -> String {
     }
     body.push_str(".\n");
     body
+}
+
+/// A union check frame (`;`-separated disjuncts on the small side, one
+/// rule per line on the big side) — exercises the UCQ backends through
+/// the wire path under both semantics.
+fn ucq_check_frame(small_len: usize, big_len: usize, semantics: &str) -> String {
+    let mut rule = String::from("?- ");
+    for i in 0..big_len.max(small_len).max(1) {
+        if i > 0 {
+            rule.push_str(", ");
+        }
+        rule.push_str(&format!("e(W{i}, W{})", i + 1));
+    }
+    rule.push('.');
+    format!(
+        "semantics: {semantics}\nsmall:\n  ?- e(X0, X1) ; f(Y0).\nbig:\n  {rule}\n  ?- f(Z0).\n"
+    )
 }
 
 const MALFORMED_BODIES: &[&str] = &[
@@ -381,11 +398,15 @@ fn build_plan(config: &LoadgenConfig) -> Vec<Plan> {
         } else if roll < mix.hot_count_per_1024 + mix.check_per_1024 {
             let small = 2 + rng.below(2) as usize;
             let big = 2 + rng.below(3) as usize;
-            plan.push(Plan {
-                path: "/v1/check",
-                body: check_frame(small, big),
-                expect: Expect::Check,
-            });
+            // Rotate through semantics × query-class so every registered
+            // containment backend serves wire traffic under load.
+            let body = match rng.below(4) {
+                0 => check_frame(small, big, "bag"),
+                1 => check_frame(small, big, "set"),
+                2 => ucq_check_frame(small, big, "bag"),
+                _ => ucq_check_frame(small, big, "set"),
+            };
+            plan.push(Plan { path: "/v1/check", body, expect: Expect::Check });
         } else if roll < mix.hot_count_per_1024 + mix.check_per_1024 + mix.malformed_per_1024 {
             let pick = rng.below(MALFORMED_BODIES.len() as u64) as usize;
             plan.push(Plan {

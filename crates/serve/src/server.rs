@@ -26,7 +26,10 @@
 //! [`ShedReason::Draining`] and [`Outcome::FailedFast`] → 503;
 //! [`ShedReason::ExpiredAtDequeue`] and [`Outcome::TimedOut`] → 504;
 //! [`Outcome::Panicked`] → 500. Parse/frame errors → 400 with the caret
-//! snippet verbatim; unknown API keys → 401; unknown paths → 404;
+//! snippet verbatim; a `semantics`/`containment` combination no backend
+//! supports → typed 400 `unsupported_semantics` (rejected at the parse
+//! stage, before admission is charged); unknown API keys → 401; unknown
+//! paths → 404;
 //! oversized frames → 413; a client that starts a request but fails to
 //! finish it inside [`ServerConfig::read_deadline`] → 408
 //! (`slow_client`) and the connection closes.
@@ -53,7 +56,7 @@ use crate::http::{
     crc32, read_request, write_response_with_headers, HttpError, HttpLimits, HttpRequest,
 };
 use crate::wire::{parse_check_request, parse_count_request, WireResponse};
-use bagcq_containment::{ContainmentChecker, Verdict};
+use bagcq_containment::{ContainmentChoice, Semantics, Verdict};
 use bagcq_engine::{
     DrainReport, EngineConfig, EvalEngine, Job, Outcome, ShedReason, TenantConnection, TenantGate,
     TenantRefusal, TenantSpec,
@@ -783,11 +786,13 @@ fn serve_job(request: &HttpRequest, shared: &Shared, kind: JobKind) -> (u16, &'s
             (handle.wait(), Responder::Count { backend, bag_total, support_atoms })
         }
         Parsed::Check(job) => {
-            let handle = shared.engine.submit(
-                Job::containment(ContainmentChecker::new(), job.q_small, job.q_big)
-                    .with_timeout(shared.job_timeout),
-            );
-            (handle.wait(), Responder::Check)
+            // Echo what the verdict will have come from: the requested
+            // semantics and the *resolved* backend (never `auto`).
+            let semantics = job.spec.semantics;
+            let containment = job.spec.resolved_choice();
+            let handle =
+                shared.engine.submit(Job::check(job.spec).with_timeout(shared.job_timeout));
+            (handle.wait(), Responder::Check { semantics, containment })
         }
     };
     drop(count_span);
@@ -831,7 +836,7 @@ enum Parsed {
 
 enum Responder {
     Count { backend: bagcq_homcount::BackendChoice, bag_total: u64, support_atoms: u64 },
-    Check,
+    Check { semantics: Semantics, containment: ContainmentChoice },
 }
 
 fn shed_response(reason: ShedReason) -> (u16, &'static str, String) {
@@ -866,21 +871,30 @@ fn respond(outcome: Outcome, responder: Responder) -> (u16, &'static str, String
                 "OK",
                 WireResponse::Count { backend, bag_total, support_atoms, count }.render(),
             ),
-            Responder::Check => (
+            Responder::Check { .. } => (
                 500,
                 "Internal Server Error",
                 WireResponse::error("panic", "count outcome for a check job").render(),
             ),
         },
-        Outcome::Verdict(v) => (
-            200,
-            "OK",
-            WireResponse::Check {
-                verdict: verdict_label(&v).into(),
-                detail: v.to_string().replace('\n', " "),
-            }
-            .render(),
-        ),
+        Outcome::Verdict(v) => match responder {
+            Responder::Check { semantics, containment } => (
+                200,
+                "OK",
+                WireResponse::Check {
+                    semantics,
+                    containment,
+                    verdict: verdict_label(&v).into(),
+                    detail: v.to_string().replace('\n', " "),
+                }
+                .render(),
+            ),
+            Responder::Count { .. } => (
+                500,
+                "Internal Server Error",
+                WireResponse::error("panic", "verdict outcome for a count job").render(),
+            ),
+        },
         Outcome::Power(_) => (
             500,
             "Internal Server Error",

@@ -13,9 +13,15 @@
 //! e(b, c).
 //! ```
 //!
-//! A containment check frame uses `small:` / `big:` sections instead.
-//! Responses are newline-delimited `key: value` text whose first line is
-//! `ok: <kind>` or `error: <kind>`:
+//! A containment check frame uses `small:` / `big:` sections instead,
+//! each holding a DLGP **union** payload (`?- e(X, Y) ; f(X).` — `;`
+//! separates disjuncts; a plain CQ is the one-disjunct union), plus
+//! optional `semantics: set|bag` and `containment: <choice>` headers
+//! selecting the [`bagcq_containment::ContainmentBackend`]. A
+//! combination no backend can serve answers a typed 400 whose kind is
+//! `unsupported_semantics`. Responses are newline-delimited
+//! `key: value` text whose first line is `ok: <kind>` or
+//! `error: <kind>`:
 //!
 //! ```text
 //! ok: count
@@ -31,16 +37,17 @@
 //! [`bagcq_query::query_to_dlgp`] / [`BagInstance::to_dlgp`].
 
 use bagcq_arith::Nat;
+use bagcq_containment::{CheckSpec, ContainmentChoice, Semantics, Unsupported};
 use bagcq_homcount::BackendChoice;
 use bagcq_query::{
     parse_bag_instance, parse_bag_instance_infer, parse_dlgp_query, parse_dlgp_query_infer,
-    BagInstance, ParseQueryError, Query,
+    parse_dlgp_union, parse_dlgp_union_infer, BagInstance, ParseQueryError, Query,
 };
 use bagcq_structure::{Schema, Structure};
 use std::fmt;
 use std::sync::Arc;
 
-/// Why a request frame was rejected (both map to HTTP 400).
+/// Why a request frame was rejected (all map to HTTP 400).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// The frame structure is wrong: missing/duplicate/unknown section,
@@ -49,6 +56,11 @@ pub enum WireError {
     /// A DLGP payload failed to parse; carries the positioned error,
     /// rendered **verbatim** (caret snippet included) into the 400 body.
     Parse(ParseQueryError),
+    /// The requested `semantics`/`containment` combination cannot serve
+    /// this payload (e.g. a pinned CQ-pair backend on a real union, or a
+    /// set-semantics backend asked for a non-trivial multiplier). Maps
+    /// to the typed `unsupported_semantics` 400.
+    Unsupported(Unsupported),
 }
 
 impl WireError {
@@ -57,6 +69,11 @@ impl WireError {
         match self {
             WireError::Frame(m) => WireResponse::error("frame", m.clone()),
             WireError::Parse(e) => WireResponse::error("parse", e.render()),
+            WireError::Unsupported(u) => WireResponse::error_with_reason(
+                "unsupported_semantics",
+                u.backend.label(),
+                u.to_string(),
+            ),
         }
     }
 }
@@ -66,6 +83,7 @@ impl fmt::Display for WireError {
         match self {
             WireError::Frame(m) => write!(f, "frame error: {m}"),
             WireError::Parse(e) => write!(f, "{e}"),
+            WireError::Unsupported(u) => write!(f, "{u}"),
         }
     }
 }
@@ -80,7 +98,7 @@ impl From<ParseQueryError> for WireError {
 // Request frames
 // ---------------------------------------------------------------------------
 
-const SECTIONS: &[&str] = &["backend", "query", "data", "small", "big"];
+const SECTIONS: &[&str] = &["backend", "query", "data", "small", "big", "semantics", "containment"];
 
 /// One extracted section, with enough positioning to map payload parse
 /// errors back to the **request body's** lines and columns.
@@ -194,14 +212,16 @@ pub struct CountJob {
     pub schema: Arc<Schema>,
 }
 
-/// A parsed, schema-resolved containment-check request.
+/// A parsed, schema-resolved containment-check request. Both sides are
+/// unions (a plain CQ is the one-disjunct union); the spec carries the
+/// requested semantics and backend choice and has already passed
+/// [`CheckSpec::validate`], so submitting it cannot hit an unsupported
+/// combination.
 #[derive(Debug)]
 pub struct CheckJob {
-    /// The smaller side `ϱ_s`.
-    pub q_small: Query,
-    /// The bigger side `ϱ_b`.
-    pub q_big: Query,
-    /// The merged schema both queries are resolved against.
+    /// The validated check spec (`q_s`, `q_b`, semantics, choice).
+    pub spec: CheckSpec,
+    /// The merged schema both sides are resolved against.
     pub schema: Arc<Schema>,
 }
 
@@ -265,7 +285,12 @@ pub fn parse_count_request(body: &str) -> Result<CountJob, WireError> {
     Ok(CountJob { query, bag, support: Arc::new(support), backend, schema })
 }
 
-/// Parses a `/v1/check` body: `small:` and `big:` DLGP queries.
+/// Parses a `/v1/check` body: `small:` and `big:` DLGP union payloads
+/// (disjuncts separated by `;` within a rule, or one rule per line),
+/// plus optional `semantics: set|bag` (default `bag`) and
+/// `containment: <choice>` (default `auto`) headers. The returned job's
+/// spec has passed [`CheckSpec::validate`]; a combination no backend
+/// can serve is the typed [`WireError::Unsupported`] 400.
 pub fn parse_check_request(body: &str) -> Result<CheckJob, WireError> {
     let sections = split_sections(body)?;
     for s in &sections {
@@ -276,23 +301,35 @@ pub fn parse_check_request(body: &str) -> Result<CheckJob, WireError> {
             )));
         }
     }
+    let semantics = match take_section(&sections, "semantics") {
+        None => Semantics::default(),
+        Some(s) => s.content.trim().parse::<Semantics>().map_err(WireError::Frame)?,
+    };
+    let choice = match take_section(&sections, "containment") {
+        None => ContainmentChoice::Auto,
+        Some(s) => s.content.trim().parse::<ContainmentChoice>().map_err(WireError::Frame)?,
+    };
     let small_sec = take_section(&sections, "small")
         .ok_or(WireError::Frame("missing section small:".into()))?;
     let big_sec =
         take_section(&sections, "big").ok_or(WireError::Frame("missing section big:".into()))?;
     let (_, s_small) =
-        parse_dlgp_query_infer(&small_sec.content).map_err(|e| reposition(e, small_sec))?;
+        parse_dlgp_union_infer(&small_sec.content).map_err(|e| reposition(e, small_sec))?;
     let (_, s_big) =
-        parse_dlgp_query_infer(&big_sec.content).map_err(|e| reposition(e, big_sec))?;
+        parse_dlgp_union_infer(&big_sec.content).map_err(|e| reposition(e, big_sec))?;
     let mut sb = Schema::builder();
     let mut seen = Vec::new();
     merge_into(&mut sb, &mut seen, &s_small);
     merge_into(&mut sb, &mut seen, &s_big);
     let schema = sb.build();
     let q_small =
-        parse_dlgp_query(&schema, &small_sec.content).map_err(|e| reposition(e, small_sec))?;
-    let q_big = parse_dlgp_query(&schema, &big_sec.content).map_err(|e| reposition(e, big_sec))?;
-    Ok(CheckJob { q_small, q_big, schema })
+        parse_dlgp_union(&schema, &small_sec.content).map_err(|e| reposition(e, small_sec))?;
+    let q_big = parse_dlgp_union(&schema, &big_sec.content).map_err(|e| reposition(e, big_sec))?;
+    let mut spec = CheckSpec::union(q_small, q_big);
+    spec.semantics = semantics;
+    spec.choice = choice;
+    spec.validate().map_err(WireError::Unsupported)?;
+    Ok(CheckJob { spec, schema })
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +352,11 @@ pub enum WireResponse {
     },
     /// A containment verdict.
     Check {
+        /// Semantics the request asked for (`set` or `bag`).
+        semantics: Semantics,
+        /// The backend that produced the verdict (the *resolved*
+        /// choice — never `auto`).
+        containment: ContainmentChoice,
         /// Machine label: `proved`, `refuted`, or `unknown`.
         verdict: String,
         /// The full human-readable verdict line(s).
@@ -362,9 +404,9 @@ impl WireResponse {
             WireResponse::Count { backend, bag_total, support_atoms, count } => format!(
                 "ok: count\nbackend: {backend}\nbag-total: {bag_total}\nsupport-atoms: {support_atoms}\ncount: {count}\n"
             ),
-            WireResponse::Check { verdict, detail } => {
-                format!("ok: check\nverdict: {verdict}\ndetail: {detail}\n")
-            }
+            WireResponse::Check { semantics, containment, verdict, detail } => format!(
+                "ok: check\nsemantics: {semantics}\ncontainment: {containment}\nverdict: {verdict}\ndetail: {detail}\n"
+            ),
             WireResponse::Error { kind, reason, detail } => {
                 let mut out = format!("error: {kind}\n");
                 if !reason.is_empty() {
@@ -422,6 +464,8 @@ pub fn parse_response(text: &str) -> Result<WireResponse, String> {
             Ok(WireResponse::Count { backend, bag_total, support_atoms, count })
         }
         Some(("ok", "check")) => Ok(WireResponse::Check {
+            semantics: field(text, "semantics")?.parse::<Semantics>()?,
+            containment: field(text, "containment")?.parse::<ContainmentChoice>()?,
             verdict: field(text, "verdict")?.to_string(),
             detail: detail_field(text)?,
         }),
@@ -506,11 +550,49 @@ mod tests {
     #[test]
     fn check_frame_parses() {
         let job = parse_check_request("small:\n?- e(X, Y).\nbig:\n?- e(X, Y), e(Y, Z).\n").unwrap();
-        assert_eq!(job.q_small.atoms().len(), 1);
-        assert_eq!(job.q_big.atoms().len(), 2);
-        assert!(Arc::ptr_eq(job.q_small.schema(), job.q_big.schema()));
+        assert_eq!(job.spec.q_s.disjuncts()[0].atoms().len(), 1);
+        assert_eq!(job.spec.q_b.disjuncts()[0].atoms().len(), 2);
+        assert_eq!(job.spec.semantics, Semantics::Bag, "semantics defaults to bag");
+        assert_eq!(job.spec.choice, ContainmentChoice::Auto, "containment defaults to auto");
+        assert!(Arc::ptr_eq(
+            job.spec.q_s.disjuncts()[0].schema(),
+            job.spec.q_b.disjuncts()[0].schema()
+        ));
         assert!(parse_check_request("small: ?- .").is_err());
         assert!(parse_check_request("small: ?- .\nbig: ?- .\ndata: e(a).").is_err());
+    }
+
+    #[test]
+    fn check_frame_headers_and_unions() {
+        let body = "semantics: set\ncontainment: set-ucq\nsmall:\n?- e(X, Y) ; f(X).\nbig:\n?- e(X, Y).\n?- f(Z).\n";
+        let job = parse_check_request(body).unwrap();
+        assert_eq!(job.spec.semantics, Semantics::Set);
+        assert_eq!(job.spec.choice, ContainmentChoice::SetUcq);
+        assert_eq!(job.spec.q_s.len(), 2, "`;` splits disjuncts");
+        assert_eq!(job.spec.q_b.len(), 2, "one rule per line splits disjuncts");
+        assert_eq!(job.spec.resolved_choice(), ContainmentChoice::SetUcq);
+    }
+
+    #[test]
+    fn unsupported_semantics_is_typed() {
+        // A CQ-pair-only backend pinned onto a real union.
+        let body = "containment: bag-search\nsmall:\n?- e(X, Y) ; f(X).\nbig:\n?- e(X, Y).\n";
+        let e = parse_check_request(body).unwrap_err();
+        let WireError::Unsupported(u) = &e else { panic!("expected unsupported, got {e:?}") };
+        assert_eq!(u.backend, ContainmentChoice::BagSearch);
+        let rendered = e.to_response().render();
+        assert!(rendered.starts_with("error: unsupported_semantics\n"), "{rendered}");
+        assert!(rendered.contains("reason: bag-search"), "{rendered}");
+        // Semantics × choice mismatch is the same typed error.
+        let e2 = parse_check_request(
+            "semantics: bag\ncontainment: set-chandra-merlin\nsmall: ?- e(X, Y).\nbig: ?- e(X, Y).",
+        )
+        .unwrap_err();
+        assert!(matches!(e2, WireError::Unsupported(_)), "{e2:?}");
+        // An unknown semantics label is a frame error, not a parse crash.
+        let e3 = parse_check_request("semantics: tri-valued\nsmall: ?- e(X, Y).\nbig: ?- e(X, Y).")
+            .unwrap_err();
+        assert!(matches!(e3, WireError::Frame(_)), "{e3:?}");
     }
 
     #[test]
@@ -523,6 +605,8 @@ mod tests {
                 count: "340282366920938463463374607431768211456".parse().unwrap(),
             },
             WireResponse::Check {
+                semantics: Semantics::Set,
+                containment: ContainmentChoice::SetUcq,
                 verdict: "refuted".into(),
                 detail: "REFUTED (…)\nwith a second line".into(),
             },

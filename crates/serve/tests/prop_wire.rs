@@ -3,6 +3,7 @@
 //! frames) and malformed-frame fuzzing (arbitrary bodies and raw bytes
 //! never panic a parser — every rejection is a typed error).
 
+use bagcq_containment::{ContainmentChoice, Semantics};
 use bagcq_homcount::{BackendChoice, CountRequest};
 use bagcq_query::{
     parse_bag_instance_infer, parse_dlgp_query, parse_dlgp_query_infer, query_to_dlgp, BagFact,
@@ -127,14 +128,70 @@ proptest! {
     }
 
     /// `parse_response ∘ render = id` for check frames, including
-    /// multi-line details (the `detail:` field is last on the wire).
+    /// multi-line details (the `detail:` field is last on the wire),
+    /// over every semantics and every registered backend label.
     #[test]
     fn check_response_round_trips(
+        sem in 0usize..2,
+        backend in 0usize..4,
         verdict in "[a-z\\-]{1,12}",
         detail in "[a-zA-Z0-9 _.<=\\-]{0,40}(\\n[a-zA-Z0-9 _.<=^~\\-]{0,40}){0,3}",
     ) {
-        let resp = WireResponse::Check { verdict, detail };
+        let resp = WireResponse::Check {
+            semantics: [Semantics::Bag, Semantics::Set][sem],
+            containment: ContainmentChoice::REGISTERED[backend],
+            verdict,
+            detail,
+        };
         prop_assert_eq!(parse_response(&resp.render()).unwrap(), resp);
+    }
+
+    /// A check frame with `semantics`/`containment` headers and union
+    /// payloads (`;`-inline and one-rule-per-line) survives serialize →
+    /// parse: the spec carries the headers and the exact disjunct lists.
+    #[test]
+    fn union_check_frame_round_trips(
+        seeds in proptest::collection::vec(0u64..10_000, 1..4),
+        bseeds in proptest::collection::vec(0u64..10_000, 1..4),
+        sem in 0usize..2,
+        inline in any::<bool>(),
+    ) {
+        let semantics = [Semantics::Bag, Semantics::Set][sem];
+        let small: Vec<_> = seeds.iter().map(|&s| sample_query(s, 3, 2, 0)).collect();
+        let big: Vec<_> = bseeds.iter().map(|&s| sample_query(s, 3, 2, 0)).collect();
+        let render_union = |qs: &[bagcq_query::Query]| -> String {
+            if inline {
+                // One rule, `;`-separated: strip each `?- ` prefix and
+                // trailing period past the first disjunct.
+                let parts: Vec<String> = qs
+                    .iter()
+                    .map(|q| {
+                        let t = query_to_dlgp(q);
+                        t.trim_start_matches("?- ").trim_end_matches('.').trim().to_string()
+                    })
+                    .collect();
+                format!("?- {}.", parts.join(" ; "))
+            } else {
+                qs.iter().map(query_to_dlgp).collect::<Vec<_>>().join("\n")
+            }
+        };
+        let body = format!(
+            "semantics: {semantics}\nsmall:\n{}\nbig:\n{}",
+            render_union(&small),
+            render_union(&big),
+        );
+        let job = parse_check_request(&body)
+            .unwrap_or_else(|e| panic!("serialized union frame failed to parse: {e}\n{body}"));
+        prop_assert_eq!(job.spec.semantics, semantics);
+        prop_assert_eq!(job.spec.choice, ContainmentChoice::Auto);
+        prop_assert_eq!(job.spec.q_s.len(), small.len());
+        prop_assert_eq!(job.spec.q_b.len(), big.len());
+        for (parsed, orig) in job.spec.q_s.disjuncts().iter().zip(&small) {
+            prop_assert_eq!(&query_to_dlgp(parsed), &query_to_dlgp(orig));
+        }
+        for (parsed, orig) in job.spec.q_b.disjuncts().iter().zip(&big) {
+            prop_assert_eq!(&query_to_dlgp(parsed), &query_to_dlgp(orig));
+        }
     }
 
     /// `parse_response ∘ render = id` for typed errors, with and without
@@ -181,7 +238,7 @@ proptest! {
     /// truncations) never panic either request parser.
     #[test]
     fn fuzzed_bodies_never_panic(
-        body in "((backend|query|data|small|big|qurey|x)(:)?( )?[a-zA-Z0-9 ?(),.@!=_\\-]{0,30}\\n?){0,6}",
+        body in "((backend|query|data|small|big|semantics|containment|qurey|x)(:)?( )?[a-zA-Z0-9 ?(),.;@!=_\\-]{0,30}\\n?){0,6}",
     ) {
         let _ = parse_count_request(&body);
         let _ = parse_check_request(&body);
@@ -270,9 +327,23 @@ fn check_frame_round_trips() {
     let q_big = sample_query(11, 4, 3, 1);
     let body = format!("small: {}\nbig: {}", query_to_dlgp(&q_small), query_to_dlgp(&q_big));
     let job = parse_check_request(&body).expect("serialized check frame parses");
-    assert_eq!(query_to_dlgp(&job.q_small), query_to_dlgp(&q_small));
-    assert_eq!(query_to_dlgp(&job.q_big), query_to_dlgp(&q_big));
+    assert_eq!(query_to_dlgp(&job.spec.q_s.disjuncts()[0]), query_to_dlgp(&q_small));
+    assert_eq!(query_to_dlgp(&job.spec.q_b.disjuncts()[0]), query_to_dlgp(&q_big));
     // The merged schema resolves both sides.
     let (_, s_small) = parse_dlgp_query_infer(&query_to_dlgp(&q_small)).unwrap();
     assert!(job.schema.relation_count() >= s_small.relation_count());
+}
+
+/// An unsupported semantics × backend combination is the typed
+/// `unsupported_semantics` 400, and its response frame round-trips.
+#[test]
+fn unsupported_semantics_response_round_trips() {
+    let err = parse_check_request(
+        "semantics: set\ncontainment: bag-search\nsmall: ?- e(X, Y).\nbig: ?- e(X, Y).",
+    )
+    .expect_err("bag-search cannot serve set semantics");
+    let resp = err.to_response();
+    let rendered = resp.render();
+    assert!(rendered.starts_with("error: unsupported_semantics\n"), "{rendered}");
+    assert_eq!(parse_response(&rendered).unwrap(), resp);
 }

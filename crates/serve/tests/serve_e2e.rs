@@ -213,6 +213,90 @@ fn sheds_carry_retry_after_and_every_response_carries_a_crc() {
     server.shutdown();
 }
 
+/// The redesigned check endpoint end-to-end: `semantics`/`containment`
+/// headers select a [`bagcq_containment::ContainmentBackend`], union
+/// payloads (`;` disjuncts) parse, the response echoes the *resolved*
+/// backend, and a combination no backend supports answers the typed 400
+/// `unsupported_semantics`.
+#[test]
+fn check_endpoint_serves_both_semantics_and_types_unsupported_combos() {
+    use bagcq_containment::{ContainmentChoice, Semantics};
+
+    let server = Server::start(ServerConfig { tenants: vec![open_tenant()], ..Default::default() })
+        .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let expect_check = |body: &str, sem: Semantics, backend: ContainmentChoice, verdict: &str| {
+        let (status, text) = post(&addr, "/v1/check", "dev-key", body);
+        assert_eq!(status, 200, "check failed for {body:?}: {text}");
+        match parse_response(&text).expect("well-formed check frame") {
+            WireResponse::Check { semantics, containment, verdict: v, .. } => {
+                assert_eq!(semantics, sem, "{body:?}");
+                assert_eq!(containment, backend, "response must echo the resolved backend");
+                assert_eq!(v, verdict, "{body:?} → {text}");
+            }
+            other => panic!("expected a check frame, got {other:?}"),
+        }
+    };
+
+    // Auto-routed CQ pairs: the response must echo whatever this
+    // process's resolution picks — normally the natural backend
+    // (bag-search / set-chandra-merlin), but a BAGCQ_CONTAINMENT matrix
+    // run may legitimately redirect to a same-fragment UCQ backend, and
+    // the server shares our environment.
+    let resolved = |body: &str| {
+        bagcq_serve::parse_check_request(body).expect("valid frame").spec.resolved_choice()
+    };
+    // Bag default: the 2-path/3-path pair is refuted by the canonical
+    // database of the big side.
+    let body = "small: ?- e(X, Y), e(Y, Z).\nbig: ?- e(X, Y), e(Y, Z), e(Z, W).\n";
+    expect_check(body, Semantics::Bag, resolved(body), "refuted");
+    // Set semantics: the 2-path folds into the 3-path's canonical
+    // database, so the reverse pair is proved.
+    let body = "semantics: set\nsmall: ?- e(X, Y), e(Y, Z), e(Z, W).\nbig: ?- e(X, Y), e(Y, Z).\n";
+    expect_check(body, Semantics::Set, resolved(body), "proved");
+    // Union payload with `;` under set semantics (auto → set-ucq):
+    // every small disjunct maps into some big disjunct.
+    expect_check(
+        "semantics: set\nsmall: ?- e(X, Y).\nbig: ?- e(X, Y) ; f(Z).\n",
+        Semantics::Set,
+        ContainmentChoice::SetUcq,
+        "proved",
+    );
+    // The same union under bag semantics (auto → bag-ucq): the disjunct
+    // matching certificate proves it.
+    expect_check(
+        "small: ?- e(X, Y).\nbig: ?- e(X, Y) ; f(Z).\n",
+        Semantics::Bag,
+        ContainmentChoice::BagUcq,
+        "proved",
+    );
+    // A pinned backend is honored when it supports the payload.
+    expect_check(
+        "containment: bag-ucq\nsmall: ?- e(X, Y).\nbig: ?- e(X, Y).\n",
+        Semantics::Bag,
+        ContainmentChoice::BagUcq,
+        "proved",
+    );
+
+    // Unsupported combination: typed 400, rejected before admission.
+    let (status, text) = post(
+        &addr,
+        "/v1/check",
+        "dev-key",
+        "semantics: set\ncontainment: bag-search\nsmall: ?- e(X, Y).\nbig: ?- e(X, Y).\n",
+    );
+    assert_eq!(status, 400, "unsupported combination must 400: {text}");
+    match parse_response(&text).expect("well-formed error frame") {
+        WireResponse::Error { kind, reason, .. } => {
+            assert_eq!(kind, "unsupported_semantics");
+            assert_eq!(reason, "bag-search");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
 /// Satellite differential check: one seeded loadgen corpus, replayed
 /// once per registered counting backend, must produce **byte-identical**
 /// response frames (modulo the `backend:` echo line) — the wire path may

@@ -54,7 +54,7 @@ fn main() {
 
     // ---- 4. Containment questions --------------------------------------
     // Is edges(D) ≤ 2walks(D) for every D? No — one isolated edge refutes.
-    let verdict = ContainmentChecker::new().check(&edges, &walks2);
+    let verdict = CheckRequest::new(&edges, &walks2).check().expect("CQ pairs are supported");
     println!("edges ⊑bag 2-walks?  {verdict}");
     assert!(verdict.is_refuted());
 
@@ -63,7 +63,7 @@ fn main() {
     let x = qb.var("x");
     qb.atom_named("E", &[x, x]);
     let loops = qb.build();
-    let verdict = ContainmentChecker::new().check(&loops, &edges);
+    let verdict = CheckRequest::new(&loops, &edges).check().expect("CQ pairs are supported");
     println!("loops ⊑bag edges?    {verdict}");
     assert!(verdict.is_proved());
 

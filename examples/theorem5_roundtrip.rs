@@ -72,7 +72,7 @@ fn main() {
     println!("Theorem 5's point. The containment harness runs this construction");
     println!("automatically when it sees inequalities only in the s-query:");
 
-    let verdict = ContainmentChecker::new().check(&psi_s, &psi_b);
+    let verdict = CheckRequest::new(&psi_s, &psi_b).check().expect("CQ pairs are supported");
     println!("  harness verdict: {verdict}");
     assert!(verdict.is_refuted());
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! bagcq count   -q "E(x,y), E(y,z)"  -d db.txt        # |Hom(ψ, D)|
 //! bagcq check   -s "E(x,y)" -b "E(u,v), E(v,w)"       # containment verdict
+//! bagcq check   -s "E(x,y)" -b "E(u,v); F(w)" --semantics set   # UCQ, set semantics
 //! bagcq reduce  pell                                   # run the paper's reduction
 //! bagcq instances                                      # list the Hilbert corpus
 //! ```
@@ -57,6 +58,11 @@ USAGE:
               [--backend <name>]           auto (default), naive, treewidth,
                                            fast-naive, fast-treewidth
   bagcq check -s <small> -b <big>          check ϱ_s(D) ≤ ϱ_b(D) for all D
+              [--semantics set|bag]        bag (default) or set semantics
+              [--containment <name>]       auto (default), bag-search,
+                                           set-chandra-merlin, set-ucq,
+                                           bag-ucq; `;` in -s/-b separates
+                                           union disjuncts
   bagcq reduce <instance>                  run the PODS'24 reduction on a
                                            Hilbert-10 corpus instance
   bagcq instances                          list the corpus
@@ -160,15 +166,47 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits a classic-syntax query source into `;`-separated disjunct
+/// sources (the classic atom syntax never contains `;`, so a bare split
+/// is exact). A lone source is the one-disjunct union.
+fn split_disjuncts(src: &str) -> Result<Vec<&str>, String> {
+    let parts: Vec<&str> = src.split(';').map(str::trim).collect();
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err("empty disjunct in union (stray `;`?)".into());
+    }
+    Ok(parts)
+}
+
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let s_src = load(flag_value(args, "-s").ok_or("check needs -s <small query>")?)?;
     let b_src = load(flag_value(args, "-b").ok_or("check needs -b <big query>")?)?;
-    let schema = merged_schema(&[&s_src, &b_src], &[])?;
-    let q_s = parse_query(&schema, &s_src).map_err(|e| e.to_string())?;
-    let q_b = parse_query(&schema, &b_src).map_err(|e| e.to_string())?;
-    println!("ϱ_s = {q_s}");
-    println!("ϱ_b = {q_b}");
-    let verdict = ContainmentChecker::new().check(&q_s, &q_b);
+    let semantics: Semantics = match flag_value(args, "--semantics") {
+        Some(name) => name.parse()?,
+        None => Semantics::Bag,
+    };
+    let choice: ContainmentChoice = match flag_value(args, "--containment") {
+        Some(name) => name.parse()?,
+        None => ContainmentChoice::Auto,
+    };
+    let s_parts = split_disjuncts(&s_src)?;
+    let b_parts = split_disjuncts(&b_src)?;
+    let all: Vec<&str> = s_parts.iter().chain(&b_parts).copied().collect();
+    let schema = merged_schema(&all, &[])?;
+    let parse_union = |parts: &[&str]| -> Result<UnionQuery, String> {
+        let mut disjuncts = Vec::with_capacity(parts.len());
+        for part in parts {
+            disjuncts.push(parse_query(&schema, part).map_err(|e| e.to_string())?);
+        }
+        Ok(UnionQuery::new(disjuncts))
+    };
+    let u_s = parse_union(&s_parts)?;
+    let u_b = parse_union(&b_parts)?;
+    println!("ϱ_s = {u_s}");
+    println!("ϱ_b = {u_b}");
+    let request = CheckRequest::union(u_s, u_b).semantics(semantics).containment(choice);
+    println!("semantics = {semantics}");
+    println!("backend = {}", request.resolved_choice());
+    let verdict = request.check().map_err(|u| u.to_string())?;
     println!("{verdict}");
     if let Verdict::Refuted(ce) = &verdict {
         println!();

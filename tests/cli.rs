@@ -1,9 +1,22 @@
 //! Integration tests driving the `bagcq` CLI binary end to end.
 
+use bagcq_core::prelude::{path_query, CheckRequest, Schema, Semantics};
 use std::process::Command;
 
 fn bagcq() -> Command {
     Command::new(env!("CARGO_BIN_EXE_bagcq"))
+}
+
+/// The backend this process's environment resolves for an auto-routed
+/// pure CQ pair — normally the natural `(semantics, pair)` backend, but
+/// a `BAGCQ_CONTAINMENT` matrix run may redirect it, and the spawned
+/// binary inherits our environment.
+fn resolved_pair_backend(semantics: Semantics) -> &'static str {
+    let mut sb = Schema::builder();
+    sb.relation("E", 2);
+    let schema = sb.build();
+    let q = path_query(&schema, "E", 1);
+    CheckRequest::new(&q, &q).semantics(semantics).resolved_choice().label()
 }
 
 fn run(args: &[&str]) -> (bool, String, String) {
@@ -64,6 +77,83 @@ fn check_proves_with_certificate() {
     let (ok, stdout, _) = run(&["check", "-s", "E(x,x)", "-b", "E(u,v)"]);
     assert!(ok);
     assert!(stdout.contains("PROVED"), "{stdout}");
+    let expected = format!("backend = {}", resolved_pair_backend(Semantics::Bag));
+    assert!(stdout.contains(&expected), "auto resolves a CQ pair: {stdout}");
+}
+
+#[test]
+fn check_set_semantics_selects_chandra_merlin() {
+    // Set semantics flips the 2-walk/edge pair: the 2-walk query folds
+    // into a single edge's canonical database.
+    let (ok, stdout, _) =
+        run(&["check", "-s", "E(u,v), E(v,w)", "-b", "E(x,y)", "--semantics", "set"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("semantics = set"), "{stdout}");
+    let expected = format!("backend = {}", resolved_pair_backend(Semantics::Set));
+    assert!(stdout.contains(&expected), "{stdout}");
+    assert!(stdout.contains("PROVED"), "{stdout}");
+}
+
+#[test]
+fn check_union_disjuncts_via_semicolon() {
+    // `;` splits union disjuncts; auto picks the UCQ backend per
+    // semantics.
+    let (ok, stdout, _) =
+        run(&["check", "-s", "E(x,y)", "-b", "E(u,v); F(w)", "--semantics", "set"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("backend = set-ucq"), "{stdout}");
+    assert!(stdout.contains("PROVED"), "{stdout}");
+    let (ok, stdout, _) = run(&["check", "-s", "E(x,y)", "-b", "E(u,v); F(w)"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("backend = bag-ucq"), "{stdout}");
+    assert!(stdout.contains("PROVED"), "{stdout}");
+}
+
+#[test]
+fn check_pinned_backend_and_env_override_agree() {
+    // Pinning via --containment and forcing via BAGCQ_CONTAINMENT (which
+    // only redirects auto) must land on the same backend.
+    let (ok, stdout, _) = run(&[
+        "check",
+        "-s",
+        "E(x,y)",
+        "-b",
+        "E(u,v)",
+        "--semantics",
+        "set",
+        "--containment",
+        "set-chandra-merlin",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("backend = set-chandra-merlin"), "{stdout}");
+    let out = bagcq()
+        .args(["check", "-s", "E(x,y)", "-b", "E(u,v)", "--semantics", "set"])
+        .env("BAGCQ_CONTAINMENT", "set-chandra-merlin")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("backend = set-chandra-merlin"), "{stdout}");
+}
+
+#[test]
+fn check_unsupported_combination_is_an_error() {
+    let (ok, _, stderr) = run(&[
+        "check",
+        "-s",
+        "E(x,y)",
+        "-b",
+        "E(u,v)",
+        "--semantics",
+        "set",
+        "--containment",
+        "bag-search",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bag-search"), "{stderr}");
+    let (ok, _, stderr) = run(&["check", "-s", "E(x,y);", "-b", "E(u,v)"]);
+    assert!(!ok);
+    assert!(stderr.contains("empty disjunct"), "{stderr}");
 }
 
 #[test]

@@ -105,11 +105,13 @@ fn theorem3_single_inequality_everywhere() {
 #[test]
 fn harness_respects_gadget_ratio() {
     let alpha = alpha_gadget(2, "IH");
-    let mut checker = ContainmentChecker::with_multiplier(alpha.ratio.recip());
-    checker.budget.random_rounds = 10;
     // q·α_s ≤ α_b with q = 1/c... Definition 3 says α_s ≤ c·α_b, i.e.
     // (1/c)·α_s ≤ α_b. The harness must not find a counterexample.
-    let v = checker.check(&alpha.q_s, &alpha.q_b);
+    let v = CheckRequest::new(&alpha.q_s, &alpha.q_b)
+        .multiplier(alpha.ratio.recip())
+        .budget(SearchBudget { random_rounds: 10, ..SearchBudget::default() })
+        .check()
+        .expect("CQ pairs are supported");
     assert!(!v.is_refuted(), "{v}");
 }
 

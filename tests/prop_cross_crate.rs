@@ -97,9 +97,11 @@ proptest! {
     fn bag_proof_implies_set_behaviour(s1 in 0u64..500, s2 in 0u64..500, dseed in 0u64..500) {
         let q_s = rand_query(s1, 3, 3);
         let q_b = rand_query(s2, 3, 3);
-        let mut checker = ContainmentChecker::new();
-        checker.budget.random_rounds = 3;
-        if checker.check(&q_s, &q_b).is_proved() {
+        let verdict = CheckRequest::new(&q_s, &q_b)
+            .budget(SearchBudget { random_rounds: 3, ..SearchBudget::default() })
+            .check()
+            .expect("CQ pairs are supported");
+        if verdict.is_proved() {
             let d = rand_structure(dseed);
             let cs = CountRequest::new(&q_s, &d).count();
             let cb = CountRequest::new(&q_b, &d).count();
@@ -140,9 +142,11 @@ proptest! {
     fn refutations_verified(s1 in 0u64..500, s2 in 0u64..500) {
         let q_s = rand_query(s1, 3, 3);
         let q_b = rand_query(s2, 3, 4);
-        let mut checker = ContainmentChecker::new();
-        checker.budget.random_rounds = 3;
-        if let Verdict::Refuted(ce) = checker.check(&q_s, &q_b) {
+        let verdict = CheckRequest::new(&q_s, &q_b)
+            .budget(SearchBudget { random_rounds: 3, ..SearchBudget::default() })
+            .check()
+            .expect("CQ pairs are supported");
+        if let Verdict::Refuted(ce) = verdict {
             // Recount independently with the other engine.
             let cs = CountRequest::new(&q_s, &ce.database).backend(BackendChoice::Naive).count();
             let cb = CountRequest::new(&q_b, &ce.database).backend(BackendChoice::Naive).count();
